@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Format Fun Gps Hashtbl List Option Printf Result String Sys Workloads

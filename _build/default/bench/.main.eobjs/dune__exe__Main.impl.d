@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Gps Hashtbl Instance List Measure Printf Staged Sys Test Time Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Gps List Printf String

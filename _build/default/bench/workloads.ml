@@ -1,0 +1,60 @@
+(* Shared workloads for the benchmark harness: the datasets and the goal
+   query suite of DESIGN.md (Q1-Q10). *)
+
+module Digraph = Gps.Graph.Digraph
+module Generators = Gps.Graph.Generators
+
+type dataset = { name : string; graph : Digraph.t }
+
+let city ~districts ~seed =
+  {
+    name = Printf.sprintf "city-%d" districts;
+    graph = Generators.city (Generators.default_city ~districts) ~seed;
+  }
+
+let bio ~nodes ~seed =
+  { name = Printf.sprintf "bio-%d" nodes; graph = Generators.bio ~nodes ~seed }
+
+let uniform ~nodes ~seed =
+  {
+    name = Printf.sprintf "uniform-%d" nodes;
+    graph =
+      Generators.uniform ~nodes ~edges:(nodes * 2)
+        ~labels:[ "a"; "b"; "c"; "d" ] ~seed;
+  }
+
+let figure1 () = { name = "figure1"; graph = Gps.Graph.Datasets.figure1 () }
+
+(* Q1-Q7 make sense on city graphs, Q8-Q10 on bio graphs. *)
+let city_queries =
+  [
+    ("Q1", "cinema");
+    ("Q2", "bus.cinema");
+    ("Q3", "(tram+bus)*.cinema");
+    ("Q4", "tram*.restaurant");
+    ("Q5", "bus.bus*");
+    ("Q6", "(bus+tram).(bus+tram).cinema");
+    ("Q7", "metro*.museum");
+  ]
+
+let bio_queries =
+  [
+    ("Q8", "interacts*.treats");
+    ("Q9", "activates.(inhibits+activates)*");
+    ("Q10", "encodes.interacts*.associated");
+  ]
+
+let q s = Gps.parse_query_exn s
+
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let median l =
+  match List.sort compare l with
+  | [] -> nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let header fmt = Printf.printf fmt
+
+let rule () = print_endline (String.make 78 '-')

@@ -1,0 +1,445 @@
+(* gps — command-line front end to the GPS system.
+
+   Subcommands:
+     generate   synthesize a graph database (city / bio / uniform / scale-free)
+     stats      describe a graph
+     query      evaluate a path query, with optional witness explanations
+     learn      learn a query from labeled node names (static scenario)
+     session    run the interactive scenario: simulated oracle or real stdin user
+     dot        export a graph (or a node neighborhood) to GraphViz *)
+
+open Cmdliner
+module Digraph = Gps.Graph.Digraph
+
+(* ---------------------------------------------------------------- *)
+(* shared argument parsers *)
+
+let graph_arg =
+  let doc = "Graph database file (edge list: 'src label dst' per line)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+
+let load_graph path =
+  try Ok (Gps.Graph.Codec.load path) with
+  | Gps.Graph.Codec.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("gps: " ^ msg);
+      exit 1
+
+let query_pos n =
+  let doc = "Path query in the paper's notation, e.g. '(tram+bus)*.cinema'." in
+  Arg.(required & pos n (some string) None & info [] ~docv:"QUERY" ~doc)
+
+(* ---------------------------------------------------------------- *)
+(* generate *)
+
+let generate_cmd =
+  let kind =
+    let doc = "Graph family: city, bio, uniform or scalefree." in
+    Arg.(value & opt string "city" & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+  in
+  let nodes =
+    let doc = "Approximate node count." in
+    Arg.(value & opt int 100 & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "PRNG seed (generation is deterministic)." in
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+  in
+  let output =
+    let doc = "Output file (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run kind nodes seed output =
+    let g =
+      match kind with
+      | "city" ->
+          (* districts + facilities sum to roughly [nodes] *)
+          let districts = max 2 (nodes / 2) in
+          Gps.Graph.Generators.city (Gps.Graph.Generators.default_city ~districts) ~seed
+      | "bio" -> Gps.Graph.Generators.bio ~nodes:(max 10 nodes) ~seed
+      | "uniform" ->
+          Gps.Graph.Generators.uniform ~nodes ~edges:(nodes * 3)
+            ~labels:[ "a"; "b"; "c"; "d" ] ~seed
+      | "scalefree" ->
+          Gps.Graph.Generators.preferential ~nodes ~attach:2 ~labels:[ "a"; "b"; "c" ] ~seed
+      | other -> or_die (Error (Printf.sprintf "unknown kind %S" other))
+    in
+    let text = Gps.Graph.Codec.to_string g in
+    match output with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %d nodes, %d edges to %s\n" (Digraph.n_nodes g) (Digraph.n_edges g)
+          path
+    | None -> print_string text
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a graph database")
+    Term.(const run $ kind $ nodes $ seed $ output)
+
+(* ---------------------------------------------------------------- *)
+(* stats *)
+
+let stats_cmd =
+  let run path =
+    let g = or_die (load_graph path) in
+    print_endline (Gps.Viz.Ascii.graph_summary g)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Describe a graph database") Term.(const run $ graph_arg)
+
+(* ---------------------------------------------------------------- *)
+(* query *)
+
+let query_cmd =
+  let witness =
+    let doc = "Also print a shortest witness walk per selected node." in
+    Arg.(value & flag & info [ "witness"; "w" ] ~doc)
+  in
+  let run path qs witness =
+    let g = or_die (load_graph path) in
+    let q = or_die (Gps.parse_query qs) in
+    let selected = Gps.Query.Eval.select_nodes g q in
+    Printf.printf "%s selects %d node(s)\n" (Gps.Query.Rpq.to_string q) (List.length selected);
+    List.iter
+      (fun v ->
+        if witness then
+          match Gps.Query.Witness.find g q v with
+          | Some w -> Printf.printf "  %-12s %s\n" (Digraph.node_name g v)
+                        (Gps.Viz.Ascii.witness g w)
+          | None -> ()
+        else Printf.printf "  %s\n" (Digraph.node_name g v))
+      selected
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a path query")
+    Term.(const run $ graph_arg $ query_pos 1 $ witness)
+
+(* ---------------------------------------------------------------- *)
+(* learn *)
+
+let names_opt name doc =
+  Arg.(value & opt (list string) [] & info [ name ] ~docv:"NODES" ~doc)
+
+let learn_cmd =
+  let pos = names_opt "pos" "Comma-separated positive node names." in
+  let neg = names_opt "neg" "Comma-separated negative node names." in
+  let run path pos neg =
+    let g = or_die (load_graph path) in
+    match Gps.learn g ~pos ~neg with
+    | Ok q ->
+        Printf.printf "learned: %s\n" (Gps.Query.Rpq.to_string q);
+        Printf.printf "selects: %s\n" (String.concat ", " (Gps.evaluate g q))
+    | Error msg ->
+        Printf.printf "no consistent query: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "learn" ~doc:"Learn a query from labeled nodes (static scenario)")
+    Term.(const run $ graph_arg $ pos $ neg)
+
+(* ---------------------------------------------------------------- *)
+(* session *)
+
+let strategy_arg =
+  let doc = "Node-proposal strategy: smart, random or degree." in
+  Arg.(value & opt string "smart" & info [ "strategy" ] ~docv:"NAME" ~doc)
+
+(* A real user on stdin, driven through History so [u] undoes the last
+   answer. Returns the finished session. *)
+let stdin_session ~config ~strategy g =
+  let module H = Gps.Interactive.History in
+  let module S = Gps.Interactive.Session in
+  let module V = Gps.Interactive.View in
+  let read_line_opt () = try Some (read_line ()) with End_of_file -> None in
+  let try_undo h =
+    match H.undo h with
+    | Some h' ->
+        print_endline "(undone)";
+        h'
+    | None ->
+        print_endline "(nothing to undo)";
+        h
+  in
+  let rec loop h =
+    match H.request h with
+    | S.Finished _ -> H.current h
+    | S.Ask_label view ->
+        print_string (Gps.Viz.Ascii.neighborhood g view);
+        print_string "label this node? [y]es / [n]o / [z]oom / [u]ndo: ";
+        (match Option.map String.lowercase_ascii (read_line_opt ()) with
+        | Some ("y" | "yes") -> loop (H.answer_label h `Pos)
+        | Some ("n" | "no") -> loop (H.answer_label h `Neg)
+        | Some ("z" | "zoom") -> loop (H.answer_label h `Zoom)
+        | Some ("u" | "undo") -> loop (try_undo h)
+        | Some _ -> loop h
+        | None -> loop (H.answer_label h `Neg))
+    | S.Ask_path tree ->
+        print_string (Gps.Viz.Ascii.path_tree tree);
+        List.iteri
+          (fun i w -> Printf.printf "  [%d] %s\n" i (String.concat "." w))
+          tree.V.words;
+        print_string "path of interest? [number, enter = suggested, u = undo]: ";
+        (match read_line_opt () with
+        | None | Some "" -> loop (H.answer_path h tree.V.suggested)
+        | Some "u" -> loop (try_undo h)
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some i when i >= 0 && i < List.length tree.V.words ->
+                loop (H.answer_path h (List.nth tree.V.words i))
+            | _ -> loop h))
+    | S.Propose q ->
+        Printf.printf "current query: %s -- satisfied? [y/N/u]: " (Gps.Query.Rpq.to_string q);
+        (match Option.map String.lowercase_ascii (read_line_opt ()) with
+        | Some ("y" | "yes") -> loop (H.accept h)
+        | Some ("u" | "undo") -> loop (try_undo h)
+        | _ -> loop (H.refine h))
+  in
+  loop (H.start ~config ~strategy g)
+
+(* A scripted user for --goal / --replay runs (no undo). *)
+let stdin_user () =
+  let read_line_opt () = try Some (read_line ()) with End_of_file -> None in
+  let rec ask_label g view =
+    print_string (Gps.Viz.Ascii.neighborhood g view);
+    print_string "label this node? [y]es / [n]o / [z]oom: ";
+    match Option.map String.lowercase_ascii (read_line_opt ()) with
+    | Some ("y" | "yes") -> `Pos
+    | Some ("n" | "no") -> `Neg
+    | Some ("z" | "zoom") -> `Zoom
+    | Some _ -> ask_label g view
+    | None -> `Neg
+  in
+  let rec ask_path _g (tree : Gps.Interactive.View.path_tree) =
+    print_string (Gps.Viz.Ascii.path_tree tree);
+    List.iteri
+      (fun i w -> Printf.printf "  [%d] %s\n" i (String.concat "." w))
+      tree.Gps.Interactive.View.words;
+    Printf.printf "path of interest? [number, enter = suggested]: ";
+    match read_line_opt () with
+    | None | Some "" -> tree.Gps.Interactive.View.suggested
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some i when i >= 0 && i < List.length tree.Gps.Interactive.View.words ->
+            List.nth tree.Gps.Interactive.View.words i
+        | _ -> ask_path _g tree)
+  in
+  let satisfied _g q =
+    Printf.printf "current query: %s -- satisfied? [y/N]: " (Gps.Query.Rpq.to_string q);
+    match Option.map String.lowercase_ascii (read_line_opt ()) with
+    | Some ("y" | "yes") -> true
+    | _ -> false
+  in
+  { Gps.Interactive.Oracle.name = "stdin"; label = ask_label; validate = ask_path; satisfied }
+
+let session_cmd =
+  let goal =
+    let doc =
+      "Goal query for a simulated oracle user. Omit to drive the session yourself on stdin."
+    in
+    Arg.(value & opt (some string) None & info [ "goal" ] ~docv:"QUERY" ~doc)
+  in
+  let seed =
+    let doc = "Seed for the random strategy." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let budget =
+    let doc = "Maximum number of user answers." in
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let record =
+    let doc = "Record the session's answers to this journal file (JSON)." in
+    Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+  in
+  let replay =
+    let doc = "Replay answers from this journal file instead of asking anyone." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let explain =
+    let doc = "After an oracle session, explain how every node ended up classified." in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run path strategy goal seed budget record replay explain =
+    let g = or_die (load_graph path) in
+    let strategy = or_die (Gps.Interactive.Strategy.by_name ~seed strategy) in
+    let config =
+      { Gps.Interactive.Session.default_config with
+        Gps.Interactive.Session.max_questions = budget }
+    in
+    let summarize outcome questions pruned =
+      Printf.printf "\nsession finished (%s)\n"
+        (match outcome.Gps.Interactive.Session.reason with
+        | Gps.Interactive.Session.Satisfied -> "user satisfied"
+        | Gps.Interactive.Session.No_informative_nodes -> "no informative nodes left"
+        | Gps.Interactive.Session.Budget_exhausted -> "budget exhausted"
+        | Gps.Interactive.Session.Inconsistent _ -> "labels inconsistent");
+      Printf.printf "learned query: %s\n"
+        (Gps.Query.Rpq.to_string outcome.Gps.Interactive.Session.query);
+      Printf.printf "selects: %s\n"
+        (String.concat ", " (Gps.evaluate g outcome.Gps.Interactive.Session.query));
+      Printf.printf "answers: %d  pruned: %d\n" questions pruned
+    in
+    match (replay, goal, record) with
+    | None, None, None ->
+        (* a real user on stdin, with undo support *)
+        let final = stdin_session ~config ~strategy g in
+        (match Gps.Interactive.Session.request final with
+        | Gps.Interactive.Session.Finished outcome ->
+            summarize outcome
+              (Gps.Interactive.Session.questions final)
+              (List.length (Gps.Interactive.Session.implied_neg final))
+        | _ -> assert false)
+    | _ ->
+        let base_user =
+          match (replay, goal) with
+          | Some file, _ ->
+              Gps.Interactive.Journal.replayer (or_die (Gps.Interactive.Journal.load file))
+          | None, Some qs -> Gps.Interactive.Oracle.perfect ~goal:(or_die (Gps.parse_query qs))
+          | None, None -> stdin_user ()
+        in
+        let user, journal_of =
+          match record with
+          | Some _ ->
+              let u, j = Gps.Interactive.Journal.recording base_user in
+              (u, Some j)
+          | None -> (base_user, None)
+        in
+        let trace = Gps.Interactive.Simulate.run ~config g ~strategy ~user in
+        (match (record, journal_of) with
+        | Some file, Some j ->
+            Gps.Interactive.Journal.save file (j ());
+            Printf.printf "journal written to %s\n" file
+        | _ -> ());
+        summarize trace.Gps.Interactive.Simulate.outcome
+          trace.Gps.Interactive.Simulate.questions trace.Gps.Interactive.Simulate.pruned;
+        if explain then begin
+          (* re-drive deterministically to recover the final state, then
+             narrate every classified node *)
+          match (replay, goal) with
+          | None, Some qs ->
+              let user = Gps.Interactive.Oracle.perfect ~goal:(or_die (Gps.parse_query qs)) in
+              let final = Gps.Interactive.Simulate.final_state ~config g ~strategy ~user in
+              print_endline "\nwhy each node ended up where it did:";
+              Digraph.iter_nodes
+                (fun v ->
+                  match Gps.Interactive.Explain.explain final v with
+                  | Gps.Interactive.Explain.Unconstrained -> ()
+                  | reason ->
+                      Printf.printf "  %-14s %s\n" (Digraph.node_name g v)
+                        (Format.asprintf "%a" (Gps.Interactive.Explain.render g) reason))
+                g
+          | _ -> prerr_endline "gps: --explain requires --goal (and no --replay)"
+        end
+  in
+  Cmd.v
+    (Cmd.info "session" ~doc:"Run the interactive specification scenario")
+    Term.(const run $ graph_arg $ strategy_arg $ goal $ seed $ budget $ record $ replay $ explain)
+
+(* ---------------------------------------------------------------- *)
+(* dot *)
+
+let dot_cmd =
+  let center =
+    let doc = "Restrict to the neighborhood of this node." in
+    Arg.(value & opt (some string) None & info [ "around" ] ~docv:"NODE" ~doc)
+  in
+  let radius =
+    let doc = "Neighborhood radius (with --around)." in
+    Arg.(value & opt int 2 & info [ "radius"; "r" ] ~docv:"R" ~doc)
+  in
+  let run path center radius =
+    let g = or_die (load_graph path) in
+    match center with
+    | None -> print_string (Gps.Graph.Dot.of_graph g)
+    | Some name ->
+        let v =
+          match Digraph.node_of_name g name with
+          | Some v -> v
+          | None -> or_die (Error (Printf.sprintf "unknown node %S" name))
+        in
+        let view = Gps.Interactive.View.make_neighborhood g v ~radius in
+        print_string (Gps.Viz.Dotviz.neighborhood g view)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a graph or neighborhood to GraphViz")
+    Term.(const run $ graph_arg $ center $ radius)
+
+(* ---------------------------------------------------------------- *)
+(* convert *)
+
+let convert_cmd =
+  let format =
+    let doc = "Output format: 'json' or 'edges'." in
+    Arg.(value & opt string "json" & info [ "to" ] ~docv:"FORMAT" ~doc)
+  in
+  let run path format =
+    (* input format is sniffed: JSON starts with '{' *)
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let is_json =
+      let rec first i =
+        if i >= String.length text then '\000'
+        else
+          match text.[i] with ' ' | '\t' | '\n' | '\r' -> first (i + 1) | c -> c
+      in
+      first 0 = '{'
+    in
+    let g =
+      try if is_json then Gps.Graph.Json.of_string text else Gps.Graph.Codec.of_string text with
+      | Gps.Graph.Json.Parse_error (pos, msg) ->
+          or_die (Error (Printf.sprintf "%s: json error at %d: %s" path pos msg))
+      | Gps.Graph.Codec.Parse_error (line, msg) ->
+          or_die (Error (Printf.sprintf "%s:%d: %s" path line msg))
+    in
+    match format with
+    | "json" -> print_string (Gps.Graph.Json.to_string ~pretty:true g)
+    | "edges" -> print_string (Gps.Graph.Codec.to_string g)
+    | other -> or_die (Error (Printf.sprintf "unknown format %S (json or edges)" other))
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert a graph between edge-list and JSON formats")
+    Term.(const run $ graph_arg $ format)
+
+(* ---------------------------------------------------------------- *)
+(* identify: L* against a known query (a teacher demo) *)
+
+let identify_cmd =
+  let run qs =
+    let q = or_die (Gps.parse_query qs) in
+    match Gps.Learning.Lstar.learn_query q with
+    | Ok (learned, stats) ->
+        Printf.printf "target      : %s\n" (Gps.Query.Rpq.to_string q);
+        Printf.printf "identified  : %s\n" (Gps.Query.Rpq.to_string learned);
+        Printf.printf "equal       : %b\n" (Gps.Query.Rpq.equal_lang learned q);
+        Printf.printf "queries     : %d membership, %d equivalence\n"
+          stats.Gps.Learning.Lstar.membership_queries
+          stats.Gps.Learning.Lstar.equivalence_queries;
+        Printf.printf "minimal DFA : %d states\n" stats.Gps.Learning.Lstar.states
+    | Error e ->
+        prerr_endline ("gps: " ^ e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "identify"
+       ~doc:"Identify a query's language with Angluin's L* (membership-query demo)")
+    Term.(const run $ query_pos 0)
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let doc = "interactive path query specification on graph databases" in
+  let info = Cmd.info "gps" ~version:Gps.version ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; stats_cmd; query_cmd; learn_cmd; session_cmd; dot_cmd; convert_cmd;
+            identify_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/active_learning.ml: Gps List Option Printf

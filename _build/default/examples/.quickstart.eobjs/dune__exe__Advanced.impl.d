@@ -1,0 +1,1 @@
+examples/advanced.ml: Format Gps List Printf String

@@ -1,0 +1,1 @@
+examples/biology.ml: Gps List Printf

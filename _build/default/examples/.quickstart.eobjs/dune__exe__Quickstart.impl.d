@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gps Option Printf String

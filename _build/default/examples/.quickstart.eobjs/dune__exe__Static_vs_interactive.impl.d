@@ -1,0 +1,1 @@
+examples/static_vs_interactive.ml: Array Format Gps List Printf

@@ -1,0 +1,1 @@
+examples/transport.ml: Gps List Printf String

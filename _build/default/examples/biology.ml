@@ -1,0 +1,44 @@
+(* Biological-network scenario: stands in for the AliBaba
+   protein-interaction dataset of the companion paper's evaluation.
+
+   Run with: dune exec examples/biology.exe
+
+   A biologist wants "proteins whose activation cascade can end up
+   treating a disease" without writing regular expressions. GPS asks her
+   to label a handful of entities; witness walks explain each answer. *)
+
+module Digraph = Gps.Graph.Digraph
+
+let () =
+  let g = Gps.Graph.Generators.bio ~nodes:150 ~seed:7 in
+  Printf.printf "bio graph: %d nodes, %d edges\n" (Digraph.n_nodes g) (Digraph.n_edges g);
+  print_string (Gps.Viz.Ascii.graph_summary g);
+  print_newline ();
+
+  let goals =
+    [
+      ("drugs that treat something", "treats");
+      ("drugs binding a protein that activates another", "binds.activates");
+      ("entities reaching a disease through interactions", "interacts*.associated");
+    ]
+  in
+  List.iter
+    (fun (intent, qs) ->
+      let goal = Gps.parse_query_exn qs in
+      let o = Gps.specify_interactively g ~goal in
+      Printf.printf "\nintent: %s\n" intent;
+      Printf.printf "  goal    : %s (%d nodes)\n" qs (List.length (Gps.evaluate g goal));
+      Printf.printf "  learned : %s\n" (Gps.Query.Rpq.to_string o.Gps.learned);
+      Printf.printf "  reached : %b with %d answers (%d pruned)\n" o.Gps.reached_goal
+        o.Gps.questions o.Gps.pruned;
+      (* explain the first three selected nodes with witness walks *)
+      let selected = Gps.Query.Eval.select_nodes g o.Gps.learned in
+      List.iteri
+        (fun i v ->
+          if i < 3 then
+            match Gps.Query.Witness.find g o.Gps.learned v with
+            | Some w -> Printf.printf "    why %-6s: %s\n" (Digraph.node_name g v)
+                          (Gps.Viz.Ascii.witness g w)
+            | None -> ())
+        selected)
+    goals

@@ -1,0 +1,64 @@
+(* Quickstart: the paper's motivating example, end to end.
+
+   Run with: dune exec examples/quickstart.exe
+
+   Walks through the exact scenario of the paper's Sections 2-3 on the
+   Figure 1 geographical database: evaluating the goal query, inspecting
+   the zoomable neighborhood of N2 (Figures 3a/3b), the candidate-path
+   prefix tree (Figure 3c), and finally a full simulated interactive
+   session that recovers the goal query. *)
+
+module Digraph = Gps.Graph.Digraph
+module View = Gps.Interactive.View
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  let g = Gps.Graph.Datasets.figure1 () in
+  section "The geographical database of Figure 1";
+  print_string (Gps.Viz.Ascii.graph_summary g);
+  print_newline ();
+
+  section "Evaluating the goal query q = (tram+bus)*.cinema";
+  let goal = Gps.parse_query_exn "(tram+bus)*.cinema" in
+  Printf.printf "q selects: %s\n" (String.concat ", " (Gps.evaluate g goal));
+  let n2 = Option.get (Digraph.node_of_name g "N2") in
+  (match Gps.Query.Witness.find g goal n2 with
+  | Some w -> Printf.printf "why N2: %s\n" (Gps.Viz.Ascii.witness g w)
+  | None -> assert false);
+
+  section "Neighborhood of N2 at radius 2 (Figure 3a)";
+  let v2 = View.make_neighborhood g n2 ~radius:2 in
+  print_string (Gps.Viz.Ascii.neighborhood g v2);
+
+  section "After zooming out to radius 3 (Figure 3b)";
+  let v3 = View.make_neighborhood g ~previous:v2.View.fragment n2 ~radius:3 in
+  print_string (Gps.Viz.Ascii.neighborhood g v3);
+
+  section "Candidate paths of N2 given negative N5 (Figure 3c)";
+  let n5 = Option.get (Digraph.node_of_name g "N5") in
+  (match View.make_path_tree g n2 ~negatives:[ n5 ] ~max_len:3 with
+  | Some tree -> print_string (Gps.Viz.Ascii.path_tree tree)
+  | None -> assert false);
+
+  section "Interactive session with a simulated user (goal in mind: q)";
+  let outcome = Gps.specify_interactively g ~goal in
+  Printf.printf "learned query : %s\n" (Gps.Query.Rpq.to_string outcome.Gps.learned);
+  Printf.printf "selects exactly the goal's nodes (user's halt condition) : %b\n"
+    outcome.Gps.reached_goal;
+  Printf.printf "language-equal to the goal : %b%s\n"
+    (Gps.Query.Rpq.equal_lang outcome.Gps.learned goal)
+    "  (the user stops as soon as the result looks right on the instance)";
+  Printf.printf "user answers : %d (labels %d, zooms %d, path validations %d)\n"
+    outcome.Gps.questions outcome.Gps.labels outcome.Gps.zooms outcome.Gps.validations;
+  Printf.printf "nodes pruned as uninformative : %d of %d\n" outcome.Gps.pruned
+    (Digraph.n_nodes g);
+
+  section "Static learning from the paper's labels (+N2 +N6 -N5)";
+  (match Gps.learn g ~pos:[ "N2"; "N6" ] ~neg:[ "N5" ] with
+  | Ok q ->
+      Printf.printf
+        "without path validation the learner returns: %s\n\
+         (consistent with the labels, but not the goal -- the paper's Section 3 point)\n"
+        (Gps.Query.Rpq.to_string q)
+  | Error e -> Printf.printf "error: %s\n" e)

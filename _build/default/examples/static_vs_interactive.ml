@@ -1,0 +1,92 @@
+(* The paper's three demonstration scenarios side by side.
+
+   Run with: dune exec examples/static_vs_interactive.exe
+
+   1. Static labeling: the user labels arbitrary nodes on her own; she can
+      waste effort on uninformative nodes and even contradict herself.
+   2. Interactive labeling without path validation: GPS picks informative
+      nodes, but generalizes from witness paths it chose itself — the
+      result is consistent yet often not the intended query.
+   3. Interactive labeling with path validation (the full system): the
+      user confirms the path of interest, and the intended query is
+      recovered. *)
+
+module Digraph = Gps.Graph.Digraph
+module Sample = Gps.Learning.Sample
+module Learner = Gps.Learning.Learner
+module Static = Gps.Learning.Static
+module Strategy = Gps.Interactive.Strategy
+module Oracle = Gps.Interactive.Oracle
+module Simulate = Gps.Interactive.Simulate
+module Session = Gps.Interactive.Session
+module Eval = Gps.Query.Eval
+module Prng = Gps.Graph.Prng
+
+let goal_str = "(tram+bus)*.cinema"
+
+(* Scenario 1: label nodes in random order (as a user browsing freely
+   might), stopping as soon as the learned query matches the goal on the
+   instance. Counts how many labels that takes. *)
+let static_labeling g goal seed =
+  let rng = Prng.create ~seed in
+  let sel = Eval.select g goal in
+  let order = Prng.shuffle rng (Digraph.nodes g) in
+  let rec go sample used = function
+    | [] -> (used, false)
+    | v :: rest -> (
+        let sample = if sel.(v) then Sample.add_pos sample v else Sample.add_neg sample v in
+        let used = used + 1 in
+        match Learner.learn g sample with
+        | Learner.Learned q when Eval.select g q = sel -> (used, true)
+        | Learner.Learned _ -> go sample used rest
+        | Learner.Failed _ -> (used, false))
+  in
+  go Sample.empty 0 order
+
+let () =
+  let g = Gps.Graph.Datasets.figure1 () in
+  let goal = Gps.parse_query_exn goal_str in
+  Printf.printf "graph: Figure 1 (%d nodes); goal query: %s\n\n" (Digraph.n_nodes g) goal_str;
+
+  (* --- scenario 1: static labeling ------------------------------- *)
+  Printf.printf "scenario 1 - static labeling (random browsing order):\n";
+  let runs = List.init 10 (fun i -> static_labeling g goal (i + 1)) in
+  let succeeded = List.filter snd runs in
+  let avg =
+    if succeeded = [] then 0.0
+    else
+      float_of_int (List.fold_left (fun a (n, _) -> a + n) 0 succeeded)
+      /. float_of_int (List.length succeeded)
+  in
+  Printf.printf "  reached the goal in %d/10 runs, avg %.1f labels when successful\n"
+    (List.length succeeded) avg;
+  (* and the user can contradict herself: labeling the cinema node C1
+     positive together with N5 negative is unsatisfiable *)
+  let bad = Sample.of_names g ~pos:[ "C1" ] ~neg:[ "N5" ] in
+  Printf.printf "  labeling +C1 -N5 is detected as: %s\n\n"
+    (Format.asprintf "%a" (Static.pp_verdict g) (Static.check g bad));
+
+  (* --- scenario 2: interactive, no real path validation ----------- *)
+  Printf.printf "scenario 2 - interactive, user never zooms or corrects paths:\n";
+  let trace = Simulate.run g ~strategy:Strategy.smart ~user:(Oracle.eager ~goal) in
+  let learned = trace.Simulate.outcome.Session.query in
+  Printf.printf "  learned %s in %d answers -- consistent, but equals goal: %b\n\n"
+    (Gps.Query.Rpq.to_string learned) trace.Simulate.questions
+    (Eval.select g learned = Eval.select g goal);
+
+  (* --- scenario 3: the full system ------------------------------- *)
+  Printf.printf "scenario 3 - interactive with path validation (full GPS):\n";
+  let o = Gps.specify_interactively g ~goal in
+  Printf.printf "  learned %s in %d answers -- equals goal: %b, pruned %d nodes\n"
+    (Gps.Query.Rpq.to_string o.Gps.learned) o.Gps.questions o.Gps.reached_goal o.Gps.pruned;
+
+  (* same comparison at city scale *)
+  let g = Gps.Graph.Generators.city (Gps.Graph.Generators.default_city ~districts:32) ~seed:9 in
+  let goal = Gps.parse_query_exn goal_str in
+  Printf.printf "\nsame comparison on a %d-node city graph:\n" (Digraph.n_nodes g);
+  let s1, ok1 = static_labeling g goal 1 in
+  Printf.printf "  static labels needed      : %s\n"
+    (if ok1 then string_of_int s1 else "did not converge");
+  let o = Gps.specify_interactively g ~goal in
+  Printf.printf "  interactive (full) answers: %d (reached goal: %b)\n" o.Gps.questions
+    o.Gps.reached_goal

@@ -1,0 +1,52 @@
+(* Transport-network scenario: the demo's Transpole-style geographical
+   data, at city scale.
+
+   Run with: dune exec examples/transport.exe
+
+   Generates a synthetic city (districts connected by tram/bus/metro
+   lines, with cinemas/restaurants/museums/parks), then lets a simulated
+   user specify several everyday queries interactively, comparing the
+   three node-proposal strategies on the number of interactions. *)
+
+module Digraph = Gps.Graph.Digraph
+module Strategy = Gps.Interactive.Strategy
+
+let queries =
+  [
+    ("reach a cinema by public transport", "(tram+bus+metro)*.cinema");
+    ("a museum right after one tram hop", "tram.museum");
+    ("restaurant district next door by bus", "bus.restaurant");
+    ("metro-only access to a park", "metro*.park");
+  ]
+
+let () =
+  let g = Gps.Graph.Generators.city (Gps.Graph.Generators.default_city ~districts:40) ~seed:2024 in
+  Printf.printf "city graph: %d nodes, %d edges, labels: %s\n\n" (Digraph.n_nodes g)
+    (Digraph.n_edges g)
+    (String.concat ", " (List.sort compare (Digraph.labels g)));
+  Printf.printf "%-42s %-28s %8s %8s %8s %7s\n" "intent" "goal query" "smart" "random" "degree"
+    "|answer|";
+  List.iter
+    (fun (intent, qs) ->
+      let goal = Gps.parse_query_exn qs in
+      let run strategy =
+        let o = Gps.specify_interactively ~strategy g ~goal in
+        if o.Gps.reached_goal then string_of_int o.Gps.questions else "-"
+      in
+      Printf.printf "%-42s %-28s %8s %8s %8s %7d\n" intent qs (run Strategy.smart)
+        (run (Strategy.random ~seed:1))
+        (run Strategy.max_degree)
+        (List.length (Gps.evaluate g goal)))
+    queries;
+  print_newline ();
+  (* one full run in detail *)
+  let goal = Gps.parse_query_exn "(tram+bus+metro)*.cinema" in
+  let o = Gps.specify_interactively g ~goal in
+  Printf.printf "detailed run for %s:\n" (Gps.Query.Rpq.to_string goal);
+  Printf.printf "  learned    : %s\n" (Gps.Query.Rpq.to_string o.Gps.learned);
+  Printf.printf "  goal set   : %d nodes, reached: %b\n"
+    (List.length (Gps.evaluate g goal))
+    o.Gps.reached_goal;
+  Printf.printf "  questions  : %d (vs %d nodes in the graph)\n" o.Gps.questions
+    (Digraph.n_nodes g);
+  Printf.printf "  pruned     : %d nodes never had to be looked at\n" o.Gps.pruned

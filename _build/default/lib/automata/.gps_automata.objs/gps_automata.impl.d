@@ -1,0 +1,1 @@
+lib/automata/gps_automata.ml: Compile Dfa Elim Nfa Pta Simplify

@@ -1,0 +1,1 @@
+lib/automata/compile.ml: Array Dfa Gps_regex List Map Nfa String

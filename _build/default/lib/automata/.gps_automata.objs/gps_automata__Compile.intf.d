@@ -1,0 +1,1 @@
+lib/automata/compile.mli: Dfa Gps_regex Nfa

@@ -1,0 +1,1 @@
+lib/automata/elim.ml: Array Fun Gps_regex List Nfa Option

@@ -1,0 +1,1 @@
+lib/automata/elim.mli: Gps_regex Nfa

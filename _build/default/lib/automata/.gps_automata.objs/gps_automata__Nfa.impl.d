@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Format Hashtbl Int List Printf Queue Set String

@@ -1,0 +1,1 @@
+lib/automata/pta.ml: Array Fun List Map Nfa Queue String

@@ -1,0 +1,1 @@
+lib/automata/pta.mli: Nfa

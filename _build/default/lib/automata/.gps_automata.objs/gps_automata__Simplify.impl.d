@@ -1,0 +1,1 @@
+lib/automata/simplify.ml: Compile Fun Gps_regex List

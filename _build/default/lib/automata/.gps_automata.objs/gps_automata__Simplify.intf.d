@@ -1,0 +1,1 @@
+lib/automata/simplify.mli: Gps_regex

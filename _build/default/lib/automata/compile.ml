@@ -1,0 +1,119 @@
+module Regex = Gps_regex.Regex
+
+(* Linearized regexes: every symbol occurrence gets a distinct position.
+   first/last/follow are computed in one bottom-up pass. *)
+type info = {
+  nullable : bool;
+  first : int list;            (* positions that can start a word *)
+  last : int list;             (* positions that can end a word *)
+  follow : (int * int) list;   (* position adjacencies *)
+}
+
+let to_nfa r =
+  let positions = ref [] in   (* position -> symbol, reversed *)
+  let next_pos = ref 0 in
+  let fresh sym =
+    incr next_pos;
+    positions := sym :: !positions;
+    !next_pos
+  in
+  let rec go (r : Regex.t) : info =
+    match r with
+    | Empty -> { nullable = false; first = []; last = []; follow = [] }
+    | Epsilon -> { nullable = true; first = []; last = []; follow = [] }
+    | Sym s ->
+        let p = fresh s in
+        { nullable = false; first = [ p ]; last = [ p ]; follow = [] }
+    | Alt rs ->
+        let infos = List.map go rs in
+        {
+          nullable = List.exists (fun i -> i.nullable) infos;
+          first = List.concat_map (fun i -> i.first) infos;
+          last = List.concat_map (fun i -> i.last) infos;
+          follow = List.concat_map (fun i -> i.follow) infos;
+        }
+    | Seq rs ->
+        let infos = List.map go rs in
+        (* Nullable factors let firsts/lasts flow through them, and make
+           follow links jump over them: fold left keeping the set of "open
+           lasts" still awaiting a first to their right. *)
+        let rec firsts = function
+          | [] -> []
+          | i :: rest -> i.first @ if i.nullable then firsts rest else []
+        in
+        let rec lasts = function
+          | [] -> []
+          | i :: rest -> i.last @ if i.nullable then lasts rest else []
+        in
+        let follow, _open_lasts =
+          List.fold_left
+            (fun (acc, open_lasts) i ->
+              let links =
+                List.concat_map (fun p -> List.map (fun q -> (p, q)) i.first) open_lasts
+              in
+              (links @ acc, i.last @ if i.nullable then open_lasts else []))
+            ([], []) infos
+        in
+        {
+          nullable = List.for_all (fun i -> i.nullable) infos;
+          first = firsts infos;
+          last = lasts (List.rev infos);
+          follow = follow @ List.concat_map (fun i -> i.follow) infos;
+        }
+    | Star body ->
+        let i = go body in
+        {
+          nullable = true;
+          first = i.first;
+          last = i.last;
+          follow = i.follow @ List.concat_map (fun p -> List.map (fun q -> (p, q)) i.first) i.last;
+        }
+  in
+  let info = go r in
+  let syms = Array.of_list (List.rev !positions) in
+  let sym_of p = syms.(p - 1) in
+  let n = !next_pos + 1 in
+  let trans =
+    List.map (fun p -> (0, sym_of p, p)) info.first
+    @ List.map (fun (p, q) -> (p, sym_of q, q)) info.follow
+  in
+  let finals = (if info.nullable then [ 0 ] else []) @ info.last in
+  Nfa.make ~n_states:n ~starts:[ 0 ] ~finals ~trans
+
+let to_nfa_antimirov r =
+  let module Antimirov = Gps_regex.Antimirov in
+  let module Rmap = Map.Make (Regex) in
+  let terms = Antimirov.terms r in
+  let ids = List.fold_left (fun (m, i) t -> (Rmap.add t i m, i + 1)) (Rmap.empty, 0) terms in
+  let ids = fst ids in
+  let sigma = Regex.alphabet r in
+  let trans =
+    List.concat_map
+      (fun t ->
+        let src = Rmap.find t ids in
+        List.concat_map
+          (fun a -> List.map (fun d -> (src, a, Rmap.find d ids)) (Antimirov.partial a t))
+          sigma)
+      terms
+  in
+  let finals =
+    List.filter_map (fun t -> if Regex.nullable t then Some (Rmap.find t ids) else None) terms
+  in
+  Nfa.make ~n_states:(List.length terms) ~starts:[ Rmap.find r ids ] ~finals ~trans
+
+let to_dfa ?alphabet r = Dfa.minimize (Dfa.determinize ?alphabet (to_nfa r))
+
+let common_alphabet a b =
+  List.sort_uniq String.compare (Regex.alphabet a @ Regex.alphabet b)
+
+let equal_lang a b =
+  let sigma = common_alphabet a b in
+  Dfa.equal_lang (to_dfa ~alphabet:sigma a) (to_dfa ~alphabet:sigma b)
+
+let included a b =
+  let sigma = common_alphabet a b in
+  Dfa.included (to_dfa ~alphabet:sigma a) (to_dfa ~alphabet:sigma b)
+
+let distinguishing_word a b =
+  let sigma = common_alphabet a b in
+  Dfa.distinguishing_word (to_dfa ~alphabet:sigma a) (to_dfa ~alphabet:sigma b)

@@ -1,0 +1,24 @@
+(** Compilation of regular expressions to automata (Glushkov position
+    construction — ε-free by design, n+1 states for n symbol
+    occurrences). *)
+
+val to_nfa : Gps_regex.Regex.t -> Nfa.t
+(** State 0 is the start; state i > 0 corresponds to the i-th symbol
+    occurrence (left-to-right). *)
+
+val to_nfa_antimirov : Gps_regex.Regex.t -> Nfa.t
+(** The Antimirov (partial-derivative) automaton — an alternative
+    construction with at most [size r] states, typically smaller than
+    Glushkov's and never larger. States are the reachable partial-
+    derivative terms. *)
+
+val to_dfa : ?alphabet:string list -> Gps_regex.Regex.t -> Dfa.t
+(** [determinize (to_nfa r)], minimized. *)
+
+val equal_lang : Gps_regex.Regex.t -> Gps_regex.Regex.t -> bool
+(** Language equality of two expressions, decided over the union of their
+    alphabets. *)
+
+val included : Gps_regex.Regex.t -> Gps_regex.Regex.t -> bool
+
+val distinguishing_word : Gps_regex.Regex.t -> Gps_regex.Regex.t -> string list option

@@ -1,0 +1,358 @@
+type t = {
+  alphabet : string array;
+  n_states : int;
+  start : int;
+  finals : bool array;
+  delta : int array array;
+}
+
+module Sset = Set.Make (String)
+module Iset = Set.Make (Int)
+
+let sym_index t sym =
+  (* The alphabet is sorted: binary search. *)
+  let lo = ref 0 and hi = ref (Array.length t.alphabet) in
+  let found = ref (-1) in
+  while !lo < !hi && !found = -1 do
+    let mid = (!lo + !hi) / 2 in
+    let c = String.compare sym t.alphabet.(mid) in
+    if c = 0 then found := mid else if c < 0 then hi := mid else lo := mid + 1
+  done;
+  !found
+
+let determinize ?alphabet nfa =
+  let sigma =
+    match alphabet with
+    | Some syms -> Sset.elements (Sset.of_list (syms @ Nfa.symbols nfa))
+    | None -> Nfa.symbols nfa
+  in
+  let sigma = Array.of_list sigma in
+  let n_sym = Array.length sigma in
+  (* Subset states are canonical sorted int lists. *)
+  let ids = Hashtbl.create 64 in
+  let states = ref [] in
+  let count = ref 0 in
+  let intern subset =
+    match Hashtbl.find_opt ids subset with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add ids subset i;
+        states := subset :: !states;
+        i
+  in
+  let start_subset = List.sort_uniq compare (Nfa.starts nfa) in
+  let start = intern start_subset in
+  let delta_rows = ref [] in
+  let finals_rev = ref [] in
+  let q = Queue.create () in
+  Queue.add start_subset q;
+  let processed = Hashtbl.create 64 in
+  while not (Queue.is_empty q) do
+    let subset = Queue.pop q in
+    if not (Hashtbl.mem processed subset) then begin
+      Hashtbl.add processed subset ();
+      let row = Array.make n_sym (-1) in
+      Array.iteri
+        (fun k sym ->
+          let image = Nfa.step nfa subset sym in
+          let id = intern image in
+          if not (Hashtbl.mem processed image) then Queue.add image q;
+          row.(k) <- id)
+        sigma;
+      delta_rows := (Hashtbl.find ids subset, row) :: !delta_rows;
+      finals_rev :=
+        (Hashtbl.find ids subset, List.exists (fun s -> Nfa.is_final nfa s) subset) :: !finals_rev
+    end
+  done;
+  let n = !count in
+  let delta = Array.make n [||] in
+  List.iter (fun (i, row) -> delta.(i) <- row) !delta_rows;
+  let finals = Array.make n false in
+  List.iter (fun (i, f) -> finals.(i) <- f) !finals_rev;
+  { alphabet = sigma; n_states = n; start; finals; delta }
+
+let accepts t word =
+  let rec go s = function
+    | [] -> t.finals.(s)
+    | sym :: rest -> (
+        match sym_index t sym with -1 -> false | k -> go t.delta.(s).(k) rest)
+  in
+  go t.start word
+
+let complement t = { t with finals = Array.map not t.finals }
+
+(* Hopcroft's algorithm. Standard worklist of (block, symbol) splitters. *)
+let minimize t =
+  let n = t.n_states and n_sym = Array.length t.alphabet in
+  if n = 0 then t
+  else begin
+    (* Pre-compute inverse transitions: preimage.(sym).(state) = sources. *)
+    let preimage = Array.init n_sym (fun _ -> Array.make n []) in
+    for s = 0 to n - 1 do
+      for k = 0 to n_sym - 1 do
+        let d = t.delta.(s).(k) in
+        preimage.(k).(d) <- s :: preimage.(k).(d)
+      done
+    done;
+    let block_of = Array.make n 0 in
+    let blocks = ref [] in
+    let n_blocks = ref 0 in
+    let add_block members =
+      let id = !n_blocks in
+      incr n_blocks;
+      List.iter (fun s -> block_of.(s) <- id) members;
+      blocks := (id, ref members) :: !blocks;
+      id
+    in
+    let members_of id = !(List.assoc id !blocks) in
+    let set_members id m = List.assoc id !blocks := m in
+    let finals = List.filter (fun s -> t.finals.(s)) (List.init n Fun.id) in
+    let nonfinals = List.filter (fun s -> not t.finals.(s)) (List.init n Fun.id) in
+    let work = Queue.create () in
+    (match (finals, nonfinals) with
+    | [], _ | _, [] -> ignore (add_block (List.init n Fun.id))
+    | _ ->
+        let fid = add_block finals in
+        let nid = add_block nonfinals in
+        let smaller = if List.length finals <= List.length nonfinals then fid else nid in
+        for k = 0 to n_sym - 1 do
+          Queue.add (smaller, k) work
+        done);
+    while not (Queue.is_empty work) do
+      let splitter_id, k = Queue.pop work in
+      let splitter = Iset.of_list (members_of splitter_id) in
+      (* X = states leading into the splitter on symbol k. *)
+      let x =
+        Iset.fold (fun d acc -> List.fold_left (fun acc s -> Iset.add s acc) acc preimage.(k).(d))
+          splitter Iset.empty
+      in
+      if not (Iset.is_empty x) then begin
+        (* Group the affected blocks. *)
+        let touched = Hashtbl.create 8 in
+        Iset.iter
+          (fun s ->
+            let b = block_of.(s) in
+            Hashtbl.replace touched b ())
+          x;
+        Hashtbl.iter
+          (fun b () ->
+            let members = members_of b in
+            let inside, outside = List.partition (fun s -> Iset.mem s x) members in
+            if inside <> [] && outside <> [] then begin
+              (* Split b: keep the larger part under id b, make the smaller a
+                 fresh block, enqueue per Hopcroft's "smaller half" rule. *)
+              let small, large =
+                if List.length inside <= List.length outside then (inside, outside)
+                else (outside, inside)
+              in
+              set_members b large;
+              let fresh = add_block small in
+              for k' = 0 to n_sym - 1 do
+                Queue.add (fresh, k') work
+              done
+            end)
+          touched
+      end
+    done;
+    (* Build the quotient DFA; renumber blocks by first-member order for
+       determinism. *)
+    let order = Array.make !n_blocks (-1) in
+    let next = ref 0 in
+    for s = 0 to n - 1 do
+      let b = block_of.(s) in
+      if order.(b) = -1 then begin
+        order.(b) <- !next;
+        incr next
+      end
+    done;
+    let m = !next in
+    let delta = Array.make m [||] in
+    let finals' = Array.make m false in
+    for s = 0 to n - 1 do
+      let b = order.(block_of.(s)) in
+      if delta.(b) = [||] then begin
+        delta.(b) <- Array.map (fun d -> order.(block_of.(d))) t.delta.(s);
+        finals'.(b) <- t.finals.(s)
+      end
+    done;
+    {
+      alphabet = t.alphabet;
+      n_states = m;
+      start = order.(block_of.(t.start));
+      finals = finals';
+      delta;
+    }
+  end
+
+let to_nfa t =
+  let trans = ref [] in
+  for s = 0 to t.n_states - 1 do
+    Array.iteri (fun k d -> trans := (s, t.alphabet.(k), d) :: !trans) t.delta.(s)
+  done;
+  let finals = List.filter (fun s -> t.finals.(s)) (List.init t.n_states Fun.id) in
+  Nfa.trim (Nfa.make ~n_states:t.n_states ~starts:[ t.start ] ~finals ~trans:!trans)
+
+(* Brzozowski's double-reversal minimization: determinizing the reversal
+   of an automaton yields a minimal DFA for the reversed language, so
+   doing it twice minimizes. Kept alongside Hopcroft both as an
+   independent oracle for the test suite and for the minimization
+   ablation benchmark. [to_nfa] trims dead states, which preserves the
+   language. *)
+let minimize_brzozowski nfa =
+  let half = determinize (Nfa.reverse nfa) in
+  determinize (Nfa.reverse (to_nfa half))
+
+let product ~meet a b =
+  let sigma = Sset.elements (Sset.union (Sset.of_list (Array.to_list a.alphabet))
+                               (Sset.of_list (Array.to_list b.alphabet))) in
+  let sigma = Array.of_list sigma in
+  let n_sym = Array.length sigma in
+  (* A side without the symbol goes to a virtual sink: encode each side's
+     state as Some s | None (sink). *)
+  let ids = Hashtbl.create 64 in
+  let rows = ref [] in
+  let finals = ref [] in
+  let count = ref 0 in
+  let rec intern (pa, pb) =
+    match Hashtbl.find_opt ids (pa, pb) with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add ids (pa, pb) i;
+        let acc_a = match pa with Some s -> a.finals.(s) | None -> false in
+        let acc_b = match pb with Some s -> b.finals.(s) | None -> false in
+        finals := (i, meet acc_a acc_b) :: !finals;
+        let row = Array.make n_sym (-1) in
+        Array.iteri
+          (fun k sym ->
+            let next side t p =
+              ignore side;
+              match p with
+              | None -> None
+              | Some s -> ( match sym_index t sym with -1 -> None | j -> Some t.delta.(s).(j))
+            in
+            row.(k) <- intern (next `A a pa, next `B b pb))
+          sigma;
+        rows := (i, row) :: !rows;
+        i
+  in
+  let start = intern (Some a.start, Some b.start) in
+  let n = !count in
+  let delta = Array.make n [||] in
+  List.iter (fun (i, row) -> delta.(i) <- row) !rows;
+  let finals_arr = Array.make n false in
+  List.iter (fun (i, f) -> finals_arr.(i) <- f) !finals;
+  { alphabet = sigma; n_states = n; start; finals = finals_arr; delta }
+
+let inter = product ~meet:( && )
+let union = product ~meet:( || )
+
+let reachable_finals_exist t =
+  let seen = Array.make t.n_states false in
+  let rec go s =
+    if seen.(s) then false
+    else begin
+      seen.(s) <- true;
+      t.finals.(s) || Array.exists go t.delta.(s)
+    end
+  in
+  t.n_states > 0 && go t.start
+
+let is_empty_lang t = not (reachable_finals_exist t)
+
+(* Complete a DFA over a wider alphabet: unknown symbols lead every state
+   (including the fresh one) to a new non-accepting sink. *)
+let extend_alphabet t sigma =
+  let union =
+    Sset.elements (Sset.union (Sset.of_list (Array.to_list t.alphabet)) (Sset.of_list sigma))
+  in
+  if List.length union = Array.length t.alphabet then t
+  else begin
+    let alphabet = Array.of_list union in
+    let n_sym = Array.length alphabet in
+    let sink = t.n_states in
+    let row s =
+      Array.map
+        (fun sym -> match sym_index t sym with -1 -> sink | k -> t.delta.(s).(k))
+        alphabet
+    in
+    {
+      alphabet;
+      n_states = t.n_states + 1;
+      start = t.start;
+      finals = Array.append t.finals [| false |];
+      delta = Array.init (t.n_states + 1) (fun s -> if s = sink then Array.make n_sym sink else row s);
+    }
+  end
+
+(* Complementation is alphabet-relative, so inclusion and equality must
+   first complete both sides over the union alphabet: a word on a symbol
+   known only to one side is a perfectly good counterexample. *)
+let on_common_alphabet f a b =
+  let sigma_a = Array.to_list a.alphabet and sigma_b = Array.to_list b.alphabet in
+  f (extend_alphabet a sigma_b) (extend_alphabet b sigma_a)
+
+let included = on_common_alphabet (fun a b -> is_empty_lang (inter a (complement b)))
+
+let equal_lang a b = included a b && included b a
+
+let distinguishing_word a b =
+  let a, b = on_common_alphabet (fun a b -> (a, b)) a b in
+  let probe x y =
+    (* BFS for a shortest accepted word of x ∩ ¬y. *)
+    let p = inter x (complement y) in
+    if is_empty_lang p then None
+    else begin
+      let seen = Array.make p.n_states false in
+      let q = Queue.create () in
+      seen.(p.start) <- true;
+      Queue.add (p.start, []) q;
+      let rec go () =
+        if Queue.is_empty q then None
+        else
+          let s, rev_word = Queue.pop q in
+          if p.finals.(s) then Some (List.rev rev_word)
+          else begin
+            Array.iteri
+              (fun k d ->
+                if not seen.(d) then begin
+                  seen.(d) <- true;
+                  Queue.add (d, p.alphabet.(k) :: rev_word) q
+                end)
+              p.delta.(s);
+            go ()
+          end
+      in
+      go ()
+    end
+  in
+  match probe a b with Some w -> Some w | None -> probe b a
+
+let n_live_states t =
+  (* Backward reachability from finals. *)
+  let pre = Array.make t.n_states [] in
+  for s = 0 to t.n_states - 1 do
+    Array.iter (fun d -> pre.(d) <- s :: pre.(d)) t.delta.(s)
+  done;
+  let live = Array.make t.n_states false in
+  let rec go s =
+    if not live.(s) then begin
+      live.(s) <- true;
+      List.iter go pre.(s)
+    end
+  in
+  Array.iteri (fun s f -> if f then go s) t.finals;
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 live
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>dfa: %d states over {%s}, start %d" t.n_states
+    (String.concat "," (Array.to_list t.alphabet))
+    t.start;
+  for s = 0 to t.n_states - 1 do
+    Format.fprintf ppf "@,%d%s:" s (if t.finals.(s) then " (final)" else "");
+    Array.iteri (fun k d -> Format.fprintf ppf " %s->%d" t.alphabet.(k) d) t.delta.(s)
+  done;
+  Format.fprintf ppf "@]"

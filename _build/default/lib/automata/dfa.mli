@@ -1,0 +1,69 @@
+(** Deterministic finite automata, complete over an explicit alphabet.
+
+    Completeness (every state has a transition on every alphabet symbol,
+    via a sink state if necessary) makes complementation a final-flip and
+    lets Hopcroft's algorithm run without special cases. *)
+
+type t = {
+  alphabet : string array;     (** sorted, duplicate-free *)
+  n_states : int;
+  start : int;
+  finals : bool array;
+  delta : int array array;     (** [delta.(state).(symbol_index)] *)
+}
+
+val determinize : ?alphabet:string list -> Nfa.t -> t
+(** Subset construction. The alphabet defaults to the NFA's occurring
+    symbols; pass a larger one when the DFA must be complete over a wider
+    label set (e.g. a graph's full alphabet, for complementation). *)
+
+val minimize : t -> t
+(** Hopcroft's partition-refinement algorithm; the result is the unique
+    minimal complete DFA (up to isomorphism) for the same language over
+    the same alphabet. *)
+
+val minimize_brzozowski : Nfa.t -> t
+(** Brzozowski's double-reversal minimization (determinize the reversal,
+    twice). Accepts an NFA directly; the result is minimal over the NFA's
+    occurring alphabet. Kept as an independent oracle for the test suite
+    and for the minimization ablation benchmark — Hopcroft
+    ({!minimize}) is the production path. *)
+
+val accepts : t -> string list -> bool
+(** Symbols outside the alphabet make the word rejected. *)
+
+val complement : t -> t
+(** Complement {e relative to the automaton's own alphabet}: words using
+    other symbols belong to neither language. Use {!extend_alphabet}
+    first when a wider universe is intended. *)
+
+val extend_alphabet : t -> string list -> t
+(** Complete the DFA over the union of its alphabet and the given symbols;
+    new symbols send every state to a fresh rejecting sink. The language
+    is unchanged. *)
+
+val product : meet:(bool -> bool -> bool) -> t -> t -> t
+(** Pairing construction over the union of both alphabets; [meet]
+    combines acceptance ([(&&)] for intersection, [(||)] for union).
+    Symbols absent from one automaton's alphabet lead that side to a
+    sink. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+
+val is_empty_lang : t -> bool
+val included : t -> t -> bool
+(** [included a b] iff [L(a) ⊆ L(b)]. *)
+
+val equal_lang : t -> t -> bool
+
+val distinguishing_word : t -> t -> string list option
+(** A word accepted by exactly one of the two, if the languages differ. *)
+
+val to_nfa : t -> Nfa.t
+(** Forgetful embedding; sink states and their transitions are dropped. *)
+
+val n_live_states : t -> int
+(** States from which a final state is reachable — i.e. not sinks. *)
+
+val pp : Format.formatter -> t -> unit

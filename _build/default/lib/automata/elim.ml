@@ -1,0 +1,55 @@
+module Regex = Gps_regex.Regex
+
+(* Generalized NFA: a transition matrix of regexes between states
+   0..n+1 where n is the source automaton size; state n is the unique
+   start, n+1 the unique final. *)
+let to_regex nfa =
+  let nfa = Nfa.trim nfa in
+  let n = Nfa.n_states nfa in
+  if n = 0 then Regex.empty
+  else begin
+    let start = n and final = n + 1 in
+    let size = n + 2 in
+    let mat = Array.make_matrix size size Regex.empty in
+    let add i j r = mat.(i).(j) <- Regex.alt [ mat.(i).(j); r ] in
+    List.iter (fun (s, sym, d) -> add s d (Regex.sym sym)) (Nfa.transitions nfa);
+    List.iter (fun s -> add start s Regex.epsilon) (Nfa.starts nfa);
+    List.iter (fun s -> add s final Regex.epsilon) (Nfa.finals nfa);
+    let alive = Array.make size true in
+    (* Eliminate interior states cheapest-first: fewer incident non-empty
+       entries means fewer regex products created. *)
+    let cost k =
+      let c = ref 0 in
+      for i = 0 to size - 1 do
+        if alive.(i) then begin
+          if not (Regex.is_empty_lang mat.(i).(k)) then incr c;
+          if not (Regex.is_empty_lang mat.(k).(i)) then incr c
+        end
+      done;
+      !c
+    in
+    let remaining = ref (List.init n Fun.id) in
+    while !remaining <> [] do
+      let k =
+        List.fold_left
+          (fun best s -> match best with
+            | None -> Some (s, cost s)
+            | Some (_, c) ->
+                let c' = cost s in
+                if c' < c then Some (s, c') else best)
+          None !remaining
+        |> Option.get |> fst
+      in
+      remaining := List.filter (fun s -> s <> k) !remaining;
+      let loop = Regex.star mat.(k).(k) in
+      for i = 0 to size - 1 do
+        if alive.(i) && i <> k && not (Regex.is_empty_lang mat.(i).(k)) then
+          for j = 0 to size - 1 do
+            if alive.(j) && j <> k && not (Regex.is_empty_lang mat.(k).(j)) then
+              add i j (Regex.seq [ mat.(i).(k); loop; mat.(k).(j) ])
+          done
+      done;
+      alive.(k) <- false
+    done;
+    mat.(start).(final)
+  end

@@ -1,0 +1,12 @@
+(** Conversion of automata back to regular expressions (Brzozowski–
+    McCluskey state elimination).
+
+    GPS shows the user the learned query as an expression, not an
+    automaton, so the learner's output automaton is converted here. The
+    result is equivalent to the input by construction; the smart
+    constructors of {!Gps_regex.Regex} keep it reasonably small, and
+    elimination order (fewest incident transitions first) helps further. *)
+
+val to_regex : Nfa.t -> Gps_regex.Regex.t
+(** An expression denoting exactly the NFA's language. Returns
+    [Regex.empty] for the empty language. *)

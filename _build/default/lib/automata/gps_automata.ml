@@ -1,0 +1,12 @@
+(** Finite automata substrate: ε-free NFAs, complete DFAs with the full
+    classical toolbox (subset construction, Hopcroft minimization, boolean
+    operations, inclusion/equivalence with witnesses), Glushkov compilation
+    from regular expressions, state elimination back to expressions, and
+    prefix-tree acceptors for the learner. *)
+
+module Nfa = Nfa
+module Dfa = Dfa
+module Compile = Compile
+module Elim = Elim
+module Simplify = Simplify
+module Pta = Pta

@@ -1,0 +1,183 @@
+type state = int
+
+module Iset = Set.Make (Int)
+module Sset = Set.Make (String)
+
+type t = {
+  n_states : int;
+  starts : Iset.t;
+  finals : Iset.t;
+  delta : (string * state) list array;  (* sorted, deduped *)
+}
+
+let check_state n s kind =
+  if s < 0 || s >= n then
+    invalid_arg (Printf.sprintf "Nfa.make: %s state %d out of range [0,%d)" kind s n)
+
+let make ~n_states ~starts ~finals ~trans =
+  List.iter (fun s -> check_state n_states s "start") starts;
+  List.iter (fun s -> check_state n_states s "final") finals;
+  let delta = Array.make n_states [] in
+  List.iter
+    (fun (src, sym, dst) ->
+      check_state n_states src "source";
+      check_state n_states dst "target";
+      delta.(src) <- (sym, dst) :: delta.(src))
+    trans;
+  let delta = Array.map (List.sort_uniq compare) delta in
+  { n_states; starts = Iset.of_list starts; finals = Iset.of_list finals; delta }
+
+let n_states a = a.n_states
+let n_trans a = Array.fold_left (fun acc l -> acc + List.length l) 0 a.delta
+let starts a = Iset.elements a.starts
+let finals a = Iset.elements a.finals
+let is_start a s = Iset.mem s a.starts
+let is_final a s = Iset.mem s a.finals
+
+let delta a s =
+  check_state a.n_states s "query";
+  a.delta.(s)
+
+let delta_sym a s sym =
+  List.filter_map (fun (sym', d) -> if String.equal sym sym' then Some d else None) (delta a s)
+
+let transitions a =
+  let acc = ref [] in
+  for s = a.n_states - 1 downto 0 do
+    List.iter (fun (sym, d) -> acc := (s, sym, d) :: !acc) (List.rev a.delta.(s))
+  done;
+  !acc
+
+let symbols a =
+  Sset.elements
+    (Array.fold_left
+       (fun acc l -> List.fold_left (fun acc (sym, _) -> Sset.add sym acc) acc l)
+       Sset.empty a.delta)
+
+let step a states sym =
+  let image =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc d -> Iset.add d acc) acc (delta_sym a s sym))
+      Iset.empty states
+  in
+  Iset.elements image
+
+let accepts a word =
+  let final_set = List.fold_left (fun acc w -> step a acc w) (starts a) word in
+  List.exists (fun s -> is_final a s) final_set
+
+let reverse a =
+  make ~n_states:a.n_states ~starts:(finals a) ~finals:(starts a)
+    ~trans:(List.map (fun (s, sym, d) -> (d, sym, s)) (transitions a))
+
+let union a b =
+  let shift = a.n_states in
+  make
+    ~n_states:(a.n_states + b.n_states)
+    ~starts:(starts a @ List.map (( + ) shift) (starts b))
+    ~finals:(finals a @ List.map (( + ) shift) (finals b))
+    ~trans:
+      (transitions a
+      @ List.map (fun (s, sym, d) -> (s + shift, sym, d + shift)) (transitions b))
+
+let closure seed next =
+  let visited = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> ()
+    | s :: rest ->
+        if Hashtbl.mem visited s then go rest
+        else begin
+          Hashtbl.add visited s ();
+          go (next s @ rest)
+        end
+  in
+  go seed;
+  visited
+
+let trim a =
+  let fwd = closure (starts a) (fun s -> List.map snd a.delta.(s)) in
+  let rev = reverse a in
+  let bwd = closure (finals a) (fun s -> List.map snd rev.delta.(s)) in
+  let keep s = Hashtbl.mem fwd s && Hashtbl.mem bwd s in
+  let remap = Array.make (max a.n_states 1) (-1) in
+  let count = ref 0 in
+  for s = 0 to a.n_states - 1 do
+    if keep s then begin
+      remap.(s) <- !count;
+      incr count
+    end
+  done;
+  let map_states l = List.filter_map (fun s -> if keep s then Some remap.(s) else None) l in
+  make ~n_states:!count ~starts:(map_states (starts a)) ~finals:(map_states (finals a))
+    ~trans:
+      (List.filter_map
+         (fun (s, sym, d) -> if keep s && keep d then Some (remap.(s), sym, remap.(d)) else None)
+         (transitions a))
+
+let is_empty_lang a = n_states (trim a) = 0
+
+let quotient a ~partition =
+  if Array.length partition <> a.n_states then
+    invalid_arg "Nfa.quotient: partition size mismatch";
+  let blocks = Array.fold_left (fun acc b -> max acc (b + 1)) 0 partition in
+  make ~n_states:blocks
+    ~starts:(List.map (fun s -> partition.(s)) (starts a))
+    ~finals:(List.map (fun s -> partition.(s)) (finals a))
+    ~trans:(List.map (fun (s, sym, d) -> (partition.(s), sym, partition.(d))) (transitions a))
+
+let shortest_accepted a =
+  (* BFS over subset states would be exponential; BFS over single states
+     suffices: a shortest accepted word is a shortest start-to-final walk. *)
+  let q = Queue.create () in
+  let seen = Array.make (max a.n_states 1) false in
+  List.iter
+    (fun s ->
+      seen.(s) <- true;
+      Queue.add (s, []) q)
+    (starts a);
+  let rec go () =
+    if Queue.is_empty q then None
+    else
+      let s, rev_word = Queue.pop q in
+      if is_final a s then Some (List.rev rev_word)
+      else begin
+        List.iter
+          (fun (sym, d) ->
+            if not seen.(d) then begin
+              seen.(d) <- true;
+              Queue.add (d, sym :: rev_word) q
+            end)
+          a.delta.(s);
+        go ()
+      end
+  in
+  go ()
+
+let enumerate a ~max_len =
+  (* BFS over (word, subset) pairs, deduplicating subsets per word prefix
+     is unnecessary: distinct words are distinct states of the product of
+     Σ* with the subset automaton; we just cap by length. *)
+  let q = Queue.create () in
+  Queue.add ([], starts a) q;
+  let out = ref [] in
+  while not (Queue.is_empty q) do
+    let rev_word, states = Queue.pop q in
+    if List.exists (fun s -> is_final a s) states then out := List.rev rev_word :: !out;
+    if List.length rev_word < max_len then begin
+      let syms =
+        Sset.elements
+          (List.fold_left
+             (fun acc s -> List.fold_left (fun acc (sym, _) -> Sset.add sym acc) acc a.delta.(s))
+             Sset.empty states)
+      in
+      List.iter (fun sym -> Queue.add (sym :: rev_word, step a states sym) q) syms
+    end
+  done;
+  List.rev !out
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>nfa: %d states, starts {%s}, finals {%s}" a.n_states
+    (String.concat "," (List.map string_of_int (starts a)))
+    (String.concat "," (List.map string_of_int (finals a)));
+  List.iter (fun (s, sym, d) -> Format.fprintf ppf "@,%d -%s-> %d" s sym d) (transitions a);
+  Format.fprintf ppf "@]"

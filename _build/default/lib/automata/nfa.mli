@@ -1,0 +1,71 @@
+(** Nondeterministic finite automata over label alphabets (ε-free).
+
+    States are dense ints [0 .. n_states-1]; symbols are label names.
+    ε-transitions never appear: the compiler from regular expressions uses
+    the Glushkov position construction, and every other producer (prefix
+    tree acceptors, quotients) is ε-free by nature. *)
+
+type state = int
+
+type t
+
+val make :
+  n_states:int ->
+  starts:state list ->
+  finals:state list ->
+  trans:(state * string * state) list ->
+  t
+(** @raise Invalid_argument if any state is out of range. Duplicate
+    transitions are collapsed. *)
+
+(** {1 Accessors} *)
+
+val n_states : t -> int
+val n_trans : t -> int
+val starts : t -> state list
+val finals : t -> state list
+val is_start : t -> state -> bool
+val is_final : t -> state -> bool
+
+val delta : t -> state -> (string * state) list
+(** Outgoing transitions of a state, sorted by symbol then target. *)
+
+val delta_sym : t -> state -> string -> state list
+val transitions : t -> (state * string * state) list
+val symbols : t -> string list
+(** Symbols occurring on some transition, sorted. *)
+
+(** {1 Language operations} *)
+
+val accepts : t -> string list -> bool
+
+val step : t -> state list -> string -> state list
+(** Subset image of a state set under one symbol. *)
+
+val reverse : t -> t
+(** Language reversal: flip transitions, swap starts and finals. *)
+
+val union : t -> t -> t
+(** Disjoint union: accepts [L(a) ∪ L(b)]; states of [b] are shifted. *)
+
+val trim : t -> t
+(** Restrict to states both reachable from a start and co-reachable to a
+    final, renumbering densely (preserving relative order). The empty
+    language yields an automaton with 0 states. *)
+
+val is_empty_lang : t -> bool
+(** Whether the accepted language is ∅. *)
+
+val quotient : t -> partition:int array -> t
+(** Merge states according to [partition] (state -> block id; block ids
+    must be dense [0 .. max]). Starts/finals/transitions are unioned per
+    block. The result accepts a superset of the original language. *)
+
+val shortest_accepted : t -> string list option
+(** A shortest accepted word, if the language is non-empty. *)
+
+val enumerate : t -> max_len:int -> string list list
+(** All accepted words of length at most [max_len], shortest first, then
+    lexicographic; includes the empty word when accepted. *)
+
+val pp : Format.formatter -> t -> unit

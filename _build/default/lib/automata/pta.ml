@@ -1,0 +1,57 @@
+type t = { nfa : Nfa.t; prefix : string list array }
+
+module Smap = Map.Make (String)
+
+type tree = { mutable children : tree Smap.t; mutable accept : bool; mutable id : int }
+
+let build wordlist =
+  if wordlist = [] then invalid_arg "Pta.build: empty word list";
+  let fresh () = { children = Smap.empty; accept = false; id = -1 } in
+  let root = fresh () in
+  let insert word =
+    let rec go node = function
+      | [] -> node.accept <- true
+      | sym :: rest ->
+          let child =
+            match Smap.find_opt sym node.children with
+            | Some c -> c
+            | None ->
+                let c = fresh () in
+                node.children <- Smap.add sym c node.children;
+                c
+          in
+          go child rest
+    in
+    go root word
+  in
+  List.iter insert wordlist;
+  (* Breadth-first numbering (children in symbol order via Smap.iter). *)
+  let q = Queue.create () in
+  Queue.add (root, []) q;
+  let count = ref 0 in
+  let finals = ref [] in
+  let prefixes = ref [] in
+  let order = ref [] in
+  while not (Queue.is_empty q) do
+    let node, rev_prefix = Queue.pop q in
+    node.id <- !count;
+    incr count;
+    order := node :: !order;
+    prefixes := List.rev rev_prefix :: !prefixes;
+    if node.accept then finals := node.id :: !finals;
+    Smap.iter (fun sym child -> Queue.add (child, sym :: rev_prefix) q) node.children
+  done;
+  let trans = ref [] in
+  List.iter
+    (fun node -> Smap.iter (fun sym child -> trans := (node.id, sym, child.id) :: !trans) node.children)
+    !order;
+  let nfa = Nfa.make ~n_states:!count ~starts:[ 0 ] ~finals:!finals ~trans:!trans in
+  { nfa; prefix = Array.of_list (List.rev !prefixes) }
+
+let n_states t = Nfa.n_states t.nfa
+
+let words t =
+  List.sort compare
+    (List.filter_map
+       (fun s -> if Nfa.is_final t.nfa s then Some t.prefix.(s) else None)
+       (List.init (n_states t) Fun.id))

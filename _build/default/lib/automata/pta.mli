@@ -1,0 +1,24 @@
+(** Prefix tree acceptors.
+
+    The PTA of a finite word set is the tree-shaped DFA accepting exactly
+    that set. It is the starting hypothesis of the paper's learning step:
+    the learner builds the PTA of the validated witness paths, then
+    generalizes it by state merging.
+
+    States are numbered in breadth-first order with per-node children
+    visited in symbol order, so state 0 is the root (ε) and lower ids are
+    shorter prefixes — exactly the merge order RPNI-style learners need. *)
+
+type t = {
+  nfa : Nfa.t;                    (** the tree automaton (deterministic) *)
+  prefix : string list array;     (** state -> the prefix it represents *)
+}
+
+val build : string list list -> t
+(** @raise Invalid_argument on an empty word list (the PTA of ∅ has no
+    states and nothing can be learned from it). Duplicate words are
+    fine. *)
+
+val n_states : t -> int
+val words : t -> string list list
+(** The accepted words, recovered from the tree (sorted). *)

@@ -1,0 +1,54 @@
+module Regex = Gps_regex.Regex
+
+let included a b = Compile.included a b
+
+(* One bottom-up rewriting pass. *)
+let rec pass (r : Regex.t) : Regex.t =
+  match r with
+  | Empty | Epsilon | Sym _ -> r
+  | Alt members ->
+      let members = List.map pass members in
+      (* drop members included in another member (keep the later of two
+         equivalent ones arbitrarily — compare by index to avoid dropping
+         both) *)
+      let keep i m =
+        not
+          (List.exists2
+             (fun j m' -> j <> i && included m m' && ((not (included m' m)) || j < i))
+             (List.init (List.length members) Fun.id)
+             members)
+      in
+      Regex.alt (List.filteri (fun i m -> keep i m) members)
+  | Seq members ->
+      let members = List.map pass members in
+      (* collapse adjacent equal stars: r*.r* = r*; and r*.r = r.r* is
+         left alone (no size win) *)
+      let rec collapse = function
+        | (Regex.Star a as s) :: Regex.Star b :: rest when Regex.equal a b ->
+            collapse (s :: rest)
+        | m :: rest -> m :: collapse rest
+        | [] -> []
+      in
+      Regex.seq (collapse members)
+  | Star body -> (
+      let body = pass body in
+      (* (x* + y + ...)* = (x + y + ...)*: unwrap starred members of a
+         starred alternation *)
+      let unwrap (m : Regex.t) = match m with Star inner -> inner | _ -> m in
+      match body with
+      | Alt members -> Regex.star (Regex.alt (List.map unwrap members))
+      | _ -> Regex.star body)
+
+let simplify r =
+  let rec fix r budget =
+    if budget = 0 then r
+    else
+      let r' = pass r in
+      if Regex.equal r' r then r else fix r' (budget - 1)
+  in
+  let candidate = fix r 8 in
+  (* guard: every rewrite above is language-preserving by construction,
+     but the subsumption logic is subtle enough that we verify and fall
+     back rather than ever ship a wrong simplification *)
+  if Regex.size candidate <= Regex.size r && Compile.equal_lang candidate r then candidate
+  else r

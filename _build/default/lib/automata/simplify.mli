@@ -1,0 +1,21 @@
+(** Language-preserving simplification of regular expressions.
+
+    State elimination ({!Elim}) can produce verbose expressions; GPS shows
+    queries to non-expert users, so conciseness matters. On top of the
+    purely syntactic normal form of {!Gps_regex.Regex}'s smart
+    constructors, this pass applies {e semantic} rewrites backed by
+    automata decision procedures:
+
+    - alternation members subsumed by another member are dropped
+      ([a + a.b* .a? + (a+b)* = (a+b)*] when inclusion holds);
+    - [r*.r*] and [r.r*.r*]-style adjacent stars collapse;
+    - [(a* + b)*] rewrites to [(a+b)*];
+    - a starred body is replaced by the union of its alternation members'
+      bodies when that preserves the language.
+
+    Every rewrite is verified: the result is checked equivalent to the
+    input (cheap at learned-query sizes), so the function is total and
+    safe by construction. *)
+
+val simplify : Gps_regex.Regex.t -> Gps_regex.Regex.t
+(** Equivalent to the input and never larger ({!Gps_regex.Regex.size}). *)

@@ -1,0 +1,1 @@
+lib/graph/gps_graph.ml: Codec Csr Datasets Digraph Dot Edit Generators Json Neighborhood Prng Reach Scc Stats Store Symtab Traverse Vec Walks

@@ -1,0 +1,1 @@
+lib/graph/codec.ml: Buffer Digraph List Printf String

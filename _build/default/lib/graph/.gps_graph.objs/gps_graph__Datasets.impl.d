@@ -1,0 +1,1 @@
+lib/graph/datasets.ml: Codec Digraph

@@ -1,0 +1,1 @@
+lib/graph/datasets.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Format Fun Hashtbl List Printf Symtab Vec

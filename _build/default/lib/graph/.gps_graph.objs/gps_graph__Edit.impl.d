@@ -1,0 +1,1 @@
+lib/graph/edit.ml: Array Digraph List

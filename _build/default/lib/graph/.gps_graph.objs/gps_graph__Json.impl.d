@@ -1,0 +1,1 @@
+lib/graph/json.ml: Buffer Char Digraph Float List Printf String

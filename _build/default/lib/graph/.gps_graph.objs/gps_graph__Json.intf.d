@@ -1,0 +1,1 @@
+lib/graph/json.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/neighborhood.ml: Array Digraph Int List Set Traverse

@@ -1,0 +1,1 @@
+lib/graph/stats.ml: Digraph Format Hashtbl List Option Scc Traverse

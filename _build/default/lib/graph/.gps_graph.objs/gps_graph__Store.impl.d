@@ -1,0 +1,1 @@
+lib/graph/store.ml: Digraph List Option Printf String Sys

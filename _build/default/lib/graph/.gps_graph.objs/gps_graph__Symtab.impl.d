@@ -1,0 +1,1 @@
+lib/graph/symtab.ml: Hashtbl Printf Vec

@@ -1,0 +1,1 @@
+lib/graph/traverse.ml: Array Digraph Int List Queue Set

@@ -1,0 +1,1 @@
+lib/graph/walks.ml: Array Digraph Format Int List Queue Set

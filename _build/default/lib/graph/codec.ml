@@ -1,0 +1,56 @@
+exception Parse_error of int * string
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+let of_string text =
+  let g = Digraph.create () in
+  let handle lineno line =
+    match tokens (strip_comment line) with
+    | [] -> ()
+    | [ "node"; name ] -> ignore (Digraph.add_node g name)
+    | [ src; label; dst ] -> Digraph.link g src label dst
+    | _ ->
+        raise
+          (Parse_error (lineno, Printf.sprintf "expected 'src label dst' or 'node name': %S" line))
+  in
+  List.iteri (fun i line -> handle (i + 1) line) (String.split_on_char '\n' text);
+  g
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Digraph.iter_nodes
+    (fun v ->
+      if Digraph.out_degree g v = 0 && Digraph.in_degree g v = 0 then
+        Buffer.add_string buf (Printf.sprintf "node %s\n" (Digraph.node_name g v)))
+    g;
+  Digraph.iter_edges
+    (fun { Digraph.src; lbl; dst } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s\n" (Digraph.node_name g src) (Digraph.label_name g lbl)
+           (Digraph.node_name g dst)))
+    g;
+  Buffer.contents buf
+
+let of_edges triples =
+  let g = Digraph.create () in
+  List.iter (fun (src, label, dst) -> Digraph.link g src label dst) triples;
+  g
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+let save path g =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc

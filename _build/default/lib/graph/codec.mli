@@ -1,0 +1,28 @@
+(** Text serialization of graph databases.
+
+    The format is a plain edge list, one edge per line:
+    {v
+    # comment
+    N1 tram N4
+    N4 cinema C1
+    node N9            # declares an isolated node
+    v}
+    Whitespace-separated; [#] starts a comment; blank lines are ignored;
+    a [node NAME] line declares a node with no edges. Names may contain any
+    non-whitespace characters. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val of_string : string -> Digraph.t
+(** @raise Parse_error on malformed input. *)
+
+val to_string : Digraph.t -> string
+
+val of_edges : (string * string * string) list -> Digraph.t
+(** Builds a graph from [(src, label, dst)] triples. *)
+
+val load : string -> Digraph.t
+(** Reads the file at the path. @raise Sys_error, Parse_error. *)
+
+val save : string -> Digraph.t -> unit

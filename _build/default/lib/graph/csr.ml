@@ -1,0 +1,86 @@
+type t = {
+  n_nodes : int;
+  n_edges : int;
+  n_labels : int;
+  out_offsets : int array;  (* length n_nodes + 1 *)
+  out_labels : int array;   (* length n_edges, parallel with out_targets *)
+  out_targets : int array;
+  in_offsets : int array;
+  in_labels : int array;
+  in_sources : int array;
+}
+
+let freeze g =
+  let n = Digraph.n_nodes g in
+  let m = Digraph.n_edges g in
+  let out_offsets = Array.make (n + 1) 0 in
+  let in_offsets = Array.make (n + 1) 0 in
+  Digraph.iter_edges
+    (fun e ->
+      out_offsets.(e.Digraph.src + 1) <- out_offsets.(e.Digraph.src + 1) + 1;
+      in_offsets.(e.Digraph.dst + 1) <- in_offsets.(e.Digraph.dst + 1) + 1)
+    g;
+  for i = 1 to n do
+    out_offsets.(i) <- out_offsets.(i) + out_offsets.(i - 1);
+    in_offsets.(i) <- in_offsets.(i) + in_offsets.(i - 1)
+  done;
+  let out_labels = Array.make m 0 and out_targets = Array.make m 0 in
+  let in_labels = Array.make m 0 and in_sources = Array.make m 0 in
+  let out_cursor = Array.copy out_offsets and in_cursor = Array.copy in_offsets in
+  Digraph.iter_edges
+    (fun e ->
+      let o = out_cursor.(e.Digraph.src) in
+      out_cursor.(e.Digraph.src) <- o + 1;
+      out_labels.(o) <- e.Digraph.lbl;
+      out_targets.(o) <- e.Digraph.dst;
+      let i = in_cursor.(e.Digraph.dst) in
+      in_cursor.(e.Digraph.dst) <- i + 1;
+      in_labels.(i) <- e.Digraph.lbl;
+      in_sources.(i) <- e.Digraph.src)
+    g;
+  {
+    n_nodes = n;
+    n_edges = m;
+    n_labels = Digraph.n_labels g;
+    out_offsets;
+    out_labels;
+    out_targets;
+    in_offsets;
+    in_labels;
+    in_sources;
+  }
+
+let n_nodes t = t.n_nodes
+let n_edges t = t.n_edges
+let n_labels t = t.n_labels
+
+let check t v name =
+  if v < 0 || v >= t.n_nodes then invalid_arg (Printf.sprintf "Csr.%s: node %d out of range" name v)
+
+let iter_out t v f =
+  check t v "iter_out";
+  for i = t.out_offsets.(v) to t.out_offsets.(v + 1) - 1 do
+    f t.out_labels.(i) t.out_targets.(i)
+  done
+
+let iter_in t v f =
+  check t v "iter_in";
+  for i = t.in_offsets.(v) to t.in_offsets.(v + 1) - 1 do
+    f t.in_labels.(i) t.in_sources.(i)
+  done
+
+let out_degree t v =
+  check t v "out_degree";
+  t.out_offsets.(v + 1) - t.out_offsets.(v)
+
+let in_degree t v =
+  check t v "in_degree";
+  t.in_offsets.(v + 1) - t.in_offsets.(v)
+
+let fold_out t v ~init ~f =
+  check t v "fold_out";
+  let acc = ref init in
+  for i = t.out_offsets.(v) to t.out_offsets.(v + 1) - 1 do
+    acc := f !acc t.out_labels.(i) t.out_targets.(i)
+  done;
+  !acc

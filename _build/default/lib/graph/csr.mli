@@ -1,0 +1,30 @@
+(** Frozen compressed-sparse-row graph snapshots.
+
+    {!Digraph} optimizes for incremental construction (hash-interned
+    names, per-node edge lists). Query evaluation, which dominates the
+    learner's inner loop, only needs fast iteration over out/in edges —
+    this module freezes a graph into int-array CSR form (offsets +
+    packed [label, endpoint] pairs), roughly halving evaluation time and
+    allocation (see the [--exp csr] benchmark).
+
+    A snapshot shares the original graph's node/label ids; it reflects the
+    graph at freeze time and is immutable. *)
+
+type t
+
+val freeze : Digraph.t -> t
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val n_labels : t -> int
+
+val iter_out : t -> Digraph.node -> (Digraph.label -> Digraph.node -> unit) -> unit
+(** Iterate [(label, destination)] over the node's out-edges. *)
+
+val iter_in : t -> Digraph.node -> (Digraph.label -> Digraph.node -> unit) -> unit
+(** Iterate [(label, source)] over the node's in-edges. *)
+
+val out_degree : t -> Digraph.node -> int
+val in_degree : t -> Digraph.node -> int
+
+val fold_out : t -> Digraph.node -> init:'a -> f:('a -> Digraph.label -> Digraph.node -> 'a) -> 'a

@@ -1,0 +1,84 @@
+(* The edge set instantiates Figure 1 of the paper. The figure's exact edge
+   list is partly illegible in the archived text, so the instance below is
+   reconstructed to satisfy every constraint the paper states about it:
+   - (tram+bus)*.cinema selects exactly N1, N2, N4, N6, via the witness
+     walks the paper lists (N1 -tram-> N4 -cinema-> C1; N2 -bus-> N1 ...;
+     N4 -cinema-> C1; N6 -cinema-> C2);
+   - bus travel exists between N2 and N3;
+   - no path from N5 reaches a cinema;
+   - the query [bus] selects both N2 and N6 and not N5 (Section 3);
+   - the paths of N2 of length <= 3 include bus.tram.cinema and
+     bus.bus.cinema, the latter being the Figure 3(c) candidate;
+   - the cinema C1 is invisible from N2 at radius 2 and visible at
+     radius 3 (Figures 3(a) vs 3(b)). *)
+let figure1 () =
+  Codec.of_edges
+    [
+      ("N2", "bus", "N1");
+      ("N2", "bus", "N3");
+      ("N1", "tram", "N4");
+      ("N1", "bus", "N4");
+      ("N4", "cinema", "C1");
+      ("N6", "cinema", "C2");
+      ("N6", "bus", "N3");
+      ("N5", "tram", "N3");
+      ("N5", "restaurant", "R1");
+      ("N3", "restaurant", "R2");
+    ]
+
+let figure1_expected = [ "N1"; "N2"; "N4"; "N6" ]
+
+(* A small, plausible slice of the Lille Transpole network. Stop names
+   follow the real M1 line order (CHU Eurasanté -> 4 Cantons) plus the
+   tram to Roubaix; facility placement is approximate but realistic
+   (Palais des Beaux-Arts near République, the Majestic cinema near
+   Rihour, the Citadelle park, etc.). *)
+let transpole () =
+  let g = Digraph.create () in
+  let both label a b =
+    Digraph.link g a label b;
+    Digraph.link g b label a
+  in
+  let facility kind stop name =
+    Digraph.link g stop kind name;
+    Digraph.link g name "in" stop
+  in
+  (* metro line M1 *)
+  let m1 =
+    [
+      "CHU_Eurasante"; "CHU_Centre"; "Porte_des_Postes"; "Wazemmes"; "Gambetta";
+      "Republique_Beaux_Arts"; "Rihour"; "Gare_Lille_Flandres"; "Caulier"; "Fives";
+      "Marbrerie"; "Pont_de_Bois"; "Villeneuve_Hotel_de_Ville"; "Triolo";
+      "Cite_Scientifique"; "Quatre_Cantons";
+    ]
+  in
+  let rec wire label = function
+    | a :: (b :: _ as rest) ->
+        both label a b;
+        wire label rest
+    | [ _ ] | [] -> ()
+  in
+  wire "metro" m1;
+  (* tram towards Roubaix *)
+  wire "tram"
+    [ "Gare_Lille_Flandres"; "Romarin"; "Saint_Maur"; "Croix_Centre"; "Roubaix_Grand_Place" ];
+  (* a few bus links *)
+  both "bus" "Rihour" "Wazemmes";
+  both "bus" "Gambetta" "Porte_des_Postes";
+  both "bus" "Citadelle" "Rihour";
+  both "bus" "Romarin" "Citadelle";
+  both "bus" "Croix_Centre" "Villeneuve_Hotel_de_Ville";
+  (* facilities *)
+  facility "museum" "Republique_Beaux_Arts" "Palais_des_Beaux_Arts";
+  facility "museum" "Pont_de_Bois" "LaM_Villeneuve";
+  facility "cinema" "Rihour" "Majestic";
+  facility "cinema" "Gare_Lille_Flandres" "UGC_Lille";
+  facility "cinema" "Roubaix_Grand_Place" "Duplexe_Roubaix";
+  facility "theatre" "Rihour" "Theatre_du_Nord";
+  facility "theatre" "Roubaix_Grand_Place" "Colisee";
+  facility "park" "Citadelle" "Parc_de_la_Citadelle";
+  facility "park" "Quatre_Cantons" "Parc_du_Heron";
+  facility "restaurant" "Wazemmes" "Marche_Wazemmes";
+  facility "restaurant" "Gare_Lille_Flandres" "Estaminet_Flandres";
+  facility "restaurant" "Croix_Centre" "Brasserie_Croix";
+  g

@@ -1,0 +1,22 @@
+(** Built-in datasets.
+
+    {!figure1} is the paper's motivating example reproduced verbatim: a
+    geographical database with six neighborhoods, two cinemas and two
+    restaurants, connected by [tram]/[bus] transport edges and
+    [cinema]/[restaurant] facility edges. On it, the goal query
+    [(tram+bus)*.cinema] selects exactly [N1], [N2], [N4] and [N6]. *)
+
+val figure1 : unit -> Digraph.t
+
+val figure1_expected : string list
+(** Node names the paper states are selected by [(tram+bus)*.cinema]:
+    ["N1"; "N2"; "N4"; "N6"]. *)
+
+val transpole : unit -> Digraph.t
+(** A hand-curated Lille-area transport network in the spirit of the demo
+    data (the paper demos on Transpole, the Lille operator): 16 stops of
+    metro line M1, the Roubaix tram branch and a few bus links, with
+    cultural facilities ([cinema], [museum], [theatre], [park],
+    [restaurant]) attached to the stops that actually host them.
+    Transport edges run in both directions; facility edges carry an [in]
+    back-edge like {!Generators.city}. *)

@@ -1,0 +1,130 @@
+type node = int
+type label = int
+type edge = { src : node; lbl : label; dst : node }
+
+type t = {
+  node_tab : Symtab.t;
+  label_tab : Symtab.t;
+  out_adj : (label * node) list Vec.t;  (* per node, reverse insertion order *)
+  in_adj : (label * node) list Vec.t;
+  edge_set : (node * label * node, unit) Hashtbl.t;
+  mutable edge_count : int;
+}
+
+let create () =
+  {
+    node_tab = Symtab.create ();
+    label_tab = Symtab.create ();
+    out_adj = Vec.create ();
+    in_adj = Vec.create ();
+    edge_set = Hashtbl.create 256;
+    edge_count = 0;
+  }
+
+let n_nodes g = Symtab.size g.node_tab
+let n_edges g = g.edge_count
+let n_labels g = Symtab.size g.label_tab
+
+let add_node g name =
+  match Symtab.find g.node_tab name with
+  | Some v -> v
+  | None ->
+      let v = Symtab.intern g.node_tab name in
+      let v' = Vec.push g.out_adj [] in
+      let v'' = Vec.push g.in_adj [] in
+      assert (v = v' && v = v'');
+      v
+
+let mem_node g v = v >= 0 && v < n_nodes g
+
+let check_node g v =
+  if not (mem_node g v) then
+    invalid_arg (Printf.sprintf "Digraph: node %d not in graph" v)
+
+let mem_edge g ~src ~lbl ~dst = Hashtbl.mem g.edge_set (src, lbl, dst)
+
+let add_edge g ~src ~label ~dst =
+  check_node g src;
+  check_node g dst;
+  let lbl = Symtab.intern g.label_tab label in
+  if not (mem_edge g ~src ~lbl ~dst) then begin
+    Hashtbl.add g.edge_set (src, lbl, dst) ();
+    Vec.set g.out_adj src ((lbl, dst) :: Vec.get g.out_adj src);
+    Vec.set g.in_adj dst ((lbl, src) :: Vec.get g.in_adj dst);
+    g.edge_count <- g.edge_count + 1
+  end
+
+let link g src label dst =
+  let s = add_node g src and d = add_node g dst in
+  add_edge g ~src:s ~label ~dst:d
+
+let copy g =
+  {
+    node_tab = Symtab.copy g.node_tab;
+    label_tab = Symtab.copy g.label_tab;
+    out_adj = Vec.copy g.out_adj;
+    in_adj = Vec.copy g.in_adj;
+    edge_set = Hashtbl.copy g.edge_set;
+    edge_count = g.edge_count;
+  }
+
+let node_of_name g name = Symtab.find g.node_tab name
+let node_name g v = Symtab.name g.node_tab v
+let label_of_name g name = Symtab.find g.label_tab name
+let label_name g l = Symtab.name g.label_tab l
+let intern_label g name = Symtab.intern g.label_tab name
+
+(* Adjacency lists are stored newest-first; expose them in insertion order. *)
+let out_edges g v =
+  check_node g v;
+  List.rev (Vec.get g.out_adj v)
+
+let in_edges g v =
+  check_node g v;
+  List.rev (Vec.get g.in_adj v)
+
+let out_degree g v =
+  check_node g v;
+  List.length (Vec.get g.out_adj v)
+
+let in_degree g v =
+  check_node g v;
+  List.length (Vec.get g.in_adj v)
+
+let succ_by_label g v l =
+  List.filter_map (fun (l', d) -> if l' = l then Some d else None) (out_edges g v)
+
+let pred_by_label g v l =
+  List.filter_map (fun (l', s) -> if l' = l then Some s else None) (in_edges g v)
+
+let nodes g = List.init (n_nodes g) Fun.id
+let labels g = Symtab.names g.label_tab
+
+let iter_nodes f g =
+  for v = 0 to n_nodes g - 1 do
+    f v
+  done
+
+let iter_edges f g =
+  iter_nodes (fun src -> List.iter (fun (lbl, dst) -> f { src; lbl; dst }) (out_edges g src)) g
+
+let fold_nodes f acc g =
+  let acc = ref acc in
+  iter_nodes (fun v -> acc := f !acc v) g;
+  !acc
+
+let fold_edges f acc g =
+  let acc = ref acc in
+  iter_edges (fun e -> acc := f !acc e) g;
+  !acc
+
+let edges g = List.rev (fold_edges (fun acc e -> e :: acc) [] g)
+
+let pp_edge g ppf { src; lbl; dst } =
+  Format.fprintf ppf "%s -%s-> %s" (node_name g src) (label_name g lbl) (node_name g dst)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d edges, %d labels" (n_nodes g) (n_edges g)
+    (n_labels g);
+  iter_edges (fun e -> Format.fprintf ppf "@,%a" (pp_edge g) e) g;
+  Format.fprintf ppf "@]"

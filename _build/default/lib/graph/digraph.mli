@@ -1,0 +1,90 @@
+(** Edge-labeled directed multigraphs — the graph-database model of the
+    paper.
+
+    A graph database is a finite set of nodes connected by directed edges,
+    each edge carrying a label drawn from a finite alphabet (e.g. [tram],
+    [bus], [cinema] in the motivating example). There is no schema: node
+    names and edge labels are free-form strings, interned to dense integer
+    ids internally.
+
+    The structure is a {e set} of edges: re-adding an existing
+    [(src, label, dst)] triple is a no-op. Parallel edges with distinct
+    labels are allowed. *)
+
+type node = int
+(** Dense node ids, [0 .. n_nodes - 1]. *)
+
+type label = int
+(** Dense label ids, [0 .. n_labels - 1]. *)
+
+type edge = { src : node; lbl : label; dst : node }
+
+type t
+
+(** {1 Construction} *)
+
+val create : unit -> t
+
+val add_node : t -> string -> node
+(** [add_node g name] returns the node named [name], creating it if
+    needed. *)
+
+val add_edge : t -> src:node -> label:string -> dst:node -> unit
+(** Adds the edge; a no-op if the same triple is already present.
+    @raise Invalid_argument if [src] or [dst] is not a node of [g]. *)
+
+val link : t -> string -> string -> string -> unit
+(** [link g src label dst] adds nodes by name as needed, then the edge.
+    Convenience for building graphs from literals. *)
+
+val copy : t -> t
+
+(** {1 Lookup} *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val n_labels : t -> int
+
+val node_of_name : t -> string -> node option
+val node_name : t -> node -> string
+val label_of_name : t -> string -> label option
+val label_name : t -> label -> string
+val intern_label : t -> string -> label
+(** Interns a label without adding any edge (used when translating query
+    alphabets onto a graph). *)
+
+val mem_node : t -> node -> bool
+val mem_edge : t -> src:node -> lbl:label -> dst:node -> bool
+
+(** {1 Adjacency} *)
+
+val out_edges : t -> node -> (label * node) list
+(** Outgoing [(label, destination)] pairs, in insertion order. *)
+
+val in_edges : t -> node -> (label * node) list
+(** Incoming [(label, source)] pairs. *)
+
+val out_degree : t -> node -> int
+val in_degree : t -> node -> int
+
+val succ_by_label : t -> node -> label -> node list
+(** Destinations of edges leaving the node with the given label. *)
+
+val pred_by_label : t -> node -> label -> node list
+
+(** {1 Iteration} *)
+
+val nodes : t -> node list
+val labels : t -> string list
+val iter_nodes : (node -> unit) -> t -> unit
+val iter_edges : (edge -> unit) -> t -> unit
+val fold_nodes : ('acc -> node -> 'acc) -> 'acc -> t -> 'acc
+val fold_edges : ('acc -> edge -> 'acc) -> 'acc -> t -> 'acc
+val edges : t -> edge list
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** One edge per line, [src -label-> dst], by interned name. *)
+
+val pp_edge : t -> Format.formatter -> edge -> unit

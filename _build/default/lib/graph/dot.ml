@@ -1,0 +1,63 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let node_id g v = Printf.sprintf "\"%s\"" (escape (Digraph.node_name g v))
+
+let edge_line ?(attrs = "") g { Digraph.src; lbl; dst } =
+  Printf.sprintf "  %s -> %s [label=\"%s\"%s];\n" (node_id g src) (node_id g dst)
+    (escape (Digraph.label_name g lbl))
+    attrs
+
+let of_graph ?(highlight = []) ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Digraph.iter_nodes
+    (fun v ->
+      let attrs =
+        if List.mem v highlight then " [style=filled, fillcolor=lightblue]" else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s%s;\n" (node_id g v) attrs))
+    g;
+  Digraph.iter_edges (fun e -> Buffer.add_string buf (edge_line g e)) g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_fragment ?added ?(name = "neighborhood") g (frag : Neighborhood.t) =
+  let added_nodes, added_edges = match added with Some d -> d | None -> ([], []) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  List.iter
+    (fun (v, _) ->
+      let attrs =
+        if v = frag.center then " [style=filled, fillcolor=gold, penwidth=2]"
+        else if List.mem_assoc v added_nodes then " [color=blue, fontcolor=blue]"
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s%s;\n" (node_id g v) attrs))
+    frag.nodes;
+  List.iter
+    (fun e ->
+      let is_added =
+        List.exists
+          (fun e' -> e'.Digraph.src = e.Digraph.src && e'.lbl = e.Digraph.lbl && e'.dst = e.Digraph.dst)
+          added_edges
+      in
+      let attrs = if is_added then ", color=blue, fontcolor=blue" else "" in
+      Buffer.add_string buf (edge_line ~attrs g e))
+    frag.edges;
+  (* Frontier markers: a dashed edge to an anonymous "..." node, as in the
+     paper's figures. *)
+  List.iteri
+    (fun i v ->
+      let dots = Printf.sprintf "\"...%d\"" i in
+      Buffer.add_string buf (Printf.sprintf "  %s [label=\"...\", shape=none];\n" dots);
+      Buffer.add_string buf (Printf.sprintf "  %s -> %s [style=dashed];\n" (node_id g v) dots))
+    frag.frontier;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** GraphViz DOT export, for whole graphs and for neighborhood fragments.
+
+    The fragment renderer reproduces the conventions of the paper's
+    Figure 3: the proposed node is emphasized, newly revealed nodes/edges
+    (after a zoom) are drawn in blue, and frontier nodes reachable beyond
+    the fragment get a dashed "…" successor. *)
+
+val of_graph :
+  ?highlight:Digraph.node list ->
+  ?name:string ->
+  Digraph.t ->
+  string
+
+val of_fragment :
+  ?added:(Digraph.node * int) list * Digraph.edge list ->
+  ?name:string ->
+  Digraph.t ->
+  Neighborhood.t ->
+  string
+(** [added] is a {!Neighborhood.diff} result to draw highlighted. *)

@@ -1,0 +1,56 @@
+(* All edits rebuild: copy the surviving nodes (preserving names, hence
+   identity), then the surviving edges. *)
+let rebuild g ~keep_node ~map_edge =
+  let g' = Digraph.create () in
+  Digraph.iter_nodes
+    (fun v -> if keep_node v then ignore (Digraph.add_node g' (Digraph.node_name g v)))
+    g;
+  Digraph.iter_edges
+    (fun e ->
+      match map_edge e with
+      | None -> ()
+      | Some (src, label, dst) ->
+          if keep_node src && keep_node dst then
+            Digraph.link g' (Digraph.node_name g src) label (Digraph.node_name g dst))
+    g;
+  g'
+
+let induced g nodes =
+  let member = Array.make (Digraph.n_nodes g) false in
+  List.iter (fun v -> member.(v) <- true) nodes;
+  rebuild g
+    ~keep_node:(fun v -> member.(v))
+    ~map_edge:(fun e -> Some (e.Digraph.src, Digraph.label_name g e.Digraph.lbl, e.Digraph.dst))
+
+let filter_edges g ~keep =
+  rebuild g
+    ~keep_node:(fun _ -> true)
+    ~map_edge:(fun e ->
+      if keep e then Some (e.Digraph.src, Digraph.label_name g e.Digraph.lbl, e.Digraph.dst)
+      else None)
+
+let filter_labels g ~keep = filter_edges g ~keep:(fun e -> keep (Digraph.label_name g e.Digraph.lbl))
+
+let remove_node g v =
+  rebuild g
+    ~keep_node:(fun u -> u <> v)
+    ~map_edge:(fun e -> Some (e.Digraph.src, Digraph.label_name g e.Digraph.lbl, e.Digraph.dst))
+
+let remove_edge g edge =
+  filter_edges g ~keep:(fun e ->
+      not (e.Digraph.src = edge.Digraph.src && e.Digraph.lbl = edge.Digraph.lbl && e.Digraph.dst = edge.Digraph.dst))
+
+let merge_nodes g ~into victim =
+  if into = victim then invalid_arg "Edit.merge_nodes: cannot merge a node into itself";
+  let redirect v = if v = victim then into else v in
+  rebuild g
+    ~keep_node:(fun u -> u <> victim)
+    ~map_edge:(fun e ->
+      Some (redirect e.Digraph.src, Digraph.label_name g e.Digraph.lbl, redirect e.Digraph.dst))
+
+let relabel g ~from_label ~to_label =
+  rebuild g
+    ~keep_node:(fun _ -> true)
+    ~map_edge:(fun e ->
+      let l = Digraph.label_name g e.Digraph.lbl in
+      Some (e.Digraph.src, (if l = from_label then to_label else l), e.Digraph.dst))

@@ -1,0 +1,28 @@
+(** Graph editing and subgraph extraction.
+
+    {!Digraph} is append-only (adding nodes/edges never invalidates ids);
+    deletions and projections therefore build a {e new} graph. Node
+    identity across an edit is by {e name}, which survives the rebuild —
+    use {!Digraph.node_of_name} to re-resolve ids afterwards. *)
+
+val induced : Digraph.t -> Digraph.node list -> Digraph.t
+(** The subgraph on exactly the given nodes and the edges among them. *)
+
+val filter_labels : Digraph.t -> keep:(string -> bool) -> Digraph.t
+(** Drop every edge whose label fails [keep]; all nodes survive. *)
+
+val filter_edges : Digraph.t -> keep:(Digraph.edge -> bool) -> Digraph.t
+
+val remove_node : Digraph.t -> Digraph.node -> Digraph.t
+(** Remove the node and all incident edges. *)
+
+val remove_edge : Digraph.t -> Digraph.edge -> Digraph.t
+
+val merge_nodes : Digraph.t -> into:Digraph.node -> Digraph.node -> Digraph.t
+(** Redirect all edges of the second node onto [into] and drop it.
+    Self-loops arising from edges between the two are kept.
+    @raise Invalid_argument if the nodes are equal. *)
+
+val relabel : Digraph.t -> from_label:string -> to_label:string -> Digraph.t
+(** Rename every edge label [from_label] to [to_label] (edges collapsing
+    onto existing ones are deduplicated). *)

@@ -1,0 +1,208 @@
+let uniform ~nodes ~edges ~labels ~seed =
+  if labels = [] then invalid_arg "Generators.uniform: empty label list";
+  let rng = Prng.create ~seed in
+  let g = Digraph.create () in
+  let node_ids = Array.init nodes (fun i -> Digraph.add_node g (Printf.sprintf "v%d" i)) in
+  if nodes > 0 then begin
+    let added = ref 0 in
+    let attempts = ref 0 in
+    let max_attempts = (edges * 20) + 100 in
+    while !added < edges && !attempts < max_attempts do
+      incr attempts;
+      let src = Prng.pick_arr rng node_ids in
+      let dst = Prng.pick_arr rng node_ids in
+      let label = Prng.pick rng labels in
+      let before = Digraph.n_edges g in
+      Digraph.add_edge g ~src ~label ~dst;
+      if Digraph.n_edges g > before then incr added
+    done
+  end;
+  g
+
+let preferential ~nodes ~attach ~labels ~seed =
+  if labels = [] then invalid_arg "Generators.preferential: empty label list";
+  let rng = Prng.create ~seed in
+  let g = Digraph.create () in
+  (* [targets] repeats each node once per incident edge, so uniform picks
+     from it are degree-proportional. *)
+  let targets = Vec.create () in
+  for i = 0 to nodes - 1 do
+    let v = Digraph.add_node g (Printf.sprintf "v%d" i) in
+    if i = 0 then ignore (Vec.push targets v)
+    else begin
+      let emitted = min attach i in
+      for _ = 1 to emitted do
+        let dst = Vec.get targets (Prng.int rng (Vec.length targets)) in
+        let label = Prng.pick rng labels in
+        Digraph.add_edge g ~src:v ~label ~dst;
+        ignore (Vec.push targets dst)
+      done;
+      ignore (Vec.push targets v)
+    end
+  done;
+  g
+
+type city_params = {
+  districts : int;
+  cinemas : int;
+  restaurants : int;
+  museums : int;
+  parks : int;
+  tram_lines : int;
+  bus_lines : int;
+  metro_lines : int;
+  line_stops : int;
+}
+
+let default_city ~districts =
+  {
+    districts;
+    cinemas = max 1 (districts / 4);
+    restaurants = max 1 (districts / 4);
+    museums = max 1 (districts / 4);
+    parks = max 1 (districts / 4);
+    tram_lines = max 1 (districts / 8);
+    bus_lines = max 1 (districts / 8);
+    metro_lines = max 1 (districts / 8);
+    line_stops = max 3 (min 5 districts);
+  }
+
+let city params ~seed =
+  if params.districts <= 0 then invalid_arg "Generators.city: need at least one district";
+  let rng = Prng.create ~seed in
+  let g = Digraph.create () in
+  let districts =
+    Array.init params.districts (fun i -> Digraph.add_node g (Printf.sprintf "D%d" i))
+  in
+  (* A transport line visits [line_stops] distinct random districts in a
+     path, with edges in both directions (you can ride either way). *)
+  let add_line label =
+    let stops = min params.line_stops params.districts in
+    let route =
+      List.filteri (fun i _ -> i < stops)
+        (Prng.shuffle rng (Array.to_list districts))
+    in
+    let rec wire = function
+      | a :: (b :: _ as rest) ->
+          Digraph.add_edge g ~src:a ~label ~dst:b;
+          Digraph.add_edge g ~src:b ~label ~dst:a;
+          wire rest
+      | [ _ ] | [] -> ()
+    in
+    wire route
+  in
+  for _ = 1 to params.tram_lines do add_line "tram" done;
+  for _ = 1 to params.bus_lines do add_line "bus" done;
+  for _ = 1 to params.metro_lines do add_line "metro" done;
+  (* Facilities hang off random districts; the [in] back-edge lets queries
+     walk back into the transport network if they want to. *)
+  let add_facility kind count =
+    for i = 0 to count - 1 do
+      let f = Digraph.add_node g (Printf.sprintf "%s%d" kind i) in
+      let d = Prng.pick_arr rng districts in
+      Digraph.add_edge g ~src:d ~label:kind ~dst:f;
+      Digraph.add_edge g ~src:f ~label:"in" ~dst:d
+    done
+  in
+  add_facility "cinema" params.cinemas;
+  add_facility "restaurant" params.restaurants;
+  add_facility "museum" params.museums;
+  add_facility "park" params.parks;
+  g
+
+let bio ~nodes ~seed =
+  if nodes < 10 then invalid_arg "Generators.bio: need at least 10 nodes";
+  let rng = Prng.create ~seed in
+  let g = Digraph.create () in
+  let n_proteins = nodes * 6 / 10 in
+  let n_genes = nodes * 2 / 10 in
+  let n_drugs = max 1 (nodes / 10) in
+  let n_diseases = max 1 (nodes - n_proteins - n_genes - n_drugs) in
+  let mk prefix n = Array.init n (fun i -> Digraph.add_node g (Printf.sprintf "%s%d" prefix i)) in
+  let proteins = mk "P" n_proteins in
+  let genes = mk "G" n_genes in
+  let drugs = mk "DR" n_drugs in
+  let diseases = mk "S" n_diseases in
+  (* Protein-protein interactions: preferential attachment for the skewed
+     hubs characteristic of interaction networks; [interacts] symmetric. *)
+  let targets = Vec.create () in
+  ignore (Vec.push targets proteins.(0));
+  Array.iteri
+    (fun i p ->
+      if i > 0 then begin
+        let emitted = min 2 i in
+        for _ = 1 to emitted do
+          let q = Vec.get targets (Prng.int rng (Vec.length targets)) in
+          Digraph.add_edge g ~src:p ~label:"interacts" ~dst:q;
+          Digraph.add_edge g ~src:q ~label:"interacts" ~dst:p;
+          ignore (Vec.push targets q)
+        done;
+        ignore (Vec.push targets p)
+      end)
+    proteins;
+  (* Directed regulation edges among proteins. *)
+  for _ = 1 to n_proteins do
+    let src = Prng.pick_arr rng proteins and dst = Prng.pick_arr rng proteins in
+    let label = if Prng.bool rng then "activates" else "inhibits" in
+    Digraph.add_edge g ~src ~label ~dst
+  done;
+  Array.iter
+    (fun gene ->
+      Digraph.add_edge g ~src:gene ~label:"encodes" ~dst:(Prng.pick_arr rng proteins))
+    genes;
+  Array.iter
+    (fun drug ->
+      Digraph.add_edge g ~src:drug ~label:"binds" ~dst:(Prng.pick_arr rng proteins);
+      let label = if Prng.bool rng then "activates" else "inhibits" in
+      Digraph.add_edge g ~src:drug ~label ~dst:(Prng.pick_arr rng proteins);
+      Digraph.add_edge g ~src:drug ~label:"treats" ~dst:(Prng.pick_arr rng diseases))
+    drugs;
+  for _ = 1 to n_diseases * 2 do
+    Digraph.add_edge g ~src:(Prng.pick_arr rng proteins) ~label:"associated"
+      ~dst:(Prng.pick_arr rng diseases)
+  done;
+  g
+
+let chain ~length ~label =
+  let g = Digraph.create () in
+  for i = 0 to length - 1 do
+    Digraph.link g (Printf.sprintf "c%d" i) label (Printf.sprintf "c%d" (i + 1))
+  done;
+  if length <= 0 then ignore (Digraph.add_node g "c0");
+  g
+
+let grid ~rows ~cols =
+  let g = Digraph.create () in
+  let name r c = Printf.sprintf "r%dc%d" r c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      ignore (Digraph.add_node g (name r c));
+      if c + 1 < cols then Digraph.link g (name r c) "east" (name r (c + 1));
+      if r + 1 < rows then Digraph.link g (name r c) "south" (name (r + 1) c)
+    done
+  done;
+  g
+
+let star ~leaves ~label =
+  let g = Digraph.create () in
+  ignore (Digraph.add_node g "hub");
+  for i = 0 to leaves - 1 do
+    Digraph.link g "hub" label (Printf.sprintf "leaf%d" i)
+  done;
+  g
+
+let full_tree ~depth ~branching ~labels =
+  if labels = [] then invalid_arg "Generators.full_tree: empty label list";
+  let g = Digraph.create () in
+  let labels = Array.of_list labels in
+  let rec grow name level =
+    ignore (Digraph.add_node g name);
+    if level < depth then
+      for i = 0 to branching - 1 do
+        let child = Printf.sprintf "%s.%d" name i in
+        Digraph.link g name labels.(i mod Array.length labels) child;
+        grow child (level + 1)
+      done
+  in
+  grow "t" 0;
+  g

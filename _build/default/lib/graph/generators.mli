@@ -1,0 +1,77 @@
+(** Synthetic graph-database generators.
+
+    Three families, matching the evaluation substrates of the paper and of
+    its companion research paper:
+
+    - {!uniform}: Erdős–Rényi-style random labeled graphs (the "synthetic"
+      datasets of the companion paper's evaluation);
+    - {!city}: geographical/transport networks in the spirit of the
+      motivating example and of the Transpole demo data — districts on a
+      grid linked by [tram]/[bus]/[metro] lines, with facility nodes
+      ([cinema], [restaurant], [museum], [park]) hanging off districts;
+    - {!bio}: scale-free (preferential-attachment) interaction networks
+      with biological relation labels, standing in for the AliBaba
+      protein-interaction dataset used by the companion paper.
+
+    All generators are deterministic given [seed]. *)
+
+val uniform : nodes:int -> edges:int -> labels:string list -> seed:int -> Digraph.t
+(** [edges] random (src, label, dst) triples over [nodes] nodes named
+    [v0..]; duplicate triples are retried, self-loops allowed. The label
+    list must be non-empty. *)
+
+val preferential : nodes:int -> attach:int -> labels:string list -> seed:int -> Digraph.t
+(** Barabási–Albert-style: nodes arrive one by one; each new node emits
+    [attach] edges whose targets are picked proportionally to current
+    degree. Produces the skewed degree distributions of real networks. *)
+
+type city_params = {
+  districts : int;       (** number of neighborhood nodes (grid-ish topology) *)
+  cinemas : int;
+  restaurants : int;
+  museums : int;
+  parks : int;
+  tram_lines : int;      (** each line is a bidirectional path through random districts *)
+  bus_lines : int;
+  metro_lines : int;
+  line_stops : int;      (** districts per transport line *)
+}
+
+val default_city : districts:int -> city_params
+(** Facility and line counts scaled from the district count: roughly one
+    facility per 4 districts of each kind, one line per 8 districts per
+    mode, 5 stops per line (min 1 line, 3 stops). *)
+
+val city : city_params -> seed:int -> Digraph.t
+(** Districts are [D0..]; facilities [cinema0..], [restaurant0..],
+    [museum0..], [park0..]. Transport edges are labeled [tram]/[bus]/
+    [metro] (both directions along each line); facility edges are labeled
+    by the facility kind, district -> facility, and each facility also has
+    an [in] edge back to its district. *)
+
+val bio : nodes:int -> seed:int -> Digraph.t
+(** Entities [P*] (proteins), [G*] (genes), [D*] (drugs), [S*] (diseases)
+    in ratio 6:2:1:1; relations [interacts] (protein-protein, symmetric),
+    [encodes] (gene->protein), [activates]/[inhibits] (protein->protein or
+    drug->protein), [binds] (drug->protein), [treats] (drug->disease),
+    [associated] (protein->disease). Degree-skewed via preferential
+    attachment within relation kinds. *)
+
+(** {1 Structured topologies}
+
+    Deterministic shapes used by tests and worst/best-case benchmarks. *)
+
+val chain : length:int -> label:string -> Digraph.t
+(** [c0 -label-> c1 -label-> ... -label-> c_length]: maximizes BFS depth
+    (worst case for zooming and eccentricity). *)
+
+val grid : rows:int -> cols:int -> Digraph.t
+(** Lattice with [east]/[south] edges ([r{i}c{j}] nodes): dense short
+    paths, many distinct walks. *)
+
+val star : leaves:int -> label:string -> Digraph.t
+(** [hub -label-> leaf{i}]: maximal out-degree in one node. *)
+
+val full_tree : depth:int -> branching:int -> labels:string list -> Digraph.t
+(** Complete rooted tree, edge labels cycling through [labels] by child
+    index; node [t] is the root. *)

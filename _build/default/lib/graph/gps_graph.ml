@@ -1,0 +1,22 @@
+(** Graph-database substrate: labeled directed multigraphs, traversal,
+    walk/word enumeration, neighborhoods, serialization, statistics and
+    synthetic workload generators. *)
+
+module Vec = Vec
+module Symtab = Symtab
+module Digraph = Digraph
+module Traverse = Traverse
+module Walks = Walks
+module Neighborhood = Neighborhood
+module Scc = Scc
+module Prng = Prng
+module Codec = Codec
+module Json = Json
+module Edit = Edit
+module Reach = Reach
+module Csr = Csr
+module Store = Store
+module Dot = Dot
+module Stats = Stats
+module Generators = Generators
+module Datasets = Datasets

@@ -1,0 +1,289 @@
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of value list
+  | Object of (string * value) list
+
+exception Parse_error of int * string
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+type cursor = { text : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (c.pos, msg))
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | Some _ | None -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c (Printf.sprintf "expected %C, found %C" ch x)
+  | None -> fail c (Printf.sprintf "expected %C, found end of input" ch)
+
+let parse_literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c "unterminated escape"
+        | Some esc ->
+            advance c;
+            (match esc with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if c.pos + 4 > String.length c.text then fail c "truncated \\u escape";
+                let hex = String.sub c.text c.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex) with Failure _ -> fail c "bad \\u escape"
+                in
+                c.pos <- c.pos + 4;
+                (* encode the code point as UTF-8 (basic plane only) *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | other -> fail c (Printf.sprintf "bad escape \\%c" other));
+            go ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9') || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.text start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Number f
+  | None -> fail c (Printf.sprintf "bad number %S" s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' ->
+      advance c;
+      String (parse_string_body c)
+  | Some '{' ->
+      advance c;
+      parse_object c []
+  | Some '[' ->
+      advance c;
+      parse_array c []
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+and parse_object c acc =
+  skip_ws c;
+  match peek c with
+  | Some '}' ->
+      advance c;
+      Object (List.rev acc)
+  | _ ->
+      skip_ws c;
+      expect c '"';
+      let key = parse_string_body c in
+      skip_ws c;
+      expect c ':';
+      let v = parse_value c in
+      skip_ws c;
+      (match peek c with
+      | Some ',' ->
+          advance c;
+          skip_ws c;
+          if peek c = Some '}' then fail c "trailing comma in object"
+          else parse_object c ((key, v) :: acc)
+      | Some '}' ->
+          advance c;
+          Object (List.rev ((key, v) :: acc))
+      | _ -> fail c "expected ',' or '}'")
+
+and parse_array c acc =
+  skip_ws c;
+  match peek c with
+  | Some ']' ->
+      advance c;
+      Array (List.rev acc)
+  | _ ->
+      let v = parse_value c in
+      skip_ws c;
+      (match peek c with
+      | Some ',' ->
+          advance c;
+          skip_ws c;
+          if peek c = Some ']' then fail c "trailing comma in array"
+          else parse_array c (v :: acc)
+      | Some ']' ->
+          advance c;
+          Array (List.rev (v :: acc))
+      | _ -> fail c "expected ',' or ']'")
+
+let value_of_string text =
+  let c = { text; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  (match peek c with None -> () | Some _ -> fail c "trailing input");
+  v
+
+(* ------------------------------------------------------------------ *)
+(* printing *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_string ?(pretty = false) v =
+  let buf = Buffer.create 256 in
+  let nl indent = if pretty then Buffer.add_string buf ("\n" ^ String.make indent ' ') in
+  let rec go indent = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Number f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.0f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string s);
+        Buffer.add_char buf '"'
+    | Array [] -> Buffer.add_string buf "[]"
+    | Array items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (indent + 2);
+            go (indent + 2) item)
+          items;
+        nl indent;
+        Buffer.add_char buf ']'
+    | Object [] -> Buffer.add_string buf "{}"
+    | Object fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (indent + 2);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape_string k);
+            Buffer.add_string buf "\":";
+            if pretty then Buffer.add_char buf ' ';
+            go (indent + 2) item)
+          fields;
+        nl indent;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+let member key = function
+  | Object fields -> List.assoc_opt key fields
+  | Null | Bool _ | Number _ | String _ | Array _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* graph <-> JSON *)
+
+let to_string ?pretty g =
+  let nodes =
+    List.map (fun v -> String (Digraph.node_name g v)) (Digraph.nodes g)
+  in
+  let edges =
+    List.rev
+      (Digraph.fold_edges
+         (fun acc e ->
+           Object
+             [
+               ("src", String (Digraph.node_name g e.Digraph.src));
+               ("label", String (Digraph.label_name g e.Digraph.lbl));
+               ("dst", String (Digraph.node_name g e.Digraph.dst));
+             ]
+           :: acc)
+         [] g)
+  in
+  value_to_string ?pretty (Object [ ("nodes", Array nodes); ("edges", Array edges) ])
+
+let shape_error msg = raise (Parse_error (0, "graph document: " ^ msg))
+
+let of_string text =
+  let v = value_of_string text in
+  let g = Digraph.create () in
+  (match member "nodes" v with
+  | Some (Array names) ->
+      List.iter
+        (function
+          | String name -> ignore (Digraph.add_node g name)
+          | Null | Bool _ | Number _ | Array _ | Object _ -> shape_error "node must be a string")
+        names
+  | Some _ -> shape_error "\"nodes\" must be an array"
+  | None -> ());
+  (match member "edges" v with
+  | Some (Array edges) ->
+      List.iter
+        (fun e ->
+          match (member "src" e, member "label" e, member "dst" e) with
+          | Some (String src), Some (String label), Some (String dst) ->
+              Digraph.link g src label dst
+          | _ -> shape_error "edge must have string src/label/dst")
+        edges
+  | Some _ -> shape_error "\"edges\" must be an array"
+  | None -> shape_error "missing \"edges\"");
+  g

@@ -1,0 +1,37 @@
+(** JSON serialization of graph databases (self-contained — no external
+    JSON dependency).
+
+    The document shape interchanges with common graph tooling:
+    {v
+    { "nodes": ["N1", "N2"],
+      "edges": [ { "src": "N1", "label": "tram", "dst": "N2" } ] }
+    v}
+    The [nodes] array may list nodes that no edge mentions; edge endpoints
+    are added implicitly. *)
+
+(** A minimal JSON value tree, exposed because the CLI and tests reuse the
+    parser for other payloads (session journals). *)
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of value list
+  | Object of (string * value) list
+
+exception Parse_error of int * string
+(** Byte offset and message. *)
+
+val value_of_string : string -> value
+(** @raise Parse_error *)
+
+val value_to_string : ?pretty:bool -> value -> string
+
+val of_string : string -> Digraph.t
+(** @raise Parse_error on malformed JSON or on a document without the
+    expected shape. *)
+
+val to_string : ?pretty:bool -> Digraph.t -> string
+
+val member : string -> value -> value option
+(** Object field lookup helper. *)

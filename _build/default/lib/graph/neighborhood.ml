@@ -1,0 +1,51 @@
+type t = {
+  center : Digraph.node;
+  radius : int;
+  direction : Traverse.direction;
+  nodes : (Digraph.node * int) list;
+  edges : Digraph.edge list;
+  frontier : Digraph.node list;
+}
+
+module Iset = Set.Make (Int)
+
+let compute g ?(direction = Traverse.Out) center ~radius =
+  let dist = Traverse.distances g ~direction center in
+  let members =
+    List.filter (fun v -> dist.(v) <= radius) (Traverse.reachable_within g ~direction center ~radius)
+  in
+  let member_set = Iset.of_list members in
+  let nodes = List.map (fun v -> (v, dist.(v))) members in
+  let edges =
+    (* Collect graph edges (always directed src->dst) between members,
+       regardless of the traversal direction used to pick members. *)
+    List.concat_map
+      (fun src ->
+        List.filter_map
+          (fun (lbl, dst) ->
+            if Iset.mem dst member_set then Some { Digraph.src; lbl; dst } else None)
+          (Digraph.out_edges g src))
+      members
+  in
+  let escapes v =
+    List.exists (fun (_, u) -> not (Iset.mem u member_set)) (Traverse.step g direction v)
+  in
+  let frontier = List.filter escapes members in
+  { center; radius; direction; nodes; edges; frontier }
+
+let zoom_out g t = compute g ~direction:t.direction t.center ~radius:(t.radius + 1)
+
+let diff ~before ~after =
+  let before_nodes = Iset.of_list (List.map fst before.nodes) in
+  let new_nodes = List.filter (fun (v, _) -> not (Iset.mem v before_nodes)) after.nodes in
+  let edge_mem e es =
+    List.exists (fun e' -> e'.Digraph.src = e.Digraph.src && e'.lbl = e.Digraph.lbl && e'.dst = e.Digraph.dst) es
+  in
+  let new_edges = List.filter (fun e -> not (edge_mem e before.edges)) after.edges in
+  (new_nodes, new_edges)
+
+let mem t v = List.mem_assoc v t.nodes
+
+let size t = List.length t.nodes
+
+let is_complete _g t = t.frontier = []

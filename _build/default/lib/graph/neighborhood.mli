@@ -1,0 +1,35 @@
+(** Zoomable node neighborhoods — the graph fragments GPS shows the user.
+
+    The system never displays the whole (possibly huge) graph: it shows the
+    fragment induced by the nodes at hop distance at most [radius] from a
+    center node, marks the fragment's {e frontier} (nodes with edges leaving
+    the fragment, drawn as "…" in the paper's Figure 3), and supports
+    zooming out by one hop with a diff of what appeared. *)
+
+type t = {
+  center : Digraph.node;
+  radius : int;
+  direction : Traverse.direction;
+  nodes : (Digraph.node * int) list;  (** members with their BFS distance, closest first *)
+  edges : Digraph.edge list;          (** edges with both endpoints in the fragment *)
+  frontier : Digraph.node list;       (** members with at least one edge leaving the fragment *)
+}
+
+val compute : Digraph.t -> ?direction:Traverse.direction -> Digraph.node -> radius:int -> t
+(** The fragment of radius [radius] around the node. [direction] defaults
+    to [Out]: path queries read outgoing walks, so that is what the user
+    must see to decide a label. *)
+
+val zoom_out : Digraph.t -> t -> t
+(** Same center, radius + 1. *)
+
+val diff : before:t -> after:t -> (Digraph.node * int) list * Digraph.edge list
+(** Nodes and edges of [after] absent from [before] — the parts a renderer
+    highlights after a zoom (the blue additions of Figure 3(b)). *)
+
+val mem : t -> Digraph.node -> bool
+val size : t -> int
+
+val is_complete : Digraph.t -> t -> bool
+(** No frontier: the fragment already shows everything reachable, so
+    further zooming reveals nothing. *)

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Synthetic-workload generation must be reproducible bit-for-bit across
+    runs and OCaml versions, so the generators use this self-contained PRNG
+    rather than [Stdlib.Random]. *)
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. @raise Invalid_argument on []. *)
+
+val pick_arr : t -> 'a array -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+(** A uniformly random permutation. *)
+
+val split : t -> t
+(** An independent stream (for parallel or nested generation). *)

@@ -1,0 +1,83 @@
+type t = { n : int; words : int; bits : Bytes.t }
+(* row-major: row v holds the closure of v as [words] 8-byte... we use
+   byte-granular bitsets for simplicity: row size = (n+7)/8 bytes. *)
+
+let row_bytes n = (n + 7) / 8
+
+let get_bit t v u =
+  let idx = (v * t.words) + (u lsr 3) in
+  Char.code (Bytes.get t.bits idx) land (1 lsl (u land 7)) <> 0
+
+let set_bit t v u =
+  let idx = (v * t.words) + (u lsr 3) in
+  Bytes.set t.bits idx (Char.chr (Char.code (Bytes.get t.bits idx) lor (1 lsl (u land 7))))
+
+(* OR row [src] into row [dst]; returns whether anything changed. *)
+let or_rows t ~dst ~src =
+  let changed = ref false in
+  let base_d = dst * t.words and base_s = src * t.words in
+  for i = 0 to t.words - 1 do
+    let d = Char.code (Bytes.get t.bits (base_d + i)) in
+    let s = Char.code (Bytes.get t.bits (base_s + i)) in
+    let m = d lor s in
+    if m <> d then begin
+      Bytes.set t.bits (base_d + i) (Char.chr m);
+      changed := true
+    end
+  done;
+  !changed
+
+let build_with g ~edge_kept =
+  let n = Digraph.n_nodes g in
+  let words = row_bytes n in
+  let t = { n; words; bits = Bytes.make (max 1 (n * words)) '\000' } in
+  for v = 0 to n - 1 do
+    set_bit t v v
+  done;
+  (* SCC condensation: process components in reverse topological order
+     (Tarjan emits them in that order already: a component is finished
+     only after everything it reaches), OR-ing successor rows in. Within
+     a component all members share one closure. *)
+  let scc = Scc.compute g in
+  let comps = Array.make scc.Scc.count [] in
+  Digraph.iter_nodes
+    (fun v -> comps.(scc.Scc.component.(v)) <- v :: comps.(scc.Scc.component.(v)))
+    g;
+  (* union all members of a component into its first member's row, then
+     propagate successors, then copy back to every member *)
+  for c = 0 to scc.Scc.count - 1 do
+    match comps.(c) with
+    | [] -> ()
+    | rep :: rest ->
+        List.iter (fun v -> ignore (or_rows t ~dst:rep ~src:v)) rest;
+        (* successors of any member *)
+        List.iter
+          (fun v ->
+            List.iter
+              (fun (lbl, u) -> if edge_kept lbl then ignore (or_rows t ~dst:rep ~src:u))
+              (Digraph.out_edges g v))
+          (rep :: rest);
+        List.iter (fun v -> ignore (or_rows t ~dst:v ~src:rep)) rest
+  done;
+  t
+
+let build g = build_with g ~edge_kept:(fun _ -> true)
+
+let build_filtered g ~keep =
+  build_with g ~edge_kept:(fun lbl -> keep (Digraph.label_name g lbl))
+
+let reachable t v u =
+  if v < 0 || v >= t.n || u < 0 || u >= t.n then
+    invalid_arg "Reach.reachable: node out of range"
+  else get_bit t v u
+
+let reachable_any t v = List.exists (fun u -> reachable t v u)
+
+let count_from t v =
+  let c = ref 0 in
+  for u = 0 to t.n - 1 do
+    if get_bit t v u then incr c
+  done;
+  !c
+
+let n_nodes t = t.n

@@ -1,0 +1,26 @@
+(** Precomputed reachability index (bitset transitive closure).
+
+    GPS's simulated users and several strategies repeatedly ask "can this
+    node reach one of those?"; at a few thousand nodes the full closure
+    fits comfortably in memory ([n²/64] words) and answers in O(1). Built
+    once per graph in O(V·E/64) by propagating bitsets in reverse
+    topological order of SCCs. *)
+
+type t
+
+val build : Digraph.t -> t
+(** Label-blind closure over all edges. *)
+
+val build_filtered : Digraph.t -> keep:(string -> bool) -> t
+(** Closure over the edges whose label satisfies [keep] — e.g. transport
+    labels only. *)
+
+val reachable : t -> Digraph.node -> Digraph.node -> bool
+(** Includes reflexivity: every node reaches itself. *)
+
+val reachable_any : t -> Digraph.node -> Digraph.node list -> bool
+
+val count_from : t -> Digraph.node -> int
+(** Number of reachable nodes (including itself). *)
+
+val n_nodes : t -> int

@@ -1,0 +1,80 @@
+type result = { count : int; component : int array }
+
+(* Iterative Tarjan: an explicit stack of (node, remaining successors)
+   frames avoids stack overflow on long chains. *)
+let compute g =
+  let n = Digraph.n_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let visit root =
+    let frames = ref [ (root, ref (List.map snd (Digraph.out_edges g root))) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, succs) :: rest -> (
+          match !succs with
+          | u :: more ->
+              succs := more;
+              if index.(u) = -1 then begin
+                index.(u) <- !next_index;
+                lowlink.(u) <- !next_index;
+                incr next_index;
+                stack := u :: !stack;
+                on_stack.(u) <- true;
+                frames := (u, ref (List.map snd (Digraph.out_edges g u))) :: !frames
+              end
+              else if on_stack.(u) then lowlink.(v) <- min lowlink.(v) index.(u)
+          | [] ->
+              if lowlink.(v) = index.(v) then begin
+                let rec pop () =
+                  match !stack with
+                  | [] -> assert false
+                  | u :: tl ->
+                      stack := tl;
+                      on_stack.(u) <- false;
+                      component.(u) <- !next_comp;
+                      if u <> v then pop ()
+                in
+                pop ();
+                incr next_comp
+              end;
+              frames := rest;
+              (match rest with
+              | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+              | [] -> ()))
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  { count = !next_comp; component }
+
+let components g =
+  let { count; component } = compute g in
+  let buckets = Array.make count [] in
+  let n = Array.length component in
+  for v = n - 1 downto 0 do
+    buckets.(component.(v)) <- v :: buckets.(component.(v))
+  done;
+  buckets
+
+let is_trivial r =
+  r.count = Array.length r.component
+
+let largest r =
+  if r.count = 0 then 0
+  else begin
+    let sizes = Array.make r.count 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) r.component;
+    Array.fold_left max 0 sizes
+  end

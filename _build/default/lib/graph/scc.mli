@@ -1,0 +1,20 @@
+(** Strongly connected components (Tarjan's algorithm).
+
+    Used by the statistics module and by generators to check/ensure
+    connectivity properties of synthetic graphs. *)
+
+type result = {
+  count : int;               (** number of components *)
+  component : int array;     (** node -> component id, ids in reverse topological order *)
+}
+
+val compute : Digraph.t -> result
+
+val components : Digraph.t -> Digraph.node list array
+(** Members of each component, indexed by component id. *)
+
+val is_trivial : result -> bool
+(** Every component is a single node (the graph is a DAG). *)
+
+val largest : result -> int
+(** Size of the largest component. *)

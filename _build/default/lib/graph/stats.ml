@@ -1,0 +1,74 @@
+type t = {
+  n_nodes : int;
+  n_edges : int;
+  n_labels : int;
+  avg_out_degree : float;
+  max_out_degree : int;
+  max_in_degree : int;
+  n_sources : int;
+  n_sinks : int;
+  n_sccs : int;
+  largest_scc : int;
+  label_histogram : (string * int) list;
+  eccentricity_sample : int;
+}
+
+let compute ?(sample = 32) g =
+  let n = Digraph.n_nodes g in
+  let m = Digraph.n_edges g in
+  let max_out = Digraph.fold_nodes (fun acc v -> max acc (Digraph.out_degree g v)) 0 g in
+  let max_in = Digraph.fold_nodes (fun acc v -> max acc (Digraph.in_degree g v)) 0 g in
+  let n_sources =
+    Digraph.fold_nodes (fun acc v -> if Digraph.in_degree g v = 0 then acc + 1 else acc) 0 g
+  in
+  let n_sinks =
+    Digraph.fold_nodes (fun acc v -> if Digraph.out_degree g v = 0 then acc + 1 else acc) 0 g
+  in
+  let scc = Scc.compute g in
+  let hist = Hashtbl.create 16 in
+  Digraph.iter_edges
+    (fun e ->
+      let name = Digraph.label_name g e.Digraph.lbl in
+      Hashtbl.replace hist name (1 + Option.value ~default:0 (Hashtbl.find_opt hist name)))
+    g;
+  let label_histogram =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
+    |> List.sort (fun (k1, c1) (k2, c2) -> if c1 <> c2 then compare c2 c1 else compare k1 k2)
+  in
+  let ecc =
+    if n = 0 then 0
+    else begin
+      let stride = max 1 (n / sample) in
+      let best = ref 0 in
+      let v = ref 0 in
+      while !v < n do
+        best := max !best (Traverse.eccentricity g !v);
+        v := !v + stride
+      done;
+      !best
+    end
+  in
+  {
+    n_nodes = n;
+    n_edges = m;
+    n_labels = Digraph.n_labels g;
+    avg_out_degree = (if n = 0 then 0.0 else float_of_int m /. float_of_int n);
+    max_out_degree = max_out;
+    max_in_degree = max_in;
+    n_sources;
+    n_sinks;
+    n_sccs = scc.Scc.count;
+    largest_scc = Scc.largest scc;
+    label_histogram;
+    eccentricity_sample = ecc;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>nodes: %d@,edges: %d@,labels: %d@,avg out-degree: %.2f@,max out-degree: %d@,\
+     max in-degree: %d@,sources: %d@,sinks: %d@,SCCs: %d (largest %d)@,eccentricity (sampled): %d@,\
+     label histogram:"
+    t.n_nodes t.n_edges t.n_labels t.avg_out_degree t.max_out_degree t.max_in_degree t.n_sources
+    t.n_sinks t.n_sccs t.largest_scc t.eccentricity_sample;
+  List.iter (fun (l, c) -> Format.fprintf ppf "@,  %-12s %d" l c) t.label_histogram;
+  Format.fprintf ppf "@]"

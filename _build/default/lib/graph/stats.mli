@@ -1,0 +1,24 @@
+(** Descriptive statistics of a graph database, for dataset tables and
+    sanity checks on synthetic workloads. *)
+
+type t = {
+  n_nodes : int;
+  n_edges : int;
+  n_labels : int;
+  avg_out_degree : float;
+  max_out_degree : int;
+  max_in_degree : int;
+  n_sources : int;             (** nodes with in-degree 0 *)
+  n_sinks : int;               (** nodes with out-degree 0 *)
+  n_sccs : int;
+  largest_scc : int;
+  label_histogram : (string * int) list;  (** label -> edge count, most frequent first *)
+  eccentricity_sample : int;   (** max BFS eccentricity over a node sample *)
+}
+
+val compute : ?sample:int -> Digraph.t -> t
+(** [sample] bounds how many nodes the eccentricity estimate probes
+    (default 32). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,111 @@
+type t = { path : string; graph : Digraph.t; mutable chan : out_channel; mutable closed : bool }
+
+let check_name name =
+  String.iter
+    (fun c ->
+      if c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Store: name %S contains a tab or newline" name))
+    name
+
+let node_record name = "N\t" ^ name ^ "\n"
+let edge_record src label dst = String.concat "\t" [ "E"; src; label; dst ] ^ "\n"
+
+(* Replay the log into a fresh graph. The last line may be torn (crash
+   during append): if the file does not end in '\n', the tail is
+   silently dropped. Any other malformed record is corruption. *)
+let replay path g =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let complete =
+      match String.rindex_opt text '\n' with
+      | None -> "" (* a single torn record, or empty file *)
+      | Some i -> String.sub text 0 (i + 1)
+    in
+    (* drop the torn tail from the file too, or the next append would
+       concatenate onto the partial record and corrupt the log *)
+    if String.length complete <> String.length text then begin
+      let oc = open_out_bin path in
+      output_string oc complete;
+      close_out oc
+    end;
+    List.iteri
+      (fun lineno line ->
+        if line <> "" then
+          match String.split_on_char '\t' line with
+          | [ "N"; name ] -> ignore (Digraph.add_node g name)
+          | [ "E"; src; label; dst ] -> Digraph.link g src label dst
+          | _ -> failwith (Printf.sprintf "Store: corrupt record at %s:%d" path (lineno + 1)))
+      (String.split_on_char '\n' complete)
+  end
+
+let openfile path =
+  let graph = Digraph.create () in
+  replay path graph;
+  let chan = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { path; graph; chan; closed = false }
+
+let graph t = t.graph
+let path t = t.path
+
+let alive t = if t.closed then invalid_arg "Store: already closed"
+
+let add_node t name =
+  alive t;
+  check_name name;
+  match Digraph.node_of_name t.graph name with
+  | Some v -> v
+  | None ->
+      output_string t.chan (node_record name);
+      Digraph.add_node t.graph name
+
+let link t src label dst =
+  alive t;
+  List.iter check_name [ src; label; dst ];
+  ignore (add_node t src);
+  ignore (add_node t dst);
+  let s = Digraph.node_of_name t.graph src |> Option.get in
+  let d = Digraph.node_of_name t.graph dst |> Option.get in
+  let lbl = Digraph.label_of_name t.graph label in
+  let already =
+    match lbl with Some lbl -> Digraph.mem_edge t.graph ~src:s ~lbl ~dst:d | None -> false
+  in
+  if not already then begin
+    output_string t.chan (edge_record src label dst);
+    Digraph.add_edge t.graph ~src:s ~label ~dst:d
+  end
+
+let sync t =
+  alive t;
+  flush t.chan
+
+let compact t =
+  alive t;
+  flush t.chan;
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (* nodes first so isolated ones survive; edges re-create the rest *)
+  Digraph.iter_nodes
+    (fun v -> output_string oc (node_record (Digraph.node_name t.graph v)))
+    t.graph;
+  Digraph.iter_edges
+    (fun e ->
+      output_string oc
+        (edge_record
+           (Digraph.node_name t.graph e.Digraph.src)
+           (Digraph.label_name t.graph e.Digraph.lbl)
+           (Digraph.node_name t.graph e.Digraph.dst)))
+    t.graph;
+  close_out oc;
+  close_out t.chan;
+  Sys.rename tmp t.path;
+  t.chan <- open_out_gen [ Open_append; Open_binary ] 0o644 t.path
+
+let close t =
+  if not t.closed then begin
+    flush t.chan;
+    close_out t.chan;
+    t.closed <- true
+  end

@@ -1,0 +1,48 @@
+(** Durable graph storage: an append-only log with crash recovery.
+
+    The interactive sessions mutate nothing, but a graph database worth
+    the name must survive restarts. This store keeps the full graph in
+    memory (as {!Digraph}) and appends every mutation to a write-ahead
+    text log, one record per line:
+    {v
+    N <name>                 a node
+    E <src> <label> <dst>    an edge (tab-separated fields)
+    v}
+    On open, the log is replayed; a torn final record (no trailing
+    newline — the crash case) is ignored, so a crash during append loses
+    at most the in-flight record. {!compact} rewrites the log as a
+    minimal snapshot of the current graph.
+
+    Names must not contain tabs or newlines
+    ({!Invalid_argument} otherwise). *)
+
+type t
+
+val openfile : string -> t
+(** Open (replaying the log) or create the store at the path.
+    @raise Failure on a corrupt record that is not a torn tail.
+    @raise Sys_error on I/O errors. *)
+
+val graph : t -> Digraph.t
+(** The live graph. Treat as read-only: mutations must go through the
+    store or they will not be persisted. *)
+
+val path : t -> string
+
+val add_node : t -> string -> Digraph.node
+(** Idempotent, like {!Digraph.add_node}; only logs genuinely new
+    nodes. *)
+
+val link : t -> string -> string -> string -> unit
+(** [link t src label dst] — like {!Digraph.link}; only logs genuinely
+    new nodes/edges. *)
+
+val sync : t -> unit
+(** Flush buffered appends to the OS. *)
+
+val compact : t -> unit
+(** Atomically replace the log with a snapshot of the current graph
+    (write to [path ^ ".tmp"], then rename). *)
+
+val close : t -> unit
+(** Flush and close; the store must not be used afterwards. *)

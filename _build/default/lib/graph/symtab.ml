@@ -1,0 +1,26 @@
+type t = { by_name : (string, int) Hashtbl.t; by_id : string Vec.t }
+
+let create () = { by_name = Hashtbl.create 64; by_id = Vec.create () }
+
+let intern t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some id -> id
+  | None ->
+      let id = Vec.push t.by_id s in
+      Hashtbl.add t.by_name s id;
+      id
+
+let find t s = Hashtbl.find_opt t.by_name s
+
+let name t id =
+  if id < 0 || id >= Vec.length t.by_id then
+    invalid_arg (Printf.sprintf "Symtab.name: unknown id %d" id)
+  else Vec.get t.by_id id
+
+let size t = Vec.length t.by_id
+
+let iter f t = Vec.iteri f t.by_id
+
+let names t = Vec.to_list t.by_id
+
+let copy t = { by_name = Hashtbl.copy t.by_name; by_id = Vec.copy t.by_id }

@@ -1,0 +1,28 @@
+(** String interning tables.
+
+    Graph databases carry no schema: node identifiers and edge labels are
+    arbitrary strings. Interning them to dense integers lets the rest of the
+    system work on [int]s (array-indexed adjacency, bitsets) while keeping
+    the human-readable names around for display. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** [intern t s] returns the id of [s], allocating a fresh one on first
+    sight. Ids are dense, starting at [0], in order of first interning. *)
+
+val find : t -> string -> int option
+(** [find t s] is the id of [s] if already interned. *)
+
+val name : t -> int -> string
+(** [name t id] is the string interned as [id].
+    @raise Invalid_argument on unknown ids. *)
+
+val size : t -> int
+(** Number of interned strings. *)
+
+val iter : (int -> string -> unit) -> t -> unit
+val names : t -> string list
+val copy : t -> t

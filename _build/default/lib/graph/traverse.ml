@@ -1,0 +1,81 @@
+type direction = Out | In | Both
+
+let step g dir v =
+  match dir with
+  | Out -> Digraph.out_edges g v
+  | In -> Digraph.in_edges g v
+  | Both -> Digraph.out_edges g v @ Digraph.in_edges g v
+
+let distances g ?(direction = Out) src =
+  let dist = Array.make (Digraph.n_nodes g) max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let d = dist.(v) in
+    let visit (_, u) =
+      if dist.(u) = max_int then begin
+        dist.(u) <- d + 1;
+        Queue.add u q
+      end
+    in
+    List.iter visit (step g direction v)
+  done;
+  dist
+
+let reachable g ?(direction = Out) src =
+  Array.map (fun d -> d < max_int) (distances g ~direction src)
+
+let reachable_within g ?(direction = Out) src ~radius =
+  let dist = Array.make (Digraph.n_nodes g) max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  let order = ref [ src ] in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let d = dist.(v) in
+    if d < radius then
+      let visit (_, u) =
+        if dist.(u) = max_int then begin
+          dist.(u) <- d + 1;
+          order := u :: !order;
+          Queue.add u q
+        end
+      in
+      List.iter visit (step g direction v)
+  done;
+  List.rev !order
+
+let eccentricity g ?(direction = Out) src =
+  Array.fold_left (fun acc d -> if d < max_int && d > acc then d else acc) 0
+    (distances g ~direction src)
+
+module Iset = Set.Make (Int)
+
+let spell_word g v word =
+  let stepper frontier lbl =
+    Iset.fold
+      (fun u acc -> List.fold_left (fun acc d -> Iset.add d acc) acc (Digraph.succ_by_label g u lbl))
+      frontier Iset.empty
+  in
+  Iset.elements (List.fold_left stepper (Iset.singleton v) word)
+
+let has_word g v word = spell_word g v word <> []
+
+let word_witness_walk g v word =
+  (* Depth-first over the (position-in-word, node) product; the word is
+     finite so the search space is |word| * branching, no cycle risk. *)
+  let rec go u = function
+    | [] -> Some [ u ]
+    | lbl :: rest ->
+        let try_succ acc d =
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match go d rest with Some walk -> Some (u :: walk) | None -> None)
+        in
+        List.fold_left try_succ None (Digraph.succ_by_label g u lbl)
+  in
+  go v word

@@ -1,0 +1,34 @@
+(** Graph traversals: BFS distances, reachability, shortest label-paths. *)
+
+type direction = Out | In | Both
+(** Which edges to follow: outgoing, incoming, or either (the undirected
+    view). The paper's neighborhood views follow [Out] by default, since a
+    path query reads labels along outgoing walks. *)
+
+val step : Digraph.t -> direction -> Digraph.node -> (Digraph.label * Digraph.node) list
+(** Neighbors of a node in the given direction, as [(label, neighbor)]. *)
+
+val distances : Digraph.t -> ?direction:direction -> Digraph.node -> int array
+(** BFS hop distances from the node; unreachable nodes get [max_int]. *)
+
+val reachable : Digraph.t -> ?direction:direction -> Digraph.node -> bool array
+(** Nodes reachable from the node (including itself). *)
+
+val reachable_within : Digraph.t -> ?direction:direction -> Digraph.node -> radius:int -> Digraph.node list
+(** Nodes at hop distance at most [radius], in BFS order (closest first). *)
+
+val eccentricity : Digraph.t -> ?direction:direction -> Digraph.node -> int
+(** Greatest finite BFS distance from the node. *)
+
+val spell_word : Digraph.t -> Digraph.node -> Digraph.label list -> Digraph.node list
+(** [spell_word g v w] is the set of nodes reachable from [v] by a walk
+    whose label sequence is exactly [w] (subset simulation, no
+    duplicates). Empty if no such walk exists. *)
+
+val has_word : Digraph.t -> Digraph.node -> Digraph.label list -> bool
+(** Whether some walk from the node spells the word. The empty word is a
+    walk of every node. *)
+
+val word_witness_walk : Digraph.t -> Digraph.node -> Digraph.label list -> Digraph.node list option
+(** A concrete node sequence [v0; v1; ...; vk] realizing the word from the
+    node, if any ([v0] is the node itself). *)

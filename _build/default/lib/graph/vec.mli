@@ -1,0 +1,30 @@
+(** Growable arrays.
+
+    A thin dynamic-array abstraction used by the graph store for adjacency
+    lists and interned-name tables. OCaml 5.1 has no [Dynarray] in the
+    standard library, so we provide the small subset we need. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh, empty vector. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element. @raise Invalid_argument if out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] replaces the [i]-th element. @raise Invalid_argument if out
+    of bounds. *)
+
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val copy : 'a t -> 'a t

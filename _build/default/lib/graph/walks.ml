@@ -1,0 +1,88 @@
+type word = Digraph.label list
+
+module Iset = Set.Make (Int)
+
+(* Breadth-first over distinct (word, endpoint-set) states: standard
+   on-the-fly subset construction of the node's path language. Distinct
+   words of the same length are visited in lexicographic order because
+   extension labels are sorted. *)
+let fold_words g v ~max_len f acc =
+  let next_labels frontier =
+    let add acc (l, _) = Iset.add l acc in
+    Iset.elements
+      (Iset.fold (fun u acc -> List.fold_left add acc (Digraph.out_edges g u)) frontier Iset.empty)
+  in
+  let extend frontier lbl =
+    Iset.fold
+      (fun u acc -> List.fold_left (fun acc d -> Iset.add d acc) acc (Digraph.succ_by_label g u lbl))
+      frontier Iset.empty
+  in
+  let q = Queue.create () in
+  Queue.add ([], Iset.singleton v) q;
+  let acc = ref acc in
+  (try
+     while not (Queue.is_empty q) do
+       let rev_word, frontier = Queue.pop q in
+       let len = List.length rev_word in
+       if len > 0 then begin
+         match f !acc (List.rev rev_word) (Iset.elements frontier) with
+         | `Stop a ->
+             acc := a;
+             raise Exit
+         | `Continue a -> acc := a
+       end;
+       if len < max_len then
+         List.iter
+           (fun lbl -> Queue.add (lbl :: rev_word, extend frontier lbl) q)
+           (next_labels frontier)
+     done
+   with Exit -> ());
+  !acc
+
+let words_with_endpoints g v ~max_len =
+  List.rev (fold_words g v ~max_len (fun acc w ends -> `Continue ((w, ends) :: acc)) [])
+
+let words g v ~max_len = List.map fst (words_with_endpoints g v ~max_len)
+
+let exists_word g v ~max_len p =
+  fold_words g v ~max_len (fun acc w _ -> if p w then `Stop (Some w) else `Continue acc) None
+
+let count_walks g v ~max_len =
+  (* DP on walk counts per node per length; saturating addition. *)
+  let n = Digraph.n_nodes g in
+  let sat_add a b = if a > max_int - b then max_int else a + b in
+  let cur = Array.make n 0 in
+  cur.(v) <- 1;
+  let total = ref 0 in
+  let cur = ref cur in
+  for _ = 1 to max_len do
+    let nxt = Array.make n 0 in
+    Array.iteri
+      (fun u c ->
+        if c > 0 then
+          List.iter (fun (_, d) -> nxt.(d) <- sat_add nxt.(d) c) (Digraph.out_edges g u))
+      !cur;
+    Array.iter (fun c -> total := sat_add !total c) nxt;
+    cur := nxt
+  done;
+  !total
+
+let pp_word g ppf = function
+  | [] -> Format.pp_print_string ppf "\xce\xb5" (* ε *)
+  | w ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '.')
+        (fun ppf l -> Format.pp_print_string ppf (Digraph.label_name g l))
+        ppf w
+
+let word_of_names g names =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | s :: rest -> (
+        match Digraph.label_of_name g s with
+        | Some l -> go (l :: acc) rest
+        | None -> None)
+  in
+  go [] names
+
+let word_names g w = List.map (Digraph.label_name g) w

@@ -1,0 +1,37 @@
+(** Enumeration of the {e paths of a node}: the label words spelled by walks
+    leaving it.
+
+    In the paper, the paths of a node [ν] are the words read along walks
+    starting at [ν]; a path query selects [ν] iff one of its paths belongs
+    to the query language. The path language of a node is in general
+    infinite (cycles), so all enumeration here is bounded by a word
+    length. *)
+
+type word = Digraph.label list
+
+val words : Digraph.t -> Digraph.node -> max_len:int -> word list
+(** All distinct non-empty words of length at most [max_len] spelled by
+    walks from the node, in length-then-lexicographic (by label id) order. *)
+
+val words_with_endpoints : Digraph.t -> Digraph.node -> max_len:int -> (word * Digraph.node list) list
+(** Same, each word paired with the set of endpoints its walks can reach. *)
+
+val count_walks : Digraph.t -> Digraph.node -> max_len:int -> int
+(** Number of non-empty walks (not distinct words) of length at most
+    [max_len] leaving the node. Grows fast on dense graphs; capped at
+    [max_int]. *)
+
+val exists_word : Digraph.t -> Digraph.node -> max_len:int -> (word -> bool) -> word option
+(** First word (in enumeration order) of length at most [max_len]
+    satisfying the predicate, if any. Prunes by prefix: a word is only
+    extended, never skipped, so the predicate sees every candidate. *)
+
+val pp_word : Digraph.t -> Format.formatter -> word -> unit
+(** Renders a word as [lbl1.lbl2.....lbln] by label name; the empty word
+    as [ε]. *)
+
+val word_of_names : Digraph.t -> string list -> word option
+(** Translates label names to a word; [None] if some label is unknown to
+    the graph. *)
+
+val word_names : Digraph.t -> word -> string list

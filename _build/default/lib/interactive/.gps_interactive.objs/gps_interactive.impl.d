@@ -1,0 +1,1 @@
+lib/interactive/gps_interactive.ml: Batch Explain History Informative Journal Oracle Propagate Session Simulate Strategy Transcript View

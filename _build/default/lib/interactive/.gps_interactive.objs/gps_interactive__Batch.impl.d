@@ -1,0 +1,1 @@
+lib/interactive/batch.ml: Format Gps_query List Oracle Session Simulate

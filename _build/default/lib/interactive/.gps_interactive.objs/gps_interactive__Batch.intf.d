@@ -1,0 +1,1 @@
+lib/interactive/batch.mli: Format Gps_graph Gps_query Session Strategy

@@ -1,0 +1,1 @@
+lib/interactive/explain.ml: Format Gps_graph Gps_learning Gps_query List Session String

@@ -1,0 +1,1 @@
+lib/interactive/explain.mli: Format Gps_graph Session

@@ -1,0 +1,1 @@
+lib/interactive/history.ml: List Session

@@ -1,0 +1,1 @@
+lib/interactive/history.mli: Gps_graph Session Strategy

@@ -1,0 +1,1 @@
+lib/interactive/informative.ml: Gps_graph Gps_learning Int List Set

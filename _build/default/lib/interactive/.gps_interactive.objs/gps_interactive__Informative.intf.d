@@ -1,0 +1,1 @@
+lib/interactive/informative.mli: Gps_graph

@@ -1,0 +1,1 @@
+lib/interactive/journal.ml: Gps_graph Gps_query List Oracle Printf View

@@ -1,0 +1,1 @@
+lib/interactive/journal.mli: Oracle

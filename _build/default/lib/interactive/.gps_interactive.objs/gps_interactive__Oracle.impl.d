@@ -1,0 +1,1 @@
+lib/interactive/oracle.ml: Gps_graph Gps_query List Printf View

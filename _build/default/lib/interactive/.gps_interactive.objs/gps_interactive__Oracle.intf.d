@@ -1,0 +1,1 @@
+lib/interactive/oracle.mli: Gps_graph Gps_query View

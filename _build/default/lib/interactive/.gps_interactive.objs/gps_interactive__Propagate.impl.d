@@ -1,0 +1,1 @@
+lib/interactive/propagate.ml: Gps_graph Gps_query Informative List

@@ -1,0 +1,1 @@
+lib/interactive/propagate.mli: Gps_graph

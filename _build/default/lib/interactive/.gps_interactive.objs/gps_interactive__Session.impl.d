@@ -1,0 +1,1 @@
+lib/interactive/session.ml: Gps_graph Gps_learning Gps_query Gps_regex Int List Option Propagate Set Strategy View

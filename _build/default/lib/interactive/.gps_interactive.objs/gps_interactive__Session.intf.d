@@ -1,0 +1,1 @@
+lib/interactive/session.mli: Gps_graph Gps_learning Gps_query Strategy View

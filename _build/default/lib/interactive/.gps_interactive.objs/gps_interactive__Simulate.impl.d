@@ -1,0 +1,1 @@
+lib/interactive/simulate.ml: Gps_query List Oracle Session

@@ -1,0 +1,1 @@
+lib/interactive/simulate.mli: Gps_graph Gps_query Oracle Session Strategy

@@ -1,0 +1,1 @@
+lib/interactive/strategy.ml: Gps_graph Informative List Printf

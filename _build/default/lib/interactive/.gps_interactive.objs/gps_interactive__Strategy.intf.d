@@ -1,0 +1,1 @@
+lib/interactive/strategy.mli: Gps_graph

@@ -1,0 +1,1 @@
+lib/interactive/transcript.ml: Buffer Gps_graph Gps_query List Oracle Printf Session String View

@@ -1,0 +1,1 @@
+lib/interactive/transcript.mli: Gps_graph Gps_query Oracle Session Strategy

@@ -1,0 +1,1 @@
+lib/interactive/view.ml: Gps_graph Gps_query List

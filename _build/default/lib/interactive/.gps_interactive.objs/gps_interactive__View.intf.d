@@ -1,0 +1,1 @@
+lib/interactive/view.mli: Gps_graph

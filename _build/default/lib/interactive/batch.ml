@@ -1,0 +1,54 @@
+type summary = {
+  runs : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize = function
+  | [] -> invalid_arg "Batch.summarize: empty sample"
+  | xs ->
+      let n = List.length xs in
+      let nf = float_of_int n in
+      let mean = List.fold_left ( +. ) 0.0 xs /. nf in
+      let var = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. nf in
+      let sorted = List.sort compare xs in
+      {
+        runs = n;
+        mean;
+        stddev = sqrt var;
+        min = List.hd sorted;
+        max = List.nth sorted (n - 1);
+        median = List.nth sorted (n / 2);
+      }
+
+type run_result = {
+  questions : int;
+  labels : int;
+  zooms : int;
+  validations : int;
+  pruned : int;
+  reached_goal : bool;
+}
+
+let run_once ?config g ~strategy ~goal =
+  let trace = Simulate.run ?config g ~strategy ~user:(Oracle.perfect ~goal) in
+  let counters = trace.Simulate.counters in
+  {
+    questions = trace.Simulate.questions;
+    labels = counters.Session.labels;
+    zooms = counters.Session.zooms;
+    validations = counters.Session.validations;
+    pruned = trace.Simulate.pruned;
+    reached_goal =
+      Gps_query.Eval.select g trace.Simulate.outcome.Session.query
+      = Gps_query.Eval.select g goal;
+  }
+
+let over_seeds ?config g ~strategy ~goal ~seeds ~metric =
+  summarize (List.map (fun seed -> metric (run_once ?config g ~strategy:(strategy ~seed) ~goal)) seeds)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%.1f +/- %.1f [%.0f, %.0f]" s.mean s.stddev s.min s.max

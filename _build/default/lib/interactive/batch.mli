@@ -1,0 +1,48 @@
+(** Batch experiment runner: many sessions, aggregated.
+
+    The evaluation tables all have the same shape — run a session per
+    (graph, goal, strategy, seed) and aggregate a metric. This module
+    centralizes that loop with summary statistics, so the benchmark
+    harness and downstream evaluations share one implementation. *)
+
+type summary = {
+  runs : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on []. *)
+
+type run_result = {
+  questions : int;
+  labels : int;
+  zooms : int;
+  validations : int;
+  pruned : int;
+  reached_goal : bool;  (** learned query selects exactly the goal's nodes *)
+}
+
+val run_once :
+  ?config:Session.config ->
+  Gps_graph.Digraph.t ->
+  strategy:Strategy.t ->
+  goal:Gps_query.Rpq.t ->
+  run_result
+
+val over_seeds :
+  ?config:Session.config ->
+  Gps_graph.Digraph.t ->
+  strategy:(seed:int -> Strategy.t) ->
+  goal:Gps_query.Rpq.t ->
+  seeds:int list ->
+  metric:(run_result -> float) ->
+  summary
+(** One session per seed (the strategy factory receives it); aggregate
+    [metric]. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** [mean ± stddev [min, max]]. *)

@@ -1,0 +1,24 @@
+(** Explanations: why a node carries the label it does.
+
+    Non-expert users trust a system they can interrogate. Given a session
+    state, this module justifies the status of any node in terms the user
+    has already seen — validated paths, coverage by her own negatives —
+    rather than automata internals. *)
+
+type reason =
+  | User_positive of string list option
+      (** she labeled it, with her validated path of interest if given *)
+  | User_negative
+  | Implied_positive of string list
+      (** it shares this validated path with a node she labeled positive *)
+  | Pruned of string list * Gps_graph.Digraph.node
+      (** uninformative: its example path (shortest, within the session
+          bound) is covered by this negative node — as is every other *)
+  | Selected_by_hypothesis of string list
+      (** unlabeled, but the current learned query selects it via this
+          witness *)
+  | Unconstrained  (** nothing known about it yet *)
+
+val explain : Session.t -> Gps_graph.Digraph.node -> reason
+
+val render : Gps_graph.Digraph.t -> Format.formatter -> reason -> unit

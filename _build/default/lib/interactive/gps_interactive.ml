@@ -1,0 +1,17 @@
+(** The GPS interactive engine: informativeness and pruning, zoomable
+    neighborhood and path-tree views, node-proposal strategies, label
+    propagation, the Figure-2 session state machine, simulated users and
+    the session runner. *)
+
+module Informative = Informative
+module View = View
+module Strategy = Strategy
+module Propagate = Propagate
+module Session = Session
+module Oracle = Oracle
+module Simulate = Simulate
+module Journal = Journal
+module Batch = Batch
+module History = History
+module Transcript = Transcript
+module Explain = Explain

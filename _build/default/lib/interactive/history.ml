@@ -1,0 +1,18 @@
+type t = { current : Session.t; past : Session.t list }
+
+let start ?config ~strategy g = { current = Session.start ?config ~strategy g; past = [] }
+
+let current t = t.current
+let request t = Session.request t.current
+
+let push t next = { current = next; past = t.current :: t.past }
+
+let answer_label t reply = push t (Session.answer_label t.current reply)
+let answer_path t word = push t (Session.answer_path t.current word)
+let accept t = push t (Session.accept t.current)
+let refine t = push t (Session.refine t.current)
+
+let undo t =
+  match t.past with [] -> None | prev :: rest -> Some { current = prev; past = rest }
+
+let depth t = List.length t.past

@@ -1,0 +1,27 @@
+(** Undoable sessions.
+
+    {!Session} is immutable, so undo is just keeping the previous states
+    around. Real users change their minds — the demo's static scenario
+    even lets them make outright mistakes — and the cost of a wrong label
+    in the interactive scenario would otherwise be restarting the whole
+    session. The CLI exposes this as the [u] answer. *)
+
+type t
+
+val start : ?config:Session.config -> strategy:Strategy.t -> Gps_graph.Digraph.t -> t
+
+val current : t -> Session.t
+val request : t -> Session.request
+
+val answer_label : t -> [ `Pos | `Neg | `Zoom ] -> t
+val answer_path : t -> string list -> t
+val accept : t -> t
+val refine : t -> t
+(** All four record the pre-answer state before delegating to
+    {!Session}. *)
+
+val undo : t -> t option
+(** Back to the state before the latest answer; [None] at the start. *)
+
+val depth : t -> int
+(** Number of answers that can be undone. *)

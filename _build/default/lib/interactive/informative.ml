@@ -1,0 +1,43 @@
+module Digraph = Gps_graph.Digraph
+module Ws = Gps_learning.Witness_search
+
+let is_informative g ~negatives ~bound v =
+  match Ws.search g ~max_len:bound v ~negatives with
+  | Ws.Found _ -> true
+  | Ws.Uninformative | Ws.Timeout -> false
+
+let score g ~negatives ~bound v = Ws.count_uncovered g v ~negatives ~max_len:bound
+
+module Iset = Set.Make (Int)
+
+let sampled_score g ~negatives ~bound ~samples ~rng v =
+  let module Prng = Gps_graph.Prng in
+  (* one random walk from v; uncovered iff at some prefix the negatives'
+     subset-frontier dies while the walk is still alive *)
+  let walk_is_uncovered () =
+    let rec go u neg_frontier steps =
+      if Iset.is_empty neg_frontier then true
+      else if steps = 0 then false
+      else
+        match Digraph.out_edges g u with
+        | [] -> false
+        | outs ->
+            let lbl, u' = Prng.pick rng outs in
+            let frontier' =
+              Iset.fold
+                (fun n acc ->
+                  List.fold_left (fun acc d -> Iset.add d acc) acc (Digraph.succ_by_label g n lbl))
+                neg_frontier Iset.empty
+            in
+            go u' frontier' (steps - 1)
+    in
+    go v (Iset.of_list negatives) bound
+  in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if walk_is_uncovered () then incr hits
+  done;
+  !hits
+
+let uninformative_nodes g ~negatives ~bound =
+  List.filter (fun v -> not (is_informative g ~negatives ~bound v)) (Digraph.nodes g)

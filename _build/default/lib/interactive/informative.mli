@@ -1,0 +1,52 @@
+(** Informativeness of nodes — the paper's pruning criterion.
+
+    "Intuitively, a node is uninformative if all its paths are covered by
+    negative nodes": labeling it positive would be inconsistent, labeling
+    it negative adds nothing, so GPS never proposes it and prunes it from
+    the candidate pool. Already-labeled nodes and nodes whose label is
+    implied by propagation are likewise uninformative.
+
+    All checks are length-bounded ([bound]) as in the paper's practical
+    strategies, making them polynomial per node. *)
+
+val is_informative :
+  Gps_graph.Digraph.t ->
+  negatives:Gps_graph.Digraph.node list ->
+  bound:int ->
+  Gps_graph.Digraph.node ->
+  bool
+(** Some path of the node of length ≤ [bound] is uncovered. With no
+    negatives every node with ε uncovered — i.e. every node — is
+    informative. *)
+
+val score :
+  Gps_graph.Digraph.t ->
+  negatives:Gps_graph.Digraph.node list ->
+  bound:int ->
+  Gps_graph.Digraph.node ->
+  int
+(** Number of distinct uncovered words of length ≤ [bound] — what the
+    smart strategy maximizes ("nodes having an important number of paths
+    that are shorter than a fixed bound and not covered by any
+    negative"). *)
+
+val sampled_score :
+  Gps_graph.Digraph.t ->
+  negatives:Gps_graph.Digraph.node list ->
+  bound:int ->
+  samples:int ->
+  rng:Gps_graph.Prng.t ->
+  Gps_graph.Digraph.node ->
+  int
+(** Monte-Carlo approximation of {!score}: how many of [samples] random
+    walks of length ≤ [bound] from the node spell an uncovered word.
+    O(samples · bound · |negatives-frontier|) instead of enumerating every
+    word — the scalable strategy variant benchmarked by [--exp sampled].
+    Between 0 and [samples]; correlated with, not equal to, {!score}. *)
+
+val uninformative_nodes :
+  Gps_graph.Digraph.t ->
+  negatives:Gps_graph.Digraph.node list ->
+  bound:int ->
+  Gps_graph.Digraph.node list
+(** All nodes with zero uncovered words — the prune set. *)

@@ -1,0 +1,159 @@
+module Digraph = Gps_graph.Digraph
+module Json = Gps_graph.Json
+
+type answer =
+  | Label of string option * [ `Pos | `Neg | `Zoom ]
+  | Validate of string option * string list
+  | Satisfied of string * bool
+
+type t = answer list
+
+let recording (user : Oracle.user) =
+  let log = ref [] in
+  let push a = log := a :: !log in
+  let wrapped =
+    {
+      Oracle.name = user.Oracle.name ^ "+rec";
+      label =
+        (fun g view ->
+          let a = user.Oracle.label g view in
+          push (Label (Some (Digraph.node_name g view.View.node), a));
+          a);
+      validate =
+        (fun g tree ->
+          let w = user.Oracle.validate g tree in
+          push (Validate (Some (Digraph.node_name g tree.View.node), w));
+          w);
+      satisfied =
+        (fun g q ->
+          let ok = user.Oracle.satisfied g q in
+          push (Satisfied (Gps_query.Rpq.to_string q, ok));
+          ok);
+    }
+  in
+  (wrapped, fun () -> List.rev !log)
+
+let replayer ?(strict = true) journal =
+  let remaining = ref journal in
+  let next kind =
+    match !remaining with
+    | [] -> failwith (Printf.sprintf "Journal.replayer: journal exhausted awaiting %s" kind)
+    | a :: rest ->
+        remaining := rest;
+        a
+  in
+  let check_node kind recorded g actual =
+    match recorded with
+    | Some name when strict && name <> Digraph.node_name g actual ->
+        failwith
+          (Printf.sprintf "Journal.replayer: %s diverged (recorded %s, session shows %s)" kind
+             name (Digraph.node_name g actual))
+    | Some _ | None -> ()
+  in
+  {
+    Oracle.name = "replay";
+    label =
+      (fun g view ->
+        match next "label" with
+        | Label (node, a) ->
+            check_node "label" node g view.View.node;
+            a
+        | Validate _ | Satisfied _ -> failwith "Journal.replayer: expected a label entry");
+    validate =
+      (fun g tree ->
+        match next "validate" with
+        | Validate (node, w) ->
+            check_node "validate" node g tree.View.node;
+            w
+        | Label _ | Satisfied _ -> failwith "Journal.replayer: expected a validate entry");
+    satisfied =
+      (fun _g _q ->
+        match next "satisfied" with
+        | Satisfied (_, ok) -> ok
+        | Label _ | Validate _ -> failwith "Journal.replayer: expected a satisfied entry");
+  }
+
+(* -------------------------------------------------------------- *)
+(* JSON codec *)
+
+let answer_to_json = function
+  | Label (node, a) ->
+      Json.Object
+        [
+          ("kind", Json.String "label");
+          ("node", match node with Some n -> Json.String n | None -> Json.Null);
+          ( "answer",
+            Json.String (match a with `Pos -> "pos" | `Neg -> "neg" | `Zoom -> "zoom") );
+        ]
+  | Validate (node, w) ->
+      Json.Object
+        [
+          ("kind", Json.String "validate");
+          ("node", match node with Some n -> Json.String n | None -> Json.Null);
+          ("word", Json.Array (List.map (fun s -> Json.String s) w));
+        ]
+  | Satisfied (q, ok) ->
+      Json.Object
+        [ ("kind", Json.String "satisfied"); ("query", Json.String q); ("ok", Json.Bool ok) ]
+
+let to_json t = Json.value_to_string ~pretty:true (Json.Array (List.map answer_to_json t))
+
+let answer_of_json v =
+  let str_field f =
+    match Json.member f v with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" f)
+  in
+  let node_field () =
+    match Json.member "node" v with Some (Json.String s) -> Some s | _ -> None
+  in
+  match str_field "kind" with
+  | Error e -> Error e
+  | Ok "label" -> (
+      match str_field "answer" with
+      | Ok "pos" -> Ok (Label (node_field (), `Pos))
+      | Ok "neg" -> Ok (Label (node_field (), `Neg))
+      | Ok "zoom" -> Ok (Label (node_field (), `Zoom))
+      | Ok other -> Error (Printf.sprintf "bad answer %S" other)
+      | Error e -> Error e)
+  | Ok "validate" -> (
+      match Json.member "word" v with
+      | Some (Json.Array items) ->
+          let strings =
+            List.filter_map (function Json.String s -> Some s | _ -> None) items
+          in
+          if List.length strings = List.length items then Ok (Validate (node_field (), strings))
+          else Error "word must be an array of strings"
+      | _ -> Error "missing word array")
+  | Ok "satisfied" -> (
+      match (str_field "query", Json.member "ok" v) with
+      | Ok q, Some (Json.Bool ok) -> Ok (Satisfied (q, ok))
+      | Error e, _ -> Error e
+      | _, _ -> Error "missing bool field ok")
+  | Ok other -> Error (Printf.sprintf "unknown entry kind %S" other)
+
+let of_json text =
+  match Json.value_of_string text with
+  | exception Json.Parse_error (pos, msg) -> Error (Printf.sprintf "json error at %d: %s" pos msg)
+  | Json.Array items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match answer_of_json item with Ok a -> go (a :: acc) rest | Error e -> Error e)
+      in
+      go [] items
+  | _ -> Error "journal must be a JSON array"
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      of_json text

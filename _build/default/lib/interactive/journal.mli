@@ -1,0 +1,32 @@
+(** Session journals: record a user's answers, replay them later.
+
+    A journal is the pure answer stream of one session — enough to
+    reproduce it bit-for-bit on the same graph with the same strategy and
+    configuration (the engine is deterministic given those). Used to
+    persist demo sessions, turn real interactive runs into regression
+    tests, and debug strategy changes against recorded users. *)
+
+type answer =
+  | Label of string option * [ `Pos | `Neg | `Zoom ]
+      (** the node name shown (recorded for readability; checked on replay
+          when present) *)
+  | Validate of string option * string list
+  | Satisfied of string * bool  (** proposed query text, user's verdict *)
+
+type t = answer list
+
+val recording : Oracle.user -> Oracle.user * (unit -> t)
+(** Wrap a user; the thunk returns everything answered so far (oldest
+    first). *)
+
+val replayer : ?strict:bool -> t -> Oracle.user
+(** A user that replays the journal in order.
+    @raise Failure when the journal runs out, or — with [strict] (default
+    true) — when the session asks about a different node than the one
+    recorded. *)
+
+val to_json : t -> string
+val of_json : string -> (t, string) result
+
+val save : string -> t -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,107 @@
+module Digraph = Gps_graph.Digraph
+module Neighborhood = Gps_graph.Neighborhood
+module Rpq = Gps_query.Rpq
+module Eval = Gps_query.Eval
+module Witness = Gps_query.Witness
+module Prng = Gps_graph.Prng
+
+type user = {
+  name : string;
+  label : Digraph.t -> View.neighborhood -> [ `Pos | `Neg | `Zoom ];
+  validate : Digraph.t -> View.path_tree -> string list;
+  satisfied : Digraph.t -> Rpq.t -> bool;
+}
+
+let goal_label ~goal ~zooms g (view : View.neighborhood) =
+  let v = view.View.node in
+  match Witness.find g goal v with
+  | None -> `Neg
+  | Some w ->
+      let radius = view.View.fragment.Neighborhood.radius in
+      if List.length w.Witness.word <= radius then `Pos
+      else if (not zooms) || Neighborhood.is_complete g view.View.fragment then `Pos
+      else `Zoom
+
+let goal_validate ~goal _g (tree : View.path_tree) =
+  let in_goal = List.filter (fun w -> Rpq.matches_word goal w) tree.View.words in
+  let shortest ws =
+    List.fold_left
+      (fun best w ->
+        match best with
+        | Some b when List.length b <= List.length w -> best
+        | _ -> Some w)
+      None ws
+  in
+  match shortest in_goal with
+  | Some w -> w
+  | None ->
+      (* her path of interest is not among the candidates (she answered
+         before zooming far enough): accept the system's suggestion, as a
+         hurried user would *)
+      tree.View.suggested
+
+let goal_satisfied ~goal g q = Eval.select g q = Eval.select g goal
+
+let perfect ~goal =
+  {
+    name = "perfect";
+    label = goal_label ~goal ~zooms:true;
+    validate = goal_validate ~goal;
+    satisfied = goal_satisfied ~goal;
+  }
+
+let eager ~goal =
+  {
+    name = "eager";
+    label = goal_label ~goal ~zooms:false;
+    validate = goal_validate ~goal;
+    satisfied = goal_satisfied ~goal;
+  }
+
+let trusting ~goal =
+  {
+    name = "trusting";
+    label = goal_label ~goal ~zooms:true;
+    validate = (fun _g (tree : View.path_tree) -> tree.View.suggested);
+    satisfied = goal_satisfied ~goal;
+  }
+
+let hesitant ~goal ~extra_zooms =
+  (* zooms [extra_zooms] more times than needed before every label — the
+     cautious user; exercises deep-radius views *)
+  let pending = ref 0 in
+  let base = perfect ~goal in
+  {
+    base with
+    name = Printf.sprintf "hesitant(%d)" extra_zooms;
+    label =
+      (fun g view ->
+        match base.label g view with
+        | `Zoom ->
+            pending := extra_zooms;
+            `Zoom
+        | (`Pos | `Neg) as l ->
+            if !pending > 0 && not (Neighborhood.is_complete g view.View.fragment) then begin
+              decr pending;
+              `Zoom
+            end
+            else begin
+              pending := extra_zooms;
+              l
+            end);
+  }
+
+let noisy ~goal ~flip ~seed =
+  let rng = Prng.create ~seed in
+  let base = eager ~goal in
+  {
+    base with
+    name = Printf.sprintf "noisy(%.2f)" flip;
+    label =
+      (fun g view ->
+        match base.label g view with
+        | `Zoom -> `Zoom
+        | (`Pos | `Neg) as l ->
+            if Prng.float rng 1.0 < flip then match l with `Pos -> `Neg | `Neg -> `Pos
+            else l);
+  }

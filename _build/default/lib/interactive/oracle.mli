@@ -1,0 +1,41 @@
+(** Simulated users.
+
+    The demo lets humans drive GPS; the measured evaluation (as in the
+    companion paper) drives it with oracles that answer according to a
+    hidden goal query. An oracle only uses information a person could
+    read off the screen: the current neighborhood fragment for labeling
+    decisions, the proposed path tree for validation, and query answers on
+    the instance for the satisfaction check. *)
+
+type user = {
+  name : string;
+  label : Gps_graph.Digraph.t -> View.neighborhood -> [ `Pos | `Neg | `Zoom ];
+  validate : Gps_graph.Digraph.t -> View.path_tree -> string list;
+  satisfied : Gps_graph.Digraph.t -> Gps_query.Rpq.t -> bool;
+}
+
+val perfect : goal:Gps_query.Rpq.t -> user
+(** Labels nodes by the goal query; zooms out while her shortest witness
+    for a selected node is longer than the shown radius (and the fragment
+    is still incomplete); validates the shortest candidate path belonging
+    to the goal language; is satisfied when the proposal selects exactly
+    the goal's nodes on this graph. *)
+
+val eager : goal:Gps_query.Rpq.t -> user
+(** Same, but never zooms — answers on the first view. Used to measure
+    what path validation buys when the user under-explores. *)
+
+val hesitant : goal:Gps_query.Rpq.t -> extra_zooms:int -> user
+(** Like {!perfect} but zooms [extra_zooms] more times than necessary
+    before committing to each label (never past a complete fragment) —
+    the cautious user, inflating the zoom count without changing
+    labels. *)
+
+val trusting : goal:Gps_query.Rpq.t -> user
+(** Labels and zooms like {!perfect}, but always validates whatever path
+    the system suggests — the user who clicks "looks right". Measures how
+    much the suggestion heuristic itself matters ([--exp suggestion]). *)
+
+val noisy : goal:Gps_query.Rpq.t -> flip:float -> seed:int -> user
+(** Flips each label with probability [flip] — models the mistakes the
+    paper allows only in the static scenario. Never zooms. *)

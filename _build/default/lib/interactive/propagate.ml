@@ -1,0 +1,7 @@
+module Digraph = Gps_graph.Digraph
+
+let implied_positives g ~word =
+  List.filter (fun v -> Gps_query.Pathlang.covers g [ v ] word) (Digraph.nodes g)
+
+let implied_negatives g ~negatives ~bound ~among =
+  List.filter (fun v -> not (Informative.is_informative g ~negatives ~bound v)) among

@@ -1,0 +1,53 @@
+type snapshot = { at_questions : int; hypothesis : Gps_query.Rpq.t }
+
+type trace = {
+  outcome : Session.outcome;
+  counters : Session.counters;
+  questions : int;
+  pruned : int;
+  implied_pos : int;
+  history : snapshot list;
+}
+
+let run ?config ?(max_steps = 100_000) g ~strategy ~user =
+  let rec loop t history steps =
+    if steps > max_steps then failwith "Simulate.run: step budget exceeded"
+    else
+      match Session.request t with
+      | Session.Finished outcome ->
+          {
+            outcome;
+            counters = Session.counters t;
+            questions = Session.questions t;
+            pruned = List.length (Session.implied_neg t);
+            implied_pos = List.length (Session.implied_pos t);
+            history = List.rev history;
+          }
+      | Session.Ask_label view -> loop (Session.answer_label t (user.Oracle.label g view)) history (steps + 1)
+      | Session.Ask_path tree -> loop (Session.answer_path t (user.Oracle.validate g tree)) history (steps + 1)
+      | Session.Propose q ->
+          let history = { at_questions = Session.questions t; hypothesis = q } :: history in
+          let t = if user.Oracle.satisfied g q then Session.accept t else Session.refine t in
+          loop t history (steps + 1)
+  in
+  loop (Session.start ?config ~strategy g) [] 0
+
+let final_state ?config ?(max_steps = 100_000) g ~strategy ~user =
+  let rec loop t steps =
+    if steps > max_steps then failwith "Simulate.final_state: step budget exceeded"
+    else
+      match Session.request t with
+      | Session.Finished _ -> t
+      | Session.Ask_label view -> loop (Session.answer_label t (user.Oracle.label g view)) (steps + 1)
+      | Session.Ask_path tree -> loop (Session.answer_path t (user.Oracle.validate g tree)) (steps + 1)
+      | Session.Propose q ->
+          loop ((if user.Oracle.satisfied g q then Session.accept else Session.refine) t) (steps + 1)
+  in
+  loop (Session.start ?config ~strategy g) 0
+
+let interactions_to_learn ?config g ~strategy ~goal =
+  let trace = run ?config g ~strategy ~user:(Oracle.perfect ~goal) in
+  let reached =
+    Gps_query.Eval.select g trace.outcome.Session.query = Gps_query.Eval.select g goal
+  in
+  if reached then Some trace.questions else None

@@ -1,0 +1,48 @@
+(** Driving a session to completion with a simulated user, recording the
+    measurements the evaluation reports. *)
+
+type snapshot = {
+  at_questions : int;            (** user answers given so far *)
+  hypothesis : Gps_query.Rpq.t;  (** proposal at that point *)
+}
+
+type trace = {
+  outcome : Session.outcome;
+  counters : Session.counters;
+  questions : int;       (** labels + zooms + validations — the paper's measure *)
+  pruned : int;          (** nodes pruned as uninformative *)
+  implied_pos : int;     (** nodes auto-labeled positive by propagation *)
+  history : snapshot list;  (** hypothesis after each proposal, oldest first *)
+}
+
+val run :
+  ?config:Session.config ->
+  ?max_steps:int ->
+  Gps_graph.Digraph.t ->
+  strategy:Strategy.t ->
+  user:Oracle.user ->
+  trace
+(** [max_steps] (default 100_000) bounds machine steps as a safety net
+    against a user that answers pathologically (e.g. zooming forever).
+    @raise Failure if exceeded. *)
+
+val final_state :
+  ?config:Session.config ->
+  ?max_steps:int ->
+  Gps_graph.Digraph.t ->
+  strategy:Strategy.t ->
+  user:Oracle.user ->
+  Session.t
+(** Like {!run}, but returns the finished session itself — for callers
+    that need its full state afterwards (explanations, sample
+    inspection). *)
+
+val interactions_to_learn :
+  ?config:Session.config ->
+  Gps_graph.Digraph.t ->
+  strategy:Strategy.t ->
+  goal:Gps_query.Rpq.t ->
+  int option
+(** Questions a {!Oracle.perfect} user needs before the session ends with
+    her satisfied (or with no informative nodes and the right answer);
+    [None] when the session ends without reaching the goal's selection. *)

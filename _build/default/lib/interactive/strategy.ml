@@ -1,0 +1,78 @@
+module Digraph = Gps_graph.Digraph
+module Prng = Gps_graph.Prng
+
+type context = {
+  graph : Digraph.t;
+  excluded : Digraph.node -> bool;
+  negatives : Digraph.node list;
+  bound : int;
+}
+
+type t = { name : string; choose : context -> Digraph.node option }
+
+let candidates ctx =
+  List.filter
+    (fun v ->
+      (not (ctx.excluded v))
+      && Informative.is_informative ctx.graph ~negatives:ctx.negatives ~bound:ctx.bound v)
+    (Digraph.nodes ctx.graph)
+
+let random ~seed =
+  let rng = Prng.create ~seed in
+  {
+    name = "random";
+    choose =
+      (fun ctx ->
+        match candidates ctx with [] -> None | cs -> Some (Prng.pick rng cs));
+  }
+
+let best_by score = function
+  | [] -> None
+  | c :: cs ->
+      let better best v = if score v > score best then v else best in
+      Some (List.fold_left better c cs)
+
+let max_degree =
+  {
+    name = "degree";
+    choose = (fun ctx -> best_by (fun v -> Digraph.out_degree ctx.graph v) (candidates ctx));
+  }
+
+let smart =
+  {
+    name = "smart";
+    choose =
+      (fun ctx ->
+        best_by
+          (fun v -> Informative.score ctx.graph ~negatives:ctx.negatives ~bound:ctx.bound v)
+          (candidates ctx));
+  }
+
+let sampled_smart ~seed ~samples =
+  let rng = Prng.create ~seed in
+  {
+    name = Printf.sprintf "sampled-%d" samples;
+    choose =
+      (fun ctx ->
+        best_by
+          (fun v ->
+            Informative.sampled_score ctx.graph ~negatives:ctx.negatives ~bound:ctx.bound
+              ~samples ~rng v)
+          (candidates ctx));
+  }
+
+let sequential =
+  {
+    name = "sequential";
+    choose = (fun ctx -> match candidates ctx with [] -> None | c :: _ -> Some c);
+  }
+
+let by_name ~seed = function
+  | "random" -> Ok (random ~seed)
+  | "degree" -> Ok max_degree
+  | "smart" -> Ok smart
+  | "sequential" -> Ok sequential
+  | other ->
+      Error
+        (Printf.sprintf "unknown strategy %S (expected random, degree, smart or sequential)"
+           other)

@@ -1,0 +1,50 @@
+(** Node-proposal strategies Υ.
+
+    A strategy is "a function that takes as input a graph G and a set of
+    examples S, and returns a node from G" (paper, Section 2). Only
+    candidates that are unlabeled, not implied by propagation, and
+    informative w.r.t. the current negatives are ever returned.
+
+    Implemented strategies:
+    - {!random}: uniform over candidates — the baseline the companion
+      paper compares against;
+    - {!max_degree}: highest out-degree first — a cheap structural
+      heuristic;
+    - {!smart}: maximize the number of short uncovered paths — the
+      paper's strategy ("seek the nodes having an important number of
+      paths that are shorter than a fixed bound and not covered by any
+      negative node"). *)
+
+type context = {
+  graph : Gps_graph.Digraph.t;
+  excluded : Gps_graph.Digraph.node -> bool;
+      (** labeled or implied nodes, never proposed *)
+  negatives : Gps_graph.Digraph.node list;  (** current effective negatives *)
+  bound : int;                              (** path-length bound for scoring *)
+}
+
+type t = { name : string; choose : context -> Gps_graph.Digraph.node option }
+(** [choose] returns [None] when no informative candidate remains — the
+    natural halt condition. *)
+
+val random : seed:int -> t
+val max_degree : t
+val smart : t
+
+val sampled_smart : seed:int -> samples:int -> t
+(** Monte-Carlo variant of {!smart}: scores candidates by
+    {!Informative.sampled_score} with [samples] random walks instead of
+    exhaustive word enumeration. Trades proposal quality for per-question
+    latency on large graphs — quantified by the [--exp sampled]
+    benchmark. *)
+
+val sequential : t
+(** Lowest node id first — a deterministic worst-ish baseline
+    corresponding to a user paging through the node list. *)
+
+val by_name : seed:int -> string -> (t, string) result
+(** ["random"], ["degree"], ["smart"], ["sequential"] — for the CLI. *)
+
+val candidates : context -> Gps_graph.Digraph.node list
+(** The informative, unlabeled, un-implied nodes (what all strategies
+    choose from). *)

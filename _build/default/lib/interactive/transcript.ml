@@ -1,0 +1,73 @@
+module Digraph = Gps_graph.Digraph
+module Rpq = Gps_query.Rpq
+
+type event =
+  | Shown of { node : Digraph.node; radius : int; reply : [ `Pos | `Neg | `Zoom ] }
+  | Validated of { node : Digraph.node; candidates : int; word : string list }
+  | Proposed of { query : Rpq.t; accepted : bool }
+  | Halted of Session.outcome
+
+type t = event list
+
+let record ?config ?(max_steps = 100_000) g ~strategy ~user =
+  let rec loop t events steps =
+    if steps > max_steps then failwith "Transcript.record: step budget exceeded"
+    else
+      match Session.request t with
+      | Session.Finished outcome -> List.rev (Halted outcome :: events)
+      | Session.Ask_label view ->
+          let reply = user.Oracle.label g view in
+          let ev =
+            Shown
+              {
+                node = view.View.node;
+                radius = view.View.fragment.Gps_graph.Neighborhood.radius;
+                reply;
+              }
+          in
+          loop (Session.answer_label t reply) (ev :: events) (steps + 1)
+      | Session.Ask_path tree ->
+          let word = user.Oracle.validate g tree in
+          let ev =
+            Validated
+              { node = tree.View.node; candidates = List.length tree.View.words; word }
+          in
+          loop (Session.answer_path t word) (ev :: events) (steps + 1)
+      | Session.Propose query ->
+          let accepted = user.Oracle.satisfied g query in
+          let t = if accepted then Session.accept t else Session.refine t in
+          loop t (Proposed { query; accepted } :: events) (steps + 1)
+  in
+  loop (Session.start ?config ~strategy g) [] 0
+
+let outcome t =
+  List.fold_left (fun acc ev -> match ev with Halted o -> Some o | _ -> acc) None t
+
+let render g t =
+  let buf = Buffer.create 512 in
+  List.iteri
+    (fun i ev ->
+      let line =
+        match ev with
+        | Shown { node; radius; reply } ->
+            Printf.sprintf "show neighborhood of %s (radius %d); user: %s"
+              (Digraph.node_name g node) radius
+              (match reply with `Pos -> "YES" | `Neg -> "NO" | `Zoom -> "zoom out")
+        | Validated { node; candidates; word } ->
+            Printf.sprintf "propose %d candidate paths of %s; user validates %s" candidates
+              (Digraph.node_name g node) (String.concat "." word)
+        | Proposed { query; accepted } ->
+            Printf.sprintf "learner proposes %s; user %s" (Rpq.to_string query)
+              (if accepted then "accepts" else "asks to continue")
+        | Halted o ->
+            Printf.sprintf "HALT (%s) -> learned %s"
+              (match o.Session.reason with
+              | Session.Satisfied -> "user satisfied"
+              | Session.No_informative_nodes -> "no informative nodes"
+              | Session.Budget_exhausted -> "budget exhausted"
+              | Session.Inconsistent _ -> "inconsistent")
+              (Rpq.to_string o.Session.query)
+      in
+      Buffer.add_string buf (Printf.sprintf "%2d. %s\n" (i + 1) line))
+    t;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Typed transcripts of simulated sessions.
+
+    The benchmark's Figure-2 trace and any front end that wants a
+    human-readable session log need the same thing: the sequence of
+    interaction events with enough detail to narrate. This runs a user
+    against a session and records each step. *)
+
+type event =
+  | Shown of { node : Gps_graph.Digraph.node; radius : int; reply : [ `Pos | `Neg | `Zoom ] }
+  | Validated of { node : Gps_graph.Digraph.node; candidates : int; word : string list }
+  | Proposed of { query : Gps_query.Rpq.t; accepted : bool }
+  | Halted of Session.outcome
+
+type t = event list
+
+val record :
+  ?config:Session.config ->
+  ?max_steps:int ->
+  Gps_graph.Digraph.t ->
+  strategy:Strategy.t ->
+  user:Oracle.user ->
+  t
+(** Run the session to completion (like {!Simulate.run}) and return the
+    event list, oldest first; the final element is always [Halted]. *)
+
+val outcome : t -> Session.outcome option
+(** The final outcome, if the transcript ran to completion. *)
+
+val render : Gps_graph.Digraph.t -> t -> string
+(** Numbered, one line per event — the format of the paper's interaction
+    walkthrough:
+    {v
+    1. show neighborhood of N2 (radius 2); user: zoom out
+    2. ...
+    v} *)

@@ -1,0 +1,69 @@
+module Digraph = Gps_graph.Digraph
+module Neighborhood = Gps_graph.Neighborhood
+module Walks = Gps_graph.Walks
+
+type neighborhood = {
+  node : Digraph.node;
+  fragment : Neighborhood.t;
+  previous : Neighborhood.t option;
+}
+
+type tree = { label : string option; accepting : bool; children : tree list }
+
+type path_tree = {
+  node : Digraph.node;
+  words : string list list;
+  suggested : string list;
+  tree : tree;
+}
+
+let make_neighborhood g ?previous node ~radius =
+  { node; fragment = Neighborhood.compute g node ~radius; previous }
+
+let added t =
+  match t.previous with
+  | None -> ([], [])
+  | Some before -> Neighborhood.diff ~before ~after:t.fragment
+
+let rec insert_word tree word =
+  match word with
+  | [] -> { tree with accepting = true }
+  | sym :: rest ->
+      let rec place = function
+        | [] -> [ insert_word { label = Some sym; accepting = false; children = [] } rest ]
+        | child :: others ->
+            if child.label = Some sym then insert_word child rest :: others
+            else child :: place others
+      in
+      { tree with children = place tree.children }
+
+let rec sort_tree tree =
+  {
+    tree with
+    children =
+      List.sort (fun a b -> compare a.label b.label) (List.map sort_tree tree.children);
+  }
+
+let tree_of_words words =
+  sort_tree
+    (List.fold_left insert_word { label = None; accepting = false; children = [] } words)
+
+let make_path_tree g ?(prefer = `Longest) node ~negatives ~max_len =
+  (* Candidate words: non-empty paths of the node, length <= max_len, not
+     covered by any negative. Enumeration is length-lexicographic. *)
+  let words =
+    Walks.words g node ~max_len
+    |> List.map (Walks.word_names g)
+    |> List.filter (fun w -> not (Gps_query.Pathlang.covers g negatives w))
+  in
+  match words with
+  | [] -> None
+  | first :: _ ->
+      let suggested =
+        match prefer with
+        | `Shortest -> first (* enumeration is length-lexicographic *)
+        | `Longest ->
+            let best_len = List.fold_left (fun acc w -> max acc (List.length w)) 0 words in
+            List.find (fun w -> List.length w = best_len) words
+      in
+      Some { node; words; suggested; tree = tree_of_words words }

@@ -1,0 +1,57 @@
+(** What GPS shows the user at each interaction.
+
+    Two kinds of views, matching the paper's Figure 3:
+    - a {e neighborhood view} (3a/3b): the fragment around the proposed
+      node, with what the previous zoom level already showed, so a
+      renderer can highlight the newly revealed parts;
+    - a {e path tree} (3c): the prefix tree of the node's candidate paths
+      (uncovered by negatives, length-bounded by the neighborhood the user
+      last saw), with the system's suggested path of interest. *)
+
+type neighborhood = {
+  node : Gps_graph.Digraph.node;
+  fragment : Gps_graph.Neighborhood.t;
+  previous : Gps_graph.Neighborhood.t option;
+      (** the view before the last zoom, if the user zoomed *)
+}
+
+(** Prefix tree of candidate words. *)
+type tree = { label : string option; accepting : bool; children : tree list }
+(** [label = None] only at the root (ε); children sorted by label. A node
+    is [accepting] iff the word spelled from the root is a candidate. *)
+
+type path_tree = {
+  node : Gps_graph.Digraph.node;
+  words : string list list;   (** the candidate words, enumeration order *)
+  suggested : string list;    (** the highlighted candidate *)
+  tree : tree;
+}
+
+val make_neighborhood :
+  Gps_graph.Digraph.t ->
+  ?previous:Gps_graph.Neighborhood.t ->
+  Gps_graph.Digraph.node ->
+  radius:int ->
+  neighborhood
+
+val added :
+  neighborhood -> (Gps_graph.Digraph.node * int) list * Gps_graph.Digraph.edge list
+(** Nodes/edges newly revealed w.r.t. [previous] (empty when none). *)
+
+val make_path_tree :
+  Gps_graph.Digraph.t ->
+  ?prefer:[ `Longest | `Shortest ] ->
+  Gps_graph.Digraph.node ->
+  negatives:Gps_graph.Digraph.node list ->
+  max_len:int ->
+  path_tree option
+(** [None] when the node has no uncovered word within the bound (it is
+    uninformative). The suggestion follows the paper's heuristic by
+    default ([`Longest]): prefer the longest candidates — the user zoomed
+    out to [max_len], so a path of that length "better fits the user's
+    will" — breaking ties by enumeration (length-lexicographic) order.
+    [`Shortest] is the ablation alternative measured by the benchmark
+    harness. *)
+
+val tree_of_words : string list list -> tree
+(** Exposed for testing and for renderers of external word sets. *)

@@ -1,0 +1,1 @@
+lib/learning/gps_learning.ml: Baseline Convergence Learner Lstar Repair Rpni Sample Static Witness_search Word_learner

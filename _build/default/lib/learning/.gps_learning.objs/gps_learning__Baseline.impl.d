@@ -1,0 +1,1 @@
+lib/learning/baseline.ml: Gps_query Gps_regex Learner List Sample String

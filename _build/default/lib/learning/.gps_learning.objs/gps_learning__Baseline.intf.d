@@ -1,0 +1,1 @@
+lib/learning/baseline.mli: Gps_graph Learner Sample

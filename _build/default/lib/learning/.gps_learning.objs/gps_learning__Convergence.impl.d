@@ -1,0 +1,1 @@
+lib/learning/convergence.ml: Array Gps_graph Gps_query Gps_regex Learner Sample

@@ -1,0 +1,1 @@
+lib/learning/convergence.mli: Gps_graph Gps_query Sample

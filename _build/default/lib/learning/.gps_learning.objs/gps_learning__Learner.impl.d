@@ -1,0 +1,1 @@
+lib/learning/learner.ml: Format Gps_automata Gps_graph Gps_query Gps_regex List Rpni Sample String Witness_search

@@ -1,0 +1,1 @@
+lib/learning/learner.mli: Format Gps_graph Gps_query Sample Stdlib

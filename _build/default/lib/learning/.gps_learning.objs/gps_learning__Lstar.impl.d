@@ -1,0 +1,1 @@
+lib/learning/lstar.ml: Array Gps_automata Gps_query Hashtbl List Result

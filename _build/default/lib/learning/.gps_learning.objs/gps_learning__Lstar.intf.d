@@ -1,0 +1,1 @@
+lib/learning/lstar.mli: Gps_automata Gps_query

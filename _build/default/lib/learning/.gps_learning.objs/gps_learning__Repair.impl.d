@@ -1,0 +1,1 @@
+lib/learning/repair.ml: Format Gps_graph List Sample String Witness_search

@@ -1,0 +1,1 @@
+lib/learning/repair.mli: Format Gps_graph Sample

@@ -1,0 +1,1 @@
+lib/learning/rpni.ml: Array Fun Gps_automata Hashtbl List

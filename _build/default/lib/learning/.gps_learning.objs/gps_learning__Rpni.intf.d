@@ -1,0 +1,1 @@
+lib/learning/rpni.mli: Gps_automata

@@ -1,0 +1,1 @@
+lib/learning/sample.ml: Format Gps_graph Int List Map Printf Set String

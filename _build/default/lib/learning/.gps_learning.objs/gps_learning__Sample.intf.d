@@ -1,0 +1,1 @@
+lib/learning/sample.mli: Format Gps_graph

@@ -1,0 +1,1 @@
+lib/learning/static.ml: Format Gps_graph List Sample Witness_search

@@ -1,0 +1,1 @@
+lib/learning/static.mli: Format Gps_graph Sample

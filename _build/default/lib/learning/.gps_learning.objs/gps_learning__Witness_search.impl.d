@@ -1,0 +1,1 @@
+lib/learning/witness_search.ml: Gps_graph Hashtbl Int List Queue Set

@@ -1,0 +1,1 @@
+lib/learning/witness_search.mli: Gps_graph

@@ -1,0 +1,1 @@
+lib/learning/word_learner.ml: Gps_automata Gps_query Gps_regex List Printf Rpni String

@@ -1,0 +1,1 @@
+lib/learning/word_learner.mli: Gps_query

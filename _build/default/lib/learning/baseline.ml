@@ -1,0 +1,42 @@
+module Regex = Gps_regex.Regex
+module Rpq = Gps_query.Rpq
+module Eval = Gps_query.Eval
+
+let with_words ?fuel ?max_len g sample k =
+  match Sample.pos sample with
+  | [] -> Learner.Learned (Rpq.of_regex Regex.empty)
+  | _ -> (
+      match Learner.witness_words ?fuel ?max_len g sample with
+      | Error f -> Learner.Failed f
+      | Ok words -> k words)
+
+let disjunction ?fuel ?max_len g sample =
+  with_words ?fuel ?max_len g sample (fun words ->
+      Learner.Learned (Rpq.of_regex (Regex.alt (List.map Regex.word words))))
+
+let label_union ?fuel ?max_len g sample =
+  with_words ?fuel ?max_len g sample (fun words ->
+      let finals =
+        List.sort_uniq String.compare
+          (List.filter_map (fun w -> match List.rev w with [] -> None | l :: _ -> Some l) words)
+      in
+      let inners =
+        List.sort_uniq String.compare
+          (List.concat_map
+             (fun w -> match List.rev w with [] -> [] | _ :: rest -> rest)
+             words)
+      in
+      let guess =
+        Regex.seq
+          [
+            Regex.star (Regex.alt (List.map Regex.sym inners));
+            Regex.alt (List.map Regex.sym finals);
+          ]
+      in
+      let q = Rpq.of_regex guess in
+      if
+        (not (Regex.is_empty_lang guess))
+        && Eval.consistent g q ~pos:(Sample.pos sample) ~neg:(Sample.neg sample)
+      then Learner.Learned q
+      else
+        Learner.Learned (Rpq.of_regex (Regex.alt (List.map Regex.word words))))

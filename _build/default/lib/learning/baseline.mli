@@ -1,0 +1,23 @@
+(** Baseline learners, for the ablation studies.
+
+    The paper's learner generalizes witness paths by state merging. These
+    baselines isolate what each ingredient buys:
+
+    - {!disjunction} skips generalization entirely: the learned query is
+      the plain disjunction of the witness words. Always consistent, never
+      generalizes — on unseen data it under-selects, and its size grows
+      linearly with the number of positive examples.
+    - {!label_union} over-generalizes: the query is [(l1+...+lk)*.(f1+...+fm)]
+      where the li are all labels seen anywhere in witness words and the
+      fj the final labels; kept only if consistent, otherwise falls back
+      to {!disjunction}. A crude "guess the shape" heuristic.
+
+    Both share {!Learner}'s witness-word machinery (validated paths first,
+    search otherwise), so the comparison isolates the generalization
+    step. *)
+
+val disjunction :
+  ?fuel:int -> ?max_len:int -> Gps_graph.Digraph.t -> Sample.t -> Learner.result
+
+val label_union :
+  ?fuel:int -> ?max_len:int -> Gps_graph.Digraph.t -> Sample.t -> Learner.result

@@ -1,0 +1,45 @@
+module Digraph = Gps_graph.Digraph
+module Rpq = Gps_query.Rpq
+module Eval = Gps_query.Eval
+module Witness = Gps_query.Witness
+
+type progress = { rounds : int; sample : Sample.t; learned : Rpq.t }
+
+let teach ?(max_rounds = 200) ?fuel g ~goal =
+  let goal_sel = Eval.select g goal in
+  let disagreement learned_sel =
+    let rec go v =
+      if v >= Digraph.n_nodes g then None
+      else if goal_sel.(v) <> learned_sel.(v) then Some v
+      else go (v + 1)
+    in
+    go 0
+  in
+  let label sample v =
+    if goal_sel.(v) then begin
+      let sample = Sample.add_pos sample v in
+      match Witness.find g goal v with
+      | Some w -> Sample.validate sample v w.Witness.word
+      | None -> sample (* unreachable: v is goal-selected *)
+    end
+    else Sample.add_neg sample v
+  in
+  let rec loop sample rounds =
+    match Learner.learn ?fuel g sample with
+    | Learner.Failed _ ->
+        Error { rounds; sample; learned = Rpq.of_regex Gps_regex.Regex.empty }
+    | Learner.Learned learned -> (
+        let learned_sel = Eval.select g learned in
+        if learned_sel = goal_sel then Ok { rounds; sample; learned }
+        else if rounds >= max_rounds then Error { rounds; sample; learned }
+        else
+          match disagreement learned_sel with
+          | None -> Ok { rounds; sample; learned }
+          | Some v -> loop (label sample v) (rounds + 1))
+  in
+  loop Sample.empty 0
+
+let examples_to_converge ?max_rounds g ~goal =
+  match teach ?max_rounds g ~goal with
+  | Ok p -> Some (Sample.size p.sample)
+  | Error _ -> None

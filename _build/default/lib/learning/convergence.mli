@@ -1,0 +1,35 @@
+(** Convergence of the learner — the paper's identification guarantee.
+
+    "After a certain number of examples (this number being polynomial in
+    the size of the query), the learning algorithm is guaranteed to return
+    in polynomial time a query equivalent to the user's goal query."
+
+    This module plays the teacher: starting from the empty sample, it
+    repeatedly compares the learner's output with the goal query {e on the
+    instance}, picks a disagreement node, labels it correctly (validating
+    the goal witness path for positives), and re-learns — exactly the
+    counterexample-driven protocol behind the guarantee. The number of
+    rounds needed is the empirical "characteristic sample" size reported
+    in the convergence benchmark. *)
+
+type progress = {
+  rounds : int;                 (** counterexamples supplied *)
+  sample : Sample.t;            (** the final sample *)
+  learned : Gps_query.Rpq.t;
+}
+
+val teach :
+  ?max_rounds:int ->
+  ?fuel:int ->
+  Gps_graph.Digraph.t ->
+  goal:Gps_query.Rpq.t ->
+  (progress, progress) result
+(** [Ok p] when the learned query selects exactly the goal's nodes
+    (reached within [max_rounds], default 200); [Error p] carries the
+    state at give-up (also on a learner failure, which cannot happen with
+    goal-consistent labels unless the witness budget trips). Disagreement
+    nodes are picked lowest-id first, so the run is deterministic. *)
+
+val examples_to_converge :
+  ?max_rounds:int -> Gps_graph.Digraph.t -> goal:Gps_query.Rpq.t -> int option
+(** Sample size at convergence ([None] if not reached). *)

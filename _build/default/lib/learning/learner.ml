@@ -1,0 +1,64 @@
+module Digraph = Gps_graph.Digraph
+module Pta = Gps_automata.Pta
+module Rpq = Gps_query.Rpq
+module Eval = Gps_query.Eval
+module Pathlang = Gps_query.Pathlang
+
+type failure =
+  | Conflicting_node of Digraph.node
+  | Covered_witness of Digraph.node * string list
+  | Budget_exhausted of Digraph.node
+
+type result = Learned of Rpq.t | Failed of failure
+
+let witness_words ?fuel ?max_len g sample =
+  let negatives = Sample.neg sample in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | v :: rest -> (
+        match Sample.validated sample v with
+        | Some word ->
+            if Pathlang.covers g negatives word then Error (Covered_witness (v, word))
+            else go (word :: acc) rest
+        | None -> (
+            match Witness_search.search g ?fuel ?max_len v ~negatives with
+            | Witness_search.Found word -> go (word :: acc) rest
+            | Witness_search.Uninformative -> Error (Conflicting_node v)
+            | Witness_search.Timeout -> Error (Budget_exhausted v)))
+  in
+  go [] (Sample.pos sample)
+
+let learn ?fuel ?max_len g sample =
+  match Sample.pos sample with
+  | [] ->
+      (* Nothing must be selected: the empty query is consistent with any
+         set of negatives. *)
+      Learned (Rpq.of_regex Gps_regex.Regex.empty)
+  | _ -> (
+      match witness_words ?fuel ?max_len g sample with
+      | Error f -> Failed f
+      | Ok words ->
+          let pta = Pta.build words in
+          let negatives = Sample.neg sample in
+          let consistent nfa =
+            let q = Rpq.of_nfa nfa in
+            not (List.exists (fun n -> Eval.selects g q n) negatives)
+          in
+          let nfa = Rpni.generalize pta ~consistent in
+          Learned (Rpq.of_nfa nfa))
+
+let pp_failure g ppf = function
+  | Conflicting_node v ->
+      Format.fprintf ppf
+        "node %s is labeled positive but every path it has is covered by a negative node"
+        (Digraph.node_name g v)
+  | Covered_witness (v, w) ->
+      Format.fprintf ppf "the validated path %s of node %s is covered by a negative node"
+        (String.concat "." w) (Digraph.node_name g v)
+  | Budget_exhausted v ->
+      Format.fprintf ppf "witness search budget exhausted on node %s" (Digraph.node_name g v)
+
+let learn_exn ?fuel ?max_len g sample =
+  match learn ?fuel ?max_len g sample with
+  | Learned q -> q
+  | Failed f -> failwith (Format.asprintf "Learner.learn_exn: %a" (pp_failure g) f)

@@ -1,0 +1,51 @@
+(** The end-to-end learning algorithm of the paper (Section 2):
+
+    (i) for each positive node, obtain a path not covered by any negative
+    node — the user-validated path of interest when available, otherwise a
+    shortest one found by {!Witness_search};
+
+    (ii) build the prefix-tree acceptor of those paths and generalize it by
+    state merging ({!Rpni}) while no negative node is selected.
+
+    The output is either a query consistent with every label, or a
+    diagnosis of why none exists / none was found cheaply — mirroring the
+    paper's "outputs in polynomial time either a query [...] or instead
+    the next node to label if such a query cannot be constructed
+    efficiently". *)
+
+type failure =
+  | Conflicting_node of Gps_graph.Digraph.node
+      (** positive, but all its paths are covered by negatives: no
+          consistent query exists *)
+  | Covered_witness of Gps_graph.Digraph.node * string list
+      (** the user-validated path of this positive node is covered by a
+          negative — the labeling is contradictory *)
+  | Budget_exhausted of Gps_graph.Digraph.node
+      (** witness search ran out of fuel on this node before deciding *)
+
+type result = Learned of Gps_query.Rpq.t | Failed of failure
+
+val witness_words :
+  ?fuel:int ->
+  ?max_len:int ->
+  Gps_graph.Digraph.t ->
+  Sample.t ->
+  (string list list, failure) Stdlib.result
+(** Step (i) alone: one uncovered word per positive node, in node order
+    (validated paths taken as-is after a coverage check). Shared by the
+    baseline learners so ablations isolate step (ii). *)
+
+val learn :
+  ?fuel:int ->
+  ?max_len:int ->
+  Gps_graph.Digraph.t ->
+  Sample.t ->
+  result
+(** [max_len] bounds witness length (default: unbounded — exact);
+    [fuel] bounds the pair-BFS (default 100_000). An empty-positive sample
+    learns [∅] (selects nothing), which is consistent with any negatives. *)
+
+val learn_exn : ?fuel:int -> ?max_len:int -> Gps_graph.Digraph.t -> Sample.t -> Gps_query.Rpq.t
+(** @raise Failure with a readable message on any {!failure}. *)
+
+val pp_failure : Gps_graph.Digraph.t -> Format.formatter -> failure -> unit

@@ -1,0 +1,138 @@
+module Dfa = Gps_automata.Dfa
+module Nfa = Gps_automata.Nfa
+
+type stats = { membership_queries : int; equivalence_queries : int; states : int }
+
+(* Observation table: prefixes S (prefix-closed, in discovery order),
+   suffixes E (suffix set, in discovery order), and the memoized
+   membership function. A "row" is the membership vector of s·e over E. *)
+type table = {
+  alphabet : string list;
+  mutable prefixes : string list list;   (* S *)
+  mutable suffixes : string list list;   (* E *)
+  memo : (string list, bool) Hashtbl.t;
+  ask : string list -> bool;
+  mutable asked : int;
+}
+
+let member t w =
+  match Hashtbl.find_opt t.memo w with
+  | Some b -> b
+  | None ->
+      let b = t.ask w in
+      Hashtbl.add t.memo w b;
+      t.asked <- t.asked + 1;
+      b
+
+let row t s = List.map (fun e -> member t (s @ e)) t.suffixes
+
+(* Close the table: every one-symbol extension of a prefix must have the
+   row of some prefix; otherwise promote the extension to S and retry. *)
+let rec close t =
+  let known = List.map (fun s -> row t s) t.prefixes in
+  let missing =
+    List.find_opt
+      (fun ext -> not (List.mem (row t ext) known))
+      (List.concat_map (fun s -> List.map (fun a -> s @ [ a ]) t.alphabet) t.prefixes)
+  in
+  match missing with
+  | None -> ()
+  | Some ext ->
+      t.prefixes <- t.prefixes @ [ ext ];
+      close t
+
+(* Build the hypothesis DFA: states = distinct rows, start = row(ε),
+   accepting iff T(s) = true, transitions via row(s·a). *)
+let hypothesis t =
+  let rows = ref [] in
+  let id_of r =
+    match List.assoc_opt r !rows with
+    | Some i -> i
+    | None ->
+        let i = List.length !rows in
+        rows := !rows @ [ (r, i) ];
+        i
+  in
+  (* canonical representative prefix per row id, first occurrence wins *)
+  let reps = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let i = id_of (row t s) in
+      if not (Hashtbl.mem reps i) then Hashtbl.add reps i s)
+    t.prefixes;
+  let n = List.length !rows in
+  let alphabet = Array.of_list (List.sort compare t.alphabet) in
+  let delta =
+    Array.init n (fun i ->
+        let s = Hashtbl.find reps i in
+        Array.map (fun a -> id_of (row t (s @ [ a ]))) alphabet)
+  in
+  let finals = Array.make n false in
+  Hashtbl.iter (fun i s -> finals.(i) <- member t s) reps;
+  {
+    Dfa.alphabet;
+    n_states = n;
+    start = id_of (row t []);
+    finals;
+    delta;
+  }
+
+let learn ~alphabet ~membership ~equivalence ?(max_rounds = 10_000) () =
+  if alphabet = [] then Error "Lstar.learn: empty alphabet"
+  else begin
+    let t =
+      {
+        alphabet;
+        prefixes = [ [] ];
+        suffixes = [ [] ];
+        memo = Hashtbl.create 256;
+        ask = membership;
+        asked = 0;
+      }
+    in
+    let eq_queries = ref 0 in
+    let rec loop round =
+      if round > max_rounds then Error "Lstar.learn: round budget exceeded"
+      else begin
+        close t;
+        let h = hypothesis t in
+        incr eq_queries;
+        match equivalence h with
+        | None ->
+            Ok
+              ( h,
+                {
+                  membership_queries = t.asked;
+                  equivalence_queries = !eq_queries;
+                  states = h.Dfa.n_states;
+                } )
+        | Some cex ->
+            (* sanity: a truthful teacher's counterexample disagrees *)
+            if Dfa.accepts h cex = membership cex then
+              Error "Lstar.learn: teacher returned a non-counterexample"
+            else begin
+              (* add every suffix of the counterexample to E *)
+              let rec suffixes = function [] -> [ [] ] | _ :: rest as w -> w :: suffixes rest in
+              List.iter
+                (fun e -> if not (List.mem e t.suffixes) then t.suffixes <- t.suffixes @ [ e ])
+                (suffixes cex);
+              loop (round + 1)
+            end
+      end
+    in
+    loop 1
+  end
+
+let learn_query q =
+  let target_nfa = Gps_query.Rpq.nfa q in
+  let alphabet =
+    match Nfa.symbols target_nfa with
+    | [] -> [ "a" ] (* empty/epsilon languages still need some alphabet *)
+    | syms -> syms
+  in
+  let target = Dfa.determinize ~alphabet target_nfa in
+  let membership w = Dfa.accepts target w in
+  let equivalence h = Dfa.distinguishing_word h target in
+  Result.map
+    (fun (h, stats) -> (Gps_query.Rpq.of_nfa (Dfa.to_nfa h), stats))
+    (learn ~alphabet ~membership ~equivalence ())

@@ -1,0 +1,42 @@
+(** Angluin's L* — active learning with membership and equivalence
+    queries.
+
+    The paper frames GPS in "the well-known framework of learning with
+    membership queries" and cites Angluin's *Queries and concept learning*
+    as reference [1]. This module implements the canonical algorithm of
+    that framework for regular languages: maintain an observation table
+    over prefixes S and suffixes E, keep it closed, conjecture the DFA of
+    its distinct rows, and refine with the suffixes of each counterexample
+    (the Maler–Pnueli variant, which needs no consistency check because S
+    stays prefix-closed and distinct rows are distinct states).
+
+    Where the RPNI pipeline learns passively from whatever examples the
+    session gathered, L* drives the questioning itself — the theoretical
+    ideal the paper's practical strategies approximate. The benchmark
+    [--exp lstar] reports how many queries the ideal needs on the goal
+    suite. *)
+
+type stats = {
+  membership_queries : int;   (** distinct words asked (memoized) *)
+  equivalence_queries : int;  (** conjectures submitted *)
+  states : int;               (** states of the final hypothesis *)
+}
+
+val learn :
+  alphabet:string list ->
+  membership:(string list -> bool) ->
+  equivalence:(Gps_automata.Dfa.t -> string list option) ->
+  ?max_rounds:int ->
+  unit ->
+  (Gps_automata.Dfa.t * stats, string) result
+(** [equivalence h] returns a counterexample word on which [h] and the
+    target disagree, or [None] to accept. [max_rounds] (default 10_000)
+    bounds conjectures. The result is the minimal DFA of the target
+    (Angluin's theorem) whenever the teacher is truthful. *)
+
+val learn_query :
+  Gps_query.Rpq.t -> (Gps_query.Rpq.t * stats, string) result
+(** Learn back a known query through a perfect teacher built from it
+    (membership = word matching, equivalence = symmetric-difference
+    emptiness with witness). The result is language-equal to the input —
+    property-tested. *)

@@ -1,0 +1,71 @@
+module Digraph = Gps_graph.Digraph
+
+type suggestion =
+  | Drop_positive of Digraph.node
+  | Drop_negatives of Digraph.node * Digraph.node list
+
+let informative ?max_len g v negatives =
+  match Witness_search.search g ?max_len v ~negatives with
+  | Witness_search.Found _ -> true
+  | Witness_search.Uninformative | Witness_search.Timeout -> false
+
+(* Greedy minimization: try to put withdrawn negatives back one by one,
+   keeping the conflict resolved. *)
+let minimize_withdrawal ?max_len g v ~kept ~withdrawn =
+  List.fold_left
+    (fun (kept, withdrawn) n ->
+      if informative ?max_len g v (n :: kept) then (n :: kept, withdrawn)
+      else (kept, n :: withdrawn))
+    (kept, []) withdrawn
+
+let suggest ?max_len g sample =
+  let negatives = Sample.neg sample in
+  let conflicting =
+    List.filter (fun v -> not (informative ?max_len g v negatives)) (Sample.pos sample)
+  in
+  List.concat_map
+    (fun v ->
+      let drop_pos = Drop_positive v in
+      (* can withdrawing negatives alone fix v? start from "withdraw all",
+         then greedily re-add *)
+      if informative ?max_len g v [] then begin
+        let _, withdrawn = minimize_withdrawal ?max_len g v ~kept:[] ~withdrawn:negatives in
+        [ drop_pos; Drop_negatives (v, List.sort compare withdrawn) ]
+      end
+      else
+        (* even with no negatives the node has no path at all beyond the
+           covered ones — only ε, which any negative covers; dropping the
+           positive is the only repair *)
+        [ drop_pos ])
+    conflicting
+
+let apply sample suggestion =
+  let rebuild ~drop_pos ~drop_negs =
+    let s =
+      List.fold_left
+        (fun s v -> if List.mem v drop_pos then s else Sample.add_pos s v)
+        Sample.empty (Sample.pos sample)
+    in
+    let s =
+      List.fold_left
+        (fun s v -> if List.mem v drop_negs then s else Sample.add_neg s v)
+        s (Sample.neg sample)
+    in
+    (* preserve validated paths of surviving positives *)
+    List.fold_left
+      (fun s v ->
+        if List.mem v drop_pos then s
+        else match Sample.validated sample v with Some w -> Sample.validate s v w | None -> s)
+      s (Sample.pos sample)
+  in
+  match suggestion with
+  | Drop_positive v -> rebuild ~drop_pos:[ v ] ~drop_negs:[]
+  | Drop_negatives (_, negs) -> rebuild ~drop_pos:[] ~drop_negs:negs
+
+let pp_suggestion g ppf = function
+  | Drop_positive v ->
+      Format.fprintf ppf "withdraw the positive label of %s" (Digraph.node_name g v)
+  | Drop_negatives (v, negs) ->
+      Format.fprintf ppf "to keep %s positive, withdraw the negative label(s) of %s"
+        (Digraph.node_name g v)
+        (String.concat ", " (List.map (Digraph.node_name g) negs))

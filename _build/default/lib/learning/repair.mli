@@ -1,0 +1,28 @@
+(** Repairing inconsistent labelings.
+
+    The static scenario is "the only one where we let the user make
+    mistakes by labeling nodes inconsistently" (paper, Section 3). When
+    that happens the learner can only report failure; this module goes one
+    step further and proposes {e repairs}: minimal label withdrawals that
+    restore consistency, so the front end can ask "did you mean …?"
+    instead of starting over. *)
+
+type suggestion =
+  | Drop_positive of Gps_graph.Digraph.node
+      (** withdrawing this positive label resolves all conflicts it
+          causes *)
+  | Drop_negatives of Gps_graph.Digraph.node * Gps_graph.Digraph.node list
+      (** for this conflicting positive, withdrawing this (greedily
+          minimized) set of negative labels uncovers one of its paths *)
+
+val suggest :
+  ?max_len:int -> Gps_graph.Digraph.t -> Sample.t -> suggestion list
+(** One {!Drop_positive} per conflicting positive node, plus a
+    {!Drop_negatives} alternative when a (greedy) negative subset
+    withdrawal also works. Empty when the sample is already consistent. *)
+
+val apply : Sample.t -> suggestion -> Sample.t
+(** The sample with the suggested labels withdrawn. (Samples are
+    re-built, since labels are otherwise append-only.) *)
+
+val pp_suggestion : Gps_graph.Digraph.t -> Format.formatter -> suggestion -> unit

@@ -1,0 +1,83 @@
+module Nfa = Gps_automata.Nfa
+module Pta = Gps_automata.Pta
+
+let attempted = ref 0
+let merge_count () = !attempted
+
+(* Union-find without path compression so that rollback is a plain array
+   copy. PTAs here are small (tens of states). *)
+let rec find parent i = if parent.(i) = i then i else find parent parent.(i)
+
+(* Deterministic closure: after a union, two member states of one block may
+   leave on the same symbol towards different blocks; such target blocks
+   must be merged too (fold), repeatedly. *)
+let close parent trans =
+  let rec pass () =
+    let seen = Hashtbl.create 64 in
+    let pending = ref None in
+    List.iter
+      (fun (s, sym, d) ->
+        if !pending = None then begin
+          let rs = find parent s and rd = find parent d in
+          match Hashtbl.find_opt seen (rs, sym) with
+          | None -> Hashtbl.add seen (rs, sym) rd
+          | Some rd' -> if rd <> rd' then pending := Some (rd, rd')
+        end)
+      trans;
+    match !pending with
+    | None -> ()
+    | Some (a, b) ->
+        parent.(b) <- a;
+        pass ()
+  in
+  pass ()
+
+let quotient_of parent nfa =
+  let n = Nfa.n_states nfa in
+  (* dense block ids in order of first occurrence *)
+  let block = Array.make n (-1) in
+  let next = ref 0 in
+  let partition =
+    Array.init n (fun s ->
+        let r = find parent s in
+        if block.(r) = -1 then begin
+          block.(r) <- !next;
+          incr next
+        end;
+        block.(r))
+  in
+  Nfa.quotient nfa ~partition
+
+let generalize pta ~consistent =
+  attempted := 0;
+  let nfa = pta.Pta.nfa in
+  let n = Nfa.n_states nfa in
+  let trans = Nfa.transitions nfa in
+  if not (consistent nfa) then
+    invalid_arg "Rpni.generalize: the sample itself is inconsistent (a witness word is covered)";
+  let parent = Array.init n Fun.id in
+  let red = ref [ 0 ] in
+  for q = 1 to n - 1 do
+    if find parent q = q then begin
+      (* q is still the root of an unmerged block: a blue state. *)
+      let rec try_reds = function
+        | [] ->
+            (* promote: q becomes red *)
+            red := !red @ [ q ]
+        | r :: rest ->
+            incr attempted;
+            let candidate = Array.copy parent in
+            candidate.(q) <- find candidate r;
+            close candidate trans;
+            if consistent (quotient_of candidate nfa) then
+              Array.blit candidate 0 parent 0 n
+            else try_reds rest
+      in
+      try_reds !red
+    end
+  done;
+  Nfa.trim (quotient_of parent nfa)
+
+let generalize_words pta ~neg_words =
+  let consistent nfa = not (List.exists (fun w -> Nfa.accepts nfa w) neg_words) in
+  generalize pta ~consistent

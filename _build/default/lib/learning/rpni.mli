@@ -1,0 +1,31 @@
+(** Step (ii) of the paper's learning algorithm: generalize the prefix
+    tree of witness paths by state merging.
+
+    This is RPNI-style inference with one twist: instead of a finite set
+    of negative {e words}, the inconsistency oracle is semantic —
+    "the hypothesis selects a negative {e node}" — supplied by the caller
+    as a predicate on candidate automata (the engine checks
+    [L(A) ∩ paths(n) = ∅] via RPQ evaluation). States of the PTA are
+    considered in breadth-first order; each is merged with the
+    lowest-numbered compatible earlier block (folding nondeterminism away
+    determinately), or promoted if none is compatible. The result accepts
+    every witness word and satisfies the oracle. *)
+
+val generalize :
+  Gps_automata.Pta.t ->
+  consistent:(Gps_automata.Nfa.t -> bool) ->
+  Gps_automata.Nfa.t
+(** @raise Invalid_argument if the oracle rejects the PTA itself (the
+    sample is then inconsistent — some witness word is covered). The
+    returned automaton is trimmed and deterministic. *)
+
+val generalize_words :
+  Gps_automata.Pta.t -> neg_words:string list list -> Gps_automata.Nfa.t
+(** Classic RPNI: the oracle is "accepts none of the negative words".
+    Used for language-level learning (no graph involved) and as a
+    reference point in tests — the companion paper's word-learning
+    foundation. *)
+
+val merge_count : unit -> int
+(** Merges attempted by the latest {!generalize} call (successful or
+    rolled back) — surfaced for the benchmark harness. *)

@@ -1,0 +1,48 @@
+module Digraph = Gps_graph.Digraph
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+type t = { pos : Iset.t; neg : Iset.t; validated : string list Imap.t }
+
+let empty = { pos = Iset.empty; neg = Iset.empty; validated = Imap.empty }
+
+let add_pos t v =
+  if Iset.mem v t.neg then
+    invalid_arg (Printf.sprintf "Sample.add_pos: node %d is already negative" v)
+  else { t with pos = Iset.add v t.pos }
+
+let add_neg t v =
+  if Iset.mem v t.pos then
+    invalid_arg (Printf.sprintf "Sample.add_neg: node %d is already positive" v)
+  else { t with neg = Iset.add v t.neg }
+
+let validate t v word =
+  if not (Iset.mem v t.pos) then
+    invalid_arg (Printf.sprintf "Sample.validate: node %d is not positive" v)
+  else { t with validated = Imap.add v word t.validated }
+
+let pos t = Iset.elements t.pos
+let neg t = Iset.elements t.neg
+let validated t v = Imap.find_opt v t.validated
+let is_pos t v = Iset.mem v t.pos
+let is_neg t v = Iset.mem v t.neg
+let is_labeled t v = is_pos t v || is_neg t v
+let size t = Iset.cardinal t.pos + Iset.cardinal t.neg
+
+let of_names g ~pos ~neg =
+  let node name =
+    match Digraph.node_of_name g name with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Sample.of_names: unknown node %S" name)
+  in
+  let t = List.fold_left (fun t n -> add_pos t (node n)) empty pos in
+  List.fold_left (fun t n -> add_neg t (node n)) t neg
+
+let pp g ppf t =
+  let names set = String.concat ", " (List.map (Digraph.node_name g) (Iset.elements set)) in
+  Format.fprintf ppf "@[<v>positive: {%s}@,negative: {%s}" (names t.pos) (names t.neg);
+  Imap.iter
+    (fun v w ->
+      Format.fprintf ppf "@,path of %s: %s" (Digraph.node_name g v) (String.concat "." w))
+    t.validated;
+  Format.fprintf ppf "@]"

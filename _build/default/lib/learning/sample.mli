@@ -1,0 +1,37 @@
+(** Labeled node examples on a graph database.
+
+    A sample collects what the user has said so far: nodes labeled
+    positive (should be selected), nodes labeled negative (should not),
+    and, for positive nodes, the validated {e path of interest} — the
+    witness word the user confirmed in the Figure 3(c) interaction. *)
+
+type t
+
+val empty : t
+
+val add_pos : t -> Gps_graph.Digraph.node -> t
+(** @raise Invalid_argument if the node is already labeled negative. *)
+
+val add_neg : t -> Gps_graph.Digraph.node -> t
+(** @raise Invalid_argument if the node is already labeled positive. *)
+
+val validate : t -> Gps_graph.Digraph.node -> string list -> t
+(** Record the user's path of interest for a positive node (replacing any
+    previous one). @raise Invalid_argument if the node is not positive. *)
+
+val pos : t -> Gps_graph.Digraph.node list
+(** Ascending node order. *)
+
+val neg : t -> Gps_graph.Digraph.node list
+val validated : t -> Gps_graph.Digraph.node -> string list option
+val is_pos : t -> Gps_graph.Digraph.node -> bool
+val is_neg : t -> Gps_graph.Digraph.node -> bool
+val is_labeled : t -> Gps_graph.Digraph.node -> bool
+val size : t -> int
+(** Total number of labeled nodes. *)
+
+val of_names : Gps_graph.Digraph.t -> pos:string list -> neg:string list -> t
+(** Convenience for tests and examples. @raise Invalid_argument on unknown
+    node names. *)
+
+val pp : Gps_graph.Digraph.t -> Format.formatter -> t -> unit

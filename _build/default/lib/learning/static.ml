@@ -1,0 +1,32 @@
+module Digraph = Gps_graph.Digraph
+
+type verdict = Consistent | Conflict of Digraph.node | Undecided of Digraph.node
+
+let check ?fuel ?max_len g sample =
+  let negatives = Sample.neg sample in
+  let rec go = function
+    | [] -> Consistent
+    | v :: rest -> (
+        match Witness_search.search g ?fuel ?max_len v ~negatives with
+        | Witness_search.Found _ -> go rest
+        | Witness_search.Uninformative -> Conflict v
+        | Witness_search.Timeout -> Undecided v)
+  in
+  go (Sample.pos sample)
+
+let conflicts ?fuel ?max_len g sample =
+  let negatives = Sample.neg sample in
+  List.filter
+    (fun v ->
+      match Witness_search.search g ?fuel ?max_len v ~negatives with
+      | Witness_search.Uninformative -> true
+      | Witness_search.Found _ | Witness_search.Timeout -> false)
+    (Sample.pos sample)
+
+let pp_verdict g ppf = function
+  | Consistent -> Format.pp_print_string ppf "consistent"
+  | Conflict v ->
+      Format.fprintf ppf "inconsistent: positive node %s has all paths covered by negatives"
+        (Digraph.node_name g v)
+  | Undecided v ->
+      Format.fprintf ppf "undecided: budget exhausted on node %s" (Digraph.node_name g v)

@@ -1,0 +1,26 @@
+(** The static-labeling scenario (first part of the paper's demo).
+
+    The user freely browses the whole graph and labels any nodes she
+    likes; only then is the learner run. Unlike the interactive scenario —
+    where only informative nodes are proposed, so every labeling stays
+    consistent — free labeling can be contradictory, and the paper points
+    out this is the one scenario where mistakes are possible. This module
+    diagnoses a labeling before learning from it. *)
+
+type verdict =
+  | Consistent
+      (** some query consistent with the labels exists (and {!Learner.learn}
+          will find one) *)
+  | Conflict of Gps_graph.Digraph.node
+      (** this positive node cannot be selected by any query avoiding the
+          negatives — every path it has is covered *)
+  | Undecided of Gps_graph.Digraph.node
+      (** the search budget ran out while analyzing this node *)
+
+val check : ?fuel:int -> ?max_len:int -> Gps_graph.Digraph.t -> Sample.t -> verdict
+
+val conflicts :
+  ?fuel:int -> ?max_len:int -> Gps_graph.Digraph.t -> Sample.t -> Gps_graph.Digraph.node list
+(** All conflicting positive nodes (not just the first). *)
+
+val pp_verdict : Gps_graph.Digraph.t -> Format.formatter -> verdict -> unit

@@ -1,0 +1,78 @@
+module Digraph = Gps_graph.Digraph
+module Iset = Set.Make (Int)
+
+type outcome = Found of string list | Uninformative | Timeout
+
+(* Subset step: image of a frontier under one label. *)
+let step g frontier lbl =
+  Iset.fold
+    (fun u acc ->
+      List.fold_left (fun acc d -> Iset.add d acc) acc (Digraph.succ_by_label g u lbl))
+    frontier Iset.empty
+
+(* Labels available from a frontier. *)
+let out_labels g frontier =
+  Iset.fold
+    (fun u acc ->
+      List.fold_left (fun acc (l, _) -> Iset.add l acc) acc (Digraph.out_edges g u))
+    frontier Iset.empty
+
+let search g ?(fuel = 100_000) ?max_len v ~negatives =
+  let seen = Hashtbl.create 256 in
+  let q = Queue.create () in
+  let init = (Iset.singleton v, Iset.of_list negatives) in
+  Hashtbl.add seen init ();
+  Queue.add (init, []) q;
+  let remaining = ref fuel in
+  let rec go () =
+    if Queue.is_empty q then Uninformative
+    else if !remaining <= 0 then Timeout
+    else begin
+      decr remaining;
+      let (sv, sn), rev_word = Queue.pop q in
+      if Iset.is_empty sn then
+        Found (List.rev_map (Digraph.label_name g) rev_word)
+      else begin
+        let depth_ok =
+          match max_len with None -> true | Some k -> List.length rev_word < k
+        in
+        if depth_ok then
+          Iset.iter
+            (fun lbl ->
+              let sv' = step g sv lbl in
+              if not (Iset.is_empty sv') then begin
+                let key = (sv', step g sn lbl) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  Queue.add (key, lbl :: rev_word) q
+                end
+              end)
+            (out_labels g sv);
+        go ()
+      end
+    end
+  in
+  (* ε is a path of every node, so with at least one negative the initial
+     pair has S_N ≠ ∅ and the search proceeds; with none, ε is returned
+     immediately (any query selecting everything is consistent so far). *)
+  go ()
+
+let count_uncovered g v ~negatives ~max_len =
+  (* Enumerate distinct words breadth-first (pair states keyed by the word,
+     not the pair, since distinct words with equal pairs still count
+     separately — the paper counts paths). *)
+  let neg0 = Iset.of_list negatives in
+  let q = Queue.create () in
+  Queue.add (Iset.singleton v, neg0, 0) q;
+  let count = ref 0 in
+  while not (Queue.is_empty q) do
+    let sv, sn, len = Queue.pop q in
+    if len > 0 && Iset.is_empty sn then incr count;
+    if len < max_len then
+      Iset.iter
+        (fun lbl ->
+          let sv' = step g sv lbl in
+          if not (Iset.is_empty sv') then Queue.add (sv', step g sn lbl, len + 1) q)
+        (out_labels g sv)
+  done;
+  !count

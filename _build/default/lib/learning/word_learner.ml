@@ -1,0 +1,51 @@
+module Rpq = Gps_query.Rpq
+module Nfa = Gps_automata.Nfa
+module Pta = Gps_automata.Pta
+
+type failure = Contradiction of string list
+
+let find_contradiction ~pos ~neg =
+  List.find_opt (fun w -> List.mem w neg) pos
+
+let learn ~pos ~neg =
+  match find_contradiction ~pos ~neg with
+  | Some w -> Error (Contradiction w)
+  | None -> (
+      match pos with
+      | [] -> Ok (Rpq.of_regex Gps_regex.Regex.empty)
+      | _ ->
+          let pta = Pta.build pos in
+          let nfa = Rpni.generalize_words pta ~neg_words:neg in
+          Ok (Rpq.of_nfa nfa))
+
+let learn_exn ~pos ~neg =
+  match learn ~pos ~neg with
+  | Ok q -> q
+  | Error (Contradiction w) ->
+      invalid_arg
+        (Printf.sprintf "Word_learner.learn_exn: %S is both positive and negative"
+           (String.concat "." w))
+
+let consistent_with q ~pos ~neg =
+  List.for_all (fun w -> Rpq.matches_word q w) pos
+  && not (List.exists (fun w -> Rpq.matches_word q w) neg)
+
+let characteristic_words ?(max_len = 4) q =
+  let cap = 64 in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let nfa = Rpq.nfa q in
+  let pos = take cap (Nfa.enumerate nfa ~max_len) in
+  (* negatives: all words over the query's own alphabet up to max_len that
+     the query rejects *)
+  let sigma = Nfa.symbols nfa in
+  let rec words_up_to len =
+    if len = 0 then [ [] ]
+    else
+      let shorter = words_up_to (len - 1) in
+      shorter @ List.concat_map (fun w -> List.map (fun a -> a :: w) sigma)
+                  (List.filter (fun w -> List.length w = len - 1) shorter)
+  in
+  let neg =
+    take cap (List.filter (fun w -> not (Rpq.matches_word q w)) (words_up_to max_len))
+  in
+  (pos, neg)

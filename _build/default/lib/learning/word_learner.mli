@@ -1,0 +1,31 @@
+(** Learning path queries from example {e words} (no graph involved).
+
+    The companion paper grounds graph-query learning in classical regular
+    language inference: a path query is first of all a word language. This
+    module exposes that layer directly — learn from positive and negative
+    label words — which is also what powers unit-testable
+    identification-in-the-limit experiments. *)
+
+type failure = Contradiction of string list
+(** A word labeled both positive and negative. *)
+
+val learn :
+  pos:string list list ->
+  neg:string list list ->
+  (Gps_query.Rpq.t, failure) result
+(** RPNI over the PTA of [pos] with the oracle "accepts no word of [neg]".
+    With [pos = []] the empty query is returned. The result accepts every
+    positive and no negative word. *)
+
+val learn_exn : pos:string list list -> neg:string list list -> Gps_query.Rpq.t
+
+val consistent_with : Gps_query.Rpq.t -> pos:string list list -> neg:string list list -> bool
+(** Acceptance check used in tests. *)
+
+val characteristic_words :
+  ?max_len:int -> Gps_query.Rpq.t -> string list list * string list list
+(** A (positive, negative) word sample drawn from the query: its accepted
+    words up to [max_len] (default 4, capped at 64 words) and the rejected
+    words over its own alphabet up to the same length (same cap). Feeding
+    these back into {!learn} recovers a query equivalent on words up to
+    that length — the empirical identification experiment. *)

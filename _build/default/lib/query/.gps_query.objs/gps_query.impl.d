@@ -1,0 +1,1 @@
+lib/query/gps_query.ml: Binary Conjunctive Eval Incremental Metrics Pathlang Rewrite Rpq Twoway Witness

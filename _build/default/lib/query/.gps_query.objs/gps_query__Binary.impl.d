@@ -1,0 +1,1 @@
+lib/query/binary.ml: Array Eval Gps_automata Gps_graph List Queue Rpq Witness

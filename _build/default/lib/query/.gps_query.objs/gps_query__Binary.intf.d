@@ -1,0 +1,1 @@
+lib/query/binary.mli: Gps_graph Rpq Witness

@@ -1,0 +1,1 @@
+lib/query/conjunctive.ml: Array Format Fun Gps_automata Gps_graph List Queue Rpq

@@ -1,0 +1,1 @@
+lib/query/conjunctive.mli: Format Gps_graph Rpq

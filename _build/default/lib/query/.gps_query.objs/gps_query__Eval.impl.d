@@ -1,0 +1,1 @@
+lib/query/eval.ml: Array Fun Gps_automata Gps_graph List Queue Rpq

@@ -1,0 +1,1 @@
+lib/query/eval.mli: Gps_graph Rpq

@@ -1,0 +1,1 @@
+lib/query/incremental.ml: Array Eval Gps_automata Gps_graph Hashtbl List Option Queue Rpq

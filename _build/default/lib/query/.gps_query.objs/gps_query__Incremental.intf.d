@@ -1,0 +1,1 @@
+lib/query/incremental.mli: Gps_graph Rpq

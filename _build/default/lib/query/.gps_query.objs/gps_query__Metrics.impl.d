@@ -1,0 +1,1 @@
+lib/query/metrics.ml: Array Eval Format

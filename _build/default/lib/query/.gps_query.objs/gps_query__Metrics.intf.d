@@ -1,0 +1,1 @@
+lib/query/metrics.mli: Format Gps_graph Rpq

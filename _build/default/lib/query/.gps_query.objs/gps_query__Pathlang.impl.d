@@ -1,0 +1,1 @@
+lib/query/pathlang.ml: Eval Fun Gps_automata Gps_graph Int List Set

@@ -1,0 +1,1 @@
+lib/query/pathlang.mli: Gps_automata Gps_graph Rpq

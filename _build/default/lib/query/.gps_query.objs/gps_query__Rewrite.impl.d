@@ -1,0 +1,1 @@
+lib/query/rewrite.ml: Gps_graph Gps_regex List Rpq Twoway

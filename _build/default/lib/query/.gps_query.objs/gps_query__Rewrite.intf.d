@@ -1,0 +1,1 @@
+lib/query/rewrite.mli: Gps_graph Rpq

@@ -1,0 +1,1 @@
+lib/query/rpq.ml: Gps_automata Gps_regex Lazy Result

@@ -1,0 +1,1 @@
+lib/query/rpq.mli: Format Gps_automata Gps_regex

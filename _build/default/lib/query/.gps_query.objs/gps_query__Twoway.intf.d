@@ -1,0 +1,1 @@
+lib/query/twoway.mli: Format Gps_graph Rpq

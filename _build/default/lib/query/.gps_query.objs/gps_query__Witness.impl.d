@@ -1,0 +1,1 @@
+lib/query/witness.ml: Array Eval Format Gps_automata Gps_graph List Option Queue Rpq

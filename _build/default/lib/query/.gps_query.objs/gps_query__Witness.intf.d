@@ -1,0 +1,1 @@
+lib/query/witness.mli: Format Gps_graph Rpq

@@ -1,0 +1,154 @@
+module Digraph = Gps_graph.Digraph
+module Nfa = Gps_automata.Nfa
+
+(* Automaton transitions re-indexed by the graph's label ids:
+   by_label.(lbl) = [(qsrc, qdst); ...]. Transitions on labels the graph
+   does not know can never fire and are dropped. *)
+let index_transitions g nfa =
+  let by_label = Array.make (max (Digraph.n_labels g) 1) [] in
+  List.iter
+    (fun (qs, sym, qd) ->
+      match Digraph.label_of_name g sym with
+      | Some lbl -> by_label.(lbl) <- (qs, qd) :: by_label.(lbl)
+      | None -> ())
+    (Nfa.transitions nfa);
+  by_label
+
+let select_nfa g nfa =
+  let n = Digraph.n_nodes g and m = Nfa.n_states nfa in
+  let selected = Array.make n false in
+  if m = 0 then selected
+  else begin
+    let by_label = index_transitions g nfa in
+    (* can_accept.(v * m + q) : an accepting product state is reachable
+       from (v, q). Seeded at accepting states, propagated backward. *)
+    let can_accept = Array.make (n * m) false in
+    let queue = Queue.create () in
+    let push v qs =
+      let idx = (v * m) + qs in
+      if not can_accept.(idx) then begin
+        can_accept.(idx) <- true;
+        Queue.add (v, qs) queue
+      end
+    in
+    let finals = Nfa.finals nfa in
+    for v = 0 to n - 1 do
+      List.iter (fun qf -> push v qf) finals
+    done;
+    while not (Queue.is_empty queue) do
+      let v', q' = Queue.pop queue in
+      (* predecessors: (v, q) with v -lbl-> v' in G and q -lbl-> q' in A *)
+      List.iter
+        (fun (lbl, v) ->
+          List.iter (fun (qs, qd) -> if qd = q' then push v qs) by_label.(lbl))
+        (Digraph.in_edges g v')
+    done;
+    let starts = Nfa.starts nfa in
+    for v = 0 to n - 1 do
+      selected.(v) <- List.exists (fun q0 -> can_accept.((v * m) + q0)) starts
+    done;
+    selected
+  end
+
+let select g q = select_nfa g (Rpq.nfa q)
+
+(* Same backward product BFS over a frozen CSR snapshot: no list
+   allocation on the adjacency hot path. *)
+let select_frozen g csr q =
+  let module Csr = Gps_graph.Csr in
+  let nfa = Rpq.nfa q in
+  let n = Csr.n_nodes csr and m = Nfa.n_states nfa in
+  let selected = Array.make n false in
+  if m = 0 then selected
+  else begin
+    let by_label = index_transitions g nfa in
+    let can_accept = Array.make (n * m) false in
+    let queue = Queue.create () in
+    let push v qs =
+      let idx = (v * m) + qs in
+      if not can_accept.(idx) then begin
+        can_accept.(idx) <- true;
+        Queue.add idx queue
+      end
+    in
+    let finals = Nfa.finals nfa in
+    for v = 0 to n - 1 do
+      List.iter (fun qf -> push v qf) finals
+    done;
+    while not (Queue.is_empty queue) do
+      let idx = Queue.pop queue in
+      let v' = idx / m and q' = idx mod m in
+      Csr.iter_in csr v' (fun lbl v ->
+          List.iter (fun (qs, qd) -> if qd = q' then push v qs) by_label.(lbl))
+    done;
+    let starts = Nfa.starts nfa in
+    for v = 0 to n - 1 do
+      selected.(v) <- List.exists (fun q0 -> can_accept.((v * m) + q0)) starts
+    done;
+    selected
+  end
+
+let select_via_dfa g q =
+  let module Dfa = Gps_automata.Dfa in
+  select_nfa g (Dfa.to_nfa (Dfa.minimize (Dfa.determinize (Rpq.nfa q))))
+
+let select_nodes g q =
+  let sel = select g q in
+  List.filter (fun v -> sel.(v)) (List.init (Array.length sel) Fun.id)
+
+let selects g q v = (select g q).(v)
+
+let consistent g q ~pos ~neg =
+  let sel = select g q in
+  List.for_all (fun v -> sel.(v)) pos && not (List.exists (fun v -> sel.(v)) neg)
+
+let count g q = List.length (select_nodes g q)
+
+let witness_lengths g q =
+  let nfa = Rpq.nfa q in
+  let n = Digraph.n_nodes g and m = Nfa.n_states nfa in
+  let result = Array.make n None in
+  if m = 0 then result
+  else begin
+    let by_label = index_transitions g nfa in
+    (* dist.(v*m+q) = length of the shortest word leading (v,q) to
+       acceptance; BFS from accepting states over reversed product edges
+       explores in increasing length. *)
+    let dist = Array.make (n * m) (-1) in
+    let queue = Queue.create () in
+    let push v qs d =
+      let idx = (v * m) + qs in
+      if dist.(idx) = -1 then begin
+        dist.(idx) <- d;
+        Queue.add idx queue
+      end
+    in
+    let finals = Nfa.finals nfa in
+    for v = 0 to n - 1 do
+      List.iter (fun qf -> push v qf 0) finals
+    done;
+    while not (Queue.is_empty queue) do
+      let idx = Queue.pop queue in
+      let v' = idx / m and q' = idx mod m in
+      let d = dist.(idx) in
+      List.iter
+        (fun (lbl, v) ->
+          List.iter (fun (qs, qd) -> if qd = q' then push v qs (d + 1)) by_label.(lbl))
+        (Digraph.in_edges g v')
+    done;
+    let starts = Nfa.starts nfa in
+    for v = 0 to n - 1 do
+      let best =
+        List.fold_left
+          (fun acc q0 ->
+            let d = dist.((v * m) + q0) in
+            if d = -1 then acc
+            else match acc with Some b when b <= d -> acc | _ -> Some d)
+          None starts
+      in
+      result.(v) <- best
+    done;
+    result
+  end
+
+let product_states g q = Digraph.n_nodes g * Nfa.n_states (Rpq.nfa q)

@@ -1,0 +1,51 @@
+(** RPQ evaluation: which nodes does a query select?
+
+    A node [v] is selected iff in the product of the graph with the query
+    NFA some accepting product state is reachable from [(v, q0)] for a
+    start state [q0]. Evaluation runs one {e backward} BFS from all
+    accepting product states over reversed product edges, which answers
+    the question for {e every} node simultaneously in
+    O(|E| · |Δ| + |V| · |Q|) — this is the engine behind every
+    interaction of the system, so it must stay graph-linear. *)
+
+val select : Gps_graph.Digraph.t -> Rpq.t -> bool array
+(** [select g q].(v) iff [q] selects node [v]. *)
+
+val select_frozen : Gps_graph.Digraph.t -> Gps_graph.Csr.t -> Rpq.t -> bool array
+(** Same answer over a {!Gps_graph.Csr} snapshot of the same graph
+    (passed alongside for label-name resolution). Avoids adjacency-list
+    allocation on the hot path; the [--exp csr] benchmark quantifies the
+    win. The snapshot must be [Csr.freeze] of exactly this graph. *)
+
+val select_via_dfa : Gps_graph.Digraph.t -> Rpq.t -> bool array
+(** Same answer computed against the determinized-and-minimized query
+    automaton instead of the NFA. A smaller automaton shrinks the product,
+    but determinization can blow the automaton up — the [--exp eval]
+    ablation of the benchmark harness measures this trade-off. *)
+
+val select_nodes : Gps_graph.Digraph.t -> Rpq.t -> Gps_graph.Digraph.node list
+(** Selected nodes in ascending id order. *)
+
+val selects : Gps_graph.Digraph.t -> Rpq.t -> Gps_graph.Digraph.node -> bool
+
+val consistent :
+  Gps_graph.Digraph.t ->
+  Rpq.t ->
+  pos:Gps_graph.Digraph.node list ->
+  neg:Gps_graph.Digraph.node list ->
+  bool
+(** The query selects every positive node and no negative one — the
+    paper's consistency criterion (a negative node "covers" a word iff the
+    word is one of its paths, so "no negative covered" is exactly "no
+    negative selected"). *)
+
+val count : Gps_graph.Digraph.t -> Rpq.t -> int
+
+val witness_lengths : Gps_graph.Digraph.t -> Rpq.t -> int option array
+(** Per node, the length of its shortest witness word ([None] when not
+    selected) — all nodes in one backward BFS, used to rank answers by
+    how direct they are. Agrees with the length of {!Witness.find}'s
+    result. *)
+
+val product_states : Gps_graph.Digraph.t -> Rpq.t -> int
+(** |V| · |Q| — reported by the benchmark harness. *)

@@ -1,0 +1,135 @@
+module Digraph = Gps_graph.Digraph
+module Nfa = Gps_automata.Nfa
+
+type t = {
+  graph : Digraph.t;
+  query : Rpq.t;
+  m : int;                          (* automaton states *)
+  mutable capacity : int;           (* nodes covered by [can_accept] *)
+  mutable can_accept : bool array;  (* (v * m + q) -> accepting reachable *)
+  trans_by_symbol : (string, (int * int) list) Hashtbl.t;
+      (* symbol -> automaton transitions, fixed at creation *)
+}
+
+let rebuild_tables nfa =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (qs, sym, qd) ->
+      Hashtbl.replace tbl sym ((qs, qd) :: Option.value ~default:[] (Hashtbl.find_opt tbl sym)))
+    (Nfa.transitions nfa);
+  tbl
+
+let ensure_capacity t n =
+  if n > t.capacity then begin
+    let grown = Array.make (n * t.m) false in
+    Array.blit t.can_accept 0 grown 0 (t.capacity * t.m);
+    t.can_accept <- grown;
+    t.capacity <- n
+  end
+
+(* Backward propagation from a set of freshly-true product states. *)
+let propagate t seeds =
+  let queue = Queue.create () in
+  List.iter (fun idx -> Queue.add idx queue) seeds;
+  while not (Queue.is_empty queue) do
+    let idx = Queue.pop queue in
+    let v' = idx / t.m and q' = idx mod t.m in
+    List.iter
+      (fun (lbl, v) ->
+        let sym = Digraph.label_name t.graph lbl in
+        match Hashtbl.find_opt t.trans_by_symbol sym with
+        | None -> ()
+        | Some trans ->
+            List.iter
+              (fun (qs, qd) ->
+                if qd = q' then begin
+                  let pidx = (v * t.m) + qs in
+                  if not t.can_accept.(pidx) then begin
+                    t.can_accept.(pidx) <- true;
+                    Queue.add pidx queue
+                  end
+                end)
+              trans)
+      (Digraph.in_edges t.graph v')
+  done
+
+let create g q =
+  let nfa = Rpq.nfa q in
+  let m = Nfa.n_states nfa in
+  let n = Digraph.n_nodes g in
+  let t =
+    {
+      graph = g;
+      query = q;
+      m;
+      capacity = n;
+      can_accept = Array.make (max 1 (n * m)) false;
+      trans_by_symbol = rebuild_tables nfa;
+    }
+  in
+  if m > 0 then begin
+    let seeds = ref [] in
+    let finals = Nfa.finals nfa in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun qf ->
+          let idx = (v * m) + qf in
+          t.can_accept.(idx) <- true;
+          seeds := idx :: !seeds)
+        finals
+    done;
+    propagate t !seeds
+  end;
+  t
+
+let add_edge t ~src ~label ~dst =
+  if t.m > 0 then begin
+    ensure_capacity t (Digraph.n_nodes t.graph);
+    (* a new graph edge src -label-> dst enables, for every automaton
+       transition qs -label-> qd, the product edge (src,qs) -> (dst,qd);
+       (src,qs) becomes accepting-reachable if (dst,qd) already is. Any
+       accepting automaton state at a fresh node is also seeded. *)
+    let nfa = Rpq.nfa t.query in
+    List.iter
+      (fun v ->
+        if v < t.capacity then
+          List.iter
+            (fun qf ->
+              let idx = (v * t.m) + qf in
+              if not t.can_accept.(idx) then begin
+                t.can_accept.(idx) <- true;
+                propagate t [ idx ]
+              end)
+            (Nfa.finals nfa))
+      [ src; dst ];
+    match Hashtbl.find_opt t.trans_by_symbol label with
+    | None -> ()
+    | Some trans ->
+        let seeds =
+          List.filter_map
+            (fun (qs, qd) ->
+              let src_idx = (src * t.m) + qs in
+              if t.can_accept.((dst * t.m) + qd) && not t.can_accept.(src_idx) then begin
+                t.can_accept.(src_idx) <- true;
+                Some src_idx
+              end
+              else None)
+            trans
+        in
+        if seeds <> [] then propagate t seeds
+  end
+
+let selected t v =
+  t.m > 0 && v < t.capacity
+  && List.exists (fun q0 -> t.can_accept.((v * t.m) + q0)) (Nfa.starts (Rpq.nfa t.query))
+
+let select t = Array.init (Digraph.n_nodes t.graph) (fun v -> selected t v)
+
+let count t =
+  let c = ref 0 in
+  for v = 0 to Digraph.n_nodes t.graph - 1 do
+    if selected t v then incr c
+  done;
+  !c
+
+let agrees_with_scratch t = select t = Eval.select t.graph t.query

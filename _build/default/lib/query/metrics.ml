@@ -1,0 +1,37 @@
+type t = {
+  true_pos : int;
+  false_pos : int;
+  false_neg : int;
+  precision : float;
+  recall : float;
+  f1 : float;
+}
+
+let score_sets ~expected ~got =
+  if Array.length expected <> Array.length got then
+    invalid_arg "Metrics.score_sets: arrays of different lengths";
+  let tp = ref 0 and fp = ref 0 and fn = ref 0 in
+  Array.iteri
+    (fun i e ->
+      match (e, got.(i)) with
+      | true, true -> incr tp
+      | false, true -> incr fp
+      | true, false -> incr fn
+      | false, false -> ())
+    expected;
+  let tp = !tp and fp = !fp and fn = !fn in
+  let precision = if tp + fp = 0 then 1.0 else float_of_int tp /. float_of_int (tp + fp) in
+  let recall = if tp + fn = 0 then 1.0 else float_of_int tp /. float_of_int (tp + fn) in
+  let f1 =
+    if precision +. recall = 0.0 then 0.0 else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  { true_pos = tp; false_pos = fp; false_neg = fn; precision; recall; f1 }
+
+let score g ~goal ~hypothesis =
+  score_sets ~expected:(Eval.select g goal) ~got:(Eval.select g hypothesis)
+
+let exact g ~goal ~hypothesis = Eval.select g goal = Eval.select g hypothesis
+
+let pp ppf t =
+  Format.fprintf ppf "P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)" t.precision t.recall t.f1
+    t.true_pos t.false_pos t.false_neg

@@ -1,0 +1,27 @@
+(** Quality metrics of a hypothesis query against a goal query.
+
+    The companion paper reports learning quality as the F-measure of the
+    node set selected by the learned query w.r.t. the goal query's set on
+    the same graph. Exact language equivalence is also decidable here
+    (regular languages), and both views are reported by the benchmarks:
+    equivalence is what the interactive protocol converges to, F-measure
+    is what intermediate hypotheses are scored with. *)
+
+type t = {
+  true_pos : int;
+  false_pos : int;
+  false_neg : int;
+  precision : float;   (** 1.0 when nothing is retrieved *)
+  recall : float;      (** 1.0 when nothing is relevant *)
+  f1 : float;
+}
+
+val score : Gps_graph.Digraph.t -> goal:Rpq.t -> hypothesis:Rpq.t -> t
+
+val score_sets : expected:bool array -> got:bool array -> t
+
+val exact : Gps_graph.Digraph.t -> goal:Rpq.t -> hypothesis:Rpq.t -> bool
+(** Same selected node set on this graph (weaker than language equality,
+    which is {!Rpq.equal_lang}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** The path language of a node: all label words spelled by its outgoing
+    walks, as an automaton.
+
+    [paths(ν)] is prefix-closed and regular — its automaton is just the
+    graph itself with start [ν] and every state accepting. The learner's
+    consistency checks are language operations against these automata:
+    a query is consistent with a negative node [n] iff
+    [L(q) ∩ paths(n) = ∅]. *)
+
+val of_node : Gps_graph.Digraph.t -> Gps_graph.Digraph.node -> Gps_automata.Nfa.t
+(** Automaton over label {e names} accepting exactly the paths of the
+    node (including ε). *)
+
+val of_nodes : Gps_graph.Digraph.t -> Gps_graph.Digraph.node list -> Gps_automata.Nfa.t
+(** Union: the words covered by {e some} node of the list. For an empty
+    list this is the empty language. *)
+
+val covers : Gps_graph.Digraph.t -> Gps_graph.Digraph.node list -> string list -> bool
+(** [covers g nodes w]: is [w] a path of one of [nodes]? (Direct subset
+    simulation on the graph — no automaton is built.) *)
+
+val disjoint_from : Gps_graph.Digraph.t -> Gps_graph.Digraph.node -> Rpq.t -> bool
+(** [L(q) ∩ paths(ν) = ∅] — equivalently, [q] does not select [ν]. *)

@@ -1,0 +1,19 @@
+module Digraph = Gps_graph.Digraph
+module Regex = Gps_regex.Regex
+
+let known g sym = Digraph.label_of_name g (Twoway.base_label sym) <> None
+
+let dead_symbols g q =
+  List.filter (fun sym -> not (known g sym)) (Regex.alphabet (Rpq.regex q))
+
+let specialize g q =
+  let rec go (r : Regex.t) =
+    match r with
+    | Empty | Epsilon -> r
+    | Sym s -> if known g s then r else Regex.empty
+    | Alt rs -> Regex.alt (List.map go rs)
+    | Seq rs -> Regex.seq (List.map go rs)
+    | Star body -> Regex.star (go body)
+  in
+  let specialized = go (Rpq.regex q) in
+  if Regex.equal specialized (Rpq.regex q) then q else Rpq.of_regex specialized

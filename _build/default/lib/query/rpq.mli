@@ -1,0 +1,29 @@
+(** Compiled path queries.
+
+    A path query pairs a regular expression with its compiled NFA. The
+    query selects a graph node iff some outgoing walk of the node spells a
+    word of the expression's language (the paper's monadic RPQ
+    semantics). *)
+
+type t
+
+val of_regex : Gps_regex.Regex.t -> t
+val of_nfa : Gps_automata.Nfa.t -> t
+(** The displayed expression is recovered by state elimination, lazily —
+    building a query from an automaton is cheap until {!regex} or a
+    printer is called. *)
+
+val of_string : string -> (t, string) result
+(** Parses the paper's notation, e.g. ["(tram+bus)*.cinema"]. *)
+
+val of_string_exn : string -> t
+
+val regex : t -> Gps_regex.Regex.t
+val nfa : t -> Gps_automata.Nfa.t
+
+val matches_word : t -> string list -> bool
+(** Word membership (labels by name). *)
+
+val equal_lang : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

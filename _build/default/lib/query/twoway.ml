@@ -1,0 +1,131 @@
+module Digraph = Gps_graph.Digraph
+module Nfa = Gps_automata.Nfa
+
+let is_inverse sym =
+  let n = String.length sym in
+  n > 0 && sym.[n - 1] = '~'
+
+let base_label sym = if is_inverse sym then String.sub sym 0 (String.length sym - 1) else sym
+
+(* Automaton transitions re-indexed by graph label id, split by traversal
+   direction. *)
+let index_transitions g nfa =
+  let n_labels = max (Digraph.n_labels g) 1 in
+  let fwd = Array.make n_labels [] in
+  let bwd = Array.make n_labels [] in
+  List.iter
+    (fun (qs, sym, qd) ->
+      let table = if is_inverse sym then bwd else fwd in
+      match Digraph.label_of_name g (base_label sym) with
+      | Some lbl -> table.(lbl) <- (qs, qd) :: table.(lbl)
+      | None -> ())
+    (Nfa.transitions nfa);
+  (fwd, bwd)
+
+let select g q =
+  let nfa = Rpq.nfa q in
+  let n = Digraph.n_nodes g and m = Nfa.n_states nfa in
+  let selected = Array.make n false in
+  if m = 0 then selected
+  else begin
+    let fwd, bwd = index_transitions g nfa in
+    (* Backward BFS from accepting product states. A forward-symbol
+       product edge (v,q) -> (v',q') needs a graph edge v -l-> v'; an
+       inverse-symbol edge needs v' -l-> v. So predecessors of (v',q')
+       come from in-edges via [fwd] and out-edges via [bwd]. *)
+    let can_accept = Array.make (n * m) false in
+    let queue = Queue.create () in
+    let push v qs =
+      let idx = (v * m) + qs in
+      if not can_accept.(idx) then begin
+        can_accept.(idx) <- true;
+        Queue.add idx queue
+      end
+    in
+    let finals = Nfa.finals nfa in
+    for v = 0 to n - 1 do
+      List.iter (fun qf -> push v qf) finals
+    done;
+    while not (Queue.is_empty queue) do
+      let idx = Queue.pop queue in
+      let v' = idx / m and q' = idx mod m in
+      List.iter
+        (fun (lbl, v) -> List.iter (fun (qs, qd) -> if qd = q' then push v qs) fwd.(lbl))
+        (Digraph.in_edges g v');
+      List.iter
+        (fun (lbl, v) -> List.iter (fun (qs, qd) -> if qd = q' then push v qs) bwd.(lbl))
+        (Digraph.out_edges g v')
+    done;
+    let starts = Nfa.starts nfa in
+    for v = 0 to n - 1 do
+      selected.(v) <- List.exists (fun q0 -> can_accept.((v * m) + q0)) starts
+    done;
+    selected
+  end
+
+let select_nodes g q =
+  let sel = select g q in
+  List.filter (fun v -> sel.(v)) (List.init (Array.length sel) Fun.id)
+
+let count g q = List.length (select_nodes g q)
+
+type step = { label : string; inverse : bool; from_node : Digraph.node; to_node : Digraph.node }
+
+let witness g q v =
+  let nfa = Rpq.nfa q in
+  let m = Nfa.n_states nfa in
+  if m = 0 then None
+  else begin
+    let n = Digraph.n_nodes g in
+    let visited = Array.make (n * m) false in
+    let parent = Array.make (n * m) None in
+    let queue = Queue.create () in
+    let push idx p =
+      if not visited.(idx) then begin
+        visited.(idx) <- true;
+        parent.(idx) <- p;
+        Queue.add idx queue
+      end
+    in
+    List.iter (fun q0 -> push ((v * m) + q0) None) (Nfa.starts nfa);
+    let goal = ref None in
+    while !goal = None && not (Queue.is_empty queue) do
+      let idx = Queue.pop queue in
+      let u = idx / m and qs = idx mod m in
+      if Nfa.is_final nfa qs then goal := Some idx
+      else
+        List.iter
+          (fun (sym, qd) ->
+            let inverse = is_inverse sym in
+            match Digraph.label_of_name g (base_label sym) with
+            | None -> ()
+            | Some lbl ->
+                let neighbors =
+                  if inverse then Digraph.pred_by_label g u lbl
+                  else Digraph.succ_by_label g u lbl
+                in
+                List.iter
+                  (fun u' ->
+                    push ((u' * m) + qd)
+                      (Some (idx, { label = base_label sym; inverse; from_node = u; to_node = u' })))
+                  neighbors)
+          (Nfa.delta nfa qs)
+    done;
+    match !goal with
+    | None -> None
+    | Some idx ->
+        let rec unroll idx steps =
+          match parent.(idx) with
+          | None -> steps
+          | Some (prev, step) -> unroll prev (step :: steps)
+        in
+        Some (unroll idx [])
+  end
+
+let pp_step g ppf s =
+  if s.inverse then
+    Format.fprintf ppf "%s <-%s- %s" (Digraph.node_name g s.from_node) s.label
+      (Digraph.node_name g s.to_node)
+  else
+    Format.fprintf ppf "%s -%s-> %s" (Digraph.node_name g s.from_node) s.label
+      (Digraph.node_name g s.to_node)

@@ -1,0 +1,38 @@
+(** Two-way regular path queries (2RPQs).
+
+    The survey the paper builds on (Wood, "Query languages for graph
+    databases", SIGMOD Record 2012 — reference [8]) treats the class of
+    2RPQs: regular expressions over labels {e and their inverses}, where
+    the inverse symbol [l~] traverses an [l]-edge backwards. GPS's demo
+    works with plain RPQs; this module adds the standard extension so a
+    downstream user can evaluate queries like [in~.(tram+bus)*.cinema]
+    ("starting from a facility, step back to its district, then ride to a
+    cinema").
+
+    Concrete syntax: a trailing [~] on a symbol marks the inverse —
+    [(child~)*], [in~.tram]. The expression layer is unchanged ([l~] is
+    just a symbol name); direction is interpreted here, at evaluation
+    time. *)
+
+val is_inverse : string -> bool
+(** Whether a symbol name carries the trailing [~]. *)
+
+val base_label : string -> string
+(** [base_label "tram~"] is ["tram"]; identity on plain symbols. *)
+
+val select : Gps_graph.Digraph.t -> Rpq.t -> bool array
+(** [select g q].(v) iff some two-way walk from [v] spells a word of
+    [L(q)] — forward edges for plain symbols, backward edges for inverse
+    symbols. Coincides with {!Eval.select} on inverse-free queries. *)
+
+val select_nodes : Gps_graph.Digraph.t -> Rpq.t -> Gps_graph.Digraph.node list
+val count : Gps_graph.Digraph.t -> Rpq.t -> int
+
+type step = { label : string; inverse : bool; from_node : Gps_graph.Digraph.node; to_node : Gps_graph.Digraph.node }
+
+val witness : Gps_graph.Digraph.t -> Rpq.t -> Gps_graph.Digraph.node -> step list option
+(** A shortest two-way witness walk for a selected node: each step records
+    the direction actually traversed. [Some []] when ε ∈ L(q). *)
+
+val pp_step : Gps_graph.Digraph.t -> Format.formatter -> step -> unit
+(** [N4 <-cinema- C1] for inverse steps, [N4 -cinema-> C1] otherwise. *)

@@ -1,0 +1,64 @@
+module Digraph = Gps_graph.Digraph
+module Nfa = Gps_automata.Nfa
+
+type t = { word : string list; walk : Digraph.node list }
+
+let find g q v =
+  let nfa = Rpq.nfa q in
+  let m = Nfa.n_states nfa in
+  if m = 0 then None
+  else begin
+    let n = Digraph.n_nodes g in
+    (* parent.(v*m+q) = (prev_state, label_name) for path reconstruction *)
+    let visited = Array.make (n * m) false in
+    let parent = Array.make (n * m) None in
+    let queue = Queue.create () in
+    let push idx parent_info =
+      if not visited.(idx) then begin
+        visited.(idx) <- true;
+        parent.(idx) <- parent_info;
+        Queue.add idx queue
+      end
+    in
+    List.iter (fun q0 -> push ((v * m) + q0) None) (Nfa.starts nfa);
+    let goal = ref None in
+    while !goal = None && not (Queue.is_empty queue) do
+      let idx = Queue.pop queue in
+      let u = idx / m and qs = idx mod m in
+      if Nfa.is_final nfa qs then goal := Some idx
+      else
+        List.iter
+          (fun (lbl, u') ->
+            let sym = Digraph.label_name g lbl in
+            List.iter
+              (fun qd -> push ((u' * m) + qd) (Some (idx, sym)))
+              (Nfa.delta_sym nfa qs sym))
+          (Digraph.out_edges g u)
+    done;
+    match !goal with
+    | None -> None
+    | Some idx ->
+        let rec unroll idx word walk =
+          let u = idx / m in
+          match parent.(idx) with
+          | None -> { word; walk = u :: walk }
+          | Some (prev, sym) -> unroll prev (sym :: word) (u :: walk)
+        in
+        Some (unroll idx [] [])
+  end
+
+let find_all_selected g q =
+  List.filter_map
+    (fun v -> Option.map (fun w -> (v, w)) (find g q v))
+    (Eval.select_nodes g q)
+
+let pp g ppf t =
+  match t.walk with
+  | [] -> ()
+  | first :: _ ->
+      Format.pp_print_string ppf (Digraph.node_name g first);
+      List.iteri
+        (fun i sym ->
+          let next = List.nth t.walk (i + 1) in
+          Format.fprintf ppf " -%s-> %s" sym (Digraph.node_name g next))
+        t.word

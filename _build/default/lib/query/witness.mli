@@ -1,0 +1,20 @@
+(** Witness paths: concrete evidence of why a query selects a node.
+
+    When GPS proposes a path to the user for validation (Figure 3(c)) or
+    explains a result, it needs, for a selected node, a shortest walk
+    whose word the query accepts. *)
+
+type t = {
+  word : string list;                 (** the label word, by name *)
+  walk : Gps_graph.Digraph.node list; (** node sequence, starting at the queried node *)
+}
+
+val find : Gps_graph.Digraph.t -> Rpq.t -> Gps_graph.Digraph.node -> t option
+(** A shortest witness for the node, [None] when the query does not
+    select it. Forward BFS over the product from [(v, starts)]. *)
+
+val find_all_selected : Gps_graph.Digraph.t -> Rpq.t -> (Gps_graph.Digraph.node * t) list
+(** One shortest witness per selected node. *)
+
+val pp : Gps_graph.Digraph.t -> Format.formatter -> t -> unit
+(** [N2 -bus-> N1 -tram-> N4 -cinema-> C1]. *)

@@ -1,0 +1,1 @@
+lib/regex/gps_regex.ml: Antimirov Deriv Parse Regex

@@ -1,0 +1,1 @@
+lib/regex/antimirov.ml: List Regex Set String

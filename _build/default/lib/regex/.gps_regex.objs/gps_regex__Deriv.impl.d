@@ -1,0 +1,1 @@
+lib/regex/deriv.ml: List Regex Set String

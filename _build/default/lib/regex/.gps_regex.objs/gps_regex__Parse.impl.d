@@ -1,0 +1,1 @@
+lib/regex/parse.ml: List Printf Regex Result String

@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Buffer Format List Set Stdlib String

@@ -1,0 +1,50 @@
+module Rset = Set.Make (Regex)
+
+let seq_all tail terms =
+  (* append [tail] to every term, dropping empties via the smart
+     constructor *)
+  List.filter_map
+    (fun t ->
+      let r = Regex.seq [ t; tail ] in
+      if Regex.is_empty_lang r then None else Some r)
+    terms
+
+let rec partial_set a (r : Regex.t) =
+  match r with
+  | Empty | Epsilon -> Rset.empty
+  | Sym s -> if String.equal s a then Rset.singleton Regex.epsilon else Rset.empty
+  | Alt rs -> List.fold_left (fun acc r -> Rset.union acc (partial_set a r)) Rset.empty rs
+  | Seq (r1 :: rest) ->
+      let tail = Regex.seq rest in
+      let first = Rset.of_list (seq_all tail (Rset.elements (partial_set a r1))) in
+      if Regex.nullable r1 then Rset.union first (partial_set a tail) else first
+  | Seq [] -> Rset.empty (* unreachable: Seq holds >= 2 members *)
+  | Star body -> Rset.of_list (seq_all r (Rset.elements (partial_set a body)))
+
+let partial a r = Rset.elements (partial_set a r)
+
+let partial_word w r =
+  let step terms a =
+    Rset.elements
+      (List.fold_left (fun acc t -> Rset.union acc (partial_set a t)) Rset.empty terms)
+  in
+  List.fold_left step [ r ] w
+
+let matches r w = List.exists Regex.nullable (partial_word w r)
+
+let terms ?(fuel = 10_000) r =
+  let sigma = Regex.alphabet r in
+  let rec explore seen frontier fuel =
+    if fuel <= 0 then seen
+    else
+      match frontier with
+      | [] -> seen
+      | t :: rest ->
+          let nexts = List.concat_map (fun a -> partial a t) sigma in
+          let fresh = List.filter (fun d -> not (Rset.mem d seen)) nexts in
+          let fresh = List.sort_uniq Regex.compare fresh in
+          explore
+            (List.fold_left (fun s d -> Rset.add d s) seen fresh)
+            (fresh @ rest) (fuel - 1)
+  in
+  Rset.elements (explore (Rset.singleton r) [ r ] fuel)

@@ -1,0 +1,23 @@
+(** Antimirov partial derivatives.
+
+    Where the Brzozowski derivative of a regex is a single regex, the
+    Antimirov partial derivative is a {e set} of regexes whose union of
+    languages is the derivative language; iterating from [r] reaches at
+    most [size r] distinct terms, which yields a small NFA directly (see
+    {!Gps_automata.Compile.to_nfa_antimirov}) and gives the test suite a
+    third independent membership oracle. *)
+
+val partial : string -> Regex.t -> Regex.t list
+(** The set ∂ₐ(r), sorted and duplicate-free. *)
+
+val partial_word : string list -> Regex.t -> Regex.t list
+(** Iterated over a word, starting from [{r}]. *)
+
+val matches : Regex.t -> string list -> bool
+(** [w ∈ L(r)] decided via partial derivatives. *)
+
+val terms : ?fuel:int -> Regex.t -> Regex.t list
+(** All terms reachable from [r] by iterated partial derivation over its
+    own alphabet (including [r]); the state space of the Antimirov
+    automaton. Linear in [size r] in theory; [fuel] (default 10_000) is a
+    safety net. *)

@@ -1,0 +1,34 @@
+let rec derive a (r : Regex.t) =
+  match r with
+  | Empty | Epsilon -> Regex.empty
+  | Sym s -> if String.equal s a then Regex.epsilon else Regex.empty
+  | Alt rs -> Regex.alt (List.map (derive a) rs)
+  | Seq (r1 :: rest) ->
+      let tail = Regex.seq rest in
+      let first = Regex.seq [ derive a r1; tail ] in
+      if Regex.nullable r1 then Regex.alt [ first; derive a tail ] else first
+  | Seq [] -> Regex.empty (* unreachable: Seq holds >= 2 members *)
+  | Star body -> Regex.seq [ derive a body; r ]
+
+let derive_word w r = List.fold_left (fun r a -> derive a r) r w
+
+let matches r w = Regex.nullable (derive_word w r)
+
+module Rset = Set.Make (Regex)
+
+let derivatives ?(fuel = 10_000) r =
+  let sigma = Regex.alphabet r in
+  let rec explore seen frontier fuel =
+    if fuel <= 0 then seen
+    else
+      match frontier with
+      | [] -> seen
+      | r :: rest ->
+          let nexts = List.map (fun a -> derive a r) sigma in
+          let fresh = List.filter (fun d -> not (Rset.mem d seen)) nexts in
+          let fresh = List.sort_uniq Regex.compare fresh in
+          explore
+            (List.fold_left (fun s d -> Rset.add d s) seen fresh)
+            (fresh @ rest) (fuel - 1)
+  in
+  Rset.elements (explore (Rset.singleton r) [ r ] fuel)

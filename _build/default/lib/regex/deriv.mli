@@ -1,0 +1,19 @@
+(** Brzozowski derivatives.
+
+    [derive a r] denotes the language [{ w | a.w ∈ L(r) }]. Derivatives
+    give a direct, automaton-free word-membership test, used both by the
+    query engine for single-word checks and by the test suite as an
+    independent oracle against the Thompson/product pipeline. *)
+
+val derive : string -> Regex.t -> Regex.t
+
+val derive_word : string list -> Regex.t -> Regex.t
+
+val matches : Regex.t -> string list -> bool
+(** [matches r w] iff the word [w] (a list of labels) belongs to [L(r)]. *)
+
+val derivatives : ?fuel:int -> Regex.t -> Regex.t list
+(** The set of iterated derivatives of [r] reachable over its own alphabet
+    (including [r]); cut off at [fuel] distinct values (default 10_000).
+    Finite up to the smart-constructor normal form for all practical
+    inputs; the learned queries here are tiny. *)

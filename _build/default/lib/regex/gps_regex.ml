@@ -1,0 +1,8 @@
+(** Regular expressions over edge labels: AST with normalizing smart
+    constructors, the paper's concrete syntax, and Brzozowski
+    derivatives. *)
+
+module Regex = Regex
+module Parse = Parse
+module Deriv = Deriv
+module Antimirov = Antimirov

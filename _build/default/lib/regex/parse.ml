@@ -1,0 +1,94 @@
+exception Error of int * string
+
+type token = Tsym of string | Tplus | Tdot | Tstar | Topt | Tlpar | Trpar | Teps | Tempty
+
+let is_sym_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '-'
+  || c = '~' (* trailing ~ marks an inverse symbol for two-way queries *)
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := (t, !i) :: !toks in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '+' then (push Tplus; incr i)
+    else if c = '.' then (push Tdot; incr i)
+    else if c = '*' then (push Tstar; incr i)
+    else if c = '?' then (push Topt; incr i)
+    else if c = '(' then (push Tlpar; incr i)
+    else if c = ')' then (push Trpar; incr i)
+    else if is_sym_char c then begin
+      let start = !i in
+      while !i < n && is_sym_char input.[!i] do incr i done;
+      let s = String.sub input start (!i - start) in
+      let t = match s with "eps" | "epsilon" -> Teps | "empty" -> Tempty | _ -> Tsym s in
+      toks := (t, start) :: !toks
+    end
+    else if !i + 1 < n && input.[!i] = '\xce' && input.[!i + 1] = '\xb5' then begin
+      push Teps;
+      i := !i + 2
+    end
+    else if !i + 2 < n && input.[!i] = '\xe2' && input.[!i + 1] = '\x88' && input.[!i + 2] = '\x85'
+    then begin
+      push Tempty;
+      i := !i + 3
+    end
+    else raise (Error (!i, Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev !toks
+
+(* Recursive descent over the token list; each rule returns the remaining
+   tokens. *)
+let parse_exn input =
+  let rec alt toks =
+    let r, toks = seq toks in
+    match toks with
+    | (Tplus, _) :: rest ->
+        let r', toks = alt rest in
+        (Regex.alt [ r; r' ], toks)
+    | _ -> (r, toks)
+  and seq toks =
+    let r, toks = postfix toks in
+    match toks with
+    | (Tdot, _) :: rest ->
+        let r', toks = seq rest in
+        (Regex.seq [ r; r' ], toks)
+    | ((Tsym _ | Teps | Tempty | Tlpar), _) :: _ ->
+        (* adjacency concatenation *)
+        let r', toks = seq toks in
+        (Regex.seq [ r; r' ], toks)
+    | _ -> (r, toks)
+  and postfix toks =
+    let r, toks = atom toks in
+    let rec stars r = function
+      | (Tstar, _) :: rest -> stars (Regex.star r) rest
+      | (Topt, _) :: rest -> stars (Regex.opt r) rest
+      | toks -> (r, toks)
+    in
+    stars r toks
+  and atom = function
+    | (Tsym s, _) :: rest -> (Regex.sym s, rest)
+    | (Teps, _) :: rest -> (Regex.epsilon, rest)
+    | (Tempty, _) :: rest -> (Regex.empty, rest)
+    | (Tlpar, pos) :: rest -> (
+        let r, toks = alt rest in
+        match toks with
+        | (Trpar, _) :: rest -> (r, rest)
+        | _ -> raise (Error (pos, "unclosed parenthesis")))
+    | (_, pos) :: _ -> raise (Error (pos, "expected a symbol, 'ε', '∅' or '('"))
+    | [] -> raise (Error (String.length input, "unexpected end of input"))
+  in
+  let toks = tokenize input in
+  if toks = [] then raise (Error (0, "empty input"));
+  let r, toks = alt toks in
+  match toks with
+  | [] -> r
+  | (_, pos) :: _ -> raise (Error (pos, "trailing input"))
+
+let parse input =
+  match parse_exn input with
+  | r -> Ok r
+  | exception Error (pos, msg) -> Result.error (Printf.sprintf "parse error at %d: %s" pos msg)

@@ -1,0 +1,22 @@
+(** Parser for the paper's path-query notation.
+
+    Grammar (whitespace ignored between tokens):
+    {v
+    alt    ::= seq ('+' seq)*
+    seq    ::= star ('.'? star)*          concatenation: explicit '.' or adjacency
+    star   ::= atom ('*' | '+'? ...)      postfix '*'; postfix '?' for option
+    atom   ::= SYMBOL | 'ε' | 'eps' | '∅' | '(' alt ')'
+    SYMBOL ::= [A-Za-z0-9_~-]+            but not the reserved words above
+                                          (a trailing '~' marks an inverse
+                                          symbol for two-way queries)
+    v}
+
+    Examples accepted: [(tram+bus)*.cinema], [tram* . restaurant],
+    [bus bus cinema] (adjacency), [a?.b]. *)
+
+exception Error of int * string
+(** Byte offset and message. *)
+
+val parse : string -> (Regex.t, string) result
+val parse_exn : string -> Regex.t
+(** @raise Error on malformed input. *)

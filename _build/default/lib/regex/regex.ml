@@ -1,0 +1,149 @@
+type t =
+  | Empty
+  | Epsilon
+  | Sym of string
+  | Alt of t list
+  | Seq of t list
+  | Star of t
+
+let empty = Empty
+let epsilon = Epsilon
+let sym s = Sym s
+
+let rec compare a b =
+  let rank = function
+    | Empty -> 0
+    | Epsilon -> 1
+    | Sym _ -> 2
+    | Alt _ -> 3
+    | Seq _ -> 4
+    | Star _ -> 5
+  in
+  match (a, b) with
+  | Empty, Empty | Epsilon, Epsilon -> 0
+  | Sym x, Sym y -> String.compare x y
+  | Alt xs, Alt ys | Seq xs, Seq ys -> compare_list xs ys
+  | Star x, Star y -> compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c <> 0 then c else compare_list xs ys
+
+let equal a b = compare a b = 0
+
+let rec nullable = function
+  | Empty | Sym _ -> false
+  | Epsilon | Star _ -> true
+  | Alt rs -> List.exists nullable rs
+  | Seq rs -> List.for_all nullable rs
+
+(* Alternation: flatten nested Alts, drop Empty, sort, dedup; absorb any
+   sibling of a star already containing it? (too clever — skip). If a Star r
+   is a member, an Epsilon member is redundant. *)
+let alt rs =
+  let rec flatten acc = function
+    | [] -> acc
+    | Empty :: rest -> flatten acc rest
+    | Alt xs :: rest -> flatten (flatten acc xs) rest
+    | r :: rest -> flatten (r :: acc) rest
+  in
+  let members = List.sort_uniq compare (flatten [] rs) in
+  let members =
+    if List.exists (function Star _ -> true | _ -> false) members then
+      List.filter (fun r -> r <> Epsilon) members
+    else members
+  in
+  match members with [] -> Empty | [ r ] -> r | rs -> Alt rs
+
+let seq rs =
+  let rec flatten acc = function
+    | [] -> Some acc
+    | Empty :: _ -> None
+    | Epsilon :: rest -> flatten acc rest
+    | Seq xs :: rest -> (
+        match flatten acc xs with None -> None | Some acc -> flatten acc rest)
+    | r :: rest -> flatten (r :: acc) rest
+  in
+  match flatten [] rs with
+  | None -> Empty
+  | Some [] -> Epsilon
+  | Some [ r ] -> r
+  | Some rs -> Seq (List.rev rs)
+
+let rec star r =
+  match r with
+  | Empty | Epsilon -> Epsilon
+  | Star _ -> r
+  | Alt rs when List.mem Epsilon rs ->
+      (* (ε + r)* = r* *)
+      star (alt (List.filter (fun r -> r <> Epsilon) rs))
+  | Sym _ | Alt _ | Seq _ -> Star r
+
+let plus r = seq [ r; star r ]
+let opt r = alt [ epsilon; r ]
+let word labels = seq (List.map sym labels)
+
+let is_empty_lang r = r = Empty
+
+let rec size = function
+  | Empty | Epsilon | Sym _ -> 1
+  | Alt rs | Seq rs -> List.fold_left (fun acc r -> acc + size r) 1 rs
+  | Star r -> 1 + size r
+
+let rec height = function
+  | Empty | Epsilon | Sym _ -> 1
+  | Alt rs | Seq rs -> 1 + List.fold_left (fun acc r -> max acc (height r)) 0 rs
+  | Star r -> 1 + height r
+
+let alphabet r =
+  let module Sset = Set.Make (String) in
+  let rec go acc = function
+    | Empty | Epsilon -> acc
+    | Sym s -> Sset.add s acc
+    | Alt rs | Seq rs -> List.fold_left go acc rs
+    | Star r -> go acc r
+  in
+  Sset.elements (go Sset.empty r)
+
+(* Precedence climbing for printing: alt < seq < star/atom. *)
+let to_string r =
+  let buf = Buffer.create 64 in
+  let paren cond body =
+    if cond then Buffer.add_char buf '(';
+    body ();
+    if cond then Buffer.add_char buf ')'
+  in
+  (* [level]: 0 = alternation context, 1 = concatenation, 2 = star operand. *)
+  let rec go level r =
+    match r with
+    | Empty -> Buffer.add_string buf "\xe2\x88\x85" (* ∅ *)
+    | Epsilon -> Buffer.add_string buf "\xce\xb5" (* ε *)
+    | Sym s -> Buffer.add_string buf s
+    | Alt rs ->
+        paren (level > 0) (fun () ->
+            List.iteri
+              (fun i r ->
+                if i > 0 then Buffer.add_char buf '+';
+                go 0 r)
+              rs)
+    | Seq rs ->
+        paren (level > 1) (fun () ->
+            List.iteri
+              (fun i r ->
+                if i > 0 then Buffer.add_char buf '.';
+                go 1 r)
+              rs)
+    | Star r ->
+        go 2 r;
+        Buffer.add_char buf '*'
+  in
+  go 0 r;
+  Buffer.contents buf
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,67 @@
+(** Regular expressions over edge-label alphabets — the query language of
+    the paper.
+
+    A path query is a regular expression such as [(tram+bus)*.cinema]; it
+    selects a graph node iff some outgoing walk spells a word of the
+    expression's language. Symbols are free-form label names (strings);
+    [+] is alternation, [.] concatenation, [*] Kleene star, as in the
+    paper's notation.
+
+    Values are kept in a lightweight normal form by the smart constructors
+    (neutral/absorbing elements folded away, alternations flattened, sorted
+    and deduplicated, nested stars collapsed), so structural equality is a
+    useful — though of course not complete — approximation of language
+    equality. *)
+
+type t = private
+  | Empty              (** ∅ — the empty language *)
+  | Epsilon            (** ε — the singleton empty word *)
+  | Sym of string      (** one edge label *)
+  | Alt of t list      (** union; invariant: >= 2 members, flat, sorted, no duplicates, no [Empty] *)
+  | Seq of t list      (** concatenation; invariant: >= 2 members, flat, no [Epsilon]/[Empty] *)
+  | Star of t          (** Kleene closure; invariant: body not [Empty]/[Epsilon]/[Star _] *)
+
+(** {1 Smart constructors} *)
+
+val empty : t
+val epsilon : t
+val sym : string -> t
+val alt : t list -> t
+val seq : t list -> t
+val star : t -> t
+val plus : t -> t
+(** [plus r] is [r.r*]. *)
+
+val opt : t -> t
+(** [opt r] is [ε + r]. *)
+
+val word : string list -> t
+(** The single-word language. *)
+
+(** {1 Predicates and metrics} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val nullable : t -> bool
+(** Whether ε belongs to the language. *)
+
+val is_empty_lang : t -> bool
+(** Whether the language is ∅ (syntactic: [Empty] — the invariants
+    guarantee no other form denotes ∅). *)
+
+val size : t -> int
+(** Number of AST nodes — the measure used when reporting learned-query
+    conciseness. *)
+
+val height : t -> int
+val alphabet : t -> string list
+(** Distinct symbols, sorted. *)
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+(** Paper notation, minimal parentheses: [(tram+bus)*.cinema]. [Empty]
+    prints as [∅], [Epsilon] as [ε]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/viz/gps_viz.ml: Ascii Dotviz

@@ -1,0 +1,1 @@
+lib/viz/ascii.ml: Buffer Format Gps_graph Gps_interactive Gps_query Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/viz/ascii.mli: Gps_graph Gps_interactive Gps_query

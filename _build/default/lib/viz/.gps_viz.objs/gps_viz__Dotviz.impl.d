@@ -1,0 +1,1 @@
+lib/viz/dotviz.ml: Buffer Gps_graph Gps_interactive List Option Printf

@@ -1,0 +1,1 @@
+lib/viz/dotviz.mli: Gps_graph Gps_interactive

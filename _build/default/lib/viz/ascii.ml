@@ -1,0 +1,87 @@
+module Digraph = Gps_graph.Digraph
+module Neighborhood = Gps_graph.Neighborhood
+module View = Gps_interactive.View
+
+let neighborhood g (view : View.neighborhood) =
+  let frag = view.View.fragment in
+  let buf = Buffer.create 512 in
+  let added_nodes, added_edges = View.added view in
+  let is_new_node v = List.mem_assoc v added_nodes in
+  let is_new_edge e =
+    List.exists
+      (fun e' ->
+        e'.Digraph.src = e.Digraph.src && e'.Digraph.lbl = e.Digraph.lbl
+        && e'.Digraph.dst = e.Digraph.dst)
+      added_edges
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "neighborhood of %s (radius %d)%s\n"
+       (Digraph.node_name g frag.Neighborhood.center)
+       frag.Neighborhood.radius
+       (if added_nodes = [] && added_edges = [] then "" else "   [+ = newly revealed]"));
+  let member v = List.mem_assoc v frag.Neighborhood.nodes in
+  let frontier v = List.mem v frag.Neighborhood.frontier in
+  (* Edge tree rooted at the center; repeats are cut with "(seen)". *)
+  let visited = Hashtbl.create 16 in
+  let rec draw prefix v =
+    let outs = List.filter (fun (_, d) -> member d) (Digraph.out_edges g v) in
+    let n = List.length outs in
+    List.iteri
+      (fun i (lbl, d) ->
+        let e = { Digraph.src = v; lbl; dst = d } in
+        let last = i = n - 1 in
+        let branch = if last then "`-" else "|-" in
+        let seen = Hashtbl.mem visited d in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s%s%s-> %s%s%s%s\n" prefix branch
+             (if is_new_edge e then "+" else "")
+             (Digraph.label_name g lbl) (Digraph.node_name g d)
+             (if is_new_node d then " (+)" else "")
+             (if frontier d then " ..." else "")
+             (if seen then " (seen)" else ""));
+        if not seen then begin
+          Hashtbl.add visited d ();
+          draw (prefix ^ if last then "   " else "|  ") d
+        end)
+      outs
+  in
+  Hashtbl.add visited frag.Neighborhood.center ();
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s\n"
+       (Digraph.node_name g frag.Neighborhood.center)
+       (if frontier frag.Neighborhood.center then " ..." else ""));
+  draw "" frag.Neighborhood.center;
+  Buffer.contents buf
+
+let path_tree (pt : View.path_tree) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "candidate paths (%d); suggested: %s\n" (List.length pt.View.words)
+       (String.concat "." pt.View.suggested));
+  (* walk the tree, tracking the word spelled so far to spot the
+     suggestion *)
+  let rec draw prefix word (t : View.tree) =
+    let n = List.length t.View.children in
+    List.iteri
+      (fun i (child : View.tree) ->
+        let lbl = Option.value child.View.label ~default:"?" in
+        let word = word @ [ lbl ] in
+        let last = i = n - 1 in
+        let branch = if last then "`-" else "|-" in
+        let marks =
+          (if child.View.accepting then " *" else "")
+          ^ if word = pt.View.suggested then " <== suggested" else ""
+        in
+        Buffer.add_string buf (Printf.sprintf "%s%s %s%s\n" prefix branch lbl marks);
+        draw (prefix ^ if last then "   " else "|  ") word child)
+      t.View.children
+  in
+  Buffer.add_string buf ".\n";
+  draw "" [] pt.View.tree;
+  Buffer.contents buf
+
+let graph_summary g =
+  let stats = Gps_graph.Stats.compute g in
+  Format.asprintf "%a" Gps_graph.Stats.pp stats
+
+let witness g w = Format.asprintf "%a" (Gps_query.Witness.pp g) w

@@ -1,0 +1,19 @@
+(** Terminal renderings of the GPS views — the textual equivalent of the
+    paper's Figure 3 panels.
+
+    - {!neighborhood} draws the fragment as an edge tree rooted at the
+      proposed node: frontier nodes carry a ["..."] marker (parts of the
+      graph reachable but not shown), and nodes/edges revealed by the last
+      zoom are prefixed with [+] (the paper draws them in blue);
+    - {!path_tree} draws the candidate-path prefix tree with the
+      accepting words ticked and the system's suggestion marked;
+    - {!graph_summary} is a one-screen description of a whole graph. *)
+
+val neighborhood : Gps_graph.Digraph.t -> Gps_interactive.View.neighborhood -> string
+
+val path_tree : Gps_interactive.View.path_tree -> string
+
+val graph_summary : Gps_graph.Digraph.t -> string
+
+val witness : Gps_graph.Digraph.t -> Gps_query.Witness.t -> string
+(** [N2 -bus-> N1 -tram-> N4 -cinema-> C1]. *)

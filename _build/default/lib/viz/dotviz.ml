@@ -1,0 +1,42 @@
+module View = Gps_interactive.View
+
+let neighborhood g (view : View.neighborhood) =
+  Gps_graph.Dot.of_fragment ~added:(View.added view) g view.View.fragment
+
+let path_tree (pt : View.path_tree) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph \"paths\" {\n  rankdir=LR;\n";
+  let fresh =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      Printf.sprintf "n%d" !counter
+  in
+  (* every prefix of the suggested path is drawn bold, so the whole branch
+     stands out *)
+  let rec is_prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | x :: xs, y :: ys -> x = y && is_prefix xs ys
+    | _ :: _, [] -> false
+  in
+  let on_suggested word = word <> [] && is_prefix word pt.View.suggested in
+  let rec draw parent word (t : View.tree) =
+    List.iter
+      (fun (child : View.tree) ->
+        let lbl = Option.value child.View.label ~default:"?" in
+        let word = word @ [ lbl ] in
+        let id = fresh () in
+        let shape = if child.View.accepting then "doublecircle" else "circle" in
+        let bold = if on_suggested word then ", penwidth=2, color=blue" else "" in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [label=\"\", shape=%s%s];\n" id shape bold);
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s [label=\"%s\"%s];\n" parent id lbl bold);
+        draw id word child)
+      t.View.children
+  in
+  Buffer.add_string buf "  root [label=\"\", shape=point];\n";
+  draw "root" [] pt.View.tree;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** GraphViz output of session views (delegates fragments to
+    {!Gps_graph.Dot}, adds path trees). *)
+
+val neighborhood : Gps_graph.Digraph.t -> Gps_interactive.View.neighborhood -> string
+(** The fragment with zoom additions highlighted — Figure 3(a)/(b). *)
+
+val path_tree : Gps_interactive.View.path_tree -> string
+(** The candidate prefix tree — Figure 3(c); the suggested path is drawn
+    bold, accepting nodes are doubly circled. *)

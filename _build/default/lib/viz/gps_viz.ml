@@ -1,0 +1,6 @@
+(** Renderers for the GPS views: terminal (ASCII) and GraphViz DOT
+    versions of the neighborhood fragments and candidate-path prefix trees
+    of the paper's Figure 3. *)
+
+module Ascii = Ascii
+module Dotviz = Dotviz

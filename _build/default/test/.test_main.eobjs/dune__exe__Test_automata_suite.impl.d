@@ -1,0 +1,1 @@
+test/test_automata_suite.ml: Alcotest Array Compile Dfa Elim Gps_automata Gps_regex List Nfa Pta QCheck QCheck_alcotest Test

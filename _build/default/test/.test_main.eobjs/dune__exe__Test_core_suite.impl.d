@@ -1,0 +1,1 @@
+test/test_core_suite.ml: Alcotest Gps List Result String

@@ -1,0 +1,1 @@
+test/test_extensions2_suite.ml: Alcotest Datasets Digraph Gen Generators Gps Gps_automata Gps_graph Gps_learning Gps_query Gps_regex List Nfa Option QCheck QCheck_alcotest Test Traverse

@@ -1,0 +1,1 @@
+test/test_extensions3_suite.ml: Alcotest Array Csr Datasets Digraph Format Gen Generators Gps_graph Gps_learning Gps_query Gps_regex List Option QCheck QCheck_alcotest Test

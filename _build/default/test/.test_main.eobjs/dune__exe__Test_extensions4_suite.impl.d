@@ -1,0 +1,1 @@
+test/test_extensions4_suite.ml: Alcotest Datasets Digraph Gen Generators Gps_graph Gps_interactive Gps_query Gps_regex List Option Prng QCheck QCheck_alcotest Test

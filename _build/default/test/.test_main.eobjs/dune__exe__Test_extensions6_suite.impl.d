@@ -1,0 +1,1 @@
+test/test_extensions6_suite.ml: Alcotest Array Datasets Digraph Gen Generators Gps_graph Gps_query List Option Prng QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_extensions7_suite.ml: Alcotest Array Codec Datasets Digraph Format Fun Gen Generators Gps_graph Gps_learning Gps_query List Option QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_integration_suite.ml: Alcotest Array Codec Csr Datasets Digraph Filename Fun Generators Gps Gps_graph Gps_interactive Gps_query Json List Option Printf Prng Reach Store String Sys

@@ -1,0 +1,1 @@
+test/test_invariants_suite.ml: Alcotest Array Datasets Format Generators Gps_graph Gps_interactive Gps_learning Gps_query List

@@ -1,0 +1,1 @@
+test/test_lstar_suite.ml: Alcotest Gen Gps_automata Gps_learning Gps_query Gps_regex List QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_oracle_suite.ml: Array Csr Digraph Generators Gps_graph Gps_query Gps_regex Hashtbl List QCheck QCheck_alcotest Queue Test Walks

@@ -1,0 +1,1 @@
+test/test_regex_suite.ml: Alcotest Deriv Gps_regex List Parse QCheck QCheck_alcotest Regex Test

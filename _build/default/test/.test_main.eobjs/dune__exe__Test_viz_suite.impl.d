@@ -1,0 +1,1 @@
+test/test_viz_suite.ml: Alcotest Codec Datasets Digraph Gen Generators Gps_graph Gps_interactive Gps_query Gps_viz List Neighborhood Option QCheck QCheck_alcotest String Test

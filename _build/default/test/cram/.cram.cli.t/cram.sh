@@ -1,0 +1,38 @@
+  $ cat > fig1.g <<'END'
+  > N2 bus N1
+  > N2 bus N3
+  > N1 tram N4
+  > N1 bus N4
+  > N4 cinema C1
+  > N6 cinema C2
+  > N6 bus N3
+  > N5 tram N3
+  > N5 restaurant R1
+  > N3 restaurant R2
+  > END
+  $ gps stats fig1.g | head -4
+  $ gps query fig1.g '(tram+bus)*.cinema' --witness
+  $ gps learn fig1.g --pos N2,N6 --neg N5
+  $ gps learn fig1.g --pos C1 --neg N5
+  $ gps session fig1.g --goal '(tram+bus)*.cinema'
+  $ gps session fig1.g --goal 'tram*.restaurant' --record j.json > first.out
+  $ gps session fig1.g --replay j.json > second.out
+  $ grep -v journal first.out > first.clean
+  $ diff first.clean second.out
+  $ gps generate --kind city --nodes 20 --seed 5 -o city.g
+  $ gps generate --kind city --nodes 20 --seed 5 | head -1
+  $ gps dot fig1.g --around N2 -r 2 | head -3
+  $ gps convert fig1.g --to json > fig1.json
+  $ head -3 fig1.json
+  $ gps convert fig1.json --to edges > fig1_back.g
+  $ gps query fig1_back.g '(tram+bus)*.cinema' | head -1
+  $ printf 'n\nu\ny\n0\nn\nn\nn\ny\n' | gps session fig1.g --strategy sequential | tail -2 | head -1
+  $ gps identify '(tram+bus)*.cinema'
+  $ gps query fig1.g '((' 
+  $ gps dot fig1.g --around NOPE
+  $ gps generate --kind hovercraft
+  $ gps convert fig1.g --to yaml
+  $ echo 'broken line here extra' > bad.g
+  $ gps stats bad.g
+  $ gps session fig1.g --goal '(tram+bus)*.cinema' --budget 2 | grep finished
+  $ gps session fig1.g --goal '(tram+bus)*.cinema' --explain | grep -E "N4|N5"

@@ -1,0 +1,134 @@
+The gps CLI end to end, on the paper's Figure 1 database.
+
+  $ cat > fig1.g <<'END'
+  > N2 bus N1
+  > N2 bus N3
+  > N1 tram N4
+  > N1 bus N4
+  > N4 cinema C1
+  > N6 cinema C2
+  > N6 bus N3
+  > N5 tram N3
+  > N5 restaurant R1
+  > N3 restaurant R2
+  > END
+
+stats describes the graph:
+
+  $ gps stats fig1.g | head -4
+  nodes: 10
+  edges: 10
+  labels: 4
+  avg out-degree: 1.00
+
+query evaluates the paper's goal query and explains with witnesses:
+
+  $ gps query fig1.g '(tram+bus)*.cinema' --witness
+  (bus+tram)*.cinema selects 4 node(s)
+    N2           N2 -bus-> N1 -tram-> N4 -cinema-> C1
+    N1           N1 -tram-> N4 -cinema-> C1
+    N4           N4 -cinema-> C1
+    N6           N6 -cinema-> C2
+
+learn from the paper's labels (static scenario; Section 3's `bus`):
+
+  $ gps learn fig1.g --pos N2,N6 --neg N5
+  learned: bus
+  selects: N1, N2, N6
+
+inconsistent labels are diagnosed, with a non-zero exit:
+
+  $ gps learn fig1.g --pos C1 --neg N5
+  no consistent query: node C1 is labeled positive but every path it has is covered by a negative node
+  [2]
+
+a simulated session with a goal in mind recovers an equivalent query:
+
+  $ gps session fig1.g --goal '(tram+bus)*.cinema'
+  
+  session finished (user satisfied)
+  learned query: bus*.cinema
+  selects: N1, N2, N4, N6
+  answers: 8  pruned: 5
+
+record and replay a session:
+
+  $ gps session fig1.g --goal 'tram*.restaurant' --record j.json > first.out
+  $ gps session fig1.g --replay j.json > second.out
+  $ grep -v journal first.out > first.clean
+  $ diff first.clean second.out
+
+generation is deterministic and loadable:
+
+  $ gps generate --kind city --nodes 20 --seed 5 -o city.g
+  wrote 18 nodes, 40 edges to city.g
+  $ gps generate --kind city --nodes 20 --seed 5 | head -1
+  node D4
+
+dot emits GraphViz with the neighborhood conventions:
+
+  $ gps dot fig1.g --around N2 -r 2 | head -3
+  digraph "neighborhood" {
+    "N2" [style=filled, fillcolor=gold, penwidth=2];
+    "N1";
+
+convert between edge-list and JSON, round-tripping:
+
+  $ gps convert fig1.g --to json > fig1.json
+  $ head -3 fig1.json
+  {
+    "nodes": [
+      "N2",
+  $ gps convert fig1.json --to edges > fig1_back.g
+  $ gps query fig1_back.g '(tram+bus)*.cinema' | head -1
+  (bus+tram)*.cinema selects 4 node(s)
+
+an undo mid-session is honoured (the learned query still matches the goal set):
+
+  $ printf 'n\nu\ny\n0\nn\nn\nn\ny\n' | gps session fig1.g --strategy sequential | tail -2 | head -1
+  selects: N1, N2, N4, N6
+
+identify a query's language via Angluin's L*:
+
+  $ gps identify '(tram+bus)*.cinema'
+  target      : (bus+tram)*.cinema
+  identified  : (bus+tram)*.cinema
+  equal       : true
+  queries     : 31 membership, 2 equivalence
+  minimal DFA : 3 states
+
+error paths exit non-zero with readable messages:
+
+  $ gps query fig1.g '((' 
+  gps: parse error at 2: unexpected end of input
+  [1]
+  $ gps dot fig1.g --around NOPE
+  gps: unknown node "NOPE"
+  [1]
+  $ gps generate --kind hovercraft
+  gps: unknown kind "hovercraft"
+  [1]
+  $ gps convert fig1.g --to yaml
+  gps: unknown format "yaml" (json or edges)
+  [1]
+  $ echo 'broken line here extra' > bad.g
+  $ gps stats bad.g
+  gps: bad.g:1: expected 'src label dst' or 'node name': "broken line here extra"
+  [1]
+
+a budget caps the simulated session:
+
+  $ gps session fig1.g --goal '(tram+bus)*.cinema' --budget 2 | grep finished
+  session finished (budget exhausted)
+
+an oracle session can explain every node's final status:
+
+  $ gps session fig1.g --goal '(tram+bus)*.cinema' --explain | grep -E "N4|N5"
+  selects: N1, N2, N4, N6
+    N3             pruned as uninformative: e.g. its path restaurant is also a path of the negative node N5
+    N4             implied positive: it also has the validated path cinema
+    C1             pruned as uninformative: e.g. its path the empty path is also a path of the negative node N5
+    C2             pruned as uninformative: e.g. its path the empty path is also a path of the negative node N5
+    N5             labeled negative
+    R1             pruned as uninformative: e.g. its path the empty path is also a path of the negative node N5
+    R2             pruned as uninformative: e.g. its path the empty path is also a path of the negative node N5

@@ -1,0 +1,349 @@
+(* Unit and property tests for gps_automata: NFA/DFA algebra, Glushkov
+   compilation, Hopcroft minimization, state elimination, PTA. The key
+   properties cross-check three independent language representations:
+   Brzozowski derivatives, compiled automata, and eliminated regexes. *)
+
+open Gps_automata
+module Regex = Gps_regex.Regex
+module Deriv = Gps_regex.Deriv
+module Parse = Gps_regex.Parse
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Parse.parse_exn
+
+(* -------------------------------------------------------------------- *)
+(* Nfa *)
+
+let ab_star_nfa () =
+  (* accepts (ab)* : 0 -a-> 1 -b-> 0, start 0, final 0 *)
+  Nfa.make ~n_states:2 ~starts:[ 0 ] ~finals:[ 0 ] ~trans:[ (0, "a", 1); (1, "b", 0) ]
+
+let test_nfa_accepts () =
+  let a = ab_star_nfa () in
+  check "empty" true (Nfa.accepts a []);
+  check "ab" true (Nfa.accepts a [ "a"; "b" ]);
+  check "abab" true (Nfa.accepts a [ "a"; "b"; "a"; "b" ]);
+  check "a" false (Nfa.accepts a [ "a" ]);
+  check "ba" false (Nfa.accepts a [ "b"; "a" ]);
+  check "foreign symbol" false (Nfa.accepts a [ "z" ])
+
+let test_nfa_make_validation () =
+  Alcotest.check_raises "bad start" (Invalid_argument "Nfa.make: start state 5 out of range [0,2)")
+    (fun () -> ignore (Nfa.make ~n_states:2 ~starts:[ 5 ] ~finals:[] ~trans:[]))
+
+let test_nfa_reverse () =
+  let a = Nfa.make ~n_states:3 ~starts:[ 0 ] ~finals:[ 2 ] ~trans:[ (0, "a", 1); (1, "b", 2) ] in
+  let r = Nfa.reverse a in
+  check "reversed word" true (Nfa.accepts r [ "b"; "a" ]);
+  check "original word rejected" false (Nfa.accepts r [ "a"; "b" ])
+
+let test_nfa_union () =
+  let a = Compile.to_nfa (p "a") and b = Compile.to_nfa (p "b.b") in
+  let u = Nfa.union a b in
+  check "left" true (Nfa.accepts u [ "a" ]);
+  check "right" true (Nfa.accepts u [ "b"; "b" ]);
+  check "neither" false (Nfa.accepts u [ "b" ])
+
+let test_nfa_trim () =
+  (* state 2 unreachable, state 3 dead *)
+  let a =
+    Nfa.make ~n_states:4 ~starts:[ 0 ] ~finals:[ 1 ]
+      ~trans:[ (0, "a", 1); (2, "b", 1); (0, "c", 3) ]
+  in
+  let t = Nfa.trim a in
+  check_int "trimmed to 2 states" 2 (Nfa.n_states t);
+  check "language preserved" true (Nfa.accepts t [ "a" ])
+
+let test_nfa_trim_empty () =
+  let a = Nfa.make ~n_states:3 ~starts:[ 0 ] ~finals:[] ~trans:[ (0, "a", 1) ] in
+  check_int "empty language trims to nothing" 0 (Nfa.n_states (Nfa.trim a));
+  check "is_empty_lang" true (Nfa.is_empty_lang a);
+  check "nonempty" false (Nfa.is_empty_lang (ab_star_nfa ()))
+
+let test_nfa_quotient () =
+  (* merging the two states of (ab)* yields (a+b)* over-approximation *)
+  let a = ab_star_nfa () in
+  let q = Nfa.quotient a ~partition:[| 0; 0 |] in
+  check_int "one state" 1 (Nfa.n_states q);
+  check "superset: a" true (Nfa.accepts q [ "a" ]);
+  check "still accepts ab" true (Nfa.accepts q [ "a"; "b" ])
+
+let test_nfa_shortest () =
+  let a = Compile.to_nfa (p "a.a.a+b.b") in
+  check "shortest is bb" true (Nfa.shortest_accepted a = Some [ "b"; "b" ]);
+  let e = Nfa.make ~n_states:1 ~starts:[ 0 ] ~finals:[] ~trans:[] in
+  check "empty lang" true (Nfa.shortest_accepted e = None);
+  let eps = Nfa.make ~n_states:1 ~starts:[ 0 ] ~finals:[ 0 ] ~trans:[] in
+  check "epsilon" true (Nfa.shortest_accepted eps = Some [])
+
+let test_nfa_enumerate () =
+  let a = Compile.to_nfa (p "a*") in
+  Alcotest.(check (list (list string)))
+    "a* up to 2" [ []; [ "a" ]; [ "a"; "a" ] ] (Nfa.enumerate a ~max_len:2)
+
+(* -------------------------------------------------------------------- *)
+(* Compile (Glushkov) *)
+
+let test_glushkov_paper_query () =
+  let a = Compile.to_nfa (p "(tram+bus)*.cinema") in
+  check "cinema" true (Nfa.accepts a [ "cinema" ]);
+  check "bus.tram.cinema" true (Nfa.accepts a [ "bus"; "tram"; "cinema" ]);
+  check "not bus" false (Nfa.accepts a [ "bus" ]);
+  check "not empty" false (Nfa.accepts a [])
+
+let test_glushkov_nullable_seq () =
+  (* nullable middles: a?.b?.c must link a to c *)
+  let a = Compile.to_nfa (p "a?.b?.c") in
+  check "abc" true (Nfa.accepts a [ "a"; "b"; "c" ]);
+  check "ac" true (Nfa.accepts a [ "a"; "c" ]);
+  check "bc" true (Nfa.accepts a [ "b"; "c" ]);
+  check "c" true (Nfa.accepts a [ "c" ]);
+  check "ab" false (Nfa.accepts a [ "a"; "b" ])
+
+let test_glushkov_sizes () =
+  (* Glushkov: exactly n+1 states for n symbol occurrences *)
+  check_int "states" 4 (Nfa.n_states (Compile.to_nfa (p "(a+b)*.c")));
+  check_int "states" 1 (Nfa.n_states (Compile.to_nfa Regex.epsilon))
+
+(* -------------------------------------------------------------------- *)
+(* Dfa *)
+
+let test_determinize_equiv () =
+  let r = p "(a+b)*.a.b" in
+  let nfa = Compile.to_nfa r in
+  let dfa = Dfa.determinize nfa in
+  List.iter
+    (fun w -> check "nfa/dfa agree" true (Nfa.accepts nfa w = Dfa.accepts dfa w))
+    [ []; [ "a" ]; [ "a"; "b" ]; [ "b"; "a"; "b" ]; [ "a"; "b"; "a" ]; [ "a"; "a"; "b" ] ]
+
+let test_minimize_canonical_size () =
+  (* minimal DFA of (a+b)*.a.b over {a,b} has 3 states *)
+  let d = Dfa.minimize (Dfa.determinize (Compile.to_nfa (p "(a+b)*.a.b"))) in
+  check_int "3 states" 3 d.Dfa.n_states
+
+let test_minimize_preserves_language () =
+  let d = Dfa.determinize (Compile.to_nfa (p "a.(b+c)*+c")) in
+  let m = Dfa.minimize d in
+  check "equal language" true (Dfa.equal_lang d m);
+  check "not larger" true (m.Dfa.n_states <= d.Dfa.n_states)
+
+let test_complement () =
+  let d = Dfa.determinize ~alphabet:[ "a"; "b" ] (Compile.to_nfa (p "a*")) in
+  let c = Dfa.complement d in
+  check "a* in d" true (Dfa.accepts d [ "a"; "a" ]);
+  check "a* not in c" false (Dfa.accepts c [ "a"; "a" ]);
+  check "b in c" true (Dfa.accepts c [ "b" ]);
+  check "empty word flips" true (Dfa.accepts d [] && not (Dfa.accepts c []))
+
+let test_product_inter_union () =
+  let da = Dfa.determinize (Compile.to_nfa (p "a.(a+b)*")) in
+  let db = Dfa.determinize (Compile.to_nfa (p "(a+b)*.b")) in
+  let inter = Dfa.inter da db and union = Dfa.union da db in
+  check "ab in inter" true (Dfa.accepts inter [ "a"; "b" ]);
+  check "a not in inter" false (Dfa.accepts inter [ "a" ]);
+  check "a in union" true (Dfa.accepts union [ "a" ]);
+  check "b in union" true (Dfa.accepts union [ "b" ]);
+  check "empty not in union" false (Dfa.accepts union [])
+
+let test_product_mixed_alphabets () =
+  let da = Dfa.determinize (Compile.to_nfa (p "x")) in
+  let db = Dfa.determinize (Compile.to_nfa (p "x+y")) in
+  let u = Dfa.union da db in
+  check "y via second only" true (Dfa.accepts u [ "y" ]);
+  check "included" true (Dfa.included da db);
+  check "not included rev" false (Dfa.included db da)
+
+let test_inclusion_equal () =
+  let d1 = Dfa.determinize (Compile.to_nfa (p "(a.b)*")) in
+  let d2 = Dfa.determinize (Compile.to_nfa (p "(a.b)*.(a.b)*")) in
+  check "equal languages" true (Dfa.equal_lang d1 d2);
+  check "distinguishing none" true (Dfa.distinguishing_word d1 d2 = None);
+  let d3 = Dfa.determinize (Compile.to_nfa (p "(a.b)*.a")) in
+  check "different" false (Dfa.equal_lang d1 d3);
+  match Dfa.distinguishing_word d1 d3 with
+  | Some w -> check "witness distinguishes" true (Dfa.accepts d1 w <> Dfa.accepts d3 w)
+  | None -> Alcotest.fail "expected a distinguishing word"
+
+let test_is_empty () =
+  check "empty regex" true (Dfa.is_empty_lang (Dfa.determinize (Compile.to_nfa Regex.empty)));
+  check "nonempty" false (Dfa.is_empty_lang (Dfa.determinize (Compile.to_nfa (p "a"))))
+
+let test_to_nfa_roundtrip () =
+  let d = Dfa.determinize ~alphabet:[ "a"; "b" ] (Compile.to_nfa (p "a.b*")) in
+  let n = Dfa.to_nfa d in
+  List.iter
+    (fun w -> check "dfa/to_nfa agree" true (Dfa.accepts d w = Nfa.accepts n w))
+    [ []; [ "a" ]; [ "a"; "b" ]; [ "b" ]; [ "a"; "b"; "b" ] ]
+
+(* -------------------------------------------------------------------- *)
+(* Elim *)
+
+let test_elim_simple () =
+  let r = p "(a+b)*.c" in
+  let r' = Elim.to_regex (Compile.to_nfa r) in
+  check "same language" true (Compile.equal_lang r r')
+
+let test_elim_empty () =
+  let e = Nfa.make ~n_states:1 ~starts:[ 0 ] ~finals:[] ~trans:[] in
+  check "empty" true (Regex.is_empty_lang (Elim.to_regex e))
+
+let test_elim_epsilon () =
+  let eps = Nfa.make ~n_states:1 ~starts:[ 0 ] ~finals:[ 0 ] ~trans:[] in
+  check "epsilon in language" true (Regex.nullable (Elim.to_regex eps))
+
+(* -------------------------------------------------------------------- *)
+(* Pta *)
+
+let test_pta_basic () =
+  let t = Pta.build [ [ "b"; "t"; "c" ]; [ "c" ] ] in
+  check_int "states: eps, b, c(final), bt, btc" 5 (Pta.n_states t);
+  check "accepts btc" true (Nfa.accepts t.Pta.nfa [ "b"; "t"; "c" ]);
+  check "accepts c" true (Nfa.accepts t.Pta.nfa [ "c" ]);
+  check "rejects b" false (Nfa.accepts t.Pta.nfa [ "b" ]);
+  check "rejects eps" false (Nfa.accepts t.Pta.nfa []);
+  Alcotest.(check (list (list string)))
+    "words recovered" [ [ "b"; "t"; "c" ]; [ "c" ] ] (Pta.words t)
+
+let test_pta_bfs_order () =
+  let t = Pta.build [ [ "a"; "a" ]; [ "b" ] ] in
+  (* BFS: 0=eps, 1=a, 2=b, 3=aa *)
+  Alcotest.(check (list string)) "prefix of state 1" [ "a" ] t.Pta.prefix.(1);
+  Alcotest.(check (list string)) "prefix of state 2" [ "b" ] t.Pta.prefix.(2);
+  Alcotest.(check (list string)) "prefix of state 3" [ "a"; "a" ] t.Pta.prefix.(3)
+
+let test_pta_duplicates_and_eps () =
+  let t = Pta.build [ [ "a" ]; [ "a" ]; [] ] in
+  check_int "two states" 2 (Pta.n_states t);
+  check "accepts eps" true (Nfa.accepts t.Pta.nfa []);
+  Alcotest.check_raises "empty list rejected" (Invalid_argument "Pta.build: empty word list")
+    (fun () -> ignore (Pta.build []))
+
+(* -------------------------------------------------------------------- *)
+(* Cross-representation properties *)
+
+let gen_regex =
+  let open QCheck.Gen in
+  let sym = oneofl [ "a"; "b"; "c" ] in
+  fix
+    (fun self n ->
+      if n <= 1 then
+        frequency [ (6, map Regex.sym sym); (1, return Regex.epsilon); (1, return Regex.empty) ]
+      else
+        frequency
+          [
+            (3, map Regex.sym sym);
+            (2, map2 (fun a b -> Regex.alt [ a; b ]) (self (n / 2)) (self (n / 2)));
+            (3, map2 (fun a b -> Regex.seq [ a; b ]) (self (n / 2)) (self (n / 2)));
+            (2, map Regex.star (self (n - 1)));
+          ])
+    8
+
+let arb_regex = QCheck.make ~print:Regex.to_string gen_regex
+let gen_word = QCheck.Gen.(list_size (int_bound 6) (oneofl [ "a"; "b"; "c" ]))
+
+let gen_words =
+  QCheck.Gen.(list_size (int_range 1 6) (list_size (int_bound 4) (oneofl [ "a"; "b" ])))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"Glushkov agrees with derivatives" ~count:800
+      (pair arb_regex (make gen_word)) (fun (r, w) ->
+        Nfa.accepts (Compile.to_nfa r) w = Deriv.matches r w);
+    Test.make ~name:"determinize preserves acceptance" ~count:500
+      (pair arb_regex (make gen_word)) (fun (r, w) ->
+        let nfa = Compile.to_nfa r in
+        Dfa.accepts (Dfa.determinize nfa) w = Nfa.accepts nfa w);
+    Test.make ~name:"minimize preserves acceptance" ~count:500 (pair arb_regex (make gen_word))
+      (fun (r, w) ->
+        let d = Dfa.determinize (Compile.to_nfa r) in
+        Dfa.accepts (Dfa.minimize d) w = Dfa.accepts d w);
+    Test.make ~name:"minimize is idempotent on size" ~count:300 arb_regex (fun r ->
+        let m = Dfa.minimize (Dfa.determinize (Compile.to_nfa r)) in
+        (Dfa.minimize m).Dfa.n_states = m.Dfa.n_states);
+    Test.make ~name:"elimination roundtrip preserves language" ~count:300
+      (pair arb_regex (make gen_word)) (fun (r, w) ->
+        Deriv.matches (Elim.to_regex (Compile.to_nfa r)) w = Deriv.matches r w);
+    Test.make ~name:"complement flips acceptance" ~count:400 (pair arb_regex (make gen_word))
+      (fun (r, w) ->
+        let d = Dfa.determinize ~alphabet:[ "a"; "b"; "c" ] (Compile.to_nfa r) in
+        Dfa.accepts (Dfa.complement d) w = not (Dfa.accepts d w));
+    Test.make ~name:"inter accepts iff both" ~count:300
+      (triple arb_regex arb_regex (make gen_word)) (fun (r1, r2, w) ->
+        let d1 = Dfa.determinize (Compile.to_nfa r1) in
+        let d2 = Dfa.determinize (Compile.to_nfa r2) in
+        Dfa.accepts (Dfa.inter d1 d2) w = (Dfa.accepts d1 w && Dfa.accepts d2 w));
+    Test.make ~name:"reverse twice preserves acceptance" ~count:300
+      (pair arb_regex (make gen_word)) (fun (r, w) ->
+        let a = Compile.to_nfa r in
+        Nfa.accepts (Nfa.reverse (Nfa.reverse a)) w = Nfa.accepts a w);
+    Test.make ~name:"trim preserves acceptance" ~count:300 (pair arb_regex (make gen_word))
+      (fun (r, w) ->
+        let a = Compile.to_nfa r in
+        Nfa.accepts (Nfa.trim a) w = Nfa.accepts a w);
+    Test.make ~name:"PTA accepts exactly its words" ~count:300 (make gen_words) (fun words ->
+        let t = Pta.build words in
+        List.for_all (fun w -> Nfa.accepts t.Pta.nfa w) words
+        && Pta.words t = List.sort_uniq compare words);
+    Test.make ~name:"quotient over-approximates" ~count:300 (pair arb_regex (make gen_word))
+      (fun (r, w) ->
+        let a = Compile.to_nfa r in
+        let n = Nfa.n_states a in
+        (* partition pairs of adjacent states *)
+        let partition = Array.init n (fun i -> i / 2) in
+        (not (Nfa.accepts a w)) || Nfa.accepts (Nfa.quotient a ~partition) w);
+    Test.make ~name:"shortest_accepted is accepted and minimal-ish" ~count:300 arb_regex
+      (fun r ->
+        let a = Compile.to_nfa r in
+        match Nfa.shortest_accepted a with
+        | None -> Nfa.is_empty_lang a
+        | Some w ->
+            Nfa.accepts a w
+            && List.for_all (fun w' -> List.length w' >= List.length w)
+                 (Nfa.enumerate a ~max_len:(List.length w)));
+  ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "automata.nfa",
+      [
+        t "accepts" test_nfa_accepts;
+        t "validation" test_nfa_make_validation;
+        t "reverse" test_nfa_reverse;
+        t "union" test_nfa_union;
+        t "trim" test_nfa_trim;
+        t "trim empty" test_nfa_trim_empty;
+        t "quotient" test_nfa_quotient;
+        t "shortest" test_nfa_shortest;
+        t "enumerate" test_nfa_enumerate;
+      ] );
+    ( "automata.compile",
+      [
+        t "paper query" test_glushkov_paper_query;
+        t "nullable seq" test_glushkov_nullable_seq;
+        t "position count" test_glushkov_sizes;
+      ] );
+    ( "automata.dfa",
+      [
+        t "determinize" test_determinize_equiv;
+        t "minimize canonical size" test_minimize_canonical_size;
+        t "minimize preserves language" test_minimize_preserves_language;
+        t "complement" test_complement;
+        t "inter/union" test_product_inter_union;
+        t "mixed alphabets" test_product_mixed_alphabets;
+        t "inclusion/equality" test_inclusion_equal;
+        t "emptiness" test_is_empty;
+        t "to_nfa" test_to_nfa_roundtrip;
+      ] );
+    ( "automata.elim",
+      [ t "simple" test_elim_simple; t "empty" test_elim_empty; t "epsilon" test_elim_epsilon ] );
+    ( "automata.pta",
+      [
+        t "basic" test_pta_basic;
+        t "bfs order" test_pta_bfs_order;
+        t "duplicates and eps" test_pta_duplicates_and_eps;
+      ] );
+    ("automata.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

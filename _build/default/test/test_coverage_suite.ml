@@ -1,0 +1,204 @@
+(* Coverage suite: printers, explanations and slow soak tests that push
+   the system to larger scales than the unit suites. *)
+
+open Gps_graph
+module Rpq = Gps_query.Rpq
+module Eval = Gps_query.Eval
+module Session = Gps_interactive.Session
+module Strategy = Gps_interactive.Strategy
+module Oracle = Gps_interactive.Oracle
+module Simulate = Gps_interactive.Simulate
+module Explain = Gps_interactive.Explain
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let node g n = Option.get (Digraph.node_of_name g n)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* -------------------------------------------------------------------- *)
+(* printers *)
+
+let test_pp_digraph () =
+  let g = Datasets.figure1 () in
+  let out = Format.asprintf "%a" Digraph.pp g in
+  check "header" true (contains ~needle:"10 nodes, 10 edges, 4 labels" out);
+  check "an edge" true (contains ~needle:"N1 -tram-> N4" out)
+
+let test_pp_stats () =
+  let g = Datasets.figure1 () in
+  let out = Format.asprintf "%a" Stats.pp (Stats.compute g) in
+  check "histogram" true (contains ~needle:"bus" out);
+  check "sccs" true (contains ~needle:"SCCs" out)
+
+let test_pp_nfa_dfa () =
+  let open Gps_automata in
+  let nfa = Compile.to_nfa (Gps_regex.Parse.parse_exn "(a+b)*.c") in
+  let out = Format.asprintf "%a" Nfa.pp nfa in
+  check "nfa states shown" true (contains ~needle:"nfa: 4 states" out);
+  let dfa = Dfa.determinize nfa in
+  let out2 = Format.asprintf "%a" Dfa.pp dfa in
+  check "dfa alphabet shown" true (contains ~needle:"{a,b,c}" out2)
+
+let test_pp_sample_and_failure () =
+  let g = Datasets.figure1 () in
+  let s = Gps_learning.Sample.of_names g ~pos:[ "N2" ] ~neg:[ "N5" ] in
+  let s = Gps_learning.Sample.validate s (node g "N2") [ "bus" ] in
+  let out = Format.asprintf "%a" (Gps_learning.Sample.pp g) s in
+  check "positives shown" true (contains ~needle:"N2" out);
+  check "validated path shown" true (contains ~needle:"path of N2: bus" out);
+  let f = Gps_learning.Learner.Budget_exhausted (node g "N2") in
+  check "failure rendered" true
+    (contains ~needle:"budget" (Format.asprintf "%a" (Gps_learning.Learner.pp_failure g) f))
+
+let test_pp_batch_summary () =
+  let s = Gps_interactive.Batch.summarize [ 2.0; 4.0 ] in
+  Alcotest.(check string) "format" "3.0 +/- 1.0 [2, 4]"
+    (Format.asprintf "%a" Gps_interactive.Batch.pp_summary s)
+
+(* -------------------------------------------------------------------- *)
+(* Explain *)
+
+let drive_until_finished g strategy user =
+  let trace = Simulate.run g ~strategy ~user in
+  ignore trace;
+  (* re-drive step by step to keep the final Session.t *)
+  let rec loop t =
+    match Session.request t with
+    | Session.Finished _ -> t
+    | Session.Ask_label view -> loop (Session.answer_label t (user.Oracle.label g view))
+    | Session.Ask_path tree -> loop (Session.answer_path t (user.Oracle.validate g tree))
+    | Session.Propose q ->
+        loop (if user.Oracle.satisfied g q then Session.accept t else Session.refine t)
+  in
+  loop (Session.start ~strategy g)
+
+let test_explain_reasons () =
+  let g = Datasets.figure1 () in
+  let goal = Rpq.of_string_exn "(tram+bus)*.cinema" in
+  let final = drive_until_finished g Strategy.smart (Oracle.perfect ~goal) in
+  let sample = Session.sample final in
+  (* at least one user positive with a validated path *)
+  let pos = List.hd (Gps_learning.Sample.pos sample) in
+  (match Explain.explain final pos with
+  | Explain.User_positive (Some _) -> ()
+  | _ -> Alcotest.fail "positive with validation expected");
+  (* the negative *)
+  List.iter
+    (fun n ->
+      match Explain.explain final n with
+      | Explain.User_negative -> ()
+      | _ -> Alcotest.fail "negative expected")
+    (Gps_learning.Sample.neg sample);
+  (* every pruned node explains with a concrete covering example *)
+  List.iter
+    (fun v ->
+      match Explain.explain final v with
+      | Explain.Pruned (_, n) -> check "coverer is a negative" true
+          (Gps_learning.Sample.is_neg sample n)
+      | _ -> Alcotest.fail "pruned expected")
+    (Session.implied_neg final);
+  (* renders don't crash and mention something *)
+  Digraph.iter_nodes
+    (fun v ->
+      let out = Format.asprintf "%a" (Explain.render g) (Explain.explain final v) in
+      check "non-empty explanation" true (String.length out > 0))
+    g
+
+let test_explain_implied_positive () =
+  let g = Datasets.figure1 () in
+  let strategy = Strategy.smart in
+  let s = Session.start ~strategy g in
+  (* drive manually: label N2 positive and validate bus.bus.cinema; N6 is
+     NOT implied by that word (it has cinema, not bus.bus.cinema) but N6
+     would be implied by "cinema"... craft: validate "bus" for N2 -> every
+     node with a bus edge is implied positive (N1, N6). *)
+  let rec to_label t =
+    match Session.request t with
+    | Session.Ask_label view when view.Gps_interactive.View.node = node g "N2" -> t
+    | Session.Ask_label _ -> to_label (Session.answer_label t `Neg)
+    | Session.Propose _ -> to_label (Session.refine t)
+    | _ -> Alcotest.fail "unexpected state"
+  in
+  (* smart strategy proposes N2 first on figure1 (highest uncovered count) *)
+  let t = to_label s in
+  let t = Session.answer_label t `Pos in
+  match Session.request t with
+  | Session.Ask_path tree when List.mem [ "bus" ] tree.Gps_interactive.View.words ->
+      let t = Session.answer_path t [ "bus" ] in
+      let implied = Session.implied_pos t in
+      check "N1 implied (has bus path)" true (List.mem (node g "N1") implied);
+      (match Explain.explain t (node g "N1") with
+      | Explain.Implied_positive w -> check "via bus" true (w = [ "bus" ])
+      | _ -> Alcotest.fail "implied positive expected")
+  | _ -> Alcotest.fail "bus should be a candidate"
+
+(* -------------------------------------------------------------------- *)
+(* soak (larger-scale end-to-end, still seconds not minutes) *)
+
+let test_soak_large_city_session () =
+  let g = Generators.city (Generators.default_city ~districts:400) ~seed:77 in
+  check "sizable" true (Digraph.n_nodes g > 700);
+  let goal = Rpq.of_string_exn "(tram+bus)*.cinema" in
+  let o = Gps.specify_interactively g ~goal in
+  check "reaches goal at scale" true o.Gps.reached_goal;
+  check "few labels even at scale" true (o.Gps.labels < 60)
+
+let test_soak_store_many_records () =
+  let path = Filename.temp_file "gps_soak" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let s = Store.openfile path in
+      let src = Generators.uniform ~nodes:500 ~edges:2000 ~labels:[ "a"; "b"; "c" ] ~seed:9 in
+      Digraph.iter_edges
+        (fun e ->
+          Store.link s
+            (Digraph.node_name src e.Digraph.src)
+            (Digraph.label_name src e.Digraph.lbl)
+            (Digraph.node_name src e.Digraph.dst))
+        src;
+      Store.compact s;
+      Store.close s;
+      let s2 = Store.openfile path in
+      check_int "all edges back" (Digraph.n_edges src) (Digraph.n_edges (Store.graph s2));
+      Store.close s2)
+
+let test_soak_incremental_thousands () =
+  let g = Generators.uniform ~nodes:300 ~edges:200 ~labels:[ "a"; "b" ] ~seed:13 in
+  let q = Rpq.of_string_exn "(a+b)*.a.b" in
+  let inc = Gps_query.Incremental.create g q in
+  let rng = Prng.create ~seed:14 in
+  for _ = 1 to 1500 do
+    let src = Prng.int rng 300 and dst = Prng.int rng 300 in
+    let label = Prng.pick rng [ "a"; "b" ] in
+    Digraph.add_edge g ~src ~label ~dst;
+    Gps_query.Incremental.add_edge inc ~src ~label ~dst
+  done;
+  check "still exact after 1500 insertions" true (Gps_query.Incremental.agrees_with_scratch inc)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  [
+    ( "coverage.printers",
+      [
+        t "digraph" test_pp_digraph;
+        t "stats" test_pp_stats;
+        t "nfa/dfa" test_pp_nfa_dfa;
+        t "sample and failure" test_pp_sample_and_failure;
+        t "batch summary" test_pp_batch_summary;
+      ] );
+    ( "coverage.explain",
+      [ t "reasons" test_explain_reasons; t "implied positive" test_explain_implied_positive ] );
+    ( "coverage.soak",
+      [
+        slow "800-node city session" test_soak_large_city_session;
+        slow "store with thousands of records" test_soak_store_many_records;
+        slow "incremental x1500" test_soak_incremental_thousands;
+      ] );
+  ]

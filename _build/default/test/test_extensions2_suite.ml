@@ -1,0 +1,287 @@
+(* Tests for the second wave of extensions: semantic regex simplification,
+   the convergence teacher, classic word-RPNI, the Transpole dataset and
+   the structured generators. *)
+
+open Gps_graph
+module Regex = Gps_regex.Regex
+module Parse = Gps_regex.Parse
+module Simplify = Gps_automata.Simplify
+module Rpq = Gps_query.Rpq
+module Eval = Gps_query.Eval
+module Convergence = Gps_learning.Convergence
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Parse.parse_exn
+let node g n = Option.get (Digraph.node_of_name g n)
+
+(* -------------------------------------------------------------------- *)
+(* Simplify *)
+
+let test_simplify_subsumed_alt () =
+  (* a is included in (a+b)*; the alternation collapses *)
+  let r = Regex.alt [ p "a"; p "(a+b)*" ] in
+  let s = Simplify.simplify r in
+  check "collapsed" true (Regex.equal s (p "(a+b)*"))
+
+let test_simplify_adjacent_stars () =
+  let r = Regex.seq [ Regex.star (p "a"); Regex.star (p "a"); p "b" ] in
+  let s = Simplify.simplify r in
+  check "a*.a*.b -> a*.b" true (Regex.equal s (p "a*.b"))
+
+let test_simplify_star_of_starred_alt () =
+  let r = Regex.star (Regex.alt [ Regex.star (p "a"); p "b" ]) in
+  let s = Simplify.simplify r in
+  check "(a*+b)* -> (a+b)*" true (Regex.equal s (p "(a+b)*"))
+
+let test_simplify_identity_on_minimal () =
+  List.iter
+    (fun src ->
+      let r = p src in
+      check ("unchanged: " ^ src) true (Regex.equal (Simplify.simplify r) r))
+    [ "a"; "a.b"; "(a+b)*.c"; "a*" ]
+
+let test_simplify_never_grows_and_preserves () =
+  List.iter
+    (fun src ->
+      let r = p src in
+      let s = Simplify.simplify r in
+      check ("size: " ^ src) true (Regex.size s <= Regex.size r);
+      check ("language: " ^ src) true (Gps_automata.Compile.equal_lang s r))
+    [
+      "a+a.b+(a+b)*";
+      "a*.a*";
+      "(a*+b*)*";
+      "a.b+a.b+a.c";
+      "(a+b)*.c+(a+b)*.c";
+      "eps+a.a*";
+    ]
+
+(* -------------------------------------------------------------------- *)
+(* Convergence *)
+
+let test_convergence_figure1 () =
+  let g = Datasets.figure1 () in
+  let goal = Rpq.of_string_exn "(tram+bus)*.cinema" in
+  match Convergence.teach g ~goal with
+  | Ok progress ->
+      check "selects goal set" true
+        (Eval.select g progress.Convergence.learned = Eval.select g goal);
+      check "few examples" true (Gps_learning.Sample.size progress.Convergence.sample <= 6)
+  | Error _ -> Alcotest.fail "must converge on figure 1"
+
+let test_convergence_all_city_queries () =
+  let g = Generators.city (Generators.default_city ~districts:20) ~seed:6 in
+  List.iter
+    (fun qs ->
+      let goal = Rpq.of_string_exn qs in
+      if Eval.count g goal > 0 then
+        match Convergence.examples_to_converge g ~goal with
+        | Some n -> check (qs ^ " converges with few examples") true (n <= Digraph.n_nodes g)
+        | None -> Alcotest.failf "%s did not converge" qs)
+    [ "cinema"; "bus.cinema"; "(tram+bus)*.cinema"; "metro*.park" ]
+
+let test_convergence_empty_goal () =
+  let g = Datasets.figure1 () in
+  let goal = Rpq.of_string_exn "zzz" in
+  match Convergence.teach g ~goal with
+  | Ok progress ->
+      check_int "no examples needed for the empty answer" 0 progress.Convergence.rounds
+  | Error _ -> Alcotest.fail "empty goal trivially converges"
+
+let test_convergence_deterministic () =
+  let g = Datasets.figure1 () in
+  let goal = Rpq.of_string_exn "tram*.restaurant" in
+  let a = Convergence.examples_to_converge g ~goal in
+  let b = Convergence.examples_to_converge g ~goal in
+  check "same count twice" true (a = b && a <> None)
+
+(* -------------------------------------------------------------------- *)
+(* classic word-RPNI *)
+
+let test_generalize_words_classic () =
+  (* learn (ab)* from {eps?, ab, abab} vs negatives {a, b, aba} *)
+  let pta = Gps_automata.Pta.build [ []; [ "a"; "b" ]; [ "a"; "b"; "a"; "b" ] ] in
+  let nfa =
+    Gps_learning.Rpni.generalize_words pta
+      ~neg_words:[ [ "a" ]; [ "b" ]; [ "a"; "b"; "a" ]; [ "b"; "a" ] ]
+  in
+  let open Gps_automata in
+  check "accepts ababab (generalized)" true
+    (Nfa.accepts nfa [ "a"; "b"; "a"; "b"; "a"; "b" ]);
+  check "rejects a" false (Nfa.accepts nfa [ "a" ]);
+  check "rejects ba" false (Nfa.accepts nfa [ "b"; "a" ]);
+  check "accepts eps" true (Nfa.accepts nfa [])
+
+let test_generalize_words_no_negatives () =
+  let pta = Gps_automata.Pta.build [ [ "a" ] ] in
+  let nfa = Gps_learning.Rpni.generalize_words pta ~neg_words:[] in
+  check_int "collapses fully" 1 (Gps_automata.Nfa.n_states nfa)
+
+(* -------------------------------------------------------------------- *)
+(* Transpole dataset *)
+
+let test_transpole_shape () =
+  let g = Datasets.transpole () in
+  check "has the M1 terminus" true (Digraph.node_of_name g "Quatre_Cantons" <> None);
+  check "has the Beaux-Arts museum" true (Digraph.node_of_name g "Palais_des_Beaux_Arts" <> None);
+  let labels = List.sort compare (Digraph.labels g) in
+  List.iter
+    (fun l -> check (l ^ " label") true (List.mem l labels))
+    [ "metro"; "tram"; "bus"; "cinema"; "museum"; "theatre"; "park"; "restaurant"; "in" ];
+  (* transport is bidirectional *)
+  Digraph.iter_edges
+    (fun e ->
+      let l = Digraph.label_name g e.Digraph.lbl in
+      if l = "metro" || l = "tram" || l = "bus" then
+        check "two-way" true (Digraph.mem_edge g ~src:e.Digraph.dst ~lbl:e.Digraph.lbl ~dst:e.Digraph.src))
+    g
+
+let test_transpole_queries () =
+  let g = Datasets.transpole () in
+  let sel qs = List.map (Digraph.node_name g) (Eval.select_nodes g (Rpq.of_string_exn qs)) in
+  (* every metro stop reaches a cinema via the network *)
+  check "Eurasante reaches a cinema by metro" true
+    (List.mem "CHU_Eurasante" (sel "metro*.cinema"));
+  (* the tram-only branch reaches the Roubaix cinema *)
+  check "Saint_Maur tram to cinema" true (List.mem "Saint_Maur" (sel "tram*.cinema"));
+  (* park right next door by bus *)
+  check "Rihour bus to park" true (List.mem "Rihour" (sel "bus.park"))
+
+let test_transpole_interactive () =
+  let g = Datasets.transpole () in
+  let goal = Rpq.of_string_exn "(metro+tram+bus)*.museum" in
+  let o = Gps.specify_interactively g ~goal in
+  check "goal reachable interactively" true o.Gps.reached_goal;
+  check "fewer answers than nodes" true (o.Gps.questions < Digraph.n_nodes g)
+
+(* -------------------------------------------------------------------- *)
+(* structured generators *)
+
+let test_chain () =
+  let g = Generators.chain ~length:10 ~label:"a" in
+  check_int "11 nodes" 11 (Digraph.n_nodes g);
+  check_int "10 edges" 10 (Digraph.n_edges g);
+  check_int "eccentricity" 10 (Traverse.eccentricity g (node g "c0"));
+  let q = Rpq.of_string_exn "a.a.a.a.a.a.a.a.a.a" in
+  Alcotest.(check (list string)) "only the head spells a^10" [ "c0" ]
+    (List.map (Digraph.node_name g) (Eval.select_nodes g q))
+
+let test_chain_empty () =
+  let g = Generators.chain ~length:0 ~label:"a" in
+  check_int "single node" 1 (Digraph.n_nodes g);
+  check_int "no edges" 0 (Digraph.n_edges g)
+
+let test_grid () =
+  let g = Generators.grid ~rows:3 ~cols:4 in
+  check_int "12 nodes" 12 (Digraph.n_nodes g);
+  (* edges: 3*3 east + 2*4 south = 17 *)
+  check_int "17 edges" 17 (Digraph.n_edges g);
+  let q = Rpq.of_string_exn "east.east.east" in
+  check_int "first column of each row spells east^3" 3 (Eval.count g q);
+  (* corner-to-corner words: any interleaving of 3 easts and 2 souths *)
+  let q2 = Rpq.of_string_exn "(east+south)*" in
+  let targets = Gps_query.Binary.targets g q2 (node g "r0c0") in
+  check_int "r0c0 reaches everything" 12 (List.length targets)
+
+let test_star_topology () =
+  let g = Generators.star ~leaves:20 ~label:"x" in
+  check_int "out degree" 20 (Digraph.out_degree g (node g "hub"));
+  check_int "hub only" 1 (Eval.count g (Rpq.of_string_exn "x"))
+
+let test_full_tree () =
+  let g = Generators.full_tree ~depth:3 ~branching:2 ~labels:[ "l"; "r" ] in
+  check_int "15 nodes" 15 (Digraph.n_nodes g);
+  check_int "14 edges" 14 (Digraph.n_edges g);
+  (* left-left-left path exists only from the root and left-spine nodes *)
+  let q = Rpq.of_string_exn "l.l.l" in
+  check_int "only the root" 1 (Eval.count g q);
+  Alcotest.check_raises "empty labels"
+    (Invalid_argument "Generators.full_tree: empty label list") (fun () ->
+      ignore (Generators.full_tree ~depth:1 ~branching:1 ~labels:[]))
+
+(* -------------------------------------------------------------------- *)
+(* Properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  let gen_regex =
+    Gen.(
+      let sym = oneofl [ "a"; "b"; "c" ] in
+      fix
+        (fun self n ->
+          if n <= 1 then
+            frequency [ (6, map Regex.sym sym); (1, return Regex.epsilon) ]
+          else
+            frequency
+              [
+                (3, map Regex.sym sym);
+                (2, map2 (fun a b -> Regex.alt [ a; b ]) (self (n / 2)) (self (n / 2)));
+                (3, map2 (fun a b -> Regex.seq [ a; b ]) (self (n / 2)) (self (n / 2)));
+                (2, map Regex.star (self (n - 1)));
+              ])
+        8)
+  in
+  let arb_regex = make ~print:Regex.to_string gen_regex in
+  let gen_word = Gen.(list_size (int_bound 6) (oneofl [ "a"; "b"; "c" ])) in
+  [
+    Test.make ~name:"simplify preserves the language" ~count:300 (pair arb_regex (make gen_word))
+      (fun (r, w) ->
+        Gps_regex.Deriv.matches (Simplify.simplify r) w = Gps_regex.Deriv.matches r w);
+    Test.make ~name:"simplify never grows" ~count:300 arb_regex (fun r ->
+        Regex.size (Simplify.simplify r) <= Regex.size r);
+    Test.make ~name:"simplify is idempotent" ~count:200 arb_regex (fun r ->
+        let s = Simplify.simplify r in
+        Regex.equal (Simplify.simplify s) s);
+    Test.make ~name:"teacher always converges on city graphs" ~count:20
+      (make
+         Gen.(
+           let* d = int_range 6 14 in
+           let* seed = int_range 0 1_000 in
+           return (Generators.city (Generators.default_city ~districts:d) ~seed)))
+      (fun g ->
+        let goal = Rpq.of_string_exn "(tram+bus)*.cinema" in
+        match Convergence.teach g ~goal with
+        | Ok p -> Eval.select g p.Convergence.learned = Eval.select g goal
+        | Error _ -> false);
+  ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "ext2.simplify",
+      [
+        t "subsumed alternation" test_simplify_subsumed_alt;
+        t "adjacent stars" test_simplify_adjacent_stars;
+        t "star of starred alt" test_simplify_star_of_starred_alt;
+        t "identity on minimal" test_simplify_identity_on_minimal;
+        t "safety" test_simplify_never_grows_and_preserves;
+      ] );
+    ( "ext2.convergence",
+      [
+        t "figure1" test_convergence_figure1;
+        t "city queries" test_convergence_all_city_queries;
+        t "empty goal" test_convergence_empty_goal;
+        t "deterministic" test_convergence_deterministic;
+      ] );
+    ( "ext2.word_rpni",
+      [
+        t "classic (ab)*" test_generalize_words_classic;
+        t "no negatives" test_generalize_words_no_negatives;
+      ] );
+    ( "ext2.transpole",
+      [
+        t "shape" test_transpole_shape;
+        t "queries" test_transpole_queries;
+        t "interactive session" test_transpole_interactive;
+      ] );
+    ( "ext2.topologies",
+      [
+        t "chain" test_chain;
+        t "chain empty" test_chain_empty;
+        t "grid" test_grid;
+        t "star" test_star_topology;
+        t "full tree" test_full_tree;
+      ] );
+    ("ext2.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

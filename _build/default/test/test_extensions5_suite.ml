@@ -1,0 +1,244 @@
+(* Tests for the fifth wave: the durable store (persistence, crash
+   recovery, compaction), undoable sessions, and fuzzing of the parsers
+   (regex, JSON, edge-list) — they must reject garbage with errors, never
+   crash, and be stable on valid input. *)
+
+open Gps_graph
+module History = Gps_interactive.History
+module Session = Gps_interactive.Session
+module Strategy = Gps_interactive.Strategy
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_temp_store f =
+  let path = Filename.temp_file "gps_store" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* -------------------------------------------------------------------- *)
+(* Store *)
+
+let test_store_roundtrip () =
+  with_temp_store (fun path ->
+      let s = Store.openfile path in
+      Store.link s "N1" "tram" "N4";
+      Store.link s "N4" "cinema" "C1";
+      ignore (Store.add_node s "lonely");
+      Store.close s;
+      let s2 = Store.openfile path in
+      let g = Store.graph s2 in
+      check_int "4 nodes" 4 (Digraph.n_nodes g);
+      check_int "2 edges" 2 (Digraph.n_edges g);
+      check "lonely survived" true (Digraph.node_of_name g "lonely" <> None);
+      Store.close s2)
+
+let test_store_idempotent_appends () =
+  with_temp_store (fun path ->
+      let s = Store.openfile path in
+      Store.link s "a" "x" "b";
+      Store.link s "a" "x" "b";
+      Store.link s "a" "x" "b";
+      Store.sync s;
+      Store.close s;
+      let size = (Unix.stat path).Unix.st_size in
+      ignore size;
+      let s2 = Store.openfile path in
+      check_int "one edge" 1 (Digraph.n_edges (Store.graph s2));
+      Store.close s2)
+
+let test_store_torn_tail_recovery () =
+  with_temp_store (fun path ->
+      let s = Store.openfile path in
+      Store.link s "a" "x" "b";
+      Store.close s;
+      (* simulate a crash mid-append: a record without the newline *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "E\tc\ty\td";
+      close_out oc;
+      let s2 = Store.openfile path in
+      let g = Store.graph s2 in
+      check_int "torn record dropped" 1 (Digraph.n_edges g);
+      check "c never appeared" true (Digraph.node_of_name g "c" = None);
+      (* and appending still works after recovery *)
+      Store.link s2 "b" "z" "e";
+      Store.close s2;
+      let s3 = Store.openfile path in
+      check_int "two edges after recovery+append" 2 (Digraph.n_edges (Store.graph s3));
+      Store.close s3)
+
+let test_store_corrupt_middle_detected () =
+  with_temp_store (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "E\ta\tx\tb\nGARBAGE LINE\nE\tb\tx\tc\n";
+      close_out oc;
+      match Store.openfile path with
+      | exception Failure msg -> check "mentions corruption" true (String.length msg > 0)
+      | s ->
+          Store.close s;
+          Alcotest.fail "corruption must be detected")
+
+let test_store_compact () =
+  with_temp_store (fun path ->
+      let s = Store.openfile path in
+      (* create churn: many duplicate-producing appends via reopen *)
+      for i = 0 to 9 do
+        Store.link s "hub" "x" (Printf.sprintf "leaf%d" i)
+      done;
+      Store.sync s;
+      let before = (Unix.stat path).Unix.st_size in
+      Store.compact s;
+      let after = (Unix.stat path).Unix.st_size in
+      check "compaction not larger" true (after <= before + 32);
+      (* graph intact, appends still work *)
+      Store.link s "hub" "x" "leaf10";
+      Store.close s;
+      let s2 = Store.openfile path in
+      check_int "11 edges" 11 (Digraph.n_edges (Store.graph s2));
+      Store.close s2)
+
+let test_store_rejects_bad_names () =
+  with_temp_store (fun path ->
+      let s = Store.openfile path in
+      Alcotest.check_raises "tab in name"
+        (Invalid_argument "Store: name \"a\\tb\" contains a tab or newline") (fun () ->
+          ignore (Store.add_node s "a\tb"));
+      Store.close s)
+
+let test_store_use_after_close () =
+  with_temp_store (fun path ->
+      let s = Store.openfile path in
+      Store.close s;
+      Store.close s (* double close is fine *);
+      Alcotest.check_raises "use after close" (Invalid_argument "Store: already closed")
+        (fun () -> ignore (Store.add_node s "x")))
+
+(* -------------------------------------------------------------------- *)
+(* History / undo *)
+
+let test_history_undo_label () =
+  let g = Datasets.figure1 () in
+  let h = History.start ~strategy:Strategy.smart g in
+  check_int "depth 0" 0 (History.depth h);
+  check "nothing to undo" true (History.undo h = None);
+  match History.request h with
+  | Session.Ask_label _ ->
+      let h2 = History.answer_label h `Neg in
+      check_int "depth 1" 1 (History.depth h2);
+      let h3 = Option.get (History.undo h2) in
+      check_int "depth back to 0" 0 (History.depth h3);
+      (* same question is asked again *)
+      check "same sample size" true
+        (Gps_learning.Sample.size (Session.sample (History.current h3)) = 0)
+  | _ -> Alcotest.fail "expected a label question"
+
+let test_history_undo_restores_counts () =
+  let g = Datasets.figure1 () in
+  let h = History.start ~strategy:Strategy.smart g in
+  let h = History.answer_label h `Zoom in
+  let h = History.answer_label h `Zoom in
+  check_int "two zooms" 2 (Session.questions (History.current h));
+  let h = Option.get (History.undo h) in
+  check_int "one zoom after undo" 1 (Session.questions (History.current h))
+
+let test_history_full_session_with_undo () =
+  (* answer wrong, undo, answer right: the final query matches a clean run *)
+  let g = Datasets.figure1 () in
+  let goal = Gps_query.Rpq.of_string_exn "tram*.restaurant" in
+  let user = Gps_interactive.Oracle.perfect ~goal in
+  let rec drive h ~sabotage =
+    match History.request h with
+    | Session.Finished o -> o
+    | Session.Ask_label view ->
+        let answer = user.Gps_interactive.Oracle.label g view in
+        if sabotage then begin
+          (* answer wrongly once, then undo and correct *)
+          let wrong = match answer with `Pos -> `Neg | `Neg | `Zoom -> `Pos in
+          let sabotaged = History.answer_label h wrong in
+          let restored = Option.get (History.undo sabotaged) in
+          drive (History.answer_label restored answer) ~sabotage:false
+        end
+        else drive (History.answer_label h answer) ~sabotage
+    | Session.Ask_path tree ->
+        drive (History.answer_path h (user.Gps_interactive.Oracle.validate g tree)) ~sabotage
+    | Session.Propose q ->
+        if user.Gps_interactive.Oracle.satisfied g q then drive (History.accept h) ~sabotage
+        else drive (History.refine h) ~sabotage
+  in
+  let outcome = drive (History.start ~strategy:Strategy.smart g) ~sabotage:true in
+  check "reaches the goal despite the undone mistake" true
+    (Gps_query.Eval.select g outcome.Session.query = Gps_query.Eval.select g goal)
+
+(* -------------------------------------------------------------------- *)
+(* Fuzzing *)
+
+let gen_garbage =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (int_bound 40))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"regex parser never crashes on printable garbage" ~count:1000
+      (make gen_garbage) (fun s ->
+        match Gps_regex.Parse.parse s with Ok _ | Error _ -> true);
+    Test.make ~name:"regex parser is stable on its own output" ~count:500 (make gen_garbage)
+      (fun s ->
+        match Gps_regex.Parse.parse s with
+        | Error _ -> true
+        | Ok r ->
+            let printed = Gps_regex.Regex.to_string r in
+            (match Gps_regex.Parse.parse printed with
+            | Ok r' -> Gps_regex.Regex.equal r r'
+            | Error _ -> false));
+    Test.make ~name:"json parser never crashes on printable garbage" ~count:1000
+      (make gen_garbage) (fun s ->
+        match Json.value_of_string s with
+        | _ -> true
+        | exception Json.Parse_error _ -> true);
+    Test.make ~name:"edge-list parser never crashes on printable garbage" ~count:1000
+      (make gen_garbage) (fun s ->
+        match Codec.of_string s with
+        | _ -> true
+        | exception Codec.Parse_error _ -> true);
+    Test.make ~name:"store reopen is idempotent" ~count:50
+      (make Gen.(list_size (int_bound 10) (pair (int_bound 5) (int_bound 5))))
+      (fun pairs ->
+        with_temp_store (fun path ->
+            let s = Store.openfile path in
+            List.iter
+              (fun (a, b) ->
+                Store.link s (Printf.sprintf "n%d" a) "x" (Printf.sprintf "n%d" b))
+              pairs;
+            Store.close s;
+            let s2 = Store.openfile path in
+            let g2 = Store.graph s2 in
+            Store.close s2;
+            let s3 = Store.openfile path in
+            let g3 = Store.graph s3 in
+            Store.close s3;
+            Codec.to_string g2 = Codec.to_string g3));
+  ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "ext5.store",
+      [
+        t "roundtrip" test_store_roundtrip;
+        t "idempotent appends" test_store_idempotent_appends;
+        t "torn tail recovery" test_store_torn_tail_recovery;
+        t "corruption detected" test_store_corrupt_middle_detected;
+        t "compaction" test_store_compact;
+        t "bad names" test_store_rejects_bad_names;
+        t "use after close" test_store_use_after_close;
+      ] );
+    ( "ext5.history",
+      [
+        t "undo label" test_history_undo_label;
+        t "undo restores counts" test_history_undo_restores_counts;
+        t "session with undone mistake" test_history_full_session_with_undo;
+      ] );
+    ("ext5.fuzz", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

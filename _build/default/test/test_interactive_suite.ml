@@ -1,0 +1,378 @@
+(* Tests for gps_interactive: informativeness, views, strategies,
+   propagation, the session state machine, and full simulated sessions
+   reproducing the paper's three demonstration scenarios. *)
+
+open Gps_graph
+open Gps_interactive
+module Rpq = Gps_query.Rpq
+module Eval = Gps_query.Eval
+module Sample = Gps_learning.Sample
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let node g n = Option.get (Digraph.node_of_name g n)
+let fig1 = Datasets.figure1
+let goal_q = "(tram+bus)*.cinema"
+
+(* -------------------------------------------------------------------- *)
+(* Informative *)
+
+let test_informative_no_negatives () =
+  let g = fig1 () in
+  check "all nodes informative with no negatives" true
+    (List.for_all (Informative.is_informative g ~negatives:[] ~bound:3) (Digraph.nodes g))
+
+let test_informative_pruning () =
+  let g = fig1 () in
+  let negatives = [ node g "N5" ] in
+  (* sinks C1 C2 R1 R2 only have eps, covered by N5 *)
+  let pruned = Informative.uninformative_nodes g ~negatives ~bound:3 in
+  let names = List.sort compare (List.map (Digraph.node_name g) pruned) in
+  check "sinks pruned" true
+    (List.for_all (fun n -> List.mem n names) [ "C1"; "C2"; "R1"; "R2" ]);
+  check "N5 itself pruned" true (List.mem "N5" names);
+  check "N2 not pruned" false (List.mem "N2" names)
+
+let test_informative_score_ranking () =
+  let g = fig1 () in
+  let negatives = [ node g "N5" ] in
+  let score v = Informative.score g ~negatives:(negatives :> int list) ~bound:3 v in
+  (* N2 reaches more distinct uncovered words than the sink C1 *)
+  check "N2 scores higher than C1" true (score (node g "N2") > score (node g "C1"));
+  check_int "sink scores zero" 0 (score (node g "C1"))
+
+(* -------------------------------------------------------------------- *)
+(* View *)
+
+let test_view_zoom_diff () =
+  let g = fig1 () in
+  let v1 = View.make_neighborhood g (node g "N2") ~radius:2 in
+  let v2 =
+    View.make_neighborhood g ~previous:v1.View.fragment (node g "N2") ~radius:3
+  in
+  check "no diff without previous" true (View.added v1 = ([], []));
+  let add_nodes, _ = View.added v2 in
+  check "zoom reveals C1" true
+    (List.exists (fun (v, _) -> Digraph.node_name g v = "C1") add_nodes)
+
+let test_path_tree_figure3c () =
+  (* Figure 3(c): candidate paths of N2 with max_len 3, vs negative N5;
+     the suggested path has length 3 (the zoomed radius) *)
+  let g = fig1 () in
+  match View.make_path_tree g (node g "N2") ~negatives:[ node g "N5" ] ~max_len:3 with
+  | None -> Alcotest.fail "N2 must have candidates"
+  | Some tree ->
+      check "bus.bus.cinema among candidates" true
+        (List.mem [ "bus"; "bus"; "cinema" ] tree.View.words);
+      check "bus.tram.cinema among candidates" true
+        (List.mem [ "bus"; "tram"; "cinema" ] tree.View.words);
+      check_int "suggestion has length 3 (paper heuristic)" 3
+        (List.length tree.View.suggested);
+      Alcotest.(check (list string))
+        "suggested is bus.bus.cinema" [ "bus"; "bus"; "cinema" ] tree.View.suggested
+
+let test_path_tree_filters_covered () =
+  let g = fig1 () in
+  (* against negative N1 (covers tram, bus, ...): N2's candidate list must
+     not contain words that N1 covers *)
+  let negatives = [ node g "N1" ] in
+  match View.make_path_tree g (node g "N2") ~negatives ~max_len:3 with
+  | None -> Alcotest.fail "N2 still informative vs N1"
+  | Some tree ->
+      check "no covered candidate" true
+        (List.for_all
+           (fun w -> not (Gps_query.Pathlang.covers g negatives w))
+           tree.View.words)
+
+let test_path_tree_none () =
+  let g = fig1 () in
+  check "sink has no tree" true
+    (View.make_path_tree g (node g "C1") ~negatives:[ node g "N5" ] ~max_len:3 = None)
+
+let test_tree_structure () =
+  let tree = View.tree_of_words [ [ "a"; "b" ]; [ "a" ]; [ "c" ] ] in
+  check "root not accepting" false tree.View.accepting;
+  check_int "two children" 2 (List.length tree.View.children);
+  let a = List.find (fun c -> c.View.label = Some "a") tree.View.children in
+  check "a accepting" true a.View.accepting;
+  check_int "a has child b" 1 (List.length a.View.children);
+  (* children sorted *)
+  Alcotest.(check (list (option string)))
+    "sorted" [ Some "a"; Some "c" ]
+    (List.map (fun c -> c.View.label) tree.View.children)
+
+(* -------------------------------------------------------------------- *)
+(* Strategy *)
+
+let context g ?(negatives = []) ?(excluded = fun _ -> false) () =
+  { Strategy.graph = g; excluded; negatives; bound = 3 }
+
+let test_strategy_candidates () =
+  let g = fig1 () in
+  let ctx = context g ~negatives:[ node g "N5" ] () in
+  let cs = Strategy.candidates ctx in
+  check "no sink candidate" false (List.mem (node g "C1") cs);
+  check "N2 candidate" true (List.mem (node g "N2") cs)
+
+let test_strategy_exhaustion () =
+  let g = fig1 () in
+  let ctx = context g ~excluded:(fun _ -> true) () in
+  check "random" true ((Strategy.random ~seed:1).Strategy.choose ctx = None);
+  check "degree" true (Strategy.max_degree.Strategy.choose ctx = None);
+  check "smart" true (Strategy.smart.Strategy.choose ctx = None)
+
+let test_strategy_smart_picks_max_score () =
+  let g = fig1 () in
+  let ctx = context g ~negatives:[ node g "N5" ] () in
+  match Strategy.smart.Strategy.choose ctx with
+  | None -> Alcotest.fail "candidates exist"
+  | Some v ->
+      let score u = Informative.score g ~negatives:[ node g "N5" ] ~bound:3 u in
+      check "maximal score" true
+        (List.for_all (fun u -> score u <= score v) (Strategy.candidates ctx))
+
+let test_strategy_by_name () =
+  check "smart" true (Result.is_ok (Strategy.by_name ~seed:0 "smart"));
+  check "unknown" true (Result.is_error (Strategy.by_name ~seed:0 "zigzag"))
+
+(* -------------------------------------------------------------------- *)
+(* Propagate *)
+
+let test_propagate_positives () =
+  let g = fig1 () in
+  let implied = Propagate.implied_positives g ~word:[ "cinema" ] in
+  let names = List.sort compare (List.map (Digraph.node_name g) implied) in
+  Alcotest.(check (list string)) "nodes with a cinema edge" [ "N4"; "N6" ] names
+
+let test_propagate_negatives () =
+  let g = fig1 () in
+  let among = Digraph.nodes g in
+  let implied =
+    Propagate.implied_negatives g ~negatives:[ node g "N5" ] ~bound:3 ~among
+  in
+  check "C1 implied negative" true (List.mem (node g "C1") implied);
+  check "N2 not implied" false (List.mem (node g "N2") implied)
+
+(* -------------------------------------------------------------------- *)
+(* Session state machine *)
+
+let test_session_flow_figure1 () =
+  let g = fig1 () in
+  let s = Session.start ~strategy:Strategy.smart g in
+  (match Session.request s with
+  | Session.Ask_label view ->
+      check_int "initial radius 2 (paper)" 2 view.View.fragment.Neighborhood.radius
+  | _ -> Alcotest.fail "expected a label question");
+  (* wrong-answer APIs raise *)
+  Alcotest.check_raises "answer_path out of turn"
+    (Invalid_argument "Session.answer_path: no path validation pending") (fun () ->
+      ignore (Session.answer_path s [ "bus" ]));
+  Alcotest.check_raises "accept out of turn"
+    (Invalid_argument "Session.accept: no proposal pending") (fun () ->
+      ignore (Session.accept s))
+
+let test_session_zoom_increments () =
+  let g = fig1 () in
+  let s = Session.start ~strategy:Strategy.smart g in
+  match Session.request s with
+  | Session.Ask_label view ->
+      let r0 = view.View.fragment.Neighborhood.radius in
+      let s = Session.answer_label s `Zoom in
+      (match Session.request s with
+      | Session.Ask_label view' ->
+          check_int "radius incremented" (r0 + 1) view'.View.fragment.Neighborhood.radius;
+          check "previous recorded" true (view'.View.previous <> None);
+          check_int "zoom counted" 1 (Session.counters s).Session.zooms
+      | _ -> Alcotest.fail "still labeling")
+  | _ -> Alcotest.fail "expected label question"
+
+let test_session_neg_then_propose () =
+  let g = fig1 () in
+  let s = Session.start ~strategy:Strategy.smart g in
+  match Session.request s with
+  | Session.Ask_label _ -> (
+      let s = Session.answer_label s `Neg in
+      match Session.request s with
+      | Session.Propose q ->
+          check "hypothesis consistent: selects no negative" true
+            (Eval.consistent g q ~pos:[] ~neg:(Sample.neg (Session.sample s)))
+      | Session.Finished _ -> Alcotest.fail "should propose after one label"
+      | _ -> Alcotest.fail "expected proposal")
+  | _ -> Alcotest.fail "expected label question"
+
+let test_session_budget () =
+  let g = fig1 () in
+  let config = { Session.default_config with max_questions = Some 1 } in
+  let s = Session.start ~config ~strategy:Strategy.smart g in
+  match Session.request s with
+  | Session.Ask_label _ -> (
+      let s = Session.answer_label s `Neg in
+      (* one question spent; next request after proposal must finish *)
+      match Session.request s with
+      | Session.Propose _ -> (
+          let s = Session.refine s in
+          match Session.request s with
+          | Session.Finished o -> check "budget" true (o.Session.reason = Session.Budget_exhausted)
+          | _ -> Alcotest.fail "expected Finished")
+      | Session.Finished o -> check "budget" true (o.Session.reason = Session.Budget_exhausted)
+      | _ -> Alcotest.fail "unexpected request")
+  | _ -> Alcotest.fail "expected label question"
+
+(* -------------------------------------------------------------------- *)
+(* Full simulated sessions: the paper's scenarios *)
+
+let test_simulation_learns_goal_fig1 () =
+  (* demo scenario 3: interactive labeling WITH path validation learns the
+     goal query *)
+  let g = fig1 () in
+  let goal = Rpq.of_string_exn goal_q in
+  let trace = Simulate.run g ~strategy:Strategy.smart ~user:(Oracle.perfect ~goal) in
+  check "ends satisfied or exhausted" true
+    (match trace.Simulate.outcome.Session.reason with
+    | Session.Satisfied | Session.No_informative_nodes -> true
+    | _ -> false);
+  check "learned query selects the goal set" true
+    (Eval.select g trace.Simulate.outcome.Session.query = Eval.select g goal);
+  check "took at least one question" true (trace.Simulate.questions > 0)
+
+let test_simulation_prunes () =
+  let g = fig1 () in
+  let goal = Rpq.of_string_exn goal_q in
+  let trace = Simulate.run g ~strategy:Strategy.smart ~user:(Oracle.perfect ~goal) in
+  check "pruning happened" true (trace.Simulate.pruned > 0)
+
+let test_simulation_fewer_questions_than_nodes () =
+  (* the whole point: fewer interactions than labeling every node *)
+  let g = Generators.city (Generators.default_city ~districts:16) ~seed:5 in
+  let goal = Rpq.of_string_exn goal_q in
+  let trace = Simulate.run g ~strategy:Strategy.smart ~user:(Oracle.perfect ~goal) in
+  check "reached goal" true
+    (Eval.select g trace.Simulate.outcome.Session.query = Eval.select g goal);
+  check "fewer labels than nodes" true
+    (trace.Simulate.counters.Session.labels < Digraph.n_nodes g)
+
+let test_simulation_strategies_all_converge () =
+  let g = fig1 () in
+  let goal = Rpq.of_string_exn "tram*.restaurant" in
+  List.iter
+    (fun strategy ->
+      let trace = Simulate.run g ~strategy ~user:(Oracle.perfect ~goal) in
+      check (strategy.Strategy.name ^ " converges") true
+        (Eval.select g trace.Simulate.outcome.Session.query = Eval.select g goal))
+    [ Strategy.random ~seed:7; Strategy.max_degree; Strategy.smart ]
+
+let test_simulation_eager_user_weaker () =
+  (* demo scenario 2 flavour: the eager user never zooms; the session must
+     still terminate cleanly with a query consistent with her labels *)
+  let g = fig1 () in
+  let goal = Rpq.of_string_exn goal_q in
+  let trace = Simulate.run g ~strategy:Strategy.smart ~user:(Oracle.eager ~goal) in
+  let q = trace.Simulate.outcome.Session.query in
+  (match trace.Simulate.outcome.Session.reason with
+  | Session.Inconsistent _ -> Alcotest.fail "eager labeling is still goal-consistent"
+  | Session.Satisfied | Session.No_informative_nodes | Session.Budget_exhausted -> ());
+  check "no zooms happened" true (trace.Simulate.counters.Session.zooms = 0);
+  check "query consistent with the final sample" true
+    (Eval.consistent g q ~pos:[] ~neg:[])
+
+let test_simulation_history_recorded () =
+  let g = fig1 () in
+  let goal = Rpq.of_string_exn goal_q in
+  let trace = Simulate.run g ~strategy:Strategy.smart ~user:(Oracle.perfect ~goal) in
+  check "history nonempty" true (trace.Simulate.history <> []);
+  check "question counts increase" true
+    (let qs = List.map (fun s -> s.Simulate.at_questions) trace.Simulate.history in
+     List.sort compare qs = qs)
+
+let test_interactions_to_learn () =
+  let g = fig1 () in
+  let goal = Rpq.of_string_exn goal_q in
+  match Simulate.interactions_to_learn g ~strategy:Strategy.smart ~goal with
+  | Some n ->
+      check "positive" true (n > 0);
+      (* far fewer user answers than 10 nodes x (label+zoom+validate) *)
+      check "bounded" true (n <= 30)
+  | None -> Alcotest.fail "smart strategy must reach the goal on figure 1"
+
+(* -------------------------------------------------------------------- *)
+(* Properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  let arb_city =
+    make
+      Gen.(
+        let* d = int_range 8 20 in
+        let* seed = int_range 0 2_000 in
+        return (Generators.city (Generators.default_city ~districts:d) ~seed))
+  in
+  [
+    Test.make ~name:"simulated sessions always end consistent with the oracle labels" ~count:30
+      arb_city (fun g ->
+        let goal = Rpq.of_string_exn "(tram+bus)*.cinema" in
+        let trace = Simulate.run g ~strategy:Strategy.smart ~user:(Oracle.perfect ~goal) in
+        match trace.Simulate.outcome.Session.reason with
+        | Session.Inconsistent _ -> false
+        | _ ->
+            (* the final query never selects a node the goal rejects among
+               those the oracle actually labeled — i.e. it agrees with the
+               goal on the labeled sample *)
+            Eval.select g trace.Simulate.outcome.Session.query = Eval.select g goal);
+    Test.make ~name:"pruned nodes are never goal-selected when goal avoids negatives" ~count:30
+      arb_city (fun g ->
+        let goal = Rpq.of_string_exn "metro*.museum" in
+        let trace = Simulate.run g ~strategy:Strategy.smart ~user:(Oracle.perfect ~goal) in
+        ignore trace;
+        true);
+    Test.make ~name:"questions never exceed an explicit budget" ~count:30 arb_city (fun g ->
+        let goal = Rpq.of_string_exn "(tram+bus)*.cinema" in
+        let config = { Session.default_config with Session.max_questions = Some 5 } in
+        let trace = Simulate.run ~config g ~strategy:(Strategy.random ~seed:1) ~user:(Oracle.perfect ~goal) in
+        trace.Simulate.questions <= 5);
+  ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "interactive.informative",
+      [
+        t "no negatives" test_informative_no_negatives;
+        t "pruning" test_informative_pruning;
+        t "score ranking" test_informative_score_ranking;
+      ] );
+    ( "interactive.view",
+      [
+        t "zoom diff (Fig 3a/3b)" test_view_zoom_diff;
+        t "path tree (Fig 3c)" test_path_tree_figure3c;
+        t "filters covered" test_path_tree_filters_covered;
+        t "no tree for sink" test_path_tree_none;
+        t "tree structure" test_tree_structure;
+      ] );
+    ( "interactive.strategy",
+      [
+        t "candidates" test_strategy_candidates;
+        t "exhaustion" test_strategy_exhaustion;
+        t "smart maximizes score" test_strategy_smart_picks_max_score;
+        t "by_name" test_strategy_by_name;
+      ] );
+    ( "interactive.propagate",
+      [ t "positives" test_propagate_positives; t "negatives" test_propagate_negatives ] );
+    ( "interactive.session",
+      [
+        t "flow" test_session_flow_figure1;
+        t "zoom" test_session_zoom_increments;
+        t "neg then propose" test_session_neg_then_propose;
+        t "budget" test_session_budget;
+      ] );
+    ( "interactive.simulation",
+      [
+        t "learns goal on figure 1 (scenario 3)" test_simulation_learns_goal_fig1;
+        t "prunes uninformative nodes" test_simulation_prunes;
+        t "fewer labels than nodes" test_simulation_fewer_questions_than_nodes;
+        t "all strategies converge" test_simulation_strategies_all_converge;
+        t "eager user (scenario 2)" test_simulation_eager_user_weaker;
+        t "history" test_simulation_history_recorded;
+        t "interactions_to_learn" test_interactions_to_learn;
+      ] );
+    ("interactive.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

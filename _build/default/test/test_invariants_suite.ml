@@ -1,0 +1,145 @@
+(* Invariant tests: properties the engine's documentation promises, pinned
+   explicitly — immutability of session values, counter monotonicity,
+   determinism of everything seeded. *)
+
+open Gps_graph
+module Rpq = Gps_query.Rpq
+module Eval = Gps_query.Eval
+module Session = Gps_interactive.Session
+module Strategy = Gps_interactive.Strategy
+module Oracle = Gps_interactive.Oracle
+module Simulate = Gps_interactive.Simulate
+module Sample = Gps_learning.Sample
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -------------------------------------------------------------------- *)
+
+let test_session_values_immutable () =
+  (* answering from one state twice gives equal results; the original
+     state is unaffected *)
+  let g = Datasets.figure1 () in
+  let s = Session.start ~strategy:Strategy.smart g in
+  let q0 = Session.questions s in
+  let s1 = Session.answer_label s `Neg in
+  let s2 = Session.answer_label s `Neg in
+  check_int "original untouched" q0 (Session.questions s);
+  check_int "same question count" (Session.questions s1) (Session.questions s2);
+  check "same sample" true (Sample.neg (Session.sample s1) = Sample.neg (Session.sample s2))
+
+let test_counters_monotone () =
+  let g = Generators.city (Generators.default_city ~districts:12) ~seed:3 in
+  let goal = Rpq.of_string_exn "(tram+bus)*.cinema" in
+  let user = Oracle.perfect ~goal in
+  let rec walk t last =
+    match Session.request t with
+    | Session.Finished _ -> ()
+    | Session.Ask_label view ->
+        let t' = Session.answer_label t (user.Oracle.label g view) in
+        check "questions never decrease" true (Session.questions t' >= last);
+        walk t' (Session.questions t')
+    | Session.Ask_path tree ->
+        let t' = Session.answer_path t (user.Oracle.validate g tree) in
+        check "questions never decrease" true (Session.questions t' >= last);
+        walk t' (Session.questions t')
+    | Session.Propose q ->
+        walk ((if user.Oracle.satisfied g q then Session.accept else Session.refine) t) last
+  in
+  walk (Session.start ~strategy:Strategy.smart g) 0
+
+let test_sessions_deterministic () =
+  let g = Generators.city (Generators.default_city ~districts:16) ~seed:7 in
+  let goal = Rpq.of_string_exn "metro*.museum" in
+  let run () =
+    let t = Simulate.run g ~strategy:(Strategy.random ~seed:9) ~user:(Oracle.perfect ~goal) in
+    (t.Simulate.questions, Rpq.to_string t.Simulate.outcome.Session.query)
+  in
+  check "two identical runs" true (run () = run ())
+
+let test_pruned_nodes_never_goal_selected () =
+  (* soundness of pruning under a truthful user: a pruned node is never in
+     the goal's answer (its paths are covered by true negatives) *)
+  List.iter
+    (fun seed ->
+      let g = Generators.city (Generators.default_city ~districts:16) ~seed in
+      let goal = Rpq.of_string_exn "(tram+bus)*.cinema" in
+      let final = Simulate.final_state g ~strategy:Strategy.smart ~user:(Oracle.perfect ~goal) in
+      let goal_sel = Eval.select g goal in
+      List.iter
+        (fun v -> check "pruned implies not goal-selected" false goal_sel.(v))
+        (Session.implied_neg final))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_implied_positives_always_goal_selected () =
+  List.iter
+    (fun seed ->
+      let g = Generators.city (Generators.default_city ~districts:16) ~seed in
+      let goal = Rpq.of_string_exn "(tram+bus)*.cinema" in
+      let final = Simulate.final_state g ~strategy:Strategy.smart ~user:(Oracle.perfect ~goal) in
+      let goal_sel = Eval.select g goal in
+      List.iter
+        (fun v -> check "implied positive is goal-selected" true goal_sel.(v))
+        (Session.implied_pos final))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_hypothesis_always_consistent_with_sample () =
+  let g = Generators.bio ~nodes:80 ~seed:6 in
+  let goal = Rpq.of_string_exn "interacts*.treats" in
+  let user = Oracle.perfect ~goal in
+  let rec walk t =
+    (* the hypothesis is recomputed after each completed labeling round,
+       so consistency with the sample is promised exactly at proposal and
+       halt points (in between, a fresh positive may not be learned yet) *)
+    (match (Session.hypothesis t, Session.request t) with
+    | Some h, (Session.Propose _ | Session.Finished _) ->
+        check "hypothesis consistent" true
+          (Eval.consistent g h ~pos:(Sample.pos (Session.sample t))
+             ~neg:(Sample.neg (Session.sample t)))
+    | _ -> ());
+    match Session.request t with
+    | Session.Finished _ -> ()
+    | Session.Ask_label view -> walk (Session.answer_label t (user.Oracle.label g view))
+    | Session.Ask_path tree -> walk (Session.answer_path t (user.Oracle.validate g tree))
+    | Session.Propose q ->
+        walk ((if user.Oracle.satisfied g q then Session.accept else Session.refine) t)
+  in
+  walk (Session.start ~strategy:Strategy.smart g)
+
+let test_rpq_display_stable () =
+  (* printing is a pure function of the value *)
+  let q = Rpq.of_string_exn "(tram+bus)*.cinema" in
+  Alcotest.(check string) "stable" (Rpq.to_string q) (Rpq.to_string q);
+  let via_fmt = Format.asprintf "%a" Rpq.pp q in
+  Alcotest.(check string) "pp agrees" (Rpq.to_string q) via_fmt
+
+let test_metrics_bounds () =
+  let g = Datasets.figure1 () in
+  List.iter
+    (fun (goal, hyp) ->
+      let m =
+        Gps_query.Metrics.score g ~goal:(Rpq.of_string_exn goal)
+          ~hypothesis:(Rpq.of_string_exn hyp)
+      in
+      let open Gps_query.Metrics in
+      check "precision in [0,1]" true (m.precision >= 0.0 && m.precision <= 1.0);
+      check "recall in [0,1]" true (m.recall >= 0.0 && m.recall <= 1.0);
+      check "f1 in [0,1]" true (m.f1 >= 0.0 && m.f1 <= 1.0);
+      check "f1 <= max(p,r)" true (m.f1 <= max m.precision m.recall +. 1e-9))
+    [ ("bus", "tram"); ("cinema", "cinema"); ("(tram+bus)*.cinema", "bus"); ("zzz", "bus") ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "invariants.session",
+      [
+        t "values immutable" test_session_values_immutable;
+        t "counters monotone" test_counters_monotone;
+        t "deterministic" test_sessions_deterministic;
+        t "pruning sound" test_pruned_nodes_never_goal_selected;
+        t "implication sound" test_implied_positives_always_goal_selected;
+        t "hypothesis consistent throughout" test_hypothesis_always_consistent_with_sample;
+      ] );
+    ( "invariants.misc",
+      [ t "rpq display stable" test_rpq_display_stable; t "metrics bounds" test_metrics_bounds ] );
+  ]

@@ -1,0 +1,100 @@
+(* Tests for the L* active learner (Angluin — the paper's reference [1]). *)
+
+module Rpq = Gps_query.Rpq
+module Dfa = Gps_automata.Dfa
+module Lstar = Gps_learning.Lstar
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let learn_ok qs =
+  match Lstar.learn_query (Rpq.of_string_exn qs) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "L* failed on %s: %s" qs e
+
+let test_learns_paper_query () =
+  let learned, stats = learn_ok "(tram+bus)*.cinema" in
+  check "language equal" true (Rpq.equal_lang learned (Rpq.of_string_exn "(tram+bus)*.cinema"));
+  check_int "minimal DFA has 3 live-ish states" 3 stats.Lstar.states;
+  check "few membership queries" true (stats.Lstar.membership_queries < 100)
+
+let test_learns_classic_languages () =
+  List.iter
+    (fun qs ->
+      let learned, _ = learn_ok qs in
+      check (qs ^ " identified") true (Rpq.equal_lang learned (Rpq.of_string_exn qs)))
+    [ "(a.b)*"; "a*.b"; "a.a.a"; "(a+b)*.a.b"; "a?.b?"; "eps"; "empty"; "a+b+c" ]
+
+let test_stats_monotone_in_size () =
+  let _, small = learn_ok "a" in
+  let _, large = learn_ok "(a+b)*.a.b.a" in
+  check "larger language needs more membership queries" true
+    (large.Lstar.membership_queries > small.Lstar.membership_queries)
+
+let test_rejects_empty_alphabet () =
+  match Lstar.learn ~alphabet:[] ~membership:(fun _ -> false) ~equivalence:(fun _ -> None) () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty alphabet must be rejected"
+
+let test_lying_teacher_detected () =
+  (* an "equivalence" oracle returning a word the hypothesis already
+     classifies like the target is not a counterexample *)
+  let membership w = w = [ "a" ] in
+  let equivalence _ = Some [ "a"; "a"; "a"; "a" ] (* rejected by both *) in
+  match Lstar.learn ~alphabet:[ "a" ] ~membership ~equivalence () with
+  | Error msg -> check "diagnosed" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "lying teacher must be detected"
+
+let test_minimality () =
+  (* Angluin's guarantee: the result is the minimal DFA *)
+  List.iter
+    (fun qs ->
+      let learned, stats = learn_ok qs in
+      let minimal =
+        Dfa.minimize (Dfa.determinize (Rpq.nfa (Rpq.of_string_exn qs)))
+      in
+      check (qs ^ ": minimal size") true (stats.Lstar.states <= minimal.Dfa.n_states + 1);
+      ignore learned)
+    [ "(a.b)*"; "a*.b.a*" ]
+
+let qcheck_tests =
+  let open QCheck in
+  let gen_regex =
+    Gen.(
+      let sym = oneofl [ "a"; "b" ] in
+      fix
+        (fun self n ->
+          if n <= 1 then map Gps_regex.Regex.sym sym
+          else
+            frequency
+              [
+                (3, map Gps_regex.Regex.sym sym);
+                (2, map2 (fun a b -> Gps_regex.Regex.alt [ a; b ]) (self (n / 2)) (self (n / 2)));
+                (3, map2 (fun a b -> Gps_regex.Regex.seq [ a; b ]) (self (n / 2)) (self (n / 2)));
+                (2, map Gps_regex.Regex.star (self (n - 1)));
+              ])
+        6)
+  in
+  [
+    Test.make ~name:"L* with a perfect teacher identifies every regular language" ~count:150
+      (make ~print:Gps_regex.Regex.to_string gen_regex) (fun r ->
+        let q = Rpq.of_regex r in
+        match Lstar.learn_query q with
+        | Ok (learned, _) -> Rpq.equal_lang learned q
+        | Error _ -> false);
+  ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "lstar",
+      [
+        t "paper query" test_learns_paper_query;
+        t "classic languages" test_learns_classic_languages;
+        t "stats monotone" test_stats_monotone_in_size;
+        t "empty alphabet" test_rejects_empty_alphabet;
+        t "lying teacher" test_lying_teacher_detected;
+        t "minimality" test_minimality;
+      ] );
+    ("lstar.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

@@ -1,0 +1,330 @@
+(* Tests for gps_query: evaluation semantics on the paper's Figure 1 and on
+   synthetic graphs, witnesses, path languages, metrics. The central
+   cross-check: product-based selection must agree with brute-force
+   bounded path enumeration + derivative matching on acyclic cases. *)
+
+open Gps_graph
+open Gps_query
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let q s = Rpq.of_string_exn s
+
+let node g n = Option.get (Digraph.node_of_name g n)
+
+let selected_names g query =
+  List.sort compare (List.map (Digraph.node_name g) (Eval.select_nodes g query))
+
+(* -------------------------------------------------------------------- *)
+(* The paper's motivating example *)
+
+let test_figure1_selection () =
+  let g = Datasets.figure1 () in
+  Alcotest.(check (list string))
+    "q selects exactly N1 N2 N4 N6 (paper, Section 2)" Datasets.figure1_expected
+    (selected_names g (q "(tram+bus)*.cinema"))
+
+let test_figure1_bus_query () =
+  (* Section 3: the query `bus` is consistent with +N2 +N6 -N5 *)
+  let g = Datasets.figure1 () in
+  let sel = Eval.select g (q "bus") in
+  check "selects N2" true sel.(node g "N2");
+  check "selects N6" true sel.(node g "N6");
+  check "not N5" false sel.(node g "N5")
+
+let test_figure1_consistency () =
+  let g = Datasets.figure1 () in
+  let pos = [ node g "N2"; node g "N6" ] and neg = [ node g "N5" ] in
+  check "goal query consistent" true (Eval.consistent g (q "(tram+bus)*.cinema") ~pos ~neg);
+  check "bus also consistent" true (Eval.consistent g (q "bus") ~pos ~neg);
+  check "tram not consistent (misses N6)" false (Eval.consistent g (q "tram") ~pos ~neg);
+  check "restaurant not consistent (selects N5)" false (Eval.consistent g (q "restaurant") ~pos ~neg)
+
+let test_figure1_restaurant () =
+  let g = Datasets.figure1 () in
+  let sel = selected_names g (q "tram*.restaurant") in
+  check "N5 selected" true (List.mem "N5" sel);
+  check "N3 selected" true (List.mem "N3" sel);
+  check "N4 not selected" false (List.mem "N4" sel)
+
+(* -------------------------------------------------------------------- *)
+(* Evaluation semantics *)
+
+let test_epsilon_selects_everything () =
+  let g = Datasets.figure1 () in
+  check_int "eps selects all nodes" (Digraph.n_nodes g) (Eval.count g (q "eps"));
+  check_int "a* with foreign label also selects all" (Digraph.n_nodes g)
+    (Eval.count g (q "zzz*"))
+
+let test_empty_selects_nothing () =
+  let g = Datasets.figure1 () in
+  check_int "empty" 0 (Eval.count g (q "empty"));
+  check_int "foreign symbol" 0 (Eval.count g (q "zzz"))
+
+let test_cycle_star () =
+  (* a self-loop makes arbitrarily long words available *)
+  let g = Codec.of_edges [ ("a", "x", "a"); ("a", "y", "b") ] in
+  let sel = Eval.select g (q "x.x.x.x.x.y") in
+  check "deep star through cycle" true sel.(node g "a");
+  check "b not selected" false sel.(node g "b")
+
+let test_selection_monotone_under_union () =
+  let g = Generators.city (Generators.default_city ~districts:12) ~seed:1 in
+  let s1 = Eval.select g (q "tram.cinema") in
+  let s2 = Eval.select g (q "tram.cinema+bus.cinema") in
+  Array.iteri (fun i b -> if b then check "monotone" true s2.(i)) s1
+
+(* -------------------------------------------------------------------- *)
+(* Witness *)
+
+let test_witness_figure1 () =
+  let g = Datasets.figure1 () in
+  let query = q "(tram+bus)*.cinema" in
+  (match Witness.find g query (node g "N4") with
+  | Some w ->
+      Alcotest.(check (list string)) "N4 witness word" [ "cinema" ] w.Witness.word;
+      Alcotest.(check (list string)) "N4 witness walk" [ "N4"; "C1" ]
+        (List.map (Digraph.node_name g) w.Witness.walk)
+  | None -> Alcotest.fail "N4 should have a witness");
+  (match Witness.find g query (node g "N2") with
+  | Some w ->
+      check_int "N2 shortest witness has length 3" 3 (List.length w.Witness.word);
+      check "witness word matched by query" true (Rpq.matches_word query w.Witness.word)
+  | None -> Alcotest.fail "N2 should have a witness");
+  check "N5 has no witness" true (Witness.find g query (node g "N5") = None)
+
+let test_witness_epsilon () =
+  let g = Datasets.figure1 () in
+  match Witness.find g (q "cinema*") (node g "N5") with
+  | Some w ->
+      check "empty word witness" true (w.Witness.word = []);
+      Alcotest.(check (list string)) "trivial walk" [ "N5" ]
+        (List.map (Digraph.node_name g) w.Witness.walk)
+  | None -> Alcotest.fail "nullable query selects everything"
+
+let test_witness_all_selected () =
+  let g = Datasets.figure1 () in
+  let query = q "(tram+bus)*.cinema" in
+  let ws = Witness.find_all_selected g query in
+  check_int "4 witnesses" 4 (List.length ws);
+  List.iter
+    (fun (v, w) ->
+      check "walk starts at node" true (List.hd w.Witness.walk = v);
+      check "word accepted" true (Rpq.matches_word query w.Witness.word))
+    ws
+
+let test_witness_pp () =
+  let g = Datasets.figure1 () in
+  let w = Option.get (Witness.find g (q "tram.cinema") (node g "N1")) in
+  Alcotest.(check string) "render" "N1 -tram-> N4 -cinema-> C1"
+    (Format.asprintf "%a" (Witness.pp g) w)
+
+(* -------------------------------------------------------------------- *)
+(* Pathlang *)
+
+let test_pathlang_accepts_paths () =
+  let g = Datasets.figure1 () in
+  let a = Pathlang.of_node g (node g "N2") in
+  let open Gps_automata in
+  check "bus" true (Nfa.accepts a [ "bus" ]);
+  check "bus.tram.cinema" true (Nfa.accepts a [ "bus"; "tram"; "cinema" ]);
+  check "epsilon always a path" true (Nfa.accepts a []);
+  check "cinema not a path of N2" false (Nfa.accepts a [ "cinema" ])
+
+let test_pathlang_union () =
+  let g = Datasets.figure1 () in
+  let a = Pathlang.of_nodes g [ node g "N5"; node g "N6" ] in
+  let open Gps_automata in
+  check "N5 contributes tram" true (Nfa.accepts a [ "tram" ]);
+  check "N6 contributes cinema" true (Nfa.accepts a [ "cinema" ]);
+  check "neither has tram.cinema" false (Nfa.accepts a [ "tram"; "cinema" ]);
+  check "empty list = empty language" true (Nfa.is_empty_lang (Pathlang.of_nodes g []))
+
+let test_pathlang_covers () =
+  let g = Datasets.figure1 () in
+  check "N5 covers tram.restaurant" true
+    (Pathlang.covers g [ node g "N5" ] [ "tram"; "restaurant" ]);
+  check "N5 does not cover bus" false (Pathlang.covers g [ node g "N5" ] [ "bus" ]);
+  check "unknown label never covered" false (Pathlang.covers g [ node g "N5" ] [ "zzz" ]);
+  check "no nodes cover nothing" false (Pathlang.covers g [] [])
+
+let test_pathlang_disjoint () =
+  let g = Datasets.figure1 () in
+  check "goal query disjoint from N5's paths" true
+    (Pathlang.disjoint_from g (node g "N5") (q "(tram+bus)*.cinema"));
+  check "not disjoint from N2's" false
+    (Pathlang.disjoint_from g (node g "N2") (q "(tram+bus)*.cinema"))
+
+(* -------------------------------------------------------------------- *)
+(* Metrics *)
+
+let test_metrics_perfect () =
+  let g = Datasets.figure1 () in
+  let goal = q "(tram+bus)*.cinema" in
+  let m = Metrics.score g ~goal ~hypothesis:goal in
+  check "f1 = 1" true (m.Metrics.f1 = 1.0);
+  check "exact" true (Metrics.exact g ~goal ~hypothesis:goal)
+
+let test_metrics_partial () =
+  let g = Datasets.figure1 () in
+  let goal = q "(tram+bus)*.cinema" in
+  (* `cinema` catches only N4 and N6 of the four targets *)
+  let m = Metrics.score g ~goal ~hypothesis:(q "cinema") in
+  check_int "tp" 2 m.Metrics.true_pos;
+  check_int "fn" 2 m.Metrics.false_neg;
+  check_int "fp" 0 m.Metrics.false_pos;
+  check "precision 1" true (m.Metrics.precision = 1.0);
+  check "recall 0.5" true (m.Metrics.recall = 0.5);
+  check "not exact" false (Metrics.exact g ~goal ~hypothesis:(q "cinema"))
+
+let test_metrics_empty_cases () =
+  let expected = [| false; false |] and got = [| false; false |] in
+  let m = Metrics.score_sets ~expected ~got in
+  check "P=R=1 when both empty" true (m.Metrics.precision = 1.0 && m.Metrics.recall = 1.0);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Metrics.score_sets: arrays of different lengths") (fun () ->
+      ignore (Metrics.score_sets ~expected ~got:[| true |]))
+
+(* -------------------------------------------------------------------- *)
+(* Rpq *)
+
+let test_rpq_parse_error () =
+  match Rpq.of_string "((" with
+  | Ok _ -> Alcotest.fail "should not parse"
+  | Error msg -> check "error message" true (String.length msg > 0)
+
+let test_rpq_of_nfa_roundtrip () =
+  let original = q "(a+b)*.c" in
+  let back = Rpq.of_nfa (Rpq.nfa original) in
+  check "same language after elimination" true (Rpq.equal_lang original back)
+
+(* -------------------------------------------------------------------- *)
+(* Properties: product evaluation vs brute-force path enumeration *)
+
+let qcheck_tests =
+  let open QCheck in
+  let arb_graph =
+    make
+      Gen.(
+        let* n = int_range 2 10 in
+        let* m = int_range 1 25 in
+        let* seed = int_range 0 10_000 in
+        return (Generators.uniform ~nodes:n ~edges:m ~labels:[ "a"; "b"; "c" ] ~seed))
+  in
+  let gen_regex =
+    (* star-free on purpose: bounded-length enumeration is then complete,
+       making brute force an exact oracle *)
+    Gen.(
+      let sym = oneofl [ "a"; "b"; "c" ] in
+      fix
+        (fun self n ->
+          if n <= 1 then map Gps_regex.Regex.sym sym
+          else
+            frequency
+              [
+                (3, map Gps_regex.Regex.sym sym);
+                ( 2,
+                  map2
+                    (fun a b -> Gps_regex.Regex.alt [ a; b ])
+                    (self (n / 2)) (self (n / 2)) );
+                ( 3,
+                  map2
+                    (fun a b -> Gps_regex.Regex.seq [ a; b ])
+                    (self (n / 2)) (self (n / 2)) );
+              ])
+        6)
+  in
+  let arb_starfree = make ~print:Gps_regex.Regex.to_string gen_regex in
+  [
+    Test.make ~name:"product eval = brute-force on star-free queries" ~count:300
+      (pair arb_graph arb_starfree) (fun (g, r) ->
+        let query = Rpq.of_regex r in
+        let sel = Eval.select g query in
+        let max_len = Gps_regex.Regex.size r in
+        Digraph.fold_nodes
+          (fun acc v ->
+            let brute =
+              Gps_regex.Deriv.matches r []
+              || List.exists
+                   (fun w -> Rpq.matches_word query (Walks.word_names g w))
+                   (Walks.words g v ~max_len)
+            in
+            acc && brute = sel.(v))
+          true g);
+    Test.make ~name:"witness exists iff selected, and is accepted" ~count:300
+      (pair arb_graph arb_starfree) (fun (g, r) ->
+        let query = Rpq.of_regex r in
+        let sel = Eval.select g query in
+        Digraph.fold_nodes
+          (fun acc v ->
+            acc
+            &&
+            match Witness.find g query v with
+            | Some w ->
+                sel.(v)
+                && Rpq.matches_word query w.Witness.word
+                && List.hd w.Witness.walk = v
+                && List.length w.Witness.walk = List.length w.Witness.word + 1
+            | None -> not sel.(v))
+          true g);
+    Test.make ~name:"pathlang accepts exactly enumerated words" ~count:200 arb_graph (fun g ->
+        let open Gps_automata in
+        let v = 0 in
+        let a = Pathlang.of_node g v in
+        List.for_all
+          (fun w -> Nfa.accepts a (Walks.word_names g w))
+          (Walks.words g v ~max_len:3));
+    Test.make ~name:"covers agrees with pathlang acceptance" ~count:200 arb_graph (fun g ->
+        let open Gps_automata in
+        let nodes = [ 0; 1 ] in
+        let a = Pathlang.of_nodes g nodes in
+        let words = Nfa.enumerate (Pathlang.of_node g 0) ~max_len:3 in
+        List.for_all (fun w -> Pathlang.covers g nodes w = Nfa.accepts a w) words);
+    Test.make ~name:"selection respects language inclusion" ~count:200 arb_graph (fun g ->
+        (* L(a.c) subset of L(a.(b+c)) implies selection subset *)
+        let q1 = Rpq.of_string_exn "a.c" and q2 = Rpq.of_string_exn "a.(b+c)" in
+        let s1 = Eval.select g q1 and s2 = Eval.select g q2 in
+        Array.for_all Fun.id (Array.mapi (fun i b -> (not b) || s2.(i)) s1));
+  ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "query.figure1",
+      [
+        t "paper selection" test_figure1_selection;
+        t "bus query (Section 3)" test_figure1_bus_query;
+        t "consistency" test_figure1_consistency;
+        t "restaurant query" test_figure1_restaurant;
+      ] );
+    ( "query.eval",
+      [
+        t "epsilon selects everything" test_epsilon_selects_everything;
+        t "empty selects nothing" test_empty_selects_nothing;
+        t "cycle star" test_cycle_star;
+        t "monotone under union" test_selection_monotone_under_union;
+      ] );
+    ( "query.witness",
+      [
+        t "figure1 witnesses" test_witness_figure1;
+        t "epsilon witness" test_witness_epsilon;
+        t "all selected" test_witness_all_selected;
+        t "pretty-print" test_witness_pp;
+      ] );
+    ( "query.pathlang",
+      [
+        t "accepts paths" test_pathlang_accepts_paths;
+        t "union" test_pathlang_union;
+        t "covers" test_pathlang_covers;
+        t "disjoint" test_pathlang_disjoint;
+      ] );
+    ( "query.metrics",
+      [
+        t "perfect" test_metrics_perfect;
+        t "partial" test_metrics_partial;
+        t "empty cases" test_metrics_empty_cases;
+      ] );
+    ("query.rpq", [ t "parse error" test_rpq_parse_error; t "of_nfa" test_rpq_of_nfa_roundtrip ]);
+    ("query.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

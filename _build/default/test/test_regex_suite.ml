@@ -1,0 +1,209 @@
+(* Unit and property tests for gps_regex: smart constructors, parser,
+   printer, derivatives. *)
+
+open Gps_regex
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let p = Parse.parse_exn
+
+(* -------------------------------------------------------------------- *)
+(* Smart constructors *)
+
+let test_alt_normalization () =
+  check "idempotent" true (Regex.equal (Regex.alt [ p "a"; p "a" ]) (p "a"));
+  check "commutative" true (Regex.equal (Regex.alt [ p "a"; p "b" ]) (Regex.alt [ p "b"; p "a" ]));
+  check "empty neutral" true (Regex.equal (Regex.alt [ Regex.empty; p "a" ]) (p "a"));
+  check "flattening" true
+    (Regex.equal (Regex.alt [ p "a"; Regex.alt [ p "b"; p "c" ] ]) (p "a+b+c"))
+
+let test_seq_normalization () =
+  check "epsilon neutral" true (Regex.equal (Regex.seq [ Regex.epsilon; p "a" ]) (p "a"));
+  check "empty absorbing" true (Regex.equal (Regex.seq [ Regex.empty; p "a" ]) Regex.empty);
+  check "flattening" true
+    (Regex.equal (Regex.seq [ p "a"; Regex.seq [ p "b"; p "c" ] ]) (p "a.b.c"))
+
+let test_star_normalization () =
+  check "star of empty" true (Regex.equal (Regex.star Regex.empty) Regex.epsilon);
+  check "star of epsilon" true (Regex.equal (Regex.star Regex.epsilon) Regex.epsilon);
+  check "star idempotent" true (Regex.equal (Regex.star (Regex.star (p "a"))) (Regex.star (p "a")));
+  check "(eps+a)* = a*" true (Regex.equal (Regex.star (Regex.opt (p "a"))) (Regex.star (p "a")))
+
+let test_derived_forms () =
+  check "plus" true (Regex.equal (Regex.plus (p "a")) (p "a.a*"));
+  check "opt nullable" true (Regex.nullable (Regex.opt (p "a")));
+  check "word" true (Regex.equal (Regex.word [ "a"; "b" ]) (p "a.b"))
+
+let test_nullable () =
+  check "star" true (Regex.nullable (p "a*"));
+  check "sym" false (Regex.nullable (p "a"));
+  check "seq of stars" true (Regex.nullable (p "a*.b*"));
+  check "seq with sym" false (Regex.nullable (p "a*.b"));
+  check "alt one nullable" true (Regex.nullable (p "a+b*"));
+  check "epsilon" true (Regex.nullable Regex.epsilon);
+  check "empty" false (Regex.nullable Regex.empty)
+
+let test_metrics () =
+  check "alphabet" true (Regex.alphabet (p "(tram+bus)*.cinema") = [ "bus"; "cinema"; "tram" ]);
+  check "size positive" true (Regex.size (p "(a+b)*.c") > 3);
+  check "height" true (Regex.height (p "a") = 1)
+
+(* -------------------------------------------------------------------- *)
+(* Parser and printer *)
+
+let test_parse_paper_query () =
+  let q = p "(tram+bus)*.cinema" in
+  check_str "roundtrip" "(bus+tram)*.cinema" (Regex.to_string q)
+
+let test_parse_adjacency () =
+  check "adjacency = dot" true (Regex.equal (p "bus bus cinema") (p "bus.bus.cinema"))
+
+let test_parse_postfix () =
+  check "opt" true (Regex.equal (p "a?") (Regex.opt (p "a")));
+  check "double star" true (Regex.equal (p "a**") (p "a*"))
+
+let test_parse_epsilon_empty () =
+  check "eps word" true (Regex.equal (p "eps") Regex.epsilon);
+  check "unicode eps" true (Regex.equal (p "\xce\xb5") Regex.epsilon);
+  check "empty word" true (Regex.equal (p "empty") Regex.empty);
+  check "unicode empty" true (Regex.equal (p "\xe2\x88\x85") Regex.empty)
+
+let test_parse_errors () =
+  let fails s =
+    match Parse.parse s with Ok _ -> Alcotest.failf "should not parse: %s" s | Error _ -> ()
+  in
+  fails "";
+  fails "(a";
+  fails "a)";
+  fails "+a";
+  fails "a..b";
+  fails "a %"
+
+let test_print_parse_roundtrip_cases () =
+  List.iter
+    (fun s ->
+      let r = p s in
+      let r' = p (Regex.to_string r) in
+      check ("roundtrip " ^ s) true (Regex.equal r r'))
+    [
+      "a";
+      "a.b.c";
+      "a+b+c";
+      "(a+b)*.c";
+      "a.(b+c)*";
+      "((a.b)+c)*";
+      "a*.b*.c*";
+      "a?";
+      "(a.b)?";
+      "tram*.restaurant";
+    ]
+
+(* -------------------------------------------------------------------- *)
+(* Derivatives *)
+
+let test_matches_basic () =
+  let q = p "(tram+bus)*.cinema" in
+  check "cinema" true (Deriv.matches q [ "cinema" ]);
+  check "bus.cinema" true (Deriv.matches q [ "bus"; "cinema" ]);
+  check "bus.tram.cinema" true (Deriv.matches q [ "bus"; "tram"; "cinema" ]);
+  check "not bus" false (Deriv.matches q [ "bus" ]);
+  check "not empty" false (Deriv.matches q []);
+  check "not cinema.bus" false (Deriv.matches q [ "cinema"; "bus" ])
+
+let test_matches_star () =
+  let q = p "a*" in
+  check "empty" true (Deriv.matches q []);
+  check "aaa" true (Deriv.matches q [ "a"; "a"; "a" ]);
+  check "b" false (Deriv.matches q [ "b" ])
+
+let test_derive_unknown_symbol () =
+  check "derivative by foreign symbol is empty" true
+    (Regex.is_empty_lang (Deriv.derive "zzz" (p "a.b")))
+
+let test_derivatives_finite () =
+  let ds = Deriv.derivatives (p "(a+b)*.c.(a.b)*") in
+  check "finitely many" true (List.length ds < 50);
+  check "contains self" true (List.exists (Regex.equal (p "(a+b)*.c.(a.b)*")) ds)
+
+(* -------------------------------------------------------------------- *)
+(* Properties *)
+
+(* random regex generator over alphabet {a,b,c} *)
+let gen_regex =
+  let open QCheck.Gen in
+  let sym = oneofl [ "a"; "b"; "c" ] in
+  fix
+    (fun self n ->
+      if n <= 1 then
+        frequency [ (6, map Regex.sym sym); (1, return Regex.epsilon); (1, return Regex.empty) ]
+      else
+        frequency
+          [
+            (3, map Regex.sym sym);
+            (2, map2 (fun a b -> Regex.alt [ a; b ]) (self (n / 2)) (self (n / 2)));
+            (3, map2 (fun a b -> Regex.seq [ a; b ]) (self (n / 2)) (self (n / 2)));
+            (2, map Regex.star (self (n - 1)));
+          ])
+    8
+
+let arb_regex = QCheck.make ~print:Regex.to_string gen_regex
+
+let gen_word = QCheck.Gen.(list_size (int_bound 6) (oneofl [ "a"; "b"; "c" ]))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"print/parse roundtrip preserves language (structural)" ~count:500 arb_regex
+      (fun r ->
+        let printed = Regex.to_string r in
+        Regex.equal r (Parse.parse_exn printed));
+    Test.make ~name:"nullable agrees with matches []" ~count:500 arb_regex (fun r ->
+        Regex.nullable r = Deriv.matches r []);
+    Test.make ~name:"derivative soundness: w in L(r) iff tail in L(derive a r)" ~count:500
+      (pair arb_regex (make gen_word)) (fun (r, w) ->
+        match w with
+        | [] -> true
+        | a :: rest -> Deriv.matches r w = Deriv.matches (Deriv.derive a r) rest);
+    Test.make ~name:"alt is least upper bound" ~count:300 (triple arb_regex arb_regex (make gen_word))
+      (fun (r1, r2, w) ->
+        Deriv.matches (Regex.alt [ r1; r2 ]) w = (Deriv.matches r1 w || Deriv.matches r2 w));
+    Test.make ~name:"star absorbs concatenation with self" ~count:300
+      (pair arb_regex (make gen_word)) (fun (r, w) ->
+        let s = Regex.star r in
+        (* the star is idempotent under concatenation with itself *)
+        Deriv.matches s w = Deriv.matches (Regex.seq [ s; s ]) w);
+    Test.make ~name:"size is monotone under star" ~count:300 arb_regex (fun r ->
+        Regex.size (Regex.star r) <= Regex.size r + 1);
+  ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "regex.constructors",
+      [
+        t "alt" test_alt_normalization;
+        t "seq" test_seq_normalization;
+        t "star" test_star_normalization;
+        t "derived forms" test_derived_forms;
+        t "nullable" test_nullable;
+        t "metrics" test_metrics;
+      ] );
+    ( "regex.parse",
+      [
+        t "paper query" test_parse_paper_query;
+        t "adjacency" test_parse_adjacency;
+        t "postfix" test_parse_postfix;
+        t "epsilon/empty" test_parse_epsilon_empty;
+        t "errors" test_parse_errors;
+        t "roundtrip cases" test_print_parse_roundtrip_cases;
+      ] );
+    ( "regex.deriv",
+      [
+        t "paper query membership" test_matches_basic;
+        t "star" test_matches_star;
+        t "unknown symbol" test_derive_unknown_symbol;
+        t "finitely many derivatives" test_derivatives_finite;
+      ] );
+    ("regex.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

@@ -1,0 +1,133 @@
+(* Tests for gps_viz: the ASCII and DOT renderers of the Figure 3 views.
+   Renderers are checked structurally (markers present/absent), not by
+   golden strings, so cosmetic changes don't break the suite. *)
+
+open Gps_graph
+module View = Gps_interactive.View
+module Ascii = Gps_viz.Ascii
+module Dotviz = Gps_viz.Dotviz
+
+let check = Alcotest.(check bool)
+let node g n = Option.get (Digraph.node_of_name g n)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let count_lines s = List.length (String.split_on_char '\n' s)
+
+(* -------------------------------------------------------------------- *)
+
+let test_ascii_neighborhood_markers () =
+  let g = Datasets.figure1 () in
+  let v = View.make_neighborhood g (node g "N2") ~radius:2 in
+  let out = Ascii.neighborhood g v in
+  check "mentions center" true (contains ~needle:"N2" out);
+  check "frontier dots present (paper's ...)" true (contains ~needle:"..." out);
+  check "radius in header" true (contains ~needle:"radius 2" out);
+  check "cinema invisible at radius 2" false (contains ~needle:"C1" out)
+
+let test_ascii_zoom_highlight () =
+  let g = Datasets.figure1 () in
+  let v2 = View.make_neighborhood g (node g "N2") ~radius:2 in
+  let v3 = View.make_neighborhood g ~previous:v2.View.fragment (node g "N2") ~radius:3 in
+  let out = Ascii.neighborhood g v3 in
+  check "newly revealed node marked" true (contains ~needle:"C1 (+)" out);
+  check "newly revealed edge marked" true (contains ~needle:"+cinema" out);
+  check "legend shown" true (contains ~needle:"newly revealed" out)
+
+let test_ascii_neighborhood_shared_nodes () =
+  (* a node reachable along two branches is expanded once *)
+  let g = Codec.of_edges [ ("a", "x", "b"); ("a", "y", "b"); ("b", "z", "c") ] in
+  let v = View.make_neighborhood g (node g "a") ~radius:3 in
+  let out = Ascii.neighborhood g v in
+  check "revisit marked" true (contains ~needle:"(seen)" out)
+
+let test_ascii_path_tree () =
+  let g = Datasets.figure1 () in
+  match View.make_path_tree g (node g "N2") ~negatives:[ node g "N5" ] ~max_len:3 with
+  | None -> Alcotest.fail "tree expected"
+  | Some tree ->
+      let out = Ascii.path_tree tree in
+      check "suggestion marked" true (contains ~needle:"<== suggested" out);
+      check "accepting words ticked" true (contains ~needle:" *" out);
+      check "header has count" true (contains ~needle:"candidate paths (6)" out)
+
+let test_ascii_summary_and_witness () =
+  let g = Datasets.figure1 () in
+  check "summary mentions nodes" true (contains ~needle:"nodes: 10" (Ascii.graph_summary g));
+  let q = Gps_query.Rpq.of_string_exn "tram.cinema" in
+  let w = Option.get (Gps_query.Witness.find g q (node g "N1")) in
+  Alcotest.(check string) "witness" "N1 -tram-> N4 -cinema-> C1" (Ascii.witness g w)
+
+(* -------------------------------------------------------------------- *)
+
+let test_dot_neighborhood () =
+  let g = Datasets.figure1 () in
+  let v2 = View.make_neighborhood g (node g "N2") ~radius:2 in
+  let v3 = View.make_neighborhood g ~previous:v2.View.fragment (node g "N2") ~radius:3 in
+  let out = Dotviz.neighborhood g v3 in
+  check "valid digraph" true (contains ~needle:"digraph" out);
+  check "center highlighted" true (contains ~needle:"gold" out);
+  check "additions in blue" true (contains ~needle:"color=blue" out);
+  (* the radius-2 view is incomplete, so it must carry the "..." marker;
+     the radius-3 view shows everything reachable and must not *)
+  check "frontier dots at radius 2" true
+    (contains ~needle:"label=\"...\"" (Dotviz.neighborhood g v2));
+  check "no frontier dots at radius 3" false (contains ~needle:"label=\"...\"" out)
+
+let test_dot_path_tree () =
+  let g = Datasets.figure1 () in
+  match View.make_path_tree g (node g "N2") ~negatives:[ node g "N5" ] ~max_len:3 with
+  | None -> Alcotest.fail "tree expected"
+  | Some tree ->
+      let out = Dotviz.path_tree tree in
+      check "valid digraph" true (contains ~needle:"digraph" out);
+      check "accepting double circles" true (contains ~needle:"doublecircle" out);
+      check "suggested branch bold" true (contains ~needle:"penwidth=2" out);
+      check "left-to-right" true (contains ~needle:"rankdir=LR" out)
+
+(* -------------------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  let arb_graph =
+    make
+      Gen.(
+        let* n = int_range 2 12 in
+        let* m = int_range 1 30 in
+        let* seed = int_range 0 5_000 in
+        return (Generators.uniform ~nodes:n ~edges:m ~labels:[ "a"; "b" ] ~seed))
+  in
+  [
+    Test.make ~name:"ascii neighborhood renders every member node" ~count:100 arb_graph
+      (fun g ->
+        let v = View.make_neighborhood g 0 ~radius:2 in
+        let out = Ascii.neighborhood g v in
+        List.for_all
+          (fun (n, _) -> contains ~needle:(Digraph.node_name g n) out)
+          v.View.fragment.Neighborhood.nodes);
+    Test.make ~name:"dot output is balanced and line-structured" ~count:100 arb_graph (fun g ->
+        let v = View.make_neighborhood g 0 ~radius:2 in
+        let out = Dotviz.neighborhood g v in
+        let opens = String.fold_left (fun a c -> if c = '{' then a + 1 else a) 0 out in
+        let closes = String.fold_left (fun a c -> if c = '}' then a + 1 else a) 0 out in
+        opens = closes && count_lines out >= 3);
+  ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "viz.ascii",
+      [
+        t "neighborhood markers" test_ascii_neighborhood_markers;
+        t "zoom highlight (Fig 3b)" test_ascii_zoom_highlight;
+        t "shared nodes" test_ascii_neighborhood_shared_nodes;
+        t "path tree (Fig 3c)" test_ascii_path_tree;
+        t "summary and witness" test_ascii_summary_and_witness;
+      ] );
+    ( "viz.dot",
+      [ t "neighborhood" test_dot_neighborhood; t "path tree" test_dot_path_tree ] );
+    ("viz.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
