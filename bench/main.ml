@@ -6,7 +6,7 @@
                                          pathval static users convergence
                                          lstar generalize eval minimize csr
                                          sampled incremental bound
-                                         suggestion micro)
+                                         suggestion micro server_dispatch)
    dune exec bench/main.exe -- --list    lists experiment ids
 
    Each experiment regenerates one table/figure of DESIGN.md's experiment
@@ -98,6 +98,7 @@ let experiments =
     ("bound", Experiments.bound_ablation);
     ("suggestion", Experiments.suggestion_ablation);
     ("micro", micro);
+    ("server_dispatch", Server_bench.run);
   ]
 
 let () =

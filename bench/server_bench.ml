@@ -1,0 +1,82 @@
+(* server_dispatch: latency of one request through the gps_server
+   dispatch core — a cold query (cache capacity 0, every request
+   re-evaluates), the same query warm (LRU hit), and the warm query
+   through the full wire path (JSON parse + dispatch + print). Besides
+   the bechamel table, the last output line is a single JSON object so
+   the numbers can be scraped by scripts. *)
+
+module P = Gps.Server.Protocol
+module Srv = Gps.Server.Server
+
+let make_server ~cache_capacity text =
+  let config = { Srv.default_config with Srv.cache_capacity } in
+  let t = Srv.create ~config () in
+  (match Srv.handle t (P.Load { name = "city"; source = P.Text text }) with
+  | P.Loaded _ -> ()
+  | _ -> failwith "server_bench: load failed");
+  t
+
+let estimate results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some ols -> (
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some (est :: _) -> est
+      | Some [] | None -> nan)
+
+let run () =
+  Workloads.rule ();
+  print_endline "SERVER_DISPATCH  gps serve dispatch latency, cold vs warm cache (ns/req)";
+  Workloads.rule ();
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let text =
+    Gps.Graph.Codec.to_string (Workloads.city ~districts:50 ~seed:8).Workloads.graph
+  in
+  let query = "(tram+bus)*.cinema" in
+  let req = P.Query { graph = "city"; query } in
+  let line = P.request_to_string req in
+  let cold = make_server ~cache_capacity:0 text in
+  let warm = make_server ~cache_capacity:256 text in
+  ignore (Srv.handle warm req);
+  let nodes, edges =
+    match Srv.handle warm (P.Stats { graph = "city" }) with
+    | P.Stats_of { nodes; edges; _ } -> (nodes, edges)
+    | _ -> (0, 0)
+  in
+  let tests =
+    [
+      Test.make ~name:"cold" (Staged.stage (fun () -> ignore (Srv.handle cold req)));
+      Test.make ~name:"warm" (Staged.stage (fun () -> ignore (Srv.handle warm req)));
+      Test.make ~name:"wire" (Staged.stage (fun () -> ignore (Srv.handle_line warm line)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"dispatch" ~fmt:"%s %s" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let cold_ns = estimate results "dispatch cold"
+  and warm_ns = estimate results "dispatch warm"
+  and wire_ns = estimate results "dispatch wire" in
+  Printf.printf "graph: city-50 (%d nodes, %d edges)   query: %s\n\n" nodes edges query;
+  Printf.printf "%-34s %12.0f ns/req\n" "query, cold (cache capacity 0)" cold_ns;
+  Printf.printf "%-34s %12.0f ns/req   (%.1fx)\n" "query, warm (cache hit)" warm_ns
+    (cold_ns /. warm_ns);
+  Printf.printf "%-34s %12.0f ns/req   (wire overhead %.0f ns)\n\n"
+    "query, warm, via wire line" wire_ns (wire_ns -. warm_ns);
+  let num x = Gps.Graph.Json.Number x in
+  let json =
+    Gps.Graph.Json.Object
+      [
+        ("experiment", String "server_dispatch");
+        ("graph", Object [ ("nodes", num (float_of_int nodes)); ("edges", num (float_of_int edges)) ]);
+        ("query", String query);
+        ("cold_ns_per_req", num (Float.round cold_ns));
+        ("warm_ns_per_req", num (Float.round warm_ns));
+        ("wire_ns_per_req", num (Float.round wire_ns));
+        ("warm_req_per_s", num (Float.round (1e9 /. warm_ns)));
+        ("cache_speedup", num (Float.round (cold_ns /. warm_ns)));
+      ]
+  in
+  print_endline (Gps.Graph.Json.value_to_string json)

@@ -6,7 +6,9 @@
      query      evaluate a path query, with optional witness explanations
      learn      learn a query from labeled node names (static scenario)
      session    run the interactive scenario: simulated oracle or real stdin user
-     dot        export a graph (or a node neighborhood) to GraphViz *)
+     dot        export a graph (or a node neighborhood) to GraphViz
+     serve      the multi-session service: newline-delimited JSON over
+                stdio or TCP *)
 
 open Cmdliner
 module Digraph = Gps.Graph.Digraph
@@ -432,6 +434,73 @@ let identify_cmd =
     Term.(const run $ query_pos 0)
 
 (* ---------------------------------------------------------------- *)
+(* serve *)
+
+let serve_cmd =
+  let stdio =
+    let doc = "Serve newline-delimited JSON on stdin/stdout (the default)." in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let port =
+    let doc = "Listen on this TCP port instead of stdio (one thread per connection)." in
+    Arg.(value & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let host =
+    let doc = "Bind address for --port." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let preload =
+    let doc =
+      "Preload graphs before serving: comma-separated NAME=SOURCE pairs where SOURCE is \
+       a file path or a builtin dataset name ('figure1' / 'transpole'); a bare builtin \
+       name is also accepted."
+    in
+    Arg.(value & opt (list string) [] & info [ "load" ] ~docv:"SPECS" ~doc)
+  in
+  let cache =
+    let doc = "Query-result cache capacity (0 disables caching)." in
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let run stdio port host preload cache =
+    let module Srv = Gps.Server.Server in
+    let module P = Gps.Server.Protocol in
+    let server =
+      Srv.create ~config:{ Srv.default_config with Srv.cache_capacity = cache } ()
+    in
+    List.iter
+      (fun spec ->
+        let name, source =
+          match String.index_opt spec '=' with
+          | Some i ->
+              let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+              (String.sub spec 0 i, if Sys.file_exists v then P.Path v else P.Builtin v)
+          | None -> (spec, P.Builtin spec)
+        in
+        match Srv.handle server (P.Load { name; source }) with
+        | P.Err e -> or_die (Error (Printf.sprintf "--load %s: %s" spec e.P.message))
+        | _ -> ())
+      preload;
+    match port with
+    | Some port -> (
+        match Srv.start_tcp server ~host ~port () with
+        | tcp ->
+            Printf.eprintf "gps: serving on %s:%d\n%!" host (Srv.tcp_port tcp);
+            Srv.wait_tcp tcp
+        | exception Unix.Unix_error (e, _, _) ->
+            or_die
+              (Error
+                 (Printf.sprintf "cannot listen on %s:%d: %s" host port
+                    (Unix.error_message e))))
+    | None ->
+        ignore stdio;
+        Srv.serve_channels server stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the query/specification protocol (newline-delimited JSON) over stdio or TCP")
+    Term.(const run $ stdio $ port $ host $ preload $ cache)
+
+(* ---------------------------------------------------------------- *)
 
 let () =
   let doc = "interactive path query specification on graph databases" in
@@ -441,5 +510,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; stats_cmd; query_cmd; learn_cmd; session_cmd; dot_cmd; convert_cmd;
-            identify_cmd;
+            identify_cmd; serve_cmd;
           ]))

@@ -5,6 +5,7 @@ module Query = Gps_query
 module Learning = Gps_learning
 module Interactive = Gps_interactive
 module Viz = Gps_viz
+module Server = Gps_server
 
 let parse_query = Query.Rpq.of_string
 let parse_query_exn = Query.Rpq.of_string_exn

@@ -8,7 +8,10 @@
     - {!Query} — RPQ evaluation;
     - {!Learning} — the witness-search + state-merging learner;
     - {!Interactive} — the session engine, strategies, simulated users;
-    - {!Viz} — terminal/DOT renderings of the interaction views.
+    - {!Viz} — terminal/DOT renderings of the interaction views;
+    - {!Server} — the multi-session query/specification service (JSON
+      protocol, graph catalog, result cache, session manager, metrics,
+      stdio/TCP frontends).
 
     Typical use, mirroring the paper's running example:
     {[
@@ -25,6 +28,7 @@ module Query = Gps_query
 module Learning = Gps_learning
 module Interactive = Gps_interactive
 module Viz = Gps_viz
+module Server = Gps_server
 
 (** {1 Queries} *)
 

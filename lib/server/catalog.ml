@@ -1,0 +1,37 @@
+type entry = {
+  name : string;
+  graph : Gps_graph.Digraph.t;
+  csr : Gps_graph.Csr.t;
+  version : int;
+}
+
+type t = { tbl : (string, entry) Hashtbl.t; lock : Mutex.t }
+
+let create () = { tbl = Hashtbl.create 16; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let put t ~name graph =
+  (* freeze outside the lock: it is the expensive part and touches no
+     shared state *)
+  let csr = Gps_graph.Csr.freeze graph in
+  with_lock t (fun () ->
+      let version =
+        match Hashtbl.find_opt t.tbl name with
+        | Some prev -> prev.version + 1
+        | None -> 1
+      in
+      let entry = { name; graph; csr; version } in
+      Hashtbl.replace t.tbl name entry;
+      entry)
+
+let find t name = with_lock t (fun () -> Hashtbl.find_opt t.tbl name)
+
+let list t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+      |> List.sort (fun a b -> compare a.name b.name))
+
+let count t = with_lock t (fun () -> Hashtbl.length t.tbl)

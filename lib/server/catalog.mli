@@ -1,0 +1,34 @@
+(** The named-graph registry.
+
+    The service owns a set of graph databases addressed by name. Each
+    [put] installs an immutable snapshot — the {!Gps_graph.Digraph.t}
+    together with its {!Gps_graph.Csr} freeze for the evaluation hot path
+    — under a monotonically increasing per-name version. Reloading a name
+    bumps its version, which is what keys the query cache and lets
+    already-running sessions keep working against the snapshot they
+    started from.
+
+    All operations are thread-safe (one internal mutex; entries are
+    immutable once published). *)
+
+type entry = {
+  name : string;
+  graph : Gps_graph.Digraph.t;
+  csr : Gps_graph.Csr.t;   (** [Csr.freeze graph], shared by all queries *)
+  version : int;           (** 1 on first load, +1 per reload *)
+}
+
+type t
+
+val create : unit -> t
+
+val put : t -> name:string -> Gps_graph.Digraph.t -> entry
+(** Install (or replace) the graph under [name]. Freezes the CSR
+    snapshot eagerly. *)
+
+val find : t -> string -> entry option
+
+val list : t -> entry list
+(** Sorted by name. *)
+
+val count : t -> int

@@ -1,0 +1,13 @@
+(** The GPS service layer: a concurrent multi-session query/specification
+    server. {!Protocol} is the typed request/response language and its
+    JSON codec; {!Catalog} the named, versioned graph registry; {!Qcache}
+    the LRU result cache; {!Sessions} the interactive-session manager;
+    {!Metrics} per-endpoint counters and latency histograms; {!Server}
+    the dispatch core plus the stdio and TCP wire frontends. *)
+
+module Protocol = Protocol
+module Catalog = Catalog
+module Qcache = Qcache
+module Sessions = Sessions
+module Metrics = Metrics
+module Server = Server

@@ -1,0 +1,81 @@
+module Json = Gps_graph.Json
+
+let bucket_labels =
+  [ "le_10us"; "le_100us"; "le_1ms"; "le_10ms"; "le_100ms"; "le_1s"; "gt_1s" ]
+
+let n_buckets = List.length bucket_labels
+
+(* decade upper bounds, in seconds, aligned with [bucket_labels] *)
+let bounds = [| 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0 |]
+
+type endpoint = {
+  mutable requests : int;
+  mutable errors : int;
+  mutable lat_sum : float;  (* seconds *)
+  mutable lat_max : float;
+  buckets : int array;
+}
+
+type t = { tbl : (string, endpoint) Hashtbl.t; lock : Mutex.t }
+
+let create () = { tbl = Hashtbl.create 16; lock = Mutex.create () }
+
+let bucket_of seconds =
+  let rec go i = if i >= Array.length bounds || seconds <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let record t ~endpoint ~ok ~seconds =
+  Mutex.lock t.lock;
+  let e =
+    match Hashtbl.find_opt t.tbl endpoint with
+    | Some e -> e
+    | None ->
+        let e =
+          { requests = 0; errors = 0; lat_sum = 0.; lat_max = 0.; buckets = Array.make n_buckets 0 }
+        in
+        Hashtbl.replace t.tbl endpoint e;
+        e
+  in
+  e.requests <- e.requests + 1;
+  if not ok then e.errors <- e.errors + 1;
+  let seconds = Float.max 0. seconds in
+  e.lat_sum <- e.lat_sum +. seconds;
+  if seconds > e.lat_max then e.lat_max <- seconds;
+  let b = bucket_of seconds in
+  e.buckets.(b) <- e.buckets.(b) + 1;
+  Mutex.unlock t.lock
+
+let int n = Json.Number (float_of_int n)
+
+let micros s = Json.Number (Float.round (s *. 1e7) /. 10.)  (* 0.1 µs resolution *)
+
+let to_json ?(timings = true) t =
+  Mutex.lock t.lock;
+  let entries = Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.tbl [] in
+  let doc =
+    entries
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (name, e) ->
+           let base = [ ("requests", int e.requests); ("errors", int e.errors) ] in
+           let fields =
+             if not timings then base
+             else
+               let mean = if e.requests = 0 then 0. else e.lat_sum /. float_of_int e.requests in
+               base
+               @ [
+                   ( "latency",
+                     Json.Object
+                       [
+                         ("count", int e.requests);
+                         ("mean_us", micros mean);
+                         ("max_us", micros e.lat_max);
+                         ( "buckets",
+                           Json.Object
+                             (List.mapi (fun i l -> (l, int e.buckets.(i))) bucket_labels) );
+                       ] );
+                 ]
+           in
+           (name, Json.Object fields))
+  in
+  Mutex.unlock t.lock;
+  Json.Object doc

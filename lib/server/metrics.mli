@@ -1,0 +1,27 @@
+(** Per-endpoint service metrics.
+
+    Monotonic counters (requests, errors) and a decade latency histogram
+    per endpoint, all dumpable as JSON through the [metrics] endpoint so
+    load tests and later scaling PRs have a trajectory to compare
+    against. Recording is a handful of integer bumps under one mutex —
+    cheap enough to sit on every request.
+
+    [to_json ~timings:false] omits everything latency-derived, leaving a
+    fully deterministic document (the cram tests rely on this). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> endpoint:string -> ok:bool -> seconds:float -> unit
+
+val bucket_labels : string list
+(** The histogram decade upper bounds, in order:
+    ["le_10us"; "le_100us"; "le_1ms"; "le_10ms"; "le_100ms"; "le_1s";
+    "gt_1s"]. *)
+
+val to_json : ?timings:bool -> t -> Gps_graph.Json.value
+(** An object keyed by endpoint name (sorted), each value carrying
+    ["requests"], ["errors"] and — with [timings] (default true) —
+    ["latency"] with ["count"], ["mean_us"], ["max_us"] and the
+    ["buckets"] histogram. *)

@@ -1,0 +1,456 @@
+module Json = Gps_graph.Json
+
+type load_source = Builtin of string | Path of string | Text of string
+
+type request =
+  | Load of { name : string; source : load_source }
+  | List_graphs
+  | Stats of { graph : string }
+  | Query of { graph : string; query : string }
+  | Learn of { graph : string; pos : string list; neg : string list }
+  | Session_start of { graph : string; strategy : string; seed : int; budget : int option }
+  | Session_show of { session : int }
+  | Session_label of { session : int; positive : bool }
+  | Session_zoom of { session : int }
+  | Session_validate of { session : int; path : string list option }
+  | Session_propose of { session : int; accept : bool }
+  | Session_stop of { session : int }
+  | Metrics of { timings : bool }
+
+type error = { code : string; message : string }
+
+type session_view =
+  | Ask_label of { node : string; radius : int; size : int; frontier : string list }
+  | Ask_path of { node : string; words : string list list; suggested : string list }
+  | Proposal of { query : string; selects : string list }
+  | Finished of { query : string; reason : string; selects : string list }
+
+type response =
+  | Loaded of { name : string; nodes : int; edges : int; labels : int; version : int }
+  | Graphs of { graphs : (string * int) list }
+  | Stats_of of { name : string; nodes : int; edges : int; labels : string list; version : int }
+  | Answer of { query : string; nodes : string list; cache : [ `Hit | `Miss ] }
+  | Learned of { query : string; selects : string list }
+  | Session of { session : int; view : session_view }
+  | Stopped of { session : int; questions : int }
+  | Metrics_dump of Json.value
+  | Err of error
+
+let op_name = function
+  | Load _ -> "load"
+  | List_graphs -> "list-graphs"
+  | Stats _ -> "stats"
+  | Query _ -> "query"
+  | Learn _ -> "learn"
+  | Session_start _ -> "session-start"
+  | Session_show _ -> "session-show"
+  | Session_label _ -> "session-label"
+  | Session_zoom _ -> "session-zoom"
+  | Session_validate _ -> "session-validate"
+  | Session_propose _ -> "session-propose"
+  | Session_stop _ -> "session-stop"
+  | Metrics _ -> "metrics"
+
+(* ------------------------------------------------------------------ *)
+(* JSON building blocks *)
+
+let int n = Json.Number (float_of_int n)
+let str s = Json.String s
+let strings l = Json.Array (List.map str l)
+let word w = str (String.concat "." w)
+
+(* ------------------------------------------------------------------ *)
+(* encoding *)
+
+let encode_request r =
+  let op = str (op_name r) in
+  let fields =
+    match r with
+    | Load { name; source } ->
+        let src =
+          match source with
+          | Builtin b -> ("builtin", str b)
+          | Path p -> ("path", str p)
+          | Text t -> ("text", str t)
+        in
+        [ ("name", str name); src ]
+    | List_graphs -> []
+    | Stats { graph } -> [ ("graph", str graph) ]
+    | Query { graph; query } -> [ ("graph", str graph); ("query", str query) ]
+    | Learn { graph; pos; neg } ->
+        [ ("graph", str graph); ("pos", strings pos); ("neg", strings neg) ]
+    | Session_start { graph; strategy; seed; budget } ->
+        [ ("graph", str graph); ("strategy", str strategy); ("seed", int seed) ]
+        @ (match budget with None -> [] | Some b -> [ ("budget", int b) ])
+    | Session_show { session } -> [ ("session", int session) ]
+    | Session_label { session; positive } ->
+        [ ("session", int session); ("answer", str (if positive then "yes" else "no")) ]
+    | Session_zoom { session } -> [ ("session", int session) ]
+    | Session_validate { session; path } ->
+        [ ("session", int session) ]
+        @ (match path with None -> [] | Some p -> [ ("path", strings p) ])
+    | Session_propose { session; accept } ->
+        [ ("session", int session); ("accept", Json.Bool accept) ]
+    | Session_stop { session } -> [ ("session", int session) ]
+    | Metrics { timings } -> [ ("timings", Json.Bool timings) ]
+  in
+  Json.Object (("op", op) :: fields)
+
+let encode_view = function
+  | Ask_label { node; radius; size; frontier } ->
+      [
+        ("ask", str "label");
+        ("node", str node);
+        ("radius", int radius);
+        ("size", int size);
+        ("frontier", strings frontier);
+      ]
+  | Ask_path { node; words; suggested } ->
+      [
+        ("ask", str "path");
+        ("node", str node);
+        ("words", Json.Array (List.map word words));
+        ("suggested", word suggested);
+      ]
+  | Proposal { query; selects } ->
+      [ ("ask", str "propose"); ("query", str query); ("selects", strings selects) ]
+  | Finished { query; reason; selects } ->
+      [
+        ("ask", str "finished");
+        ("query", str query);
+        ("reason", str reason);
+        ("selects", strings selects);
+      ]
+
+let encode_response ?id r =
+  let ok_fields kind fields = (("ok", Json.Bool true) :: ("kind", str kind) :: fields) in
+  let fields =
+    match r with
+    | Loaded { name; nodes; edges; labels; version } ->
+        ok_fields "loaded"
+          [
+            ("name", str name);
+            ("nodes", int nodes);
+            ("edges", int edges);
+            ("labels", int labels);
+            ("version", int version);
+          ]
+    | Graphs { graphs } ->
+        ok_fields "graphs"
+          [
+            ( "graphs",
+              Json.Array
+                (List.map
+                   (fun (name, version) ->
+                     Json.Object [ ("name", str name); ("version", int version) ])
+                   graphs) );
+          ]
+    | Stats_of { name; nodes; edges; labels; version } ->
+        ok_fields "stats"
+          [
+            ("name", str name);
+            ("nodes", int nodes);
+            ("edges", int edges);
+            ("labels", strings labels);
+            ("version", int version);
+          ]
+    | Answer { query; nodes; cache } ->
+        ok_fields "answer"
+          [
+            ("query", str query);
+            ("nodes", strings nodes);
+            ("cache", str (match cache with `Hit -> "hit" | `Miss -> "miss"));
+          ]
+    | Learned { query; selects } ->
+        ok_fields "learned" [ ("query", str query); ("selects", strings selects) ]
+    | Session { session; view } ->
+        ok_fields "session" (("session", int session) :: encode_view view)
+    | Stopped { session; questions } ->
+        ok_fields "stopped" [ ("session", int session); ("questions", int questions) ]
+    | Metrics_dump v -> ok_fields "metrics" [ ("metrics", v) ]
+    | Err { code; message } ->
+        [
+          ("ok", Json.Bool false);
+          ("error", Json.Object [ ("code", str code); ("message", str message) ]);
+        ]
+  in
+  let fields = match id with None -> fields | Some id -> ("id", id) :: fields in
+  Json.Object fields
+
+(* ------------------------------------------------------------------ *)
+(* decoding *)
+
+let bad fmt = Printf.ksprintf (fun message -> Error { code = "bad-request"; message }) fmt
+
+let ( let* ) = Result.bind
+
+let field obj name =
+  match Json.member name obj with
+  | Some v -> Ok v
+  | None -> bad "missing field %S" name
+
+let opt_field obj name = Json.member name obj
+
+let as_string what = function
+  | Json.String s -> Ok s
+  | _ -> bad "field %S must be a string" what
+
+let as_bool what = function
+  | Json.Bool b -> Ok b
+  | _ -> bad "field %S must be a boolean" what
+
+let as_int what = function
+  | Json.Number f when Float.is_integer f && Float.abs f < 1e9 -> Ok (int_of_float f)
+  | _ -> bad "field %S must be an integer" what
+
+let as_string_list what = function
+  | Json.Array items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.String s :: rest -> go (s :: acc) rest
+        | _ -> bad "field %S must be an array of strings" what
+      in
+      go [] items
+  | _ -> bad "field %S must be an array of strings" what
+
+let str_field obj name =
+  let* v = field obj name in
+  as_string name v
+
+let int_field obj name =
+  let* v = field obj name in
+  as_int name v
+
+let list_field obj name =
+  let* v = field obj name in
+  as_string_list name v
+
+let opt_int_field obj name =
+  match opt_field obj name with
+  | None | Some Json.Null -> Ok None
+  | Some v ->
+      let* n = as_int name v in
+      Ok (Some n)
+
+let session_field obj = int_field obj "session"
+
+let decode_word = function
+  | Json.String "" -> Ok []
+  | Json.String s -> Ok (String.split_on_char '.' s)
+  | _ -> bad "words must be strings"
+
+let decode_request v =
+  match v with
+  | Json.Object _ -> (
+      let* op = str_field v "op" in
+      match op with
+      | "load" ->
+          let* name = str_field v "name" in
+          let* source =
+            match (opt_field v "builtin", opt_field v "path", opt_field v "text") with
+            | Some b, None, None ->
+                let* b = as_string "builtin" b in
+                Ok (Builtin b)
+            | None, Some p, None ->
+                let* p = as_string "path" p in
+                Ok (Path p)
+            | None, None, Some t ->
+                let* t = as_string "text" t in
+                Ok (Text t)
+            | None, None, None -> bad "load needs one of \"builtin\", \"path\" or \"text\""
+            | _ -> bad "load takes exactly one of \"builtin\", \"path\" or \"text\""
+          in
+          Ok (Load { name; source })
+      | "list-graphs" -> Ok List_graphs
+      | "stats" ->
+          let* graph = str_field v "graph" in
+          Ok (Stats { graph })
+      | "query" ->
+          let* graph = str_field v "graph" in
+          let* query = str_field v "query" in
+          Ok (Query { graph; query })
+      | "learn" ->
+          let* graph = str_field v "graph" in
+          let* pos = list_field v "pos" in
+          let* neg = list_field v "neg" in
+          Ok (Learn { graph; pos; neg })
+      | "session-start" ->
+          let* graph = str_field v "graph" in
+          let* strategy =
+            match opt_field v "strategy" with
+            | None -> Ok "smart"
+            | Some s -> as_string "strategy" s
+          in
+          let* seed =
+            match opt_field v "seed" with None -> Ok 1 | Some s -> as_int "seed" s
+          in
+          let* budget = opt_int_field v "budget" in
+          Ok (Session_start { graph; strategy; seed; budget })
+      | "session-show" ->
+          let* session = session_field v in
+          Ok (Session_show { session })
+      | "session-label" ->
+          let* session = session_field v in
+          let* answer = str_field v "answer" in
+          let* positive =
+            match String.lowercase_ascii answer with
+            | "yes" | "y" | "pos" -> Ok true
+            | "no" | "n" | "neg" -> Ok false
+            | other -> bad "unknown answer %S (yes or no)" other
+          in
+          Ok (Session_label { session; positive })
+      | "session-zoom" ->
+          let* session = session_field v in
+          Ok (Session_zoom { session })
+      | "session-validate" ->
+          let* session = session_field v in
+          let* path =
+            match opt_field v "path" with
+            | None | Some Json.Null -> Ok None
+            | Some p ->
+                let* p = as_string_list "path" p in
+                Ok (Some p)
+          in
+          Ok (Session_validate { session; path })
+      | "session-propose" ->
+          let* session = session_field v in
+          let* accept =
+            let* a = field v "accept" in
+            as_bool "accept" a
+          in
+          Ok (Session_propose { session; accept })
+      | "session-stop" ->
+          let* session = session_field v in
+          Ok (Session_stop { session })
+      | "metrics" ->
+          let* timings =
+            match opt_field v "timings" with
+            | None -> Ok true
+            | Some t -> as_bool "timings" t
+          in
+          Ok (Metrics { timings })
+      | other -> bad "unknown op %S" other)
+  | _ -> Error { code = "bad-request"; message = "request must be a JSON object" }
+
+let decode_view v =
+  let* ask = str_field v "ask" in
+  match ask with
+  | "label" ->
+      let* node = str_field v "node" in
+      let* radius = int_field v "radius" in
+      let* size = int_field v "size" in
+      let* frontier = list_field v "frontier" in
+      Ok (Ask_label { node; radius; size; frontier })
+  | "path" ->
+      let* node = str_field v "node" in
+      let* words =
+        let* ws = field v "words" in
+        match ws with
+        | Json.Array items ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | w :: rest ->
+                  let* w = decode_word w in
+                  go (w :: acc) rest
+            in
+            go [] items
+        | _ -> bad "field \"words\" must be an array"
+      in
+      let* suggested =
+        let* s = field v "suggested" in
+        decode_word s
+      in
+      Ok (Ask_path { node; words; suggested })
+  | "propose" ->
+      let* query = str_field v "query" in
+      let* selects = list_field v "selects" in
+      Ok (Proposal { query; selects })
+  | "finished" ->
+      let* query = str_field v "query" in
+      let* reason = str_field v "reason" in
+      let* selects = list_field v "selects" in
+      Ok (Finished { query; reason; selects })
+  | other -> bad "unknown view %S" other
+
+let decode_response v =
+  match v with
+  | Json.Object _ -> (
+      let* ok =
+        let* b = field v "ok" in
+        as_bool "ok" b
+      in
+      if not ok then
+        let* e = field v "error" in
+        let* code = str_field e "code" in
+        let* message = str_field e "message" in
+        Ok (Err { code; message })
+      else
+        let* kind = str_field v "kind" in
+        match kind with
+        | "loaded" ->
+            let* name = str_field v "name" in
+            let* nodes = int_field v "nodes" in
+            let* edges = int_field v "edges" in
+            let* labels = int_field v "labels" in
+            let* version = int_field v "version" in
+            Ok (Loaded { name; nodes; edges; labels; version })
+        | "graphs" ->
+            let* gs = field v "graphs" in
+            let* graphs =
+              match gs with
+              | Json.Array items ->
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | item :: rest ->
+                        let* name = str_field item "name" in
+                        let* version = int_field item "version" in
+                        go ((name, version) :: acc) rest
+                  in
+                  go [] items
+              | _ -> bad "field \"graphs\" must be an array"
+            in
+            Ok (Graphs { graphs })
+        | "stats" ->
+            let* name = str_field v "name" in
+            let* nodes = int_field v "nodes" in
+            let* edges = int_field v "edges" in
+            let* labels = list_field v "labels" in
+            let* version = int_field v "version" in
+            Ok (Stats_of { name; nodes; edges; labels; version })
+        | "answer" ->
+            let* query = str_field v "query" in
+            let* nodes = list_field v "nodes" in
+            let* cache =
+              let* c = str_field v "cache" in
+              match c with
+              | "hit" -> Ok `Hit
+              | "miss" -> Ok `Miss
+              | other -> bad "unknown cache state %S" other
+            in
+            Ok (Answer { query; nodes; cache })
+        | "learned" ->
+            let* query = str_field v "query" in
+            let* selects = list_field v "selects" in
+            Ok (Learned { query; selects })
+        | "session" ->
+            let* session = session_field v in
+            let* view = decode_view v in
+            Ok (Session { session; view })
+        | "stopped" ->
+            let* session = session_field v in
+            let* questions = int_field v "questions" in
+            Ok (Stopped { session; questions })
+        | "metrics" ->
+            let* m = field v "metrics" in
+            Ok (Metrics_dump m)
+        | other -> bad "unknown response kind %S" other)
+  | _ -> Error { code = "bad-request"; message = "response must be a JSON object" }
+
+let request_to_string r = Json.value_to_string (encode_request r)
+let response_to_string ?id r = Json.value_to_string (encode_response ?id r)
+
+let halt_reason_to_string = function
+  | Gps_interactive.Session.Satisfied -> "satisfied"
+  | Gps_interactive.Session.No_informative_nodes -> "no-informative-nodes"
+  | Gps_interactive.Session.Budget_exhausted -> "budget-exhausted"
+  | Gps_interactive.Session.Inconsistent _ -> "inconsistent"

@@ -1,0 +1,99 @@
+(** The GPS service wire protocol.
+
+    Requests and responses are single JSON objects; on the wire each is
+    one line (newline-delimited JSON). The codec is total in both
+    directions: {!decode_request} turns any {!Gps_graph.Json.value} into
+    either a typed request or a structured {!error} — it never raises —
+    and [decode_request (encode_request r) = Ok r] for every request (the
+    QCheck property suite pins this down, and the same round-trip holds
+    for responses).
+
+    A request object carries an ["op"] discriminator plus operands, e.g.
+    {v
+    {"op":"query","graph":"fig","query":"(tram+bus)*.cinema"}
+    v}
+    A response object carries ["ok"] plus either a ["kind"]-tagged payload
+    or an ["error"] object with ["code"] and ["message"]. An optional
+    ["id"] request field is echoed verbatim by the server (see
+    {!Server.handle_value}); it is transport envelope, not part of the
+    typed protocol. *)
+
+type load_source =
+  | Builtin of string  (** a built-in dataset: ["figure1"] or ["transpole"] *)
+  | Path of string     (** edge-list or JSON file on the server's disk *)
+  | Text of string     (** inline edge-list text *)
+
+type request =
+  | Load of { name : string; source : load_source }
+  | List_graphs
+  | Stats of { graph : string }
+  | Query of { graph : string; query : string }
+  | Learn of { graph : string; pos : string list; neg : string list }
+  | Session_start of {
+      graph : string;
+      strategy : string;
+      seed : int;
+      budget : int option;  (** per-session cap on user answers *)
+    }
+  | Session_show of { session : int }
+  | Session_label of { session : int; positive : bool }
+  | Session_zoom of { session : int }
+  | Session_validate of { session : int; path : string list option }
+      (** [None] validates the system-suggested path *)
+  | Session_propose of { session : int; accept : bool }
+  | Session_stop of { session : int }
+  | Metrics of { timings : bool }
+      (** [timings = false] omits latency data (deterministic output, for
+          tests) *)
+
+type error = { code : string; message : string }
+(** Stable machine-readable [code] (["parse"], ["bad-request"],
+    ["unknown-graph"], ["unknown-session"], ["bad-query"], ["bad-state"],
+    ["bad-path"], ["inconsistent"], ["io"], ["internal"]) plus a human
+    message. *)
+
+(** What an interactive session asks next — the server-side image of
+    {!Gps_interactive.Session.request}. *)
+type session_view =
+  | Ask_label of {
+      node : string;
+      radius : int;
+      size : int;          (** fragment node count *)
+      frontier : string list;  (** the "…" nodes, sorted *)
+    }
+  | Ask_path of { node : string; words : string list list; suggested : string list }
+  | Proposal of { query : string; selects : string list }
+  | Finished of { query : string; reason : string; selects : string list }
+
+type response =
+  | Loaded of { name : string; nodes : int; edges : int; labels : int; version : int }
+  | Graphs of { graphs : (string * int) list }  (** (name, version), sorted by name *)
+  | Stats_of of { name : string; nodes : int; edges : int; labels : string list; version : int }
+  | Answer of { query : string; nodes : string list; cache : [ `Hit | `Miss ] }
+      (** [query] is the normalized (graph-specialized) form used as the
+          cache key *)
+  | Learned of { query : string; selects : string list }
+  | Session of { session : int; view : session_view }
+  | Stopped of { session : int; questions : int }
+  | Metrics_dump of Gps_graph.Json.value
+  | Err of error
+
+val op_name : request -> string
+(** The ["op"] string, used as the metrics endpoint key. *)
+
+val encode_request : request -> Gps_graph.Json.value
+val decode_request : Gps_graph.Json.value -> (request, error) result
+
+val encode_response : ?id:Gps_graph.Json.value -> response -> Gps_graph.Json.value
+(** [id], when given, is echoed as an ["id"] field. *)
+
+val decode_response : Gps_graph.Json.value -> (response, error) result
+
+val request_to_string : request -> string
+(** One-line JSON. *)
+
+val response_to_string : ?id:Gps_graph.Json.value -> response -> string
+
+val halt_reason_to_string : Gps_interactive.Session.halt_reason -> string
+(** ["satisfied"], ["no-informative-nodes"], ["budget-exhausted"],
+    ["inconsistent"]. *)

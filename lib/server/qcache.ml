@@ -1,0 +1,95 @@
+type key = { graph : string; version : int; query : string }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  size : int;
+  capacity : int;
+}
+
+type slot = { value : string list; mutable stamp : int }
+
+type t = {
+  tbl : (key, slot) Hashtbl.t;
+  capacity : int;
+  lock : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(capacity = 256) () =
+  {
+    tbl = Hashtbl.create (max 16 capacity);
+    capacity = max 0 capacity;
+    lock = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some slot ->
+          t.tick <- t.tick + 1;
+          slot.stamp <- t.tick;
+          t.hits <- t.hits + 1;
+          Some slot.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key slot acc ->
+        match acc with
+        | Some (_, best) when best <= slot.stamp -> acc
+        | _ -> Some (key, slot.stamp))
+      t.tbl None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.tbl key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key value =
+  if t.capacity > 0 then
+    with_lock t (fun () ->
+        if Hashtbl.mem t.tbl key then Hashtbl.remove t.tbl key
+        else if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.tbl key { value; stamp = t.tick })
+
+let invalidate t ~graph =
+  with_lock t (fun () ->
+      let doomed =
+        Hashtbl.fold (fun key _ acc -> if key.graph = graph then key :: acc else acc) t.tbl []
+      in
+      List.iter (Hashtbl.remove t.tbl) doomed;
+      let n = List.length doomed in
+      t.invalidations <- t.invalidations + n;
+      n)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        invalidations = t.invalidations;
+        size = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+      })

@@ -1,0 +1,48 @@
+(** The query-result cache.
+
+    RPQ evaluation is the service's unit of work, and non-expert users
+    overwhelmingly re-run the same handful of queries on the same shared
+    graphs — exactly the shape an LRU cache amortizes. Entries are keyed
+    by the {e normalized} query string (parse → graph-specialize →
+    re-print, so [(tram+bus)*.cinema] and [(bus+tram)*.cinema] share one
+    entry; see {!Gps_query.Rewrite.specialize}) crossed with the graph
+    name {e and version}: a reload bumps the catalog version, so stale
+    results can never be served even before {!invalidate} reclaims them.
+
+    Thread-safe (one internal mutex). Lookups and insertions are O(1)
+    amortized except eviction, which scans for the least recently used
+    entry — capacities are small (hundreds), and the scan keeps the
+    structure simple enough to hold no lock during evaluation. A
+    [capacity] of 0 disables caching (every lookup misses, nothing is
+    stored), which the benchmark harness uses as its cold-cache
+    baseline. *)
+
+type key = { graph : string; version : int; query : string }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;  (** entries dropped by {!invalidate} *)
+  size : int;
+  capacity : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256. *)
+
+val find : t -> key -> string list option
+(** Counts a hit or a miss, and refreshes the entry's recency. *)
+
+val add : t -> key -> string list -> unit
+(** Insert, evicting the least recently used entry when full. Replaces
+    any existing value under the same key. *)
+
+val invalidate : t -> graph:string -> int
+(** Drop every entry of the named graph (any version); returns how many
+    were dropped. Called on reload so superseded snapshots release their
+    memory promptly. *)
+
+val stats : t -> stats

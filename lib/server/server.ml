@@ -1,0 +1,410 @@
+module Json = Gps_graph.Json
+module Digraph = Gps_graph.Digraph
+module P = Protocol
+module S = Gps_interactive.Session
+
+type config = {
+  cache_capacity : int;
+  sessions : Sessions.config;
+  clock : unit -> float;
+}
+
+let default_config =
+  { cache_capacity = 256; sessions = Sessions.default_config; clock = Unix.gettimeofday }
+
+type t = {
+  config : config;
+  catalog : Catalog.t;
+  cache : Qcache.t;
+  sessions : Sessions.t;
+  metrics : Metrics.t;
+  started_at : float;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    catalog = Catalog.create ();
+    cache = Qcache.create ~capacity:config.cache_capacity ();
+    sessions = Sessions.create ~config:config.sessions ~clock:config.clock ();
+    metrics = Metrics.create ();
+    started_at = config.clock ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* dispatch plumbing: every failure is a structured error *)
+
+exception Fail of P.error
+
+let fail code fmt = Printf.ksprintf (fun message -> raise (Fail { P.code; message })) fmt
+
+let graph_entry t name =
+  match Catalog.find t.catalog name with
+  | Some e -> e
+  | None -> fail "unknown-graph" "no graph named %S (use \"load\" first)" name
+
+let parse_rpq s =
+  match Gps_query.Rpq.of_string s with
+  | Ok q -> q
+  | Error msg -> fail "bad-query" "%s" msg
+
+(* ------------------------------------------------------------------ *)
+(* cached evaluation *)
+
+let node_names g vs = List.sort compare (List.map (Digraph.node_name g) vs)
+
+(* Normalize to the graph-specialized printed form: syntactic variants
+   and out-of-alphabet symbols collapse onto one cache key with an
+   unchanged answer on this graph. *)
+let normalize (entry : Catalog.entry) q =
+  Gps_query.Rpq.to_string (Gps_query.Rewrite.specialize entry.graph q)
+
+let evaluate_cached t (entry : Catalog.entry) q =
+  let normalized = normalize entry q in
+  let key = { Qcache.graph = entry.name; version = entry.version; query = normalized } in
+  match Qcache.find t.cache key with
+  | Some nodes -> (normalized, nodes, `Hit)
+  | None ->
+      let sel = Gps_query.Eval.select_frozen entry.graph entry.csr q in
+      let selected =
+        Digraph.fold_nodes (fun acc v -> if sel.(v) then v :: acc else acc) [] entry.graph
+      in
+      let nodes = node_names entry.graph selected in
+      Qcache.add t.cache key nodes;
+      (normalized, nodes, `Miss)
+
+(* ------------------------------------------------------------------ *)
+(* graph loading *)
+
+let builtin_graph = function
+  | "figure1" -> Gps_graph.Datasets.figure1 ()
+  | "transpole" -> Gps_graph.Datasets.transpole ()
+  | other -> fail "bad-request" "unknown builtin %S (figure1 or transpole)" other
+
+let graph_of_text text =
+  match Gps_graph.Codec.of_string text with
+  | g -> g
+  | exception Gps_graph.Codec.Parse_error (line, msg) -> fail "parse" "line %d: %s" line msg
+
+let graph_of_path path =
+  let text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> fail "io" "%s" msg
+  in
+  let is_json =
+    let rec first i =
+      if i >= String.length text then '\000'
+      else match text.[i] with ' ' | '\t' | '\n' | '\r' -> first (i + 1) | c -> c
+    in
+    first 0 = '{'
+  in
+  if is_json then
+    match Gps_graph.Json.of_string text with
+    | g -> g
+    | exception Gps_graph.Json.Parse_error (pos, msg) ->
+        fail "parse" "%s: json error at %d: %s" path pos msg
+  else
+    match Gps_graph.Codec.of_string text with
+    | g -> g
+    | exception Gps_graph.Codec.Parse_error (line, msg) -> fail "parse" "%s:%d: %s" path line msg
+
+(* ------------------------------------------------------------------ *)
+(* session views *)
+
+let view_of_state t (entry : Sessions.entry) =
+  let g = entry.catalog.Catalog.graph in
+  match S.request entry.state with
+  | S.Ask_label view ->
+      let fragment = view.Gps_interactive.View.fragment in
+      P.Ask_label
+        {
+          node = Digraph.node_name g view.Gps_interactive.View.node;
+          radius = fragment.Gps_graph.Neighborhood.radius;
+          size = Gps_graph.Neighborhood.size fragment;
+          frontier = node_names g fragment.Gps_graph.Neighborhood.frontier;
+        }
+  | S.Ask_path tree ->
+      P.Ask_path
+        {
+          node = Digraph.node_name g tree.Gps_interactive.View.node;
+          words = tree.Gps_interactive.View.words;
+          suggested = tree.Gps_interactive.View.suggested;
+        }
+  | S.Propose q ->
+      let query, selects, _cache = evaluate_cached t entry.catalog q in
+      P.Proposal { query; selects }
+  | S.Finished outcome ->
+      let query, selects, _cache = evaluate_cached t entry.catalog outcome.S.query in
+      P.Finished { query; reason = P.halt_reason_to_string outcome.S.reason; selects }
+
+let session_response t entry = P.Session { session = entry.Sessions.id; view = view_of_state t entry }
+
+(* Run [step] on the session under its per-session lock. *)
+let on_session t id step =
+  match Sessions.with_entry t.sessions id (fun e -> step e) with
+  | Some r -> r
+  | None -> fail "unknown-session" "no session %d (expired, stopped or never started)" id
+
+(* ------------------------------------------------------------------ *)
+(* endpoint implementations *)
+
+let do_load t name source =
+  let g =
+    match source with
+    | P.Builtin b -> builtin_graph b
+    | P.Path p -> graph_of_path p
+    | P.Text txt -> graph_of_text txt
+  in
+  let entry = Catalog.put t.catalog ~name g in
+  ignore (Qcache.invalidate t.cache ~graph:name);
+  P.Loaded
+    {
+      name;
+      nodes = Digraph.n_nodes g;
+      edges = Digraph.n_edges g;
+      labels = Digraph.n_labels g;
+      version = entry.Catalog.version;
+    }
+
+let do_learn t graph pos neg =
+  let entry = graph_entry t graph in
+  let g = entry.Catalog.graph in
+  let sample =
+    match Gps_learning.Sample.of_names g ~pos ~neg with
+    | s -> s
+    | exception Invalid_argument msg -> fail "bad-request" "%s" msg
+  in
+  match Gps_learning.Learner.learn g sample with
+  | Gps_learning.Learner.Learned q ->
+      let query, selects, _ = evaluate_cached t entry q in
+      P.Learned { query; selects }
+  | Gps_learning.Learner.Failed f ->
+      fail "inconsistent" "%s" (Format.asprintf "%a" (Gps_learning.Learner.pp_failure g) f)
+
+let do_session_start t graph strategy seed budget =
+  let entry = graph_entry t graph in
+  let strategy =
+    match Gps_interactive.Strategy.by_name ~seed strategy with
+    | Ok s -> s
+    | Error msg -> fail "bad-request" "%s" msg
+  in
+  let config = { S.default_config with S.max_questions = budget } in
+  let state = S.start ~config ~strategy entry.Catalog.graph in
+  let e = Sessions.start t.sessions entry state in
+  session_response t e
+
+let do_session_label t id positive =
+  on_session t id (fun e ->
+      match S.request e.Sessions.state with
+      | S.Ask_label _ ->
+          e.Sessions.state <- S.answer_label e.Sessions.state (if positive then `Pos else `Neg);
+          session_response t e
+      | _ -> fail "bad-state" "session %d is not awaiting a label" id)
+
+let do_session_zoom t id =
+  on_session t id (fun e ->
+      match S.request e.Sessions.state with
+      | S.Ask_label _ ->
+          e.Sessions.state <- S.answer_label e.Sessions.state `Zoom;
+          session_response t e
+      | _ -> fail "bad-state" "session %d is not awaiting a label (nothing to zoom)" id)
+
+let do_session_validate t id path =
+  on_session t id (fun e ->
+      match S.request e.Sessions.state with
+      | S.Ask_path tree ->
+          let word =
+            match path with
+            | None -> tree.Gps_interactive.View.suggested
+            | Some w ->
+                if List.mem w tree.Gps_interactive.View.words then w
+                else fail "bad-path" "%S is not a candidate path" (String.concat "." w)
+          in
+          e.Sessions.state <- S.answer_path e.Sessions.state word;
+          session_response t e
+      | _ -> fail "bad-state" "session %d is not awaiting path validation" id)
+
+let do_session_propose t id accept =
+  on_session t id (fun e ->
+      match S.request e.Sessions.state with
+      | S.Propose _ ->
+          e.Sessions.state <-
+            (if accept then S.accept e.Sessions.state else S.refine e.Sessions.state);
+          session_response t e
+      | _ -> fail "bad-state" "session %d has no pending proposal" id)
+
+let do_session_stop t id =
+  match Sessions.stop t.sessions id with
+  | Some e -> P.Stopped { session = id; questions = S.questions e.Sessions.state }
+  | None -> fail "unknown-session" "no session %d (expired, stopped or never started)" id
+
+let metrics_json t ~timings =
+  let c = Qcache.stats t.cache in
+  let s = Sessions.counters t.sessions in
+  let int n = Json.Number (float_of_int n) in
+  Json.Object
+    ([
+       ("endpoints", Metrics.to_json ~timings t.metrics);
+       ( "cache",
+         Json.Object
+           [
+             ("hits", int c.Qcache.hits);
+             ("misses", int c.Qcache.misses);
+             ("evictions", int c.Qcache.evictions);
+             ("invalidations", int c.Qcache.invalidations);
+             ("size", int c.Qcache.size);
+             ("capacity", int c.Qcache.capacity);
+           ] );
+       ( "sessions",
+         Json.Object
+           [
+             ("active", int s.Sessions.active);
+             ("started", int s.Sessions.started);
+             ("stopped", int s.Sessions.stopped);
+             ("expired", int s.Sessions.expired);
+             ("evicted", int s.Sessions.evicted);
+           ] );
+       ("graphs", int (Catalog.count t.catalog));
+     ]
+    @
+    if timings then [ ("uptime_s", Json.Number (t.config.clock () -. t.started_at)) ] else [])
+
+(* ------------------------------------------------------------------ *)
+(* dispatch *)
+
+let handle t req =
+  try
+    match req with
+    | P.Load { name; source } -> do_load t name source
+    | P.List_graphs ->
+        P.Graphs
+          {
+            graphs =
+              List.map (fun e -> (e.Catalog.name, e.Catalog.version)) (Catalog.list t.catalog);
+          }
+    | P.Stats { graph } ->
+        let e = graph_entry t graph in
+        let g = e.Catalog.graph in
+        P.Stats_of
+          {
+            name = graph;
+            nodes = Digraph.n_nodes g;
+            edges = Digraph.n_edges g;
+            labels = List.sort compare (Digraph.labels g);
+            version = e.Catalog.version;
+          }
+    | P.Query { graph; query } ->
+        let e = graph_entry t graph in
+        let q = parse_rpq query in
+        let query, nodes, cache = evaluate_cached t e q in
+        P.Answer { query; nodes; cache }
+    | P.Learn { graph; pos; neg } -> do_learn t graph pos neg
+    | P.Session_start { graph; strategy; seed; budget } ->
+        do_session_start t graph strategy seed budget
+    | P.Session_show { session } -> on_session t session (fun e -> session_response t e)
+    | P.Session_label { session; positive } -> do_session_label t session positive
+    | P.Session_zoom { session } -> do_session_zoom t session
+    | P.Session_validate { session; path } -> do_session_validate t session path
+    | P.Session_propose { session; accept } -> do_session_propose t session accept
+    | P.Session_stop { session } -> do_session_stop t session
+    | P.Metrics { timings } -> P.Metrics_dump (metrics_json t ~timings)
+  with
+  | Fail e -> P.Err e
+  | Stack_overflow -> P.Err { code = "internal"; message = "stack overflow" }
+  | exn -> P.Err { code = "internal"; message = Printexc.to_string exn }
+
+let is_error = function P.Err _ -> true | _ -> false
+
+let record t ~endpoint ~ok ~started =
+  Metrics.record t.metrics ~endpoint ~ok ~seconds:(t.config.clock () -. started)
+
+let handle_value t v =
+  let started = t.config.clock () in
+  let id = match v with Json.Object fields -> List.assoc_opt "id" fields | _ -> None in
+  let endpoint, resp =
+    match P.decode_request v with
+    | Error e -> ("invalid", P.Err e)
+    | Ok req -> (P.op_name req, handle t req)
+  in
+  record t ~endpoint ~ok:(not (is_error resp)) ~started;
+  P.encode_response ?id resp
+
+let handle_line t line =
+  match Json.value_of_string line with
+  | v -> Json.value_to_string (handle_value t v)
+  | exception Json.Parse_error (pos, msg) ->
+      let started = t.config.clock () in
+      record t ~endpoint:"invalid" ~ok:false ~started;
+      P.response_to_string (P.Err { code = "parse"; message = Printf.sprintf "at %d: %s" pos msg })
+  | exception exn ->
+      let started = t.config.clock () in
+      record t ~endpoint:"invalid" ~ok:false ~started;
+      P.response_to_string (P.Err { code = "parse"; message = Printexc.to_string exn })
+
+let blank line = String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) line
+
+let serve_channels t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        if not (blank line) then begin
+          output_string oc (handle_line t line);
+          output_char oc '\n';
+          flush oc
+        end;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* TCP: one thread per connection *)
+
+type tcp_server = {
+  sock : Unix.file_descr;
+  port : int;
+  mutable running : bool;
+  mutable acceptor : Thread.t option;
+}
+
+let start_tcp t ?(host = "127.0.0.1") ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock 64;
+  let port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let server = { sock; port; running = true; acceptor = None } in
+  let connection fd () =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try serve_channels t ic oc with _ -> ());
+    try close_out oc (* flushes and closes fd *) with _ -> ()
+  in
+  let rec accept_loop () =
+    if server.running then
+      match Unix.accept sock with
+      | fd, _ ->
+          ignore (Thread.create (connection fd) ());
+          accept_loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception _ -> if server.running then accept_loop ()
+  in
+  server.acceptor <- Some (Thread.create accept_loop ());
+  server
+
+let tcp_port s = s.port
+
+let wait_tcp s = match s.acceptor with Some th -> Thread.join th | None -> ()
+
+let stop_tcp s =
+  s.running <- false;
+  (try Unix.shutdown s.sock Unix.SHUTDOWN_ALL with _ -> ());
+  (try Unix.close s.sock with _ -> ());
+  wait_tcp s

@@ -1,0 +1,65 @@
+(** The GPS service: dispatch core and wire frontends.
+
+    The core is pure request/response: {!handle} maps a typed
+    {!Protocol.request} to a typed {!Protocol.response} against the
+    server's state (catalog, query cache, session manager, metrics) and
+    never raises — malformed or ill-timed input becomes a structured
+    [Err], internal bugs are caught and reported as [code = "internal"].
+    The whole protocol is therefore unit-testable as plain OCaml.
+
+    Two thin transports wrap the core in newline-delimited JSON:
+    {!serve_channels} (stdio — cram tests, subprocess embedding) and a
+    TCP listener with one thread per connection ({!start_tcp}). The
+    concurrency model: catalog/cache/session-manager each guard their
+    maps with a mutex; graph snapshots are immutable (CSR-frozen), so
+    query evaluation runs without any lock; each session has its own
+    lock so answers on one session serialize while different sessions
+    progress in parallel. *)
+
+type config = {
+  cache_capacity : int;            (** {!Qcache} capacity; 0 disables *)
+  sessions : Sessions.config;
+  clock : unit -> float;           (** injected for deterministic tests *)
+}
+
+val default_config : config
+(** Cache capacity 256, {!Sessions.default_config}, [Unix.gettimeofday]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Never raises. *)
+
+val handle_value : t -> Gps_graph.Json.value -> Gps_graph.Json.value
+(** Decode, dispatch, encode; echoes any ["id"] field of the request and
+    records metrics (endpoint ["invalid"] for undecodable requests). *)
+
+val handle_line : t -> string -> string
+(** One request line in, one response line out (no trailing newline).
+    JSON parse failures yield the [code = "parse"] error envelope. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Serve newline-delimited JSON until EOF. Whitespace-only lines are
+    skipped; every response is flushed. *)
+
+(** {1 TCP} *)
+
+type tcp_server
+
+val start_tcp : t -> ?host:string -> port:int -> unit -> tcp_server
+(** Listen on [host] (default ["127.0.0.1"]) : [port] (0 picks an
+    ephemeral port) and serve each accepted connection on its own
+    thread. Returns immediately. *)
+
+val tcp_port : tcp_server -> int
+(** The bound port (useful with [port:0]). *)
+
+val stop_tcp : tcp_server -> unit
+(** Stop accepting and join the accept loop. Established connections
+    finish on their own threads. *)
+
+val wait_tcp : tcp_server -> unit
+(** Block until the accept loop exits — the [gps serve --port] main
+    loop. *)

@@ -1,0 +1,123 @@
+type entry = {
+  id : int;
+  catalog : Catalog.entry;
+  lock : Mutex.t;
+  mutable state : Gps_interactive.Session.t;
+  mutable touched : float;
+}
+
+type config = { max_sessions : int; idle_ttl : float }
+
+let default_config = { max_sessions = 64; idle_ttl = 3600. }
+
+type counters = {
+  started : int;
+  stopped : int;
+  expired : int;
+  evicted : int;
+  active : int;
+}
+
+type t = {
+  tbl : (int, entry) Hashtbl.t;
+  lock : Mutex.t;
+  config : config;
+  clock : unit -> float;
+  mutable next_id : int;
+  mutable started : int;
+  mutable stopped : int;
+  mutable expired : int;
+  mutable evicted : int;
+}
+
+let create ?(config = default_config) ?(clock = Unix.gettimeofday) () =
+  {
+    tbl = Hashtbl.create 16;
+    lock = Mutex.create ();
+    config;
+    clock;
+    next_id = 1;
+    started = 0;
+    stopped = 0;
+    expired = 0;
+    evicted = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* call with t.lock held *)
+let sweep_locked t =
+  let now = t.clock () in
+  let doomed =
+    Hashtbl.fold
+      (fun id e acc -> if now -. e.touched > t.config.idle_ttl then id :: acc else acc)
+      t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) doomed;
+  t.expired <- t.expired + List.length doomed
+
+(* call with t.lock held *)
+let evict_idlest_locked t =
+  let victim =
+    Hashtbl.fold
+      (fun id e acc ->
+        match acc with
+        | Some (_, best) when best <= e.touched -> acc
+        | _ -> Some (id, e.touched))
+      t.tbl None
+  in
+  match victim with
+  | Some (id, _) ->
+      Hashtbl.remove t.tbl id;
+      t.evicted <- t.evicted + 1
+  | None -> ()
+
+let start t catalog state =
+  with_lock t (fun () ->
+      sweep_locked t;
+      while Hashtbl.length t.tbl >= t.config.max_sessions do
+        evict_idlest_locked t
+      done;
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      t.started <- t.started + 1;
+      let entry = { id; catalog; lock = Mutex.create (); state; touched = t.clock () } in
+      Hashtbl.replace t.tbl id entry;
+      entry)
+
+let find t id =
+  with_lock t (fun () ->
+      sweep_locked t;
+      match Hashtbl.find_opt t.tbl id with
+      | Some e ->
+          e.touched <- t.clock ();
+          Some e
+      | None -> None)
+
+let with_entry t id f =
+  match find t id with
+  | None -> None
+  | Some e ->
+      Mutex.lock e.lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock e.lock) (fun () -> Some (f e))
+
+let stop t id =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl id with
+      | Some e ->
+          Hashtbl.remove t.tbl id;
+          t.stopped <- t.stopped + 1;
+          Some e
+      | None -> None)
+
+let counters t =
+  with_lock t (fun () ->
+      {
+        started = t.started;
+        stopped = t.stopped;
+        expired = t.expired;
+        evicted = t.evicted;
+        active = Hashtbl.length t.tbl;
+      })

@@ -1,0 +1,61 @@
+(** The multi-session manager.
+
+    Wraps the pure {!Gps_interactive.Session} state machine with what a
+    shared service needs: id allocation, a per-session lock so two
+    requests on the same id cannot interleave answers, idle-TTL expiry,
+    and a max-sessions bound enforced by evicting the least recently
+    touched session.
+
+    Each session pins the {!Catalog.entry} it was started on: reloading
+    the graph under the same catalog name does not disturb a running
+    session — it keeps interacting with its snapshot (its proposals are
+    cached under the old version, which the reload invalidated, so they
+    simply stop being cached).
+
+    Expiry is piggybacked: every {!start} and {!find} first sweeps
+    sessions idle longer than the TTL. The clock is injected at
+    {!create} so tests drive time deterministically. *)
+
+type entry = {
+  id : int;
+  catalog : Catalog.entry;  (** the snapshot the session runs on *)
+  lock : Mutex.t;
+  mutable state : Gps_interactive.Session.t;
+  mutable touched : float;  (** last access, for TTL/eviction *)
+}
+
+type config = {
+  max_sessions : int;  (** beyond this, starting evicts the idlest *)
+  idle_ttl : float;    (** seconds of inactivity before expiry *)
+}
+
+val default_config : config
+(** 64 sessions, 3600 s TTL. *)
+
+type counters = {
+  started : int;
+  stopped : int;   (** explicit {!stop}s *)
+  expired : int;   (** TTL sweeps *)
+  evicted : int;   (** max-sessions evictions *)
+  active : int;
+}
+
+type t
+
+val create : ?config:config -> ?clock:(unit -> float) -> unit -> t
+(** [clock] defaults to [Unix.gettimeofday]. *)
+
+val start : t -> Catalog.entry -> Gps_interactive.Session.t -> entry
+(** Allocate an id for a fresh session. *)
+
+val find : t -> int -> entry option
+(** Touches the entry (refreshes its TTL). *)
+
+val with_entry : t -> int -> (entry -> 'a) -> 'a option
+(** [find] then run [f] under the entry's own lock — the way dispatch
+    answers a session so concurrent requests on one id serialize. *)
+
+val stop : t -> int -> entry option
+(** Remove and return the session. *)
+
+val counters : t -> counters

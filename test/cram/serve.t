@@ -1,0 +1,90 @@
+The gps service over stdio: newline-delimited JSON requests in, one
+response line each. One process serves the whole script: a graph load,
+cached queries, static learning, two concurrently open interactive
+sessions on the same graph (session 1 driven to a learned proposal by a
+user with (tram+bus)*.cinema in mind, session 2 zooming in parallel), a
+deliberately malformed request, a non-JSON line, and a final
+deterministic metrics dump (timings off) showing nonzero cache hits and
+per-endpoint request counts.
+
+The second query is a syntactic variant of the first — the cache keys on
+the normalized form, so it must report "cache":"hit".
+
+  $ gps serve --stdio <<'EOF'
+  > {"op":"load","name":"figure1","builtin":"figure1"}
+  > {"op":"list-graphs"}
+  > {"op":"stats","graph":"figure1"}
+  > {"op":"query","graph":"figure1","query":"(tram+bus)*.cinema"}
+  > {"op":"query","graph":"figure1","query":"(bus+tram)*.cinema"}
+  > {"op":"learn","graph":"figure1","pos":["N2","N6"],"neg":["N5"]}
+  > {"op":"session-start","graph":"figure1","strategy":"smart","seed":1,"budget":30}
+  > {"op":"session-start","graph":"figure1","strategy":"smart","seed":1,"budget":30}
+  > {"op":"session-show","session":2}
+  > {"op":"session-label","session":1,"answer":"yes"}
+  > {"op":"session-zoom","session":2}
+  > {"op":"session-validate","session":1}
+  > {"op":"session-propose","session":1,"accept":false}
+  > {"op":"session-label","session":1,"answer":"yes"}
+  > {"op":"session-validate","session":1,"path":["bus","cinema"]}
+  > {"op":"session-propose","session":1,"accept":false}
+  > {"op":"session-label","session":1,"answer":"yes"}
+  > {"op":"session-validate","session":1,"path":["cinema"]}
+  > {"op":"session-propose","session":1,"accept":false}
+  > {"op":"session-label","session":1,"answer":"no"}
+  > {"op":"session-propose","session":1,"accept":true}
+  > {"op":"session-show","session":1}
+  > {"op":"session-stop","session":1}
+  > {"op":"session-show","session":2}
+  > {"op":"session-stop","session":2}
+  > {"op":"query","graph":"figure1","query":"bus","id":"q-7"}
+  > {"op":"query","graph":"figure1"}
+  > this line is not JSON
+  > {"op":"metrics","timings":false}
+  > EOF
+  {"ok":true,"kind":"loaded","name":"figure1","nodes":10,"edges":10,"labels":4,"version":1}
+  {"ok":true,"kind":"graphs","graphs":[{"name":"figure1","version":1}]}
+  {"ok":true,"kind":"stats","name":"figure1","nodes":10,"edges":10,"labels":["bus","cinema","restaurant","tram"],"version":1}
+  {"ok":true,"kind":"answer","query":"(bus+tram)*.cinema","nodes":["N1","N2","N4","N6"],"cache":"miss"}
+  {"ok":true,"kind":"answer","query":"(bus+tram)*.cinema","nodes":["N1","N2","N4","N6"],"cache":"hit"}
+  {"ok":true,"kind":"learned","query":"bus","selects":["N1","N2","N6"]}
+  {"ok":true,"kind":"session","session":1,"ask":"label","node":"N2","radius":2,"size":5,"frontier":["N4"]}
+  {"ok":true,"kind":"session","session":2,"ask":"label","node":"N2","radius":2,"size":5,"frontier":["N4"]}
+  {"ok":true,"kind":"session","session":2,"ask":"label","node":"N2","radius":2,"size":5,"frontier":["N4"]}
+  {"ok":true,"kind":"session","session":1,"ask":"path","node":"N2","words":["bus","bus.bus","bus.tram","bus.restaurant"],"suggested":"bus.bus"}
+  {"ok":true,"kind":"session","session":2,"ask":"label","node":"N2","radius":3,"size":6,"frontier":[]}
+  {"ok":true,"kind":"session","session":1,"ask":"propose","query":"bus*","selects":["C1","C2","N1","N2","N3","N4","N5","N6","R1","R2"]}
+  {"ok":true,"kind":"session","session":1,"ask":"label","node":"N1","radius":2,"size":3,"frontier":[]}
+  {"ok":true,"kind":"session","session":1,"ask":"path","node":"N1","words":["bus","tram","bus.cinema","tram.cinema"],"suggested":"bus.cinema"}
+  {"ok":true,"kind":"session","session":1,"ask":"propose","query":"(bus+cinema)*","selects":["C1","C2","N1","N2","N3","N4","N5","N6","R1","R2"]}
+  {"ok":true,"kind":"session","session":1,"ask":"label","node":"N6","radius":2,"size":4,"frontier":[]}
+  {"ok":true,"kind":"session","session":1,"ask":"path","node":"N6","words":["bus","cinema","bus.restaurant"],"suggested":"bus.restaurant"}
+  {"ok":true,"kind":"session","session":1,"ask":"propose","query":"(bus+cinema)*","selects":["C1","C2","N1","N2","N3","N4","N5","N6","R1","R2"]}
+  {"ok":true,"kind":"session","session":1,"ask":"label","node":"N5","radius":2,"size":4,"frontier":[]}
+  {"ok":true,"kind":"session","session":1,"ask":"propose","query":"(bus+cinema).(bus+cinema)*","selects":["N1","N2","N4","N6"]}
+  {"ok":true,"kind":"session","session":1,"ask":"finished","query":"(bus+cinema).(bus+cinema)*","reason":"satisfied","selects":["N1","N2","N4","N6"]}
+  {"ok":true,"kind":"session","session":1,"ask":"finished","query":"(bus+cinema).(bus+cinema)*","reason":"satisfied","selects":["N1","N2","N4","N6"]}
+  {"ok":true,"kind":"stopped","session":1,"questions":7}
+  {"ok":true,"kind":"session","session":2,"ask":"label","node":"N2","radius":3,"size":6,"frontier":[]}
+  {"ok":true,"kind":"stopped","session":2,"questions":1}
+  {"id":"q-7","ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"hit"}
+  {"ok":false,"error":{"code":"bad-request","message":"missing field \"query\""}}
+  {"ok":false,"error":{"code":"parse","message":"at 0: expected true"}}
+  {"ok":true,"kind":"metrics","metrics":{"endpoints":{"invalid":{"requests":2,"errors":2},"learn":{"requests":1,"errors":0},"list-graphs":{"requests":1,"errors":0},"load":{"requests":1,"errors":0},"query":{"requests":3,"errors":0},"session-label":{"requests":4,"errors":0},"session-propose":{"requests":4,"errors":0},"session-show":{"requests":3,"errors":0},"session-start":{"requests":2,"errors":0},"session-stop":{"requests":2,"errors":0},"session-validate":{"requests":3,"errors":0},"session-zoom":{"requests":1,"errors":0},"stats":{"requests":1,"errors":0}},"cache":{"hits":5,"misses":5,"evictions":0,"invalidations":0,"size":5,"capacity":256},"sessions":{"active":0,"started":2,"stopped":2,"expired":0,"evicted":0},"graphs":1}}
+
+A loaded edge-list file works like a builtin, and reloading a name bumps
+its version (invalidating cached results for the old snapshot):
+
+  $ cat > tiny.g <<'END'
+  > A go B
+  > B go C
+  > END
+  $ gps serve --stdio <<EOF
+  > {"op":"load","name":"tiny","path":"tiny.g"}
+  > {"op":"query","graph":"tiny","query":"go.go"}
+  > {"op":"load","name":"tiny","path":"tiny.g"}
+  > {"op":"query","graph":"tiny","query":"go.go"}
+  > EOF
+  {"ok":true,"kind":"loaded","name":"tiny","nodes":3,"edges":2,"labels":1,"version":1}
+  {"ok":true,"kind":"answer","query":"go.go","nodes":["A"],"cache":"miss"}
+  {"ok":true,"kind":"loaded","name":"tiny","nodes":3,"edges":2,"labels":1,"version":2}
+  {"ok":true,"kind":"answer","query":"go.go","nodes":["A"],"cache":"miss"}

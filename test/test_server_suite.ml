@@ -1,0 +1,623 @@
+(* The gps_server service layer: protocol codec round-trips and fuzzing,
+   catalog versioning, the LRU result cache, the session manager's
+   TTL/eviction behavior (driven by a fake clock), the dispatch core end
+   to end, and the TCP frontend over a real loopback socket. *)
+
+module Json = Gps_graph.Json
+module P = Gps_server.Protocol
+module Catalog = Gps_server.Catalog
+module Qcache = Gps_server.Qcache
+module Sessions = Gps_server.Sessions
+module Metrics = Gps_server.Metrics
+module Srv = Gps_server.Server
+module S = Gps.Interactive.Session
+
+let check = Alcotest.check
+let fig1 () = Gps.Graph.Datasets.figure1 ()
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "decode error: %s: %s" e.P.code e.P.message
+
+(* ------------------------------------------------------------------ *)
+(* helpers over a dispatch core *)
+
+let fresh ?(cache = 256) ?(sessions = Sessions.default_config) ?clock () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  Srv.create ~config:{ Srv.cache_capacity = cache; Srv.sessions; Srv.clock } ()
+
+let load_fig1 t = Srv.handle t (P.Load { name = "fig"; source = P.Builtin "figure1" })
+
+let expect_answer = function
+  | P.Answer { query; nodes; cache } -> (query, nodes, cache)
+  | r -> Alcotest.failf "expected answer, got %s" (P.response_to_string r)
+
+let expect_session = function
+  | P.Session { session; view } -> (session, view)
+  | r -> Alcotest.failf "expected session, got %s" (P.response_to_string r)
+
+let expect_err code = function
+  | P.Err e -> check Alcotest.string "error code" code e.P.code
+  | r -> Alcotest.failf "expected %s error, got %s" code (P.response_to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* dispatch end to end *)
+
+let test_load_query_cache () =
+  let t = fresh () in
+  (match load_fig1 t with
+  | P.Loaded { nodes; edges; version; _ } ->
+      check Alcotest.int "nodes" 10 nodes;
+      check Alcotest.int "edges" 10 edges;
+      check Alcotest.int "version" 1 version
+  | r -> Alcotest.failf "expected loaded, got %s" (P.response_to_string r));
+  let q = P.Query { graph = "fig"; query = "(tram+bus)*.cinema" } in
+  let _, nodes, cache = expect_answer (Srv.handle t q) in
+  check (Alcotest.list Alcotest.string) "selected" [ "N1"; "N2"; "N4"; "N6" ] nodes;
+  check Alcotest.bool "first is a miss" true (cache = `Miss);
+  (* a syntactic variant of the same query must hit the same entry *)
+  let norm, nodes', cache' =
+    expect_answer (Srv.handle t (P.Query { graph = "fig"; query = "(bus+tram)*.cinema" }))
+  in
+  check (Alcotest.list Alcotest.string) "same answer" nodes nodes';
+  check Alcotest.bool "normalized variant hits" true (cache' = `Hit);
+  check Alcotest.string "normalized form" "(bus+tram)*.cinema" norm
+
+let test_reload_invalidates () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  let q = P.Query { graph = "fig"; query = "bus" } in
+  ignore (Srv.handle t q);
+  let _, _, c = expect_answer (Srv.handle t q) in
+  check Alcotest.bool "hit before reload" true (c = `Hit);
+  (match load_fig1 t with
+  | P.Loaded { version; _ } -> check Alcotest.int "version bumped" 2 version
+  | r -> Alcotest.failf "expected loaded, got %s" (P.response_to_string r));
+  let _, _, c = expect_answer (Srv.handle t q) in
+  check Alcotest.bool "miss after reload" true (c = `Miss)
+
+let test_errors_are_structured () =
+  let t = fresh () in
+  expect_err "unknown-graph" (Srv.handle t (P.Stats { graph = "nope" }));
+  ignore (load_fig1 t);
+  expect_err "bad-query" (Srv.handle t (P.Query { graph = "fig"; query = "((" }));
+  expect_err "unknown-session" (Srv.handle t (P.Session_show { session = 99 }));
+  expect_err "bad-request"
+    (Srv.handle t (P.Load { name = "x"; source = P.Builtin "nope" }));
+  expect_err "io" (Srv.handle t (P.Load { name = "x"; source = P.Path "/no/such/file" }));
+  expect_err "parse" (Srv.handle t (P.Load { name = "x"; source = P.Text "one two" }));
+  expect_err "inconsistent"
+    (Srv.handle t (P.Learn { graph = "fig"; pos = [ "C1" ]; neg = [ "N5" ] }));
+  expect_err "bad-request"
+    (Srv.handle t (P.Learn { graph = "fig"; pos = [ "Nx" ]; neg = [] }))
+
+let test_learn () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  match Srv.handle t (P.Learn { graph = "fig"; pos = [ "N2"; "N6" ]; neg = [ "N5" ] }) with
+  | P.Learned { query; selects } ->
+      check Alcotest.string "learned" "bus" query;
+      check (Alcotest.list Alcotest.string) "selects" [ "N1"; "N2"; "N6" ] selects
+  | r -> Alcotest.failf "expected learned, got %s" (P.response_to_string r)
+
+(* drive a full interactive session through the dispatch core with a
+   perfect oracle for (tram+bus)*.cinema *)
+let test_full_session () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  let goal = [ "N1"; "N2"; "N4"; "N6" ] in
+  let in_lang w =
+    match List.rev w with
+    | "cinema" :: rest -> List.for_all (fun l -> l = "bus" || l = "tram") rest
+    | _ -> false
+  in
+  let r =
+    Srv.handle t
+      (P.Session_start { graph = "fig"; strategy = "smart"; seed = 1; budget = Some 30 })
+  in
+  let sid, view = expect_session r in
+  let rec drive view steps =
+    if steps > 100 then Alcotest.fail "session did not terminate";
+    match view with
+    | P.Ask_label { node; _ } ->
+        let positive = List.mem node goal in
+        let _, v = expect_session (Srv.handle t (P.Session_label { session = sid; positive })) in
+        drive v (steps + 1)
+    | P.Ask_path { words; _ } ->
+        let path = List.find_opt in_lang words in
+        let _, v =
+          expect_session (Srv.handle t (P.Session_validate { session = sid; path }))
+        in
+        drive v (steps + 1)
+    | P.Proposal { selects; _ } ->
+        let accept = selects = goal in
+        let _, v =
+          expect_session (Srv.handle t (P.Session_propose { session = sid; accept }))
+        in
+        drive v (steps + 1)
+    | P.Finished { reason; selects; _ } ->
+        check Alcotest.string "reason" "satisfied" reason;
+        check (Alcotest.list Alcotest.string) "final selects" goal selects
+  in
+  drive view 0;
+  (match Srv.handle t (P.Session_stop { session = sid }) with
+  | P.Stopped { questions; _ } -> check Alcotest.bool "asked questions" true (questions > 0)
+  | r -> Alcotest.failf "expected stopped, got %s" (P.response_to_string r));
+  expect_err "unknown-session" (Srv.handle t (P.Session_show { session = sid }))
+
+let test_session_bad_state () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  let r =
+    Srv.handle t (P.Session_start { graph = "fig"; strategy = "smart"; seed = 1; budget = None })
+  in
+  let sid, view = expect_session r in
+  (match view with
+  | P.Ask_label _ -> ()
+  | _ -> Alcotest.fail "expected an initial label request");
+  (* answering a path or proposal out of turn is a structured error, and
+     the session survives *)
+  expect_err "bad-state" (Srv.handle t (P.Session_validate { session = sid; path = None }));
+  expect_err "bad-state" (Srv.handle t (P.Session_propose { session = sid; accept = true }));
+  let _, view' = expect_session (Srv.handle t (P.Session_show { session = sid })) in
+  match view' with
+  | P.Ask_label _ -> ()
+  | _ -> Alcotest.fail "session state disturbed by bad-state requests"
+
+let test_session_budget () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  let r =
+    Srv.handle t
+      (P.Session_start { graph = "fig"; strategy = "smart"; seed = 1; budget = Some 1 })
+  in
+  let sid, view = expect_session r in
+  match view with
+  | P.Ask_label _ -> (
+      let _, v =
+        expect_session (Srv.handle t (P.Session_label { session = sid; positive = false }))
+      in
+      (* one answer allowed: the session must now be finished (maybe after
+         a final proposal) *)
+      match v with
+      | P.Finished { reason; _ } -> check Alcotest.string "reason" "budget-exhausted" reason
+      | P.Proposal _ -> ()
+      | _ -> Alcotest.fail "budget 1 should end the interaction")
+  | _ -> Alcotest.fail "expected an initial label request"
+
+(* two concurrent sessions on the same graph advance independently *)
+let test_two_sessions_interleaved () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  let start seed =
+    fst
+      (expect_session
+         (Srv.handle t
+            (P.Session_start { graph = "fig"; strategy = "smart"; seed; budget = Some 30 })))
+  in
+  let s1 = start 1 in
+  let s2 = start 2 in
+  check Alcotest.bool "distinct ids" true (s1 <> s2);
+  (* answer "no" in s1; s2's pending request must be untouched *)
+  let _, v2_before = expect_session (Srv.handle t (P.Session_show { session = s2 })) in
+  ignore (Srv.handle t (P.Session_label { session = s1; positive = false }));
+  let _, v2_after = expect_session (Srv.handle t (P.Session_show { session = s2 })) in
+  (match (v2_before, v2_after) with
+  | P.Ask_label { node = a; _ }, P.Ask_label { node = b; _ } ->
+      check Alcotest.string "s2 unchanged" a b
+  | _ -> Alcotest.fail "expected label requests in s2");
+  ignore (Srv.handle t (P.Session_stop { session = s1 }));
+  ignore (Srv.handle t (P.Session_stop { session = s2 }))
+
+(* ------------------------------------------------------------------ *)
+(* sessions manager: TTL and max-sessions, under a fake clock *)
+
+let test_session_ttl_and_eviction () =
+  let now = ref 0. in
+  let clock () = !now in
+  let t =
+    fresh ~sessions:{ Sessions.max_sessions = 2; idle_ttl = 10. } ~clock ()
+  in
+  ignore (load_fig1 t);
+  let start () =
+    fst
+      (expect_session
+         (Srv.handle t
+            (P.Session_start { graph = "fig"; strategy = "smart"; seed = 1; budget = None })))
+  in
+  let s1 = start () in
+  now := 5.;
+  let s2 = start () in
+  (* s3 exceeds max_sessions: the idlest (s1) is evicted *)
+  let s3 = start () in
+  expect_err "unknown-session" (Srv.handle t (P.Session_show { session = s1 }));
+  ignore (expect_session (Srv.handle t (P.Session_show { session = s2 })));
+  (* the TTL is sliding: showing s3 at t=12 refreshes it, so at t=22 only
+     s2 (idle since t=5) has expired *)
+  now := 12.;
+  ignore (expect_session (Srv.handle t (P.Session_show { session = s3 })));
+  now := 22.;
+  expect_err "unknown-session" (Srv.handle t (P.Session_show { session = s2 }));
+  ignore (expect_session (Srv.handle t (P.Session_show { session = s3 })))
+
+(* ------------------------------------------------------------------ *)
+(* catalog and cache units *)
+
+let test_catalog_versions () =
+  let c = Catalog.create () in
+  let e1 = Catalog.put c ~name:"a" (fig1 ()) in
+  let e2 = Catalog.put c ~name:"a" (fig1 ()) in
+  let e3 = Catalog.put c ~name:"b" (fig1 ()) in
+  check Alcotest.int "v1" 1 e1.Catalog.version;
+  check Alcotest.int "v2" 2 e2.Catalog.version;
+  check Alcotest.int "b v1" 1 e3.Catalog.version;
+  check Alcotest.int "count" 2 (Catalog.count c);
+  check
+    (Alcotest.list Alcotest.string)
+    "list sorted" [ "a"; "b" ]
+    (List.map (fun e -> e.Catalog.name) (Catalog.list c))
+
+let test_qcache_lru () =
+  let c = Qcache.create ~capacity:2 () in
+  let k q = { Qcache.graph = "g"; version = 1; query = q } in
+  Qcache.add c (k "a") [ "1" ];
+  Qcache.add c (k "b") [ "2" ];
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "a cached" (Some [ "1" ])
+    (Qcache.find c (k "a"));
+  (* b is now least recently used; inserting c evicts it *)
+  Qcache.add c (k "c") [ "3" ];
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "b evicted" None
+    (Qcache.find c (k "b"));
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "a survives" (Some [ "1" ])
+    (Qcache.find c (k "a"));
+  let s = Qcache.stats c in
+  check Alcotest.int "evictions" 1 s.Qcache.evictions;
+  check Alcotest.int "size" 2 s.Qcache.size;
+  (* invalidation drops only the named graph *)
+  let c = Qcache.create ~capacity:8 () in
+  Qcache.add c (k "a") [ "1" ];
+  Qcache.add c (k "b") [ "2" ];
+  Qcache.add c { Qcache.graph = "other"; version = 1; query = "a" } [ "x" ];
+  let dropped = Qcache.invalidate c ~graph:"g" in
+  check Alcotest.int "dropped" 2 dropped;
+  check Alcotest.int "other survives" 1 (Qcache.stats c).Qcache.size
+
+let test_qcache_disabled () =
+  let c = Qcache.create ~capacity:0 () in
+  let k = { Qcache.graph = "g"; version = 1; query = "a" } in
+  Qcache.add c k [ "1" ];
+  check (Alcotest.option (Alcotest.list Alcotest.string)) "never stores" None (Qcache.find c k)
+
+let test_qcache_version_isolation () =
+  let c = Qcache.create () in
+  Qcache.add c { Qcache.graph = "g"; version = 1; query = "a" } [ "old" ];
+  check
+    (Alcotest.option (Alcotest.list Alcotest.string))
+    "other version misses" None
+    (Qcache.find c { Qcache.graph = "g"; version = 2; query = "a" })
+
+(* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.record m ~endpoint:"query" ~ok:true ~seconds:0.0001;
+  Metrics.record m ~endpoint:"query" ~ok:false ~seconds:0.5;
+  Metrics.record m ~endpoint:"load" ~ok:true ~seconds:2.0;
+  let doc = Metrics.to_json m in
+  let q = Option.get (Json.member "query" doc) in
+  check Alcotest.int "requests"
+    2
+    (match Json.member "requests" q with Some (Json.Number f) -> int_of_float f | _ -> -1);
+  check Alcotest.int "errors" 1
+    (match Json.member "errors" q with Some (Json.Number f) -> int_of_float f | _ -> -1);
+  let lat = Option.get (Json.member "latency" q) in
+  let buckets = Option.get (Json.member "buckets" lat) in
+  check Alcotest.int "le_100us bucket" 1
+    (match Json.member "le_100us" buckets with Some (Json.Number f) -> int_of_float f | _ -> -1);
+  check Alcotest.int "le_1s bucket" 1
+    (match Json.member "le_1s" buckets with Some (Json.Number f) -> int_of_float f | _ -> -1);
+  let load = Option.get (Json.member "load" doc) in
+  let lbuckets = Option.get (Json.member "buckets" (Option.get (Json.member "latency" load))) in
+  check Alcotest.int "gt_1s bucket" 1
+    (match Json.member "gt_1s" lbuckets with Some (Json.Number f) -> int_of_float f | _ -> -1);
+  (* deterministic variant has no latency *)
+  let doc = Metrics.to_json ~timings:false m in
+  let q = Option.get (Json.member "query" doc) in
+  check Alcotest.bool "no latency" true (Json.member "latency" q = None)
+
+let test_metrics_endpoint_counts () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus" }));
+  ignore (Srv.handle_line t "not json at all");
+  let line = Srv.handle_line t "{\"op\":\"metrics\",\"timings\":false}" in
+  let doc = Json.value_of_string line in
+  let m = Option.get (Json.member "metrics" doc) in
+  let cache = Option.get (Json.member "cache" m) in
+  (match Json.member "misses" cache with
+  | Some (Json.Number f) -> check Alcotest.int "one miss" 1 (int_of_float f)
+  | _ -> Alcotest.fail "no cache.misses");
+  let eps = Option.get (Json.member "endpoints" m) in
+  (match Json.member "invalid" eps with
+  | Some inv ->
+      check Alcotest.int "invalid counted" 1
+        (match Json.member "requests" inv with Some (Json.Number f) -> int_of_float f | _ -> -1)
+  | None -> Alcotest.fail "no invalid endpoint")
+
+(* ------------------------------------------------------------------ *)
+(* wire envelope *)
+
+let test_id_echo () =
+  let t = fresh () in
+  let line = Srv.handle_line t "{\"op\":\"list-graphs\",\"id\":\"abc\"}" in
+  let doc = Json.value_of_string line in
+  check Alcotest.bool "id echoed" true (Json.member "id" doc = Some (Json.String "abc"));
+  let line = Srv.handle_line t "{\"op\":\"nope\",\"id\":42}" in
+  let doc = Json.value_of_string line in
+  check Alcotest.bool "id echoed on error" true (Json.member "id" doc = Some (Json.Number 42.));
+  check Alcotest.bool "is error" true (Json.member "ok" doc = Some (Json.Bool false))
+
+(* ------------------------------------------------------------------ *)
+(* TCP frontend: real sockets, two concurrent connections *)
+
+let test_tcp () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  let tcp = Srv.start_tcp t ~port:0 () in
+  let port = Srv.tcp_port tcp in
+  Fun.protect
+    ~finally:(fun () -> Srv.stop_tcp tcp)
+    (fun () ->
+      let connect () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+      in
+      let roundtrip (ic, oc) line =
+        output_string oc (line ^ "\n");
+        flush oc;
+        input_line ic
+      in
+      let c1 = connect () in
+      let c2 = connect () in
+      let r1 = roundtrip c1 "{\"op\":\"query\",\"graph\":\"fig\",\"query\":\"bus\"}" in
+      let r2 = roundtrip c2 "{\"op\":\"query\",\"graph\":\"fig\",\"query\":\"bus\"}" in
+      let cache_of r =
+        match Json.member "cache" (Json.value_of_string r) with
+        | Some (Json.String s) -> s
+        | _ -> "?"
+      in
+      check Alcotest.string "first miss" "miss" (cache_of r1);
+      check Alcotest.string "second hit (shared cache)" "hit" (cache_of r2);
+      let r = roundtrip c2 "garbage" in
+      check Alcotest.bool "tcp structured error" true
+        (Json.member "ok" (Json.value_of_string r) = Some (Json.Bool false));
+      close_out (snd c1);
+      close_out (snd c2))
+
+(* ------------------------------------------------------------------ *)
+(* protocol: QCheck round-trip and malformed-input fuzzing *)
+
+let gen_name = QCheck.Gen.(oneofl [ "fig"; "city"; "g1"; "prod"; "a b"; "weird\"name" ])
+let gen_label = QCheck.Gen.(oneofl [ "bus"; "tram"; "cinema"; "a"; "b" ])
+let gen_word = QCheck.Gen.(list_size (int_range 1 4) gen_label)
+let gen_query = QCheck.Gen.(oneofl [ "bus"; "(tram+bus)*.cinema"; "a.b*"; "(a+b).(a+b)*" ])
+let gen_session = QCheck.Gen.int_range 0 1000
+
+let gen_request =
+  let open QCheck.Gen in
+  oneof
+    [
+      (let* name = gen_name in
+       let* source =
+         oneof
+           [
+             map (fun b -> P.Builtin b) (oneofl [ "figure1"; "transpole" ]);
+             map (fun p -> P.Path p) gen_name;
+             map (fun t -> P.Text t) (oneofl [ "N1 tram N2"; ""; "x y z\nnode q" ]);
+           ]
+       in
+       return (P.Load { name; source }));
+      return P.List_graphs;
+      map (fun graph -> P.Stats { graph }) gen_name;
+      (let* graph = gen_name in
+       let* query = gen_query in
+       return (P.Query { graph; query }));
+      (let* graph = gen_name in
+       let* pos = list_size (int_bound 3) gen_name in
+       let* neg = list_size (int_bound 3) gen_name in
+       return (P.Learn { graph; pos; neg }));
+      (let* graph = gen_name in
+       let* strategy = oneofl [ "smart"; "random"; "degree"; "sequential" ] in
+       let* seed = int_bound 100 in
+       let* budget = opt (int_bound 50) in
+       return (P.Session_start { graph; strategy; seed; budget }));
+      map (fun session -> P.Session_show { session }) gen_session;
+      (let* session = gen_session in
+       let* positive = bool in
+       return (P.Session_label { session; positive }));
+      map (fun session -> P.Session_zoom { session }) gen_session;
+      (let* session = gen_session in
+       let* path = opt gen_word in
+       return (P.Session_validate { session; path }));
+      (let* session = gen_session in
+       let* accept = bool in
+       return (P.Session_propose { session; accept }));
+      map (fun session -> P.Session_stop { session }) gen_session;
+      map (fun timings -> P.Metrics { timings }) bool;
+    ]
+
+let gen_view =
+  let open QCheck.Gen in
+  oneof
+    [
+      (let* node = gen_name in
+       let* radius = int_range 1 5 in
+       let* size = int_bound 50 in
+       let* frontier = list_size (int_bound 3) gen_name in
+       return (P.Ask_label { node; radius; size; frontier }));
+      (let* node = gen_name in
+       let* words = list_size (int_bound 4) gen_word in
+       let* suggested = gen_word in
+       return (P.Ask_path { node; words; suggested }));
+      (let* query = gen_query in
+       let* selects = list_size (int_bound 4) gen_name in
+       return (P.Proposal { query; selects }));
+      (let* query = gen_query in
+       let* reason =
+         oneofl [ "satisfied"; "no-informative-nodes"; "budget-exhausted"; "inconsistent" ]
+       in
+       let* selects = list_size (int_bound 4) gen_name in
+       return (P.Finished { query; reason; selects }));
+    ]
+
+let gen_response =
+  let open QCheck.Gen in
+  oneof
+    [
+      (let* name = gen_name in
+       let* nodes = int_bound 1000 in
+       let* edges = int_bound 1000 in
+       let* labels = int_bound 20 in
+       let* version = int_range 1 9 in
+       return (P.Loaded { name; nodes; edges; labels; version }));
+      (let* graphs = list_size (int_bound 4) (pair gen_name (int_range 1 9)) in
+       return (P.Graphs { graphs }));
+      (let* name = gen_name in
+       let* nodes = int_bound 1000 in
+       let* edges = int_bound 1000 in
+       let* labels = list_size (int_bound 4) gen_label in
+       let* version = int_range 1 9 in
+       return (P.Stats_of { name; nodes; edges; labels; version }));
+      (let* query = gen_query in
+       let* nodes = list_size (int_bound 4) gen_name in
+       let* cache = oneofl [ `Hit; `Miss ] in
+       return (P.Answer { query; nodes; cache }));
+      (let* query = gen_query in
+       let* selects = list_size (int_bound 4) gen_name in
+       return (P.Learned { query; selects }));
+      (let* session = gen_session in
+       let* view = gen_view in
+       return (P.Session { session; view }));
+      (let* session = gen_session in
+       let* questions = int_bound 100 in
+       return (P.Stopped { session; questions }));
+      (let* code = oneofl [ "parse"; "bad-request"; "unknown-graph"; "internal" ] in
+       let* message = gen_name in
+       return (P.Err { code; message }));
+    ]
+
+let arb_request = QCheck.make ~print:P.request_to_string gen_request
+let arb_response = QCheck.make ~print:(fun r -> P.response_to_string r) gen_response
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"protocol: decode (encode request) = request" ~count:500 arb_request
+      (fun r -> ok_or_fail (P.decode_request (P.encode_request r)) = r);
+    Test.make ~name:"protocol: request survives the wire (via text)" ~count:500 arb_request
+      (fun r ->
+        ok_or_fail (P.decode_request (Json.value_of_string (P.request_to_string r))) = r);
+    Test.make ~name:"protocol: decode (encode response) = response" ~count:500 arb_response
+      (fun r -> ok_or_fail (P.decode_response (P.encode_response r)) = r);
+    Test.make ~name:"protocol: response survives the wire (via text)" ~count:500 arb_response
+      (fun r ->
+        ok_or_fail (P.decode_response (Json.value_of_string (P.response_to_string r))) = r);
+    (* fuzz: truncating a valid request line anywhere never crashes the
+       dispatch loop and always yields a structured error or answer *)
+    Test.make ~name:"fuzz: truncated request lines get structured responses" ~count:300
+      QCheck.(pair arb_request (make Gen.(float_bound_inclusive 1.)))
+      (fun (r, frac) ->
+        let t = fresh () in
+        let line = P.request_to_string r in
+        let cut = int_of_float (frac *. float_of_int (String.length line)) in
+        let line = String.sub line 0 (min cut (String.length line)) in
+        let out = Srv.handle_line t line in
+        match Json.value_of_string out with
+        | Json.Object fields -> List.mem_assoc "ok" fields
+        | _ -> false);
+    (* fuzz: arbitrary byte garbage *)
+    Test.make ~name:"fuzz: garbage lines get structured errors" ~count:300
+      QCheck.(string_of_size Gen.(int_bound 40))
+      (fun s ->
+        let t = fresh () in
+        let out = Srv.handle_line t s in
+        match Json.value_of_string out with
+        | Json.Object fields -> List.mem_assoc "ok" fields
+        | _ -> false
+        | exception _ -> false);
+    (* fuzz: well-formed JSON of the wrong shape is "bad-request", and a
+       live server (graph + session loaded) survives any decodable
+       request against it *)
+    Test.make ~name:"fuzz: any decodable request is handled without raising" ~count:200
+      arb_request
+      (fun r ->
+        let t = fresh () in
+        ignore (load_fig1 t);
+        ignore
+          (Srv.handle t
+             (P.Session_start { graph = "fig"; strategy = "smart"; seed = 1; budget = None }));
+        match Srv.handle t r with _ -> true);
+  ]
+
+let wrong_shape_cases () =
+  let t = fresh () in
+  List.iter
+    (fun line ->
+      let out = Srv.handle_line t line in
+      match Json.value_of_string out with
+      | Json.Object fields -> (
+          check Alcotest.bool "not ok" true (List.assoc_opt "ok" fields = Some (Json.Bool false));
+          match List.assoc_opt "error" fields with
+          | Some (Json.Object e) -> check Alcotest.bool "has code" true (List.mem_assoc "code" e)
+          | _ -> Alcotest.fail "no error object")
+      | _ -> Alcotest.fail "response is not an object")
+    [
+      "[]";
+      "42";
+      "null";
+      "\"query\"";
+      "{}";
+      "{\"op\":12}";
+      "{\"op\":\"query\"}";
+      "{\"op\":\"query\",\"graph\":7,\"query\":\"a\"}";
+      "{\"op\":\"session-label\",\"session\":1,\"answer\":\"maybe\"}";
+      "{\"op\":\"session-propose\",\"session\":1}";
+      "{\"op\":\"load\",\"name\":\"x\"}";
+      "{\"op\":\"load\",\"name\":\"x\",\"path\":\"a\",\"text\":\"b\"}";
+      "{\"op\":\"session-show\",\"session\":1.5}";
+    ]
+
+let suite =
+  [
+    ( "server.dispatch",
+      [
+        Alcotest.test_case "load, query, normalized cache hit" `Quick test_load_query_cache;
+        Alcotest.test_case "reload bumps version and invalidates" `Quick test_reload_invalidates;
+        Alcotest.test_case "errors are structured" `Quick test_errors_are_structured;
+        Alcotest.test_case "learn endpoint" `Quick test_learn;
+        Alcotest.test_case "full interactive session" `Quick test_full_session;
+        Alcotest.test_case "bad-state answers don't disturb sessions" `Quick
+          test_session_bad_state;
+        Alcotest.test_case "per-session budget" `Quick test_session_budget;
+        Alcotest.test_case "two sessions interleave independently" `Quick
+          test_two_sessions_interleaved;
+        Alcotest.test_case "session TTL and max-sessions eviction" `Quick
+          test_session_ttl_and_eviction;
+        Alcotest.test_case "id echo envelope" `Quick test_id_echo;
+        Alcotest.test_case "malformed shapes get error envelopes" `Quick wrong_shape_cases;
+      ] );
+    ( "server.components",
+      [
+        Alcotest.test_case "catalog versions" `Quick test_catalog_versions;
+        Alcotest.test_case "qcache LRU + invalidation" `Quick test_qcache_lru;
+        Alcotest.test_case "qcache capacity 0 disables" `Quick test_qcache_disabled;
+        Alcotest.test_case "qcache isolates versions" `Quick test_qcache_version_isolation;
+        Alcotest.test_case "metrics histogram JSON" `Quick test_metrics_json;
+        Alcotest.test_case "metrics count endpoints and cache" `Quick
+          test_metrics_endpoint_counts;
+        Alcotest.test_case "tcp frontend, two connections" `Quick test_tcp;
+      ] );
+    ("server.protocol", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
