@@ -1,0 +1,79 @@
+(* baseline: one JSON document pinning the engine's work counters plus
+   coarse wall-clock for a fixed, deterministic workload.
+
+   This is the experiment behind the committed BENCH_baseline.json:
+   wall_s varies by machine, but every counter is an exact work count
+   (product states built, merges attempted, witness expansions, session
+   steps) for the scripted workload, so a diff of the committed file
+   flags algorithmic regressions rather than machine noise. *)
+
+module Json = Gps.Graph.Json
+module Clock = Gps.Obs.Clock
+module Counter = Gps.Obs.Counter
+
+let num x = Json.Number x
+let int_j n = num (float_of_int n)
+
+let counters_json () =
+  Json.Object (List.map (fun (k, v) -> (k, int_j v)) (Counter.snapshot_nonzero ()))
+
+(* Reset counters, run [f], report its wall clock and the exact counter
+   deltas it produced. *)
+let segment f =
+  Counter.reset_all ();
+  let t0 = Clock.now_ns () in
+  f ();
+  let wall = Clock.ns_to_s (Clock.elapsed_ns t0) in
+  Json.Object [ ("wall_s", num wall); ("counters", counters_json ()) ]
+
+let run () =
+  let w = Workloads.city ~districts:50 ~seed:8 in
+  let g = w.Workloads.graph in
+  let goal = Workloads.q "(tram+bus)*.cinema" in
+  let sel = Gps.Query.Eval.select g goal in
+  let nodes = Gps.Graph.Digraph.nodes g in
+  let pos = List.filteri (fun i _ -> i < 3) (List.filter (fun v -> sel.(v)) nodes) in
+  let neg = List.filteri (fun i _ -> i < 3) (List.filter (fun v -> not sel.(v)) nodes) in
+  let sample = List.fold_left Gps.Learning.Sample.add_pos Gps.Learning.Sample.empty pos in
+  let sample = List.fold_left Gps.Learning.Sample.add_neg sample neg in
+  let eval_seg = segment (fun () -> ignore (Gps.Query.Eval.select g goal)) in
+  let learn_seg = segment (fun () -> ignore (Gps.Learning.Learner.learn g sample)) in
+  let session_seg = segment (fun () -> ignore (Gps.specify_interactively g ~goal)) in
+  let dispatch_seg =
+    let module P = Gps.Server.Protocol in
+    let module Srv = Gps.Server.Server in
+    let text = Gps.Graph.Codec.to_string g in
+    let srv = Srv.create () in
+    (match Srv.handle srv (P.Load { name = "city"; source = P.Text text }) with
+    | P.Loaded _ -> ()
+    | _ -> failwith "baseline: load failed");
+    let line = P.request_to_string (P.Query { graph = "city"; query = "(tram+bus)*.cinema" }) in
+    segment (fun () ->
+        (* the wire path counts server.dispatches; the second one hits
+           the query cache *)
+        ignore (Srv.handle_line srv line);
+        ignore (Srv.handle_line srv line))
+  in
+  let doc =
+    Json.Object
+      [
+        ("experiment", Json.String "baseline");
+        ( "graph",
+          Json.Object
+            [
+              ("name", Json.String w.Workloads.name);
+              ("nodes", int_j (Gps.Graph.Digraph.n_nodes g));
+              ("edges", int_j (Gps.Graph.Digraph.n_edges g));
+            ] );
+        ("query", Json.String "(tram+bus)*.cinema");
+        ( "segments",
+          Json.Object
+            [
+              ("eval", eval_seg);
+              ("learn", learn_seg);
+              ("session", session_seg);
+              ("dispatch", dispatch_seg);
+            ] );
+      ]
+  in
+  print_endline (Json.value_to_string ~pretty:true doc)

@@ -6,7 +6,8 @@
                                          pathval static users convergence
                                          lstar generalize eval minimize csr
                                          sampled incremental bound
-                                         suggestion micro server_dispatch)
+                                         suggestion micro server_dispatch
+                                         baseline)
    dune exec bench/main.exe -- --list    lists experiment ids
 
    Each experiment regenerates one table/figure of DESIGN.md's experiment
@@ -99,6 +100,7 @@ let experiments =
     ("suggestion", Experiments.suggestion_ablation);
     ("micro", micro);
     ("server_dispatch", Server_bench.run);
+    ("baseline", Baseline.run);
   ]
 
 let () =

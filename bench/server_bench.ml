@@ -66,6 +66,17 @@ let run () =
   Printf.printf "%-34s %12.0f ns/req   (wire overhead %.0f ns)\n\n"
     "query, warm, via wire line" wire_ns (wire_ns -. warm_ns);
   let num x = Gps.Graph.Json.Number x in
+  (* exact work counts for one cold dispatch: reset the global counters,
+     run a single request, snapshot. Deterministic for a fixed graph and
+     query, unlike the latencies above. *)
+  Gps.Obs.Counter.reset_all ();
+  ignore (Srv.handle cold req);
+  let cold_counters =
+    Gps.Graph.Json.Object
+      (List.map
+         (fun (k, v) -> (k, num (float_of_int v)))
+         (Gps.Obs.Counter.snapshot_nonzero ()))
+  in
   let json =
     Gps.Graph.Json.Object
       [
@@ -77,6 +88,7 @@ let run () =
         ("wire_ns_per_req", num (Float.round wire_ns));
         ("warm_req_per_s", num (Float.round (1e9 /. warm_ns)));
         ("cache_speedup", num (Float.round (cold_ns /. warm_ns)));
+        ("cold_req_counters", cold_counters);
       ]
   in
   print_endline (Gps.Graph.Json.value_to_string json)

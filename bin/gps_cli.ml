@@ -36,6 +36,37 @@ let query_pos n =
   let doc = "Path query in the paper's notation, e.g. '(tram+bus)*.cinema'." in
   Arg.(required & pos n (some string) None & info [] ~docv:"QUERY" ~doc)
 
+(* --trace FILE: record a JSONL span trace of the whole run. The option
+   rides on every command that exercises the engine; 'gps trace summary'
+   aggregates the file afterwards. *)
+let trace_arg =
+  let doc =
+    "Record a JSONL span trace of this run to $(docv) (aggregate it with \
+     'gps trace summary $(docv)')."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg -> or_die (Error msg)
+      in
+      Gps.Obs.Trace.enable (Gps.Obs.Trace.Jsonl oc);
+      let finish () =
+        Gps.Obs.Trace.disable ();
+        close_out oc
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
 (* ---------------------------------------------------------------- *)
 (* generate *)
 
@@ -103,9 +134,10 @@ let query_cmd =
     let doc = "Also print a shortest witness walk per selected node." in
     Arg.(value & flag & info [ "witness"; "w" ] ~doc)
   in
-  let run path qs witness =
+  let run path qs witness trace =
     let g = or_die (load_graph path) in
     let q = or_die (Gps.parse_query qs) in
+    with_trace trace @@ fun () ->
     let selected = Gps.Query.Eval.select_nodes g q in
     Printf.printf "%s selects %d node(s)\n" (Gps.Query.Rpq.to_string q) (List.length selected);
     List.iter
@@ -120,7 +152,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a path query")
-    Term.(const run $ graph_arg $ query_pos 1 $ witness)
+    Term.(const run $ graph_arg $ query_pos 1 $ witness $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* learn *)
@@ -131,8 +163,9 @@ let names_opt name doc =
 let learn_cmd =
   let pos = names_opt "pos" "Comma-separated positive node names." in
   let neg = names_opt "neg" "Comma-separated negative node names." in
-  let run path pos neg =
+  let run path pos neg trace =
     let g = or_die (load_graph path) in
+    with_trace trace @@ fun () ->
     match Gps.learn g ~pos ~neg with
     | Ok q ->
         Printf.printf "learned: %s\n" (Gps.Query.Rpq.to_string q);
@@ -143,7 +176,7 @@ let learn_cmd =
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn a query from labeled nodes (static scenario)")
-    Term.(const run $ graph_arg $ pos $ neg)
+    Term.(const run $ graph_arg $ pos $ neg $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* session *)
@@ -266,9 +299,10 @@ let session_cmd =
     let doc = "After an oracle session, explain how every node ended up classified." in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run path strategy goal seed budget record replay explain =
+  let run path strategy goal seed budget record replay explain trace =
     let g = or_die (load_graph path) in
     let strategy = or_die (Gps.Interactive.Strategy.by_name ~seed strategy) in
+    with_trace trace @@ fun () ->
     let config =
       { Gps.Interactive.Session.default_config with
         Gps.Interactive.Session.max_questions = budget }
@@ -340,7 +374,9 @@ let session_cmd =
   in
   Cmd.v
     (Cmd.info "session" ~doc:"Run the interactive specification scenario")
-    Term.(const run $ graph_arg $ strategy_arg $ goal $ seed $ budget $ record $ replay $ explain)
+    Term.(
+      const run $ graph_arg $ strategy_arg $ goal $ seed $ budget $ record $ replay $ explain
+      $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* dot *)
@@ -434,6 +470,40 @@ let identify_cmd =
     Term.(const run $ query_pos 0)
 
 (* ---------------------------------------------------------------- *)
+(* trace: offline work on JSONL span traces *)
+
+let trace_cmd =
+  let summary_cmd =
+    let file =
+      let doc = "JSONL trace file written by --trace." in
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+    in
+    let timings =
+      let doc =
+        "Include the duration columns (mean_us/max_us). Pass --timings=false for output \
+         that only depends on the work done, not on how fast it ran."
+      in
+      Arg.(value & opt bool true & info [ "timings" ] ~docv:"BOOL" ~doc)
+    in
+    let json =
+      let doc = "Emit the summary as one JSON object instead of a table." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let run file timings json =
+      let spans = or_die (Gps.Obs.Summary.load_file file) in
+      let rows = Gps.Obs.Summary.aggregate spans in
+      if json then
+        print_endline
+          (Gps.Graph.Json.value_to_string ~pretty:true (Gps.Obs.Summary.to_json ~timings rows))
+      else Format.printf "%a" (Gps.Obs.Summary.pp ~timings) rows
+    in
+    Cmd.v
+      (Cmd.info "summary" ~doc:"Aggregate a JSONL trace into per-span-name statistics")
+      Term.(const run $ file $ timings $ json)
+  in
+  Cmd.group (Cmd.info "trace" ~doc:"Inspect JSONL span traces") [ summary_cmd ]
+
+(* ---------------------------------------------------------------- *)
 (* serve *)
 
 let serve_cmd =
@@ -461,9 +531,27 @@ let serve_cmd =
     let doc = "Query-result cache capacity (0 disables caching)." in
     Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
   in
-  let run stdio port host preload cache =
+  let run stdio port host preload cache trace =
     let module Srv = Gps.Server.Server in
     let module P = Gps.Server.Protocol in
+    (* the service always traces: to the JSONL file when --trace is
+       given, otherwise into an in-memory ring the metrics endpoint
+       summarizes *)
+    let trace_oc =
+      match trace with
+      | Some path -> (
+          try
+            let oc = open_out path in
+            Gps.Obs.Trace.enable (Gps.Obs.Trace.Jsonl oc);
+            Some oc
+          with Sys_error msg -> or_die (Error msg))
+      | None ->
+          Gps.Obs.Trace.enable (Gps.Obs.Trace.Memory (Gps.Obs.Trace.buffer ()));
+          None
+    in
+    at_exit (fun () ->
+        Gps.Obs.Trace.disable ();
+        Option.iter close_out trace_oc);
     let server =
       Srv.create ~config:{ Srv.default_config with Srv.cache_capacity = cache } ()
     in
@@ -498,7 +586,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the query/specification protocol (newline-delimited JSON) over stdio or TCP")
-    Term.(const run $ stdio $ port $ host $ preload $ cache)
+    Term.(const run $ stdio $ port $ host $ preload $ cache $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 
@@ -510,5 +598,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; stats_cmd; query_cmd; learn_cmd; session_cmd; dot_cmd; convert_cmd;
-            identify_cmd; serve_cmd;
+            identify_cmd; serve_cmd; trace_cmd;
           ]))

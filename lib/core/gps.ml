@@ -6,6 +6,7 @@ module Learning = Gps_learning
 module Interactive = Gps_interactive
 module Viz = Gps_viz
 module Server = Gps_server
+module Obs = Gps_obs
 
 let parse_query = Query.Rpq.of_string
 let parse_query_exn = Query.Rpq.of_string_exn

@@ -11,7 +11,10 @@
     - {!Viz} — terminal/DOT renderings of the interaction views;
     - {!Server} — the multi-session query/specification service (JSON
       protocol, graph catalog, result cache, session manager, metrics,
-      stdio/TCP frontends).
+      stdio/TCP frontends);
+    - {!Obs} — cross-cutting observability: the monotonic clock, work
+      counters/gauges, structured trace spans and their sinks, and
+      trace summaries.
 
     Typical use, mirroring the paper's running example:
     {[
@@ -29,6 +32,7 @@ module Learning = Gps_learning
 module Interactive = Gps_interactive
 module Viz = Gps_viz
 module Server = Gps_server
+module Obs = Gps_obs
 
 (** {1 Queries} *)
 

@@ -1,7 +1,23 @@
 module Digraph = Gps_graph.Digraph
+module Counter = Gps_obs.Counter
+module Trace = Gps_obs.Trace
+
+let c_pos = Counter.make "propagate.implied_pos"
+let c_neg = Counter.make "propagate.implied_neg"
 
 let implied_positives g ~word =
-  List.filter (fun v -> Gps_query.Pathlang.covers g [ v ] word) (Digraph.nodes g)
+  Trace.with_span "propagate.positives" @@ fun sp ->
+  let implied = List.filter (fun v -> Gps_query.Pathlang.covers g [ v ] word) (Digraph.nodes g) in
+  Counter.add c_pos (List.length implied);
+  Trace.set_int sp "implied" (List.length implied);
+  implied
 
 let implied_negatives g ~negatives ~bound ~among =
-  List.filter (fun v -> not (Informative.is_informative g ~negatives ~bound v)) among
+  Trace.with_span "propagate.negatives" @@ fun sp ->
+  let implied =
+    List.filter (fun v -> not (Informative.is_informative g ~negatives ~bound v)) among
+  in
+  Counter.add c_neg (List.length implied);
+  Trace.set_int sp "implied" (List.length implied);
+  Trace.set_int sp "among" (List.length among);
+  implied

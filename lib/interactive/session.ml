@@ -4,6 +4,12 @@ module Sample = Gps_learning.Sample
 module Learner = Gps_learning.Learner
 module Rpq = Gps_query.Rpq
 module Iset = Set.Make (Int)
+module Counter = Gps_obs.Counter
+module Trace = Gps_obs.Trace
+
+let c_steps = Counter.make "session.steps"
+let c_relearns = Counter.make "session.relearns"
+let c_pruned = Counter.make "session.nodes_pruned"
 
 type config = {
   initial_radius : int;
@@ -106,6 +112,7 @@ let next_question t =
 
 (* Re-learn from the current sample and move to the proposal step. *)
 let relearn t =
+  Counter.incr c_relearns;
   let t = { t with counters = { t.counters with learner_runs = t.counters.learner_runs + 1 } } in
   match Learner.learn ~fuel:t.config.learn_fuel t.graph t.sample with
   | Learner.Learned q -> { t with hypothesis = Some q; pending = Propose q }
@@ -124,9 +131,11 @@ let prune t =
     Propagate.implied_negatives t.graph ~negatives:(Sample.neg t.sample) ~bound:t.config.bound
       ~among:unlabeled
   in
+  Counter.add c_pruned (List.length newly);
   { t with implied_neg = List.fold_left (fun s v -> Iset.add v s) t.implied_neg newly }
 
 let start ?(config = default_config) ~strategy g =
+  Trace.with_span "session.start" @@ fun _sp ->
   let t =
     {
       graph = g;
@@ -164,8 +173,12 @@ let path_tree_for t view =
   | None -> View.make_path_tree t.graph ~prefer view.View.node ~negatives ~max_len:t.config.bound
 
 let answer_label t reply =
+  Trace.with_span "session.answer_label" @@ fun sp ->
+  Trace.set_str sp "reply" (match reply with `Pos -> "pos" | `Neg -> "neg" | `Zoom -> "zoom");
   match t.pending with
-  | Ask_label view -> (
+  | Ask_label view ->
+      Counter.incr c_steps;
+      (
       match reply with
       | `Zoom ->
           let t = bump_zooms t in
@@ -198,8 +211,10 @@ let answer_label t reply =
       invalid_arg "Session.answer_label: no label question pending"
 
 let answer_path t word =
+  Trace.with_span "session.answer_path" @@ fun _sp ->
   match t.pending with
   | Ask_path tree ->
+      Counter.incr c_steps;
       if not (List.mem word tree.View.words) then
         invalid_arg "Session.answer_path: word is not one of the proposed candidates"
       else begin
@@ -218,11 +233,17 @@ let answer_path t word =
       invalid_arg "Session.answer_path: no path validation pending"
 
 let accept t =
+  Trace.with_span "session.accept" @@ fun _sp ->
   match t.pending with
-  | Propose _ -> finish (bump_proposals t) Satisfied
+  | Propose _ ->
+      Counter.incr c_steps;
+      finish (bump_proposals t) Satisfied
   | Ask_label _ | Ask_path _ | Finished _ -> invalid_arg "Session.accept: no proposal pending"
 
 let refine t =
+  Trace.with_span "session.refine" @@ fun _sp ->
   match t.pending with
-  | Propose _ -> next_question (bump_proposals t)
+  | Propose _ ->
+      Counter.incr c_steps;
+      next_question (bump_proposals t)
   | Ask_label _ | Ask_path _ | Finished _ -> invalid_arg "Session.refine: no proposal pending"

@@ -3,6 +3,11 @@ module Pta = Gps_automata.Pta
 module Rpq = Gps_query.Rpq
 module Eval = Gps_query.Eval
 module Pathlang = Gps_query.Pathlang
+module Counter = Gps_obs.Counter
+module Trace = Gps_obs.Trace
+
+let c_runs = Counter.make "learner.runs"
+let c_failures = Counter.make "learner.failures"
 
 type failure =
   | Conflicting_node of Digraph.node
@@ -28,7 +33,7 @@ let witness_words ?fuel ?max_len g sample =
   in
   go [] (Sample.pos sample)
 
-let learn ?fuel ?max_len g sample =
+let learn_result ?fuel ?max_len g sample =
   match Sample.pos sample with
   | [] ->
       (* Nothing must be selected: the empty query is consistent with any
@@ -46,6 +51,19 @@ let learn ?fuel ?max_len g sample =
           in
           let nfa = Rpni.generalize pta ~consistent in
           Learned (Rpq.of_nfa nfa))
+
+let learn ?fuel ?max_len g sample =
+  Trace.with_span "learner.learn" @@ fun sp ->
+  Counter.incr c_runs;
+  Trace.set_int sp "pos" (List.length (Sample.pos sample));
+  Trace.set_int sp "neg" (List.length (Sample.neg sample));
+  let result = learn_result ?fuel ?max_len g sample in
+  (match result with
+  | Learned _ -> Trace.set_str sp "result" "learned"
+  | Failed _ ->
+      Counter.incr c_failures;
+      Trace.set_str sp "result" "failed");
+  result
 
 let pp_failure g ppf = function
   | Conflicting_node v ->

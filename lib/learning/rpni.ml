@@ -1,8 +1,16 @@
 module Nfa = Gps_automata.Nfa
 module Pta = Gps_automata.Pta
+module Counter = Gps_obs.Counter
+module Trace = Gps_obs.Trace
 
 let attempted = ref 0
 let merge_count () = !attempted
+
+let c_attempts = Counter.make "rpni.merge_attempts"
+let c_accepts = Counter.make "rpni.merge_accepts"
+let c_rejects = Counter.make "rpni.merge_rejects"
+let c_promotions = Counter.make "rpni.promotions"
+let c_checks = Counter.make "rpni.consistency_checks"
 
 (* Union-find without path compression so that rollback is a plain array
    copy. PTAs here are small (tens of states). *)
@@ -49,12 +57,20 @@ let quotient_of parent nfa =
   Nfa.quotient nfa ~partition
 
 let generalize pta ~consistent =
+  Trace.with_span "rpni.generalize" @@ fun sp ->
   attempted := 0;
+  let accepts = ref 0 and promotions = ref 0 and checks = ref 0 in
+  let consistent nfa =
+    incr checks;
+    consistent nfa
+  in
   let nfa = pta.Pta.nfa in
   let n = Nfa.n_states nfa in
   let trans = Nfa.transitions nfa in
-  if not (consistent nfa) then
-    invalid_arg "Rpni.generalize: the sample itself is inconsistent (a witness word is covered)";
+  if not (consistent nfa) then begin
+    Counter.incr c_checks;
+    invalid_arg "Rpni.generalize: the sample itself is inconsistent (a witness word is covered)"
+  end;
   let parent = Array.init n Fun.id in
   let red = ref [ 0 ] in
   for q = 1 to n - 1 do
@@ -63,19 +79,32 @@ let generalize pta ~consistent =
       let rec try_reds = function
         | [] ->
             (* promote: q becomes red *)
+            incr promotions;
             red := !red @ [ q ]
         | r :: rest ->
             incr attempted;
             let candidate = Array.copy parent in
             candidate.(q) <- find candidate r;
             close candidate trans;
-            if consistent (quotient_of candidate nfa) then
+            if consistent (quotient_of candidate nfa) then begin
+              incr accepts;
               Array.blit candidate 0 parent 0 n
+            end
             else try_reds rest
       in
       try_reds !red
     end
   done;
+  Counter.add c_attempts !attempted;
+  Counter.add c_accepts !accepts;
+  Counter.add c_rejects (!attempted - !accepts);
+  Counter.add c_promotions !promotions;
+  Counter.add c_checks !checks;
+  Trace.set_int sp "pta_states" n;
+  Trace.set_int sp "merge_attempts" !attempted;
+  Trace.set_int sp "merge_accepts" !accepts;
+  Trace.set_int sp "promotions" !promotions;
+  Trace.set_int sp "consistency_checks" !checks;
   Nfa.trim (quotient_of parent nfa)
 
 let generalize_words pta ~neg_words =

@@ -1,7 +1,13 @@
 module Digraph = Gps_graph.Digraph
 module Iset = Set.Make (Int)
+module Counter = Gps_obs.Counter
+module Trace = Gps_obs.Trace
 
 type outcome = Found of string list | Uninformative | Timeout
+
+let c_searches = Counter.make "witness.searches"
+let c_expansions = Counter.make "witness.expansions"
+let c_timeouts = Counter.make "witness.timeouts"
 
 (* Subset step: image of a frontier under one label. *)
 let step g frontier lbl =
@@ -18,6 +24,7 @@ let out_labels g frontier =
     frontier Iset.empty
 
 let search g ?(fuel = 100_000) ?max_len v ~negatives =
+  Trace.with_span "witness.search" @@ fun sp ->
   let seen = Hashtbl.create 256 in
   let q = Queue.create () in
   let init = (Iset.singleton v, Iset.of_list negatives) in
@@ -55,7 +62,15 @@ let search g ?(fuel = 100_000) ?max_len v ~negatives =
   (* ε is a path of every node, so with at least one negative the initial
      pair has S_N ≠ ∅ and the search proceeds; with none, ε is returned
      immediately (any query selecting everything is consistent so far). *)
-  go ()
+  let outcome = go () in
+  let expansions = fuel - !remaining in
+  Counter.incr c_searches;
+  Counter.add c_expansions expansions;
+  if outcome = Timeout then Counter.incr c_timeouts;
+  Trace.set_int sp "expansions" expansions;
+  Trace.set_str sp "outcome"
+    (match outcome with Found _ -> "found" | Uninformative -> "uninformative" | Timeout -> "timeout");
+  outcome
 
 let count_uncovered g v ~negatives ~max_len =
   (* Enumerate distinct words breadth-first (pair states keyed by the word,

@@ -1,0 +1,18 @@
+(** The engine's single monotonic clock.
+
+    Every latency the system reports — span durations, the server's
+    endpoint histograms, bench wall-clock — must come from this module,
+    never from [Unix.gettimeofday]: a wall clock stepped by NTP (or a
+    leap second) makes histograms go backwards. The source is
+    [CLOCK_MONOTONIC] via the dependency-free [bechamel.monotonic_clock]
+    stub, reading in nanoseconds with no allocation. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed origin; never decreases. *)
+
+val elapsed_ns : int64 -> int64
+(** [elapsed_ns since] is [now_ns () - since], clamped at 0. *)
+
+val ns_to_us : int64 -> float
+
+val ns_to_s : int64 -> float

@@ -1,0 +1,46 @@
+type t = { name : string; cell : int Atomic.t }
+
+(* The registry: touched at module-init time and by snapshots, never on
+   the increment path, so one mutex is plenty. *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let make name =
+  Mutex.lock lock;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; cell = Atomic.make 0 } in
+        Hashtbl.replace registry name c;
+        c
+  in
+  Mutex.unlock lock;
+  c
+
+let name c = c.name
+
+let incr c = ignore (Atomic.fetch_and_add c.cell 1)
+
+let add c n =
+  if n < 0 then invalid_arg "Counter.add: counters are monotonic (negative delta)";
+  if n > 0 then ignore (Atomic.fetch_and_add c.cell n)
+
+let value c = Atomic.get c.cell
+
+let entries () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) registry [] in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare a.name b.name) all
+
+let snapshot () = List.map (fun c -> (c.name, value c)) (entries ())
+
+let snapshot_nonzero () =
+  List.filter_map
+    (fun c ->
+      let v = value c in
+      if v = 0 then None else Some (c.name, v))
+    (entries ())
+
+let reset_all () = List.iter (fun c -> Atomic.set c.cell 0) (entries ())

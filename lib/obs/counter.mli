@@ -1,0 +1,41 @@
+(** Monotonic work counters.
+
+    A counter is a named atomic integer measuring {e work done} (product
+    states built, merges attempted, nodes pruned) rather than time.
+    Unlike spans, counters are always on: an increment is one atomic add
+    with no allocation and no branch on a global switch, cheap enough
+    that hot loops accumulate locally and publish once per call.
+
+    Counters live in one process-wide registry so that benches, the
+    server's metrics endpoint and the CLI all read the same totals.
+    [make] is idempotent per name — instrumented modules create their
+    counters at module initialization and the registry hands back the
+    same cell everywhere. *)
+
+type t
+
+val make : string -> t
+(** Register (or look up) the counter named [name]. Names are
+    dot-qualified by subsystem: ["eval.frontier_visits"],
+    ["rpni.merge_accepts"], ["session.nodes_pruned"]. *)
+
+val name : t -> string
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+(** Negative deltas are rejected with [Invalid_argument] — counters are
+    monotonic by contract. *)
+
+val value : t -> int
+
+val snapshot : unit -> (string * int) list
+(** Every registered counter, sorted by name — including zeros, so a
+    document's shape does not depend on which code paths ran. *)
+
+val snapshot_nonzero : unit -> (string * int) list
+(** Only counters with a nonzero value, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter (benches isolate runs with this; the
+    registry itself is never unregistered). *)

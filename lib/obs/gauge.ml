@@ -1,0 +1,45 @@
+(* Floats don't fit Atomic tearing-free guarantees on every platform, so
+   gauges box the value; sets/reads are rare (per request, not per loop
+   iteration). *)
+type t = { name : string; mutable v : float; lock : Mutex.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let reg_lock = Mutex.create ()
+
+let make name =
+  Mutex.lock reg_lock;
+  let g =
+    match Hashtbl.find_opt registry name with
+    | Some g -> g
+    | None ->
+        let g = { name; v = 0.; lock = Mutex.create () } in
+        Hashtbl.replace registry name g;
+        g
+  in
+  Mutex.unlock reg_lock;
+  g
+
+let name g = g.name
+
+let set g x =
+  Mutex.lock g.lock;
+  g.v <- x;
+  Mutex.unlock g.lock
+
+let set_int g n = set g (float_of_int n)
+
+let value g =
+  Mutex.lock g.lock;
+  let x = g.v in
+  Mutex.unlock g.lock;
+  x
+
+let entries () =
+  Mutex.lock reg_lock;
+  let all = Hashtbl.fold (fun _ g acc -> g :: acc) registry [] in
+  Mutex.unlock reg_lock;
+  List.sort (fun a b -> compare a.name b.name) all
+
+let snapshot () = List.map (fun g -> (g.name, value g)) (entries ())
+
+let reset_all () = List.iter (fun g -> set g 0.) (entries ())

@@ -1,0 +1,17 @@
+(** Gauges: named instantaneous values.
+
+    Where a {!Counter} only goes up (work done), a gauge is set to the
+    current level of something — live sessions, cache size, ring
+    occupancy. Same process-wide registry discipline as counters:
+    [make] is idempotent per name, snapshots are sorted and include
+    every registered gauge. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+val set : t -> float -> unit
+val set_int : t -> int -> unit
+val value : t -> float
+val snapshot : unit -> (string * float) list
+val reset_all : unit -> unit

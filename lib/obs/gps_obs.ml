@@ -1,0 +1,15 @@
+(** Cross-cutting observability: {!Clock} is the process's one monotonic
+    time source; {!Counter} and {!Gauge} are always-on named work
+    counters and levels; {!Trace} records structured spans into a
+    pluggable sink (null / in-memory ring / JSONL) behind a global
+    switch that costs nothing when off; {!Summary} aggregates span
+    streams into per-name count/mean/max rows. Every engine layer
+    (query evaluation, learning, interactive sessions, the server)
+    reports through this library, and the bench harness snapshots its
+    counters so perf PRs compare work done, not just wall-clock. *)
+
+module Clock = Clock
+module Counter = Counter
+module Gauge = Gauge
+module Trace = Trace
+module Summary = Summary

@@ -1,0 +1,88 @@
+module Json = Gps_graph.Json
+
+type row = { name : string; count : int; total_ns : int64; max_ns : int64; errors : int }
+
+let is_error sp =
+  List.exists (function "error", Trace.Bool true -> true | _ -> false) sp.Trace.attrs
+
+let aggregate spans =
+  let tbl : (string, row) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (sp : Trace.span) ->
+      let prev =
+        match Hashtbl.find_opt tbl sp.name with
+        | Some r -> r
+        | None -> { name = sp.name; count = 0; total_ns = 0L; max_ns = 0L; errors = 0 }
+      in
+      Hashtbl.replace tbl sp.name
+        {
+          prev with
+          count = prev.count + 1;
+          total_ns = Int64.add prev.total_ns sp.dur_ns;
+          max_ns = (if Int64.compare sp.dur_ns prev.max_ns > 0 then sp.dur_ns else prev.max_ns);
+          errors = (prev.errors + if is_error sp then 1 else 0);
+        })
+    spans;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let mean_us r =
+  if r.count = 0 then 0. else Clock.ns_to_us r.total_ns /. float_of_int r.count
+
+let load_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go lineno acc =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | line when String.trim line = "" -> go (lineno + 1) acc
+            | line -> (
+                match Json.value_of_string line with
+                | exception Json.Parse_error (pos, msg) ->
+                    Error (Printf.sprintf "%s:%d: json error at %d: %s" path lineno pos msg)
+                | v -> (
+                    match Trace.span_of_json v with
+                    | Ok sp -> go (lineno + 1) (sp :: acc)
+                    | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg)))
+          in
+          go 1 [])
+
+let micros_j us = Json.Number (Float.round (us *. 10.) /. 10.)  (* 0.1 µs resolution *)
+let int_j n = Json.Number (float_of_int n)
+
+let to_json ?(timings = true) rows =
+  Json.Object
+    (List.map
+       (fun r ->
+         let base = [ ("count", int_j r.count); ("errors", int_j r.errors) ] in
+         let fields =
+           if not timings then base
+           else
+             base
+             @ [ ("mean_us", micros_j (mean_us r)); ("max_us", micros_j (Clock.ns_to_us r.max_ns)) ]
+         in
+         (r.name, Json.Object fields))
+       rows)
+
+let pp ?(timings = true) ppf rows =
+  let widest =
+    List.fold_left (fun w r -> max w (String.length r.name)) (String.length "span") rows
+  in
+  if timings then begin
+    Format.fprintf ppf "%-*s %8s %6s %12s %12s@." widest "span" "count" "errs" "mean_us" "max_us";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "%-*s %8d %6d %12.1f %12.1f@." widest r.name r.count r.errors
+          (mean_us r) (Clock.ns_to_us r.max_ns))
+      rows
+  end
+  else begin
+    Format.fprintf ppf "%-*s %8s %6s@." widest "span" "count" "errs";
+    List.iter
+      (fun r -> Format.fprintf ppf "%-*s %8d %6d@." widest r.name r.count r.errors)
+      rows
+  end

@@ -1,0 +1,38 @@
+(** Aggregation of span streams into per-name statistics.
+
+    One [row] per span name: how many spans closed under that name, the
+    mean and maximum duration. This is the shared read side of tracing —
+    [gps trace summary] runs it over a JSONL file, the server's metrics
+    endpoint runs it over its in-memory ring, and the test suite runs it
+    over synthetic spans.
+
+    Everything duration-derived is segregated behind [timings] so that a
+    summary of a deterministic workload renders deterministically
+    ([timings:false] keeps only names and counts — span counts are work,
+    not time). *)
+
+type row = {
+  name : string;
+  count : int;
+  total_ns : int64;
+  max_ns : int64;
+  errors : int;  (** spans closed by an exception (["error"] attr) *)
+}
+
+val aggregate : Trace.span list -> row list
+(** Sorted by name. *)
+
+val mean_us : row -> float
+
+val load_file : string -> (Trace.span list, string) result
+(** Parse a JSONL trace, strictly: any unreadable or malformed line
+    fails with a message naming the line number. Blank lines are
+    skipped. *)
+
+val to_json : ?timings:bool -> row list -> Gps_graph.Json.value
+(** An object keyed by span name; each value has ["count"], ["errors"]
+    and — with [timings] (default true) — ["mean_us"] and ["max_us"]
+    (0.1 µs resolution, matching the server's histogram rendering). *)
+
+val pp : ?timings:bool -> Format.formatter -> row list -> unit
+(** An aligned table for terminals. *)

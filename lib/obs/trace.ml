@@ -1,0 +1,293 @@
+module Json = Gps_graph.Json
+
+type attr = Int of int | Float of float | String of string | Bool of bool
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : (string * attr) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* sinks *)
+
+type buffer = {
+  mutable ring : span array option;  (* allocated lazily at first emit *)
+  capacity : int;
+  mutable next : int;    (* write cursor *)
+  mutable stored : int;  (* min (total, capacity) *)
+  mutable total : int;
+  blk : Mutex.t;
+}
+
+type sink = Null | Memory of buffer | Jsonl of out_channel
+
+let buffer ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.buffer: capacity must be positive";
+  { ring = None; capacity; next = 0; stored = 0; total = 0; blk = Mutex.create () }
+
+let buffer_push b sp =
+  Mutex.lock b.blk;
+  let ring =
+    match b.ring with
+    | Some r -> r
+    | None ->
+        let r = Array.make b.capacity sp in
+        b.ring <- Some r;
+        r
+  in
+  ring.(b.next) <- sp;
+  b.next <- (b.next + 1) mod b.capacity;
+  if b.stored < b.capacity then b.stored <- b.stored + 1;
+  b.total <- b.total + 1;
+  Mutex.unlock b.blk
+
+let buffer_spans b =
+  Mutex.lock b.blk;
+  let out =
+    match b.ring with
+    | None -> []
+    | Some ring ->
+        let first = (b.next - b.stored + b.capacity) mod b.capacity in
+        List.init b.stored (fun i -> ring.((first + i) mod b.capacity))
+  in
+  Mutex.unlock b.blk;
+  out
+
+let buffer_dropped b =
+  Mutex.lock b.blk;
+  let d = b.total - b.stored in
+  Mutex.unlock b.blk;
+  d
+
+let buffer_clear b =
+  Mutex.lock b.blk;
+  b.ring <- None;
+  b.next <- 0;
+  b.stored <- 0;
+  b.total <- 0;
+  Mutex.unlock b.blk
+
+(* ------------------------------------------------------------------ *)
+(* global state *)
+
+let on = Atomic.make false
+let sink = ref Null
+let sink_lock = Mutex.create ()  (* serializes Jsonl writes and sink swaps *)
+let next_id = Atomic.make 0
+
+let enabled () = Atomic.get on
+
+let enable s =
+  Mutex.lock sink_lock;
+  sink := s;
+  Mutex.unlock sink_lock;
+  Atomic.set on true
+
+let disable () =
+  Atomic.set on false;
+  Mutex.lock sink_lock;
+  sink := Null;
+  Mutex.unlock sink_lock
+
+let current_sink () = !sink
+
+(* ------------------------------------------------------------------ *)
+(* open-span handles and the per-thread parent stack *)
+
+type t = {
+  live : bool;
+  sid : int;
+  mutable sparent : int;
+  sname : string;
+  sstart : int64;
+  mutable sattrs : (string * attr) list;  (* reverse set order *)
+}
+
+let dead = { live = false; sid = -1; sparent = -1; sname = ""; sstart = 0L; sattrs = [] }
+
+(* Innermost open span per thread. Only touched when tracing is enabled,
+   so the mutex is off the disabled path entirely. *)
+let stacks : (int, t list) Hashtbl.t = Hashtbl.create 16
+let stacks_lock = Mutex.create ()
+
+let stack_push h =
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock stacks_lock;
+  let parent =
+    match Hashtbl.find_opt stacks tid with
+    | Some (p :: _ as st) ->
+        Hashtbl.replace stacks tid (h :: st);
+        p.sid
+    | Some [] | None ->
+        Hashtbl.replace stacks tid [ h ];
+        -1
+  in
+  Mutex.unlock stacks_lock;
+  parent
+
+let stack_pop () =
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock stacks_lock;
+  (match Hashtbl.find_opt stacks tid with
+  | Some [ _ ] | Some [] | None -> Hashtbl.remove stacks tid
+  | Some (_ :: rest) -> Hashtbl.replace stacks tid rest);
+  Mutex.unlock stacks_lock
+
+let stack_top () =
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock stacks_lock;
+  let top = match Hashtbl.find_opt stacks tid with Some (h :: _) -> Some h | _ -> None in
+  Mutex.unlock stacks_lock;
+  top
+
+(* ------------------------------------------------------------------ *)
+(* attributes *)
+
+let set_attr h key v = if h.live then h.sattrs <- (key, v) :: h.sattrs
+let set_int h key v = set_attr h key (Int v)
+let set_str h key v = set_attr h key (String v)
+let set_bool h key v = set_attr h key (Bool v)
+
+let set_current_attr key v =
+  if Atomic.get on then
+    match stack_top () with Some h -> set_attr h key v | None -> ()
+
+(* last set wins for the value, first set wins for the position *)
+let final_attrs rev =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then None
+      else begin
+        Hashtbl.add seen k ();
+        (* [rev] lists most-recent first, so assoc finds the last set *)
+        Some (k, List.assoc k rev)
+      end)
+    (List.rev rev)
+
+(* ------------------------------------------------------------------ *)
+(* codec *)
+
+let attr_to_json = function
+  | Int n -> Json.Number (float_of_int n)
+  | Float f -> Json.Number f
+  | String s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let span_to_json sp =
+  Json.Object
+    [
+      ("span", Json.String sp.name);
+      ("id", Json.Number (float_of_int sp.id));
+      ("parent", Json.Number (float_of_int sp.parent));
+      ("start_ns", Json.Number (Int64.to_float sp.start_ns));
+      ("dur_ns", Json.Number (Int64.to_float sp.dur_ns));
+      ("attrs", Json.Object (List.map (fun (k, v) -> (k, attr_to_json v)) sp.attrs));
+    ]
+
+let span_to_string sp = Json.value_to_string (span_to_json sp)
+
+let span_of_json v =
+  let str name =
+    match Json.member name v with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "span field %S missing or not a string" name)
+  in
+  let num name =
+    match Json.member name v with
+    | Some (Json.Number f) -> Ok f
+    | _ -> Error (Printf.sprintf "span field %S missing or not a number" name)
+  in
+  let ( let* ) = Result.bind in
+  let* name = str "span" in
+  let* id = num "id" in
+  let* parent = num "parent" in
+  let* start_ns = num "start_ns" in
+  let* dur_ns = num "dur_ns" in
+  let* attrs =
+    match Json.member "attrs" v with
+    | None -> Ok []
+    | Some (Json.Object fields) ->
+        Ok
+          (List.map
+             (fun (k, v) ->
+               ( k,
+                 match v with
+                 | Json.Bool b -> Bool b
+                 | Json.String s -> String s
+                 | Json.Number f when Float.is_integer f && Float.abs f < 1e15 ->
+                     Int (int_of_float f)
+                 | Json.Number f -> Float f
+                 | other -> String (Json.value_to_string other) ))
+             fields)
+    | Some _ -> Error "span field \"attrs\" must be an object"
+  in
+  Ok
+    {
+      id = int_of_float id;
+      parent = int_of_float parent;
+      name;
+      start_ns = Int64.of_float start_ns;
+      dur_ns = Int64.of_float dur_ns;
+      attrs;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* recording *)
+
+let emit sp =
+  Mutex.lock sink_lock;
+  let s = !sink in
+  (match s with
+  | Null -> ()
+  | Memory _ -> ()
+  | Jsonl oc ->
+      output_string oc (span_to_string sp);
+      output_char oc '\n';
+      (* per-line flush: a trace must survive the process being killed,
+         and it makes live tailing work *)
+      flush oc);
+  Mutex.unlock sink_lock;
+  (* ring buffers have their own lock; don't hold the sink lock for them *)
+  match s with Memory b -> buffer_push b sp | Null | Jsonl _ -> ()
+
+let close h =
+  stack_pop ();
+  emit
+    {
+      id = h.sid;
+      parent = h.sparent;
+      name = h.sname;
+      start_ns = h.sstart;
+      dur_ns = Clock.elapsed_ns h.sstart;
+      attrs = final_attrs h.sattrs;
+    }
+
+let with_span ?attrs name f =
+  if not (Atomic.get on) then f dead
+  else begin
+    let h =
+      {
+        live = true;
+        sid = Atomic.fetch_and_add next_id 1;
+        sparent = -1;
+        sname = name;
+        sstart = Clock.now_ns ();
+        sattrs = (match attrs with None -> [] | Some l -> List.rev l);
+      }
+    in
+    h.sparent <- stack_push h;
+    match f h with
+    | v ->
+        close h;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        set_bool h "error" true;
+        close h;
+        Printexc.raise_with_backtrace e bt
+  end

@@ -1,0 +1,100 @@
+(** Structured spans with pluggable sinks.
+
+    A span is one named, timed unit of engine work — an RPQ evaluation,
+    an RPNI generalization, one interactive step, one server dispatch —
+    with a monotonic start/stop pair ({!Clock}), the id of the span it
+    ran inside (spans form a forest), and a small set of key→value
+    attributes measuring what the work did (states built, cache hit,
+    merges accepted).
+
+    {b The disabled-path contract.} Tracing is off by default and the
+    whole module is built to be safe to leave in hot loops: with tracing
+    disabled, {!with_span} allocates nothing — it invokes the body with a
+    preallocated dead handle on which every setter is a no-op — and costs
+    one atomic load plus a branch. Instrumented code therefore never
+    guards its spans; it calls {!with_span} unconditionally.
+
+    {b Exception safety.} {!with_span} closes and emits its span on every
+    exit path; a raising body yields a span with the ["error"] attribute
+    set to [true] and the exception (and its backtrace) re-raised intact.
+    Every started span is closed — the QCheck suite pins this down.
+
+    Completed spans go to the installed {!sink}: {!Null} drops them,
+    {!Memory} keeps the most recent in a ring buffer (tests, the server's
+    metrics endpoint), {!Jsonl} appends one JSON line each for offline
+    aggregation ([gps trace summary]). Emission is mutex-serialized per
+    sink; span identity is process-global, so one trace interleaves all
+    threads. *)
+
+type attr = Int of int | Float of float | String of string | Bool of bool
+
+type span = {
+  id : int;  (** unique in the process, allocated in start order *)
+  parent : int;  (** enclosing span's id, [-1] for roots *)
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : (string * attr) list;  (** in the order they were set *)
+}
+
+(** {1 Sinks} *)
+
+type buffer
+(** A bounded ring of completed spans. *)
+
+type sink = Null | Memory of buffer | Jsonl of out_channel
+
+val buffer : ?capacity:int -> unit -> buffer
+(** Default capacity 4096 spans; older spans are dropped, counted by
+    {!buffer_dropped}. *)
+
+val buffer_spans : buffer -> span list
+(** Retained spans, oldest first. *)
+
+val buffer_dropped : buffer -> int
+
+val buffer_clear : buffer -> unit
+
+(** {1 The global switch} *)
+
+val enabled : unit -> bool
+
+val enable : sink -> unit
+(** Install [sink] and turn tracing on. *)
+
+val disable : unit -> unit
+(** Turn tracing off and restore the {!Null} sink. Does not close a
+    {!Jsonl} channel — the opener owns it. *)
+
+val current_sink : unit -> sink
+
+(** {1 Recording} *)
+
+type t
+(** A handle on an open span (dead when tracing is disabled). *)
+
+val with_span : ?attrs:(string * attr) list -> string -> (t -> 'a) -> 'a
+
+val set_attr : t -> string -> attr -> unit
+(** Last set wins per key. No-op on a dead handle. *)
+
+val set_int : t -> string -> int -> unit
+val set_str : t -> string -> string -> unit
+val set_bool : t -> string -> bool -> unit
+
+val set_current_attr : string -> attr -> unit
+(** Set an attribute on the innermost span open on the calling thread,
+    if any — how deep code (say, the query cache) annotates the request
+    span it happens to run under. No-op when tracing is disabled. *)
+
+(** {1 Codec} *)
+
+val span_to_json : span -> Gps_graph.Json.value
+(** A flat object: ["span"], ["id"], ["parent"], ["start_ns"],
+    ["dur_ns"], ["attrs"]. Timestamps are JSON numbers; they round-trip
+    exactly below 2{^53} ns (≈ 104 days of monotonic uptime). *)
+
+val span_of_json : Gps_graph.Json.value -> (span, string) result
+
+val span_to_string : span -> string
+(** The JSONL line emitted by the {!Jsonl} sink. *)

@@ -1,5 +1,14 @@
 module Digraph = Gps_graph.Digraph
 module Nfa = Gps_automata.Nfa
+module Counter = Gps_obs.Counter
+module Trace = Gps_obs.Trace
+
+(* Work counters, published once per evaluation (the loops accumulate in
+   locals — no per-iteration cost). *)
+let c_runs = Counter.make "eval.runs"
+let c_states = Counter.make "eval.product_states"
+let c_visits = Counter.make "eval.frontier_visits"
+let c_dedup = Counter.make "eval.early_exit_hits"
 
 (* Automaton transitions re-indexed by the graph's label ids:
    by_label.(lbl) = [(qsrc, qdst); ...]. Transitions on labels the graph
@@ -15,6 +24,7 @@ let index_transitions g nfa =
   by_label
 
 let select_nfa g nfa =
+  Trace.with_span "eval.select" @@ fun sp ->
   let n = Digraph.n_nodes g and m = Nfa.n_states nfa in
   let selected = Array.make n false in
   if m = 0 then selected
@@ -24,12 +34,14 @@ let select_nfa g nfa =
        from (v, q). Seeded at accepting states, propagated backward. *)
     let can_accept = Array.make (n * m) false in
     let queue = Queue.create () in
+    let visits = ref 0 and dedup = ref 0 in
     let push v qs =
       let idx = (v * m) + qs in
       if not can_accept.(idx) then begin
         can_accept.(idx) <- true;
         Queue.add (v, qs) queue
       end
+      else incr dedup
     in
     let finals = Nfa.finals nfa in
     for v = 0 to n - 1 do
@@ -37,6 +49,7 @@ let select_nfa g nfa =
     done;
     while not (Queue.is_empty queue) do
       let v', q' = Queue.pop queue in
+      incr visits;
       (* predecessors: (v, q) with v -lbl-> v' in G and q -lbl-> q' in A *)
       List.iter
         (fun (lbl, v) ->
@@ -47,6 +60,13 @@ let select_nfa g nfa =
     for v = 0 to n - 1 do
       selected.(v) <- List.exists (fun q0 -> can_accept.((v * m) + q0)) starts
     done;
+    Counter.incr c_runs;
+    Counter.add c_states (n * m);
+    Counter.add c_visits !visits;
+    Counter.add c_dedup !dedup;
+    Trace.set_int sp "product_states" (n * m);
+    Trace.set_int sp "frontier_visits" !visits;
+    Trace.set_int sp "early_exit_hits" !dedup;
     selected
   end
 
@@ -55,6 +75,7 @@ let select g q = select_nfa g (Rpq.nfa q)
 (* Same backward product BFS over a frozen CSR snapshot: no list
    allocation on the adjacency hot path. *)
 let select_frozen g csr q =
+  Trace.with_span "eval.select_frozen" @@ fun sp ->
   let module Csr = Gps_graph.Csr in
   let nfa = Rpq.nfa q in
   let n = Csr.n_nodes csr and m = Nfa.n_states nfa in
@@ -64,12 +85,14 @@ let select_frozen g csr q =
     let by_label = index_transitions g nfa in
     let can_accept = Array.make (n * m) false in
     let queue = Queue.create () in
+    let visits = ref 0 and dedup = ref 0 in
     let push v qs =
       let idx = (v * m) + qs in
       if not can_accept.(idx) then begin
         can_accept.(idx) <- true;
         Queue.add idx queue
       end
+      else incr dedup
     in
     let finals = Nfa.finals nfa in
     for v = 0 to n - 1 do
@@ -77,6 +100,7 @@ let select_frozen g csr q =
     done;
     while not (Queue.is_empty queue) do
       let idx = Queue.pop queue in
+      incr visits;
       let v' = idx / m and q' = idx mod m in
       Csr.iter_in csr v' (fun lbl v ->
           List.iter (fun (qs, qd) -> if qd = q' then push v qs) by_label.(lbl))
@@ -85,6 +109,13 @@ let select_frozen g csr q =
     for v = 0 to n - 1 do
       selected.(v) <- List.exists (fun q0 -> can_accept.((v * m) + q0)) starts
     done;
+    Counter.incr c_runs;
+    Counter.add c_states (n * m);
+    Counter.add c_visits !visits;
+    Counter.add c_dedup !dedup;
+    Trace.set_int sp "product_states" (n * m);
+    Trace.set_int sp "frontier_visits" !visits;
+    Trace.set_int sp "early_exit_hits" !dedup;
     selected
   end
 

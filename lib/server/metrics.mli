@@ -7,7 +7,12 @@
     cheap enough to sit on every request.
 
     [to_json ~timings:false] omits everything latency-derived, leaving a
-    fully deterministic document (the cram tests rely on this). *)
+    fully deterministic document (the cram tests rely on this).
+
+    Clock contract: [seconds] must be a {e monotonic} duration —
+    callers measure with {!Gps_obs.Clock} (the same source spans use),
+    never by differencing [Unix.gettimeofday], so a stepped wall clock
+    cannot make a histogram go backwards. *)
 
 type t
 

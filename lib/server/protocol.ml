@@ -16,6 +16,7 @@ type request =
   | Session_propose of { session : int; accept : bool }
   | Session_stop of { session : int }
   | Metrics of { timings : bool }
+  | Status of { timings : bool }
 
 type error = { code : string; message : string }
 
@@ -34,6 +35,7 @@ type response =
   | Session of { session : int; view : session_view }
   | Stopped of { session : int; questions : int }
   | Metrics_dump of Json.value
+  | Status_dump of Json.value
   | Err of error
 
 let op_name = function
@@ -50,6 +52,7 @@ let op_name = function
   | Session_propose _ -> "session-propose"
   | Session_stop _ -> "session-stop"
   | Metrics _ -> "metrics"
+  | Status _ -> "status"
 
 (* ------------------------------------------------------------------ *)
 (* JSON building blocks *)
@@ -93,6 +96,7 @@ let encode_request r =
         [ ("session", int session); ("accept", Json.Bool accept) ]
     | Session_stop { session } -> [ ("session", int session) ]
     | Metrics { timings } -> [ ("timings", Json.Bool timings) ]
+    | Status { timings } -> [ ("timings", Json.Bool timings) ]
   in
   Json.Object (("op", op) :: fields)
 
@@ -168,6 +172,7 @@ let encode_response ?id r =
     | Stopped { session; questions } ->
         ok_fields "stopped" [ ("session", int session); ("questions", int questions) ]
     | Metrics_dump v -> ok_fields "metrics" [ ("metrics", v) ]
+    | Status_dump v -> ok_fields "status" [ ("status", v) ]
     | Err { code; message } ->
         [
           ("ok", Json.Bool false);
@@ -329,6 +334,13 @@ let decode_request v =
             | Some t -> as_bool "timings" t
           in
           Ok (Metrics { timings })
+      | "status" ->
+          let* timings =
+            match opt_field v "timings" with
+            | None -> Ok true
+            | Some t -> as_bool "timings" t
+          in
+          Ok (Status { timings })
       | other -> bad "unknown op %S" other)
   | _ -> Error { code = "bad-request"; message = "request must be a JSON object" }
 
@@ -443,6 +455,9 @@ let decode_response v =
         | "metrics" ->
             let* m = field v "metrics" in
             Ok (Metrics_dump m)
+        | "status" ->
+            let* s = field v "status" in
+            Ok (Status_dump s)
         | other -> bad "unknown response kind %S" other)
   | _ -> Error { code = "bad-request"; message = "response must be a JSON object" }
 

@@ -45,6 +45,10 @@ type request =
   | Metrics of { timings : bool }
       (** [timings = false] omits latency data (deterministic output, for
           tests) *)
+  | Status of { timings : bool }
+      (** one-document service health: uptime, catalog versions, session
+          count, cache totals; [timings = false] omits uptime so the
+          document is fully deterministic *)
 
 type error = { code : string; message : string }
 (** Stable machine-readable [code] (["parse"], ["bad-request"],
@@ -76,6 +80,7 @@ type response =
   | Session of { session : int; view : session_view }
   | Stopped of { session : int; questions : int }
   | Metrics_dump of Gps_graph.Json.value
+  | Status_dump of Gps_graph.Json.value
   | Err of error
 
 val op_name : request -> string

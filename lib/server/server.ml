@@ -2,6 +2,15 @@ module Json = Gps_graph.Json
 module Digraph = Gps_graph.Digraph
 module P = Protocol
 module S = Gps_interactive.Session
+module Clock = Gps_obs.Clock
+module Counter = Gps_obs.Counter
+module Gauge = Gps_obs.Gauge
+module Trace = Gps_obs.Trace
+
+let c_dispatches = Counter.make "server.dispatches"
+let c_errors = Counter.make "server.dispatch_errors"
+let g_sessions = Gauge.make "server.sessions_active"
+let g_cache = Gauge.make "server.qcache_size"
 
 type config = {
   cache_capacity : int;
@@ -13,22 +22,20 @@ let default_config =
   { cache_capacity = 256; sessions = Sessions.default_config; clock = Unix.gettimeofday }
 
 type t = {
-  config : config;
   catalog : Catalog.t;
   cache : Qcache.t;
   sessions : Sessions.t;
   metrics : Metrics.t;
-  started_at : float;
+  started_ns : int64;  (* monotonic — uptime can't jump with the wall clock *)
 }
 
 let create ?(config = default_config) () =
   {
-    config;
     catalog = Catalog.create ();
     cache = Qcache.create ~capacity:config.cache_capacity ();
     sessions = Sessions.create ~config:config.sessions ~clock:config.clock ();
     metrics = Metrics.create ();
-    started_at = config.clock ();
+    started_ns = Clock.now_ns ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -63,8 +70,11 @@ let evaluate_cached t (entry : Catalog.entry) q =
   let normalized = normalize entry q in
   let key = { Qcache.graph = entry.name; version = entry.version; query = normalized } in
   match Qcache.find t.cache key with
-  | Some nodes -> (normalized, nodes, `Hit)
+  | Some nodes ->
+      Trace.set_current_attr "cache" (Trace.String "hit");
+      (normalized, nodes, `Hit)
   | None ->
+      Trace.set_current_attr "cache" (Trace.String "miss");
       let sel = Gps_query.Eval.select_frozen entry.graph entry.csr q in
       let selected =
         Digraph.fold_nodes (fun acc v -> if sel.(v) then v :: acc else acc) [] entry.graph
@@ -242,9 +252,31 @@ let do_session_stop t id =
   | Some e -> P.Stopped { session = id; questions = S.questions e.Sessions.state }
   | None -> fail "unknown-session" "no session %d (expired, stopped or never started)" id
 
+let uptime_s t = Clock.ns_to_s (Clock.elapsed_ns t.started_ns)
+
+(* Work counters and span aggregates in one sub-document, so that the
+   whole engine (eval, learner, sessions, dispatch) is visible through a
+   single metrics response. Span rows come from the installed sink when
+   it is an in-memory ring; counters are always on. *)
+let trace_json ~timings =
+  let counters =
+    Json.Object (List.map (fun (k, v) -> (k, Json.Number (float_of_int v))) (Counter.snapshot ()))
+  in
+  let gauges = Json.Object (List.map (fun (k, v) -> (k, Json.Number v)) (Gauge.snapshot ())) in
+  let base = [ ("enabled", Json.Bool (Trace.enabled ())); ("counters", counters); ("gauges", gauges) ] in
+  let spans =
+    match Trace.current_sink () with
+    | Trace.Memory buf ->
+        [ ("spans", Gps_obs.Summary.to_json ~timings (Gps_obs.Summary.aggregate (Trace.buffer_spans buf))) ]
+    | Trace.Null | Trace.Jsonl _ -> []
+  in
+  Json.Object (base @ spans)
+
 let metrics_json t ~timings =
   let c = Qcache.stats t.cache in
   let s = Sessions.counters t.sessions in
+  Gauge.set_int g_sessions s.Sessions.active;
+  Gauge.set_int g_cache c.Qcache.size;
   let int n = Json.Number (float_of_int n) in
   Json.Object
     ([
@@ -269,9 +301,40 @@ let metrics_json t ~timings =
              ("evicted", int s.Sessions.evicted);
            ] );
        ("graphs", int (Catalog.count t.catalog));
+       ("trace", trace_json ~timings);
      ]
-    @
-    if timings then [ ("uptime_s", Json.Number (t.config.clock () -. t.started_at)) ] else [])
+    @ if timings then [ ("uptime_s", Json.Number (uptime_s t)) ] else [])
+
+(* One deterministic health document: uptime (timings only), the catalog
+   with versions, session count, cache size/eviction totals. *)
+let status_json t ~timings =
+  let c = Qcache.stats t.cache in
+  let s = Sessions.counters t.sessions in
+  Gauge.set_int g_sessions s.Sessions.active;
+  Gauge.set_int g_cache c.Qcache.size;
+  let int n = Json.Number (float_of_int n) in
+  Json.Object
+    ((if timings then [ ("uptime_s", Json.Number (uptime_s t)) ] else [])
+    @ [
+        ( "graphs",
+          Json.Array
+            (List.map
+               (fun e ->
+                 Json.Object
+                   [ ("name", Json.String e.Catalog.name); ("version", int e.Catalog.version) ])
+               (Catalog.list t.catalog)) );
+        ( "sessions",
+          Json.Object [ ("active", int s.Sessions.active); ("started", int s.Sessions.started) ] );
+        ( "cache",
+          Json.Object
+            [
+              ("size", int c.Qcache.size);
+              ("capacity", int c.Qcache.capacity);
+              ("evictions", int c.Qcache.evictions);
+              ("invalidations", int c.Qcache.invalidations);
+            ] );
+        ("trace_enabled", Json.Bool (Trace.enabled ()));
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* dispatch *)
@@ -312,6 +375,7 @@ let handle t req =
     | P.Session_propose { session; accept } -> do_session_propose t session accept
     | P.Session_stop { session } -> do_session_stop t session
     | P.Metrics { timings } -> P.Metrics_dump (metrics_json t ~timings)
+    | P.Status { timings } -> P.Status_dump (status_json t ~timings)
   with
   | Fail e -> P.Err e
   | Stack_overflow -> P.Err { code = "internal"; message = "stack overflow" }
@@ -319,30 +383,36 @@ let handle t req =
 
 let is_error = function P.Err _ -> true | _ -> false
 
-let record t ~endpoint ~ok ~started =
-  Metrics.record t.metrics ~endpoint ~ok ~seconds:(t.config.clock () -. started)
+(* Endpoint latency and span durations share the monotonic clock: the
+   histograms cannot run backwards when the wall clock is stepped. *)
+let record t ~endpoint ~ok ~started_ns =
+  Counter.incr c_dispatches;
+  if not ok then Counter.incr c_errors;
+  Metrics.record t.metrics ~endpoint ~ok ~seconds:(Clock.ns_to_s (Clock.elapsed_ns started_ns))
 
 let handle_value t v =
-  let started = t.config.clock () in
+  Trace.with_span "server.dispatch" @@ fun sp ->
+  let started_ns = Clock.now_ns () in
   let id = match v with Json.Object fields -> List.assoc_opt "id" fields | _ -> None in
   let endpoint, resp =
     match P.decode_request v with
     | Error e -> ("invalid", P.Err e)
     | Ok req -> (P.op_name req, handle t req)
   in
-  record t ~endpoint ~ok:(not (is_error resp)) ~started;
+  let ok = not (is_error resp) in
+  Trace.set_str sp "endpoint" endpoint;
+  Trace.set_bool sp "ok" ok;
+  record t ~endpoint ~ok ~started_ns;
   P.encode_response ?id resp
 
 let handle_line t line =
   match Json.value_of_string line with
   | v -> Json.value_to_string (handle_value t v)
   | exception Json.Parse_error (pos, msg) ->
-      let started = t.config.clock () in
-      record t ~endpoint:"invalid" ~ok:false ~started;
+      record t ~endpoint:"invalid" ~ok:false ~started_ns:(Clock.now_ns ());
       P.response_to_string (P.Err { code = "parse"; message = Printf.sprintf "at %d: %s" pos msg })
   | exception exn ->
-      let started = t.config.clock () in
-      record t ~endpoint:"invalid" ~ok:false ~started;
+      record t ~endpoint:"invalid" ~ok:false ~started_ns:(Clock.now_ns ());
       P.response_to_string (P.Err { code = "parse"; message = Printexc.to_string exn })
 
 let blank line = String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) line

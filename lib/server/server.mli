@@ -19,7 +19,11 @@
 type config = {
   cache_capacity : int;            (** {!Qcache} capacity; 0 disables *)
   sessions : Sessions.config;
-  clock : unit -> float;           (** injected for deterministic tests *)
+  clock : unit -> float;
+      (** wall clock for session idle-TTL, injected for deterministic
+          tests. Latency measurement does {e not} use it — endpoint
+          histograms and spans share {!Gps_obs.Clock}'s monotonic
+          source. *)
 }
 
 val default_config : config

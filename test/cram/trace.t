@@ -1,0 +1,71 @@
+Offline trace aggregation. First over a hand-written JSONL file, so the
+full table — including the duration columns — is pinned down exactly:
+
+  $ cat > fixed.jsonl <<'EOF'
+  > {"span":"eval.select","id":0,"parent":-1,"start_ns":1000,"dur_ns":4000,"attrs":{"product_states":7}}
+  > {"span":"eval.select","id":1,"parent":-1,"start_ns":9000,"dur_ns":2000,"attrs":{}}
+  > 
+  > {"span":"rpni.generalize","id":2,"parent":1,"start_ns":9500,"dur_ns":500,"attrs":{"error":true}}
+  > EOF
+  $ gps trace summary fixed.jsonl
+  span               count   errs      mean_us       max_us
+  eval.select            2      0          3.0          4.0
+  rpni.generalize        1      1          0.5          0.5
+  $ gps trace summary fixed.jsonl --json
+  {
+    "eval.select": {
+      "count": 2,
+      "errors": 0,
+      "mean_us": 3,
+      "max_us": 4
+    },
+    "rpni.generalize": {
+      "count": 1,
+      "errors": 1,
+      "mean_us": 0.5,
+      "max_us": 0.5
+    }
+  }
+
+Malformed traces fail loudly, naming the offending line:
+
+  $ echo 'not json' >> fixed.jsonl
+  $ gps trace summary fixed.jsonl
+  gps: fixed.jsonl:5: json error at 0: expected null
+  [1]
+
+Now a live trace: --trace records every span of a whole scripted
+session (evaluations, witness searches, the learner, the interaction
+steps) as one JSONL line each. With --timings=false the summary is pure
+work counts, an exact function of the graph, goal and strategy:
+
+  $ cat > tiny.g <<'EOF'
+  > home tram stop
+  > stop tram cinema
+  > home bus mall
+  > mall bus cinema
+  > cinema film screen
+  > EOF
+  $ gps session tiny.g --goal 'tram.tram' --trace session.jsonl > /dev/null
+  $ gps trace summary session.jsonl --timings=false
+  span                    count   errs
+  eval.select                 9      0
+  learner.learn               2      0
+  propagate.negatives         2      0
+  propagate.positives         1      0
+  rpni.generalize             2      0
+  session.accept              1      0
+  session.answer_label        2      0
+  session.answer_path         1      0
+  session.refine              1      0
+  session.start               1      0
+  witness.search             16      0
+
+A plain query records a single evaluation span:
+
+  $ gps query tiny.g 'bus.bus' --trace q.jsonl
+  bus.bus selects 1 node(s)
+    home
+  $ gps trace summary q.jsonl --timings=false
+  span           count   errs
+  eval.select        1      0

@@ -1,0 +1,355 @@
+(* gps_obs: the clock, counters/gauges, span recording and its sinks,
+   and trace summaries.
+
+   Tracing state is process-global, so every test that enables a sink
+   restores the disabled state under Fun.protect — the rest of the test
+   binary (and the server suite's dispatch spans) must keep seeing the
+   dead path. *)
+
+module Clock = Gps_obs.Clock
+module Counter = Gps_obs.Counter
+module Gauge = Gps_obs.Gauge
+module Trace = Gps_obs.Trace
+module Summary = Gps_obs.Summary
+module Json = Gps_graph.Json
+
+let check = Alcotest.check
+
+(* run [f] with tracing into a fresh memory buffer, return (result,
+   emitted spans); tracing is off again afterwards no matter what *)
+let with_memory_trace ?capacity f =
+  let buf = Trace.buffer ?capacity () in
+  Trace.enable (Trace.Memory buf);
+  Fun.protect ~finally:Trace.disable (fun () ->
+      let v = f () in
+      (v, Trace.buffer_spans buf))
+
+(* ------------------------------------------------------------------ *)
+(* clock *)
+
+let test_clock_monotone () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  check Alcotest.bool "now_ns never goes back" true (Int64.compare b a >= 0);
+  check Alcotest.bool "elapsed is non-negative" true (Int64.compare (Clock.elapsed_ns a) 0L >= 0);
+  check (Alcotest.float 1e-9) "ns_to_us" 1.5 (Clock.ns_to_us 1500L);
+  check (Alcotest.float 1e-12) "ns_to_s" 0.0025 (Clock.ns_to_s 2_500_000L)
+
+(* ------------------------------------------------------------------ *)
+(* counters and gauges *)
+
+let test_counter_ops () =
+  let c = Counter.make "test.obs.counter_ops" in
+  let c' = Counter.make "test.obs.counter_ops" in
+  check Alcotest.bool "make is idempotent per name" true (c == c');
+  let base = Counter.value c in
+  Counter.incr c;
+  Counter.add c 4;
+  Counter.add c 0;
+  check Alcotest.int "incr + add accumulate" (base + 5) (Counter.value c);
+  check Alcotest.bool "negative add rejected" true
+    (match Counter.add c (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  let snap = Counter.snapshot () in
+  check Alcotest.bool "snapshot is sorted by name" true
+    (List.sort compare snap = snap);
+  check (Alcotest.option Alcotest.int) "snapshot carries the value" (Some (base + 5))
+    (List.assoc_opt "test.obs.counter_ops" snap)
+
+let test_counter_reset_and_nonzero () =
+  let c = Counter.make "test.obs.reset" in
+  Counter.add c 7;
+  check Alcotest.bool "nonzero snapshot sees it" true
+    (List.mem_assoc "test.obs.reset" (Counter.snapshot_nonzero ()));
+  Counter.reset_all ();
+  check Alcotest.int "reset_all zeroes" 0 (Counter.value c);
+  check Alcotest.bool "nonzero snapshot drops zeroes" false
+    (List.mem_assoc "test.obs.reset" (Counter.snapshot_nonzero ()))
+
+let test_gauge_ops () =
+  let g = Gauge.make "test.obs.gauge" in
+  check Alcotest.bool "make is idempotent per name" true (g == Gauge.make "test.obs.gauge");
+  Gauge.set g 2.5;
+  check (Alcotest.float 0.) "set" 2.5 (Gauge.value g);
+  Gauge.set_int g 7;
+  check (Alcotest.float 0.) "set_int overwrites" 7.0 (Gauge.value g);
+  check (Alcotest.option (Alcotest.float 0.)) "snapshot" (Some 7.0)
+    (List.assoc_opt "test.obs.gauge" (Gauge.snapshot ()))
+
+(* ------------------------------------------------------------------ *)
+(* spans: disabled path, nesting, exceptions, attributes *)
+
+let test_disabled_path () =
+  check Alcotest.bool "tracing starts disabled" false (Trace.enabled ());
+  let r =
+    Trace.with_span "dead" (fun sp ->
+        Trace.set_int sp "x" 1;
+        Trace.set_current_attr "y" (Trace.Int 2);
+        41 + 1)
+  in
+  check Alcotest.int "body runs normally" 42 r;
+  check Alcotest.bool "sink stays Null" true (Trace.current_sink () = Trace.Null)
+
+let test_span_nesting () =
+  let (), spans =
+    with_memory_trace (fun () ->
+        Trace.with_span "outer" (fun outer ->
+            Trace.set_int outer "n" 1;
+            Trace.with_span "inner" (fun _ -> ());
+            Trace.with_span "inner" (fun _ -> ())))
+  in
+  match List.sort (fun a b -> compare a.Trace.id b.Trace.id) spans with
+  | [ a; b; c ] ->
+      (* ids are allocated in start order: outer first *)
+      check Alcotest.string "outer name" "outer" a.Trace.name;
+      check Alcotest.int "outer is a root" (-1) a.Trace.parent;
+      check Alcotest.string "first child" "inner" b.Trace.name;
+      check Alcotest.int "child's parent is outer" a.Trace.id b.Trace.parent;
+      check Alcotest.int "second child too" a.Trace.id c.Trace.parent;
+      check Alcotest.bool "outer closed last" true
+        (Int64.compare a.Trace.dur_ns b.Trace.dur_ns >= 0);
+      check Alcotest.bool "attr recorded" true (a.Trace.attrs = [ ("n", Trace.Int 1) ])
+  | l -> Alcotest.failf "expected 3 spans, got %d" (List.length l)
+
+let test_span_exception_safety () =
+  let result, spans =
+    with_memory_trace (fun () ->
+        match Trace.with_span "boom" (fun _ -> failwith "kaput") with
+        | exception Failure msg -> msg
+        | _ -> "no exception")
+  in
+  check Alcotest.string "exception re-raised intact" "kaput" result;
+  match spans with
+  | [ sp ] ->
+      check Alcotest.string "span still emitted" "boom" sp.Trace.name;
+      check Alcotest.bool "error attr set" true
+        (List.assoc_opt "error" sp.Trace.attrs = Some (Trace.Bool true))
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_set_current_attr () =
+  let (), spans =
+    with_memory_trace (fun () ->
+        Trace.with_span "outer" (fun _ ->
+            Trace.with_span "inner" (fun _ ->
+                (* annotates the innermost open span: inner, not outer *)
+                Trace.set_current_attr "cache" (Trace.String "hit"))))
+  in
+  let find name = List.find (fun sp -> sp.Trace.name = name) spans in
+  check Alcotest.bool "inner got the attr" true
+    (List.assoc_opt "cache" (find "inner").Trace.attrs = Some (Trace.String "hit"));
+  check Alcotest.bool "outer did not" true
+    (List.assoc_opt "cache" (find "outer").Trace.attrs = None)
+
+let test_last_set_wins () =
+  let (), spans =
+    with_memory_trace (fun () ->
+        Trace.with_span "s" (fun sp ->
+            Trace.set_int sp "k" 1;
+            Trace.set_str sp "other" "v";
+            Trace.set_int sp "k" 2))
+  in
+  match spans with
+  | [ sp ] ->
+      check Alcotest.bool "last write wins, order kept" true
+        (sp.Trace.attrs = [ ("k", Trace.Int 2); ("other", Trace.String "v") ])
+  | _ -> Alcotest.fail "expected 1 span"
+
+let test_ring_buffer () =
+  let (), spans =
+    with_memory_trace ~capacity:2 (fun () ->
+        List.iter (fun n -> Trace.with_span n (fun _ -> ())) [ "a"; "b"; "c" ])
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "ring keeps the most recent, oldest first" [ "b"; "c" ]
+    (List.map (fun sp -> sp.Trace.name) spans)
+
+let test_jsonl_sink_and_load () =
+  let path = Filename.temp_file "gps_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Trace.enable (Trace.Jsonl oc);
+      Fun.protect ~finally:Trace.disable (fun () ->
+          Trace.with_span "write" (fun sp -> Trace.set_int sp "n" 3);
+          Trace.with_span "write" (fun _ -> ());
+          (match Trace.with_span "fail" (fun _ -> failwith "x") with
+          | exception Failure _ -> ()
+          | _ -> Alcotest.fail "expected exception"));
+      close_out oc;
+      let spans =
+        match Summary.load_file path with
+        | Ok spans -> spans
+        | Error msg -> Alcotest.failf "load_file: %s" msg
+      in
+      check Alcotest.int "all spans on disk" 3 (List.length spans);
+      match Summary.aggregate spans with
+      | [ fail; write ] ->
+          check Alcotest.string "rows sorted by name" "fail" fail.Summary.name;
+          check Alcotest.int "write count" 2 write.Summary.count;
+          check Alcotest.int "fail errors" 1 fail.Summary.errors;
+          check Alcotest.int "write errors" 0 write.Summary.errors;
+          check Alcotest.bool "mean <= max" true
+            (Summary.mean_us write <= Clock.ns_to_us write.Summary.max_ns)
+      | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows))
+
+let test_load_file_reports_bad_lines () =
+  let path = Filename.temp_file "gps_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"span\":\"ok\",\"id\":0,\"parent\":-1,\"start_ns\":1,\"dur_ns\":2,\"attrs\":{}}\n";
+      output_string oc "\n";
+      output_string oc "not json\n";
+      close_out oc;
+      match Summary.load_file path with
+      | Ok _ -> Alcotest.fail "expected a parse error"
+      | Error msg ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+            go 0
+          in
+          check Alcotest.bool "error names line 3" true (contains msg ":3:"))
+
+let test_summary_to_json_deterministic () =
+  let mk name dur attrs =
+    { Trace.id = 0; parent = -1; name; start_ns = 0L; dur_ns = dur; attrs }
+  in
+  let rows =
+    Summary.aggregate
+      [ mk "a" 1000L []; mk "a" 3000L [ ("error", Trace.Bool true) ]; mk "b" 10L [] ]
+  in
+  let doc = Summary.to_json ~timings:false rows in
+  check Alcotest.string "timings:false is pure work counts"
+    "{\"a\":{\"count\":2,\"errors\":1},\"b\":{\"count\":1,\"errors\":0}}"
+    (Json.value_to_string doc);
+  let doc = Summary.to_json rows in
+  (match Json.member "a" doc with
+  | Some a ->
+      check Alcotest.bool "mean_us present with timings" true (Json.member "mean_us" a <> None);
+      check Alcotest.bool "max_us present with timings" true
+        (Json.member "max_us" a = Some (Json.Number 3.0))
+  | None -> Alcotest.fail "row a missing")
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+(* a random program of nested span activity, some bodies raising *)
+type program = Leaf | Node of string * bool * program list
+
+let gen_program =
+  let open QCheck.Gen in
+  let name = oneofl [ "alpha"; "beta"; "gamma"; "delta" ] in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then return Leaf
+         else
+           let* nm = name in
+           let* raises = frequency [ (4, return false); (1, return true) ] in
+           let* kids = list_size (int_bound 3) (self (n / 4)) in
+           return (Node (nm, raises, kids)))
+
+exception Planned
+
+(* run the program under tracing, return how many spans were started *)
+let rec run_program p =
+  match p with
+  | Leaf -> 0
+  | Node (name, raises, kids) -> (
+      try
+        Trace.with_span name (fun _ ->
+            let n = List.fold_left (fun acc k -> acc + run_program k) 0 kids in
+            if raises then raise Planned else 1 + n)
+      with Planned -> 1 + List.length kids (* children's counts lost; count_nodes is the truth *))
+
+(* count the Nodes of a program — what run_program starts *)
+let rec count_nodes = function
+  | Leaf -> 0
+  | Node (_, _, kids) -> 1 + List.fold_left (fun acc k -> acc + count_nodes k) 0 kids
+
+let prop_every_started_span_closes =
+  QCheck.Test.make ~name:"obs: every started span is closed and emitted" ~count:100
+    (QCheck.make gen_program) (fun p ->
+      let _, spans = with_memory_trace (fun () -> try ignore (run_program p) with Planned -> ()) in
+      List.length spans = count_nodes p)
+
+let prop_parents_form_a_forest =
+  QCheck.Test.make ~name:"obs: span parents form a forest (parent id < own id)" ~count:100
+    (QCheck.make gen_program) (fun p ->
+      let _, spans = with_memory_trace (fun () -> try ignore (run_program p) with Planned -> ()) in
+      let ids = List.map (fun sp -> sp.Trace.id) spans in
+      let distinct = List.sort_uniq compare ids in
+      List.length distinct = List.length ids
+      && List.for_all
+           (fun sp ->
+             sp.Trace.parent = -1
+             || (sp.Trace.parent < sp.Trace.id && List.mem sp.Trace.parent ids))
+           spans)
+
+let gen_span =
+  let open QCheck.Gen in
+  let* id = int_bound 10_000 in
+  let* parent = oneof [ return (-1); int_bound 10_000 ] in
+  let* name = oneofl [ "eval.select"; "rpni.generalize"; "server.dispatch"; "s p a c e" ] in
+  let* start_ns = map Int64.of_int (int_bound 1_000_000_000) in
+  let* dur_ns = map Int64.of_int (int_bound 1_000_000) in
+  let* attrs =
+    list_size (int_bound 4)
+      (let* k = oneofl [ "a"; "b"; "cache"; "error" ] in
+       let* v =
+         oneof
+           [
+             map (fun n -> Trace.Int n) (int_bound 1000);
+             (* +0.125 keeps the value non-integral and exact in binary;
+                an integral Float legitimately decodes as Int *)
+             map (fun n -> Trace.Float ((float_of_int n /. 4.) +. 0.125)) (int_bound 1000);
+             map (fun s -> Trace.String s) (oneofl [ "hit"; "miss"; "" ]);
+             map (fun b -> Trace.Bool b) bool;
+           ]
+       in
+       return (k, v))
+  in
+  (* the codec keys attrs by name: dedup like the recorder does *)
+  let attrs =
+    List.fold_left (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc) [] attrs
+    |> List.rev
+  in
+  return { Trace.id; parent; name; start_ns; dur_ns; attrs }
+
+let prop_span_json_roundtrip =
+  QCheck.Test.make ~name:"obs: span JSONL line round-trips" ~count:300 (QCheck.make gen_span)
+    (fun sp ->
+      match Trace.span_of_json (Json.value_of_string (Trace.span_to_string sp)) with
+      | Ok sp' -> sp = sp'
+      | Error _ -> false)
+
+let qcheck_tests =
+  [ prop_every_started_span_closes; prop_parents_form_a_forest; prop_span_json_roundtrip ]
+
+let suite =
+  [
+    ( "obs.core",
+      [
+        Alcotest.test_case "clock is monotone" `Quick test_clock_monotone;
+        Alcotest.test_case "counter ops" `Quick test_counter_ops;
+        Alcotest.test_case "counter reset and nonzero snapshot" `Quick
+          test_counter_reset_and_nonzero;
+        Alcotest.test_case "gauge ops" `Quick test_gauge_ops;
+        Alcotest.test_case "disabled path is inert" `Quick test_disabled_path;
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+        Alcotest.test_case "set_current_attr hits the innermost span" `Quick
+          test_set_current_attr;
+        Alcotest.test_case "attr last-set-wins" `Quick test_last_set_wins;
+        Alcotest.test_case "memory ring drops oldest" `Quick test_ring_buffer;
+        Alcotest.test_case "jsonl sink, load_file, aggregate" `Quick test_jsonl_sink_and_load;
+        Alcotest.test_case "load_file names the bad line" `Quick
+          test_load_file_reports_bad_lines;
+        Alcotest.test_case "summary JSON determinism" `Quick test_summary_to_json_deterministic;
+      ] );
+    ("obs.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

@@ -345,6 +345,69 @@ let test_metrics_endpoint_counts () =
         (match Json.member "requests" inv with Some (Json.Number f) -> int_of_float f | _ -> -1)
   | None -> Alcotest.fail "no invalid endpoint")
 
+(* the documented bucket contract: a latency exactly on a decade edge
+   lands in that decade's own le_* bucket (bounds are inclusive), and
+   anything above one second is gt_1s *)
+let test_metrics_bucket_edges () =
+  let m = Metrics.create () in
+  let edges =
+    [
+      (1e-5, "le_10us");
+      (1e-4, "le_100us");
+      (1e-3, "le_1ms");
+      (1e-2, "le_10ms");
+      (1e-1, "le_100ms");
+      (1.0, "le_1s");
+      (1.000001, "gt_1s");
+    ]
+  in
+  List.iteri
+    (fun i (seconds, label) ->
+      let endpoint = Printf.sprintf "edge%d" i in
+      Metrics.record m ~endpoint ~ok:true ~seconds;
+      let doc = Metrics.to_json m in
+      let e = Option.get (Json.member endpoint doc) in
+      let buckets = Option.get (Json.member "buckets" (Option.get (Json.member "latency" e))) in
+      List.iter
+        (fun l ->
+          let expected = if l = label then 1 else 0 in
+          check Alcotest.int
+            (Printf.sprintf "%g lands in %s only (%s)" seconds label l)
+            expected
+            (match Json.member l buckets with Some (Json.Number f) -> int_of_float f | _ -> -1))
+        Metrics.bucket_labels)
+    edges
+
+(* ------------------------------------------------------------------ *)
+(* status *)
+
+let test_status_endpoint () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus" }));
+  let line = Srv.handle_line t "{\"op\":\"status\",\"timings\":false}" in
+  let doc = Json.value_of_string line in
+  let s = Option.get (Json.member "status" doc) in
+  check Alcotest.bool "no uptime without timings" true (Json.member "uptime_s" s = None);
+  (match Json.member "graphs" s with
+  | Some (Json.Array [ g ]) ->
+      check Alcotest.bool "graph name" true (Json.member "name" g = Some (Json.String "fig"));
+      check Alcotest.bool "graph version" true (Json.member "version" g = Some (Json.Number 1.))
+  | _ -> Alcotest.fail "expected one graph in status");
+  let cache = Option.get (Json.member "cache" s) in
+  (match Json.member "size" cache with
+  | Some (Json.Number f) -> check Alcotest.int "one cached result" 1 (int_of_float f)
+  | _ -> Alcotest.fail "no cache.size");
+  let sessions = Option.get (Json.member "sessions" s) in
+  check Alcotest.bool "no active sessions" true
+    (Json.member "active" sessions = Some (Json.Number 0.));
+  (* with timings, uptime is present and non-negative *)
+  let line = Srv.handle_line t "{\"op\":\"status\"}" in
+  let s = Option.get (Json.member "status" (Json.value_of_string line)) in
+  match Json.member "uptime_s" s with
+  | Some (Json.Number f) -> check Alcotest.bool "uptime >= 0" true (f >= 0.)
+  | _ -> Alcotest.fail "no uptime_s with timings"
+
 (* ------------------------------------------------------------------ *)
 (* wire envelope *)
 
@@ -446,6 +509,7 @@ let gen_request =
        return (P.Session_propose { session; accept }));
       map (fun session -> P.Session_stop { session }) gen_session;
       map (fun timings -> P.Metrics { timings }) bool;
+      map (fun timings -> P.Status { timings }) bool;
     ]
 
 let gen_view =
@@ -506,6 +570,16 @@ let gen_response =
       (let* code = oneofl [ "parse"; "bad-request"; "unknown-graph"; "internal" ] in
        let* message = gen_name in
        return (P.Err { code; message }));
+      (let* graphs = int_bound 5 in
+       let* active = int_bound 9 in
+       return
+         (P.Status_dump
+            (Json.Object
+               [
+                 ("graphs", Json.Number (float_of_int graphs));
+                 ("sessions", Json.Object [ ("active", Json.Number (float_of_int active)) ]);
+                 ("trace_enabled", Json.Bool false);
+               ])));
     ]
 
 let arb_request = QCheck.make ~print:P.request_to_string gen_request
@@ -617,6 +691,8 @@ let suite =
         Alcotest.test_case "metrics histogram JSON" `Quick test_metrics_json;
         Alcotest.test_case "metrics count endpoints and cache" `Quick
           test_metrics_endpoint_counts;
+        Alcotest.test_case "metrics histogram bucket edges" `Quick test_metrics_bucket_edges;
+        Alcotest.test_case "status endpoint" `Quick test_status_endpoint;
         Alcotest.test_case "tcp frontend, two connections" `Quick test_tcp;
       ] );
     ("server.protocol", List.map QCheck_alcotest.to_alcotest qcheck_tests);
