@@ -7,7 +7,7 @@
                                          lstar generalize eval minimize csr
                                          sampled incremental bound
                                          suggestion micro server_dispatch
-                                         baseline)
+                                         baseline eval_scale)
    dune exec bench/main.exe -- --list    lists experiment ids
 
    Each experiment regenerates one table/figure of DESIGN.md's experiment
@@ -101,6 +101,7 @@ let experiments =
     ("micro", micro);
     ("server_dispatch", Server_bench.run);
     ("baseline", Baseline.run);
+    ("eval_scale", Eval_scale.run);
   ]
 
 let () =

@@ -36,6 +36,23 @@ let query_pos n =
   let doc = "Path query in the paper's notation, e.g. '(tram+bus)*.cinema'." in
   Arg.(required & pos n (some string) None & info [] ~docv:"QUERY" ~doc)
 
+(* --domains N: size the evaluation pool for this run. The parallel
+   kernel otherwise sizes itself from GPS_DOMAINS or the runtime's
+   recommended domain count; an explicit flag wins over both. *)
+let domains_arg =
+  let doc =
+    "Number of OCaml domains the parallel evaluation kernel may use (1 disables \
+     parallelism). Overrides the $(b,GPS_DOMAINS) environment variable; default: \
+     the runtime's recommended domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let apply_domains = function
+  | None -> ()
+  | Some n ->
+      if n < 1 then or_die (Error "--domains must be >= 1")
+      else Gps.Par.Pool.set_default_domains n
+
 (* --trace FILE: record a JSONL span trace of the whole run. The option
    rides on every command that exercises the engine; 'gps trace summary'
    aggregates the file afterwards. *)
@@ -134,7 +151,8 @@ let query_cmd =
     let doc = "Also print a shortest witness walk per selected node." in
     Arg.(value & flag & info [ "witness"; "w" ] ~doc)
   in
-  let run path qs witness trace =
+  let run path qs witness trace domains =
+    apply_domains domains;
     let g = or_die (load_graph path) in
     let q = or_die (Gps.parse_query qs) in
     with_trace trace @@ fun () ->
@@ -152,7 +170,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a path query")
-    Term.(const run $ graph_arg $ query_pos 1 $ witness $ trace_arg)
+    Term.(const run $ graph_arg $ query_pos 1 $ witness $ trace_arg $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 (* learn *)
@@ -163,7 +181,8 @@ let names_opt name doc =
 let learn_cmd =
   let pos = names_opt "pos" "Comma-separated positive node names." in
   let neg = names_opt "neg" "Comma-separated negative node names." in
-  let run path pos neg trace =
+  let run path pos neg trace domains =
+    apply_domains domains;
     let g = or_die (load_graph path) in
     with_trace trace @@ fun () ->
     match Gps.learn g ~pos ~neg with
@@ -176,7 +195,7 @@ let learn_cmd =
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn a query from labeled nodes (static scenario)")
-    Term.(const run $ graph_arg $ pos $ neg $ trace_arg)
+    Term.(const run $ graph_arg $ pos $ neg $ trace_arg $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 (* session *)
@@ -299,7 +318,8 @@ let session_cmd =
     let doc = "After an oracle session, explain how every node ended up classified." in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run path strategy goal seed budget record replay explain trace =
+  let run path strategy goal seed budget record replay explain trace domains =
+    apply_domains domains;
     let g = or_die (load_graph path) in
     let strategy = or_die (Gps.Interactive.Strategy.by_name ~seed strategy) in
     with_trace trace @@ fun () ->
@@ -376,7 +396,7 @@ let session_cmd =
     (Cmd.info "session" ~doc:"Run the interactive specification scenario")
     Term.(
       const run $ graph_arg $ strategy_arg $ goal $ seed $ budget $ record $ replay $ explain
-      $ trace_arg)
+      $ trace_arg $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 (* dot *)
@@ -531,7 +551,8 @@ let serve_cmd =
     let doc = "Query-result cache capacity (0 disables caching)." in
     Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
   in
-  let run stdio port host preload cache trace =
+  let run stdio port host preload cache trace domains =
+    apply_domains domains;
     let module Srv = Gps.Server.Server in
     let module P = Gps.Server.Protocol in
     (* the service always traces: to the JSONL file when --trace is
@@ -586,7 +607,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the query/specification protocol (newline-delimited JSON) over stdio or TCP")
-    Term.(const run $ stdio $ port $ host $ preload $ cache $ trace_arg)
+    Term.(const run $ stdio $ port $ host $ preload $ cache $ trace_arg $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 

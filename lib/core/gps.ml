@@ -7,6 +7,7 @@ module Interactive = Gps_interactive
 module Viz = Gps_viz
 module Server = Gps_server
 module Obs = Gps_obs
+module Par = Gps_par
 
 let parse_query = Query.Rpq.of_string
 let parse_query_exn = Query.Rpq.of_string_exn

@@ -14,7 +14,10 @@
       stdio/TCP frontends);
     - {!Obs} — cross-cutting observability: the monotonic clock, work
       counters/gauges, structured trace spans and their sinks, and
-      trace summaries.
+      trace summaries;
+    - {!Par} — the multicore substrate: the Domain-based work pool that
+      parallelizes the evaluation kernel (sized by [GPS_DOMAINS], the
+      CLI's [--domains], or [Domain.recommended_domain_count]).
 
     Typical use, mirroring the paper's running example:
     {[
@@ -33,6 +36,7 @@ module Interactive = Gps_interactive
 module Viz = Gps_viz
 module Server = Gps_server
 module Obs = Gps_obs
+module Par = Gps_par
 
 (** {1 Queries} *)
 

@@ -3,6 +3,7 @@
     synthetic workload generators. *)
 
 module Vec = Vec
+module Bitset = Bitset
 module Symtab = Symtab
 module Digraph = Digraph
 module Traverse = Traverse

@@ -45,9 +45,17 @@ let learn_result ?fuel ?max_len g sample =
       | Ok words ->
           let pta = Pta.build words in
           let negatives = Sample.neg sample in
+          (* One frozen snapshot for the whole generalization: each
+             candidate automaton costs a single shared-kernel evaluation
+             checked against every negative at once, instead of one full
+             product BFS per negative node. *)
+          let csr = Gps_graph.Csr.freeze g in
           let consistent nfa =
+            negatives = []
+            ||
             let q = Rpq.of_nfa nfa in
-            not (List.exists (fun n -> Eval.selects g q n) negatives)
+            let sel = Eval.select_frozen g csr q in
+            not (List.exists (fun n -> sel.(n)) negatives)
           in
           let nfa = Rpni.generalize pta ~consistent in
           Learned (Rpq.of_nfa nfa))

@@ -1,0 +1,5 @@
+(** Multicore substrate: the Domain-based work pool behind the parallel
+    phase of the evaluation kernel. Kept dependency-free so every layer
+    (query, learning, server, bench) can reach it. *)
+
+module Pool = Pool

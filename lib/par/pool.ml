@@ -1,0 +1,178 @@
+(* One job at a time: chunks are claimed lock-free off [next]; the
+   mutex/condition pair only puts workers to sleep between jobs and
+   wakes the caller on completion. Workers are long-lived — spawning a
+   domain costs far more than a BFS level, so the pool amortizes it. *)
+
+type job = {
+  f : int -> unit;
+  total : int;
+  next : int Atomic.t;  (* next unclaimed chunk *)
+  mutable completed : int;  (* guarded by the pool mutex *)
+}
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* a new job was installed (or shutdown) *)
+  finished : Condition.t;  (* the current job's last chunk completed *)
+  run_lock : Mutex.t;  (* serializes concurrent [run] callers *)
+  mutable job : job option;
+  mutable generation : int;  (* bumped per job, so workers never re-run one *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Claim and execute chunks until the job is drained. Runs on workers
+   and on the caller alike. The first exception is kept; every chunk
+   still counts toward completion so the caller never deadlocks. *)
+let execute t (j : job) =
+  let rec go () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.total then begin
+      (try j.f i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         if t.failure = None then t.failure <- Some (e, bt);
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      j.completed <- j.completed + 1;
+      if j.completed = j.total then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex;
+      go ()
+    end
+  in
+  go ()
+
+let worker t () =
+  let last_gen = ref 0 in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mutex
+    else
+      match t.job with
+      | Some j when t.generation <> !last_gen ->
+          last_gen := t.generation;
+          Mutex.unlock t.mutex;
+          execute t j;
+          Mutex.lock t.mutex;
+          loop ()
+      | _ ->
+          Condition.wait t.work t.mutex;
+          loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      run_lock = Mutex.create ();
+      job = None;
+      generation = 0;
+      failure = None;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = t.domains
+
+let run t ~chunks f =
+  if chunks < 0 then invalid_arg "Pool.run: negative chunks"
+  else if chunks = 0 then ()
+  else if t.domains = 1 || chunks = 1 then
+    (* no coordination: the caller is the whole pool *)
+    for i = 0 to chunks - 1 do
+      f i
+    done
+  else begin
+    Mutex.lock t.run_lock;
+    let j = { f; total = chunks; next = Atomic.make 0; completed = 0 } in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      Mutex.unlock t.run_lock;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    t.failure <- None;
+    t.job <- Some j;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    execute t j;
+    Mutex.lock t.mutex;
+    while j.completed < j.total do
+      Condition.wait t.finished t.mutex
+    done;
+    t.job <- None;
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    Mutex.unlock t.run_lock;
+    match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.work
+  end;
+  let ws = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ws
+
+(* ------------------------------------------------------------------ *)
+(* the shared default pool *)
+
+let override = Atomic.make 0 (* 0 = no override *)
+
+let env_domains () =
+  match Sys.getenv_opt "GPS_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_domains () =
+  match Atomic.get override with
+  | n when n >= 1 -> n
+  | _ -> (
+      match env_domains () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+let set_default_domains n =
+  if n < 1 then invalid_arg "Pool.set_default_domains: must be >= 1";
+  Atomic.set override n
+
+let pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let pools_lock = Mutex.create ()
+
+let get domains =
+  if domains < 1 then invalid_arg "Pool.get: domains must be >= 1";
+  Mutex.lock pools_lock;
+  let p =
+    match Hashtbl.find_opt pools domains with
+    | Some p -> p
+    | None ->
+        let p = create ~domains in
+        Hashtbl.add pools domains p;
+        p
+  in
+  Mutex.unlock pools_lock;
+  p
+
+let instance () = get (default_domains ())

@@ -1,0 +1,61 @@
+(** A small Domain-based work pool.
+
+    One pool owns [domains - 1] long-lived worker domains plus the
+    calling domain; {!run} hands them a job of [chunks] independent
+    pieces claimed off a shared atomic counter (a chunk queue guarded by
+    one [Mutex]/[Condition] pair for sleep/wake, lock-free for chunk
+    claiming). The pool is the engine behind the parallel phase of
+    {!Gps_query.Eval}'s product BFS; it deliberately has {e no}
+    dependencies beyond the OCaml 5 standard library.
+
+    Sizing: the default pool is sized by the first of
+    + an explicit {!set_default_domains} (the CLI's [--domains N]),
+    + the [GPS_DOMAINS] environment variable,
+    + [Domain.recommended_domain_count ()].
+
+    A pool of size 1 spawns no workers and {!run} degenerates to an
+    inline [for] loop — small interactive graphs pay nothing.
+
+    Thread-safety: {!run} may be called from any systhread or domain;
+    concurrent calls on the same pool serialize (one job at a time).
+    Recursive {!run} from inside a chunk is not supported. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool of [domains] total participants ([domains - 1] worker
+    domains). @raise Invalid_argument if [domains < 1]. *)
+
+val size : t -> int
+(** The [domains] the pool was created with. *)
+
+val run : t -> chunks:int -> (int -> unit) -> unit
+(** [run t ~chunks f] executes [f 0 .. f (chunks - 1)], each exactly
+    once, distributed over the pool (the caller participates). Returns
+    when every chunk has finished. If one or more chunks raise, the
+    first exception recorded is re-raised in the caller (with its
+    backtrace) after all chunks have completed; the pool remains
+    usable. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers. Idempotent. Subsequent {!run}s of more
+    than one chunk raise [Invalid_argument]. *)
+
+(** {1 The shared default pool} *)
+
+val default_domains : unit -> int
+(** Resolution order: {!set_default_domains} override, then
+    [GPS_DOMAINS] (positive integer), then
+    [Domain.recommended_domain_count ()]. *)
+
+val set_default_domains : int -> unit
+(** Process-wide override (the CLI's [--domains]). Takes effect on the
+    next {!instance} lookup. @raise Invalid_argument if [< 1]. *)
+
+val get : int -> t
+(** [get n] is a process-wide cached pool of [n] domains, created on
+    first use and reused forever after (pools are never reaped — the
+    set of distinct sizes in a process is tiny). *)
+
+val instance : unit -> t
+(** [get (default_domains ())]. *)

@@ -1,7 +1,11 @@
 module Digraph = Gps_graph.Digraph
+module Csr = Gps_graph.Csr
+module Bitset = Gps_graph.Bitset
+module Vec = Gps_graph.Vec
 module Nfa = Gps_automata.Nfa
 module Counter = Gps_obs.Counter
 module Trace = Gps_obs.Trace
+module Pool = Gps_par.Pool
 
 (* Work counters, published once per evaluation (the loops accumulate in
    locals — no per-iteration cost). *)
@@ -9,119 +13,265 @@ let c_runs = Counter.make "eval.runs"
 let c_states = Counter.make "eval.product_states"
 let c_visits = Counter.make "eval.frontier_visits"
 let c_dedup = Counter.make "eval.early_exit_hits"
+let c_domains = Counter.make "eval.domains_used"
+let c_par_levels = Counter.make "eval.par_levels"
+let c_seq_fallbacks = Counter.make "eval.seq_fallbacks"
 
-(* Automaton transitions re-indexed by the graph's label ids:
-   by_label.(lbl) = [(qsrc, qdst); ...]. Transitions on labels the graph
-   does not know can never fire and are dropped. *)
-let index_transitions g nfa =
-  let by_label = Array.make (max (Digraph.n_labels g) 1) [] in
-  List.iter
-    (fun (qs, sym, qd) ->
-      match Digraph.label_of_name g sym with
-      | Some lbl -> by_label.(lbl) <- (qs, qd) :: by_label.(lbl)
-      | None -> ())
-    (Nfa.transitions nfa);
-  by_label
+(* Below this frontier size a level is expanded inline: handing a few
+   dozen product states to worker domains costs more than the work, so
+   small interactive graphs never touch the pool. *)
+let default_par_threshold = 1024
 
-let select_nfa g nfa =
-  Trace.with_span "eval.select" @@ fun sp ->
-  let n = Digraph.n_nodes g and m = Nfa.n_states nfa in
-  let selected = Array.make n false in
-  if m = 0 then selected
-  else begin
-    let by_label = index_transitions g nfa in
-    (* can_accept.(v * m + q) : an accepting product state is reachable
-       from (v, q). Seeded at accepting states, propagated backward. *)
-    let can_accept = Array.make (n * m) false in
-    let queue = Queue.create () in
-    let visits = ref 0 and dedup = ref 0 in
-    let push v qs =
-      let idx = (v * m) + qs in
-      if not can_accept.(idx) then begin
-        can_accept.(idx) <- true;
-        Queue.add (v, qs) queue
-      end
-      else incr dedup
-    in
-    let finals = Nfa.finals nfa in
-    for v = 0 to n - 1 do
-      List.iter (fun qf -> push v qf) finals
-    done;
-    while not (Queue.is_empty queue) do
-      let v', q' = Queue.pop queue in
-      incr visits;
-      (* predecessors: (v, q) with v -lbl-> v' in G and q -lbl-> q' in A *)
-      List.iter
-        (fun (lbl, v) ->
-          List.iter (fun (qs, qd) -> if qd = q' then push v qs) by_label.(lbl))
-        (Digraph.in_edges g v')
-    done;
-    let starts = Nfa.starts nfa in
-    for v = 0 to n - 1 do
-      selected.(v) <- List.exists (fun q0 -> can_accept.((v * m) + q0)) starts
-    done;
-    Counter.incr c_runs;
-    Counter.add c_states (n * m);
-    Counter.add c_visits !visits;
-    Counter.add c_dedup !dedup;
-    Trace.set_int sp "product_states" (n * m);
-    Trace.set_int sp "frontier_visits" !visits;
-    Trace.set_int sp "early_exit_hits" !dedup;
-    selected
-  end
+(* ------------------------------------------------------------------ *)
+(* The evaluation plan: everything the kernel's inner loop touches, in
+   flat int arrays.
 
-let select g q = select_nfa g (Rpq.nfa q)
+   The automaton's transitions are re-indexed as a CSR-style {e reverse}
+   index keyed by (label, destination state): [rev_src.(rev_off.(lbl * m
+   + q') .. rev_off.(lbl * m + q' + 1) - 1)] are exactly the states [qs]
+   with [qs -lbl-> q']. The backward product step — "which (v, qs)
+   precede (v', q')?" — then walks the graph's in-edges once and indexes
+   straight into the matching transition sources, instead of filtering a
+   per-label transition list on [qd = q'] for every edge. Transitions on
+   labels the graph does not know can never fire and are dropped. *)
+type plan = {
+  n : int;  (* graph nodes *)
+  m : int;  (* automaton states *)
+  csr : Csr.t;
+  rev_off : int array;  (* length n_labels * m + 1 *)
+  rev_src : int array;
+  starts : int list;
+  finals : int list;
+}
 
-(* Same backward product BFS over a frozen CSR snapshot: no list
-   allocation on the adjacency hot path. *)
-let select_frozen g csr q =
-  Trace.with_span "eval.select_frozen" @@ fun sp ->
-  let module Csr = Gps_graph.Csr in
-  let nfa = Rpq.nfa q in
+let build_plan g csr nfa =
   let n = Csr.n_nodes csr and m = Nfa.n_states nfa in
-  let selected = Array.make n false in
-  if m = 0 then selected
-  else begin
-    let by_label = index_transitions g nfa in
-    let can_accept = Array.make (n * m) false in
-    let queue = Queue.create () in
-    let visits = ref 0 and dedup = ref 0 in
-    let push v qs =
-      let idx = (v * m) + qs in
-      if not can_accept.(idx) then begin
-        can_accept.(idx) <- true;
-        Queue.add idx queue
-      end
-      else incr dedup
-    in
-    let finals = Nfa.finals nfa in
-    for v = 0 to n - 1 do
-      List.iter (fun qf -> push v qf) finals
-    done;
-    while not (Queue.is_empty queue) do
-      let idx = Queue.pop queue in
-      incr visits;
+  (* labels only ever grow; size by the live graph so any id the
+     snapshot knows indexes in range *)
+  let n_labels = max (Digraph.n_labels g) (Csr.n_labels csr) in
+  let keys = n_labels * m in
+  let trans =
+    List.filter_map
+      (fun (qs, sym, qd) ->
+        match Digraph.label_of_name g sym with
+        | Some lbl -> Some (qs, lbl, qd)
+        | None -> None)
+      (Nfa.transitions nfa)
+  in
+  let rev_off = Array.make (keys + 1) 0 in
+  List.iter
+    (fun (_, lbl, qd) ->
+      let k = (lbl * m) + qd in
+      rev_off.(k + 1) <- rev_off.(k + 1) + 1)
+    trans;
+  for k = 1 to keys do
+    rev_off.(k) <- rev_off.(k) + rev_off.(k - 1)
+  done;
+  let rev_src = Array.make (max rev_off.(keys) 1) 0 in
+  let cursor = Array.copy rev_off in
+  List.iter
+    (fun (qs, lbl, qd) ->
+      let k = (lbl * m) + qd in
+      rev_src.(cursor.(k)) <- qs;
+      cursor.(k) <- cursor.(k) + 1)
+    trans;
+  { n; m; csr; rev_off; rev_src; starts = Nfa.starts nfa; finals = Nfa.finals nfa }
+
+(* ------------------------------------------------------------------ *)
+(* The one shared kernel: backward product BFS from all accepting
+   product states over reversed product edges.
+
+   Product states are int-encoded as [v * m + q]. Every state enters the
+   queue at most once, so a single [n * m] int array doubles as the
+   queue and the level structure: levels are [queue[head, tail)]
+   snapshots, processed level-synchronously. Membership ("an accepting
+   state is reachable from here") is one bit per product state — a
+   {!Bitset.t} sequentially, a {!Bitset.Atomic} when worker domains
+   race on discovery.
+
+   A parallel level splits the frontier into chunks; each chunk claims
+   states with an atomic bit test-and-set and appends its discoveries to
+   a chunk-local buffer, merged into the queue afterwards. The {e set}
+   discovered per level is execution-order independent, so results (and
+   BFS distances) are deterministic for any domain count. *)
+
+type stats = {
+  visits : int;
+  dedup : int;
+  par_levels : int;
+  seq_fallbacks : int;
+  domains_used : int;
+}
+
+let run_kernel ~domains ~par_threshold ~want_dist plan =
+  let { n; m; csr; rev_off; rev_src; finals; _ } = plan in
+  let size = n * m in
+  let pool = if domains > 1 then Some (Pool.get domains) else None in
+  let tas, mem =
+    match pool with
+    | None ->
+        let b = Bitset.create size in
+        (Bitset.test_and_set b, Bitset.mem b)
+    | Some _ ->
+        let b = Bitset.Atomic.create size in
+        (Bitset.Atomic.test_and_set b, Bitset.Atomic.mem b)
+  in
+  let dist = if want_dist then Some (Array.make (max size 1) (-1)) else None in
+  let set_dist =
+    match dist with Some d -> fun idx level -> d.(idx) <- level | None -> fun _ _ -> ()
+  in
+  let queue = Array.make (max size 1) 0 in
+  let head = ref 0 and tail = ref 0 in
+  (* seed: every accepting product state, at distance 0 *)
+  for v = 0 to n - 1 do
+    List.iter
+      (fun qf ->
+        let idx = (v * m) + qf in
+        if tas idx then begin
+          set_dist idx 0;
+          queue.(!tail) <- idx;
+          incr tail
+        end)
+      finals
+  done;
+  let visits = ref 0 and dedup = ref 0 in
+  let par_levels = ref 0 and seq_fallbacks = ref 0 in
+  (* expand queue.(i): push the product-BFS predecessors of (v', q') *)
+  let expand_seq lo hi level =
+    for i = lo to hi - 1 do
+      let idx = queue.(i) in
       let v' = idx / m and q' = idx mod m in
       Csr.iter_in csr v' (fun lbl v ->
-          List.iter (fun (qs, qd) -> if qd = q' then push v qs) by_label.(lbl))
+          let key = (lbl * m) + q' in
+          for k = rev_off.(key) to rev_off.(key + 1) - 1 do
+            let pidx = (v * m) + rev_src.(k) in
+            if tas pidx then begin
+              set_dist pidx level;
+              queue.(!tail) <- pidx;
+              incr tail
+            end
+            else incr dedup
+          done)
     done;
-    let starts = Nfa.starts nfa in
-    for v = 0 to n - 1 do
-      selected.(v) <- List.exists (fun q0 -> can_accept.((v * m) + q0)) starts
-    done;
-    Counter.incr c_runs;
-    Counter.add c_states (n * m);
-    Counter.add c_visits !visits;
-    Counter.add c_dedup !dedup;
-    Trace.set_int sp "product_states" (n * m);
-    Trace.set_int sp "frontier_visits" !visits;
-    Trace.set_int sp "early_exit_hits" !dedup;
-    selected
+    visits := !visits + (hi - lo)
+  in
+  let expand_par p lo hi level =
+    let count = hi - lo in
+    let chunks = min (Pool.size p * 2) (max 1 (count / 128)) in
+    let chunk_len = (count + chunks - 1) / chunks in
+    let buffers = Array.init chunks (fun _ -> Vec.create ()) in
+    let dedups = Array.make chunks 0 in
+    Pool.run p ~chunks (fun c ->
+        let clo = lo + (c * chunk_len) in
+        let chi = min hi (clo + chunk_len) in
+        let buf = buffers.(c) in
+        let local_dedup = ref 0 in
+        for i = clo to chi - 1 do
+          let idx = queue.(i) in
+          let v' = idx / m and q' = idx mod m in
+          Csr.iter_in csr v' (fun lbl v ->
+              let key = (lbl * m) + q' in
+              for k = rev_off.(key) to rev_off.(key + 1) - 1 do
+                let pidx = (v * m) + rev_src.(k) in
+                (* the atomic test-and-set is the merge: exactly one
+                   chunk wins each newly discovered state *)
+                if tas pidx then begin
+                  set_dist pidx level;
+                  ignore (Vec.push buf pidx)
+                end
+                else incr local_dedup
+              done)
+        done;
+        dedups.(c) <- !local_dedup);
+    Array.iter
+      (fun buf ->
+        Vec.iter
+          (fun idx ->
+            queue.(!tail) <- idx;
+            incr tail)
+          buf)
+      buffers;
+    Array.iter (fun d -> dedup := !dedup + d) dedups;
+    visits := !visits + count
+  in
+  let level = ref 0 in
+  while !head < !tail do
+    incr level;
+    let lo = !head and hi = !tail in
+    head := hi;
+    match pool with
+    | Some p when hi - lo >= par_threshold ->
+        incr par_levels;
+        expand_par p lo hi !level
+    | Some _ ->
+        incr seq_fallbacks;
+        expand_seq lo hi !level
+    | None -> expand_seq lo hi !level
+  done;
+  let stats =
+    {
+      visits = !visits;
+      dedup = !dedup;
+      par_levels = !par_levels;
+      seq_fallbacks = !seq_fallbacks;
+      domains_used = (if !par_levels > 0 then domains else 1);
+    }
+  in
+  (mem, dist, stats)
+
+(* Run the kernel and publish counters/span attributes — the shared tail
+   of every public entry point. *)
+let kernel sp ?domains ?par_threshold ~want_dist g csr nfa =
+  let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
+  let par_threshold = Option.value par_threshold ~default:default_par_threshold in
+  let plan = build_plan g csr nfa in
+  let mem, dist, stats = run_kernel ~domains ~par_threshold ~want_dist plan in
+  Counter.incr c_runs;
+  Counter.add c_states (plan.n * plan.m);
+  Counter.add c_visits stats.visits;
+  Counter.add c_dedup stats.dedup;
+  Counter.add c_domains stats.domains_used;
+  Counter.add c_par_levels stats.par_levels;
+  Counter.add c_seq_fallbacks stats.seq_fallbacks;
+  Trace.set_int sp "product_states" (plan.n * plan.m);
+  Trace.set_int sp "frontier_visits" stats.visits;
+  Trace.set_int sp "early_exit_hits" stats.dedup;
+  Trace.set_int sp "domains_used" stats.domains_used;
+  Trace.set_int sp "par_levels" stats.par_levels;
+  (plan, mem, dist)
+
+let selected_of_mem plan mem =
+  let { n; m; starts; _ } = plan in
+  let selected = Array.make n false in
+  for v = 0 to n - 1 do
+    selected.(v) <- List.exists (fun q0 -> mem ((v * m) + q0)) starts
+  done;
+  selected
+
+(* ------------------------------------------------------------------ *)
+(* public entry points — all route through the one kernel *)
+
+let select_frozen_nfa sp ?domains ?par_threshold g csr nfa =
+  if Nfa.n_states nfa = 0 then Array.make (Csr.n_nodes csr) false
+  else begin
+    let plan, mem, _ = kernel sp ?domains ?par_threshold ~want_dist:false g csr nfa in
+    selected_of_mem plan mem
   end
 
-let select_via_dfa g q =
+let select_nfa ?domains ?par_threshold g nfa =
+  Trace.with_span "eval.select" @@ fun sp ->
+  select_frozen_nfa sp ?domains ?par_threshold g (Csr.freeze g) nfa
+
+let select ?domains ?par_threshold g q = select_nfa ?domains ?par_threshold g (Rpq.nfa q)
+
+let select_frozen ?domains ?par_threshold g csr q =
+  Trace.with_span "eval.select_frozen" @@ fun sp ->
+  select_frozen_nfa sp ?domains ?par_threshold g csr (Rpq.nfa q)
+
+let select_via_dfa ?domains ?par_threshold g q =
   let module Dfa = Gps_automata.Dfa in
-  select_nfa g (Dfa.to_nfa (Dfa.minimize (Dfa.determinize (Rpq.nfa q))))
+  select_nfa ?domains ?par_threshold g
+    (Dfa.to_nfa (Dfa.minimize (Dfa.determinize (Rpq.nfa q))))
 
 let select_nodes g q =
   let sel = select g q in
@@ -135,47 +285,24 @@ let consistent g q ~pos ~neg =
 
 let count g q = List.length (select_nodes g q)
 
-let witness_lengths g q =
+let witness_lengths ?domains ?par_threshold g q =
+  Trace.with_span "eval.witness_lengths" @@ fun sp ->
   let nfa = Rpq.nfa q in
   let n = Digraph.n_nodes g and m = Nfa.n_states nfa in
   let result = Array.make n None in
   if m = 0 then result
   else begin
-    let by_label = index_transitions g nfa in
-    (* dist.(v*m+q) = length of the shortest word leading (v,q) to
-       acceptance; BFS from accepting states over reversed product edges
-       explores in increasing length. *)
-    let dist = Array.make (n * m) (-1) in
-    let queue = Queue.create () in
-    let push v qs d =
-      let idx = (v * m) + qs in
-      if dist.(idx) = -1 then begin
-        dist.(idx) <- d;
-        Queue.add idx queue
-      end
+    let plan, _, dist =
+      kernel sp ?domains ?par_threshold ~want_dist:true g (Csr.freeze g) nfa
     in
-    let finals = Nfa.finals nfa in
-    for v = 0 to n - 1 do
-      List.iter (fun qf -> push v qf 0) finals
-    done;
-    while not (Queue.is_empty queue) do
-      let idx = Queue.pop queue in
-      let v' = idx / m and q' = idx mod m in
-      let d = dist.(idx) in
-      List.iter
-        (fun (lbl, v) ->
-          List.iter (fun (qs, qd) -> if qd = q' then push v qs (d + 1)) by_label.(lbl))
-        (Digraph.in_edges g v')
-    done;
-    let starts = Nfa.starts nfa in
+    let dist = Option.get dist in
     for v = 0 to n - 1 do
       let best =
         List.fold_left
           (fun acc q0 ->
             let d = dist.((v * m) + q0) in
-            if d = -1 then acc
-            else match acc with Some b when b <= d -> acc | _ -> Some d)
-          None starts
+            if d = -1 then acc else match acc with Some b when b <= d -> acc | _ -> Some d)
+          None plan.starts
       in
       result.(v) <- best
     done;

@@ -6,18 +6,47 @@
     accepting product states over reversed product edges, which answers
     the question for {e every} node simultaneously in
     O(|E| · |Δ| + |V| · |Q|) — this is the engine behind every
-    interaction of the system, so it must stay graph-linear. *)
+    interaction of the system, so it must stay graph-linear.
 
-val select : Gps_graph.Digraph.t -> Rpq.t -> bool array
+    {2 The kernel}
+
+    Every entry point below routes through one shared, cache-tight
+    kernel: a frozen {!Gps_graph.Csr} adjacency snapshot, a flat
+    CSR-style reverse transition index keyed by [(label, state)] (no
+    per-edge transition-list filtering), {!Gps_graph.Bitset} membership
+    tables (one bit per product state), and int-encoded product states
+    in a flat array queue. The BFS is level-synchronous: when the
+    default {!Gps_par.Pool} has more than one domain and a level's
+    frontier is large enough, the level is expanded in parallel chunks
+    merged with atomic bit test-and-set; smaller frontiers (and pools of
+    size 1) take the sequential path, so interactive-scale graphs pay
+    nothing for the machinery. Results are deterministic for any domain
+    count.
+
+    The [?domains] and [?par_threshold] parameters override the pool
+    size ({!Gps_par.Pool.default_domains}) and the sequential-fallback
+    frontier threshold for one call — benchmarks and the equivalence
+    test-suite use them; normal callers leave both defaulted. *)
+
+val select : ?domains:int -> ?par_threshold:int -> Gps_graph.Digraph.t -> Rpq.t -> bool array
 (** [select g q].(v) iff [q] selects node [v]. *)
 
-val select_frozen : Gps_graph.Digraph.t -> Gps_graph.Csr.t -> Rpq.t -> bool array
-(** Same answer over a {!Gps_graph.Csr} snapshot of the same graph
-    (passed alongside for label-name resolution). Avoids adjacency-list
-    allocation on the hot path; the [--exp csr] benchmark quantifies the
-    win. The snapshot must be [Csr.freeze] of exactly this graph. *)
+val select_frozen :
+  ?domains:int ->
+  ?par_threshold:int ->
+  Gps_graph.Digraph.t ->
+  Gps_graph.Csr.t ->
+  Rpq.t ->
+  bool array
+(** Same answer over a prebuilt {!Gps_graph.Csr} snapshot of the same
+    graph (passed alongside for label-name resolution) — skips the
+    per-call freeze, the right entry point for repeated evaluation
+    against one graph (the server's cold path, the learner's
+    consistency oracle). The snapshot must be [Csr.freeze] of exactly
+    this graph. *)
 
-val select_via_dfa : Gps_graph.Digraph.t -> Rpq.t -> bool array
+val select_via_dfa :
+  ?domains:int -> ?par_threshold:int -> Gps_graph.Digraph.t -> Rpq.t -> bool array
 (** Same answer computed against the determinized-and-minimized query
     automaton instead of the NFA. A smaller automaton shrinks the product,
     but determinization can blow the automaton up — the [--exp eval]
@@ -41,11 +70,12 @@ val consistent :
 
 val count : Gps_graph.Digraph.t -> Rpq.t -> int
 
-val witness_lengths : Gps_graph.Digraph.t -> Rpq.t -> int option array
+val witness_lengths :
+  ?domains:int -> ?par_threshold:int -> Gps_graph.Digraph.t -> Rpq.t -> int option array
 (** Per node, the length of its shortest witness word ([None] when not
-    selected) — all nodes in one backward BFS, used to rank answers by
-    how direct they are. Agrees with the length of {!Witness.find}'s
-    result. *)
+    selected) — all nodes in one backward BFS (the same kernel, with
+    per-level distances), used to rank answers by how direct they are.
+    Agrees with the length of {!Witness.find}'s result. *)
 
 val product_states : Gps_graph.Digraph.t -> Rpq.t -> int
 (** |V| · |Q| — reported by the benchmark harness. *)

@@ -49,7 +49,8 @@ work counts, an exact function of the graph, goal and strategy:
   $ gps session tiny.g --goal 'tram.tram' --trace session.jsonl > /dev/null
   $ gps trace summary session.jsonl --timings=false
   span                    count   errs
-  eval.select                 9      0
+  eval.select                 5      0
+  eval.select_frozen          4      0
   learner.learn               2      0
   propagate.negatives         2      0
   propagate.positives         1      0

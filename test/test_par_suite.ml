@@ -1,0 +1,163 @@
+(* Tests for gps_par (the Domain work pool) and Gps_graph.Bitset (the
+   packed membership tables) — the two substrates under the parallel
+   evaluation kernel. The pool tests run real multi-domain pools even on
+   a single-core host: chunk claiming, completion and exception
+   propagation do not depend on physical parallelism. *)
+
+open Gps_graph
+module Pool = Gps_par.Pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -------------------------------------------------------------------- *)
+(* Bitset *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  check_int "length" 100 (Bitset.length b);
+  check_int "empty" 0 (Bitset.cardinal b);
+  check "nothing member" false (Bitset.mem b 0);
+  Bitset.set b 42;
+  check "42 in" true (Bitset.mem b 42);
+  check "41 out" false (Bitset.mem b 41);
+  check_int "one bit" 1 (Bitset.cardinal b)
+
+let test_bitset_word_boundaries () =
+  (* indices straddling byte (8) and word (32) packing edges *)
+  let n = 100 in
+  let b = Bitset.create n in
+  let edges = [ 0; 7; 8; 15; 16; 31; 32; 33; 63; 64; n - 1 ] in
+  List.iter (fun i -> check ("tas fresh " ^ string_of_int i) true (Bitset.test_and_set b i)) edges;
+  List.iter
+    (fun i -> check ("tas again " ^ string_of_int i) false (Bitset.test_and_set b i))
+    edges;
+  check_int "cardinal = distinct edges" (List.length edges) (Bitset.cardinal b);
+  for i = 0 to n - 1 do
+    check ("mem " ^ string_of_int i) (List.mem i edges) (Bitset.mem b i)
+  done;
+  Bitset.clear b;
+  check_int "clear empties" 0 (Bitset.cardinal b);
+  check "cleared bit" false (Bitset.mem b 32)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  let raises f = match f () with () -> false | exception Invalid_argument _ -> true in
+  check "mem -1" true (raises (fun () -> ignore (Bitset.mem b (-1))));
+  check "set 10" true (raises (fun () -> Bitset.set b 10));
+  check "tas 11" true (raises (fun () -> ignore (Bitset.test_and_set b 11)));
+  check "negative create" true (raises (fun () -> ignore (Bitset.create (-1))));
+  check "zero-length ok" true (Bitset.cardinal (Bitset.create 0) = 0)
+
+let test_atomic_bitset_basic () =
+  let b = Bitset.Atomic.create 100 in
+  check_int "length" 100 (Bitset.Atomic.length b);
+  let edges = [ 0; 31; 32; 63; 64; 99 ] in
+  List.iter (fun i -> check ("tas " ^ string_of_int i) true (Bitset.Atomic.test_and_set b i)) edges;
+  List.iter
+    (fun i -> check ("tas dup " ^ string_of_int i) false (Bitset.Atomic.test_and_set b i))
+    edges;
+  check_int "cardinal" (List.length edges) (Bitset.Atomic.cardinal b);
+  check "mem" true (Bitset.Atomic.mem b 64);
+  check "not mem" false (Bitset.Atomic.mem b 65);
+  Bitset.Atomic.clear b;
+  check_int "cleared" 0 (Bitset.Atomic.cardinal b)
+
+let test_atomic_bitset_race_free () =
+  (* 4 domains all test-and-set every bit of a shared set; exactly one
+     winner per bit means total successes = number of bits, regardless
+     of interleaving. *)
+  let n = 4096 in
+  let b = Bitset.Atomic.create n in
+  let pool = Pool.create ~domains:4 in
+  let wins = Array.make 8 0 in
+  Pool.run pool ~chunks:8 (fun c ->
+      let w = ref 0 in
+      for i = 0 to n - 1 do
+        if Bitset.Atomic.test_and_set b i then incr w
+      done;
+      wins.(c) <- !w);
+  check_int "every bit set" n (Bitset.Atomic.cardinal b);
+  check_int "each bit won exactly once" n (Array.fold_left ( + ) 0 wins);
+  Pool.shutdown pool
+
+(* -------------------------------------------------------------------- *)
+(* Pool *)
+
+let test_pool_covers_all_chunks () =
+  let pool = Pool.create ~domains:3 in
+  check_int "size" 3 (Pool.size pool);
+  let hits = Array.make 57 0 in
+  Pool.run pool ~chunks:57 (fun i -> hits.(i) <- hits.(i) + 1);
+  check "each chunk exactly once" true (Array.for_all (fun c -> c = 1) hits);
+  Pool.shutdown pool
+
+let test_pool_reuse () =
+  let pool = Pool.create ~domains:2 in
+  let acc = Atomic.make 0 in
+  for _ = 1 to 20 do
+    Pool.run pool ~chunks:5 (fun i -> ignore (Atomic.fetch_and_add acc (i + 1)))
+  done;
+  check_int "20 jobs of 1+2+3+4+5" (20 * 15) (Atomic.get acc);
+  Pool.run pool ~chunks:0 (fun _ -> Alcotest.fail "zero chunks must not run");
+  Pool.shutdown pool
+
+let test_pool_single_domain () =
+  let pool = Pool.create ~domains:1 in
+  let order = ref [] in
+  Pool.run pool ~chunks:4 (fun i -> order := i :: !order);
+  (* no workers: chunks run inline, in order, on the caller *)
+  Alcotest.(check (list int)) "inline order" [ 3; 2; 1; 0 ] !order;
+  Pool.shutdown pool
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~domains:4 in
+  let ran = Array.make 16 false in
+  (try
+     Pool.run pool ~chunks:16 (fun i ->
+         ran.(i) <- true;
+         if i = 7 then failwith "chunk 7");
+     Alcotest.fail "expected Failure"
+   with Failure msg -> Alcotest.(check string) "first failure" "chunk 7" msg);
+  check "all chunks still completed" true (Array.for_all Fun.id ran);
+  (* the pool survives a failing job *)
+  let sum = Atomic.make 0 in
+  Pool.run pool ~chunks:8 (fun i -> ignore (Atomic.fetch_and_add sum i));
+  check_int "usable after failure" 28 (Atomic.get sum);
+  Pool.shutdown pool
+
+let test_pool_invalid_sizes () =
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check "domains=0 rejected" true (raises (fun () -> Pool.create ~domains:0));
+  check "set_default_domains 0 rejected" true (raises (fun () -> Pool.set_default_domains 0));
+  check "default >= 1" true (Pool.default_domains () >= 1)
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  let raises f = match f () with () -> false | exception Invalid_argument _ -> true in
+  check "run after shutdown rejected" true
+    (raises (fun () -> Pool.run pool ~chunks:4 (fun _ -> ())))
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "par.bitset",
+      [
+        t "basic" test_bitset_basic;
+        t "word boundaries" test_bitset_word_boundaries;
+        t "bounds checks" test_bitset_bounds;
+        t "atomic basic" test_atomic_bitset_basic;
+        t "atomic race-free under pool" test_atomic_bitset_race_free;
+      ] );
+    ( "par.pool",
+      [
+        t "covers all chunks" test_pool_covers_all_chunks;
+        t "reuse across jobs" test_pool_reuse;
+        t "single domain inline" test_pool_single_domain;
+        t "exception propagates" test_pool_exception_propagates;
+        t "invalid sizes" test_pool_invalid_sizes;
+        t "shutdown idempotent" test_pool_shutdown_idempotent;
+      ] );
+  ]

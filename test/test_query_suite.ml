@@ -236,6 +236,32 @@ let qcheck_tests =
         6)
   in
   let arb_starfree = make ~print:Gps_regex.Regex.to_string gen_regex in
+  (* with star: richer automata (cycles in the product) for the kernel
+     equivalence properties, where select_via_dfa is the oracle and no
+     bounded enumeration is needed *)
+  let gen_regex_starred =
+    Gen.(
+      let sym = oneofl [ "a"; "b"; "c" ] in
+      fix
+        (fun self n ->
+          if n <= 1 then map Gps_regex.Regex.sym sym
+          else
+            frequency
+              [
+                (3, map Gps_regex.Regex.sym sym);
+                ( 2,
+                  map2
+                    (fun a b -> Gps_regex.Regex.alt [ a; b ])
+                    (self (n / 2)) (self (n / 2)) );
+                ( 3,
+                  map2
+                    (fun a b -> Gps_regex.Regex.seq [ a; b ])
+                    (self (n / 2)) (self (n / 2)) );
+                (2, map Gps_regex.Regex.star (self (n / 2)));
+              ])
+        8)
+  in
+  let arb_starred = make ~print:Gps_regex.Regex.to_string gen_regex_starred in
   [
     Test.make ~name:"product eval = brute-force on star-free queries" ~count:300
       (pair arb_graph arb_starfree) (fun (g, r) ->
@@ -286,6 +312,41 @@ let qcheck_tests =
         let q1 = Rpq.of_string_exn "a.c" and q2 = Rpq.of_string_exn "a.(b+c)" in
         let s1 = Eval.select g q1 and s2 = Eval.select g q2 in
         Array.for_all Fun.id (Array.mapi (fun i b -> (not b) || s2.(i)) s1));
+    (* -- parallel kernel equivalence ------------------------------------ *)
+    (* par_threshold:0 forces every level down the parallel path, so the
+       multi-domain expansion really runs even on these small graphs. *)
+    Test.make ~name:"parallel select = sequential select = select_via_dfa" ~count:150
+      (pair arb_graph arb_starred) (fun (g, r) ->
+        let query = Rpq.of_regex r in
+        let seq = Eval.select ~domains:1 g query in
+        let par = Eval.select ~domains:2 ~par_threshold:0 g query in
+        let dfa = Eval.select_via_dfa g query in
+        par = seq && dfa = seq);
+    Test.make ~name:"select_frozen parallel = select, any domain count" ~count:100
+      (pair arb_graph arb_starred) (fun (g, r) ->
+        let query = Rpq.of_regex r in
+        let expected = Eval.select g query in
+        let csr = Csr.freeze g in
+        List.for_all
+          (fun d -> Eval.select_frozen ~domains:d ~par_threshold:0 g csr query = expected)
+          [ 1; 2; 4 ]);
+    Test.make ~name:"parallel evaluation is deterministic across runs and domains" ~count:100
+      (pair arb_graph arb_starred) (fun (g, r) ->
+        let query = Rpq.of_regex r in
+        let first = Eval.select ~domains:4 ~par_threshold:0 g query in
+        List.for_all
+          (fun d ->
+            Eval.select ~domains:d ~par_threshold:0 g query = first
+            && Eval.select ~domains:d ~par_threshold:0 g query = first)
+          [ 1; 2; 4 ]);
+    Test.make ~name:"witness_lengths parallel = sequential, and matches selection" ~count:100
+      (pair arb_graph arb_starred) (fun (g, r) ->
+        let query = Rpq.of_regex r in
+        let seq = Eval.witness_lengths ~domains:1 g query in
+        let par = Eval.witness_lengths ~domains:2 ~par_threshold:0 g query in
+        let sel = Eval.select g query in
+        par = seq
+        && Array.for_all Fun.id (Array.mapi (fun v d -> (d <> None) = sel.(v)) seq));
   ]
 
 let suite =
