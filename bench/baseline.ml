@@ -47,12 +47,41 @@ let run () =
     (match Srv.handle srv (P.Load { name = "city"; source = P.Text text }) with
     | P.Loaded _ -> ()
     | _ -> failwith "baseline: load failed");
-    let line = P.request_to_string (P.Query { graph = "city"; query = "(tram+bus)*.cinema" }) in
+    let line = P.request_to_string (P.Query { graph = "city"; query = "(tram+bus)*.cinema"; explain = false }) in
     segment (fun () ->
         (* the wire path counts server.dispatches; the second one hits
            the query cache *)
         ignore (Srv.handle_line srv line);
         ignore (Srv.handle_line srv line))
+  in
+  let histogram_seg =
+    (* overhead of the shared latency histogram on the hot path: records
+       per second, uncontended and with 4 domains hammering one
+       histogram. ops and the resulting distribution are exact; only the
+       ns/op figures are machine-dependent. *)
+    let module Histogram = Gps.Obs.Histogram in
+    let ops = 1_000_000 in
+    let fill h = for i = 0 to ops - 1 do Histogram.record h (i land 0xFFFF) done in
+    let h = Histogram.create "bench.histogram_seq" in
+    let t0 = Clock.now_ns () in
+    fill h;
+    let seq_ns = Int64.to_float (Clock.elapsed_ns t0) /. float_of_int ops in
+    let hc = Histogram.create "bench.histogram_par" in
+    let t0 = Clock.now_ns () in
+    let domains = Array.init 4 (fun _ -> Domain.spawn (fun () -> fill hc)) in
+    Array.iter Domain.join domains;
+    let par_ns =
+      Int64.to_float (Clock.elapsed_ns t0) /. float_of_int (4 * ops)
+    in
+    let s = Histogram.snapshot hc in
+    Json.Object
+      [
+        ("ops", int_j ops);
+        ("seq_ns_per_record", num seq_ns);
+        ("contended_ns_per_record", num par_ns);
+        ("contended_count", int_j s.Histogram.count);
+        ("contended_max", int_j s.Histogram.max);
+      ]
   in
   let doc =
     Json.Object
@@ -73,6 +102,7 @@ let run () =
               ("learn", learn_seg);
               ("session", session_seg);
               ("dispatch", dispatch_seg);
+              ("histogram", histogram_seg);
             ] );
       ]
   in

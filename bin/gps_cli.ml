@@ -151,12 +151,25 @@ let query_cmd =
     let doc = "Also print a shortest witness walk per selected node." in
     Arg.(value & flag & info [ "witness"; "w" ] ~doc)
   in
-  let run path qs witness trace domains =
+  let explain =
+    let doc =
+      "Also print the evaluation's EXPLAIN report: automaton and product sizes, per-level \
+       frontier sizes, parallel-vs-sequential level decisions and the stop reason."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run path qs witness explain trace domains =
     apply_domains domains;
     let g = or_die (load_graph path) in
     let q = or_die (Gps.parse_query qs) in
     with_trace trace @@ fun () ->
-    let selected = Gps.Query.Eval.select_nodes g q in
+    let sel, report =
+      if explain then
+        let sel, r = Gps.Query.Eval.select_report g q in
+        (sel, Some r)
+      else (Gps.Query.Eval.select g q, None)
+    in
+    let selected = List.filter (fun v -> sel.(v)) (List.init (Array.length sel) Fun.id) in
     Printf.printf "%s selects %d node(s)\n" (Gps.Query.Rpq.to_string q) (List.length selected);
     List.iter
       (fun v ->
@@ -166,11 +179,14 @@ let query_cmd =
                         (Gps.Viz.Ascii.witness g w)
           | None -> ()
         else Printf.printf "  %s\n" (Digraph.node_name g v))
-      selected
+      selected;
+    match report with
+    | None -> ()
+    | Some r -> Format.printf "@.explain:@.%a" Gps.Query.Eval.pp_report r
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a path query")
-    Term.(const run $ graph_arg $ query_pos 1 $ witness $ trace_arg $ domains_arg)
+    Term.(const run $ graph_arg $ query_pos 1 $ witness $ explain $ trace_arg $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 (* learn *)
@@ -492,12 +508,16 @@ let identify_cmd =
 (* ---------------------------------------------------------------- *)
 (* trace: offline work on JSONL span traces *)
 
+let trace_file_arg =
+  let doc = "JSONL trace file written by --trace, or '-' for stdin." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let load_trace = function
+  | "-" -> Gps.Obs.Summary.load_channel ~name:"<stdin>" stdin
+  | file -> Gps.Obs.Summary.load_file file
+
 let trace_cmd =
   let summary_cmd =
-    let file =
-      let doc = "JSONL trace file written by --trace." in
-      Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
-    in
     let timings =
       let doc =
         "Include the duration columns (mean_us/max_us). Pass --timings=false for output \
@@ -509,9 +529,17 @@ let trace_cmd =
       let doc = "Emit the summary as one JSON object instead of a table." in
       Arg.(value & flag & info [ "json" ] ~doc)
     in
-    let run file timings json =
-      let spans = or_die (Gps.Obs.Summary.load_file file) in
-      let rows = Gps.Obs.Summary.aggregate spans in
+    let sort =
+      let doc =
+        "Row order: 'name' (ascending, the default) or 'count' / 'total' / 'max' / 'mean' \
+         (descending — biggest first)."
+      in
+      Arg.(value & opt string "name" & info [ "sort" ] ~docv:"KEY" ~doc)
+    in
+    let run file timings json sort =
+      let by = or_die (Gps.Obs.Summary.order_of_string sort) in
+      let spans = or_die (load_trace file) in
+      let rows = Gps.Obs.Summary.sort ~by (Gps.Obs.Summary.aggregate spans) in
       if json then
         print_endline
           (Gps.Graph.Json.value_to_string ~pretty:true (Gps.Obs.Summary.to_json ~timings rows))
@@ -519,9 +547,99 @@ let trace_cmd =
     in
     Cmd.v
       (Cmd.info "summary" ~doc:"Aggregate a JSONL trace into per-span-name statistics")
-      Term.(const run $ file $ timings $ json)
+      Term.(const run $ trace_file_arg $ timings $ json $ sort)
   in
-  Cmd.group (Cmd.info "trace" ~doc:"Inspect JSONL span traces") [ summary_cmd ]
+  let flame_cmd =
+    let run file =
+      let spans = or_die (load_trace file) in
+      print_string (Gps.Obs.Flame.to_string (Gps.Obs.Flame.fold spans))
+    in
+    Cmd.v
+      (Cmd.info "flame"
+         ~doc:
+           "Fold a JSONL trace into flame-graph stacks ('a;b;c self_ns' lines for \
+            flamegraph.pl or speedscope)")
+      Term.(const run $ trace_file_arg)
+  in
+  Cmd.group (Cmd.info "trace" ~doc:"Inspect JSONL span traces") [ summary_cmd; flame_cmd ]
+
+(* ---------------------------------------------------------------- *)
+(* metrics: the process/service telemetry, human- or scraper-facing *)
+
+let metrics_cmd =
+  let prom =
+    let doc = "Render in Prometheus text exposition format instead of JSON." in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let connect =
+    let doc =
+      "Scrape a running 'gps serve --port' instance at $(docv) instead of dumping this \
+       process's (empty) registries."
+    in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let scrape addr prom =
+    let host, port =
+      match String.rindex_opt addr ':' with
+      | Some i -> (
+          let h = String.sub addr 0 i in
+          let p = String.sub addr (i + 1) (String.length addr - i - 1) in
+          match int_of_string_opt p with
+          | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+          | None -> or_die (Error (Printf.sprintf "bad port in %S" addr)))
+      | None -> or_die (Error (Printf.sprintf "--connect wants HOST:PORT, got %S" addr))
+    in
+    let module P = Gps.Server.Protocol in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        or_die (Error (Printf.sprintf "cannot connect to %s:%d: %s" host port
+                         (Unix.error_message e))));
+    let oc = Unix.out_channel_of_descr fd and ic = Unix.in_channel_of_descr fd in
+    let req = if prom then P.Metrics_prom else P.Metrics { timings = true } in
+    output_string oc (P.request_to_string req);
+    output_char oc '\n';
+    flush oc;
+    let line = try input_line ic with End_of_file -> or_die (Error "connection closed") in
+    (try close_out oc with _ -> ());
+    match Gps.Graph.Json.value_of_string line with
+    | exception Gps.Graph.Json.Parse_error (pos, msg) ->
+        or_die (Error (Printf.sprintf "bad response at %d: %s" pos msg))
+    | v -> (
+        match P.decode_response v with
+        | Ok (P.Prom_dump text) -> print_string text
+        | Ok (P.Metrics_dump m) ->
+            print_endline (Gps.Graph.Json.value_to_string ~pretty:true m)
+        | Ok _ -> or_die (Error "unexpected response kind")
+        | Error e -> or_die (Error (Printf.sprintf "%s: %s" e.P.code e.P.message)))
+  in
+  let run prom connect =
+    match connect with
+    | Some addr -> scrape addr prom
+    | None ->
+        if prom then print_string (Gps.Obs.Prom.render ())
+        else
+          let counters =
+            Gps.Graph.Json.Object
+              (List.map
+                 (fun (k, v) -> (k, Gps.Graph.Json.Number (float_of_int v)))
+                 (Gps.Obs.Counter.snapshot ()))
+          in
+          let gauges =
+            Gps.Graph.Json.Object
+              (List.map (fun (k, v) -> (k, Gps.Graph.Json.Number v)) (Gps.Obs.Gauge.snapshot ()))
+          in
+          print_endline
+            (Gps.Graph.Json.value_to_string ~pretty:true
+               (Gps.Graph.Json.Object [ ("counters", counters); ("gauges", gauges) ]))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Dump telemetry registries (counters, gauges, histograms) as JSON or Prometheus \
+          text, locally or scraped from a running server")
+    Term.(const run $ prom $ connect)
 
 (* ---------------------------------------------------------------- *)
 (* serve *)
@@ -551,7 +669,14 @@ let serve_cmd =
     let doc = "Query-result cache capacity (0 disables caching)." in
     Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
   in
-  let run stdio port host preload cache trace domains =
+  let slow_ms =
+    let doc =
+      "Log every query taking at least $(docv) milliseconds as one JSON line on stderr \
+       (the slow-query log). 0 logs every query."
+    in
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let run stdio port host preload cache slow_ms trace domains =
     apply_domains domains;
     let module Srv = Gps.Server.Server in
     let module P = Gps.Server.Protocol in
@@ -574,7 +699,8 @@ let serve_cmd =
         Gps.Obs.Trace.disable ();
         Option.iter close_out trace_oc);
     let server =
-      Srv.create ~config:{ Srv.default_config with Srv.cache_capacity = cache } ()
+      Srv.create
+        ~config:{ Srv.default_config with Srv.cache_capacity = cache; Srv.slow_ms } ()
     in
     List.iter
       (fun spec ->
@@ -607,7 +733,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the query/specification protocol (newline-delimited JSON) over stdio or TCP")
-    Term.(const run $ stdio $ port $ host $ preload $ cache $ trace_arg $ domains_arg)
+    Term.(const run $ stdio $ port $ host $ preload $ cache $ slow_ms $ trace_arg $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 
@@ -619,5 +745,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; stats_cmd; query_cmd; learn_cmd; session_cmd; dot_cmd; convert_cmd;
-            identify_cmd; serve_cmd; trace_cmd;
+            identify_cmd; serve_cmd; trace_cmd; metrics_cmd;
           ]))

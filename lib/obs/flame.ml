@@ -1,0 +1,61 @@
+(* Folded stacks: span forest -> "a;b;c self_ns" lines. Two passes over
+   the span list (children sums, then stack strings), memoized stack
+   resolution, aggregation by stack in a hashtable. *)
+
+let sanitize name =
+  String.map (function ';' -> ':' | ' ' | '\t' | '\n' | '\r' -> '_' | c -> c) name
+
+let fold (spans : Trace.span list) =
+  let by_id : (int, Trace.span) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (sp : Trace.span) -> Hashtbl.replace by_id sp.Trace.id sp) spans;
+  (* per-span sum of direct children's durations *)
+  let child_ns : (int, int64) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Trace.span) ->
+      if Hashtbl.mem by_id sp.Trace.parent then
+        let prev = Option.value ~default:0L (Hashtbl.find_opt child_ns sp.Trace.parent) in
+        Hashtbl.replace child_ns sp.Trace.parent (Int64.add prev sp.Trace.dur_ns))
+    spans;
+  (* stack string of a span = parent's stack ; own name (memoized) *)
+  let stacks : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let rec stack_of (sp : Trace.span) =
+    match Hashtbl.find_opt stacks sp.Trace.id with
+    | Some s -> s
+    | None ->
+        let s =
+          match Hashtbl.find_opt by_id sp.Trace.parent with
+          | Some parent when sp.Trace.parent <> sp.Trace.id ->
+              stack_of parent ^ ";" ^ sanitize sp.Trace.name
+          | _ -> sanitize sp.Trace.name
+        in
+        Hashtbl.replace stacks sp.Trace.id s;
+        s
+  in
+  let agg : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Trace.span) ->
+      let kids = Option.value ~default:0L (Hashtbl.find_opt child_ns sp.Trace.id) in
+      let self = Int64.sub sp.Trace.dur_ns kids in
+      let self = if Int64.compare self 0L < 0 then 0L else self in
+      let stack = stack_of sp in
+      let prev = Option.value ~default:0L (Hashtbl.find_opt agg stack) in
+      Hashtbl.replace agg stack (Int64.add prev self))
+    spans;
+  Hashtbl.fold (fun stack ns acc -> (stack, ns) :: acc) agg []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let total folded = List.fold_left (fun acc (_, ns) -> Int64.add acc ns) 0L folded
+
+let roots_total (spans : Trace.span list) =
+  let by_id : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (sp : Trace.span) -> Hashtbl.replace by_id sp.Trace.id ()) spans;
+  List.fold_left
+    (fun acc (sp : Trace.span) ->
+      if Hashtbl.mem by_id sp.Trace.parent && sp.Trace.parent <> sp.Trace.id then acc
+      else Int64.add acc sp.Trace.dur_ns)
+    0L spans
+
+let to_string folded =
+  let buf = Buffer.create 1024 in
+  List.iter (fun (stack, ns) -> Buffer.add_string buf (Printf.sprintf "%s %Ld\n" stack ns)) folded;
+  Buffer.contents buf

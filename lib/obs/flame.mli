@@ -1,0 +1,32 @@
+(** Folded-stack flame-graph export from recorded spans.
+
+    Spans form a forest (parent ids); folding turns each span into one
+    semicolon-joined stack — its ancestors' names, root first — valued
+    by the span's {e self} time: its duration minus the summed durations
+    of its direct children. Equal stacks aggregate, so the output is the
+    classic [flamegraph.pl] / speedscope "folded" format, one
+    [root;child;leaf value] line per distinct stack.
+
+    Self times partition wall time: the values of all folded stacks sum
+    to exactly the durations of the root spans ({!total} of {!fold} =
+    sum of root [dur_ns]), provided children nest inside their parents
+    — which the per-thread recorder guarantees. A span whose parent id
+    is absent from the input (dropped by a ring buffer, or opened on
+    another thread) is treated as a root. *)
+
+val fold : Trace.span list -> (string * int64) list
+(** Folded stacks with their aggregated self nanoseconds, sorted by
+    stack. Span names are sanitized for the format: [';'] becomes
+    [':'] and whitespace becomes ['_']. Negative self times (possible
+    only with malformed hand-written traces) clamp to 0. *)
+
+val total : (string * int64) list -> int64
+(** Sum of all folded values. *)
+
+val roots_total : Trace.span list -> int64
+(** Sum of root-span durations — the invariant partner of
+    [total (fold spans)]. *)
+
+val to_string : (string * int64) list -> string
+(** One ["stack value"] line per entry, newline-terminated — feed to
+    [flamegraph.pl] or paste into speedscope. *)

@@ -1,15 +1,22 @@
 (** Cross-cutting observability: {!Clock} is the process's one monotonic
     time source; {!Counter} and {!Gauge} are always-on named work
-    counters and levels; {!Trace} records structured spans into a
-    pluggable sink (null / in-memory ring / JSONL) behind a global
-    switch that costs nothing when off; {!Summary} aggregates span
-    streams into per-name count/mean/max rows. Every engine layer
-    (query evaluation, learning, interactive sessions, the server)
-    reports through this library, and the bench harness snapshots its
-    counters so perf PRs compare work done, not just wall-clock. *)
+    counters and levels; {!Histogram} is a lock-free log-bucketed
+    latency/size distribution with the same registry discipline;
+    {!Trace} records structured spans into a pluggable sink (null /
+    in-memory ring / JSONL) behind a global switch that costs nothing
+    when off; {!Summary} aggregates span streams into per-name
+    count/mean/max rows; {!Flame} folds span forests into flame-graph
+    stacks; {!Prom} renders all three registries in Prometheus text
+    format. Every engine layer (query evaluation, learning, interactive
+    sessions, the server) reports through this library, and the bench
+    harness snapshots its counters so perf PRs compare work done, not
+    just wall-clock. *)
 
 module Clock = Clock
 module Counter = Counter
 module Gauge = Gauge
+module Histogram = Histogram
 module Trace = Trace
 module Summary = Summary
+module Flame = Flame
+module Prom = Prom

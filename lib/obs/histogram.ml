@@ -1,0 +1,183 @@
+(* Log-linear bucketing, HdrHistogram style: values 0..3 are exact,
+   every octave above splits into [sub_count] = 4 sub-buckets, so any
+   bucket's width is at most 25% of its lower bound. With 63-bit ints
+   the largest observation lands at index 243; the whole table is one
+   flat array of atomics and recording never allocates or locks. *)
+
+let sub_bits = 2
+let sub_count = 1 lsl sub_bits (* 4 *)
+
+(* msb 4611686018427387903 (max_int) = 61, so indexes stop at
+   (61 - sub_bits) * sub_count + (2 * sub_count - 1) = 243 *)
+let n_buckets = 244
+
+(* branchless-ish highest set bit; [v > 0] *)
+let msb v =
+  let r = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin r := !r + 32; v := !v lsr 32 end;
+  if !v lsr 16 <> 0 then begin r := !r + 16; v := !v lsr 16 end;
+  if !v lsr 8 <> 0 then begin r := !r + 8; v := !v lsr 8 end;
+  if !v lsr 4 <> 0 then begin r := !r + 4; v := !v lsr 4 end;
+  if !v lsr 2 <> 0 then begin r := !r + 2; v := !v lsr 2 end;
+  if !v lsr 1 <> 0 then incr r;
+  !r
+
+let bucket_index v =
+  if v < sub_count then max v 0
+  else
+    let m = msb v in
+    ((m - sub_bits) * sub_count) + (v lsr (m - sub_bits))
+
+let bucket_lower i =
+  if i < 2 * sub_count then i
+  else
+    let shift = (i - sub_count) / sub_count in
+    let top = i - (shift * sub_count) in
+    top lsl shift
+
+let bucket_upper i =
+  if i < 2 * sub_count then i
+  else
+    let shift = (i - sub_count) / sub_count in
+    let top = i - (shift * sub_count) in
+    ((top + 1) lsl shift) - 1
+
+type t = {
+  name : string;
+  labels : (string * string) list;
+  cells : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  maxv : int Atomic.t;
+}
+
+let create ?(labels = []) name =
+  {
+    name;
+    labels = List.sort compare labels;
+    cells = Array.init n_buckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum = Atomic.make 0;
+    maxv = Atomic.make 0;
+  }
+
+(* The registry: touched at creation and snapshot time, never on the
+   record path. *)
+let registry : (string * (string * string) list, t) Hashtbl.t = Hashtbl.create 32
+let lock = Mutex.create ()
+
+let make ?(labels = []) name =
+  let key = (name, List.sort compare labels) in
+  Mutex.lock lock;
+  let h =
+    match Hashtbl.find_opt registry key with
+    | Some h -> h
+    | None ->
+        let h = create ~labels name in
+        Hashtbl.replace registry key h;
+        h
+  in
+  Mutex.unlock lock;
+  h
+
+let name h = h.name
+let labels h = h.labels
+
+let record h v =
+  let v = if v < 0 then 0 else v in
+  ignore (Atomic.fetch_and_add (Array.unsafe_get h.cells (bucket_index v)) 1);
+  ignore (Atomic.fetch_and_add h.count 1);
+  ignore (Atomic.fetch_and_add h.sum v);
+  (* contended max: one load in the common (not-a-new-max) case *)
+  if v > Atomic.get h.maxv then begin
+    let rec bump () =
+      let cur = Atomic.get h.maxv in
+      if v > cur && not (Atomic.compare_and_set h.maxv cur v) then bump ()
+    in
+    bump ()
+  end
+
+let record_ns h ns = record h (Int64.to_int ns)
+
+type snapshot = {
+  hname : string;
+  hlabels : (string * string) list;
+  count : int;
+  sum : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+let snapshot h =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    let c = Atomic.get h.cells.(i) in
+    if c > 0 then buckets := (i, c) :: !buckets
+  done;
+  {
+    hname = h.name;
+    hlabels = h.labels;
+    count = Atomic.get h.count;
+    sum = Atomic.get h.sum;
+    max = Atomic.get h.maxv;
+    buckets = !buckets;
+  }
+
+let merge a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | (i, c) :: xs', (j, d) :: ys' ->
+        if i < j then (i, c) :: go xs' ys
+        else if j < i then (j, d) :: go xs ys'
+        else (i, c + d) :: go xs' ys'
+  in
+  {
+    hname = a.hname;
+    hlabels = a.hlabels;
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+    max = (if a.max >= b.max then a.max else b.max);
+    buckets = go a.buckets b.buckets;
+  }
+
+let quantile s q =
+  if s.count <= 0 then 0.
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int s.count)) in
+      if r < 1 then 1 else if r > s.count then s.count else r
+    in
+    let rec find before = function
+      | [] -> 0. (* unreachable: cumulative bucket counts reach s.count *)
+      | (i, c) :: rest ->
+          if before + c >= rank then
+            let lo = float_of_int (bucket_lower i) and hi = float_of_int (bucket_upper i) in
+            (* midpoint-rule interpolation keeps the estimate strictly
+               inside the bucket's bounds *)
+            let frac = (float_of_int (rank - before) -. 0.5) /. float_of_int c in
+            lo +. ((hi -. lo) *. frac)
+          else find (before + c) rest
+    in
+    find 0 s.buckets
+  end
+
+let mean s = if s.count <= 0 then 0. else float_of_int s.sum /. float_of_int s.count
+
+let snapshot_all () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun _ h acc -> h :: acc) registry [] in
+  Mutex.unlock lock;
+  List.map snapshot (List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) all)
+
+let reset_all () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun _ h acc -> h :: acc) registry [] in
+  Mutex.unlock lock;
+  List.iter
+    (fun h ->
+      Array.iter (fun c -> Atomic.set c 0) h.cells;
+      Atomic.set h.count 0;
+      Atomic.set h.sum 0;
+      Atomic.set h.maxv 0)
+    all

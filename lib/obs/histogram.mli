@@ -1,0 +1,102 @@
+(** Lock-free, log-bucketed, mergeable histograms.
+
+    A histogram records non-negative integer observations (the engine
+    records nanosecond latencies) into logarithmic buckets: values
+    [0 .. 3] each get their own bucket, and every octave above is split
+    into 4 sub-buckets, bounding the relative error of any bucket at
+    25% while keeping the whole table a fixed 248 cells. Recording is a
+    handful of atomic adds — no mutex, no allocation — so a histogram
+    can sit on a hot path shared by every domain.
+
+    Like {!Counter} and {!Gauge}, histograms registered with {!make}
+    live in one process-wide registry ([make] is idempotent per
+    (name, labels)) that the Prometheus endpoint ({!Prom}) and the
+    metrics dump read. {!create} builds a {e private} histogram outside
+    the registry — for per-instance state (the server's per-endpoint
+    latency tables) and benchmarks.
+
+    Reads go through {!snapshot}, an immutable copy that can be
+    {!merge}d with snapshots of other histograms of the same shape —
+    merging is associative and commutative, so per-domain or per-shard
+    histograms aggregate into one distribution. {!quantile} estimates
+    order statistics from the bucket counts; the estimate always lies
+    within the bounds of the bucket holding the true value. *)
+
+type t
+
+(** {1 Construction} *)
+
+val make : ?labels:(string * string) list -> string -> t
+(** Register (or look up) the histogram named [name] with dimensional
+    [labels] (sorted on creation; [("endpoint", "query")] renders as
+    [name{endpoint="query"}] in Prometheus). Same-name histograms with
+    different labels are distinct series. *)
+
+val create : ?labels:(string * string) list -> string -> t
+(** A private histogram outside the registry — never appears in
+    {!snapshot_all}. *)
+
+val name : t -> string
+val labels : t -> (string * string) list
+
+(** {1 Recording} *)
+
+val record : t -> int -> unit
+(** Record one observation. Negative values clamp to 0. Lock-free:
+    safe from any thread or domain. *)
+
+val record_ns : t -> int64 -> unit
+(** [record h (Int64.to_int ns)] — the span-duration convenience. *)
+
+(** {1 Buckets} *)
+
+val n_buckets : int
+
+val bucket_index : int -> int
+(** The bucket an observation lands in. Monotone: [v <= w] implies
+    [bucket_index v <= bucket_index w]. *)
+
+val bucket_lower : int -> int
+(** Smallest value of bucket [i] (inclusive). *)
+
+val bucket_upper : int -> int
+(** Largest value of bucket [i] (inclusive);
+    [bucket_lower i <= v <= bucket_upper i] iff [bucket_index v = i]. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  hname : string;
+  hlabels : (string * string) list;
+  count : int;
+  sum : int;
+  max : int;  (** 0 when empty *)
+  buckets : (int * int) list;
+      (** (bucket index, count), non-zero entries only, ascending *)
+}
+
+val snapshot : t -> snapshot
+(** Consistent enough for monitoring: concurrent records may be
+    partially visible, but every completed {!record} is. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum of two distributions ([count]/[sum] add, [max] maxes,
+    buckets merge). Associative and commutative; keeps the left
+    operand's name and labels. *)
+
+val quantile : snapshot -> float -> float
+(** [quantile s q] for [q] in [[0, 1]]: an estimate of the [q]-th
+    order statistic, linearly interpolated inside the bucket holding
+    it — hence always within that bucket's [lower .. upper] bounds.
+    0 on an empty snapshot. *)
+
+val mean : snapshot -> float
+(** [sum / count]; 0 on an empty snapshot. *)
+
+(** {1 The registry} *)
+
+val snapshot_all : unit -> snapshot list
+(** Every registered histogram, sorted by (name, labels). *)
+
+val reset_all : unit -> unit
+(** Zero every registered histogram (benches isolate runs with this). *)

@@ -1,0 +1,93 @@
+(* Prometheus text exposition. One buffer pass, no dependencies: the
+   format is lines of `name{labels} value` grouped under `# TYPE`
+   headers, with histogram families expanded into cumulative buckets. *)
+
+let sanitize name =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
+    name
+
+let metric_name ?(suffix = "") name = "gps_" ^ sanitize name ^ suffix
+
+(* label values: escape backslash, double-quote and newline *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let label_pairs labels =
+  List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v)) labels
+
+let labels_str labels =
+  match labels with [] -> "" | l -> "{" ^ String.concat "," (label_pairs l) ^ "}"
+
+(* integers print without an exponent; floats in shortest round-trip form *)
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let render_counters counters buf =
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name ~suffix:"_total" name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" m m v))
+    counters
+
+let render_gauges gauges buf =
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %s\n" m m (float_str v)))
+    gauges
+
+(* histogram series sharing a name form one family: TYPE line once,
+   then per-label-set cumulative buckets + sum + count *)
+let render_histograms snaps buf =
+  let families = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Histogram.snapshot) ->
+      match Hashtbl.find_opt families s.Histogram.hname with
+      | Some l -> Hashtbl.replace families s.Histogram.hname (s :: l)
+      | None ->
+          Hashtbl.replace families s.Histogram.hname [ s ];
+          order := s.Histogram.hname :: !order)
+    snaps;
+  List.iter
+    (fun fname ->
+      let m = metric_name fname in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
+      List.iter
+        (fun (s : Histogram.snapshot) ->
+          let base = label_pairs s.Histogram.hlabels in
+          let bucket_line le cum =
+            let labels = String.concat "," (base @ [ Printf.sprintf "le=\"%s\"" le ]) in
+            Buffer.add_string buf (Printf.sprintf "%s_bucket{%s} %d\n" m labels cum)
+          in
+          let cum = ref 0 in
+          List.iter
+            (fun (i, c) ->
+              cum := !cum + c;
+              bucket_line (string_of_int (Histogram.bucket_upper i)) !cum)
+            s.Histogram.buckets;
+          bucket_line "+Inf" s.Histogram.count;
+          let ls = labels_str s.Histogram.hlabels in
+          Buffer.add_string buf (Printf.sprintf "%s_sum%s %d\n" m ls s.Histogram.sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" m ls s.Histogram.count))
+        (List.sort
+           (fun (a : Histogram.snapshot) b -> compare a.Histogram.hlabels b.Histogram.hlabels)
+           (List.rev (Hashtbl.find families fname))))
+    (List.sort compare !order)
+
+let render ?(extra = []) () =
+  let buf = Buffer.create 4096 in
+  render_counters (Counter.snapshot ()) buf;
+  render_gauges (Gauge.snapshot ()) buf;
+  render_histograms (Histogram.snapshot_all () @ extra) buf;
+  Buffer.contents buf

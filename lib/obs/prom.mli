@@ -1,0 +1,33 @@
+(** Prometheus text-format exposition (version 0.0.4).
+
+    Renders the process's observability registries — every {!Counter} as
+    a [counter], every {!Gauge} as a [gauge], every registered
+    {!Histogram} (plus any [extra] snapshots the caller carries, e.g.
+    the server's per-endpoint latency tables) as a [histogram] with
+    cumulative [_bucket{le="…"}] samples, [_sum] and [_count].
+
+    Metric names are the registry's dot-qualified names mapped to the
+    Prometheus grammar: a ["gps_"] prefix, every character outside
+    [[a-zA-Z0-9_:]] replaced by ['_'], and counters suffixed ["_total"]
+    per convention (["eval.runs"] → ["gps_eval_runs_total"]). Label
+    values are escaped per the exposition format (backslash, quote,
+    newline).
+
+    The output is lintable by construction: exactly one [# TYPE] line
+    per metric family, every family followed by at least one sample,
+    no duplicate family names — the CI smoke step and the test suite
+    both check this. *)
+
+val metric_name : ?suffix:string -> string -> string
+(** ["gps_"] + sanitized name + [suffix]. *)
+
+val render_counters : (string * int) list -> Buffer.t -> unit
+val render_gauges : (string * float) list -> Buffer.t -> unit
+val render_histograms : Histogram.snapshot list -> Buffer.t -> unit
+(** Snapshots sharing a name render as one family ([# TYPE] once) with
+    one series per label set. *)
+
+val render : ?extra:Histogram.snapshot list -> unit -> string
+(** The full exposition of the global registries; [extra] histogram
+    snapshots are appended to the registered ones (and merged into
+    their families when names collide). *)

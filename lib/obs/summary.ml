@@ -29,27 +29,53 @@ let aggregate spans =
 let mean_us r =
   if r.count = 0 then 0. else Clock.ns_to_us r.total_ns /. float_of_int r.count
 
+type order = By_name | By_count | By_total | By_max | By_mean
+
+let order_of_string = function
+  | "name" -> Ok By_name
+  | "count" -> Ok By_count
+  | "total" -> Ok By_total
+  | "max" -> Ok By_max
+  | "mean" -> Ok By_mean
+  | other -> Error (Printf.sprintf "unknown sort key %S (name, count, total, max or mean)" other)
+
+(* numeric keys sort descending (biggest first is what you scan for),
+   ties and By_name fall back to the name order *)
+let sort ~by rows =
+  let key r =
+    match by with
+    | By_name -> 0.
+    | By_count -> float_of_int r.count
+    | By_total -> Int64.to_float r.total_ns
+    | By_max -> Int64.to_float r.max_ns
+    | By_mean -> mean_us r
+  in
+  List.stable_sort
+    (fun a b ->
+      match compare (key b) (key a) with 0 -> compare a.name b.name | c -> c)
+    rows
+
+let load_channel ~name ic =
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | line when String.trim line = "" -> go (lineno + 1) acc
+    | line -> (
+        match Json.value_of_string line with
+        | exception Json.Parse_error (pos, msg) ->
+            Error (Printf.sprintf "%s:%d: json error at %d: %s" name lineno pos msg)
+        | v -> (
+            match Trace.span_of_json v with
+            | Ok sp -> go (lineno + 1) (sp :: acc)
+            | Error msg -> Error (Printf.sprintf "%s:%d: %s" name lineno msg)))
+  in
+  go 1 []
+
 let load_file path =
   match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let rec go lineno acc =
-            match input_line ic with
-            | exception End_of_file -> Ok (List.rev acc)
-            | line when String.trim line = "" -> go (lineno + 1) acc
-            | line -> (
-                match Json.value_of_string line with
-                | exception Json.Parse_error (pos, msg) ->
-                    Error (Printf.sprintf "%s:%d: json error at %d: %s" path lineno pos msg)
-                | v -> (
-                    match Trace.span_of_json v with
-                    | Ok sp -> go (lineno + 1) (sp :: acc)
-                    | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg)))
-          in
-          go 1 [])
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> load_channel ~name:path ic)
 
 let micros_j us = Json.Number (Float.round (us *. 10.) /. 10.)  (* 0.1 µs resolution *)
 let int_j n = Json.Number (float_of_int n)

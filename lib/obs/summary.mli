@@ -24,10 +24,24 @@ val aggregate : Trace.span list -> row list
 
 val mean_us : row -> float
 
+(** Row orderings for reports: [By_name] is {!aggregate}'s native
+    (ascending) order; the numeric keys sort descending — biggest
+    first — with name as the tiebreak. *)
+type order = By_name | By_count | By_total | By_max | By_mean
+
+val order_of_string : string -> (order, string) result
+(** ["name"], ["count"], ["total"], ["max"], ["mean"]. *)
+
+val sort : by:order -> row list -> row list
+
 val load_file : string -> (Trace.span list, string) result
 (** Parse a JSONL trace, strictly: any unreadable or malformed line
     fails with a message naming the line number. Blank lines are
     skipped. *)
+
+val load_channel : name:string -> in_channel -> (Trace.span list, string) result
+(** Same, from an open channel ([name] labels error messages — pass
+    ["<stdin>"] for a pipe). Does not close the channel. *)
 
 val to_json : ?timings:bool -> row list -> Gps_graph.Json.value
 (** An object keyed by span name; each value has ["count"], ["errors"]

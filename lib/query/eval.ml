@@ -95,12 +95,16 @@ let build_plan g csr nfa =
    discovered per level is execution-order independent, so results (and
    BFS distances) are deterministic for any domain count. *)
 
+type level_stat = { frontier : int; parallel : bool }
+
 type stats = {
   visits : int;
   dedup : int;
   par_levels : int;
   seq_fallbacks : int;
   domains_used : int;
+  levels : level_stat list;  (* in BFS order; level 1 is the seed frontier *)
+  discovered : int;  (* distinct product states that entered the queue *)
 }
 
 let run_kernel ~domains ~par_threshold ~want_dist plan =
@@ -195,18 +199,26 @@ let run_kernel ~domains ~par_threshold ~want_dist plan =
     visits := !visits + count
   in
   let level = ref 0 in
+  let level_stats = ref [] in
   while !head < !tail do
     incr level;
     let lo = !head and hi = !tail in
     head := hi;
-    match pool with
-    | Some p when hi - lo >= par_threshold ->
-        incr par_levels;
-        expand_par p lo hi !level
-    | Some _ ->
-        incr seq_fallbacks;
-        expand_seq lo hi !level
-    | None -> expand_seq lo hi !level
+    let parallel =
+      match pool with
+      | Some p when hi - lo >= par_threshold ->
+          incr par_levels;
+          expand_par p lo hi !level;
+          true
+      | Some _ ->
+          incr seq_fallbacks;
+          expand_seq lo hi !level;
+          false
+      | None ->
+          expand_seq lo hi !level;
+          false
+    in
+    level_stats := { frontier = hi - lo; parallel } :: !level_stats
   done;
   let stats =
     {
@@ -215,6 +227,8 @@ let run_kernel ~domains ~par_threshold ~want_dist plan =
       par_levels = !par_levels;
       seq_fallbacks = !seq_fallbacks;
       domains_used = (if !par_levels > 0 then domains else 1);
+      levels = List.rev !level_stats;
+      discovered = !tail;
     }
   in
   (mem, dist, stats)
@@ -238,7 +252,7 @@ let kernel sp ?domains ?par_threshold ~want_dist g csr nfa =
   Trace.set_int sp "early_exit_hits" stats.dedup;
   Trace.set_int sp "domains_used" stats.domains_used;
   Trace.set_int sp "par_levels" stats.par_levels;
-  (plan, mem, dist)
+  (plan, mem, dist, stats)
 
 let selected_of_mem plan mem =
   let { n; m; starts; _ } = plan in
@@ -249,13 +263,193 @@ let selected_of_mem plan mem =
   selected
 
 (* ------------------------------------------------------------------ *)
+(* the EXPLAIN report: everything one evaluation did, as data *)
+
+type stop_reason = Empty_automaton | Saturated | Frontier_exhausted
+
+type report = {
+  automaton_states : int;
+  graph_nodes : int;
+  product_states : int;
+  frontier_visits : int;
+  early_exit_hits : int;
+  par_levels : int;
+  seq_fallbacks : int;
+  domains_used : int;
+  par_threshold : int;
+  report_levels : level_stat list;
+  stop : stop_reason;
+  selected : int;  (* nodes the query selects *)
+}
+
+let stop_reason_to_string = function
+  | Empty_automaton -> "empty-automaton"
+  | Saturated -> "saturated"
+  | Frontier_exhausted -> "frontier-exhausted"
+
+let stop_reason_of_string = function
+  | "empty-automaton" -> Ok Empty_automaton
+  | "saturated" -> Ok Saturated
+  | "frontier-exhausted" -> Ok Frontier_exhausted
+  | other -> Error (Printf.sprintf "unknown stop reason %S" other)
+
+let empty_report ~automaton_states ~graph_nodes ~par_threshold =
+  {
+    automaton_states;
+    graph_nodes;
+    product_states = automaton_states * graph_nodes;
+    frontier_visits = 0;
+    early_exit_hits = 0;
+    par_levels = 0;
+    seq_fallbacks = 0;
+    domains_used = 1;
+    par_threshold;
+    report_levels = [];
+    stop = Empty_automaton;
+    selected = 0;
+  }
+
+let report_of_stats plan ~par_threshold ~selected (stats : stats) =
+  let size = plan.n * plan.m in
+  {
+    automaton_states = plan.m;
+    graph_nodes = plan.n;
+    product_states = size;
+    frontier_visits = stats.visits;
+    early_exit_hits = stats.dedup;
+    par_levels = stats.par_levels;
+    seq_fallbacks = stats.seq_fallbacks;
+    domains_used = stats.domains_used;
+    par_threshold;
+    report_levels = stats.levels;
+    stop = (if stats.discovered >= size && size > 0 then Saturated else Frontier_exhausted);
+    selected;
+  }
+
+module Json = Gps_graph.Json
+
+let report_to_json r =
+  let int n = Json.Number (float_of_int n) in
+  Json.Object
+    [
+      ("automaton_states", int r.automaton_states);
+      ("graph_nodes", int r.graph_nodes);
+      ("product_states", int r.product_states);
+      ("frontier_visits", int r.frontier_visits);
+      ("early_exit_hits", int r.early_exit_hits);
+      ("par_levels", int r.par_levels);
+      ("seq_fallbacks", int r.seq_fallbacks);
+      ("domains_used", int r.domains_used);
+      ("par_threshold", int r.par_threshold);
+      ( "levels",
+        Json.Array
+          (List.map
+             (fun l ->
+               Json.Object
+                 [ ("frontier", int l.frontier); ("parallel", Json.Bool l.parallel) ])
+             r.report_levels) );
+      ("stop", Json.String (stop_reason_to_string r.stop));
+      ("selected", int r.selected);
+    ]
+
+let report_of_json v =
+  let ( let* ) = Result.bind in
+  let int_field name =
+    match Json.member name v with
+    | Some (Json.Number f) when Float.is_integer f -> Ok (int_of_float f)
+    | _ -> Error (Printf.sprintf "report field %S missing or not an integer" name)
+  in
+  let* automaton_states = int_field "automaton_states" in
+  let* graph_nodes = int_field "graph_nodes" in
+  let* product_states = int_field "product_states" in
+  let* frontier_visits = int_field "frontier_visits" in
+  let* early_exit_hits = int_field "early_exit_hits" in
+  let* par_levels = int_field "par_levels" in
+  let* seq_fallbacks = int_field "seq_fallbacks" in
+  let* domains_used = int_field "domains_used" in
+  let* par_threshold = int_field "par_threshold" in
+  let* selected = int_field "selected" in
+  let* stop =
+    match Json.member "stop" v with
+    | Some (Json.String s) -> stop_reason_of_string s
+    | _ -> Error "report field \"stop\" missing or not a string"
+  in
+  let* report_levels =
+    match Json.member "levels" v with
+    | Some (Json.Array items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest -> (
+              match (Json.member "frontier" item, Json.member "parallel" item) with
+              | Some (Json.Number f), Some (Json.Bool parallel) when Float.is_integer f ->
+                  go ({ frontier = int_of_float f; parallel } :: acc) rest
+              | _ -> Error "level entries need integer \"frontier\" and boolean \"parallel\"")
+        in
+        go [] items
+    | _ -> Error "report field \"levels\" missing or not an array"
+  in
+  Ok
+    {
+      automaton_states;
+      graph_nodes;
+      product_states;
+      frontier_visits;
+      early_exit_hits;
+      par_levels;
+      seq_fallbacks;
+      domains_used;
+      par_threshold;
+      report_levels;
+      stop;
+      selected;
+    }
+
+let pp_report ppf r =
+  let levels =
+    String.concat " "
+      (List.mapi
+         (fun i l -> Printf.sprintf "%d:%d%s" (i + 1) l.frontier (if l.parallel then "p" else "s"))
+         r.report_levels)
+  in
+  Format.fprintf ppf
+    "automaton states   %d@\n\
+     graph nodes        %d@\n\
+     product states     %d@\n\
+     frontier visits    %d@\n\
+     early-exit hits    %d@\n\
+     levels             %d (%s)@\n\
+     parallel levels    %d (seq fallbacks %d, threshold %d)@\n\
+     domains used       %d@\n\
+     stop reason        %s@\n\
+     selected nodes     %d@\n"
+    r.automaton_states r.graph_nodes r.product_states r.frontier_visits r.early_exit_hits
+    (List.length r.report_levels)
+    (if levels = "" then "-" else levels)
+    r.par_levels r.seq_fallbacks r.par_threshold r.domains_used
+    (stop_reason_to_string r.stop)
+    r.selected
+
+(* ------------------------------------------------------------------ *)
 (* public entry points — all route through the one kernel *)
 
 let select_frozen_nfa sp ?domains ?par_threshold g csr nfa =
   if Nfa.n_states nfa = 0 then Array.make (Csr.n_nodes csr) false
   else begin
-    let plan, mem, _ = kernel sp ?domains ?par_threshold ~want_dist:false g csr nfa in
+    let plan, mem, _, _ = kernel sp ?domains ?par_threshold ~want_dist:false g csr nfa in
     selected_of_mem plan mem
+  end
+
+let count_selected sel = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 sel
+
+let select_frozen_report_nfa sp ?domains ?par_threshold g csr nfa =
+  let threshold = Option.value par_threshold ~default:default_par_threshold in
+  if Nfa.n_states nfa = 0 then
+    ( Array.make (Csr.n_nodes csr) false,
+      empty_report ~automaton_states:0 ~graph_nodes:(Csr.n_nodes csr) ~par_threshold:threshold )
+  else begin
+    let plan, mem, _, stats = kernel sp ?domains ?par_threshold ~want_dist:false g csr nfa in
+    let sel = selected_of_mem plan mem in
+    (sel, report_of_stats plan ~par_threshold:threshold ~selected:(count_selected sel) stats)
   end
 
 let select_nfa ?domains ?par_threshold g nfa =
@@ -267,6 +461,14 @@ let select ?domains ?par_threshold g q = select_nfa ?domains ?par_threshold g (R
 let select_frozen ?domains ?par_threshold g csr q =
   Trace.with_span "eval.select_frozen" @@ fun sp ->
   select_frozen_nfa sp ?domains ?par_threshold g csr (Rpq.nfa q)
+
+let select_report ?domains ?par_threshold g q =
+  Trace.with_span "eval.select" @@ fun sp ->
+  select_frozen_report_nfa sp ?domains ?par_threshold g (Csr.freeze g) (Rpq.nfa q)
+
+let select_frozen_report ?domains ?par_threshold g csr q =
+  Trace.with_span "eval.select_frozen" @@ fun sp ->
+  select_frozen_report_nfa sp ?domains ?par_threshold g csr (Rpq.nfa q)
 
 let select_via_dfa ?domains ?par_threshold g q =
   let module Dfa = Gps_automata.Dfa in
@@ -292,7 +494,7 @@ let witness_lengths ?domains ?par_threshold g q =
   let result = Array.make n None in
   if m = 0 then result
   else begin
-    let plan, _, dist =
+    let plan, _, dist, _ =
       kernel sp ?domains ?par_threshold ~want_dist:true g (Csr.freeze g) nfa
     in
     let dist = Option.get dist in

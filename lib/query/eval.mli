@@ -45,6 +45,68 @@ val select_frozen :
     consistency oracle). The snapshot must be [Csr.freeze] of exactly
     this graph. *)
 
+(** {2 EXPLAIN reports}
+
+    Each evaluation can narrate itself: how big the product was, how the
+    BFS frontier evolved level by level, which levels ran in parallel,
+    and why the search stopped. The server's [explain] field and
+    [gps query --explain] are both rendered from this record. *)
+
+type level_stat = { frontier : int; parallel : bool }
+(** One BFS level: frontier size and whether it was expanded by the
+    domain pool ([parallel = false] is the sequential fallback). Level 1
+    is the accepting-state seed frontier. *)
+
+type stop_reason =
+  | Empty_automaton  (** the query automaton has no states — nothing to run *)
+  | Saturated  (** every product state was discovered *)
+  | Frontier_exhausted  (** the frontier drained before saturation — the common case *)
+
+type report = {
+  automaton_states : int;
+  graph_nodes : int;
+  product_states : int;  (** [graph_nodes * automaton_states] *)
+  frontier_visits : int;  (** product states expanded (queue pops) *)
+  early_exit_hits : int;  (** re-discoveries skipped by the membership bitset *)
+  par_levels : int;
+  seq_fallbacks : int;  (** levels under [par_threshold] with a pool available *)
+  domains_used : int;
+  par_threshold : int;
+  report_levels : level_stat list;  (** in BFS order *)
+  stop : stop_reason;
+  selected : int;  (** how many nodes the query selects *)
+}
+
+val select_report :
+  ?domains:int ->
+  ?par_threshold:int ->
+  Gps_graph.Digraph.t ->
+  Rpq.t ->
+  bool array * report
+(** {!select}, plus the report of the evaluation that produced it. *)
+
+val select_frozen_report :
+  ?domains:int ->
+  ?par_threshold:int ->
+  Gps_graph.Digraph.t ->
+  Gps_graph.Csr.t ->
+  Rpq.t ->
+  bool array * report
+(** {!select_frozen}, plus its report. *)
+
+val stop_reason_to_string : stop_reason -> string
+(** ["empty-automaton"], ["saturated"], ["frontier-exhausted"]. *)
+
+val stop_reason_of_string : string -> (stop_reason, string) result
+
+val report_to_json : report -> Gps_graph.Json.value
+val report_of_json : Gps_graph.Json.value -> (report, string) result
+(** Total codec: [report_of_json (report_to_json r) = Ok r]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** An aligned key/value block for terminals; levels render as
+    ["1:12p 2:40s"] (index:frontier, [p]arallel / [s]equential). *)
+
 val select_via_dfa :
   ?domains:int -> ?par_threshold:int -> Gps_graph.Digraph.t -> Rpq.t -> bool array
 (** Same answer computed against the determinized-and-minimized query

@@ -1,81 +1,102 @@
 module Json = Gps_graph.Json
+module Histogram = Gps_obs.Histogram
 
 let bucket_labels =
   [ "le_10us"; "le_100us"; "le_1ms"; "le_10ms"; "le_100ms"; "le_1s"; "gt_1s" ]
 
-let n_buckets = List.length bucket_labels
-
-(* decade upper bounds, in seconds, aligned with [bucket_labels] *)
-let bounds = [| 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0 |]
+(* decade upper bounds in nanoseconds, aligned with [bucket_labels]
+   (gt_1s is the overflow bucket) *)
+let bounds_ns = [| 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000; 1_000_000_000 |]
 
 type endpoint = {
   mutable requests : int;
   mutable errors : int;
-  mutable lat_sum : float;  (* seconds *)
-  mutable lat_max : float;
-  buckets : int array;
+  hist : Histogram.t;  (* nanosecond latencies, private (per-instance) *)
 }
 
 type t = { tbl : (string, endpoint) Hashtbl.t; lock : Mutex.t }
 
 let create () = { tbl = Hashtbl.create 16; lock = Mutex.create () }
 
-let bucket_of seconds =
-  let rec go i = if i >= Array.length bounds || seconds <= bounds.(i) then i else go (i + 1) in
-  go 0
-
-let record t ~endpoint ~ok ~seconds =
+let endpoint_of t name =
   Mutex.lock t.lock;
   let e =
-    match Hashtbl.find_opt t.tbl endpoint with
+    match Hashtbl.find_opt t.tbl name with
     | Some e -> e
     | None ->
         let e =
-          { requests = 0; errors = 0; lat_sum = 0.; lat_max = 0.; buckets = Array.make n_buckets 0 }
+          {
+            requests = 0;
+            errors = 0;
+            hist = Histogram.create ~labels:[ ("endpoint", name) ] "server.request_ns";
+          }
         in
-        Hashtbl.replace t.tbl endpoint e;
+        Hashtbl.replace t.tbl name e;
         e
   in
+  Mutex.unlock t.lock;
+  e
+
+let record t ~endpoint ~ok ~seconds =
+  let e = endpoint_of t endpoint in
+  Mutex.lock t.lock;
   e.requests <- e.requests + 1;
   if not ok then e.errors <- e.errors + 1;
+  Mutex.unlock t.lock;
   let seconds = Float.max 0. seconds in
-  e.lat_sum <- e.lat_sum +. seconds;
-  if seconds > e.lat_max then e.lat_max <- seconds;
-  let b = bucket_of seconds in
-  e.buckets.(b) <- e.buckets.(b) + 1;
-  Mutex.unlock t.lock
+  Histogram.record e.hist (int_of_float (seconds *. 1e9))
+
+let entries t =
+  Mutex.lock t.lock;
+  let es = Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.tbl [] in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) es
+
+let histograms t = List.map (fun (_, e) -> Histogram.snapshot e.hist) (entries t)
+
+(* Project the log-bucketed snapshot onto the decade buckets the JSON
+   dump has always exposed: each log bucket lands in the decade bucket
+   containing its midpoint (log buckets are ≤25%-wide, so at worst the
+   sliver of a bucket straddling a decade edge is misattributed). *)
+let decades (s : Histogram.snapshot) =
+  let out = Array.make (List.length bucket_labels) 0 in
+  List.iter
+    (fun (i, c) ->
+      let mid = (Histogram.bucket_lower i + Histogram.bucket_upper i) / 2 in
+      let rec go d = if d >= Array.length bounds_ns || mid <= bounds_ns.(d) then d else go (d + 1) in
+      let d = go 0 in
+      out.(d) <- out.(d) + c)
+    s.buckets;
+  out
 
 let int n = Json.Number (float_of_int n)
 
-let micros s = Json.Number (Float.round (s *. 1e7) /. 10.)  (* 0.1 µs resolution *)
+let micros_of_ns ns = Json.Number (Float.round (ns /. 1e2) /. 10.)  (* 0.1 µs resolution *)
 
 let to_json ?(timings = true) t =
-  Mutex.lock t.lock;
-  let entries = Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.tbl [] in
   let doc =
-    entries
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    entries t
     |> List.map (fun (name, e) ->
+           let s = Histogram.snapshot e.hist in
            let base = [ ("requests", int e.requests); ("errors", int e.errors) ] in
            let fields =
              if not timings then base
              else
-               let mean = if e.requests = 0 then 0. else e.lat_sum /. float_of_int e.requests in
+               let by_decade = decades s in
                base
                @ [
                    ( "latency",
                      Json.Object
                        [
-                         ("count", int e.requests);
-                         ("mean_us", micros mean);
-                         ("max_us", micros e.lat_max);
+                         ("count", int s.count);
+                         ("mean_us", micros_of_ns (Histogram.mean s));
+                         ("max_us", micros_of_ns (float_of_int s.max));
                          ( "buckets",
                            Json.Object
-                             (List.mapi (fun i l -> (l, int e.buckets.(i))) bucket_labels) );
+                             (List.mapi (fun i l -> (l, int by_decade.(i))) bucket_labels) );
                        ] );
                  ]
            in
            (name, Json.Object fields))
   in
-  Mutex.unlock t.lock;
   Json.Object doc

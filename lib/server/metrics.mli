@@ -1,10 +1,13 @@
 (** Per-endpoint service metrics.
 
-    Monotonic counters (requests, errors) and a decade latency histogram
-    per endpoint, all dumpable as JSON through the [metrics] endpoint so
-    load tests and later scaling PRs have a trajectory to compare
-    against. Recording is a handful of integer bumps under one mutex —
-    cheap enough to sit on every request.
+    Monotonic counters (requests, errors) and a latency distribution per
+    endpoint. The distribution is a private {!Gps_obs.Histogram}
+    (lock-free log buckets shared with the rest of the engine's
+    telemetry); the JSON dump projects it onto the same decade buckets
+    this endpoint has always exposed, so load tests and later scaling
+    PRs keep a stable trajectory to compare against, while the
+    Prometheus endpoint exports the full-resolution buckets via
+    {!histograms}.
 
     [to_json ~timings:false] omits everything latency-derived, leaving a
     fully deterministic document (the cram tests rely on this).
@@ -21,12 +24,18 @@ val create : unit -> t
 val record : t -> endpoint:string -> ok:bool -> seconds:float -> unit
 
 val bucket_labels : string list
-(** The histogram decade upper bounds, in order:
+(** The JSON histogram decade upper bounds, in order:
     ["le_10us"; "le_100us"; "le_1ms"; "le_10ms"; "le_100ms"; "le_1s";
     "gt_1s"]. *)
+
+val histograms : t -> Gps_obs.Histogram.snapshot list
+(** One full-resolution snapshot per endpoint (sorted by endpoint name),
+    each labelled [("endpoint", name)] under the metric
+    ["server.request_ns"] — what the server feeds
+    {!Gps_obs.Prom.render}'s [extra]. *)
 
 val to_json : ?timings:bool -> t -> Gps_graph.Json.value
 (** An object keyed by endpoint name (sorted), each value carrying
     ["requests"], ["errors"] and — with [timings] (default true) —
     ["latency"] with ["count"], ["mean_us"], ["max_us"] and the
-    ["buckets"] histogram. *)
+    ["buckets"] decade histogram. *)

@@ -6,7 +6,7 @@ type request =
   | Load of { name : string; source : load_source }
   | List_graphs
   | Stats of { graph : string }
-  | Query of { graph : string; query : string }
+  | Query of { graph : string; query : string; explain : bool }
   | Learn of { graph : string; pos : string list; neg : string list }
   | Session_start of { graph : string; strategy : string; seed : int; budget : int option }
   | Session_show of { session : int }
@@ -16,6 +16,7 @@ type request =
   | Session_propose of { session : int; accept : bool }
   | Session_stop of { session : int }
   | Metrics of { timings : bool }
+  | Metrics_prom
   | Status of { timings : bool }
 
 type error = { code : string; message : string }
@@ -30,11 +31,17 @@ type response =
   | Loaded of { name : string; nodes : int; edges : int; labels : int; version : int }
   | Graphs of { graphs : (string * int) list }
   | Stats_of of { name : string; nodes : int; edges : int; labels : string list; version : int }
-  | Answer of { query : string; nodes : string list; cache : [ `Hit | `Miss ] }
+  | Answer of {
+      query : string;
+      nodes : string list;
+      cache : [ `Hit | `Miss ];
+      explain : Json.value option;
+    }
   | Learned of { query : string; selects : string list }
   | Session of { session : int; view : session_view }
   | Stopped of { session : int; questions : int }
   | Metrics_dump of Json.value
+  | Prom_dump of string
   | Status_dump of Json.value
   | Err of error
 
@@ -52,6 +59,7 @@ let op_name = function
   | Session_propose _ -> "session-propose"
   | Session_stop _ -> "session-stop"
   | Metrics _ -> "metrics"
+  | Metrics_prom -> "metrics_prom"
   | Status _ -> "status"
 
 (* ------------------------------------------------------------------ *)
@@ -79,7 +87,9 @@ let encode_request r =
         [ ("name", str name); src ]
     | List_graphs -> []
     | Stats { graph } -> [ ("graph", str graph) ]
-    | Query { graph; query } -> [ ("graph", str graph); ("query", str query) ]
+    | Query { graph; query; explain } ->
+        [ ("graph", str graph); ("query", str query) ]
+        @ (if explain then [ ("explain", Json.Bool true) ] else [])
     | Learn { graph; pos; neg } ->
         [ ("graph", str graph); ("pos", strings pos); ("neg", strings neg) ]
     | Session_start { graph; strategy; seed; budget } ->
@@ -96,6 +106,7 @@ let encode_request r =
         [ ("session", int session); ("accept", Json.Bool accept) ]
     | Session_stop { session } -> [ ("session", int session) ]
     | Metrics { timings } -> [ ("timings", Json.Bool timings) ]
+    | Metrics_prom -> []
     | Status { timings } -> [ ("timings", Json.Bool timings) ]
   in
   Json.Object (("op", op) :: fields)
@@ -158,13 +169,14 @@ let encode_response ?id r =
             ("labels", strings labels);
             ("version", int version);
           ]
-    | Answer { query; nodes; cache } ->
+    | Answer { query; nodes; cache; explain } ->
         ok_fields "answer"
-          [
-            ("query", str query);
-            ("nodes", strings nodes);
-            ("cache", str (match cache with `Hit -> "hit" | `Miss -> "miss"));
-          ]
+          ([
+             ("query", str query);
+             ("nodes", strings nodes);
+             ("cache", str (match cache with `Hit -> "hit" | `Miss -> "miss"));
+           ]
+          @ match explain with None -> [] | Some e -> [ ("explain", e) ])
     | Learned { query; selects } ->
         ok_fields "learned" [ ("query", str query); ("selects", strings selects) ]
     | Session { session; view } ->
@@ -172,6 +184,7 @@ let encode_response ?id r =
     | Stopped { session; questions } ->
         ok_fields "stopped" [ ("session", int session); ("questions", int questions) ]
     | Metrics_dump v -> ok_fields "metrics" [ ("metrics", v) ]
+    | Prom_dump text -> ok_fields "metrics_prom" [ ("text", str text) ]
     | Status_dump v -> ok_fields "status" [ ("status", v) ]
     | Err { code; message } ->
         [
@@ -273,7 +286,12 @@ let decode_request v =
       | "query" ->
           let* graph = str_field v "graph" in
           let* query = str_field v "query" in
-          Ok (Query { graph; query })
+          let* explain =
+            match opt_field v "explain" with
+            | None -> Ok false
+            | Some e -> as_bool "explain" e
+          in
+          Ok (Query { graph; query; explain })
       | "learn" ->
           let* graph = str_field v "graph" in
           let* pos = list_field v "pos" in
@@ -334,6 +352,7 @@ let decode_request v =
             | Some t -> as_bool "timings" t
           in
           Ok (Metrics { timings })
+      | "metrics_prom" -> Ok Metrics_prom
       | "status" ->
           let* timings =
             match opt_field v "timings" with
@@ -439,7 +458,8 @@ let decode_response v =
               | "miss" -> Ok `Miss
               | other -> bad "unknown cache state %S" other
             in
-            Ok (Answer { query; nodes; cache })
+            let explain = opt_field v "explain" in
+            Ok (Answer { query; nodes; cache; explain })
         | "learned" ->
             let* query = str_field v "query" in
             let* selects = list_field v "selects" in
@@ -455,6 +475,9 @@ let decode_response v =
         | "metrics" ->
             let* m = field v "metrics" in
             Ok (Metrics_dump m)
+        | "metrics_prom" ->
+            let* text = str_field v "text" in
+            Ok (Prom_dump text)
         | "status" ->
             let* s = field v "status" in
             Ok (Status_dump s)

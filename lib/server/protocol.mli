@@ -27,7 +27,9 @@ type request =
   | Load of { name : string; source : load_source }
   | List_graphs
   | Stats of { graph : string }
-  | Query of { graph : string; query : string }
+  | Query of { graph : string; query : string; explain : bool }
+      (** [explain] asks the server for the evaluation's EXPLAIN report
+          (see {!Gps_query.Eval.report}) on the answer *)
   | Learn of { graph : string; pos : string list; neg : string list }
   | Session_start of {
       graph : string;
@@ -45,6 +47,10 @@ type request =
   | Metrics of { timings : bool }
       (** [timings = false] omits latency data (deterministic output, for
           tests) *)
+  | Metrics_prom
+      (** Prometheus text exposition of every registry the process
+          carries (counters, gauges, histograms incl. per-endpoint
+          latency) — what a scraper reads *)
   | Status of { timings : bool }
       (** one-document service health: uptime, catalog versions, session
           count, cache totals; [timings = false] omits uptime so the
@@ -73,13 +79,24 @@ type response =
   | Loaded of { name : string; nodes : int; edges : int; labels : int; version : int }
   | Graphs of { graphs : (string * int) list }  (** (name, version), sorted by name *)
   | Stats_of of { name : string; nodes : int; edges : int; labels : string list; version : int }
-  | Answer of { query : string; nodes : string list; cache : [ `Hit | `Miss ] }
+  | Answer of {
+      query : string;
+      nodes : string list;
+      cache : [ `Hit | `Miss ];
+      explain : Gps_graph.Json.value option;
+    }
       (** [query] is the normalized (graph-specialized) form used as the
-          cache key *)
+          cache key; [explain] is present iff the request asked for it —
+          {!Gps_query.Eval.report_to_json} on a miss, the one-field
+          object [{"cache":"hit"}] on a hit (a hit runs no evaluation,
+          so there is nothing to narrate) *)
   | Learned of { query : string; selects : string list }
   | Session of { session : int; view : session_view }
   | Stopped of { session : int; questions : int }
   | Metrics_dump of Gps_graph.Json.value
+  | Prom_dump of string
+      (** Prometheus exposition text (it travels as a JSON string field
+          ["text"] — the transport stays one-line JSON) *)
   | Status_dump of Gps_graph.Json.value
   | Err of error
 

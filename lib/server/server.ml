@@ -9,6 +9,7 @@ module Trace = Gps_obs.Trace
 
 let c_dispatches = Counter.make "server.dispatches"
 let c_errors = Counter.make "server.dispatch_errors"
+let c_slow = Counter.make "server.slow_queries"
 let g_sessions = Gauge.make "server.sessions_active"
 let g_cache = Gauge.make "server.qcache_size"
 
@@ -16,16 +17,23 @@ type config = {
   cache_capacity : int;
   sessions : Sessions.config;
   clock : unit -> float;
+  slow_ms : float option;
 }
 
 let default_config =
-  { cache_capacity = 256; sessions = Sessions.default_config; clock = Unix.gettimeofday }
+  {
+    cache_capacity = 256;
+    sessions = Sessions.default_config;
+    clock = Unix.gettimeofday;
+    slow_ms = None;
+  }
 
 type t = {
   catalog : Catalog.t;
   cache : Qcache.t;
   sessions : Sessions.t;
   metrics : Metrics.t;
+  slow_ms : float option;
   started_ns : int64;  (* monotonic — uptime can't jump with the wall clock *)
 }
 
@@ -35,6 +43,7 @@ let create ?(config = default_config) () =
     cache = Qcache.create ~capacity:config.cache_capacity ();
     sessions = Sessions.create ~config:config.sessions ~clock:config.clock ();
     metrics = Metrics.create ();
+    slow_ms = config.slow_ms;
     started_ns = Clock.now_ns ();
   }
 
@@ -66,22 +75,42 @@ let node_names g vs = List.sort compare (List.map (Digraph.node_name g) vs)
 let normalize (entry : Catalog.entry) q =
   Gps_query.Rpq.to_string (Gps_query.Rewrite.specialize entry.graph q)
 
-let evaluate_cached t (entry : Catalog.entry) q =
+(* With [explain], a miss carries the evaluation's full report (plus the
+   cache verdict); a hit runs no evaluation, so its report is just the
+   verdict — re-narrating a cached answer would be fiction. *)
+let evaluate_cached t (entry : Catalog.entry) ?(explain = false) q =
+  (* an armed slow-query log wants the report for every evaluation, so
+     it can be emitted for offending requests the client never asked to
+     explain; the kernel collects the stats either way *)
+  let want_report = explain || t.slow_ms <> None in
   let normalized = normalize entry q in
   let key = { Qcache.graph = entry.name; version = entry.version; query = normalized } in
   match Qcache.find t.cache key with
   | Some nodes ->
       Trace.set_current_attr "cache" (Trace.String "hit");
-      (normalized, nodes, `Hit)
+      let report =
+        if want_report then Some (Json.Object [ ("cache", Json.String "hit") ]) else None
+      in
+      (normalized, nodes, `Hit, report)
   | None ->
       Trace.set_current_attr "cache" (Trace.String "miss");
-      let sel = Gps_query.Eval.select_frozen entry.graph entry.csr q in
+      let sel, report =
+        if want_report then
+          let sel, r = Gps_query.Eval.select_frozen_report entry.graph entry.csr q in
+          let fields =
+            match Gps_query.Eval.report_to_json r with
+            | Json.Object fields -> fields
+            | other -> [ ("report", other) ]
+          in
+          (sel, Some (Json.Object (("cache", Json.String "miss") :: fields)))
+        else (Gps_query.Eval.select_frozen entry.graph entry.csr q, None)
+      in
       let selected =
         Digraph.fold_nodes (fun acc v -> if sel.(v) then v :: acc else acc) [] entry.graph
       in
       let nodes = node_names entry.graph selected in
       Qcache.add t.cache key nodes;
-      (normalized, nodes, `Miss)
+      (normalized, nodes, `Miss, report)
 
 (* ------------------------------------------------------------------ *)
 (* graph loading *)
@@ -145,10 +174,10 @@ let view_of_state t (entry : Sessions.entry) =
           suggested = tree.Gps_interactive.View.suggested;
         }
   | S.Propose q ->
-      let query, selects, _cache = evaluate_cached t entry.catalog q in
+      let query, selects, _cache, _ = evaluate_cached t entry.catalog q in
       P.Proposal { query; selects }
   | S.Finished outcome ->
-      let query, selects, _cache = evaluate_cached t entry.catalog outcome.S.query in
+      let query, selects, _cache, _ = evaluate_cached t entry.catalog outcome.S.query in
       P.Finished { query; reason = P.halt_reason_to_string outcome.S.reason; selects }
 
 let session_response t entry = P.Session { session = entry.Sessions.id; view = view_of_state t entry }
@@ -190,7 +219,7 @@ let do_learn t graph pos neg =
   in
   match Gps_learning.Learner.learn g sample with
   | Gps_learning.Learner.Learned q ->
-      let query, selects, _ = evaluate_cached t entry q in
+      let query, selects, _, _ = evaluate_cached t entry q in
       P.Learned { query; selects }
   | Gps_learning.Learner.Failed f ->
       fail "inconsistent" "%s" (Format.asprintf "%a" (Gps_learning.Learner.pp_failure g) f)
@@ -251,6 +280,38 @@ let do_session_stop t id =
   match Sessions.stop t.sessions id with
   | Some e -> P.Stopped { session = id; questions = S.questions e.Sessions.state }
   | None -> fail "unknown-session" "no session %d (expired, stopped or never started)" id
+
+(* Slow-query log: one JSON line on stderr per query at or over the
+   [slow_ms] threshold — greppable, and structured enough to feed back
+   into the trace tooling. *)
+let log_slow ~graph ~query ~cache ~ms ~nodes ~report =
+  Counter.incr c_slow;
+  let explain = match report with Some r -> [ ("explain", r) ] | None -> [] in
+  prerr_endline
+    (Json.value_to_string
+       (Json.Object
+          ([
+             ("slow_query", Json.Bool true);
+             ("graph", Json.String graph);
+             ("query", Json.String query);
+             ("cache", Json.String (match cache with `Hit -> "hit" | `Miss -> "miss"));
+             ("ms", Json.Number (Float.round (ms *. 1000.) /. 1000.));
+             ("nodes", Json.Number (float_of_int nodes));
+           ]
+          @ explain)))
+
+let do_query t graph query explain =
+  let e = graph_entry t graph in
+  let q = parse_rpq query in
+  let t0 = Clock.now_ns () in
+  let query, nodes, cache, report = evaluate_cached t e ~explain q in
+  (match t.slow_ms with
+  | Some threshold ->
+      let ms = Clock.ns_to_s (Clock.elapsed_ns t0) *. 1e3 in
+      if ms >= threshold then
+        log_slow ~graph ~query ~cache ~ms ~nodes:(List.length nodes) ~report
+  | None -> ());
+  P.Answer { query; nodes; cache; explain = (if explain then report else None) }
 
 let uptime_s t = Clock.ns_to_s (Clock.elapsed_ns t.started_ns)
 
@@ -360,11 +421,7 @@ let handle t req =
             labels = List.sort compare (Digraph.labels g);
             version = e.Catalog.version;
           }
-    | P.Query { graph; query } ->
-        let e = graph_entry t graph in
-        let q = parse_rpq query in
-        let query, nodes, cache = evaluate_cached t e q in
-        P.Answer { query; nodes; cache }
+    | P.Query { graph; query; explain } -> do_query t graph query explain
     | P.Learn { graph; pos; neg } -> do_learn t graph pos neg
     | P.Session_start { graph; strategy; seed; budget } ->
         do_session_start t graph strategy seed budget
@@ -375,6 +432,13 @@ let handle t req =
     | P.Session_propose { session; accept } -> do_session_propose t session accept
     | P.Session_stop { session } -> do_session_stop t session
     | P.Metrics { timings } -> P.Metrics_dump (metrics_json t ~timings)
+    | P.Metrics_prom ->
+        (* refresh the level gauges so the exposition reflects now *)
+        let c = Qcache.stats t.cache in
+        let s = Sessions.counters t.sessions in
+        Gauge.set_int g_sessions s.Sessions.active;
+        Gauge.set_int g_cache c.Qcache.size;
+        P.Prom_dump (Gps_obs.Prom.render ~extra:(Metrics.histograms t.metrics) ())
     | P.Status { timings } -> P.Status_dump (status_json t ~timings)
   with
   | Fail e -> P.Err e

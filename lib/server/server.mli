@@ -24,10 +24,17 @@ type config = {
           tests. Latency measurement does {e not} use it — endpoint
           histograms and spans share {!Gps_obs.Clock}'s monotonic
           source. *)
+  slow_ms : float option;
+      (** queries at or over this many milliseconds are logged to stderr
+          as one JSON line each — including the EXPLAIN report of the
+          offending evaluation, whether or not the client asked for it —
+          and counted under ["server.slow_queries"]; [None] disables the
+          log *)
 }
 
 val default_config : config
-(** Cache capacity 256, {!Sessions.default_config}, [Unix.gettimeofday]. *)
+(** Cache capacity 256, {!Sessions.default_config}, [Unix.gettimeofday],
+    no slow-query log. *)
 
 type t
 

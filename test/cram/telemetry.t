@@ -1,0 +1,139 @@
+Query diagnostics and telemetry export, end to end.
+
+  $ cat > fig1.g <<'END'
+  > N2 bus N1
+  > N2 bus N3
+  > N1 tram N4
+  > N1 bus N4
+  > N4 cinema C1
+  > N6 cinema C2
+  > N6 bus N3
+  > N5 tram N3
+  > N5 restaurant R1
+  > N3 restaurant R2
+  > END
+
+--explain appends an EXPLAIN ANALYZE-style report to a query: product
+automaton size, per-level frontier sizes with the parallel-vs-sequential
+decision for each, early exits and the reason evaluation stopped. With
+--domains 1 every number is an exact function of the graph and query:
+
+  $ gps query fig1.g '(tram+bus)*.cinema' --explain --domains 1
+  (bus+tram)*.cinema selects 4 node(s)
+    N2
+    N1
+    N4
+    N6
+  
+  explain:
+  automaton states   4
+  graph nodes        10
+  product states     40
+  frontier visits    22
+  early-exit hits    3
+  levels             4 (1:10s 2:6s 3:3s 4:3s)
+  parallel levels    0 (seq fallbacks 0, threshold 1024)
+  domains used       1
+  stop reason        frontier-exhausted
+  selected nodes     4
+
+
+The same report travels over the wire: "explain":true on a query request
+yields the report as a JSON object, and a cache hit honestly reports only
+that it was a hit (no evaluation ran, so there is nothing to narrate):
+
+  $ gps serve --stdio <<'EOF' | tail -2
+  > {"op":"load","name":"figure1","builtin":"figure1"}
+  > {"op":"query","graph":"figure1","query":"bus","explain":true}
+  > {"op":"query","graph":"figure1","query":"bus","explain":true}
+  > EOF
+  {"ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"miss","explain":{"cache":"miss","automaton_states":2,"graph_nodes":10,"product_states":20,"frontier_visits":13,"early_exit_hits":1,"par_levels":0,"seq_fallbacks":0,"domains_used":1,"par_threshold":1024,"levels":[{"frontier":10,"parallel":false},{"frontier":3,"parallel":false}],"stop":"frontier-exhausted","selected":3}}
+  {"ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"hit","explain":{"cache":"hit"}}
+
+--slow-ms logs queries at or over the threshold to stderr, one JSON line
+each, carrying the explain report of the offending evaluation even
+though the client never asked for one; at threshold 0 every evaluated
+query qualifies. The millisecond field is wall time, so only the stable
+fields are checked:
+
+  $ gps serve --stdio --slow-ms 0 >/dev/null 2>slow.log <<'EOF'
+  > {"op":"load","name":"figure1","builtin":"figure1"}
+  > {"op":"query","graph":"figure1","query":"bus"}
+  > EOF
+  $ grep -c '"slow_query":true' slow.log
+  1
+  $ grep -o '"query":"bus","cache":"miss"' slow.log
+  "query":"bus","cache":"miss"
+  $ grep -o '"explain":{"cache":"miss","automaton_states":2' slow.log
+  "explain":{"cache":"miss","automaton_states":2
+
+metrics_prom exposes everything in Prometheus text format — registered
+counters plus one histogram family for per-endpoint request latency.
+Bucket boundaries are timing-dependent, but the cumulative +Inf bucket
+and the count are exact:
+
+  $ gps serve --stdio <<'EOF' > prom.out
+  > {"op":"load","name":"figure1","builtin":"figure1"}
+  > {"op":"query","graph":"figure1","query":"bus"}
+  > {"op":"metrics_prom"}
+  > EOF
+  $ tail -1 prom.out | sed 's/\\n/\n/g; s/\\"/"/g' | grep -E '^(# TYPE gps_server_request_ns |gps_server_request_ns_count\{endpoint="query")'
+  # TYPE gps_server_request_ns histogram
+  gps_server_request_ns_count{endpoint="query"} 1
+  $ tail -1 prom.out | sed 's/\\n/\n/g; s/\\"/"/g' | grep -c 'le="+Inf"'
+  2
+  $ tail -1 prom.out | sed 's/\\n/\n/g; s/\\"/"/g' | grep 'gps_server_dispatches_total'
+  # TYPE gps_server_dispatches_total counter
+  gps_server_dispatches_total 2
+
+gps metrics --prom renders the in-process registries directly (fresh
+process, so every counter is zero — but the families are all declared):
+
+  $ gps metrics --prom | grep -A1 'TYPE gps_server_dispatches_total'
+  # TYPE gps_server_dispatches_total counter
+  gps_server_dispatches_total 0
+
+trace flame folds a span tree into flame-graph folded-stack lines:
+self time per call path, ready for flamegraph.pl or speedscope. Span
+names are sanitized (';' and whitespace are stack separators):
+
+  $ cat > spans.jsonl <<'EOF'
+  > {"span":"serve req","id":0,"parent":-1,"start_ns":0,"dur_ns":1000,"attrs":{}}
+  > {"span":"eval.select","id":1,"parent":0,"start_ns":100,"dur_ns":600,"attrs":{}}
+  > {"span":"witness.search","id":2,"parent":1,"start_ns":150,"dur_ns":200,"attrs":{}}
+  > {"span":"eval.select","id":3,"parent":-1,"start_ns":2000,"dur_ns":300,"attrs":{}}
+  > EOF
+  $ gps trace flame spans.jsonl
+  eval.select 300
+  serve_req 400
+  serve_req;eval.select 400
+  serve_req;eval.select;witness.search 200
+
+trace summary accepts '-' for stdin and --sort to order by any column;
+ties and the default fall back to the span name:
+
+  $ cat > mix.jsonl <<'EOF'
+  > {"span":"zzz.rare","id":0,"parent":-1,"start_ns":0,"dur_ns":9000,"attrs":{}}
+  > {"span":"aaa.common","id":1,"parent":-1,"start_ns":0,"dur_ns":1000,"attrs":{}}
+  > {"span":"aaa.common","id":2,"parent":-1,"start_ns":0,"dur_ns":2000,"attrs":{}}
+  > {"span":"aaa.common","id":3,"parent":-1,"start_ns":0,"dur_ns":3000,"attrs":{}}
+  > EOF
+  $ gps trace summary - < mix.jsonl
+  span          count   errs      mean_us       max_us
+  aaa.common        3      0          2.0          3.0
+  zzz.rare          1      0          9.0          9.0
+  $ gps trace summary mix.jsonl --sort max
+  span          count   errs      mean_us       max_us
+  zzz.rare          1      0          9.0          9.0
+  aaa.common        3      0          2.0          3.0
+  $ gps trace summary mix.jsonl --sort count
+  span          count   errs      mean_us       max_us
+  aaa.common        3      0          2.0          3.0
+  zzz.rare          1      0          9.0          9.0
+  $ gps trace summary mix.jsonl --sort total
+  span          count   errs      mean_us       max_us
+  zzz.rare          1      0          9.0          9.0
+  aaa.common        3      0          2.0          3.0
+  $ gps trace summary mix.jsonl --sort altitude
+  gps: unknown sort key "altitude" (name, count, total, max or mean)
+  [1]

@@ -11,6 +11,9 @@ module Counter = Gps_obs.Counter
 module Gauge = Gps_obs.Gauge
 module Trace = Gps_obs.Trace
 module Summary = Gps_obs.Summary
+module Histogram = Gps_obs.Histogram
+module Flame = Gps_obs.Flame
+module Prom = Gps_obs.Prom
 module Json = Gps_graph.Json
 
 let check = Alcotest.check
@@ -236,6 +239,246 @@ let test_summary_to_json_deterministic () =
   | None -> Alcotest.fail "row a missing")
 
 (* ------------------------------------------------------------------ *)
+(* histograms *)
+
+let test_histogram_basics () =
+  let h = Histogram.create "test.obs.hist" in
+  List.iter (Histogram.record h) [ 0; 1; 5; 1000; 1000; -3 ];
+  let s = Histogram.snapshot h in
+  check Alcotest.int "count" 6 s.Histogram.count;
+  check Alcotest.int "sum (negative clamps to 0)" 2006 s.Histogram.sum;
+  check Alcotest.int "max" 1000 s.Histogram.max;
+  check Alcotest.bool "buckets ascending, nonzero only" true
+    (let idxs = List.map fst s.Histogram.buckets in
+     List.sort compare idxs = idxs && List.for_all (fun (_, c) -> c > 0) s.Histogram.buckets);
+  check Alcotest.int "bucket counts sum to count" 6
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 s.Histogram.buckets);
+  (* values 0..3 are exact *)
+  List.iter (fun v -> check Alcotest.int "small exact" v (Histogram.bucket_index v)) [ 0; 1; 2; 3 ]
+
+let test_histogram_bucket_bounds_partition () =
+  (* buckets tile the non-negative ints: upper i + 1 = lower (i+1), and
+     each bucket's bounds map back to its own index *)
+  for i = 0 to Histogram.n_buckets - 2 do
+    check Alcotest.int
+      (Printf.sprintf "bucket %d upper + 1 = next lower" i)
+      (Histogram.bucket_upper i + 1)
+      (Histogram.bucket_lower (i + 1));
+    check Alcotest.int "lower maps to own index" i (Histogram.bucket_index (Histogram.bucket_lower i));
+    check Alcotest.int "upper maps to own index" i (Histogram.bucket_index (Histogram.bucket_upper i))
+  done;
+  check Alcotest.int "max_int lands in the last bucket" (Histogram.n_buckets - 1)
+    (Histogram.bucket_index max_int)
+
+let test_histogram_labels_registry () =
+  let a = Histogram.make ~labels:[ ("k", "a") ] "test.obs.hist_reg" in
+  let a' = Histogram.make ~labels:[ ("k", "a") ] "test.obs.hist_reg" in
+  let b = Histogram.make ~labels:[ ("k", "b") ] "test.obs.hist_reg" in
+  check Alcotest.bool "make idempotent per (name, labels)" true (a == a');
+  check Alcotest.bool "different labels, different series" true (a != b);
+  Histogram.record a 1;
+  let snaps =
+    List.filter (fun s -> s.Histogram.hname = "test.obs.hist_reg") (Histogram.snapshot_all ())
+  in
+  check Alcotest.int "both series in the registry" 2 (List.length snaps);
+  check Alcotest.bool "private histograms stay out" true
+    (let p = Histogram.create "test.obs.hist_private" in
+     Histogram.record p 1;
+     List.for_all (fun s -> s.Histogram.hname <> "test.obs.hist_private") (Histogram.snapshot_all ()))
+
+let test_histogram_quantiles () =
+  let h = Histogram.create "test.obs.hist_q" in
+  (* values 1..1000: the quantile estimate must track within bucket error *)
+  for v = 1 to 1000 do
+    Histogram.record h v
+  done;
+  let s = Histogram.snapshot h in
+  check (Alcotest.float 1e-9) "mean" 500.5 (Histogram.mean s);
+  List.iter
+    (fun q ->
+      let est = Histogram.quantile s q in
+      let rank = max 1 (min 1000 (int_of_float (Float.ceil (q *. 1000.)))) in
+      let b = Histogram.bucket_index rank in
+      check Alcotest.bool
+        (Printf.sprintf "q=%.2f estimate within its bucket" q)
+        true
+        (est >= float_of_int (Histogram.bucket_lower b)
+        && est <= float_of_int (Histogram.bucket_upper b)))
+    [ 0.0; 0.01; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  check (Alcotest.float 0.) "empty histogram quantile is 0" 0.
+    (Histogram.quantile (Histogram.snapshot (Histogram.create "test.obs.hist_q_empty")) 0.5)
+
+let test_histogram_concurrent_record () =
+  let h = Histogram.create "test.obs.hist_par" in
+  let per_domain = 10_000 in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Histogram.record h ((d * per_domain) + i)
+            done))
+  in
+  Array.iter Domain.join domains;
+  let s = Histogram.snapshot h in
+  check Alcotest.int "no lost records" (4 * per_domain) s.Histogram.count;
+  check Alcotest.int "no lost sum" (4 * per_domain * ((4 * per_domain) + 1) / 2) s.Histogram.sum;
+  check Alcotest.int "max survives the race" (4 * per_domain) s.Histogram.max
+
+(* ------------------------------------------------------------------ *)
+(* flame folding *)
+
+let mk_span ?(parent = -1) ?(attrs = []) id name dur_ns =
+  { Trace.id; parent; name; start_ns = 0L; dur_ns; attrs }
+
+let test_flame_fold_forest () =
+  (* root(100) -> b(30) -> d(10), root -> c(20): self times 50/20/10/20 *)
+  let spans =
+    [
+      mk_span 0 "root" 100L;
+      mk_span ~parent:0 1 "b" 30L;
+      mk_span ~parent:0 2 "c" 20L;
+      mk_span ~parent:1 3 "d" 10L;
+    ]
+  in
+  let folded = Flame.fold spans in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int64))
+    "folded stacks, sorted"
+    [ ("root", 50L); ("root;b", 20L); ("root;b;d", 10L); ("root;c", 20L) ]
+    folded;
+  check Alcotest.int64 "total equals root duration" 100L (Flame.total folded);
+  check Alcotest.int64 "roots_total agrees" 100L (Flame.roots_total spans);
+  check Alcotest.string "rendering" "root 50\nroot;b 20\nroot;b;d 10\nroot;c 20\n"
+    (Flame.to_string folded)
+
+let test_flame_orphans_and_sanitize () =
+  (* parent id 99 is not in the list: the span is a root; names with ';'
+     and whitespace can't corrupt the stack syntax *)
+  let spans = [ mk_span ~parent:99 1 "a;b c" 40L ] in
+  (match Flame.fold spans with
+  | [ (stack, 40L) ] -> check Alcotest.string "sanitized" "a:b_c" stack
+  | l -> Alcotest.failf "expected 1 stack, got %d" (List.length l));
+  check Alcotest.int64 "orphan counts as a root" 40L (Flame.roots_total spans);
+  (* overlapping children clamp at 0 rather than going negative *)
+  let spans = [ mk_span 0 "p" 10L; mk_span ~parent:0 1 "k" 25L ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int64))
+    "self time clamps to 0"
+    [ ("p", 0L); ("p;k", 25L) ]
+    (Flame.fold spans)
+
+let test_flame_aggregates_identical_stacks () =
+  let spans =
+    [
+      mk_span 0 "r" 10L;
+      mk_span ~parent:0 1 "x" 3L;
+      mk_span ~parent:0 2 "x" 4L;
+    ]
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int64))
+    "same stack merges"
+    [ ("r", 3L); ("r;x", 7L) ]
+    (Flame.fold spans)
+
+let test_flame_of_real_trace () =
+  (* the acceptance invariant on a live trace: folded total = sum of
+     root-span durations *)
+  let (), spans =
+    with_memory_trace (fun () ->
+        Trace.with_span "outer" (fun _ ->
+            Trace.with_span "inner" (fun _ -> ignore (Sys.opaque_identity (List.init 100 Fun.id)));
+            Trace.with_span "inner" (fun _ -> ()));
+        Trace.with_span "second_root" (fun _ -> ()))
+  in
+  let folded = Flame.fold spans in
+  check Alcotest.bool "non-empty fold" true (folded <> []);
+  check Alcotest.int64 "fold conserves root time" (Flame.roots_total spans) (Flame.total folded)
+
+(* ------------------------------------------------------------------ *)
+(* prometheus exposition *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_prom_names_and_escaping () =
+  check Alcotest.string "dots sanitize, counters get _total" "gps_eval_runs_total"
+    (Prom.metric_name ~suffix:"_total" "eval.runs");
+  check Alcotest.string "odd characters collapse to _" "gps_a_b_c"
+    (Prom.metric_name "a b-c");
+  let buf = Buffer.create 64 in
+  Prom.render_counters [ ("eval.runs", 3) ] buf;
+  check Alcotest.string "counter family"
+    "# TYPE gps_eval_runs_total counter\ngps_eval_runs_total 3\n" (Buffer.contents buf)
+
+let test_prom_histogram_family () =
+  let a = Histogram.create ~labels:[ ("endpoint", "query") ] "server.request_ns" in
+  let b = Histogram.create ~labels:[ ("endpoint", "lo\"ad") ] "server.request_ns" in
+  List.iter (Histogram.record a) [ 5; 5; 100 ];
+  Histogram.record b 7;
+  let buf = Buffer.create 256 in
+  Prom.render_histograms [ Histogram.snapshot a; Histogram.snapshot b ] buf;
+  let text = Buffer.contents buf in
+  (* one TYPE line for the shared family *)
+  let type_lines =
+    List.filter
+      (fun l -> contains l "# TYPE gps_server_request_ns")
+      (String.split_on_char '\n' text)
+  in
+  check Alcotest.int "one TYPE line per family" 1 (List.length type_lines);
+  check Alcotest.bool "cumulative +Inf carries the count" true
+    (contains text "gps_server_request_ns_bucket{endpoint=\"query\",le=\"+Inf\"} 3");
+  check Alcotest.bool "sum rendered" true
+    (contains text "gps_server_request_ns_sum{endpoint=\"query\"} 110");
+  check Alcotest.bool "label values escape quotes" true (contains text "endpoint=\"lo\\\"ad\"");
+  (* buckets are cumulative: counts along le never decrease *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if contains l "_bucket{endpoint=\"query\"" then
+          String.rindex_opt l ' '
+          |> Option.map (fun i -> int_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      (String.split_on_char '\n' text)
+  in
+  check Alcotest.bool "buckets are monotone" true
+    (List.sort compare bucket_counts = bucket_counts)
+
+let test_prom_render_registries () =
+  Counter.add (Counter.make "test.obs.prom_counter") 2;
+  Gauge.set (Gauge.make "test.obs.prom_gauge") 1.5;
+  let extra = Histogram.create ~labels:[ ("lbl", "x") ] "test.obs.prom_extra" in
+  Histogram.record extra 9;
+  let text = Prom.render ~extra:[ Histogram.snapshot extra ] () in
+  check Alcotest.bool "counter exposed" true (contains text "gps_test_obs_prom_counter_total 2");
+  check Alcotest.bool "gauge exposed" true (contains text "gps_test_obs_prom_gauge 1.5");
+  check Alcotest.bool "extra histogram exposed" true
+    (contains text "gps_test_obs_prom_extra_count{lbl=\"x\"} 1")
+
+(* ------------------------------------------------------------------ *)
+(* summary ordering *)
+
+let test_summary_sort () =
+  let row name count total_ns max_ns =
+    { Summary.name; count; total_ns; max_ns; errors = 0 }
+  in
+  let rows = [ row "a" 2 100L 60L; row "b" 5 40L 40L; row "c" 2 300L 10L ] in
+  let names by = List.map (fun r -> r.Summary.name) (Summary.sort ~by rows) in
+  check (Alcotest.list Alcotest.string) "by count desc, name tiebreak" [ "b"; "a"; "c" ]
+    (names Summary.By_count);
+  check (Alcotest.list Alcotest.string) "by total desc" [ "c"; "a"; "b" ]
+    (names Summary.By_total);
+  check (Alcotest.list Alcotest.string) "by max desc" [ "a"; "b"; "c" ] (names Summary.By_max);
+  check (Alcotest.list Alcotest.string) "by mean desc" [ "c"; "a"; "b" ]
+    (names Summary.By_mean);
+  check (Alcotest.list Alcotest.string) "by name ascending" [ "a"; "b"; "c" ]
+    (names Summary.By_name);
+  check Alcotest.bool "unknown key rejected" true
+    (Result.is_error (Summary.order_of_string "biggest"))
+
+(* ------------------------------------------------------------------ *)
 (* properties *)
 
 (* a random program of nested span activity, some bodies raising *)
@@ -327,8 +570,65 @@ let prop_span_json_roundtrip =
       | Ok sp' -> sp = sp'
       | Error _ -> false)
 
+(* histogram properties: value lists are the ground truth a histogram
+   approximates *)
+
+let gen_values = QCheck.Gen.(list_size (int_range 1 200) (int_bound 5_000_000))
+
+let snapshot_of values =
+  let h = Histogram.create "test.obs.prop" in
+  List.iter (Histogram.record h) values;
+  Histogram.snapshot h
+
+let snapshots_equal (a : Histogram.snapshot) (b : Histogram.snapshot) =
+  a.Histogram.count = b.Histogram.count
+  && a.Histogram.sum = b.Histogram.sum
+  && a.Histogram.max = b.Histogram.max
+  && a.Histogram.buckets = b.Histogram.buckets
+
+let prop_histogram_merge_assoc_comm =
+  QCheck.Test.make ~name:"obs: histogram merge is associative and commutative" ~count:100
+    (QCheck.make QCheck.Gen.(triple gen_values gen_values gen_values))
+    (fun (xs, ys, zs) ->
+      let a = snapshot_of xs and b = snapshot_of ys and c = snapshot_of zs in
+      let open Histogram in
+      snapshots_equal (merge (merge a b) c) (merge a (merge b c))
+      && snapshots_equal (merge a b) (merge b a)
+      (* and merging matches recording everything into one histogram *)
+      && snapshots_equal (merge a b) (snapshot_of (xs @ ys)))
+
+let prop_bucket_index_monotone =
+  QCheck.Test.make ~name:"obs: bucket_index is monotone" ~count:500
+    (QCheck.make QCheck.Gen.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000)))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Histogram.bucket_index lo <= Histogram.bucket_index hi
+      && Histogram.bucket_lower (Histogram.bucket_index lo) <= lo
+      && lo <= Histogram.bucket_upper (Histogram.bucket_index lo))
+
+let prop_quantile_within_true_bucket =
+  QCheck.Test.make ~name:"obs: quantile estimate stays in the true value's bucket" ~count:200
+    (QCheck.make QCheck.Gen.(pair gen_values (float_bound_inclusive 1.)))
+    (fun (values, q) ->
+      let s = snapshot_of values in
+      let sorted = List.sort compare values in
+      let n = List.length sorted in
+      let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+      let true_value = List.nth sorted (rank - 1) in
+      let b = Histogram.bucket_index true_value in
+      let est = Histogram.quantile s q in
+      float_of_int (Histogram.bucket_lower b) <= est
+      && est <= float_of_int (Histogram.bucket_upper b))
+
 let qcheck_tests =
-  [ prop_every_started_span_closes; prop_parents_form_a_forest; prop_span_json_roundtrip ]
+  [
+    prop_every_started_span_closes;
+    prop_parents_form_a_forest;
+    prop_span_json_roundtrip;
+    prop_histogram_merge_assoc_comm;
+    prop_bucket_index_monotone;
+    prop_quantile_within_true_bucket;
+  ]
 
 let suite =
   [
@@ -350,6 +650,34 @@ let suite =
         Alcotest.test_case "load_file names the bad line" `Quick
           test_load_file_reports_bad_lines;
         Alcotest.test_case "summary JSON determinism" `Quick test_summary_to_json_deterministic;
+        Alcotest.test_case "summary sort orders" `Quick test_summary_sort;
+      ] );
+    ( "obs.histogram",
+      [
+        Alcotest.test_case "record and snapshot basics" `Quick test_histogram_basics;
+        Alcotest.test_case "bucket bounds tile the ints" `Quick
+          test_histogram_bucket_bounds_partition;
+        Alcotest.test_case "registry and labels" `Quick test_histogram_labels_registry;
+        Alcotest.test_case "quantiles and mean" `Quick test_histogram_quantiles;
+        Alcotest.test_case "concurrent record loses nothing" `Quick
+          test_histogram_concurrent_record;
+      ] );
+    ( "obs.flame",
+      [
+        Alcotest.test_case "fold a forest into self-time stacks" `Quick test_flame_fold_forest;
+        Alcotest.test_case "orphans root, names sanitize, self clamps" `Quick
+          test_flame_orphans_and_sanitize;
+        Alcotest.test_case "identical stacks aggregate" `Quick
+          test_flame_aggregates_identical_stacks;
+        Alcotest.test_case "fold conserves a live trace's root time" `Quick
+          test_flame_of_real_trace;
+      ] );
+    ( "obs.prom",
+      [
+        Alcotest.test_case "metric names and counter families" `Quick
+          test_prom_names_and_escaping;
+        Alcotest.test_case "histogram family rendering" `Quick test_prom_histogram_family;
+        Alcotest.test_case "full registry render" `Quick test_prom_render_registries;
       ] );
     ("obs.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
   ]

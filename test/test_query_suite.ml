@@ -347,7 +347,110 @@ let qcheck_tests =
         let sel = Eval.select g query in
         par = seq
         && Array.for_all Fun.id (Array.mapi (fun v d -> (d <> None) = sel.(v)) seq));
+    (* -- explain reports ------------------------------------------------ *)
+    Test.make ~name:"select_report agrees with select and survives its JSON codec" ~count:150
+      (pair arb_graph arb_starred) (fun (g, r) ->
+        let query = Rpq.of_regex r in
+        let sel, report = Eval.select_report g query in
+        let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 sel in
+        sel = Eval.select g query
+        && report.Eval.selected = count
+        && report.Eval.graph_nodes = Digraph.n_nodes g
+        && report.Eval.product_states
+           = report.Eval.graph_nodes * report.Eval.automaton_states
+        && List.for_all (fun l -> l.Eval.frontier > 0) report.Eval.report_levels
+        && (match report.Eval.stop with
+           | Eval.Empty_automaton -> report.Eval.report_levels = []
+           | Eval.Saturated | Eval.Frontier_exhausted -> true)
+        && Eval.report_of_json (Eval.report_to_json report) = Ok report);
   ]
+
+(* -------------------------------------------------------------------- *)
+(* explain reports *)
+
+let test_report_figure1 () =
+  let g = Datasets.figure1 () in
+  let sel, r = Eval.select_report g (q "(tram+bus)*.cinema") in
+  check_int "selected count" (List.length Datasets.figure1_expected)
+    r.Eval.selected;
+  check "selection unchanged" true (sel = Eval.select g (q "(tram+bus)*.cinema"));
+  check_int "graph nodes" (Digraph.n_nodes g) r.Eval.graph_nodes;
+  check "automaton non-trivial" true (r.Eval.automaton_states > 0);
+  check_int "product size" (r.Eval.graph_nodes * r.Eval.automaton_states) r.Eval.product_states;
+  check "visits cover at least the seeds" true
+    (r.Eval.frontier_visits > 0 && r.Eval.report_levels <> []);
+  check "level 1 frontier equals the accepting seeds" true
+    ((List.hd r.Eval.report_levels).Eval.frontier > 0);
+  check "sequential on a toy graph" true
+    (r.Eval.par_levels = 0 && r.Eval.domains_used = 1);
+  check "terminal stop reason" true (r.Eval.stop = Eval.Frontier_exhausted);
+  (* the pretty-printer mentions the headline numbers *)
+  let text = Format.asprintf "%a" Eval.pp_report r in
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "pp mentions stop reason" true (contains "frontier-exhausted");
+  check "pp mentions product states" true (contains "product states")
+
+let test_report_stop_reasons () =
+  let g = Datasets.figure1 () in
+  (* a 0-state automaton (the empty language) short-circuits the kernel *)
+  let nothing =
+    Rpq.of_nfa (Gps_automata.Nfa.make ~n_states:0 ~starts:[] ~finals:[] ~trans:[])
+  in
+  let sel, r = Eval.select_report g nothing in
+  check "empty automaton selects nothing" true (Array.for_all not sel);
+  check "empty automaton stop reason" true (r.Eval.stop = Eval.Empty_automaton);
+  check "no levels ran" true (r.Eval.report_levels = [] && r.Eval.frontier_visits = 0);
+  check_int "product size still reported" 0 r.Eval.product_states;
+  (* a query selecting everything over a 1-state automaton saturates *)
+  let g1 = Digraph.create () in
+  let a = Digraph.add_node g1 "a" and b = Digraph.add_node g1 "b" in
+  Digraph.add_edge g1 ~src:a ~label:"x" ~dst:b;
+  Digraph.add_edge g1 ~src:b ~label:"x" ~dst:a;
+  let _, r = Eval.select_report g1 (q "x*") in
+  check "x* on an x-cycle saturates its product" true (r.Eval.stop = Eval.Saturated);
+  check_int "everything selected" 2 r.Eval.selected;
+  (* stop reasons round-trip as strings *)
+  List.iter
+    (fun s ->
+      check "stop reason string codec" true
+        (Eval.stop_reason_of_string (Eval.stop_reason_to_string s) = Ok s))
+    [ Eval.Empty_automaton; Eval.Saturated; Eval.Frontier_exhausted ];
+  check "unknown stop reason rejected" true
+    (Result.is_error (Eval.stop_reason_of_string "gave-up"))
+
+let test_report_parallel_decisions () =
+  let g = Datasets.figure1 () in
+  (* par_threshold:0 with 2 domains forces every level parallel *)
+  let _, r = Eval.select_report ~domains:2 ~par_threshold:0 g (q "(tram+bus)*.cinema") in
+  check "all levels parallel" true
+    (r.Eval.seq_fallbacks = 0 && r.Eval.par_levels = List.length r.Eval.report_levels);
+  check "levels marked parallel" true
+    (List.for_all (fun l -> l.Eval.parallel) r.Eval.report_levels);
+  check_int "threshold echoed" 0 r.Eval.par_threshold;
+  (* a huge threshold forces the sequential fallback on every level *)
+  let _, r = Eval.select_report ~domains:2 ~par_threshold:max_int g (q "(tram+bus)*.cinema") in
+  check "all levels sequential" true
+    (r.Eval.par_levels = 0
+    && r.Eval.seq_fallbacks = List.length r.Eval.report_levels
+    && List.for_all (fun l -> not l.Eval.parallel) r.Eval.report_levels)
+
+let test_report_json_shape () =
+  let g = Datasets.figure1 () in
+  let _, r = Eval.select_report g (q "bus") in
+  let j = Eval.report_to_json r in
+  (match Json.member "stop" j with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.fail "stop must encode as a string");
+  (match Json.member "levels" j with
+  | Some (Json.Array (_ :: _)) -> ()
+  | _ -> Alcotest.fail "levels must encode as a non-empty array");
+  check "codec round-trip" true (Eval.report_of_json j = Ok r);
+  check "garbage rejected" true
+    (Result.is_error (Eval.report_of_json (Json.Object [ ("stop", Json.Number 3.) ])))
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
@@ -387,5 +490,12 @@ let suite =
         t "empty cases" test_metrics_empty_cases;
       ] );
     ("query.rpq", [ t "parse error" test_rpq_parse_error; t "of_nfa" test_rpq_of_nfa_roundtrip ]);
+    ( "query.report",
+      [
+        t "figure1 report" test_report_figure1;
+        t "stop reasons" test_report_stop_reasons;
+        t "parallel decisions" test_report_parallel_decisions;
+        t "json shape" test_report_json_shape;
+      ] );
     ("query.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
   ]

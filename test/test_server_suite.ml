@@ -22,14 +22,14 @@ let ok_or_fail = function
 (* ------------------------------------------------------------------ *)
 (* helpers over a dispatch core *)
 
-let fresh ?(cache = 256) ?(sessions = Sessions.default_config) ?clock () =
+let fresh ?(cache = 256) ?(sessions = Sessions.default_config) ?clock ?slow_ms () =
   let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
-  Srv.create ~config:{ Srv.cache_capacity = cache; Srv.sessions; Srv.clock } ()
+  Srv.create ~config:{ Srv.cache_capacity = cache; Srv.sessions; Srv.clock; Srv.slow_ms } ()
 
 let load_fig1 t = Srv.handle t (P.Load { name = "fig"; source = P.Builtin "figure1" })
 
 let expect_answer = function
-  | P.Answer { query; nodes; cache } -> (query, nodes, cache)
+  | P.Answer { query; nodes; cache; explain = _ } -> (query, nodes, cache)
   | r -> Alcotest.failf "expected answer, got %s" (P.response_to_string r)
 
 let expect_session = function
@@ -51,13 +51,13 @@ let test_load_query_cache () =
       check Alcotest.int "edges" 10 edges;
       check Alcotest.int "version" 1 version
   | r -> Alcotest.failf "expected loaded, got %s" (P.response_to_string r));
-  let q = P.Query { graph = "fig"; query = "(tram+bus)*.cinema" } in
+  let q = P.Query { graph = "fig"; query = "(tram+bus)*.cinema"; explain = false } in
   let _, nodes, cache = expect_answer (Srv.handle t q) in
   check (Alcotest.list Alcotest.string) "selected" [ "N1"; "N2"; "N4"; "N6" ] nodes;
   check Alcotest.bool "first is a miss" true (cache = `Miss);
   (* a syntactic variant of the same query must hit the same entry *)
   let norm, nodes', cache' =
-    expect_answer (Srv.handle t (P.Query { graph = "fig"; query = "(bus+tram)*.cinema" }))
+    expect_answer (Srv.handle t (P.Query { graph = "fig"; query = "(bus+tram)*.cinema"; explain = false }))
   in
   check (Alcotest.list Alcotest.string) "same answer" nodes nodes';
   check Alcotest.bool "normalized variant hits" true (cache' = `Hit);
@@ -66,7 +66,7 @@ let test_load_query_cache () =
 let test_reload_invalidates () =
   let t = fresh () in
   ignore (load_fig1 t);
-  let q = P.Query { graph = "fig"; query = "bus" } in
+  let q = P.Query { graph = "fig"; query = "bus"; explain = false } in
   ignore (Srv.handle t q);
   let _, _, c = expect_answer (Srv.handle t q) in
   check Alcotest.bool "hit before reload" true (c = `Hit);
@@ -80,7 +80,7 @@ let test_errors_are_structured () =
   let t = fresh () in
   expect_err "unknown-graph" (Srv.handle t (P.Stats { graph = "nope" }));
   ignore (load_fig1 t);
-  expect_err "bad-query" (Srv.handle t (P.Query { graph = "fig"; query = "((" }));
+  expect_err "bad-query" (Srv.handle t (P.Query { graph = "fig"; query = "(("; explain = false }));
   expect_err "unknown-session" (Srv.handle t (P.Session_show { session = 99 }));
   expect_err "bad-request"
     (Srv.handle t (P.Load { name = "x"; source = P.Builtin "nope" }));
@@ -301,7 +301,7 @@ let test_qcache_version_isolation () =
 
 let test_metrics_json () =
   let m = Metrics.create () in
-  Metrics.record m ~endpoint:"query" ~ok:true ~seconds:0.0001;
+  Metrics.record m ~endpoint:"query" ~ok:true ~seconds:0.00005;
   Metrics.record m ~endpoint:"query" ~ok:false ~seconds:0.5;
   Metrics.record m ~endpoint:"load" ~ok:true ~seconds:2.0;
   let doc = Metrics.to_json m in
@@ -329,7 +329,7 @@ let test_metrics_json () =
 let test_metrics_endpoint_counts () =
   let t = fresh () in
   ignore (load_fig1 t);
-  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus" }));
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }));
   ignore (Srv.handle_line t "not json at all");
   let line = Srv.handle_line t "{\"op\":\"metrics\",\"timings\":false}" in
   let doc = Json.value_of_string line in
@@ -345,20 +345,23 @@ let test_metrics_endpoint_counts () =
         (match Json.member "requests" inv with Some (Json.Number f) -> int_of_float f | _ -> -1)
   | None -> Alcotest.fail "no invalid endpoint")
 
-(* the documented bucket contract: a latency exactly on a decade edge
-   lands in that decade's own le_* bucket (bounds are inclusive), and
-   anything above one second is gt_1s *)
+(* the decade projection contract: a latency well inside a decade lands
+   in that decade's own le_* bucket and nowhere else, and anything above
+   one second is gt_1s. (Values exactly on a decade edge straddle a log
+   bucket, so the projection only promises mid-decade accuracy — the
+   full-resolution histogram behind the projection keeps ≤25% error
+   everywhere.) *)
 let test_metrics_bucket_edges () =
   let m = Metrics.create () in
   let edges =
     [
-      (1e-5, "le_10us");
-      (1e-4, "le_100us");
-      (1e-3, "le_1ms");
-      (1e-2, "le_10ms");
-      (1e-1, "le_100ms");
-      (1.0, "le_1s");
-      (1.000001, "gt_1s");
+      (5e-6, "le_10us");
+      (5e-5, "le_100us");
+      (5e-4, "le_1ms");
+      (5e-3, "le_10ms");
+      (5e-2, "le_100ms");
+      (0.5, "le_1s");
+      (2.0, "gt_1s");
     ]
   in
   List.iteri
@@ -379,12 +382,111 @@ let test_metrics_bucket_edges () =
     edges
 
 (* ------------------------------------------------------------------ *)
+(* explain, prometheus exposition, slow-query log *)
+
+let test_query_explain () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  (* miss: the full evaluation report, cache verdict included *)
+  (match Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = true }) with
+  | P.Answer { cache = `Miss; explain = Some report; nodes; _ } ->
+      check Alcotest.bool "cache field says miss" true
+        (Json.member "cache" report = Some (Json.String "miss"));
+      (* the rest of the object is a decodable Eval.report *)
+      let r =
+        match Gps_query.Eval.report_of_json report with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "explain not a report: %s" msg
+      in
+      check Alcotest.int "selected matches answer" (List.length nodes)
+        r.Gps_query.Eval.selected;
+      check Alcotest.bool "positive product" true (r.Gps_query.Eval.product_states > 0);
+      check Alcotest.bool "levels recorded" true (r.Gps_query.Eval.report_levels <> []);
+      check Alcotest.bool "stop reason terminal" true
+        (r.Gps_query.Eval.stop <> Gps_query.Eval.Empty_automaton)
+  | r -> Alcotest.failf "expected explained answer, got %s" (P.response_to_string r));
+  (* hit: no evaluation ran, the report is just the cache verdict *)
+  (match Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = true }) with
+  | P.Answer { cache = `Hit; explain = Some (Json.Object [ ("cache", Json.String "hit") ]); _ }
+    ->
+      ()
+  | r -> Alcotest.failf "expected hit verdict, got %s" (P.response_to_string r));
+  (* without the flag, no explain field at all *)
+  match Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }) with
+  | P.Answer { explain = None; _ } -> ()
+  | r -> Alcotest.failf "expected no explain, got %s" (P.response_to_string r)
+
+(* a minimal exposition lint, shared with the CI smoke step's intent:
+   every # TYPE introduces a fresh family and is followed by at least
+   one sample of that family *)
+let lint_prom text =
+  let lines = String.split_on_char '\n' text in
+  let seen = Hashtbl.create 16 in
+  let rec go current_family samples = function
+    | [] -> if current_family <> "" && samples = 0 then Error current_family else Ok ()
+    | line :: rest ->
+        if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+          let rest_of = String.sub line 7 (String.length line - 7) in
+          let family =
+            match String.index_opt rest_of ' ' with
+            | Some i -> String.sub rest_of 0 i
+            | None -> rest_of
+          in
+          if Hashtbl.mem seen family then Error (family ^ " duplicated")
+          else begin
+            Hashtbl.replace seen family ();
+            if current_family <> "" && samples = 0 then Error current_family
+            else go family 0 rest
+          end
+        end
+        else if line = "" || line.[0] = '#' then go current_family samples rest
+        else go current_family (samples + 1) rest
+  in
+  go "" 0 lines
+
+let test_metrics_prom () =
+  let t = fresh () in
+  ignore (load_fig1 t);
+  (* endpoint latency is recorded by the wire layer, so go through it *)
+  ignore (Srv.handle_line t "{\"op\":\"query\",\"graph\":\"fig\",\"query\":\"bus\"}");
+  match Srv.handle t P.Metrics_prom with
+  | P.Prom_dump text ->
+      check Alcotest.bool "non-empty" true (String.length text > 0);
+      (match lint_prom text with
+      | Ok () -> ()
+      | Error family -> Alcotest.failf "family %s has no samples (or is duplicated)" family);
+      let has needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec at i = i + nl <= tl && (String.sub text i nl = needle || at (i + 1)) in
+        at 0
+      in
+      check Alcotest.bool "counters render" true (has "# TYPE gps_server_dispatches_total counter");
+      check Alcotest.bool "endpoint histogram renders" true
+        (has "gps_server_request_ns_bucket{endpoint=\"query\"");
+      check Alcotest.bool "+Inf bucket present" true (has "le=\"+Inf\"")
+  | r -> Alcotest.failf "expected prom dump, got %s" (P.response_to_string r)
+
+let test_slow_query_log () =
+  let c_slow = Gps_obs.Counter.make "server.slow_queries" in
+  let before = Gps_obs.Counter.value c_slow in
+  (* threshold 0: every query is slow *)
+  let t = fresh ~slow_ms:0. () in
+  ignore (load_fig1 t);
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }));
+  check Alcotest.int "slow query counted" (before + 1) (Gps_obs.Counter.value c_slow);
+  (* no threshold: nothing logged *)
+  let t = fresh () in
+  ignore (load_fig1 t);
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }));
+  check Alcotest.int "no threshold, no log" (before + 1) (Gps_obs.Counter.value c_slow)
+
+(* ------------------------------------------------------------------ *)
 (* status *)
 
 let test_status_endpoint () =
   let t = fresh () in
   ignore (load_fig1 t);
-  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus" }));
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }));
   let line = Srv.handle_line t "{\"op\":\"status\",\"timings\":false}" in
   let doc = Json.value_of_string line in
   let s = Option.get (Json.member "status" doc) in
@@ -486,7 +588,8 @@ let gen_request =
       map (fun graph -> P.Stats { graph }) gen_name;
       (let* graph = gen_name in
        let* query = gen_query in
-       return (P.Query { graph; query }));
+       let* explain = bool in
+       return (P.Query { graph; query; explain }));
       (let* graph = gen_name in
        let* pos = list_size (int_bound 3) gen_name in
        let* neg = list_size (int_bound 3) gen_name in
@@ -509,6 +612,7 @@ let gen_request =
        return (P.Session_propose { session; accept }));
       map (fun session -> P.Session_stop { session }) gen_session;
       map (fun timings -> P.Metrics { timings }) bool;
+      return P.Metrics_prom;
       map (fun timings -> P.Status { timings }) bool;
     ]
 
@@ -557,7 +661,16 @@ let gen_response =
       (let* query = gen_query in
        let* nodes = list_size (int_bound 4) gen_name in
        let* cache = oneofl [ `Hit; `Miss ] in
-       return (P.Answer { query; nodes; cache }));
+       let* explain =
+         opt
+           (oneofl
+              [
+                Json.Object [ ("cache", Json.String "hit") ];
+                Json.Object
+                  [ ("cache", Json.String "miss"); ("product_states", Json.Number 42.) ];
+              ])
+       in
+       return (P.Answer { query; nodes; cache; explain }));
       (let* query = gen_query in
        let* selects = list_size (int_bound 4) gen_name in
        return (P.Learned { query; selects }));
@@ -570,6 +683,15 @@ let gen_response =
       (let* code = oneofl [ "parse"; "bad-request"; "unknown-graph"; "internal" ] in
        let* message = gen_name in
        return (P.Err { code; message }));
+      map
+        (fun lines -> P.Prom_dump (String.concat "\n" lines))
+        (list_size (int_bound 4)
+           (oneofl
+              [
+                "# TYPE gps_eval_runs_total counter";
+                "gps_eval_runs_total 3";
+                "gps_server_request_ns_bucket{endpoint=\"query\",le=\"+Inf\"} 2";
+              ]));
       (let* graphs = int_bound 5 in
        let* active = int_bound 9 in
        return
@@ -692,6 +814,9 @@ let suite =
         Alcotest.test_case "metrics count endpoints and cache" `Quick
           test_metrics_endpoint_counts;
         Alcotest.test_case "metrics histogram bucket edges" `Quick test_metrics_bucket_edges;
+        Alcotest.test_case "query explain reports" `Quick test_query_explain;
+        Alcotest.test_case "prometheus exposition lints" `Quick test_metrics_prom;
+        Alcotest.test_case "slow-query log counts" `Quick test_slow_query_log;
         Alcotest.test_case "status endpoint" `Quick test_status_endpoint;
         Alcotest.test_case "tcp frontend, two connections" `Quick test_tcp;
       ] );
