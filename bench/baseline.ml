@@ -47,7 +47,7 @@ let run () =
     (match Srv.handle srv (P.Load { name = "city"; source = P.Text text }) with
     | P.Loaded _ -> ()
     | _ -> failwith "baseline: load failed");
-    let line = P.request_to_string (P.Query { graph = "city"; query = "(tram+bus)*.cinema"; explain = false }) in
+    let line = P.request_to_string (P.Query { graph = "city"; query = "(tram+bus)*.cinema"; explain = false; deadline_ms = None }) in
     segment (fun () ->
         (* the wire path counts server.dispatches; the second one hits
            the query cache *)
@@ -83,6 +83,57 @@ let run () =
         ("contended_max", int_j s.Histogram.max);
       ]
   in
+  let deadline_overhead_seg =
+    (* cost of the cooperative deadline checkpoints on the evaluation
+       hot path, on a graph big enough that per-call setup does not
+       dominate. [none] is the production default (Deadline.none is a
+       physical-equality fast path inside the kernel); [armed] pays a
+       monotonic clock read per BFS level and every 512 expansions.
+       reps are exact; the wall figures and ratios are
+       machine-dependent (none/plain is expected within a couple of
+       percent of 1). *)
+    let module Eval = Gps.Query.Eval in
+    let module Deadline = Gps.Obs.Deadline in
+    let w = Workloads.uniform ~nodes:20_000 ~seed:9 in
+    let big = w.Workloads.graph in
+    let csr = Gps.Graph.Csr.freeze big in
+    let q = Workloads.q "(a+b)*.c.(a+b+c)*" in
+    let reps = 20 in
+    (* warm up caches/allocator so run order does not bias the ratios *)
+    ignore (Eval.select_frozen big csr q);
+    ignore (Eval.select_frozen big csr q);
+    let time f =
+      let t0 = Clock.now_ns () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      Clock.ns_to_s (Clock.elapsed_ns t0)
+    in
+    let plain_s = time (fun () -> ignore (Eval.select_frozen big csr q)) in
+    let none_s =
+      time (fun () ->
+          match Eval.select_frozen_result big csr q with
+          | Ok _ -> ()
+          | Error _ -> failwith "baseline: unguarded select interrupted")
+    in
+    let far = Deadline.after_ms 3_600_000.0 in
+    let armed_s =
+      time (fun () ->
+          match Eval.select_frozen_result ~deadline:far big csr q with
+          | Ok _ -> ()
+          | Error _ -> failwith "baseline: far-future deadline fired")
+    in
+    Json.Object
+      [
+        ("reps", int_j reps);
+        ("graph_nodes", int_j (Gps.Graph.Digraph.n_nodes big));
+        ("plain_wall_s", num plain_s);
+        ("none_wall_s", num none_s);
+        ("armed_wall_s", num armed_s);
+        ("none_overhead_ratio", num (none_s /. plain_s));
+        ("armed_overhead_ratio", num (armed_s /. plain_s));
+      ]
+  in
   let doc =
     Json.Object
       [
@@ -103,6 +154,7 @@ let run () =
               ("session", session_seg);
               ("dispatch", dispatch_seg);
               ("histogram", histogram_seg);
+              ("deadline_overhead", deadline_overhead_seg);
             ] );
       ]
   in

@@ -34,7 +34,7 @@ let run () =
     Gps.Graph.Codec.to_string (Workloads.city ~districts:50 ~seed:8).Workloads.graph
   in
   let query = "(tram+bus)*.cinema" in
-  let req = P.Query { graph = "city"; query; explain = false } in
+  let req = P.Query { graph = "city"; query; explain = false; deadline_ms = None } in
   let line = P.request_to_string req in
   let cold = make_server ~cache_capacity:0 text in
   let warm = make_server ~cache_capacity:256 text in

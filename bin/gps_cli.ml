@@ -158,16 +158,37 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run path qs witness explain trace domains =
+  let deadline_ms =
+    let doc =
+      "Abort the evaluation after $(docv) milliseconds (cooperative: the kernel polls a \
+       monotonic deadline between expansions). On timeout the partial EXPLAIN report is \
+       printed and the exit status is 3."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let run path qs witness explain deadline_ms trace domains =
     apply_domains domains;
     let g = or_die (load_graph path) in
     let q = or_die (Gps.parse_query qs) in
     with_trace trace @@ fun () ->
     let sel, report =
-      if explain then
-        let sel, r = Gps.Query.Eval.select_report g q in
-        (sel, Some r)
-      else (Gps.Query.Eval.select g q, None)
+      match deadline_ms with
+      | Some ms -> (
+          if ms <= 0. then or_die (Error "--deadline-ms must be positive");
+          let deadline = Gps.Obs.Deadline.after_ms ms in
+          match Gps.Query.Eval.select_report_result ~deadline g q with
+          | Ok (sel, r) -> (sel, if explain then Some r else None)
+          | Error { Gps.Query.Eval.reason; partial } ->
+              Printf.eprintf "gps: query %s after %g ms (visited %d product states)\n"
+                (Gps.Obs.Deadline.reason_to_string reason)
+                ms partial.Gps.Query.Eval.frontier_visits;
+              Format.eprintf "partial explain:@.%a@?" Gps.Query.Eval.pp_report partial;
+              exit 3)
+      | None ->
+          if explain then
+            let sel, r = Gps.Query.Eval.select_report g q in
+            (sel, Some r)
+          else (Gps.Query.Eval.select g q, None)
     in
     let selected = List.filter (fun v -> sel.(v)) (List.init (Array.length sel) Fun.id) in
     Printf.printf "%s selects %d node(s)\n" (Gps.Query.Rpq.to_string q) (List.length selected);
@@ -186,7 +207,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a path query")
-    Term.(const run $ graph_arg $ query_pos 1 $ witness $ explain $ trace_arg $ domains_arg)
+    Term.(
+      const run $ graph_arg $ query_pos 1 $ witness $ explain $ deadline_ms $ trace_arg
+      $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 (* learn *)
@@ -349,7 +372,9 @@ let session_cmd =
         | Gps.Interactive.Session.Satisfied -> "user satisfied"
         | Gps.Interactive.Session.No_informative_nodes -> "no informative nodes left"
         | Gps.Interactive.Session.Budget_exhausted -> "budget exhausted"
-        | Gps.Interactive.Session.Inconsistent _ -> "labels inconsistent");
+        | Gps.Interactive.Session.Inconsistent _ -> "labels inconsistent"
+        | Gps.Interactive.Session.Interrupted r ->
+            "interrupted: " ^ Gps.Obs.Deadline.reason_to_string r);
       Printf.printf "learned query: %s\n"
         (Gps.Query.Rpq.to_string outcome.Gps.Interactive.Session.query);
       Printf.printf "selects: %s\n"
@@ -578,7 +603,46 @@ let metrics_cmd =
     in
     Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
   in
-  let scrape addr prom =
+  let timeout_arg =
+    let doc = "Connect and read timeout (seconds) for --connect." in
+    Arg.(value & opt float 5.0 & info [ "timeout" ] ~docv:"S" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry --connect up to $(docv) additional times with jittered exponential backoff \
+       before giving up (a scrape racing a restarting server should not flap)."
+    in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  (* connect with a real timeout: nonblocking connect + select, then
+     SO_RCVTIMEO/SO_SNDTIMEO so a stalled server cannot hang the scrape *)
+  let connect_timed host port timeout =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let fail msg =
+      (try Unix.close fd with _ -> ());
+      Error msg
+    in
+    match
+      Unix.set_nonblock fd;
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    with
+    | () | (exception Unix.Unix_error (Unix.EINPROGRESS, _, _)) -> (
+        match Unix.select [] [ fd ] [] timeout with
+        | _, [ _ ], _ -> (
+            match Unix.getsockopt_error fd with
+            | None ->
+                Unix.clear_nonblock fd;
+                (try
+                   Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+                   Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+                 with Unix.Unix_error _ -> ());
+                Ok fd
+            | Some e -> fail (Unix.error_message e))
+        | _ -> fail "connect timed out"
+        | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e))
+    | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
+  in
+  let scrape addr prom timeout retries =
     let host, port =
       match String.rindex_opt addr ':' with
       | Some i -> (
@@ -590,19 +654,45 @@ let metrics_cmd =
       | None -> or_die (Error (Printf.sprintf "--connect wants HOST:PORT, got %S" addr))
     in
     let module P = Gps.Server.Protocol in
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    (match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
-    | () -> ()
-    | exception Unix.Unix_error (e, _, _) ->
-        or_die (Error (Printf.sprintf "cannot connect to %s:%d: %s" host port
-                         (Unix.error_message e))));
-    let oc = Unix.out_channel_of_descr fd and ic = Unix.in_channel_of_descr fd in
-    let req = if prom then P.Metrics_prom else P.Metrics { timings = true } in
-    output_string oc (P.request_to_string req);
-    output_char oc '\n';
-    flush oc;
-    let line = try input_line ic with End_of_file -> or_die (Error "connection closed") in
-    (try close_out oc with _ -> ());
+    let attempt () =
+      match connect_timed host port timeout with
+      | Error msg -> Error (Printf.sprintf "cannot connect to %s:%d: %s" host port msg)
+      | Ok fd -> (
+          let oc = Unix.out_channel_of_descr fd and ic = Unix.in_channel_of_descr fd in
+          let req = if prom then P.Metrics_prom else P.Metrics { timings = true } in
+          match
+            output_string oc (P.request_to_string req);
+            output_char oc '\n';
+            flush oc;
+            input_line ic
+          with
+          | exception End_of_file ->
+              (try close_out oc with _ -> ());
+              Error "connection closed"
+          | exception Sys_error msg ->
+              (try close_out oc with _ -> ());
+              Error msg
+          | exception Unix.Unix_error (e, _, _) ->
+              (try close_out oc with _ -> ());
+              Error (Unix.error_message e)
+          | line ->
+              (try close_out oc with _ -> ());
+              Ok line)
+    in
+    let rec go attempt_no =
+      match attempt () with
+      | Ok line -> line
+      | Error msg when attempt_no < retries ->
+          let backoff = 0.2 *. Float.of_int (1 lsl attempt_no) in
+          let jittered = backoff *. (0.5 +. Random.float 0.5) in
+          Printf.eprintf "gps: %s; retrying in %.2fs (%d left)\n%!" msg jittered
+            (retries - attempt_no);
+          Unix.sleepf jittered;
+          go (attempt_no + 1)
+      | Error msg -> or_die (Error msg)
+    in
+    Random.self_init ();
+    let line = go 0 in
     match Gps.Graph.Json.value_of_string line with
     | exception Gps.Graph.Json.Parse_error (pos, msg) ->
         or_die (Error (Printf.sprintf "bad response at %d: %s" pos msg))
@@ -614,9 +704,9 @@ let metrics_cmd =
         | Ok _ -> or_die (Error "unexpected response kind")
         | Error e -> or_die (Error (Printf.sprintf "%s: %s" e.P.code e.P.message)))
   in
-  let run prom connect =
+  let run prom connect timeout retries =
     match connect with
-    | Some addr -> scrape addr prom
+    | Some addr -> scrape addr prom timeout retries
     | None ->
         if prom then print_string (Gps.Obs.Prom.render ())
         else
@@ -639,7 +729,7 @@ let metrics_cmd =
        ~doc:
          "Dump telemetry registries (counters, gauges, histograms) as JSON or Prometheus \
           text, locally or scraped from a running server")
-    Term.(const run $ prom $ connect)
+    Term.(const run $ prom $ connect $ timeout_arg $ retries_arg)
 
 (* ---------------------------------------------------------------- *)
 (* serve *)
@@ -676,10 +766,48 @@ let serve_cmd =
     in
     Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
   in
-  let run stdio port host preload cache slow_ms trace domains =
+  let deadline_ms =
+    let doc =
+      "Default per-request deadline in milliseconds. A request exceeding it is \
+       cooperatively cancelled and answered with a typed 'timeout' error carrying the \
+       partial EXPLAIN report. Clients may send their own 'deadline_ms', bounded by \
+       --deadline-cap-ms."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let deadline_cap_ms =
+    let doc = "Ceiling on client-requested (and default) deadlines, in milliseconds." in
+    Arg.(value & opt (some float) None & info [ "deadline-cap-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_inflight =
+    let doc =
+      "Admission control: refuse requests beyond $(docv) concurrently dispatching ones \
+       with a fast typed 'overloaded' error. 0 = unbounded."
+    in
+    Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let max_frame_bytes =
+    let doc =
+      "Reject request frames over $(docv) bytes with a 'frame-too-large' error and close \
+       the connection."
+    in
+    Arg.(value & opt int (8 * 1024 * 1024) & info [ "max-frame-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let io_timeout_s =
+    let doc =
+      "Per-connection socket read/write timeout in seconds (TCP): a stalled peer cannot \
+       hold its thread forever."
+    in
+    Arg.(value & opt (some float) None & info [ "io-timeout-s" ] ~docv:"S" ~doc)
+  in
+  let run stdio port host preload cache slow_ms deadline_ms deadline_cap_ms max_inflight
+      max_frame_bytes io_timeout_s trace domains =
     apply_domains domains;
     let module Srv = Gps.Server.Server in
     let module P = Gps.Server.Protocol in
+    (* chaos runs arm fault injection from the environment before any
+       request is served; a malformed spec aborts with exit 2 *)
+    Gps.Obs.Fault.init_from_env ();
     (* the service always traces: to the JSONL file when --trace is
        given, otherwise into an in-memory ring the metrics endpoint
        summarizes *)
@@ -700,7 +828,18 @@ let serve_cmd =
         Option.iter close_out trace_oc);
     let server =
       Srv.create
-        ~config:{ Srv.default_config with Srv.cache_capacity = cache; Srv.slow_ms } ()
+        ~config:
+          {
+            Srv.default_config with
+            Srv.cache_capacity = cache;
+            Srv.slow_ms;
+            Srv.deadline_ms;
+            Srv.deadline_cap_ms;
+            Srv.max_inflight;
+            Srv.max_frame_bytes;
+            Srv.io_timeout_s;
+          }
+        ()
     in
     List.iter
       (fun spec ->
@@ -717,10 +856,20 @@ let serve_cmd =
       preload;
     match port with
     | Some port -> (
+        (* block SIGTERM/SIGINT before spawning any thread (children
+           inherit the mask), then park the main thread in wait_signal:
+           the first signal starts a graceful drain instead of killing
+           the process mid-request *)
+        ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
         match Srv.start_tcp server ~host ~port () with
         | tcp ->
             Printf.eprintf "gps: serving on %s:%d\n%!" host (Srv.tcp_port tcp);
-            Srv.wait_tcp tcp
+            let signal = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+            let signal_name = if signal = Sys.sigint then "SIGINT" else "SIGTERM" in
+            Printf.eprintf "gps: %s received, draining %d connection(s)\n%!"
+              signal_name (Srv.live_connections tcp);
+            let forced = Srv.drain_tcp server tcp () in
+            Printf.eprintf "gps: drained (%d forced close(s))\n%!" forced
         | exception Unix.Unix_error (e, _, _) ->
             or_die
               (Error
@@ -733,7 +882,10 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the query/specification protocol (newline-delimited JSON) over stdio or TCP")
-    Term.(const run $ stdio $ port $ host $ preload $ cache $ slow_ms $ trace_arg $ domains_arg)
+    Term.(
+      const run $ stdio $ port $ host $ preload $ cache $ slow_ms $ deadline_ms
+      $ deadline_cap_ms $ max_inflight $ max_frame_bytes $ io_timeout_s $ trace_arg
+      $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 

@@ -6,6 +6,7 @@ module Rpq = Gps_query.Rpq
 module Iset = Set.Make (Int)
 module Counter = Gps_obs.Counter
 module Trace = Gps_obs.Trace
+module Deadline = Gps_obs.Deadline
 
 let c_steps = Counter.make "session.steps"
 let c_relearns = Counter.make "session.relearns"
@@ -33,6 +34,7 @@ type halt_reason =
   | No_informative_nodes
   | Budget_exhausted
   | Inconsistent of Learner.failure
+  | Interrupted of Deadline.reason
 
 type outcome = { query : Rpq.t; reason : halt_reason }
 
@@ -110,12 +112,15 @@ let next_question t =
           pending = Ask_label (View.make_neighborhood t.graph v ~radius:t.config.initial_radius);
         }
 
-(* Re-learn from the current sample and move to the proposal step. *)
-let relearn t =
+(* Re-learn from the current sample and move to the proposal step. A
+   deadline firing mid-learn finishes the session with the previous
+   hypothesis rather than poisoning the sample state. *)
+let relearn ?deadline t =
   Counter.incr c_relearns;
   let t = { t with counters = { t.counters with learner_runs = t.counters.learner_runs + 1 } } in
-  match Learner.learn ~fuel:t.config.learn_fuel t.graph t.sample with
+  match Learner.learn ~fuel:t.config.learn_fuel ?deadline t.graph t.sample with
   | Learner.Learned q -> { t with hypothesis = Some q; pending = Propose q }
+  | Learner.Failed (Learner.Interrupted r) -> finish t (Interrupted r)
   | Learner.Failed f -> finish t (Inconsistent f)
 
 let prune t =
@@ -172,7 +177,7 @@ let path_tree_for t view =
   | Some tree -> Some tree
   | None -> View.make_path_tree t.graph ~prefer view.View.node ~negatives ~max_len:t.config.bound
 
-let answer_label t reply =
+let answer_label ?deadline t reply =
   Trace.with_span "session.answer_label" @@ fun sp ->
   Trace.set_str sp "reply" (match reply with `Pos -> "pos" | `Neg -> "neg" | `Zoom -> "zoom");
   match t.pending with
@@ -194,13 +199,13 @@ let answer_label t reply =
       | `Neg ->
           let t = bump_labels t in
           let t = { t with sample = Sample.add_neg t.sample view.View.node } in
-          guard_budget (relearn (prune t))
+          guard_budget (relearn ?deadline (prune t))
       | `Pos -> (
           let t = bump_labels t in
           let t = { t with sample = Sample.add_pos t.sample view.View.node } in
           if over_budget t then
             (* no room to ask for validation; learn from the bare label *)
-            guard_budget (relearn t)
+            guard_budget (relearn ?deadline t)
           else
             match path_tree_for t view with
             | Some tree -> { t with pending = Ask_path tree }
@@ -210,7 +215,7 @@ let answer_label t reply =
   | Ask_path _ | Propose _ | Finished _ ->
       invalid_arg "Session.answer_label: no label question pending"
 
-let answer_path t word =
+let answer_path ?deadline t word =
   Trace.with_span "session.answer_path" @@ fun _sp ->
   match t.pending with
   | Ask_path tree ->
@@ -227,7 +232,7 @@ let answer_path t word =
             (fun s v -> if Sample.is_labeled t.sample v then s else Iset.add v s)
             t.implied_pos implied
         in
-        guard_budget (relearn (prune { t with implied_pos }))
+        guard_budget (relearn ?deadline (prune { t with implied_pos }))
       end
   | Ask_label _ | Propose _ | Finished _ ->
       invalid_arg "Session.answer_path: no path validation pending"

@@ -34,6 +34,9 @@ type halt_reason =
   | No_informative_nodes (** nothing left to ask — the hypothesis is final *)
   | Budget_exhausted
   | Inconsistent of Gps_learning.Learner.failure
+  | Interrupted of Gps_obs.Deadline.reason
+      (** the caller's deadline/cancel token fired during a re-learn; the
+          outcome carries the last complete hypothesis *)
 
 type outcome = { query : Gps_query.Rpq.t; reason : halt_reason }
 
@@ -52,14 +55,16 @@ val start : ?config:config -> strategy:Strategy.t -> Gps_graph.Digraph.t -> t
 
 val request : t -> request
 
-val answer_label : t -> [ `Pos | `Neg | `Zoom ] -> t
+val answer_label : ?deadline:Gps_obs.Deadline.t -> t -> [ `Pos | `Neg | `Zoom ] -> t
 (** @raise Invalid_argument if the pending request is not [Ask_label].
     [`Zoom] on an already-complete fragment is a no-op (re-issues the same
-    view). *)
+    view). [deadline] bounds the re-learn this answer may trigger; when it
+    fires the session finishes with [Interrupted]. *)
 
-val answer_path : t -> string list -> t
+val answer_path : ?deadline:Gps_obs.Deadline.t -> t -> string list -> t
 (** @raise Invalid_argument if the pending request is not [Ask_path] or
-    the word is not among the tree's candidates. *)
+    the word is not among the tree's candidates. [deadline] as in
+    {!answer_label}. *)
 
 val accept : t -> t
 (** The user is satisfied with the proposed query; finishes the session.

@@ -65,7 +65,9 @@ let render g t =
               | Session.Satisfied -> "user satisfied"
               | Session.No_informative_nodes -> "no informative nodes"
               | Session.Budget_exhausted -> "budget exhausted"
-              | Session.Inconsistent _ -> "inconsistent")
+              | Session.Inconsistent _ -> "inconsistent"
+              | Session.Interrupted r ->
+                  "interrupted: " ^ Gps_obs.Deadline.reason_to_string r)
               (Rpq.to_string o.Session.query)
       in
       Buffer.add_string buf (Printf.sprintf "%2d. %s\n" (i + 1) line))

@@ -22,12 +22,16 @@ type failure =
           negative — the labeling is contradictory *)
   | Budget_exhausted of Gps_graph.Digraph.node
       (** witness search ran out of fuel on this node before deciding *)
+  | Interrupted of Gps_obs.Deadline.reason
+      (** the caller's deadline or cancel token fired mid-learn — during
+          witness search or inside the consistency oracle's product BFS *)
 
 type result = Learned of Gps_query.Rpq.t | Failed of failure
 
 val witness_words :
   ?fuel:int ->
   ?max_len:int ->
+  ?deadline:Gps_obs.Deadline.t ->
   Gps_graph.Digraph.t ->
   Sample.t ->
   (string list list, failure) Stdlib.result
@@ -38,12 +42,17 @@ val witness_words :
 val learn :
   ?fuel:int ->
   ?max_len:int ->
+  ?deadline:Gps_obs.Deadline.t ->
   Gps_graph.Digraph.t ->
   Sample.t ->
   result
 (** [max_len] bounds witness length (default: unbounded — exact);
     [fuel] bounds the pair-BFS (default 100_000). An empty-positive sample
-    learns [∅] (selects nothing), which is consistent with any negatives. *)
+    learns [∅] (selects nothing), which is consistent with any negatives.
+    [deadline] bounds the whole run cooperatively — polled once per
+    positive node during witness search and threaded into every
+    consistency-oracle evaluation; when it fires the result is
+    [Failed (Interrupted _)]. *)
 
 val learn_exn : ?fuel:int -> ?max_len:int -> Gps_graph.Digraph.t -> Sample.t -> Gps_query.Rpq.t
 (** @raise Failure with a readable message on any {!failure}. *)

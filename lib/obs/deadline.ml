@@ -1,0 +1,94 @@
+type reason = Timed_out | Cancelled
+
+(* [deadline_ns] is absolute monotonic time; [Int64.max_int] means "no
+   time limit". [flag = None] only for the shared [none] token, which
+   makes [is_none] a physical-equality test and keeps [cancel none] a
+   no-op. [parents] lets [combine] observe later cancellations of either
+   input without any registration/callback machinery. *)
+type t = {
+  deadline_ns : int64;
+  flag : bool Atomic.t option;
+  parents : t list;
+}
+
+let none = { deadline_ns = Int64.max_int; flag = None; parents = [] }
+let is_none t = t == none
+
+let at_ns deadline_ns =
+  { deadline_ns; flag = Some (Atomic.make false); parents = [] }
+
+let after_ns ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  let now = Clock.now_ns () in
+  (* saturate instead of wrapping for absurdly large offsets *)
+  let abs =
+    if Int64.compare ns (Int64.sub Int64.max_int now) >= 0 then
+      Int64.sub Int64.max_int 1L
+    else Int64.add now ns
+  in
+  at_ns abs
+
+let after_ms ms = after_ns (Int64.of_float (ms *. 1e6))
+let token () = { deadline_ns = Int64.max_int; flag = Some (Atomic.make false); parents = [] }
+
+let cancel t = match t.flag with None -> () | Some f -> Atomic.set f true
+
+let rec cancelled t =
+  (match t.flag with Some f -> Atomic.get f | None -> false)
+  || List.exists cancelled t.parents
+
+let rec earliest_deadline t =
+  List.fold_left
+    (fun acc p ->
+      let d = earliest_deadline p in
+      if Int64.compare d acc < 0 then d else acc)
+    t.deadline_ns t.parents
+
+let combine a b =
+  if is_none a then b
+  else if is_none b then a
+  else
+    {
+      deadline_ns =
+        (if Int64.compare a.deadline_ns b.deadline_ns <= 0 then a.deadline_ns
+         else b.deadline_ns);
+      flag = Some (Atomic.make false);
+      parents = [ a; b ];
+    }
+
+let time_expired t =
+  (* [earliest_deadline] re-derives the effective deadline from the
+     parents so a [combine] stays correct even if built from values whose
+     own field was max_int (pure tokens). The record field caches the
+     common case. *)
+  let d =
+    if t.parents = [] then t.deadline_ns
+    else
+      let e = earliest_deadline t in
+      if Int64.compare e t.deadline_ns < 0 then e else t.deadline_ns
+  in
+  Int64.compare d Int64.max_int < 0 && Int64.compare (Clock.now_ns ()) d >= 0
+
+let check t =
+  if is_none t then None
+  else if cancelled t then Some Cancelled
+  else if time_expired t then Some Timed_out
+  else None
+
+let expired t = check t <> None
+
+let remaining_ns t =
+  let d = if t.parents = [] then t.deadline_ns else earliest_deadline t in
+  if Int64.compare d Int64.max_int >= 0 then None
+  else
+    let left = Int64.sub d (Clock.now_ns ()) in
+    Some (if Int64.compare left 0L < 0 then 0L else left)
+
+let reason_to_string = function Timed_out -> "timed-out" | Cancelled -> "cancelled"
+
+let reason_of_string = function
+  | "timed-out" -> Some Timed_out
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_to_string r)

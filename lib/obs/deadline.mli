@@ -1,0 +1,66 @@
+(** Monotonic deadlines and composable cancellation tokens.
+
+    A {!t} bundles an absolute monotonic-clock deadline with a
+    cancellation flag; either can fire independently. Tokens compose:
+    {!combine} takes the earlier deadline of the two and is cancelled as
+    soon as either parent is — this is how a per-request deadline is
+    merged with a server-wide drain token.
+
+    The design is poll-based (cooperative): long-running work calls
+    {!check} at natural checkpoints (a BFS level boundary, every N
+    expansions) and unwinds with a typed result when it returns
+    [Some reason]. There are no asynchronous interrupts, so cancellation
+    is race-free and cheap — the no-deadline fast path is a single
+    physical-equality test ({!is_none}).
+
+    All times use {!Clock}'s monotonic source; a stepped system clock
+    never fires or starves a deadline. *)
+
+type t
+
+type reason = Timed_out | Cancelled
+
+val none : t
+(** The null token: never fires. {!is_none} identifies it in O(1) so hot
+    paths can skip checkpoint bookkeeping entirely. *)
+
+val is_none : t -> bool
+
+val after_ms : float -> t
+(** [after_ms ms] fires [Timed_out] once [ms] milliseconds of monotonic
+    time have elapsed. Non-positive [ms] yields an already-expired
+    deadline. The token is also cancellable. *)
+
+val after_ns : int64 -> t
+
+val token : unit -> t
+(** A pure cancellation token with no time limit (fires only via
+    {!cancel}). *)
+
+val cancel : t -> unit
+(** Flip the token's cancellation flag (idempotent; a no-op on
+    {!none}). Descendants built with {!combine} observe it. *)
+
+val cancelled : t -> bool
+(** Cancellation flag of this token or any ancestor (does not consult
+    the clock). *)
+
+val combine : t -> t -> t
+(** Earlier deadline of the two; cancelled when either parent is.
+    [combine none d == d] and [combine d none == d] (no allocation). *)
+
+val check : t -> reason option
+(** [None] while live. [Cancelled] wins over [Timed_out] when both
+    apply. *)
+
+val expired : t -> bool
+
+val remaining_ns : t -> int64 option
+(** [None] when the token has no time deadline; [Some ns] (clamped at 0)
+    otherwise. *)
+
+val reason_to_string : reason -> string
+(** ["timed-out"] / ["cancelled"] — the wire spelling. *)
+
+val reason_of_string : string -> reason option
+val pp_reason : Format.formatter -> reason -> unit

@@ -1,0 +1,148 @@
+exception Injected of string
+
+type mode =
+  | Nth of int (* calls k, 2k, 3k, ... fail *)
+  | Once of int (* exactly call k fails *)
+  | Prob of float * int64 (* probability, seed *)
+
+type site = {
+  mode : mode;
+  calls : int Atomic.t;
+  injected : int Atomic.t;
+}
+
+(* The table is replaced wholesale by [configure]/[clear]; individual
+   sites use atomics so [should_fail] needs no lock. [armed] keeps the
+   disarmed fast path to a single load. *)
+let table : (string, site) Hashtbl.t ref = ref (Hashtbl.create 4)
+let armed = Atomic.make false
+let c_injected = Counter.make "fault.injected"
+
+(* splitmix64 — a deterministic, well-mixed hash of (seed, call index)
+   so probabilistic schedules replay exactly under a fixed seed. *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let prob_hits p seed call =
+  (* top 53 bits -> uniform float in [0,1) *)
+  let h = splitmix64 (Int64.logxor seed (Int64.of_int call)) in
+  let u =
+    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+  in
+  u < p
+
+let parse_mode s =
+  let fail () = Error (Printf.sprintf "bad fault mode %S" s) in
+  let int_after prefix =
+    let p = String.length prefix in
+    match int_of_string_opt (String.sub s p (String.length s - p)) with
+    | Some k when k >= 1 -> Some k
+    | _ -> None
+  in
+  if String.length s >= 5 && String.sub s 0 4 = "once" then
+    match int_after "once" with Some k -> Ok (Once k) | None -> fail ()
+  else if String.length s >= 2 && s.[0] = 'n' then
+    match int_after "n" with Some k -> Ok (Nth k) | None -> fail ()
+  else if String.length s >= 2 && s.[0] = 'p' then
+    let body = String.sub s 1 (String.length s - 1) in
+    let p_str, seed_str =
+      match String.index_opt body '@' with
+      | Some i ->
+          ( String.sub body 0 i,
+            String.sub body (i + 1) (String.length body - i - 1) )
+      | None -> (body, "0")
+    in
+    match (float_of_string_opt p_str, Int64.of_string_opt seed_str) with
+    | Some p, Some seed when p >= 0.0 && p <= 1.0 -> Ok (Prob (p, seed))
+    | _ -> fail ()
+  else fail ()
+
+let parse spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match String.index_opt e ':' with
+        | None -> Error (Printf.sprintf "bad fault entry %S (want site:mode)" e)
+        | Some i -> (
+            let name = String.sub e 0 i in
+            let mode_s = String.sub e (i + 1) (String.length e - i - 1) in
+            if name = "" then Error (Printf.sprintf "bad fault entry %S" e)
+            else
+              match parse_mode mode_s with
+              | Ok m -> go ((name, m) :: acc) rest
+              | Error msg -> Error msg))
+  in
+  go [] entries
+
+let configure spec =
+  match parse spec with
+  | Error _ as e -> e
+  | Ok entries ->
+      let tbl = Hashtbl.create (max 4 (List.length entries)) in
+      List.iter
+        (fun (name, mode) ->
+          Hashtbl.replace tbl name
+            { mode; calls = Atomic.make 0; injected = Atomic.make 0 })
+        entries;
+      table := tbl;
+      Atomic.set armed (entries <> []);
+      Ok ()
+
+let configure_exn spec =
+  match configure spec with Ok () -> () | Error msg -> invalid_arg msg
+
+let clear () =
+  table := Hashtbl.create 4;
+  Atomic.set armed false
+
+let active () = Atomic.get armed
+
+let init_from_env () =
+  match Sys.getenv_opt "GPS_FAULT" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match configure spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "gps: GPS_FAULT: %s\n%!" msg;
+          exit 2)
+
+let should_fail name =
+  Atomic.get armed
+  &&
+  match Hashtbl.find_opt !table name with
+  | None -> false
+  | Some site ->
+      let call = 1 + Atomic.fetch_and_add site.calls 1 in
+      let hit =
+        match site.mode with
+        | Nth k -> call mod k = 0
+        | Once k -> call = k
+        | Prob (p, seed) -> prob_hits p seed call
+      in
+      if hit then Atomic.incr site.injected;
+      hit
+
+let trip name =
+  if should_fail name then begin
+    Counter.incr c_injected;
+    raise (Injected name)
+  end
+
+let injected_count name =
+  match Hashtbl.find_opt !table name with
+  | None -> 0
+  | Some site -> Atomic.get site.injected
+
+let sites () =
+  Hashtbl.fold (fun k s acc -> (k, Atomic.get s.injected) :: acc) !table []
+  |> List.sort compare

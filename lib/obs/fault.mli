@@ -1,0 +1,57 @@
+(** Deterministic fault injection.
+
+    Faults are armed per {e site} — a short dotted name compiled into the
+    code path (["catalog.lookup"], ["qcache.insert"], ["session.step"],
+    ["sock.write"]) — either programmatically with {!configure} or from
+    the [GPS_FAULT] environment variable via {!init_from_env}.
+
+    The spec grammar is [site:mode] pairs separated by commas:
+
+    - [site:nK] — every Kth call to the site fails (calls K, 2K, …);
+    - [site:onceK] — exactly the Kth call fails;
+    - [site:pP@SEED] — each call fails with probability [P], decided by a
+      deterministic hash of [(site, call index, SEED)] so a given seed
+      reproduces the exact same failure schedule on every run.
+
+    Example: [GPS_FAULT="qcache.insert:n3,sock.write:p0.05@42"].
+
+    When a site trips, {!trip} raises {!Injected} and the global
+    ["fault.injected"] counter increments; call sites translate the
+    exception into their typed degraded behavior (skip the cache write,
+    close the connection, return an ["unavailable"] error). Nothing is
+    armed by default and the disarmed fast path is one atomic load. *)
+
+exception Injected of string
+(** Carries the site name. *)
+
+val configure : string -> (unit, string) result
+(** Parse and arm a spec string (replaces any previous configuration).
+    [Error msg] on a malformed spec, leaving the previous configuration
+    in place. The empty string disarms everything. *)
+
+val configure_exn : string -> unit
+(** @raise Invalid_argument on a malformed spec. *)
+
+val init_from_env : unit -> unit
+(** Arm from [GPS_FAULT] when set and non-empty; print the parse error
+    to stderr and exit 2 on a malformed value (a typo'd chaos run must
+    not silently test nothing). No-op when unset. *)
+
+val clear : unit -> unit
+(** Disarm all sites and reset call counters. *)
+
+val active : unit -> bool
+
+val should_fail : string -> bool
+(** Advance the site's call counter and decide this call's fate. Always
+    [false] (and counter-free) when nothing is armed. *)
+
+val trip : string -> unit
+(** [if should_fail site then raise (Injected site)] plus the
+    ["fault.injected"] counter. *)
+
+val injected_count : string -> int
+(** Injections so far at [site] (0 when unknown). *)
+
+val sites : unit -> (string * int) list
+(** Armed sites with their injection counts, sorted by name. *)

@@ -7,12 +7,17 @@
     when off; {!Summary} aggregates span streams into per-name
     count/mean/max rows; {!Flame} folds span forests into flame-graph
     stacks; {!Prom} renders all three registries in Prometheus text
-    format. Every engine layer (query evaluation, learning, interactive
+    format. {!Deadline} carries monotonic deadlines and composable
+    cancellation tokens from the wire down to the eval kernel;
+    {!Fault} injects deterministic failures at named sites for chaos
+    testing. Every engine layer (query evaluation, learning, interactive
     sessions, the server) reports through this library, and the bench
     harness snapshots its counters so perf PRs compare work done, not
     just wall-clock. *)
 
 module Clock = Clock
+module Deadline = Deadline
+module Fault = Fault
 module Counter = Counter
 module Gauge = Gauge
 module Histogram = Histogram

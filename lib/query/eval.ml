@@ -5,6 +5,7 @@ module Vec = Gps_graph.Vec
 module Nfa = Gps_automata.Nfa
 module Counter = Gps_obs.Counter
 module Trace = Gps_obs.Trace
+module Deadline = Gps_obs.Deadline
 module Pool = Gps_par.Pool
 
 (* Work counters, published once per evaluation (the loops accumulate in
@@ -16,6 +17,14 @@ let c_dedup = Counter.make "eval.early_exit_hits"
 let c_domains = Counter.make "eval.domains_used"
 let c_par_levels = Counter.make "eval.par_levels"
 let c_seq_fallbacks = Counter.make "eval.seq_fallbacks"
+let c_cancel_checks = Counter.make "eval.cancel_checks"
+let c_cancelled = Counter.make "eval.cancelled"
+
+(* How many frontier visits between two deadline polls inside a level.
+   Level boundaries always poll, so this only bounds the latency of
+   cancellation inside one very wide level; 512 visits is a few
+   microseconds of work. *)
+let checkpoint_interval = 512
 
 (* Below this frontier size a level is expanded inline: handing a few
    dozen product states to worker domains costs more than the work, so
@@ -105,9 +114,11 @@ type stats = {
   domains_used : int;
   levels : level_stat list;  (* in BFS order; level 1 is the seed frontier *)
   discovered : int;  (* distinct product states that entered the queue *)
+  cancel_checks : int;  (* deadline polls performed *)
+  interrupted : Deadline.reason option;  (* [Some _] iff the BFS stopped early *)
 }
 
-let run_kernel ~domains ~par_threshold ~want_dist plan =
+let run_kernel ~domains ~par_threshold ~want_dist ~deadline plan =
   let { n; m; csr; rev_off; rev_src; finals; _ } = plan in
   let size = n * m in
   let pool = if domains > 1 then Some (Pool.get domains) else None in
@@ -140,10 +151,36 @@ let run_kernel ~domains ~par_threshold ~want_dist plan =
   done;
   let visits = ref 0 and dedup = ref 0 in
   let par_levels = ref 0 and seq_fallbacks = ref 0 in
+  (* Cooperative cancellation: [istop] is the cross-domain stop request,
+     set by whichever loop observes the deadline first. [guarded] keeps
+     the no-deadline hot path at one bool test per visit — the clock is
+     never read and [istop] can never flip, so the loops below degenerate
+     to their original shape. Deadline polls happen at every level
+     boundary and every [checkpoint_interval] visits within a level;
+     [checks] totals them for the EXPLAIN report. *)
+  let guarded = not (Deadline.is_none deadline) in
+  let istop : Deadline.reason option Atomic.t = Atomic.make None in
+  let checks = ref 0 in
+  let poll () =
+    incr checks;
+    match Deadline.check deadline with
+    | Some r -> Atomic.set istop (Some r)
+    | None -> ()
+  in
+  let stopping () = guarded && Atomic.get istop <> None in
   (* expand queue.(i): push the product-BFS predecessors of (v', q') *)
   let expand_seq lo hi level =
-    for i = lo to hi - 1 do
-      let idx = queue.(i) in
+    let i = ref lo in
+    let since = ref 0 in
+    while !i < hi && not (stopping ()) do
+      (if guarded then begin
+         incr since;
+         if !since >= checkpoint_interval then begin
+           since := 0;
+           poll ()
+         end
+       end);
+      let idx = queue.(!i) in
       let v' = idx / m and q' = idx mod m in
       Csr.iter_in csr v' (fun lbl v ->
           let key = (lbl * m) + q' in
@@ -155,9 +192,10 @@ let run_kernel ~domains ~par_threshold ~want_dist plan =
               incr tail
             end
             else incr dedup
-          done)
+          done);
+      incr i
     done;
-    visits := !visits + (hi - lo)
+    visits := !visits + (!i - lo)
   in
   let expand_par p lo hi level =
     let count = hi - lo in
@@ -165,13 +203,31 @@ let run_kernel ~domains ~par_threshold ~want_dist plan =
     let chunk_len = (count + chunks - 1) / chunks in
     let buffers = Array.init chunks (fun _ -> Vec.create ()) in
     let dedups = Array.make chunks 0 in
+    let expanded = Array.make chunks 0 in
+    let local_checks = Array.make chunks 0 in
     Pool.run p ~chunks (fun c ->
         let clo = lo + (c * chunk_len) in
         let chi = min hi (clo + chunk_len) in
         let buf = buffers.(c) in
         let local_dedup = ref 0 in
-        for i = clo to chi - 1 do
-          let idx = queue.(i) in
+        let i = ref clo in
+        let since = ref 0 in
+        let polls = ref 0 in
+        (* every chunk polls independently; the first to see the deadline
+           fire publishes through [istop] and the rest bail at their next
+           visit *)
+        while !i < chi && not (stopping ()) do
+          (if guarded then begin
+             incr since;
+             if !since >= checkpoint_interval then begin
+               since := 0;
+               incr polls;
+               match Deadline.check deadline with
+               | Some r -> Atomic.set istop (Some r)
+               | None -> ()
+             end
+           end);
+          let idx = queue.(!i) in
           let v' = idx / m and q' = idx mod m in
           Csr.iter_in csr v' (fun lbl v ->
               let key = (lbl * m) + q' in
@@ -184,9 +240,12 @@ let run_kernel ~domains ~par_threshold ~want_dist plan =
                   ignore (Vec.push buf pidx)
                 end
                 else incr local_dedup
-              done)
+              done);
+          incr i
         done;
-        dedups.(c) <- !local_dedup);
+        dedups.(c) <- !local_dedup;
+        expanded.(c) <- !i - clo;
+        local_checks.(c) <- !polls);
     Array.iter
       (fun buf ->
         Vec.iter
@@ -196,11 +255,13 @@ let run_kernel ~domains ~par_threshold ~want_dist plan =
           buf)
       buffers;
     Array.iter (fun d -> dedup := !dedup + d) dedups;
-    visits := !visits + count
+    Array.iter (fun e -> visits := !visits + e) expanded;
+    Array.iter (fun k -> checks := !checks + k) local_checks
   in
   let level = ref 0 in
   let level_stats = ref [] in
-  while !head < !tail do
+  if guarded then poll ();
+  while !head < !tail && not (stopping ()) do
     incr level;
     let lo = !head and hi = !tail in
     head := hi;
@@ -218,7 +279,8 @@ let run_kernel ~domains ~par_threshold ~want_dist plan =
           expand_seq lo hi !level;
           false
     in
-    level_stats := { frontier = hi - lo; parallel } :: !level_stats
+    level_stats := { frontier = hi - lo; parallel } :: !level_stats;
+    if guarded then poll ()
   done;
   let stats =
     {
@@ -229,17 +291,19 @@ let run_kernel ~domains ~par_threshold ~want_dist plan =
       domains_used = (if !par_levels > 0 then domains else 1);
       levels = List.rev !level_stats;
       discovered = !tail;
+      cancel_checks = !checks;
+      interrupted = Atomic.get istop;
     }
   in
   (mem, dist, stats)
 
 (* Run the kernel and publish counters/span attributes — the shared tail
    of every public entry point. *)
-let kernel sp ?domains ?par_threshold ~want_dist g csr nfa =
+let kernel sp ?domains ?par_threshold ?(deadline = Deadline.none) ~want_dist g csr nfa =
   let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
   let par_threshold = Option.value par_threshold ~default:default_par_threshold in
   let plan = build_plan g csr nfa in
-  let mem, dist, stats = run_kernel ~domains ~par_threshold ~want_dist plan in
+  let mem, dist, stats = run_kernel ~domains ~par_threshold ~want_dist ~deadline plan in
   Counter.incr c_runs;
   Counter.add c_states (plan.n * plan.m);
   Counter.add c_visits stats.visits;
@@ -247,6 +311,12 @@ let kernel sp ?domains ?par_threshold ~want_dist g csr nfa =
   Counter.add c_domains stats.domains_used;
   Counter.add c_par_levels stats.par_levels;
   Counter.add c_seq_fallbacks stats.seq_fallbacks;
+  Counter.add c_cancel_checks stats.cancel_checks;
+  (match stats.interrupted with
+  | Some r ->
+      Counter.incr c_cancelled;
+      Trace.set_str sp "interrupted" (Deadline.reason_to_string r)
+  | None -> ());
   Trace.set_int sp "product_states" (plan.n * plan.m);
   Trace.set_int sp "frontier_visits" stats.visits;
   Trace.set_int sp "early_exit_hits" stats.dedup;
@@ -265,7 +335,12 @@ let selected_of_mem plan mem =
 (* ------------------------------------------------------------------ *)
 (* the EXPLAIN report: everything one evaluation did, as data *)
 
-type stop_reason = Empty_automaton | Saturated | Frontier_exhausted
+type stop_reason =
+  | Empty_automaton
+  | Saturated
+  | Frontier_exhausted
+  | Timed_out
+  | Cancelled
 
 type report = {
   automaton_states : int;
@@ -286,11 +361,15 @@ let stop_reason_to_string = function
   | Empty_automaton -> "empty-automaton"
   | Saturated -> "saturated"
   | Frontier_exhausted -> "frontier-exhausted"
+  | Timed_out -> "timed-out"
+  | Cancelled -> "cancelled"
 
 let stop_reason_of_string = function
   | "empty-automaton" -> Ok Empty_automaton
   | "saturated" -> Ok Saturated
   | "frontier-exhausted" -> Ok Frontier_exhausted
+  | "timed-out" -> Ok Timed_out
+  | "cancelled" -> Ok Cancelled
   | other -> Error (Printf.sprintf "unknown stop reason %S" other)
 
 let empty_report ~automaton_states ~graph_nodes ~par_threshold =
@@ -322,7 +401,12 @@ let report_of_stats plan ~par_threshold ~selected (stats : stats) =
     domains_used = stats.domains_used;
     par_threshold;
     report_levels = stats.levels;
-    stop = (if stats.discovered >= size && size > 0 then Saturated else Frontier_exhausted);
+    stop =
+      (match stats.interrupted with
+      | Some Deadline.Timed_out -> Timed_out
+      | Some Deadline.Cancelled -> Cancelled
+      | None ->
+          if stats.discovered >= size && size > 0 then Saturated else Frontier_exhausted);
     selected;
   }
 
@@ -469,6 +553,45 @@ let select_report ?domains ?par_threshold g q =
 let select_frozen_report ?domains ?par_threshold g csr q =
   Trace.with_span "eval.select_frozen" @@ fun sp ->
   select_frozen_report_nfa sp ?domains ?par_threshold g csr (Rpq.nfa q)
+
+(* ------------------------------------------------------------------ *)
+(* deadline-aware entry points: same kernel, typed early-stop outcome *)
+
+type interrupted = { reason : Deadline.reason; partial : report }
+
+let run_result sp ?domains ?par_threshold ~deadline g csr nfa =
+  let threshold = Option.value par_threshold ~default:default_par_threshold in
+  if Nfa.n_states nfa = 0 then
+    Ok
+      ( Array.make (Csr.n_nodes csr) false,
+        empty_report ~automaton_states:0 ~graph_nodes:(Csr.n_nodes csr)
+          ~par_threshold:threshold )
+  else begin
+    let plan, mem, _, stats =
+      kernel sp ?domains ?par_threshold ~deadline ~want_dist:false g csr nfa
+    in
+    let sel = selected_of_mem plan mem in
+    let report =
+      report_of_stats plan ~par_threshold:threshold ~selected:(count_selected sel) stats
+    in
+    match stats.interrupted with
+    | None -> Ok (sel, report)
+    | Some reason -> Error { reason; partial = report }
+  end
+
+let select_frozen_report_result ?domains ?par_threshold ?(deadline = Deadline.none) g csr q =
+  Trace.with_span "eval.select_frozen" @@ fun sp ->
+  run_result sp ?domains ?par_threshold ~deadline g csr (Rpq.nfa q)
+
+let select_report_result ?domains ?par_threshold ?(deadline = Deadline.none) g q =
+  Trace.with_span "eval.select" @@ fun sp ->
+  run_result sp ?domains ?par_threshold ~deadline g (Csr.freeze g) (Rpq.nfa q)
+
+let select_frozen_result ?domains ?par_threshold ?deadline g csr q =
+  Result.map fst (select_frozen_report_result ?domains ?par_threshold ?deadline g csr q)
+
+let select_result ?domains ?par_threshold ?deadline g q =
+  Result.map fst (select_report_result ?domains ?par_threshold ?deadline g q)
 
 let select_via_dfa ?domains ?par_threshold g q =
   let module Dfa = Gps_automata.Dfa in

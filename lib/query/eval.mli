@@ -61,6 +61,8 @@ type stop_reason =
   | Empty_automaton  (** the query automaton has no states — nothing to run *)
   | Saturated  (** every product state was discovered *)
   | Frontier_exhausted  (** the frontier drained before saturation — the common case *)
+  | Timed_out  (** the evaluation's {!Gps_obs.Deadline} expired mid-search *)
+  | Cancelled  (** the evaluation's cancel token fired mid-search *)
 
 type report = {
   automaton_states : int;
@@ -95,9 +97,59 @@ val select_frozen_report :
 (** {!select_frozen}, plus its report. *)
 
 val stop_reason_to_string : stop_reason -> string
-(** ["empty-automaton"], ["saturated"], ["frontier-exhausted"]. *)
+(** ["empty-automaton"], ["saturated"], ["frontier-exhausted"],
+    ["timed-out"], ["cancelled"]. *)
 
 val stop_reason_of_string : string -> (stop_reason, string) result
+
+(** {2 Deadlines and cancellation}
+
+    The [_result] entry points take a {!Gps_obs.Deadline} token and poll
+    it cooperatively — once per BFS level and every few hundred frontier
+    visits inside a level, including inside parallel pool chunks. When it
+    fires they stop promptly and return [Error] carrying the reason and
+    the {e partial} EXPLAIN report of the work done so far (its [stop]
+    field is [Timed_out]/[Cancelled], its [selected] count is the
+    under-approximation discovered before the stop). Without a deadline
+    ([Gps_obs.Deadline.none], the default) they are equivalent to their
+    plain counterparts and the kernel's hot path is unchanged up to one
+    branch per visit. *)
+
+type interrupted = { reason : Gps_obs.Deadline.reason; partial : report }
+
+val select_result :
+  ?domains:int ->
+  ?par_threshold:int ->
+  ?deadline:Gps_obs.Deadline.t ->
+  Gps_graph.Digraph.t ->
+  Rpq.t ->
+  (bool array, interrupted) result
+
+val select_frozen_result :
+  ?domains:int ->
+  ?par_threshold:int ->
+  ?deadline:Gps_obs.Deadline.t ->
+  Gps_graph.Digraph.t ->
+  Gps_graph.Csr.t ->
+  Rpq.t ->
+  (bool array, interrupted) result
+
+val select_report_result :
+  ?domains:int ->
+  ?par_threshold:int ->
+  ?deadline:Gps_obs.Deadline.t ->
+  Gps_graph.Digraph.t ->
+  Rpq.t ->
+  (bool array * report, interrupted) result
+
+val select_frozen_report_result :
+  ?domains:int ->
+  ?par_threshold:int ->
+  ?deadline:Gps_obs.Deadline.t ->
+  Gps_graph.Digraph.t ->
+  Gps_graph.Csr.t ->
+  Rpq.t ->
+  (bool array * report, interrupted) result
 
 val report_to_json : report -> Gps_graph.Json.value
 val report_of_json : Gps_graph.Json.value -> (report, string) result

@@ -6,8 +6,8 @@ type request =
   | Load of { name : string; source : load_source }
   | List_graphs
   | Stats of { graph : string }
-  | Query of { graph : string; query : string; explain : bool }
-  | Learn of { graph : string; pos : string list; neg : string list }
+  | Query of { graph : string; query : string; explain : bool; deadline_ms : float option }
+  | Learn of { graph : string; pos : string list; neg : string list; deadline_ms : float option }
   | Session_start of { graph : string; strategy : string; seed : int; budget : int option }
   | Session_show of { session : int }
   | Session_label of { session : int; positive : bool }
@@ -19,7 +19,7 @@ type request =
   | Metrics_prom
   | Status of { timings : bool }
 
-type error = { code : string; message : string }
+type error = { code : string; message : string; data : Json.value option }
 
 type session_view =
   | Ask_label of { node : string; radius : int; size : int; frontier : string list }
@@ -73,6 +73,10 @@ let word w = str (String.concat "." w)
 (* ------------------------------------------------------------------ *)
 (* encoding *)
 
+let deadline_field = function
+  | None -> []
+  | Some ms -> [ ("deadline_ms", Json.Number ms) ]
+
 let encode_request r =
   let op = str (op_name r) in
   let fields =
@@ -87,11 +91,13 @@ let encode_request r =
         [ ("name", str name); src ]
     | List_graphs -> []
     | Stats { graph } -> [ ("graph", str graph) ]
-    | Query { graph; query; explain } ->
+    | Query { graph; query; explain; deadline_ms } ->
         [ ("graph", str graph); ("query", str query) ]
         @ (if explain then [ ("explain", Json.Bool true) ] else [])
-    | Learn { graph; pos; neg } ->
+        @ deadline_field deadline_ms
+    | Learn { graph; pos; neg; deadline_ms } ->
         [ ("graph", str graph); ("pos", strings pos); ("neg", strings neg) ]
+        @ deadline_field deadline_ms
     | Session_start { graph; strategy; seed; budget } ->
         [ ("graph", str graph); ("strategy", str strategy); ("seed", int seed) ]
         @ (match budget with None -> [] | Some b -> [ ("budget", int b) ])
@@ -186,11 +192,12 @@ let encode_response ?id r =
     | Metrics_dump v -> ok_fields "metrics" [ ("metrics", v) ]
     | Prom_dump text -> ok_fields "metrics_prom" [ ("text", str text) ]
     | Status_dump v -> ok_fields "status" [ ("status", v) ]
-    | Err { code; message } ->
-        [
-          ("ok", Json.Bool false);
-          ("error", Json.Object [ ("code", str code); ("message", str message) ]);
-        ]
+    | Err { code; message; data } ->
+        let body =
+          [ ("code", str code); ("message", str message) ]
+          @ match data with None -> [] | Some d -> [ ("data", d) ]
+        in
+        [ ("ok", Json.Bool false); ("error", Json.Object body) ]
   in
   let fields = match id with None -> fields | Some id -> ("id", id) :: fields in
   Json.Object fields
@@ -198,7 +205,8 @@ let encode_response ?id r =
 (* ------------------------------------------------------------------ *)
 (* decoding *)
 
-let bad fmt = Printf.ksprintf (fun message -> Error { code = "bad-request"; message }) fmt
+let bad fmt =
+  Printf.ksprintf (fun message -> Error { code = "bad-request"; message; data = None }) fmt
 
 let ( let* ) = Result.bind
 
@@ -250,6 +258,12 @@ let opt_int_field obj name =
       let* n = as_int name v in
       Ok (Some n)
 
+let opt_ms_field obj name =
+  match opt_field obj name with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Number f) when f > 0.0 && Float.is_finite f -> Ok (Some f)
+  | Some _ -> bad "field %S must be a positive number of milliseconds" name
+
 let session_field obj = int_field obj "session"
 
 let decode_word = function
@@ -291,12 +305,14 @@ let decode_request v =
             | None -> Ok false
             | Some e -> as_bool "explain" e
           in
-          Ok (Query { graph; query; explain })
+          let* deadline_ms = opt_ms_field v "deadline_ms" in
+          Ok (Query { graph; query; explain; deadline_ms })
       | "learn" ->
           let* graph = str_field v "graph" in
           let* pos = list_field v "pos" in
           let* neg = list_field v "neg" in
-          Ok (Learn { graph; pos; neg })
+          let* deadline_ms = opt_ms_field v "deadline_ms" in
+          Ok (Learn { graph; pos; neg; deadline_ms })
       | "session-start" ->
           let* graph = str_field v "graph" in
           let* strategy =
@@ -361,7 +377,7 @@ let decode_request v =
           in
           Ok (Status { timings })
       | other -> bad "unknown op %S" other)
-  | _ -> Error { code = "bad-request"; message = "request must be a JSON object" }
+  | _ -> Error { code = "bad-request"; message = "request must be a JSON object"; data = None }
 
 let decode_view v =
   let* ask = str_field v "ask" in
@@ -414,7 +430,8 @@ let decode_response v =
         let* e = field v "error" in
         let* code = str_field e "code" in
         let* message = str_field e "message" in
-        Ok (Err { code; message })
+        let data = opt_field e "data" in
+        Ok (Err { code; message; data })
       else
         let* kind = str_field v "kind" in
         match kind with
@@ -482,7 +499,7 @@ let decode_response v =
             let* s = field v "status" in
             Ok (Status_dump s)
         | other -> bad "unknown response kind %S" other)
-  | _ -> Error { code = "bad-request"; message = "response must be a JSON object" }
+  | _ -> Error { code = "bad-request"; message = "response must be a JSON object"; data = None }
 
 let request_to_string r = Json.value_to_string (encode_request r)
 let response_to_string ?id r = Json.value_to_string (encode_response ?id r)
@@ -492,3 +509,4 @@ let halt_reason_to_string = function
   | Gps_interactive.Session.No_informative_nodes -> "no-informative-nodes"
   | Gps_interactive.Session.Budget_exhausted -> "budget-exhausted"
   | Gps_interactive.Session.Inconsistent _ -> "inconsistent"
+  | Gps_interactive.Session.Interrupted r -> Gps_obs.Deadline.reason_to_string r

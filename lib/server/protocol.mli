@@ -27,10 +27,12 @@ type request =
   | Load of { name : string; source : load_source }
   | List_graphs
   | Stats of { graph : string }
-  | Query of { graph : string; query : string; explain : bool }
+  | Query of { graph : string; query : string; explain : bool; deadline_ms : float option }
       (** [explain] asks the server for the evaluation's EXPLAIN report
-          (see {!Gps_query.Eval.report}) on the answer *)
-  | Learn of { graph : string; pos : string list; neg : string list }
+          (see {!Gps_query.Eval.report}) on the answer; [deadline_ms]
+          bounds the evaluation (subject to the server's cap — see
+          {!Server.config}) *)
+  | Learn of { graph : string; pos : string list; neg : string list; deadline_ms : float option }
   | Session_start of {
       graph : string;
       strategy : string;
@@ -56,11 +58,15 @@ type request =
           count, cache totals; [timings = false] omits uptime so the
           document is fully deterministic *)
 
-type error = { code : string; message : string }
+type error = { code : string; message : string; data : Gps_graph.Json.value option }
 (** Stable machine-readable [code] (["parse"], ["bad-request"],
     ["unknown-graph"], ["unknown-session"], ["bad-query"], ["bad-state"],
-    ["bad-path"], ["inconsistent"], ["io"], ["internal"]) plus a human
-    message. *)
+    ["bad-path"], ["inconsistent"], ["timeout"], ["cancelled"],
+    ["overloaded"], ["frame-too-large"], ["unavailable"], ["io"],
+    ["internal"]) plus a human message. [data] optionally attaches
+    structured context — a ["timeout"]/["cancelled"] error on a query
+    carries the {e partial} EXPLAIN report of the work done before the
+    deadline fired. *)
 
 (** What an interactive session asks next — the server-side image of
     {!Gps_interactive.Session.request}. *)
@@ -118,4 +124,4 @@ val response_to_string : ?id:Gps_graph.Json.value -> response -> string
 
 val halt_reason_to_string : Gps_interactive.Session.halt_reason -> string
 (** ["satisfied"], ["no-informative-nodes"], ["budget-exhausted"],
-    ["inconsistent"]. *)
+    ["inconsistent"], ["timed-out"], ["cancelled"]. *)

@@ -6,26 +6,46 @@ module Clock = Gps_obs.Clock
 module Counter = Gps_obs.Counter
 module Gauge = Gps_obs.Gauge
 module Trace = Gps_obs.Trace
+module Deadline = Gps_obs.Deadline
+module Fault = Gps_obs.Fault
 
 let c_dispatches = Counter.make "server.dispatches"
 let c_errors = Counter.make "server.dispatch_errors"
 let c_slow = Counter.make "server.slow_queries"
+let c_timeouts = Counter.make "server.timeouts"
+let c_sheds = Counter.make "server.sheds"
+let c_disconnects = Counter.make "server.client_disconnects"
+let c_frame_rejects = Counter.make "server.frame_rejections"
+let c_cache_drops = Counter.make "server.cache_insert_drops"
 let g_sessions = Gauge.make "server.sessions_active"
 let g_cache = Gauge.make "server.qcache_size"
+let g_inflight = Gauge.make "server.inflight"
 
 type config = {
   cache_capacity : int;
   sessions : Sessions.config;
   clock : unit -> float;
   slow_ms : float option;
+  deadline_ms : float option;
+  deadline_cap_ms : float option;
+  max_inflight : int;
+  max_frame_bytes : int;
+  io_timeout_s : float option;
 }
 
 let default_config =
   {
     cache_capacity = 256;
     sessions = Sessions.default_config;
-    clock = Unix.gettimeofday;
+    (* monotonic by default: a stepped wall clock must not mass-expire
+       or immortalize sessions. Still injectable for tests. *)
+    clock = (fun () -> Clock.ns_to_s (Clock.now_ns ()));
     slow_ms = None;
+    deadline_ms = None;
+    deadline_cap_ms = None;
+    max_inflight = 0;
+    max_frame_bytes = 8 * 1024 * 1024;
+    io_timeout_s = None;
   }
 
 type t = {
@@ -34,6 +54,13 @@ type t = {
   sessions : Sessions.t;
   metrics : Metrics.t;
   slow_ms : float option;
+  deadline_ms : float option;
+  deadline_cap_ms : float option;
+  max_inflight : int;
+  max_frame_bytes : int;
+  io_timeout_s : float option;
+  inflight : int Atomic.t;
+  drain : Deadline.t;  (* server-wide cancel token, fired by begin_drain *)
   started_ns : int64;  (* monotonic — uptime can't jump with the wall clock *)
 }
 
@@ -44,17 +71,53 @@ let create ?(config = default_config) () =
     sessions = Sessions.create ~config:config.sessions ~clock:config.clock ();
     metrics = Metrics.create ();
     slow_ms = config.slow_ms;
+    deadline_ms = config.deadline_ms;
+    deadline_cap_ms = config.deadline_cap_ms;
+    max_inflight = config.max_inflight;
+    max_frame_bytes = max 1024 config.max_frame_bytes;
+    io_timeout_s = config.io_timeout_s;
+    inflight = Atomic.make 0;
+    drain = Deadline.token ();
     started_ns = Clock.now_ns ();
   }
+
+let begin_drain t = Deadline.cancel t.drain
+let draining t = Deadline.cancelled t.drain
+let inflight t = Atomic.get t.inflight
 
 (* ------------------------------------------------------------------ *)
 (* dispatch plumbing: every failure is a structured error *)
 
 exception Fail of P.error
 
-let fail code fmt = Printf.ksprintf (fun message -> raise (Fail { P.code; message })) fmt
+let fail code fmt =
+  Printf.ksprintf (fun message -> raise (Fail { P.code; message; data = None })) fmt
+
+(* Translate an injected fault into the typed degraded answer the real
+   failure would produce. *)
+let fault_site site =
+  try Fault.trip site
+  with Fault.Injected _ -> fail "unavailable" "injected fault at %s" site
+
+(* The effective deadline of one request: the client's wire value capped
+   by the server, falling back to the server default, always combined
+   with the drain token so begin_drain cancels in-flight work. *)
+let request_deadline t requested_ms =
+  let cap v = match t.deadline_cap_ms with Some c -> Float.min v c | None -> v in
+  let ms =
+    match requested_ms with
+    | Some ms -> Some (cap ms)
+    | None -> Option.map cap t.deadline_ms
+  in
+  let d = match ms with Some ms -> Deadline.after_ms ms | None -> Deadline.none in
+  Deadline.combine d t.drain
+
+let interrupt_code = function
+  | Deadline.Timed_out -> "timeout"
+  | Deadline.Cancelled -> "cancelled"
 
 let graph_entry t name =
+  fault_site "catalog.lookup";
   match Catalog.find t.catalog name with
   | Some e -> e
   | None -> fail "unknown-graph" "no graph named %S (use \"load\" first)" name
@@ -78,7 +141,7 @@ let normalize (entry : Catalog.entry) q =
 (* With [explain], a miss carries the evaluation's full report (plus the
    cache verdict); a hit runs no evaluation, so its report is just the
    verdict — re-narrating a cached answer would be fiction. *)
-let evaluate_cached t (entry : Catalog.entry) ?(explain = false) q =
+let evaluate_cached t (entry : Catalog.entry) ?(explain = false) ?(deadline = Deadline.none) q =
   (* an armed slow-query log wants the report for every evaluation, so
      it can be emitted for offending requests the client never asked to
      explain; the kernel collects the stats either way *)
@@ -95,21 +158,49 @@ let evaluate_cached t (entry : Catalog.entry) ?(explain = false) q =
   | None ->
       Trace.set_current_attr "cache" (Trace.String "miss");
       let sel, report =
-        if want_report then
-          let sel, r = Gps_query.Eval.select_frozen_report entry.graph entry.csr q in
-          let fields =
-            match Gps_query.Eval.report_to_json r with
-            | Json.Object fields -> fields
-            | other -> [ ("report", other) ]
-          in
-          (sel, Some (Json.Object (("cache", Json.String "miss") :: fields)))
+        if want_report || not (Deadline.is_none deadline) then
+          match
+            Gps_query.Eval.select_frozen_report_result ~deadline entry.graph entry.csr q
+          with
+          | Ok (sel, r) ->
+              let report =
+                if want_report then
+                  let fields =
+                    match Gps_query.Eval.report_to_json r with
+                    | Json.Object fields -> fields
+                    | other -> [ ("report", other) ]
+                  in
+                  Some (Json.Object (("cache", Json.String "miss") :: fields))
+                else None
+              in
+              (sel, report)
+          | Error { Gps_query.Eval.reason; partial } ->
+              (* typed early-stop: the error carries the partial EXPLAIN
+                 report so the client sees how far the search got *)
+              Counter.incr c_timeouts;
+              raise
+                (Fail
+                   {
+                     P.code = interrupt_code reason;
+                     message =
+                       Printf.sprintf "query evaluation %s after %d frontier visits"
+                         (Deadline.reason_to_string reason)
+                         partial.Gps_query.Eval.frontier_visits;
+                     data = Some (Gps_query.Eval.report_to_json partial);
+                   })
         else (Gps_query.Eval.select_frozen entry.graph entry.csr q, None)
       in
       let selected =
         Digraph.fold_nodes (fun acc v -> if sel.(v) then v :: acc else acc) [] entry.graph
       in
       let nodes = node_names entry.graph selected in
-      Qcache.add t.cache key nodes;
+      (try
+         Fault.trip "qcache.insert";
+         Qcache.add t.cache key nodes
+       with Fault.Injected _ ->
+         (* degrade gracefully: the answer is correct, it just is not
+            cached *)
+         Counter.incr c_cache_drops);
       (normalized, nodes, `Miss, report)
 
 (* ------------------------------------------------------------------ *)
@@ -184,6 +275,7 @@ let session_response t entry = P.Session { session = entry.Sessions.id; view = v
 
 (* Run [step] on the session under its per-session lock. *)
 let on_session t id step =
+  fault_site "session.step";
   match Sessions.with_entry t.sessions id (fun e -> step e) with
   | Some r -> r
   | None -> fail "unknown-session" "no session %d (expired, stopped or never started)" id
@@ -209,18 +301,22 @@ let do_load t name source =
       version = entry.Catalog.version;
     }
 
-let do_learn t graph pos neg =
+let do_learn t graph pos neg deadline_ms =
   let entry = graph_entry t graph in
   let g = entry.Catalog.graph in
+  let deadline = request_deadline t deadline_ms in
   let sample =
     match Gps_learning.Sample.of_names g ~pos ~neg with
     | s -> s
     | exception Invalid_argument msg -> fail "bad-request" "%s" msg
   in
-  match Gps_learning.Learner.learn g sample with
+  match Gps_learning.Learner.learn ~deadline g sample with
   | Gps_learning.Learner.Learned q ->
-      let query, selects, _, _ = evaluate_cached t entry q in
+      let query, selects, _, _ = evaluate_cached t entry ~deadline q in
       P.Learned { query; selects }
+  | Gps_learning.Learner.Failed (Gps_learning.Learner.Interrupted r) ->
+      Counter.incr c_timeouts;
+      fail (interrupt_code r) "learning %s before converging" (Deadline.reason_to_string r)
   | Gps_learning.Learner.Failed f ->
       fail "inconsistent" "%s" (Format.asprintf "%a" (Gps_learning.Learner.pp_failure g) f)
 
@@ -237,10 +333,12 @@ let do_session_start t graph strategy seed budget =
   session_response t e
 
 let do_session_label t id positive =
+  let deadline = request_deadline t None in
   on_session t id (fun e ->
       match S.request e.Sessions.state with
       | S.Ask_label _ ->
-          e.Sessions.state <- S.answer_label e.Sessions.state (if positive then `Pos else `Neg);
+          e.Sessions.state <-
+            S.answer_label ~deadline e.Sessions.state (if positive then `Pos else `Neg);
           session_response t e
       | _ -> fail "bad-state" "session %d is not awaiting a label" id)
 
@@ -253,6 +351,7 @@ let do_session_zoom t id =
       | _ -> fail "bad-state" "session %d is not awaiting a label (nothing to zoom)" id)
 
 let do_session_validate t id path =
+  let deadline = request_deadline t None in
   on_session t id (fun e ->
       match S.request e.Sessions.state with
       | S.Ask_path tree ->
@@ -263,7 +362,7 @@ let do_session_validate t id path =
                 if List.mem w tree.Gps_interactive.View.words then w
                 else fail "bad-path" "%S is not a candidate path" (String.concat "." w)
           in
-          e.Sessions.state <- S.answer_path e.Sessions.state word;
+          e.Sessions.state <- S.answer_path ~deadline e.Sessions.state word;
           session_response t e
       | _ -> fail "bad-state" "session %d is not awaiting path validation" id)
 
@@ -300,11 +399,12 @@ let log_slow ~graph ~query ~cache ~ms ~nodes ~report =
            ]
           @ explain)))
 
-let do_query t graph query explain =
+let do_query t graph query explain deadline_ms =
   let e = graph_entry t graph in
   let q = parse_rpq query in
+  let deadline = request_deadline t deadline_ms in
   let t0 = Clock.now_ns () in
-  let query, nodes, cache, report = evaluate_cached t e ~explain q in
+  let query, nodes, cache, report = evaluate_cached t e ~explain ~deadline q in
   (match t.slow_ms with
   | Some threshold ->
       let ms = Clock.ns_to_s (Clock.elapsed_ns t0) *. 1e3 in
@@ -395,6 +495,7 @@ let status_json t ~timings =
               ("invalidations", int c.Qcache.invalidations);
             ] );
         ("trace_enabled", Json.Bool (Trace.enabled ()));
+        ("draining", Json.Bool (draining t));
       ])
 
 (* ------------------------------------------------------------------ *)
@@ -421,8 +522,9 @@ let handle t req =
             labels = List.sort compare (Digraph.labels g);
             version = e.Catalog.version;
           }
-    | P.Query { graph; query; explain } -> do_query t graph query explain
-    | P.Learn { graph; pos; neg } -> do_learn t graph pos neg
+    | P.Query { graph; query; explain; deadline_ms } ->
+        do_query t graph query explain deadline_ms
+    | P.Learn { graph; pos; neg; deadline_ms } -> do_learn t graph pos neg deadline_ms
     | P.Session_start { graph; strategy; seed; budget } ->
         do_session_start t graph strategy seed budget
     | P.Session_show { session } -> on_session t session (fun e -> session_response t e)
@@ -442,8 +544,8 @@ let handle t req =
     | P.Status { timings } -> P.Status_dump (status_json t ~timings)
   with
   | Fail e -> P.Err e
-  | Stack_overflow -> P.Err { code = "internal"; message = "stack overflow" }
-  | exn -> P.Err { code = "internal"; message = Printexc.to_string exn }
+  | Stack_overflow -> P.Err { code = "internal"; message = "stack overflow"; data = None }
+  | exn -> P.Err { code = "internal"; message = Printexc.to_string exn; data = None }
 
 let is_error = function P.Err _ -> true | _ -> false
 
@@ -454,46 +556,132 @@ let record t ~endpoint ~ok ~started_ns =
   if not ok then Counter.incr c_errors;
   Metrics.record t.metrics ~endpoint ~ok ~seconds:(Clock.ns_to_s (Clock.elapsed_ns started_ns))
 
+(* Admission control: bump the in-flight count; refuse when the bounded
+   budget (if any) is full. The shed path never decodes the request body
+   — an overloaded server answers in O(1). *)
+let admit t =
+  let n = 1 + Atomic.fetch_and_add t.inflight 1 in
+  Gauge.set_int g_inflight n;
+  if t.max_inflight > 0 && n > t.max_inflight then begin
+    ignore (Atomic.fetch_and_add t.inflight (-1));
+    false
+  end
+  else true
+
+let release t = Gauge.set_int g_inflight (Atomic.fetch_and_add t.inflight (-1) - 1)
+
 let handle_value t v =
   Trace.with_span "server.dispatch" @@ fun sp ->
   let started_ns = Clock.now_ns () in
   let id = match v with Json.Object fields -> List.assoc_opt "id" fields | _ -> None in
-  let endpoint, resp =
-    match P.decode_request v with
-    | Error e -> ("invalid", P.Err e)
-    | Ok req -> (P.op_name req, handle t req)
-  in
-  let ok = not (is_error resp) in
-  Trace.set_str sp "endpoint" endpoint;
-  Trace.set_bool sp "ok" ok;
-  record t ~endpoint ~ok ~started_ns;
-  P.encode_response ?id resp
+  if not (admit t) then begin
+    Counter.incr c_sheds;
+    Trace.set_str sp "endpoint" "overloaded";
+    Trace.set_bool sp "ok" false;
+    record t ~endpoint:"overloaded" ~ok:false ~started_ns;
+    P.encode_response ?id
+      (P.Err
+         {
+           code = "overloaded";
+           message =
+             Printf.sprintf "server at capacity (%d requests in flight)" t.max_inflight;
+           data = None;
+         })
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> release t)
+      (fun () ->
+        let endpoint, resp =
+          match P.decode_request v with
+          | Error e -> ("invalid", P.Err e)
+          | Ok req -> (P.op_name req, handle t req)
+        in
+        let ok = not (is_error resp) in
+        Trace.set_str sp "endpoint" endpoint;
+        Trace.set_bool sp "ok" ok;
+        record t ~endpoint ~ok ~started_ns;
+        P.encode_response ?id resp)
 
 let handle_line t line =
   match Json.value_of_string line with
   | v -> Json.value_to_string (handle_value t v)
   | exception Json.Parse_error (pos, msg) ->
       record t ~endpoint:"invalid" ~ok:false ~started_ns:(Clock.now_ns ());
-      P.response_to_string (P.Err { code = "parse"; message = Printf.sprintf "at %d: %s" pos msg })
+      P.response_to_string
+        (P.Err { code = "parse"; message = Printf.sprintf "at %d: %s" pos msg; data = None })
   | exception exn ->
       record t ~endpoint:"invalid" ~ok:false ~started_ns:(Clock.now_ns ());
-      P.response_to_string (P.Err { code = "parse"; message = Printexc.to_string exn })
+      P.response_to_string (P.Err { code = "parse"; message = Printexc.to_string exn; data = None })
 
 let blank line = String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) line
 
-let serve_channels t ic oc =
-  let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | line ->
-        if not (blank line) then begin
-          output_string oc (handle_line t line);
-          output_char oc '\n';
-          flush oc
-        end;
-        loop ()
+(* Ignore SIGPIPE exactly once, lazily, before the first byte is served:
+   a peer closing mid-response must surface as an EPIPE write error (a
+   counted connection close), never kill the process. *)
+let sigpipe_ignored =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+(* Read one newline-terminated frame without ever buffering more than
+   [max_bytes] — the slowloris/oversized-payload guard. [`Too_large]
+   leaves the rest of the line unread; the caller answers once and
+   closes rather than resynchronizing inside a frame of unknown size. *)
+let read_frame ic ~max_bytes =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file -> if Buffer.length buf = 0 then `Eof else `Frame (Buffer.contents buf)
+    | '\n' -> `Frame (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf >= max_bytes then `Too_large
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
   in
-  loop ()
+  go ()
+
+let log_disconnect reason =
+  Counter.incr c_disconnects;
+  prerr_endline
+    (Json.value_to_string
+       (Json.Object [ ("disconnect", Json.Bool true); ("reason", Json.String reason) ]))
+
+let serve_channels t ic oc =
+  Lazy.force sigpipe_ignored;
+  let write line =
+    Fault.trip "sock.write";
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match read_frame ic ~max_bytes:t.max_frame_bytes with
+    | `Eof -> ()
+    | `Too_large ->
+        Counter.incr c_frame_rejects;
+        write
+          (P.response_to_string
+             (P.Err
+                {
+                  code = "frame-too-large";
+                  message =
+                    Printf.sprintf "request frame exceeds %d bytes" t.max_frame_bytes;
+                  data = None;
+                }))
+        (* and close: the remainder of the oversized frame is unread *)
+    | `Frame line ->
+        if blank line then loop ()
+        else begin
+          write (handle_line t line);
+          loop ()
+        end
+  in
+  try loop () with
+  | Fault.Injected site -> log_disconnect ("injected fault at " ^ site)
+  | Sys_error msg -> log_disconnect msg
 
 (* ------------------------------------------------------------------ *)
 (* TCP: one thread per connection *)
@@ -503,9 +691,13 @@ type tcp_server = {
   port : int;
   mutable running : bool;
   mutable acceptor : Thread.t option;
+  conns : int Atomic.t;  (* live connections (accepted, not yet closed) *)
+  conn_fds : (Unix.file_descr, unit) Hashtbl.t;
+  conn_lock : Mutex.t;
 }
 
 let start_tcp t ?(host = "127.0.0.1") ~port () =
+  Lazy.force sigpipe_ignored;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
@@ -513,17 +705,47 @@ let start_tcp t ?(host = "127.0.0.1") ~port () =
   let port =
     match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  let server = { sock; port; running = true; acceptor = None } in
+  let server =
+    {
+      sock;
+      port;
+      running = true;
+      acceptor = None;
+      conns = Atomic.make 0;
+      conn_fds = Hashtbl.create 16;
+      conn_lock = Mutex.create ();
+    }
+  in
+  let forget fd =
+    Mutex.lock server.conn_lock;
+    Hashtbl.remove server.conn_fds fd;
+    Mutex.unlock server.conn_lock;
+    ignore (Atomic.fetch_and_add server.conns (-1))
+  in
   let connection fd () =
+    (* per-connection read/write timeouts: a peer that stops draining or
+       feeding us cannot hold the thread forever *)
+    (match t.io_timeout_s with
+    | Some sec -> (
+        try
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO sec;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO sec
+        with Unix.Unix_error _ | Invalid_argument _ -> ())
+    | None -> ());
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
     (try serve_channels t ic oc with _ -> ());
-    try close_out oc (* flushes and closes fd *) with _ -> ()
+    (try close_out oc (* flushes and closes fd *) with _ -> ());
+    forget fd
   in
   let rec accept_loop () =
     if server.running then
       match Unix.accept sock with
       | fd, _ ->
+          Mutex.lock server.conn_lock;
+          Hashtbl.replace server.conn_fds fd ();
+          Mutex.unlock server.conn_lock;
+          ignore (Atomic.fetch_and_add server.conns 1);
           ignore (Thread.create (connection fd) ());
           accept_loop ()
       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
@@ -534,11 +756,46 @@ let start_tcp t ?(host = "127.0.0.1") ~port () =
   server
 
 let tcp_port s = s.port
+let live_connections s = Atomic.get s.conns
 
 let wait_tcp s = match s.acceptor with Some th -> Thread.join th | None -> ()
 
-let stop_tcp s =
+(* Stop accepting without touching established connections — the first
+   half of both [stop_tcp] and a graceful drain, also what a signal
+   handler may safely call. *)
+let request_stop s =
   s.running <- false;
   (try Unix.shutdown s.sock Unix.SHUTDOWN_ALL with _ -> ());
-  (try Unix.close s.sock with _ -> ());
+  try Unix.close s.sock with _ -> ()
+
+let stop_tcp s =
+  request_stop s;
   wait_tcp s
+
+let each_conn s f =
+  Mutex.lock s.conn_lock;
+  let fds = Hashtbl.fold (fun fd () acc -> fd :: acc) s.conn_fds [] in
+  Mutex.unlock s.conn_lock;
+  List.iter (fun fd -> try f fd with Unix.Unix_error _ | Invalid_argument _ -> ()) fds
+
+let drain_tcp t s ?(grace_s = 5.0) () =
+  (* 1. no new connections *)
+  request_stop s;
+  wait_tcp s;
+  (* 2. cancel in-flight work: every request deadline embeds the drain
+     token, so running evaluations unwind with a typed "cancelled" *)
+  begin_drain t;
+  (* 3. half-close the read side of every live connection: pending
+     responses still flush, but no further request can arrive and idle
+     keep-alive readers see EOF *)
+  each_conn s (fun fd -> Unix.shutdown fd Unix.SHUTDOWN_RECEIVE);
+  (* 4. wait for connection threads to finish, up to the grace period *)
+  let t0 = Clock.now_ns () in
+  while Atomic.get s.conns > 0 && Clock.ns_to_s (Clock.elapsed_ns t0) < grace_s do
+    Thread.yield ();
+    Thread.delay 0.01
+  done;
+  (* 5. force-close stragglers *)
+  let stragglers = Atomic.get s.conns in
+  if stragglers > 0 then each_conn s (fun fd -> Unix.shutdown fd Unix.SHUTDOWN_ALL);
+  stragglers

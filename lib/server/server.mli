@@ -20,28 +20,66 @@ type config = {
   cache_capacity : int;            (** {!Qcache} capacity; 0 disables *)
   sessions : Sessions.config;
   clock : unit -> float;
-      (** wall clock for session idle-TTL, injected for deterministic
-          tests. Latency measurement does {e not} use it — endpoint
-          histograms and spans share {!Gps_obs.Clock}'s monotonic
-          source. *)
+      (** clock (in seconds) for session idle-TTL, injected for
+          deterministic tests; defaults to the shared {!Gps_obs.Clock}
+          monotonic source so a stepped wall clock cannot mass-expire or
+          immortalize sessions. Latency measurement also shares
+          {!Gps_obs.Clock}. *)
   slow_ms : float option;
       (** queries at or over this many milliseconds are logged to stderr
           as one JSON line each — including the EXPLAIN report of the
           offending evaluation, whether or not the client asked for it —
           and counted under ["server.slow_queries"]; [None] disables the
           log *)
+  deadline_ms : float option;
+      (** default per-request deadline applied when the client sends
+          none; a typed ["timeout"] error (with the partial EXPLAIN
+          report as [data]) replaces the answer when it fires. [None]:
+          unbounded unless the request asks. *)
+  deadline_cap_ms : float option;
+      (** server-side ceiling on client-requested [deadline_ms] (and on
+          the default) — a client cannot buy more time than the operator
+          allows *)
+  max_inflight : int;
+      (** admission-control budget: requests beyond this many
+          concurrently dispatching ones are refused with a fast typed
+          ["overloaded"] error (counted under ["server.sheds"]).
+          [0] = unbounded. *)
+  max_frame_bytes : int;
+      (** per-request wire frame cap for both transports; an oversized
+          frame draws ["frame-too-large"] and closes the connection
+          (counted under ["server.frame_rejections"]) *)
+  io_timeout_s : float option;
+      (** per-connection socket read/write timeout (TCP transport): a
+          peer that stops feeding or draining us cannot hold its thread
+          forever *)
 }
 
 val default_config : config
-(** Cache capacity 256, {!Sessions.default_config}, [Unix.gettimeofday],
-    no slow-query log. *)
+(** Cache capacity 256, {!Sessions.default_config}, monotonic clock, no
+    slow-query log, no deadline or cap, unbounded in-flight, 8 MiB
+    frames, no socket timeout. *)
 
 type t
 
 val create : ?config:config -> unit -> t
 
 val handle : t -> Protocol.request -> Protocol.response
-(** Never raises. *)
+(** Never raises. The request's effective deadline is its wire
+    [deadline_ms] capped by [deadline_cap_ms] (falling back to the
+    server default), combined with the drain token. *)
+
+val begin_drain : t -> unit
+(** Fire the server-wide cancel token: every in-flight request's
+    deadline observes it, so running evaluations unwind with a typed
+    ["cancelled"] error. New requests still dispatch (they fail fast the
+    same way if they evaluate anything) — stop the transports to refuse
+    them. Idempotent. *)
+
+val draining : t -> bool
+
+val inflight : t -> int
+(** Requests currently inside {!handle_value}. *)
 
 val handle_value : t -> Gps_graph.Json.value -> Gps_graph.Json.value
 (** Decode, dispatch, encode; echoes any ["id"] field of the request and
@@ -53,7 +91,11 @@ val handle_line : t -> string -> string
 
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Serve newline-delimited JSON until EOF. Whitespace-only lines are
-    skipped; every response is flushed. *)
+    skipped; every response is flushed. Frames over
+    [config.max_frame_bytes] draw one ["frame-too-large"] error and end
+    the loop; write failures (peer gone, injected ["sock.write"] fault)
+    end it quietly with a counted, logged disconnect. SIGPIPE is ignored
+    process-wide on first use. *)
 
 (** {1 TCP} *)
 
@@ -71,6 +113,19 @@ val stop_tcp : tcp_server -> unit
 (** Stop accepting and join the accept loop. Established connections
     finish on their own threads. *)
 
+val request_stop : tcp_server -> unit
+(** Stop accepting without joining the accept loop — safe to call from a
+    signal handler; follow with {!wait_tcp} (or {!drain_tcp}). *)
+
 val wait_tcp : tcp_server -> unit
 (** Block until the accept loop exits — the [gps serve --port] main
     loop. *)
+
+val live_connections : tcp_server -> int
+
+val drain_tcp : t -> tcp_server -> ?grace_s:float -> unit -> int
+(** Graceful shutdown: stop accepting, {!begin_drain} (cancelling
+    in-flight evaluations), half-close every live connection's read side
+    so pending responses still flush, wait up to [grace_s] (default 5s)
+    for connection threads to finish, then force-close stragglers.
+    Returns how many connections had to be force-closed. *)

@@ -30,7 +30,12 @@ type t = {
   mutable evicted : int;
 }
 
-let create ?(config = default_config) ?(clock = Unix.gettimeofday) () =
+(* Monotonic by default: idle-TTL bookkeeping must not observe wall-clock
+   steps (mass expiry on a forward jump, immortal sessions on a backward
+   one). Tests inject a fake clock through [?clock]. *)
+let default_clock () = Gps_obs.Clock.ns_to_s (Gps_obs.Clock.now_ns ())
+
+let create ?(config = default_config) ?(clock = default_clock) () =
   {
     tbl = Hashtbl.create 16;
     lock = Mutex.create ();

@@ -43,7 +43,8 @@ type counters = {
 type t
 
 val create : ?config:config -> ?clock:(unit -> float) -> unit -> t
-(** [clock] defaults to [Unix.gettimeofday]. *)
+(** [clock] (seconds) defaults to the shared {!Gps_obs.Clock} monotonic
+    source; inject a fake one for deterministic TTL tests. *)
 
 val start : t -> Catalog.entry -> Gps_interactive.Session.t -> entry
 (** Allocate an id for a fresh session. *)

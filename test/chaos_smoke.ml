@@ -1,0 +1,117 @@
+(* chaos_smoke — drive the dispatch core and the stdio transport under a
+   GPS_FAULT schedule and assert the service degrades into typed errors
+   instead of crashing or wedging.
+
+   Run with e.g.
+     GPS_FAULT="catalog.lookup:p0.15@7,qcache.insert:n3" ./chaos_smoke.exe
+   An empty/unset GPS_FAULT is the control run: the same script must
+   then produce no error responses at all. *)
+
+module Json = Gps_graph.Json
+module P = Gps_server.Protocol
+module Srv = Gps_server.Server
+module Fault = Gps_obs.Fault
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("chaos_smoke: " ^ m); exit 1) fmt
+
+(* one round of mixed traffic, as wire lines; session ids are allocated
+   1, 2, … per server, so round [k] starts and drives session [k] *)
+let script round =
+  [
+    {|{"op":"load","name":"fig","builtin":"figure1"}|};
+    {|{"op":"query","graph":"fig","query":"(tram+bus)*.cinema"}|};
+    {|{"op":"query","graph":"fig","query":"bus","deadline_ms":5000}|};
+    {|{"op":"stats","graph":"fig"}|};
+    {|{"op":"learn","graph":"fig","pos":["N2","N6"],"neg":["N5"]}|};
+    {|{"op":"session-start","graph":"fig","strategy":"smart","seed":1,"budget":10}|};
+    Printf.sprintf {|{"op":"session-show","session":%d}|} round;
+    Printf.sprintf {|{"op":"session-stop","session":%d}|} round;
+    {|{"op":"status"}|};
+    {|not json at all|};
+    {|{"op":"metrics","timings":false}|};
+  ]
+
+let script_len = List.length (script 1)
+
+let is_error_line line =
+  match Json.value_of_string line with
+  | exception Json.Parse_error _ -> die "response is not JSON: %s" line
+  | Json.Object fields -> (
+      match List.assoc_opt "ok" fields with
+      | Some (Json.Bool ok) -> not ok
+      | _ -> die "response has no \"ok\" field: %s" line)
+  | _ -> die "response is not an object: %s" line
+
+let () =
+  Fault.init_from_env ();
+  let rounds = 50 in
+  let t = Srv.create () in
+  (* direct dispatch: every request must draw a typed one-line response,
+     no matter what the fault schedule injects *)
+  let errors = ref 0 and total = ref 0 in
+  for round = 1 to rounds do
+    List.iter
+      (fun line ->
+        incr total;
+        if is_error_line (Srv.handle_line t line) then incr errors)
+      (script round)
+  done;
+  (* the stdio transport: sock.write faults close the stream early; that
+     must be a quiet, counted disconnect, never an exception *)
+  let t2 = Srv.create () in
+  let req_r, req_w = Unix.pipe () and resp_r, resp_w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr req_r and oc = Unix.out_channel_of_descr resp_w in
+  let server =
+    Thread.create
+      (fun () ->
+        (try Srv.serve_channels t2 ic oc with _ -> ());
+        (* signal EOF to the response reader, like the TCP wrapper does *)
+        try close_out oc with Sys_error _ -> ())
+      ()
+  in
+  (* feed requests from a separate thread while this one drains the
+     responses — writing everything first would deadlock both pipes once
+     their buffers fill *)
+  let writer =
+    Thread.create
+      (fun () ->
+        let wr = Unix.out_channel_of_descr req_w in
+        (try
+           for round = 1 to rounds do
+             List.iter (fun line -> output_string wr (line ^ "\n")) (script round)
+           done
+         with Sys_error _ -> () (* server closed early under sock.write faults *));
+        try close_out wr with Sys_error _ -> ())
+      ()
+  in
+  let rd = Unix.in_channel_of_descr resp_r in
+  let transported = ref 0 in
+  (try
+     while true do
+       ignore (is_error_line (input_line rd));
+       incr transported
+     done
+   with End_of_file -> ());
+  Thread.join server;
+  (* a sock.write fault may have stopped the server mid-stream; closing
+     the request pipe unblocks the writer with EPIPE *)
+  (try close_in ic with _ -> ());
+  Thread.join writer;
+  close_in rd;
+  if Fault.active () then begin
+    (* under the control run (no faults) the script's only failures are
+       the deliberate garbage line; under faults we only require typed
+       degradation, which the per-line checks already enforced *)
+    Printf.printf "chaos: %d/%d dispatch errors, %d transported lines\n" !errors !total
+      !transported;
+    List.iter (fun (site, n) -> Printf.printf "chaos: %s injected %d\n" site n) (Fault.sites ())
+  end
+  else begin
+    let expected_errors = rounds (* one garbage line per round *) in
+    if !errors <> expected_errors then
+      die "control run: expected %d errors (garbage lines), got %d" expected_errors !errors;
+    if !transported <> rounds * script_len then
+      die "control run: expected %d transported lines, got %d" (rounds * script_len)
+        !transported;
+    Printf.printf "chaos: control run clean (%d requests)\n" !total
+  end

@@ -1,0 +1,52 @@
+Resilience of the CLI and the service under deadlines, overload and
+shutdown.
+
+A pathological query (14-state automaton against a 60k-node uniform
+graph, 840k product states) under a 20 ms deadline: the evaluation is
+abandoned cooperatively, the partial EXPLAIN report lands on stderr and
+the exit status is the dedicated 3. The visit count at the moment the
+deadline fired is timing-dependent, so it is normalized.
+
+  $ gps generate -k uniform -n 60000 -s 5 -o big.g
+  wrote 60000 nodes, 180000 edges to big.g
+  $ gps query big.g '(a+b+c+d)*.(a+b+c)*.(a+b)*.(b+c+d)*.a' --deadline-ms 20 2>err.txt
+  [3]
+  $ head -n 1 err.txt | sed 's/(visited [0-9]*/(visited N/'
+  gps: query timed-out after 20 ms (visited N product states)
+  $ grep -c 'timed-out' err.txt
+  2
+
+The service applies a default per-request deadline to anything that
+evaluates. A deadline of 100 ns is already expired when the evaluation
+reaches its first cooperative checkpoint, so the answer is a typed
+"timeout" error carrying the (empty) partial report — while requests
+that do not evaluate are untouched.
+
+  $ gps serve --stdio --deadline-ms 0.0001 <<'EOF'
+  > {"op":"load","name":"fig","builtin":"figure1"}
+  > {"op":"query","graph":"fig","query":"(tram+bus)*.cinema"}
+  > EOF
+  {"ok":true,"kind":"loaded","name":"fig","nodes":10,"edges":10,"labels":4,"version":1}
+  {"ok":false,"error":{"code":"timeout","message":"query evaluation timed-out after 0 frontier visits","data":{"automaton_states":4,"graph_nodes":10,"product_states":40,"frontier_visits":0,"early_exit_hits":0,"par_levels":0,"seq_fallbacks":0,"domains_used":1,"par_threshold":1024,"levels":[],"stop":"timed-out","selected":0}}}
+
+An oversized request frame is refused with a typed error before any of
+it is parsed, and the connection is closed — the well-formed request
+behind it is never read. (The cap has a floor of 1024 bytes.)
+
+  $ { printf 'x%.0s' $(seq 2000); printf '\n{"op":"list-graphs"}\n'; } \
+  >   | gps serve --stdio --max-frame-bytes 1024
+  {"ok":false,"error":{"code":"frame-too-large","message":"request frame exceeds 1024 bytes"}}
+
+Graceful shutdown: SIGTERM drains the TCP listener — the process stops
+accepting, waits for live connections (none here), and exits 0. The
+ephemeral port is normalized.
+
+  $ gps serve --port 0 2>serve.err &
+  $ SRV=$!
+  $ for i in $(seq 100); do grep -q serving serve.err 2>/dev/null && break; sleep 0.1; done
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ sed 's/127\.0\.0\.1:[0-9]*/127.0.0.1:PORT/' serve.err
+  gps: serving on 127.0.0.1:PORT
+  gps: SIGTERM received, draining 0 connection(s)
+  gps: drained (0 forced close(s))

@@ -270,7 +270,8 @@ let test_simulation_eager_user_weaker () =
   let q = trace.Simulate.outcome.Session.query in
   (match trace.Simulate.outcome.Session.reason with
   | Session.Inconsistent _ -> Alcotest.fail "eager labeling is still goal-consistent"
-  | Session.Satisfied | Session.No_informative_nodes | Session.Budget_exhausted -> ());
+  | Session.Satisfied | Session.No_informative_nodes | Session.Budget_exhausted
+  | Session.Interrupted _ -> ());
   check "no zooms happened" true (trace.Simulate.counters.Session.zooms = 0);
   check "query consistent with the final sample" true
     (Eval.consistent g q ~pos:[] ~neg:[])

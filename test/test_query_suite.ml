@@ -361,7 +361,8 @@ let qcheck_tests =
         && List.for_all (fun l -> l.Eval.frontier > 0) report.Eval.report_levels
         && (match report.Eval.stop with
            | Eval.Empty_automaton -> report.Eval.report_levels = []
-           | Eval.Saturated | Eval.Frontier_exhausted -> true)
+           | Eval.Saturated | Eval.Frontier_exhausted | Eval.Timed_out | Eval.Cancelled ->
+               true)
         && Eval.report_of_json (Eval.report_to_json report) = Ok report);
   ]
 
@@ -418,7 +419,10 @@ let test_report_stop_reasons () =
     (fun s ->
       check "stop reason string codec" true
         (Eval.stop_reason_of_string (Eval.stop_reason_to_string s) = Ok s))
-    [ Eval.Empty_automaton; Eval.Saturated; Eval.Frontier_exhausted ];
+    [
+      Eval.Empty_automaton; Eval.Saturated; Eval.Frontier_exhausted; Eval.Timed_out;
+      Eval.Cancelled;
+    ];
   check "unknown stop reason rejected" true
     (Result.is_error (Eval.stop_reason_of_string "gave-up"))
 

@@ -22,9 +22,25 @@ let ok_or_fail = function
 (* ------------------------------------------------------------------ *)
 (* helpers over a dispatch core *)
 
-let fresh ?(cache = 256) ?(sessions = Sessions.default_config) ?clock ?slow_ms () =
-  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
-  Srv.create ~config:{ Srv.cache_capacity = cache; Srv.sessions; Srv.clock; Srv.slow_ms } ()
+let fresh ?(cache = 256) ?(sessions = Sessions.default_config) ?clock ?slow_ms ?deadline_ms
+    ?deadline_cap_ms ?(max_inflight = 0) ?max_frame_bytes () =
+  let base = Srv.default_config in
+  let clock = match clock with Some c -> c | None -> base.Srv.clock in
+  Srv.create
+    ~config:
+      {
+        base with
+        Srv.cache_capacity = cache;
+        Srv.sessions;
+        Srv.clock;
+        Srv.slow_ms;
+        Srv.deadline_ms;
+        Srv.deadline_cap_ms;
+        Srv.max_inflight;
+        Srv.max_frame_bytes =
+          (match max_frame_bytes with Some b -> b | None -> base.Srv.max_frame_bytes);
+      }
+    ()
 
 let load_fig1 t = Srv.handle t (P.Load { name = "fig"; source = P.Builtin "figure1" })
 
@@ -51,13 +67,13 @@ let test_load_query_cache () =
       check Alcotest.int "edges" 10 edges;
       check Alcotest.int "version" 1 version
   | r -> Alcotest.failf "expected loaded, got %s" (P.response_to_string r));
-  let q = P.Query { graph = "fig"; query = "(tram+bus)*.cinema"; explain = false } in
+  let q = P.Query { graph = "fig"; query = "(tram+bus)*.cinema"; explain = false; deadline_ms = None } in
   let _, nodes, cache = expect_answer (Srv.handle t q) in
   check (Alcotest.list Alcotest.string) "selected" [ "N1"; "N2"; "N4"; "N6" ] nodes;
   check Alcotest.bool "first is a miss" true (cache = `Miss);
   (* a syntactic variant of the same query must hit the same entry *)
   let norm, nodes', cache' =
-    expect_answer (Srv.handle t (P.Query { graph = "fig"; query = "(bus+tram)*.cinema"; explain = false }))
+    expect_answer (Srv.handle t (P.Query { graph = "fig"; query = "(bus+tram)*.cinema"; explain = false; deadline_ms = None }))
   in
   check (Alcotest.list Alcotest.string) "same answer" nodes nodes';
   check Alcotest.bool "normalized variant hits" true (cache' = `Hit);
@@ -66,7 +82,7 @@ let test_load_query_cache () =
 let test_reload_invalidates () =
   let t = fresh () in
   ignore (load_fig1 t);
-  let q = P.Query { graph = "fig"; query = "bus"; explain = false } in
+  let q = P.Query { graph = "fig"; query = "bus"; explain = false; deadline_ms = None } in
   ignore (Srv.handle t q);
   let _, _, c = expect_answer (Srv.handle t q) in
   check Alcotest.bool "hit before reload" true (c = `Hit);
@@ -80,21 +96,21 @@ let test_errors_are_structured () =
   let t = fresh () in
   expect_err "unknown-graph" (Srv.handle t (P.Stats { graph = "nope" }));
   ignore (load_fig1 t);
-  expect_err "bad-query" (Srv.handle t (P.Query { graph = "fig"; query = "(("; explain = false }));
+  expect_err "bad-query" (Srv.handle t (P.Query { graph = "fig"; query = "(("; explain = false; deadline_ms = None }));
   expect_err "unknown-session" (Srv.handle t (P.Session_show { session = 99 }));
   expect_err "bad-request"
     (Srv.handle t (P.Load { name = "x"; source = P.Builtin "nope" }));
   expect_err "io" (Srv.handle t (P.Load { name = "x"; source = P.Path "/no/such/file" }));
   expect_err "parse" (Srv.handle t (P.Load { name = "x"; source = P.Text "one two" }));
   expect_err "inconsistent"
-    (Srv.handle t (P.Learn { graph = "fig"; pos = [ "C1" ]; neg = [ "N5" ] }));
+    (Srv.handle t (P.Learn { graph = "fig"; pos = [ "C1" ]; neg = [ "N5" ]; deadline_ms = None }));
   expect_err "bad-request"
-    (Srv.handle t (P.Learn { graph = "fig"; pos = [ "Nx" ]; neg = [] }))
+    (Srv.handle t (P.Learn { graph = "fig"; pos = [ "Nx" ]; neg = []; deadline_ms = None }))
 
 let test_learn () =
   let t = fresh () in
   ignore (load_fig1 t);
-  match Srv.handle t (P.Learn { graph = "fig"; pos = [ "N2"; "N6" ]; neg = [ "N5" ] }) with
+  match Srv.handle t (P.Learn { graph = "fig"; pos = [ "N2"; "N6" ]; neg = [ "N5" ]; deadline_ms = None }) with
   | P.Learned { query; selects } ->
       check Alcotest.string "learned" "bus" query;
       check (Alcotest.list Alcotest.string) "selects" [ "N1"; "N2"; "N6" ] selects
@@ -329,7 +345,7 @@ let test_metrics_json () =
 let test_metrics_endpoint_counts () =
   let t = fresh () in
   ignore (load_fig1 t);
-  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }));
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false; deadline_ms = None }));
   ignore (Srv.handle_line t "not json at all");
   let line = Srv.handle_line t "{\"op\":\"metrics\",\"timings\":false}" in
   let doc = Json.value_of_string line in
@@ -388,7 +404,7 @@ let test_query_explain () =
   let t = fresh () in
   ignore (load_fig1 t);
   (* miss: the full evaluation report, cache verdict included *)
-  (match Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = true }) with
+  (match Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = true; deadline_ms = None }) with
   | P.Answer { cache = `Miss; explain = Some report; nodes; _ } ->
       check Alcotest.bool "cache field says miss" true
         (Json.member "cache" report = Some (Json.String "miss"));
@@ -406,13 +422,13 @@ let test_query_explain () =
         (r.Gps_query.Eval.stop <> Gps_query.Eval.Empty_automaton)
   | r -> Alcotest.failf "expected explained answer, got %s" (P.response_to_string r));
   (* hit: no evaluation ran, the report is just the cache verdict *)
-  (match Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = true }) with
+  (match Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = true; deadline_ms = None }) with
   | P.Answer { cache = `Hit; explain = Some (Json.Object [ ("cache", Json.String "hit") ]); _ }
     ->
       ()
   | r -> Alcotest.failf "expected hit verdict, got %s" (P.response_to_string r));
   (* without the flag, no explain field at all *)
-  match Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }) with
+  match Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false; deadline_ms = None }) with
   | P.Answer { explain = None; _ } -> ()
   | r -> Alcotest.failf "expected no explain, got %s" (P.response_to_string r)
 
@@ -472,12 +488,12 @@ let test_slow_query_log () =
   (* threshold 0: every query is slow *)
   let t = fresh ~slow_ms:0. () in
   ignore (load_fig1 t);
-  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }));
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false; deadline_ms = None }));
   check Alcotest.int "slow query counted" (before + 1) (Gps_obs.Counter.value c_slow);
   (* no threshold: nothing logged *)
   let t = fresh () in
   ignore (load_fig1 t);
-  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }));
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false; deadline_ms = None }));
   check Alcotest.int "no threshold, no log" (before + 1) (Gps_obs.Counter.value c_slow)
 
 (* ------------------------------------------------------------------ *)
@@ -486,7 +502,7 @@ let test_slow_query_log () =
 let test_status_endpoint () =
   let t = fresh () in
   ignore (load_fig1 t);
-  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false }));
+  ignore (Srv.handle t (P.Query { graph = "fig"; query = "bus"; explain = false; deadline_ms = None }));
   let line = Srv.handle_line t "{\"op\":\"status\",\"timings\":false}" in
   let doc = Json.value_of_string line in
   let s = Option.get (Json.member "status" doc) in
@@ -589,11 +605,14 @@ let gen_request =
       (let* graph = gen_name in
        let* query = gen_query in
        let* explain = bool in
-       return (P.Query { graph; query; explain }));
+       (* integral floats: survive the JSON text round-trip exactly *)
+       let* deadline_ms = opt (map float_of_int (int_range 1 10_000)) in
+       return (P.Query { graph; query; explain; deadline_ms }));
       (let* graph = gen_name in
        let* pos = list_size (int_bound 3) gen_name in
        let* neg = list_size (int_bound 3) gen_name in
-       return (P.Learn { graph; pos; neg }));
+       let* deadline_ms = opt (map float_of_int (int_range 1 10_000)) in
+       return (P.Learn { graph; pos; neg; deadline_ms }));
       (let* graph = gen_name in
        let* strategy = oneofl [ "smart"; "random"; "degree"; "sequential" ] in
        let* seed = int_bound 100 in
@@ -680,9 +699,12 @@ let gen_response =
       (let* session = gen_session in
        let* questions = int_bound 100 in
        return (P.Stopped { session; questions }));
-      (let* code = oneofl [ "parse"; "bad-request"; "unknown-graph"; "internal" ] in
+      (let* code = oneofl [ "parse"; "bad-request"; "unknown-graph"; "timeout" ] in
        let* message = gen_name in
-       return (P.Err { code; message }));
+       let* data =
+         opt (oneofl [ Json.Object [ ("stop", Json.String "timed-out") ]; Json.Null ])
+       in
+       return (P.Err { code; message; data }));
       map
         (fun lines -> P.Prom_dump (String.concat "\n" lines))
         (list_size (int_bound 4)
