@@ -1,0 +1,121 @@
+(* The standing load trajectory: boot a real `gps serve` TCP endpoint
+   in-process, storm generated mixes against it open-loop, and emit
+   BENCH_load.json — p50/p95/p99, achieved-vs-target RPS and server
+   shed/timeout counts per mix. The paper's interactive loop only
+   matters at scale if the server sustains realistic RPQ traffic; this
+   is the macro-benchmark every scaling PR re-measures.
+
+   GPS_LOAD_SCALE=tiny   CI smoke: one small mix, ~1s of traffic
+   GPS_LOAD_ASSERT=1     exit 1 on any error or an idle storm (smoke gate) *)
+
+module W = Gps.Workload
+module Srv = Gps.Server.Server
+module P = Gps.Server.Protocol
+module Json = Gps.Graph.Json
+module Digraph = Gps.Graph.Digraph
+
+type storm_spec = { mix_name : string; graph : string; rps : float; duration_s : float }
+
+let run () =
+  let tiny = Sys.getenv_opt "GPS_LOAD_SCALE" = Some "tiny" in
+  let graphs =
+    if tiny then [ ("city", (Workloads.city ~districts:20 ~seed:8).Workloads.graph) ]
+    else
+      [
+        ("city", (Workloads.city ~districts:200 ~seed:8).Workloads.graph);
+        ("bio", (Workloads.bio ~nodes:400 ~seed:8).Workloads.graph);
+      ]
+  in
+  let storms =
+    if tiny then [ { mix_name = "smoke"; graph = "city"; rps = 150.0; duration_s = 1.0 } ]
+    else
+      [
+        { mix_name = "smoke"; graph = "city"; rps = 1000.0; duration_s = 3.0 };
+        { mix_name = "heavy-star"; graph = "city"; rps = 2000.0; duration_s = 3.0 };
+        { mix_name = "interactive"; graph = "city"; rps = 1500.0; duration_s = 3.0 };
+        { mix_name = "heavy-star"; graph = "bio"; rps = 2000.0; duration_s = 3.0 };
+      ]
+  in
+  let max_inflight = 128 and deadline_ms = 250.0 in
+  let server =
+    Srv.create
+      ~config:{ Srv.default_config with Srv.max_inflight; Srv.deadline_ms = Some deadline_ms }
+      ()
+  in
+  List.iter
+    (fun (name, g) ->
+      match Srv.handle server (P.Load { name; source = P.Text (Gps.Graph.Codec.to_string g) }) with
+      | P.Err e -> failwith (Printf.sprintf "load %s: %s" name e.P.message)
+      | _ -> ())
+    graphs;
+  let tcp = Srv.start_tcp server ~port:0 () in
+  let port = Srv.tcp_port tcp in
+  let outcomes =
+    List.map
+      (fun s ->
+        let g = List.assoc s.graph graphs in
+        let spec = Option.get (W.Mix.find_spec s.mix_name) in
+        let mix = W.Mix.generate spec ~graph_name:s.graph ~seed:42 g in
+        let config =
+          {
+            W.Storm.host = "127.0.0.1";
+            port;
+            rps = s.rps;
+            duration_s = s.duration_s;
+            connections = (if tiny then 4 else 8);
+            deadline_ms = None;
+          }
+        in
+        Printf.eprintf "storming %s on %s @ %.0f rps for %.1fs...\n%!" s.mix_name s.graph
+          s.rps s.duration_s;
+        match W.Storm.run config mix with
+        | Ok o -> (s, o)
+        | Error msg -> failwith (Printf.sprintf "storm %s: %s" s.mix_name msg))
+      storms
+  in
+  Srv.stop_tcp tcp;
+  let doc =
+    Json.Object
+      [
+        ("experiment", Json.String "load_storm");
+        ("scale", Json.String (if tiny then "tiny" else "default"));
+        ( "server",
+          Json.Object
+            [
+              ("max_inflight", Json.Number (float_of_int max_inflight));
+              ("deadline_ms", Json.Number deadline_ms);
+            ] );
+        ( "graphs",
+          Json.Array
+            (List.map
+               (fun (name, g) ->
+                 Json.Object
+                   [
+                     ("name", Json.String name);
+                     ("nodes", Json.Number (float_of_int (Digraph.n_nodes g)));
+                     ("edges", Json.Number (float_of_int (Digraph.n_edges g)));
+                   ])
+               graphs) );
+        ( "storms",
+          Json.Array
+            (List.map
+               (fun ((s : storm_spec), o) ->
+                 match W.Storm.outcome_to_json o with
+                 | Json.Object fields -> Json.Object (("graph", Json.String s.graph) :: fields)
+                 | other -> other)
+               outcomes) );
+      ]
+  in
+  print_endline (Json.value_to_string ~pretty:true doc);
+  if Sys.getenv_opt "GPS_LOAD_ASSERT" = Some "1" then
+    List.iter
+      (fun ((s : storm_spec), (o : W.Storm.outcome)) ->
+        if o.W.Storm.errors <> [] then begin
+          Printf.eprintf "FAIL: storm %s/%s reported errors\n%!" s.mix_name s.graph;
+          exit 1
+        end;
+        if o.W.Storm.received = 0 then begin
+          Printf.eprintf "FAIL: storm %s/%s received no responses\n%!" s.mix_name s.graph;
+          exit 1
+        end)
+      outcomes

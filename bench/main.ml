@@ -7,7 +7,7 @@
                                          lstar generalize eval minimize csr
                                          sampled incremental bound
                                          suggestion micro server_dispatch
-                                         baseline eval_scale)
+                                         baseline eval_scale load_storm)
    dune exec bench/main.exe -- --list    lists experiment ids
 
    Each experiment regenerates one table/figure of DESIGN.md's experiment
@@ -102,6 +102,7 @@ let experiments =
     ("server_dispatch", Server_bench.run);
     ("baseline", Baseline.run);
     ("eval_scale", Eval_scale.run);
+    ("load_storm", Load_storm.run);
   ]
 
 let () =

@@ -25,24 +25,11 @@ let uniform ~nodes ~seed =
 
 let figure1 () = { name = "figure1"; graph = Gps.Graph.Datasets.figure1 () }
 
-(* Q1-Q7 make sense on city graphs, Q8-Q10 on bio graphs. *)
-let city_queries =
-  [
-    ("Q1", "cinema");
-    ("Q2", "bus.cinema");
-    ("Q3", "(tram+bus)*.cinema");
-    ("Q4", "tram*.restaurant");
-    ("Q5", "bus.bus*");
-    ("Q6", "(bus+tram).(bus+tram).cinema");
-    ("Q7", "metro*.museum");
-  ]
-
-let bio_queries =
-  [
-    ("Q8", "interacts*.treats");
-    ("Q9", "activates.(inhibits+activates)*");
-    ("Q10", "encodes.interacts*.associated");
-  ]
+(* Q1-Q7 make sense on city graphs, Q8-Q10 on bio graphs. The lists
+   live in Gps.Workload.Mix (the fixed "paper" mix), so the micro
+   benches and the load-storm harness replay one query source. *)
+let city_queries = Gps.Workload.Mix.paper_city_queries
+let bio_queries = Gps.Workload.Mix.paper_bio_queries
 
 let q s = Gps.parse_query_exn s
 

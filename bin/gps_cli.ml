@@ -732,6 +732,203 @@ let metrics_cmd =
     Term.(const run $ prom $ connect $ timeout_arg $ retries_arg)
 
 (* ---------------------------------------------------------------- *)
+(* workload: PathForge-style mixes and open-loop load storms *)
+
+let workload_cmd =
+  let module W = Gps.Workload in
+  let parse_hostport addr =
+    match String.rindex_opt addr ':' with
+    | Some i -> (
+        let h = String.sub addr 0 i in
+        let p = String.sub addr (i + 1) (String.length addr - i - 1) in
+        match int_of_string_opt p with
+        | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+        | None -> or_die (Error (Printf.sprintf "bad port in %S" addr)))
+    | None -> or_die (Error (Printf.sprintf "expected HOST:PORT, got %S" addr))
+  in
+  let mix_names () = String.concat ", " (List.map (fun s -> s.W.Mix.name) W.Mix.specs) in
+  let find_spec name =
+    match W.Mix.find_spec name with
+    | Some s -> s
+    | None ->
+        or_die (Error (Printf.sprintf "unknown mix %S (available: %s)" name (mix_names ())))
+  in
+  let generate_cmd =
+    let mix =
+      let doc = "Mix to generate: smoke, heavy-star, interactive or paper." in
+      Arg.(value & opt string "smoke" & info [ "mix"; "m" ] ~docv:"NAME" ~doc)
+    in
+    let seed =
+      let doc = "PRNG seed — generation is byte-identical for a fixed seed." in
+      Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+    in
+    let graph_name =
+      let doc =
+        "Catalog graph name the queries should target on the server (default: the graph \
+         file's basename without extension)."
+      in
+      Arg.(value & opt (some string) None & info [ "graph-name" ] ~docv:"NAME" ~doc)
+    in
+    let output =
+      let doc = "Output JSONL file (default: stdout)." in
+      Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+    in
+    let run path mix seed graph_name output =
+      let g = or_die (load_graph path) in
+      let spec = find_spec mix in
+      let graph_name =
+        match graph_name with
+        | Some n -> n
+        | None -> Filename.remove_extension (Filename.basename path)
+      in
+      let m =
+        try W.Mix.generate spec ~graph_name ~seed g
+        with Invalid_argument msg -> or_die (Error msg)
+      in
+      let text = W.Mix.to_jsonl m in
+      match output with
+      | None -> print_string text
+      | Some file ->
+          let oc = try open_out file with Sys_error msg -> or_die (Error msg) in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "wrote %d queries (mix %s, seed %d) to %s\n"
+            (List.length m.W.Mix.entries) m.W.Mix.mix seed file
+    in
+    Cmd.v
+      (Cmd.info "generate"
+         ~doc:"Instantiate a named query mix against a graph (seeded, reproducible JSONL)")
+      Term.(const run $ graph_arg $ mix $ seed $ graph_name $ output)
+  in
+  let show_cmd =
+    let mix =
+      let doc = "Show one mix's shape instead of the whole taxonomy." in
+      Arg.(value & opt (some string) None & info [ "mix"; "m" ] ~docv:"NAME" ~doc)
+    in
+    let run mix =
+      match mix with
+      | Some name ->
+          let spec = find_spec name in
+          Printf.printf "%s — %s\n" spec.W.Mix.name spec.W.Mix.description;
+          if spec.W.Mix.shape = [] then
+            List.iter
+              (fun (qname, q) -> Printf.printf "  %-5s %s\n" qname q)
+              (W.Mix.paper_city_queries @ W.Mix.paper_bio_queries)
+          else
+            List.iter
+              (fun (aq, count) ->
+                match W.Pattern.find aq with
+                | Some p ->
+                    Printf.printf "  %-5s x%-3d %-10s %s\n" aq count p.W.Pattern.source
+                      (W.Pattern.to_string p)
+                | None -> ())
+              spec.W.Mix.shape
+      | None ->
+          print_endline "abstract patterns (PathForge AQ1-AQ28; repo notation on the right):";
+          List.iter
+            (fun p ->
+              Printf.printf "  %-5s %-10s %s\n" p.W.Pattern.id p.W.Pattern.source
+                (W.Pattern.to_string p))
+            W.Pattern.all;
+          print_endline "";
+          print_endline "mixes:";
+          List.iter
+            (fun s ->
+              let size =
+                if s.W.Mix.shape = [] then
+                  List.length (W.Mix.paper_city_queries @ W.Mix.paper_bio_queries)
+                else List.fold_left (fun acc (_, n) -> acc + n) 0 s.W.Mix.shape
+              in
+              Printf.printf "  %-12s %2d queries — %s\n" s.W.Mix.name size s.W.Mix.description)
+            W.Mix.specs
+    in
+    Cmd.v
+      (Cmd.info "show" ~doc:"List the abstract-pattern taxonomy and the named mixes")
+      Term.(const run $ mix)
+  in
+  let storm_cmd =
+    let mixfile =
+      let doc = "JSONL mix produced by 'gps workload generate', or '-' for stdin." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"MIX" ~doc)
+    in
+    let connect =
+      let doc = "The running 'gps serve --port' instance to storm." in
+      Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+    in
+    let rps =
+      let doc = "Target aggregate request rate (open loop: requests are sent on schedule)." in
+      Arg.(value & opt float 100.0 & info [ "rps" ] ~docv:"N" ~doc)
+    in
+    let duration =
+      let doc = "Storm duration in seconds." in
+      Arg.(value & opt float 5.0 & info [ "duration"; "d" ] ~docv:"S" ~doc)
+    in
+    let clients =
+      let doc = "Client connections (each pipelines its share of the schedule)." in
+      Arg.(value & opt int 8 & info [ "clients"; "c" ] ~docv:"N" ~doc)
+    in
+    let deadline_ms =
+      let doc = "Per-request deadline sent on the wire with every query." in
+      Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+    in
+    let load =
+      let doc =
+        "Provision graphs first: comma-separated NAME=FILE pairs pushed to the server as \
+         inline edge-list text before the storm starts."
+      in
+      Arg.(value & opt (list string) [] & info [ "load" ] ~docv:"SPECS" ~doc)
+    in
+    let json =
+      let doc = "Emit the report as one JSON object instead of a table." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let run mixfile connect rps duration clients deadline_ms load json =
+      let host, port = parse_hostport connect in
+      let text =
+        match mixfile with
+        | "-" -> In_channel.input_all stdin
+        | file -> (
+            try In_channel.with_open_bin file In_channel.input_all
+            with Sys_error msg -> or_die (Error msg))
+      in
+      let mix = or_die (W.Mix.of_jsonl text) in
+      List.iter
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | Some i ->
+              let name = String.sub spec 0 i in
+              let file = String.sub spec (i + 1) (String.length spec - i - 1) in
+              let text =
+                try In_channel.with_open_bin file In_channel.input_all
+                with Sys_error msg -> or_die (Error msg)
+              in
+              or_die (W.Storm.load_graph ~host ~port ~name ~text)
+          | None -> or_die (Error (Printf.sprintf "--load wants NAME=FILE, got %S" spec)))
+        load;
+      let config =
+        { W.Storm.host; port; rps; duration_s = duration; connections = clients; deadline_ms }
+      in
+      match W.Storm.run config mix with
+      | Error msg -> or_die (Error msg)
+      | Ok outcome ->
+          if json then
+            print_endline
+              (Gps.Graph.Json.value_to_string ~pretty:true (W.Storm.outcome_to_json outcome))
+          else Format.printf "%a@?" W.Storm.pp_outcome outcome
+    in
+    Cmd.v
+      (Cmd.info "storm"
+         ~doc:
+           "Replay a mix open-loop against a live server at a target RPS, reporting \
+            p50/p95/p99 latency, achieved rate and server shed/timeout counters")
+      Term.(const run $ mixfile $ connect $ rps $ duration $ clients $ deadline_ms $ load $ json)
+  in
+  Cmd.group
+    (Cmd.info "workload"
+       ~doc:"PathForge-style query-mix generation and open-loop load storms")
+    [ generate_cmd; show_cmd; storm_cmd ]
+
+(* ---------------------------------------------------------------- *)
 (* serve *)
 
 let serve_cmd =
@@ -897,5 +1094,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; stats_cmd; query_cmd; learn_cmd; session_cmd; dot_cmd; convert_cmd;
-            identify_cmd; serve_cmd; trace_cmd; metrics_cmd;
+            identify_cmd; serve_cmd; trace_cmd; metrics_cmd; workload_cmd;
           ]))

@@ -8,6 +8,7 @@ module Viz = Gps_viz
 module Server = Gps_server
 module Obs = Gps_obs
 module Par = Gps_par
+module Workload = Gps_workload
 
 let parse_query = Query.Rpq.of_string
 let parse_query_exn = Query.Rpq.of_string_exn

@@ -17,7 +17,11 @@
       trace summaries;
     - {!Par} — the multicore substrate: the Domain-based work pool that
       parallelizes the evaluation kernel (sized by [GPS_DOMAINS], the
-      CLI's [--domains], or [Domain.recommended_domain_count]).
+      CLI's [--domains], or [Domain.recommended_domain_count]);
+    - {!Workload} — PathForge-style workload generation (the AQ1–AQ28
+      abstract taxonomy, seeded label/anchor instantiation, named JSONL
+      mixes) and the open-loop load-storm driver that replays a mix
+      against a live server at a target RPS.
 
     Typical use, mirroring the paper's running example:
     {[
@@ -37,6 +41,7 @@ module Viz = Gps_viz
 module Server = Gps_server
 module Obs = Gps_obs
 module Par = Gps_par
+module Workload = Gps_workload
 
 (** {1 Queries} *)
 

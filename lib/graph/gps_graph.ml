@@ -18,6 +18,7 @@ module Reach = Reach
 module Csr = Csr
 module Store = Store
 module Dot = Dot
+module Rank = Rank
 module Stats = Stats
 module Generators = Generators
 module Datasets = Datasets

@@ -1,0 +1,33 @@
+(* Deterministic structural rankings: frequency-ranked labels and
+   degree-ranked nodes. The by-count-then-name order makes every ranking
+   a pure function of the edge set. *)
+
+let labels_by_frequency g =
+  let n = Digraph.n_labels g in
+  let counts = Array.make n 0 in
+  Digraph.iter_edges (fun e -> counts.(e.Digraph.lbl) <- counts.(e.Digraph.lbl) + 1) g;
+  let rows = List.init n (fun l -> (Digraph.label_name g l, counts.(l))) in
+  List.sort
+    (fun (k1, c1) (k2, c2) -> if c1 <> c2 then compare c2 c1 else compare k1 k2)
+    rows
+
+let nodes_by_out_degree ?limit g =
+  let rows =
+    Digraph.fold_nodes (fun acc v -> (v, Digraph.out_degree g v) :: acc) [] g
+  in
+  let sorted =
+    List.sort
+      (fun (v1, d1) (v2, d2) ->
+        if d1 <> d2 then compare d2 d1
+        else compare (Digraph.node_name g v1) (Digraph.node_name g v2))
+      rows
+  in
+  match limit with
+  | None -> sorted
+  | Some k -> List.filteri (fun i _ -> i < k) sorted
+
+let top_labels k g =
+  List.filteri (fun i _ -> i < k) (labels_by_frequency g) |> List.map fst
+
+let top_nodes k g =
+  nodes_by_out_degree ~limit:k g |> List.map (fun (v, _) -> Digraph.node_name g v)

@@ -1,0 +1,31 @@
+(** Structural rankings of a graph database.
+
+    Workload instantiation (PathForge-style) maps abstract query symbols
+    onto the labels that actually carry traffic and anchors queries at
+    the nodes most likely to have non-trivial answers. Both choices are
+    rankings of the graph — by label edge-frequency and by node
+    out-degree — computed here once, deterministically, instead of
+    ad-hoc sorting in every consumer ({!Stats} shares the label
+    ranking for its histogram).
+
+    All orders are total: ties break on the interned name, so a ranking
+    is a pure function of the graph's edge set, independent of insertion
+    order or hashing. *)
+
+val labels_by_frequency : Digraph.t -> (string * int) list
+(** [(label, edge count)] pairs, most frequent first; ties sort by label
+    name ascending. Every label of the graph appears (labels interned
+    without edges count 0). *)
+
+val nodes_by_out_degree : ?limit:int -> Digraph.t -> (Digraph.node * int) list
+(** [(node, out-degree)] pairs, highest degree first; ties sort by node
+    name ascending. [limit] keeps only the first [limit] rows (the
+    ranking is still computed over the whole graph, so row [i] is the
+    true rank-[i] node). *)
+
+val top_labels : int -> Digraph.t -> string list
+(** The first [k] label names of {!labels_by_frequency} (fewer when the
+    graph has fewer labels). *)
+
+val top_nodes : int -> Digraph.t -> string list
+(** The first [k] node names of {!nodes_by_out_degree}. *)

@@ -25,16 +25,7 @@ let compute ?(sample = 32) g =
     Digraph.fold_nodes (fun acc v -> if Digraph.out_degree g v = 0 then acc + 1 else acc) 0 g
   in
   let scc = Scc.compute g in
-  let hist = Hashtbl.create 16 in
-  Digraph.iter_edges
-    (fun e ->
-      let name = Digraph.label_name g e.Digraph.lbl in
-      Hashtbl.replace hist name (1 + Option.value ~default:0 (Hashtbl.find_opt hist name)))
-    g;
-  let label_histogram =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
-    |> List.sort (fun (k1, c1) (k2, c2) -> if c1 <> c2 then compare c2 c1 else compare k1 k2)
-  in
+  let label_histogram = Rank.labels_by_frequency g in
   let ecc =
     if n = 0 then 0
     else begin

@@ -462,6 +462,22 @@ let metrics_json t ~timings =
              ("evicted", int s.Sessions.evicted);
            ] );
        ("graphs", int (Catalog.count t.catalog));
+       (* The resilience/dispatch counters as a first-class block: the
+          load harness reads sheds and timeouts from one response, so a
+          storm report can never race the server between two metric
+          calls. (The same counters also appear, process-wide, under
+          trace.counters.) *)
+       ( "server",
+         Json.Object
+           [
+             ("dispatches", int (Counter.value c_dispatches));
+             ("dispatch_errors", int (Counter.value c_errors));
+             ("sheds", int (Counter.value c_sheds));
+             ("timeouts", int (Counter.value c_timeouts));
+             ("slow_queries", int (Counter.value c_slow));
+             ("frame_rejections", int (Counter.value c_frame_rejects));
+             ("client_disconnects", int (Counter.value c_disconnects));
+           ] );
        ("trace", trace_json ~timings);
      ]
     @ if timings then [ ("uptime_s", Json.Number (uptime_s t)) ] else [])

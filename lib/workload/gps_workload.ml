@@ -1,0 +1,13 @@
+(** PathForge-style workload generation and open-loop load storms.
+
+    Three tiers, mirroring the PathForge methodology: {!Pattern} is the
+    abstract AQ1–AQ28 taxonomy (tier one), {!Mix} instantiates patterns
+    against a concrete graph's label/degree rankings into reproducible
+    seeded query mixes (tiers two and three, serialized as JSONL), and
+    {!Storm} replays a mix open-loop against a live [gps serve] at a
+    target request rate, reporting tail latencies and the server's
+    shed/timeout counters. *)
+
+module Pattern = Pattern
+module Mix = Mix
+module Storm = Storm

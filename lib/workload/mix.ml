@@ -1,0 +1,217 @@
+module Json = Gps_graph.Json
+module Prng = Gps_graph.Prng
+module Rank = Gps_graph.Rank
+module R = Gps_regex.Regex
+
+type entry = {
+  id : string;
+  aq : string;
+  graph : string;
+  query : string;
+  anchor : string option;
+}
+
+type t = { mix : string; seed : int; entries : entry list }
+
+type spec = { name : string; description : string; shape : (string * int) list }
+
+(* The fixed goal-query suite of DESIGN.md §5 — the benchmark harness
+   re-exports these, so micro benches and the load harness share one
+   query source. *)
+let paper_city_queries =
+  [
+    ("Q1", "cinema");
+    ("Q2", "bus.cinema");
+    ("Q3", "(tram+bus)*.cinema");
+    ("Q4", "tram*.restaurant");
+    ("Q5", "bus.bus*");
+    ("Q6", "(bus+tram).(bus+tram).cinema");
+    ("Q7", "metro*.museum");
+  ]
+
+let paper_bio_queries =
+  [
+    ("Q8", "interacts*.treats");
+    ("Q9", "activates.(inhibits+activates)*");
+    ("Q10", "encodes.interacts*.associated");
+  ]
+
+let specs =
+  [
+    {
+      name = "smoke";
+      description = "cheap star-free probes: short concatenations, unions, options";
+      shape =
+        [
+          ("AQ1", 3); ("AQ2", 2); ("AQ4", 2); ("AQ7", 3); ("AQ8", 2); ("AQ12", 2);
+          ("AQ15", 2);
+        ];
+    };
+    {
+      name = "heavy-star";
+      description = "recursive traversals: starred unions, a+/a* prefixes and suffixes";
+      shape =
+        [
+          ("AQ18", 4); ("AQ20", 6); ("AQ22", 4); ("AQ23", 4); ("AQ24", 2); ("AQ25", 2);
+          ("AQ26", 2); ("AQ27", 4); ("AQ28", 4);
+        ];
+    };
+    {
+      name = "interactive";
+      description = "the full PathForge taxonomy, one query per abstract pattern";
+      shape = List.map (fun (p : Pattern.t) -> (p.Pattern.id, 1)) Pattern.all;
+    };
+    {
+      name = "paper";
+      description = "the fixed Q1-Q10 goal-query suite of DESIGN.md (no instantiation)";
+      shape = [];
+    };
+  ]
+
+let find_spec name = List.find_opt (fun s -> s.name = name) specs
+
+(* ------------------------------------------------------------------ *)
+(* generation *)
+
+(* Draw a label from the top of the frequency ranking, preferring one
+   not already used by this query; bounded retries keep the draw
+   deterministic and total even on single-label graphs. *)
+let draw_label prng pool ~avoid =
+  let n = Array.length pool in
+  let rec go attempts =
+    let l = pool.(Prng.int prng n) in
+    if attempts >= 8 || not (List.mem l avoid) then l else go (attempts + 1)
+  in
+  go 0
+
+let generate spec ~graph_name ~seed g =
+  if spec.shape = [] then
+    (* the fixed paper suite: no instantiation, no anchors *)
+    {
+      mix = spec.name;
+      seed;
+      entries =
+        List.map
+          (fun (name, query) ->
+            { id = Printf.sprintf "%s-%s" spec.name name; aq = "paper"; graph = graph_name; query; anchor = None })
+          (paper_city_queries @ paper_bio_queries);
+    }
+  else begin
+    let label_pool = Array.of_list (Rank.top_labels 6 g) in
+    if Array.length label_pool = 0 then
+      invalid_arg (Printf.sprintf "mix %s: graph %s has no labels" spec.name graph_name);
+    let anchor_pool = Array.of_list (Rank.top_nodes 32 g) in
+    let prng = Prng.create ~seed in
+    let next = ref 0 in
+    let entries =
+      List.concat_map
+        (fun (aq_id, count) ->
+          let p =
+            match Pattern.find aq_id with
+            | Some p -> p
+            | None -> invalid_arg (Printf.sprintf "mix %s: unknown pattern %s" spec.name aq_id)
+          in
+          List.init count (fun _ ->
+              let a = draw_label prng label_pool ~avoid:[] in
+              let b = draw_label prng label_pool ~avoid:[ a ] in
+              let c = draw_label prng label_pool ~avoid:[ a; b ] in
+              let query = R.to_string (Pattern.instantiate p ~a ~b ~c) in
+              let anchor =
+                if Array.length anchor_pool = 0 then None
+                else Some anchor_pool.(Prng.int prng (Array.length anchor_pool))
+              in
+              incr next;
+              {
+                id = Printf.sprintf "%s-%03d.%s" spec.name !next p.Pattern.id;
+                aq = p.Pattern.id;
+                graph = graph_name;
+                query;
+                anchor;
+              }))
+        spec.shape
+    in
+    { mix = spec.name; seed; entries }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSONL *)
+
+let entry_to_json e =
+  Json.Object
+    ([
+       ("id", Json.String e.id);
+       ("aq", Json.String e.aq);
+       ("graph", Json.String e.graph);
+       ("query", Json.String e.query);
+     ]
+    @ match e.anchor with Some n -> [ ("anchor", Json.String n) ] | None -> [])
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Json.value_to_string
+       (Json.Object
+          [
+            ("mix", Json.String t.mix);
+            ("seed", Json.Number (float_of_int t.seed));
+            ("entries", Json.Number (float_of_int (List.length t.entries)));
+          ]));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.value_to_string (entry_to_json e));
+      Buffer.add_char buf '\n')
+    t.entries;
+  Buffer.contents buf
+
+let str = function Json.String s -> Some s | _ -> None
+
+let entry_of_json v =
+  let field name = Option.bind (Json.member name v) str in
+  match (field "id", field "aq", field "graph", field "query") with
+  | Some id, Some aq, Some graph, Some query ->
+      Ok { id; aq; graph; query; anchor = field "anchor" }
+  | _ -> Error "entry line needs string fields id, aq, graph, query"
+
+let of_jsonl text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parse_line i l =
+    match Json.value_of_string l with
+    | v -> Ok v
+    | exception Json.Parse_error (pos, msg) ->
+        Error (Printf.sprintf "line %d, byte %d: %s" (i + 1) pos msg)
+  in
+  let rec values i acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match parse_line i l with
+        | Ok v -> values (i + 1) (v :: acc) rest
+        | Error _ as e -> e)
+  in
+  match values 0 [] lines with
+  | Error _ as e -> e
+  | Ok [] -> Error "empty mix"
+  | Ok (first :: rest) -> (
+      let header =
+        match (Json.member "mix" first, Json.member "seed" first) with
+        | Some (Json.String m), Some (Json.Number s) -> Some (m, int_of_float s)
+        | _ -> None
+      in
+      let mix, seed, entry_values =
+        match header with
+        | Some (m, s) -> (m, s, rest)
+        | None -> ("-", 0, first :: rest)
+      in
+      let rec entries acc = function
+        | [] -> Ok (List.rev acc)
+        | v :: vs -> (
+            match entry_of_json v with
+            | Ok e -> entries (e :: acc) vs
+            | Error _ as e -> e)
+      in
+      match entries [] entry_values with
+      | Ok es -> Ok { mix; seed; entries = es }
+      | Error _ as e -> e)

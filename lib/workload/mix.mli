@@ -1,0 +1,67 @@
+(** Named, seeded, reproducible query mixes — PathForge tiers two and
+    three.
+
+    A {e mix} is a list of concrete, anchored path queries produced from
+    a shape over the abstract taxonomy ({!Pattern}): each abstract
+    symbol is mapped to a label drawn from the graph's edge-frequency
+    ranking and each query is anchored at a node drawn from the
+    out-degree ranking (both via {!Gps_graph.Rank}), with all draws
+    taken from the deterministic {!Gps_graph.Prng}. The same
+    [(spec, graph, seed)] triple therefore always yields byte-identical
+    JSONL — mixes can be committed, diffed, and replayed.
+
+    The [paper] mix is the exception: it is the fixed Q1–Q10 goal-query
+    suite of DESIGN.md, shared with the benchmark harness so the micro
+    benches and the load harness storm the same queries. *)
+
+type entry = {
+  id : string;  (** ["smoke-007.AQ22"] — mix, ordinal, pattern *)
+  aq : string;  (** taxonomy id, or ["paper"] for the fixed suite *)
+  graph : string;  (** catalog name the query targets *)
+  query : string;  (** concrete query, repo notation *)
+  anchor : string option;
+      (** a high-out-degree node name — the "real query" anchor; [None]
+          on fixed paper entries *)
+}
+
+type t = { mix : string; seed : int; entries : entry list }
+
+(** {1 Mix specifications} *)
+
+type spec = {
+  name : string;
+  description : string;
+  shape : (string * int) list;
+      (** [(pattern id, count)] rows; empty = the fixed paper suite *)
+}
+
+val specs : spec list
+(** [smoke] (cheap star-free probes), [heavy-star] (recursive
+    traversals), [interactive] (the full taxonomy, one of each),
+    [paper] (fixed Q1–Q10). *)
+
+val find_spec : string -> spec option
+
+val paper_city_queries : (string * string) list
+(** The DESIGN.md goal-query suite rows Q1–Q7 (city graphs), as
+    [(name, query)] — the benchmark harness shares this list. *)
+
+val paper_bio_queries : (string * string) list
+(** Rows Q8–Q10 (bio graphs). *)
+
+(** {1 Generation} *)
+
+val generate : spec -> graph_name:string -> seed:int -> Gps_graph.Digraph.t -> t
+(** Deterministic; see the module preamble.
+    @raise Invalid_argument if the graph has no labels (nothing to
+    instantiate against) and the spec is not the fixed paper suite. *)
+
+(** {1 JSONL} *)
+
+val to_jsonl : t -> string
+(** One header line [{"mix":…,"seed":…,"entries":…}] then one object per
+    entry, fixed field order — byte-stable for a fixed mix value. *)
+
+val of_jsonl : string -> (t, string) result
+(** Total inverse of {!to_jsonl} (also accepts header-less streams:
+    every line an entry, mix name ["-"], seed 0). *)

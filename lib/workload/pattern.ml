@@ -1,0 +1,73 @@
+module R = Gps_regex.Regex
+
+type t = { id : string; source : string; body : R.t }
+
+let a = R.sym "a"
+let b = R.sym "b"
+let c = R.sym "c"
+
+(* The 28 abstract patterns of the PathForge taxonomy, in its order and
+   notation ([source] column). Bodies are built with the repo's smart
+   constructors, so some entries normalize (AQ16 = AQ15 structurally);
+   the ids are kept distinct anyway — shapes reference the taxonomy. *)
+let all =
+  List.map
+    (fun (n, source, body) -> { id = Printf.sprintf "AQ%d" n; source; body })
+    [
+      (1, "a.b", R.seq [ a; b ]);
+      (2, "a.b.c", R.seq [ a; b; c ]);
+      (3, "(a.b)?", R.opt (R.seq [ a; b ]));
+      (4, "a.(b|c)", R.seq [ a; R.alt [ b; c ] ]);
+      (5, "c.(a?)", R.seq [ c; R.opt a ]);
+      (6, "(c?).a", R.seq [ R.opt c; a ]);
+      (7, "a|b", R.alt [ a; b ]);
+      (8, "(a.b)|c", R.alt [ R.seq [ a; b ]; c ]);
+      (9, "(a|b)|c", R.alt [ R.alt [ a; b ]; c ]);
+      (10, "a+|b", R.alt [ R.plus a; b ]);
+      (11, "a*|b", R.alt [ R.star a; b ]);
+      (12, "a|c", R.alt [ a; c ]);
+      (13, "(a?)|b", R.alt [ R.opt a; b ]);
+      (14, "c|(a?)", R.alt [ c; R.opt a ]);
+      (15, "a?", R.opt a);
+      (16, "a??", R.opt (R.opt a));
+      (17, "c|(a|b)", R.alt [ c; R.alt [ a; b ] ]);
+      (18, "(a|b)+", R.plus (R.alt [ a; b ]));
+      (19, "(a|b)?", R.opt (R.alt [ a; b ]));
+      (20, "(a|b)*", R.star (R.alt [ a; b ]));
+      (21, "c|(a.b)", R.alt [ c; R.seq [ a; b ] ]);
+      (22, "a+.b", R.seq [ R.plus a; b ]);
+      (23, "a*.b", R.seq [ R.star a; b ]);
+      (24, "a.b+", R.seq [ a; R.plus b ]);
+      (25, "a.b*", R.seq [ a; R.star b ]);
+      (26, "a|(a+)", R.alt [ a; R.plus a ]);
+      (27, "a+", R.plus a);
+      (28, "a*", R.star a);
+    ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun p -> p.id = id) all
+
+let arity p = List.length (R.alphabet p.body)
+
+let stars p =
+  let rec count = function
+    | R.Empty | R.Epsilon | R.Sym _ -> 0
+    | R.Alt rs | R.Seq rs -> List.fold_left (fun acc r -> acc + count r) 0 rs
+    | R.Star r -> 1 + count r
+  in
+  count p.body
+
+let instantiate p ~a ~b ~c =
+  let subst s = match s with "a" -> a | "b" -> b | "c" -> c | other -> other in
+  let rec go = function
+    | R.Empty -> R.empty
+    | R.Epsilon -> R.epsilon
+    | R.Sym s -> R.sym (subst s)
+    | R.Alt rs -> R.alt (List.map go rs)
+    | R.Seq rs -> R.seq (List.map go rs)
+    | R.Star r -> R.star (go r)
+  in
+  go p.body
+
+let to_string p = R.to_string p.body

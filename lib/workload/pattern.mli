@@ -1,0 +1,48 @@
+(** The PathForge abstract-query taxonomy (AQ1–AQ28).
+
+    PathForge (dbgutalca/pathforge) eliminates hand-picked query bias by
+    fixing a complete set of 28 abstract regular-path patterns over at
+    most three abstract symbols [a]/[b]/[c], then instantiating symbols
+    against a concrete schema and anchoring the result at concrete
+    nodes. This module is the first tier: each pattern is a value whose
+    body is a real {!Gps_regex.Regex.t} over the symbols ["a"], ["b"],
+    ["c"], so instantiation is substitution and everything downstream
+    (compilation to NFAs, evaluation, the wire protocol) reuses the
+    engine unchanged.
+
+    Notation note: PathForge writes alternation [|], one-or-more [+] and
+    option [?]; this repo's query language writes alternation [+],
+    one-or-more as [r.r*] and option as [ε+r]. Patterns are stored as
+    ASTs, so the difference is purely presentational — {!to_string}
+    renders the repo's notation, which {!Gps_regex.Parse} accepts.
+    Smart-constructor normalization also means a handful of PathForge
+    patterns are represented by equal ASTs (e.g. AQ16 [a??] normalizes
+    to AQ15's [a?]); the taxonomy keeps all 28 ids so mix shapes and
+    reports stay aligned with the PathForge numbering. *)
+
+type t = private {
+  id : string;  (** ["AQ1"] .. ["AQ28"] *)
+  source : string;  (** the PathForge-notation pattern, e.g. ["a+.b"] *)
+  body : Gps_regex.Regex.t;  (** over abstract symbols ["a"]/["b"]/["c"] *)
+}
+
+val all : t list
+(** The 28 patterns in taxonomy order. *)
+
+val find : string -> t option
+(** Lookup by id (case-insensitive). *)
+
+val arity : t -> int
+(** Number of distinct abstract symbols the body mentions (1–3). *)
+
+val stars : t -> int
+(** Number of [Star] nodes in the body — a cheap proxy for evaluation
+    cost (recursive patterns traverse, star-free ones only probe). *)
+
+val instantiate : t -> a:string -> b:string -> c:string -> Gps_regex.Regex.t
+(** Substitute concrete labels for the abstract symbols. Unused
+    arguments are ignored; mapping two symbols to one label is legal
+    (the smart constructors may then collapse branches). *)
+
+val to_string : t -> string
+(** The body in this repo's query notation (parses back to [body]). *)

@@ -1,0 +1,368 @@
+(* Open-loop load driver: pace a mix at a target RPS over pipelined TCP
+   connections, measure from the *schedule*, and harvest the server's
+   resilience counters in one metrics round trip on each side of the
+   storm. *)
+
+module Json = Gps_graph.Json
+module P = Gps_server.Protocol
+module Clock = Gps_obs.Clock
+module H = Gps_obs.Histogram
+
+type config = {
+  host : string;
+  port : int;
+  rps : float;
+  duration_s : float;
+  connections : int;
+  deadline_ms : float option;
+}
+
+type outcome = {
+  mix : string;
+  target_rps : float;
+  achieved_rps : float;
+  sent : int;
+  received : int;
+  errors : (string * int) list;
+  latency : H.snapshot;
+  service : H.snapshot;
+  server_delta : (string * int) list;
+  wall_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* plain blocking TCP plumbing *)
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> Error (Printf.sprintf "cannot resolve %s" host)
+      | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
+      | exception Not_found -> Error (Printf.sprintf "cannot resolve %s" host))
+
+let connect ~host ~port =
+  match resolve host with
+  | Error _ as e -> e
+  | Ok addr -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with _ -> ());
+          Error (Printf.sprintf "cannot connect to %s:%d: %s" host port (Unix.error_message e)))
+
+let close_quietly fd = try Unix.close fd with _ -> ()
+
+(* One synchronous request/response exchange on a fresh connection. *)
+let round_trip ~host ~port req =
+  match connect ~host ~port with
+  | Error _ as e -> e
+  | Ok fd -> (
+      let oc = Unix.out_channel_of_descr fd and ic = Unix.in_channel_of_descr fd in
+      match
+        output_string oc (P.request_to_string req);
+        output_char oc '\n';
+        flush oc;
+        input_line ic
+      with
+      | exception End_of_file ->
+          close_quietly fd;
+          Error "connection closed mid-exchange"
+      | exception Sys_error msg ->
+          close_quietly fd;
+          Error msg
+      | exception Unix.Unix_error (e, _, _) ->
+          close_quietly fd;
+          Error (Unix.error_message e)
+      | line -> (
+          close_quietly fd;
+          match Json.value_of_string line with
+          | v -> Ok v
+          | exception Json.Parse_error (pos, msg) ->
+              Error (Printf.sprintf "bad response at byte %d: %s" pos msg)))
+
+let decode v =
+  match P.decode_response v with
+  | Ok (P.Err e) -> Error (Printf.sprintf "%s: %s" e.P.code e.P.message)
+  | Ok r -> Ok r
+  | Error e -> Error (Printf.sprintf "%s: %s" e.P.code e.P.message)
+
+let load_graph ~host ~port ~name ~text =
+  match round_trip ~host ~port (P.Load { name; source = P.Text text }) with
+  | Error _ as e -> e
+  | Ok v -> (
+      match decode v with
+      | Ok (P.Loaded _) -> Ok ()
+      | Ok _ -> Error "unexpected response to load"
+      | Error _ as e -> e)
+
+(* The resilience/dispatch counters, from the dedicated ["server"] block
+   of one metrics response — a single round trip, so sheds and timeouts
+   are a consistent pair. *)
+let harvest_counters ~host ~port =
+  match round_trip ~host ~port (P.Metrics { timings = false }) with
+  | Error _ as e -> e
+  | Ok v -> (
+      match decode v with
+      | Ok (P.Metrics_dump m) -> (
+          match Json.member "server" m with
+          | Some (Json.Object fields) ->
+              Ok
+                (List.filter_map
+                   (fun (k, v) ->
+                     match v with Json.Number f -> Some (k, int_of_float f) | _ -> None)
+                   fields)
+          | _ -> Error "metrics response has no server block")
+      | Ok _ -> Error "unexpected response to metrics"
+      | Error _ as e -> e)
+
+(* ------------------------------------------------------------------ *)
+(* the storm proper *)
+
+type lane = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable lane_sent : int;
+  mutable lane_received : int;
+  mutable last_recv_ns : int64;
+  lane_errors : (string, int) Hashtbl.t;
+}
+
+let tally tbl code = Hashtbl.replace tbl code (1 + Option.value ~default:0 (Hashtbl.find_opt tbl code))
+
+let run config mix =
+  let entries = Array.of_list mix.Mix.entries in
+  if Array.length entries = 0 then Error "mix has no entries"
+  else if config.rps <= 0.0 then Error "rps must be positive"
+  else begin
+    (* precompute each entry's request fields; per send we only prepend
+       the id and stringify *)
+    let fields =
+      Array.map
+        (fun e ->
+          match
+            P.encode_request
+              (P.Query
+                 {
+                   graph = e.Mix.graph;
+                   query = e.Mix.query;
+                   explain = false;
+                   deadline_ms = config.deadline_ms;
+                 })
+          with
+          | Json.Object fs -> fs
+          | _ -> assert false)
+        entries
+    in
+    let total = max 1 (int_of_float ((config.rps *. config.duration_s) +. 0.5)) in
+    let lanes_n = max 1 (min config.connections total) in
+    let ns_per_req = 1e9 /. config.rps in
+    (* 50ms of lead-in so every lane's threads are parked on the
+       schedule before the first send time arrives *)
+    let t0 = Int64.add (Clock.now_ns ()) 50_000_000L in
+    let sched k = Int64.add t0 (Int64.of_float (float_of_int k *. ns_per_req)) in
+    let send_ns = Array.make total 0L in
+    let lat_h = H.create "storm.latency_ns" and svc_h = H.create "storm.service_ns" in
+    let before = harvest_counters ~host:config.host ~port:config.port in
+    let lanes =
+      Array.init lanes_n (fun _ -> connect ~host:config.host ~port:config.port)
+    in
+    let failed =
+      Array.fold_left (fun acc c -> match c with Error m -> Some m | Ok _ -> acc) None lanes
+    in
+    match (before, failed) with
+    | Error m, _ | _, Some m ->
+        Array.iter (function Ok fd -> close_quietly fd | Error _ -> ()) lanes;
+        Error m
+    | Ok before, None ->
+        let lanes =
+          Array.map
+            (function
+              | Ok fd ->
+                  {
+                    fd;
+                    ic = Unix.in_channel_of_descr fd;
+                    oc = Unix.out_channel_of_descr fd;
+                    lane_sent = 0;
+                    lane_received = 0;
+                    last_recv_ns = t0;
+                    lane_errors = Hashtbl.create 8;
+                  }
+              | Error _ -> assert false)
+            lanes
+        in
+        (* writer: pace this lane's share of the global schedule, then
+           half-close so the server ends the connection after draining *)
+        let writer li =
+          let lane = lanes.(li) in
+          (try
+             let k = ref li in
+             while !k < total do
+               let wait =
+                 Int64.to_float (Int64.sub (sched !k) (Clock.now_ns ())) /. 1e9
+               in
+               if wait > 0.0 then Unix.sleepf wait;
+               let fs = fields.(!k mod Array.length entries) in
+               let line =
+                 Json.value_to_string
+                   (Json.Object (("id", Json.Number (float_of_int !k)) :: fs))
+               in
+               send_ns.(!k) <- Clock.now_ns ();
+               output_string lane.oc line;
+               output_char lane.oc '\n';
+               flush lane.oc;
+               lane.lane_sent <- lane.lane_sent + 1;
+               k := !k + lanes_n
+             done
+           with Sys_error _ | Unix.Unix_error _ -> tally lane.lane_errors "transport-write");
+          try Unix.shutdown lane.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+        in
+        (* reader: drain responses until EOF, matching ids back to the
+           schedule *)
+        let reader li =
+          let lane = lanes.(li) in
+          try
+            while true do
+              let line = input_line lane.ic in
+              let now = Clock.now_ns () in
+              match Json.value_of_string line with
+              | exception Json.Parse_error _ -> tally lane.lane_errors "transport-parse"
+              | v ->
+                  let k =
+                    match Json.member "id" v with
+                    | Some (Json.Number f) -> int_of_float f
+                    | _ -> -1
+                  in
+                  if k >= 0 && k < total then begin
+                    lane.lane_received <- lane.lane_received + 1;
+                    lane.last_recv_ns <- now;
+                    H.record lat_h (Int64.to_int (Int64.sub now (sched k)));
+                    H.record svc_h (Int64.to_int (Int64.sub now send_ns.(k)));
+                    match Json.member "ok" v with
+                    | Some (Json.Bool true) -> ()
+                    | _ ->
+                        let code =
+                          match
+                            Option.bind (Json.member "error" v) (Json.member "code")
+                          with
+                          | Some (Json.String c) -> c
+                          | _ -> "unknown"
+                        in
+                        tally lane.lane_errors code
+                  end
+            done
+          with
+          | End_of_file -> ()
+          | Sys_error _ | Unix.Unix_error _ -> tally lane.lane_errors "transport-read"
+        in
+        let threads =
+          Array.to_list
+            (Array.concat
+               [
+                 Array.init lanes_n (fun li -> Thread.create writer li);
+                 Array.init lanes_n (fun li -> Thread.create reader li);
+               ])
+        in
+        List.iter Thread.join threads;
+        Array.iter (fun lane -> close_quietly lane.fd) lanes;
+        let after = harvest_counters ~host:config.host ~port:config.port in
+        let sent = Array.fold_left (fun acc l -> acc + l.lane_sent) 0 lanes in
+        let received = Array.fold_left (fun acc l -> acc + l.lane_received) 0 lanes in
+        let last_recv =
+          Array.fold_left
+            (fun acc l -> if Int64.compare l.last_recv_ns acc > 0 then l.last_recv_ns else acc)
+            t0 lanes
+        in
+        let wall_s =
+          let w = Int64.to_float (Int64.sub last_recv t0) /. 1e9 in
+          if w > 0.0 then w else config.duration_s
+        in
+        let errors =
+          let tbl = Hashtbl.create 8 in
+          Array.iter
+            (fun l -> Hashtbl.iter (fun code n -> Hashtbl.replace tbl code (n + Option.value ~default:0 (Hashtbl.find_opt tbl code))) l.lane_errors)
+            lanes;
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+        in
+        let server_delta =
+          match after with
+          | Error _ -> []
+          | Ok after ->
+              List.map
+                (fun (k, v) ->
+                  (k, v - Option.value ~default:0 (List.assoc_opt k before)))
+                after
+        in
+        Ok
+          {
+            mix = mix.Mix.mix;
+            target_rps = config.rps;
+            achieved_rps = float_of_int received /. wall_s;
+            sent;
+            received;
+            errors;
+            latency = H.snapshot lat_h;
+            service = H.snapshot svc_h;
+            server_delta;
+            wall_s;
+          }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* reporting *)
+
+let round3 f = Float.round (f *. 1000.) /. 1000.
+let ms ns = round3 (ns /. 1e6)
+
+let histogram_json (s : H.snapshot) =
+  Json.Object
+    [
+      ("count", Json.Number (float_of_int s.H.count));
+      ("p50_ms", Json.Number (ms (H.quantile s 0.5)));
+      ("p90_ms", Json.Number (ms (H.quantile s 0.9)));
+      ("p95_ms", Json.Number (ms (H.quantile s 0.95)));
+      ("p99_ms", Json.Number (ms (H.quantile s 0.99)));
+      ("max_ms", Json.Number (ms (float_of_int s.H.max)));
+      ("mean_ms", Json.Number (ms (H.mean s)));
+    ]
+
+let outcome_to_json o =
+  Json.Object
+    [
+      ("mix", Json.String o.mix);
+      ("target_rps", Json.Number o.target_rps);
+      ("achieved_rps", Json.Number (round3 o.achieved_rps));
+      ("sent", Json.Number (float_of_int o.sent));
+      ("received", Json.Number (float_of_int o.received));
+      ("wall_s", Json.Number (round3 o.wall_s));
+      ( "errors",
+        Json.Object (List.map (fun (k, v) -> (k, Json.Number (float_of_int v))) o.errors) );
+      ("latency", histogram_json o.latency);
+      ("service", histogram_json o.service);
+      ( "server",
+        Json.Object
+          (List.map (fun (k, v) -> (k, Json.Number (float_of_int v))) o.server_delta) );
+    ]
+
+let pp_outcome ppf o =
+  let q s p = ms (H.quantile s p) in
+  Format.fprintf ppf "mix %-12s target %8.1f rps  achieved %8.1f rps  (%d/%d ok, %.2fs)@\n"
+    o.mix o.target_rps o.achieved_rps o.received o.sent o.wall_s;
+  Format.fprintf ppf "  latency  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms  max %8.3fms@\n"
+    (q o.latency 0.5) (q o.latency 0.95) (q o.latency 0.99)
+    (ms (float_of_int o.latency.H.max));
+  Format.fprintf ppf "  service  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms  max %8.3fms@\n"
+    (q o.service 0.5) (q o.service 0.95) (q o.service 0.99)
+    (ms (float_of_int o.service.H.max));
+  (match o.errors with
+  | [] -> ()
+  | errs ->
+      Format.fprintf ppf "  errors   %s@\n"
+        (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) errs)));
+  let pick name = List.assoc_opt name o.server_delta in
+  match (pick "sheds", pick "timeouts") with
+  | Some s, Some t -> Format.fprintf ppf "  server   sheds +%d  timeouts +%d@\n" s t
+  | _ -> ()

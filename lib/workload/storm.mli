@@ -1,0 +1,69 @@
+(** Open-loop load storms against a live [gps serve] TCP endpoint.
+
+    The driver replays a {!Mix.t} at a {e target} request rate: request
+    [k] is assigned the wire time [t0 + k/rps] and is sent at that time
+    whether or not earlier responses have arrived (open loop — the
+    client never lets a slow server throttle its arrival process, which
+    is what makes tail latencies honest under overload). Each of the
+    [connections] TCP connections carries a writer thread that paces its
+    share of the schedule and a reader thread that drains responses and
+    matches them to requests by the echoed ["id"] field, so requests
+    pipeline freely inside every connection.
+
+    Two latency distributions are recorded into private
+    {!Gps_obs.Histogram}s:
+    - {e latency}: scheduled-send → response. Queueing delay from
+      falling behind schedule counts against the server — the
+      coordinated-omission-resistant number an open-loop harness exists
+      to measure;
+    - {e service}: actual-send → response, the in-flight time only.
+
+    Around the storm the driver harvests the server's resilience
+    counters ([server.sheds], [server.timeouts], …) from the ["server"]
+    block of one [metrics] round trip each — one request, one response,
+    so the harvest can never race the server between two metric calls —
+    and reports the per-storm delta. *)
+
+type config = {
+  host : string;
+  port : int;
+  rps : float;  (** target aggregate request rate *)
+  duration_s : float;
+  connections : int;  (** client connections (one writer + one reader thread each) *)
+  deadline_ms : float option;  (** per-request wire deadline sent with every query *)
+}
+
+type outcome = {
+  mix : string;
+  target_rps : float;
+  achieved_rps : float;
+      (** received / (first scheduled send → last response) *)
+  sent : int;
+  received : int;
+  errors : (string * int) list;  (** error code → count, sorted by code *)
+  latency : Gps_obs.Histogram.snapshot;  (** scheduled-send → response, ns *)
+  service : Gps_obs.Histogram.snapshot;  (** actual-send → response, ns *)
+  server_delta : (string * int) list;
+      (** resilience/dispatch counter deltas over the storm, sorted *)
+  wall_s : float;
+}
+
+val run : config -> Mix.t -> (outcome, string) result
+(** Replays the mix's entries round-robin until [rps * duration_s]
+    requests are scheduled. [Error] only on transport-level failure
+    (cannot connect, metrics harvest failed); per-request typed errors
+    land in [errors]. *)
+
+val load_graph :
+  host:string -> port:int -> name:string -> text:string -> (unit, string) result
+(** Push an edge-list graph onto the server's catalog over the wire
+    (inline [Text] source) — how the harness provisions a server it did
+    not start. *)
+
+val outcome_to_json : outcome -> Gps_graph.Json.value
+(** Quantiles in milliseconds (p50/p90/p95/p99/max/mean) for both
+    distributions, plus achieved-vs-target rates, error counts and
+    server counter deltas — the shape committed in BENCH_load.json. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Human-readable one-storm report. *)

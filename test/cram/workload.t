@@ -1,0 +1,76 @@
+The workload generator: PathForge abstract patterns instantiated against
+a concrete graph, reproducibly.
+
+  $ gps generate -k city -n 15 -s 6 -o city.g
+  wrote 11 nodes, 32 edges to city.g
+
+The same seed yields byte-identical mixes (this is the contract that
+makes committed mixes and BENCH_load.json trajectories comparable):
+
+  $ gps workload generate city.g --mix smoke --seed 7 -o m1.jsonl
+  wrote 16 queries (mix smoke, seed 7) to m1.jsonl
+  $ gps workload generate city.g --mix smoke --seed 7 -o m2.jsonl
+  wrote 16 queries (mix smoke, seed 7) to m2.jsonl
+  $ cmp m1.jsonl m2.jsonl && echo identical
+  identical
+
+A different seed draws different labels and anchors:
+
+  $ gps workload generate city.g --mix smoke --seed 8 -o m3.jsonl
+  wrote 16 queries (mix smoke, seed 8) to m3.jsonl
+  $ cmp -s m1.jsonl m3.jsonl || echo differs
+  differs
+
+The JSONL stream is a header line plus one object per query; every
+query is in the repo's own notation and anchors name real nodes:
+
+  $ head -5 m1.jsonl
+  {"mix":"smoke","seed":7,"entries":16}
+  {"id":"smoke-001.AQ1","aq":"AQ1","graph":"city","query":"metro.bus","anchor":"D0"}
+  {"id":"smoke-002.AQ1","aq":"AQ1","graph":"city","query":"museum.cinema","anchor":"D6"}
+  {"id":"smoke-003.AQ1","aq":"AQ1","graph":"city","query":"tram.in","anchor":"D4"}
+  {"id":"smoke-004.AQ2","aq":"AQ2","graph":"city","query":"museum.tram.in","anchor":"D3"}
+
+Every generated query parses under the gps grammar:
+
+  $ tail -n +2 m1.jsonl | sed 's/.*"query":"\([^"]*\)".*/\1/' | while read q; do
+  >   gps query city.g "$q" > /dev/null || echo "FAILED: $q"
+  > done
+
+`workload show` lists the taxonomy and the standing mixes:
+
+  $ gps workload show | head -8
+  abstract patterns (PathForge AQ1-AQ28; repo notation on the right):
+    AQ1   a.b        a.b
+    AQ2   a.b.c      a.b.c
+    AQ3   (a.b)?     ε+a.b
+    AQ4   a.(b|c)    a.(b+c)
+    AQ5   c.(a?)     c.(ε+a)
+    AQ6   (c?).a     (ε+c).a
+    AQ7   a|b        a+b
+  $ gps workload show | tail -6
+  
+  mixes:
+    smoke        16 queries — cheap star-free probes: short concatenations, unions, options
+    heavy-star   32 queries — recursive traversals: starred unions, a+/a* prefixes and suffixes
+    interactive  28 queries — the full PathForge taxonomy, one query per abstract pattern
+    paper        10 queries — the fixed Q1-Q10 goal-query suite of DESIGN.md (no instantiation)
+
+
+  $ gps workload show --mix heavy-star
+  heavy-star — recursive traversals: starred unions, a+/a* prefixes and suffixes
+    AQ18  x4   (a|b)+     (a+b).(a+b)*
+    AQ20  x6   (a|b)*     (a+b)*
+    AQ22  x4   a+.b       a.a*.b
+    AQ23  x4   a*.b       a*.b
+    AQ24  x2   a.b+       a.b.b*
+    AQ25  x2   a.b*       a.b*
+    AQ26  x2   a|(a+)     a+a.a*
+    AQ27  x4   a+         a.a*
+    AQ28  x4   a*         a*
+
+An unknown mix is a typed failure:
+
+  $ gps workload generate city.g --mix nope
+  gps: unknown mix "nope" (available: smoke, heavy-star, interactive, paper)
+  [1]

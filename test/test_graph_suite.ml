@@ -350,6 +350,49 @@ let test_stats () =
   check "histogram sums to edges" true
     (List.fold_left (fun acc (_, c) -> acc + c) 0 s.Stats.label_histogram = s.Stats.n_edges)
 
+(* Rank: the deterministic label/degree orderings the workload
+   instantiation layer builds on. *)
+
+let test_rank_labels () =
+  let g = Digraph.create () in
+  (* b carries 3 edges, a carries 3, c carries 1: ties break by name *)
+  Digraph.link g "n1" "b" "n2";
+  Digraph.link g "n2" "b" "n3";
+  Digraph.link g "n3" "b" "n4";
+  Digraph.link g "n1" "a" "n3";
+  Digraph.link g "n2" "a" "n4";
+  Digraph.link g "n3" "a" "n1";
+  Digraph.link g "n4" "c" "n1";
+  Alcotest.(check (list (pair string int)))
+    "count desc, name asc on ties"
+    [ ("a", 3); ("b", 3); ("c", 1) ]
+    (Rank.labels_by_frequency g);
+  Alcotest.(check (list string)) "top_labels truncates" [ "a"; "b" ] (Rank.top_labels 2 g);
+  Alcotest.(check (list string))
+    "top_labels beyond the alphabet returns all" [ "a"; "b"; "c" ] (Rank.top_labels 10 g)
+
+let test_rank_out_degree () =
+  let g = Digraph.create () in
+  (* hub: 3 out; x and y: 1 out each (tie, name order); sink: 0 *)
+  Digraph.link g "hub" "e" "x";
+  Digraph.link g "hub" "e" "y";
+  Digraph.link g "hub" "f" "sink";
+  Digraph.link g "y" "e" "sink";
+  Digraph.link g "x" "e" "sink";
+  let names rows = List.map (fun (v, _) -> Digraph.node_name g v) rows in
+  check "hub ranks first" true (names (Rank.nodes_by_out_degree g) = [ "hub"; "x"; "y"; "sink" ]);
+  Alcotest.(check (list string))
+    "limit keeps the true top ranks" [ "hub"; "x" ]
+    (Rank.top_nodes 2 g);
+  check "degrees attached" true
+    (List.map snd (Rank.nodes_by_out_degree g) = [ 3; 1; 1; 0 ])
+
+let test_rank_matches_stats () =
+  let g = Generators.city (Generators.default_city ~districts:20) ~seed:3 in
+  let s = Stats.compute g in
+  check "stats histogram is the rank order" true
+    (s.Stats.label_histogram = Rank.labels_by_frequency g)
+
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
@@ -504,6 +547,12 @@ let suite =
         t "paper witness paths" test_figure1_witness_paths;
       ] );
     ("graph.stats", [ t "figure1 stats" test_stats; t "dot output" test_dot_output ]);
+    ( "graph.rank",
+      [
+        t "labels by frequency" test_rank_labels;
+        t "nodes by out-degree" test_rank_out_degree;
+        t "stats histogram shares the ranking" test_rank_matches_stats;
+      ] );
     ( "graph.prng",
       [
         t "determinism" test_prng_determinism;

@@ -1,0 +1,324 @@
+(* Gps_workload: the PathForge taxonomy, seeded mix generation, JSONL
+   round-trips, and an end-to-end open-loop storm against a real TCP
+   server.
+
+   The determinism contract is the load-bearing one: `gps workload
+   generate --seed N` must be byte-identical across runs, or committed
+   mixes and BENCH_load.json trajectories stop meaning anything. *)
+
+module W = Gps_workload
+module Pattern = W.Pattern
+module Mix = W.Mix
+module Storm = W.Storm
+module R = Gps_regex.Regex
+module Parse = Gps_regex.Parse
+module Generators = Gps_graph.Generators
+module Digraph = Gps_graph.Digraph
+module Srv = Gps_server.Server
+module P = Gps_server.Protocol
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let city ~districts ~seed = Generators.city (Generators.default_city ~districts) ~seed
+
+(* ------------------------------------------------------------------ *)
+(* the taxonomy *)
+
+let test_pattern_taxonomy () =
+  check_int "28 abstract patterns" 28 (List.length Pattern.all);
+  let ids = List.map (fun p -> p.Pattern.id) Pattern.all in
+  check "ids are AQ1..AQ28 in order" true
+    (ids = List.init 28 (fun i -> Printf.sprintf "AQ%d" (i + 1)));
+  check "find is case-insensitive" true
+    (match Pattern.find "aq22" with Some p -> p.Pattern.id = "AQ22" | None -> false);
+  check "find rejects unknown ids" true (Pattern.find "AQ29" = None);
+  List.iter
+    (fun p ->
+      let a = Pattern.arity p in
+      check (p.Pattern.id ^ " arity in 1..3") true (a >= 1 && a <= 3))
+    Pattern.all;
+  check_int "AQ2 uses three symbols" 3 (Pattern.arity (Option.get (Pattern.find "AQ2")));
+  check_int "AQ27 uses one symbol" 1 (Pattern.arity (Option.get (Pattern.find "AQ27")));
+  check_int "AQ1 is star-free" 0 (Pattern.stars (Option.get (Pattern.find "AQ1")));
+  check_int "AQ20 has one star" 1 (Pattern.stars (Option.get (Pattern.find "AQ20")))
+
+let test_pattern_round_trip () =
+  (* every abstract body prints in the repo notation and parses back to
+     the same normalized AST *)
+  List.iter
+    (fun p ->
+      let s = Pattern.to_string p in
+      match Parse.parse s with
+      | Ok r -> check (p.Pattern.id ^ " round-trips") true (R.equal r p.Pattern.body)
+      | Error e -> Alcotest.failf "%s (%s) does not parse: %s" p.Pattern.id s e)
+    Pattern.all
+
+let test_pattern_instantiate () =
+  let p = Option.get (Pattern.find "AQ22") in
+  check_str "a+.b instantiates" "tram.tram*.bus"
+    (R.to_string (Pattern.instantiate p ~a:"tram" ~b:"bus" ~c:"metro"));
+  (* mapping two symbols onto one label stays a legal query *)
+  let p4 = Option.get (Pattern.find "AQ4") in
+  let r = Pattern.instantiate p4 ~a:"x" ~b:"y" ~c:"y" in
+  check_str "collapsed union normalizes" "x.y" (R.to_string r);
+  List.iter
+    (fun p ->
+      let r = Pattern.instantiate p ~a:"tram" ~b:"bus" ~c:"metro" in
+      check
+        (p.Pattern.id ^ " instantiated alphabet is concrete")
+        true
+        (List.for_all (fun s -> List.mem s [ "tram"; "bus"; "metro" ]) (R.alphabet r)))
+    Pattern.all
+
+(* ------------------------------------------------------------------ *)
+(* mixes *)
+
+let test_mix_specs () =
+  let names = List.map (fun s -> s.Mix.name) Mix.specs in
+  check "the four standing mixes" true
+    (names = [ "smoke"; "heavy-star"; "interactive"; "paper" ]);
+  check "find_spec misses politely" true (Mix.find_spec "nope" = None);
+  let interactive = Option.get (Mix.find_spec "interactive") in
+  check_int "interactive covers the whole taxonomy" 28 (List.length interactive.Mix.shape)
+
+let test_mix_paper_suite () =
+  let g = city ~districts:10 ~seed:1 in
+  let m = Mix.generate (Option.get (Mix.find_spec "paper")) ~graph_name:"g" ~seed:0 g in
+  check_int "Q1-Q10" 10 (List.length m.Mix.entries);
+  check_str "Q3 is the running example" "(tram+bus)*.cinema"
+    (List.assoc "Q3" Mix.paper_city_queries);
+  check "entries carry the fixed queries in order" true
+    (List.map (fun e -> e.Mix.query) m.Mix.entries
+    = List.map snd (Mix.paper_city_queries @ Mix.paper_bio_queries));
+  check "paper entries are unanchored" true
+    (List.for_all (fun e -> e.Mix.anchor = None) m.Mix.entries)
+
+let test_mix_deterministic () =
+  let g = city ~districts:25 ~seed:4 in
+  let spec = Option.get (Mix.find_spec "smoke") in
+  let a = Mix.generate spec ~graph_name:"city" ~seed:7 g in
+  let b = Mix.generate spec ~graph_name:"city" ~seed:7 g in
+  check_str "same seed, byte-identical JSONL" (Mix.to_jsonl a) (Mix.to_jsonl b);
+  let c = Mix.generate spec ~graph_name:"city" ~seed:8 g in
+  check "different seed, different draw" true (Mix.to_jsonl a <> Mix.to_jsonl c)
+
+let test_mix_no_labels () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_node g "lonely");
+  check "instantiation demands labels" true
+    (match Mix.generate (Option.get (Mix.find_spec "smoke")) ~graph_name:"g" ~seed:1 g with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_jsonl_round_trip () =
+  let g = city ~districts:25 ~seed:4 in
+  let m = Mix.generate (Option.get (Mix.find_spec "heavy-star")) ~graph_name:"city" ~seed:5 g in
+  (match Mix.of_jsonl (Mix.to_jsonl m) with
+  | Ok m' -> check "JSONL round-trips" true (m' = m)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* header-less streams are accepted (hand-written mixes) *)
+  (match
+     Mix.of_jsonl
+       "{\"id\":\"x\",\"aq\":\"paper\",\"graph\":\"g\",\"query\":\"a.b\"}\n"
+   with
+  | Ok m' ->
+      check_int "headerless: one entry" 1 (List.length m'.Mix.entries);
+      check_str "headerless: placeholder mix name" "-" m'.Mix.mix
+  | Error e -> Alcotest.failf "headerless parse failed: %s" e);
+  check "malformed JSON is a typed error" true
+    (match Mix.of_jsonl "{nope" with Error _ -> true | Ok _ -> false);
+  check "missing fields are a typed error" true
+    (match Mix.of_jsonl "{\"mix\":\"m\",\"seed\":1}\n{\"id\":\"x\"}\n" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check "empty input is a typed error" true
+    (match Mix.of_jsonl "" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* properties: every generated mix is well-formed against its graph *)
+
+let generated_specs =
+  List.filter (fun s -> s.Mix.shape <> []) Mix.specs
+
+let qcheck_tests =
+  let gen = QCheck.Gen.(pair (int_bound 9999) (int_range 0 (List.length generated_specs - 1))) in
+  let arb = QCheck.make ~print:(fun (s, i) -> Printf.sprintf "seed=%d spec=%d" s i) gen in
+  let graph = city ~districts:30 ~seed:2 in
+  let graph_labels = Digraph.labels graph in
+  let mk name f = QCheck.Test.make ~name ~count:60 arb f in
+  [
+    mk "workload: every generated query parses" (fun (seed, si) ->
+        let spec = List.nth generated_specs si in
+        let m = Mix.generate spec ~graph_name:"g" ~seed graph in
+        List.for_all
+          (fun e -> match Parse.parse e.Mix.query with Ok _ -> true | Error _ -> false)
+          m.Mix.entries);
+    mk "workload: generation is deterministic per seed" (fun (seed, si) ->
+        let spec = List.nth generated_specs si in
+        let a = Mix.generate spec ~graph_name:"g" ~seed graph in
+        let b = Mix.generate spec ~graph_name:"g" ~seed graph in
+        Mix.to_jsonl a = Mix.to_jsonl b);
+    mk "workload: anchors name real nodes" (fun (seed, si) ->
+        let spec = List.nth generated_specs si in
+        let m = Mix.generate spec ~graph_name:"g" ~seed graph in
+        List.for_all
+          (fun e ->
+            match e.Mix.anchor with
+            | Some n -> Digraph.node_of_name graph n <> None
+            | None -> false (* generated mixes always anchor *))
+          m.Mix.entries);
+    mk "workload: instantiated labels exist in the graph" (fun (seed, si) ->
+        let spec = List.nth generated_specs si in
+        let m = Mix.generate spec ~graph_name:"g" ~seed graph in
+        List.for_all
+          (fun e ->
+            match Parse.parse e.Mix.query with
+            | Ok r -> List.for_all (fun s -> List.mem s graph_labels) (R.alphabet r)
+            | Error _ -> false)
+          m.Mix.entries);
+    mk "workload: JSONL round-trips" (fun (seed, si) ->
+        let spec = List.nth generated_specs si in
+        let m = Mix.generate spec ~graph_name:"g" ~seed graph in
+        Mix.of_jsonl (Mix.to_jsonl m) = Ok m);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* the storm driver, end to end over real sockets *)
+
+let with_tcp_server ?(config = Srv.default_config) f =
+  let server = Srv.create ~config () in
+  let g = city ~districts:15 ~seed:6 in
+  (match
+     Srv.handle server (P.Load { name = "city"; source = P.Text (Gps_graph.Codec.to_string g) })
+   with
+  | P.Err e -> Alcotest.failf "load failed: %s" e.P.message
+  | _ -> ());
+  let tcp = Srv.start_tcp server ~port:0 () in
+  Fun.protect ~finally:(fun () -> Srv.stop_tcp tcp) (fun () -> f g (Srv.tcp_port tcp))
+
+let test_storm_end_to_end () =
+  with_tcp_server (fun g port ->
+      let mix =
+        Mix.generate (Option.get (Mix.find_spec "smoke")) ~graph_name:"city" ~seed:42 g
+      in
+      let config =
+        {
+          Storm.host = "127.0.0.1";
+          port;
+          rps = 400.0;
+          duration_s = 0.5;
+          connections = 3;
+          deadline_ms = None;
+        }
+      in
+      match Storm.run config mix with
+      | Error e -> Alcotest.failf "storm failed: %s" e
+      | Ok o ->
+          check_int "every scheduled request was sent" 200 o.Storm.sent;
+          check_int "every request got a response" o.Storm.sent o.Storm.received;
+          check "no typed errors" true (o.Storm.errors = []);
+          check "latency histogram saw every response" true
+            (o.Storm.latency.Gps_obs.Histogram.count = o.Storm.received);
+          check "achieved rate is positive" true (o.Storm.achieved_rps > 0.0);
+          check "sheds counter harvested in-band" true
+            (List.mem_assoc "sheds" o.Storm.server_delta);
+          check "timeouts counter harvested in-band" true
+            (List.mem_assoc "timeouts" o.Storm.server_delta))
+
+let test_storm_typed_errors_counted () =
+  with_tcp_server (fun _g port ->
+      (* every entry targets a graph the server does not have: the storm
+         must complete and count the typed failures, not die *)
+      let mix =
+        {
+          Mix.mix = "bad";
+          seed = 0;
+          entries =
+            [
+              { Mix.id = "bad-1"; aq = "paper"; graph = "missing"; query = "a.b"; anchor = None };
+            ];
+        }
+      in
+      let config =
+        {
+          Storm.host = "127.0.0.1";
+          port;
+          rps = 200.0;
+          duration_s = 0.25;
+          connections = 2;
+          deadline_ms = None;
+        }
+      in
+      match Storm.run config mix with
+      | Error e -> Alcotest.failf "storm failed: %s" e
+      | Ok o ->
+          check "all responses arrived" true (o.Storm.received = o.Storm.sent);
+          check "typed unknown-graph errors counted" true
+            (match List.assoc_opt "unknown-graph" o.Storm.errors with
+            | Some n -> n = o.Storm.received
+            | None -> false))
+
+let test_storm_refuses_nonsense () =
+  check "empty mix refused" true
+    (match
+       Storm.run
+         {
+           Storm.host = "127.0.0.1";
+           port = 1;
+           rps = 1.0;
+           duration_s = 0.1;
+           connections = 1;
+           deadline_ms = None;
+         }
+         { Mix.mix = "empty"; seed = 0; entries = [] }
+     with
+    | Error _ -> true
+    | Ok _ -> false);
+  check "unconnectable endpoint is a transport error" true
+    (match
+       Storm.run
+         {
+           Storm.host = "127.0.0.1";
+           port = 9;
+           rps = 10.0;
+           duration_s = 0.1;
+           connections = 1;
+           deadline_ms = None;
+         }
+         {
+           Mix.mix = "m";
+           seed = 0;
+           entries = [ { Mix.id = "x"; aq = "paper"; graph = "g"; query = "a"; anchor = None } ];
+         }
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let suite =
+  [
+    ( "workload.pattern",
+      [
+        Alcotest.test_case "taxonomy shape" `Quick test_pattern_taxonomy;
+        Alcotest.test_case "bodies round-trip through the parser" `Quick
+          test_pattern_round_trip;
+        Alcotest.test_case "instantiation substitutes labels" `Quick test_pattern_instantiate;
+      ] );
+    ( "workload.mix",
+      [
+        Alcotest.test_case "named specs" `Quick test_mix_specs;
+        Alcotest.test_case "the fixed paper suite" `Quick test_mix_paper_suite;
+        Alcotest.test_case "seeded determinism" `Quick test_mix_deterministic;
+        Alcotest.test_case "label-less graphs refused" `Quick test_mix_no_labels;
+        Alcotest.test_case "JSONL codec" `Quick test_jsonl_round_trip;
+      ] );
+    ( "workload.storm",
+      [
+        Alcotest.test_case "open-loop storm over TCP" `Quick test_storm_end_to_end;
+        Alcotest.test_case "typed errors are counted, not fatal" `Quick
+          test_storm_typed_errors_counted;
+        Alcotest.test_case "nonsense configurations refused" `Quick test_storm_refuses_nonsense;
+      ] );
+    ("workload.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
