@@ -1,23 +1,48 @@
 (* The standing load trajectory: boot a real `gps serve` TCP endpoint
    in-process, storm generated mixes against it open-loop, and emit
-   BENCH_load.json — p50/p95/p99, achieved-vs-target RPS and server
-   shed/timeout counts per mix. The paper's interactive loop only
-   matters at scale if the server sustains realistic RPQ traffic; this
-   is the macro-benchmark every scaling PR re-measures.
+   BENCH_load.json — p50/p95/p99, achieved-vs-target RPS, server
+   shed/timeout counts and the sampler's per-interval series per mix.
+   The paper's interactive loop only matters at scale if the server
+   sustains realistic RPQ traffic; this is the macro-benchmark every
+   scaling PR re-measures, and since the series rides along, a p99
+   spike in the committed document is attributable to its server-side
+   cause (cache misses, sheds, eval levels) instead of being a bare
+   number.
 
    GPS_LOAD_SCALE=tiny   CI smoke: one small mix, ~1s of traffic
-   GPS_LOAD_ASSERT=1     exit 1 on any error or an idle storm (smoke gate) *)
+   GPS_LOAD_ASSERT=1     exit 1 on any error or an idle storm (smoke gate)
+   GPS_LOAD_AUDIT=FILE   audit every request (sample 1) to FILE and
+                         reconcile the audit line count against the
+                         client-observed request count under ASSERT *)
 
 module W = Gps.Workload
 module Srv = Gps.Server.Server
 module P = Gps.Server.Protocol
 module Json = Gps.Graph.Json
 module Digraph = Gps.Graph.Digraph
+module Wide_event = Gps.Obs.Wide_event
 
 type storm_spec = { mix_name : string; graph : string; rps : float; duration_s : float }
 
+let count_audit_queries file =
+  let ic = open_in file in
+  let events, malformed =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> Wide_event.load_jsonl ic)
+  in
+  let queries =
+    List.length
+      (List.filter
+         (fun ev ->
+           match Json.member "endpoint" ev with
+           | Some (Json.String "query") -> true
+           | _ -> false)
+         events)
+  in
+  (List.length events, queries, malformed)
+
 let run () =
   let tiny = Sys.getenv_opt "GPS_LOAD_SCALE" = Some "tiny" in
+  let audit_file = Sys.getenv_opt "GPS_LOAD_AUDIT" in
   let graphs =
     if tiny then [ ("city", (Workloads.city ~districts:20 ~seed:8).Workloads.graph) ]
     else
@@ -37,9 +62,20 @@ let run () =
       ]
   in
   let max_inflight = 128 and deadline_ms = 250.0 in
+  (* tiny storms last ~1s: sample fast enough to land a few points *)
+  let sample_every_s = if tiny then 0.2 else 0.5 in
+  let audit_oc = Option.map open_out audit_file in
+  let audit = Option.map (fun oc -> Wide_event.sink ~sample:1 oc) audit_oc in
   let server =
     Srv.create
-      ~config:{ Srv.default_config with Srv.max_inflight; Srv.deadline_ms = Some deadline_ms }
+      ~config:
+        {
+          Srv.default_config with
+          Srv.max_inflight;
+          Srv.deadline_ms = Some deadline_ms;
+          Srv.sample_every_s = Some sample_every_s;
+          Srv.audit;
+        }
       ()
   in
   List.iter
@@ -68,12 +104,20 @@ let run () =
         in
         Printf.eprintf "storming %s on %s @ %.0f rps for %.1fs...\n%!" s.mix_name s.graph
           s.rps s.duration_s;
-        match W.Storm.run config mix with
-        | Ok o -> (s, o)
-        | Error msg -> failwith (Printf.sprintf "storm %s: %s" s.mix_name msg))
+        (* let the sampler take at least one post-traffic sample so the
+           storm's closing interval is covered by the sliced window *)
+        let o =
+          match W.Storm.run config mix with
+          | Ok o -> o
+          | Error msg -> failwith (Printf.sprintf "storm %s: %s" s.mix_name msg)
+        in
+        Unix.sleepf (sample_every_s *. 1.5);
+        (s, o))
       storms
   in
   Srv.stop_tcp tcp;
+  Srv.stop_sampler server;
+  Option.iter close_out audit_oc;
   let doc =
     Json.Object
       [
@@ -84,6 +128,8 @@ let run () =
             [
               ("max_inflight", Json.Number (float_of_int max_inflight));
               ("deadline_ms", Json.Number deadline_ms);
+              ("sample_every_s", Json.Number sample_every_s);
+              ("audit", Json.Bool (audit_file <> None));
             ] );
         ( "graphs",
           Json.Array
@@ -107,7 +153,7 @@ let run () =
       ]
   in
   print_endline (Json.value_to_string ~pretty:true doc);
-  if Sys.getenv_opt "GPS_LOAD_ASSERT" = Some "1" then
+  if Sys.getenv_opt "GPS_LOAD_ASSERT" = Some "1" then begin
     List.iter
       (fun ((s : storm_spec), (o : W.Storm.outcome)) ->
         if o.W.Storm.errors <> [] then begin
@@ -117,5 +163,39 @@ let run () =
         if o.W.Storm.received = 0 then begin
           Printf.eprintf "FAIL: storm %s/%s received no responses\n%!" s.mix_name s.graph;
           exit 1
-        end)
-      outcomes
+        end;
+        match o.W.Storm.series with
+        | None ->
+            Printf.eprintf "FAIL: storm %s/%s harvested no server series\n%!" s.mix_name
+              s.graph;
+            exit 1
+        | Some series -> (
+            match Json.member "points" series with
+            | Some (Json.Array (_ :: _)) -> ()
+            | _ ->
+                Printf.eprintf "FAIL: storm %s/%s series has no points\n%!" s.mix_name
+                  s.graph;
+                exit 1))
+      outcomes;
+    (* audit reconciliation: with sample 1 and zero errors, the audited
+       "query" lines must count exactly the query responses the clients
+       saw — the wide-event stream drops nothing. *)
+    match audit_file with
+    | None -> ()
+    | Some file ->
+        let total_received =
+          List.fold_left (fun acc (_, o) -> acc + o.W.Storm.received) 0 outcomes
+        in
+        let lines, queries, malformed = count_audit_queries file in
+        Printf.eprintf "audit: %d lines (%d query, %d malformed) vs %d received\n%!"
+          lines queries malformed total_received;
+        if malformed > 0 then begin
+          Printf.eprintf "FAIL: audit log has %d malformed lines\n%!" malformed;
+          exit 1
+        end;
+        if queries <> total_received then begin
+          Printf.eprintf "FAIL: audit query lines (%d) != client-received (%d)\n%!"
+            queries total_received;
+          exit 1
+        end
+  end

@@ -8,10 +8,13 @@
      session    run the interactive scenario: simulated oracle or real stdin user
      dot        export a graph (or a node neighborhood) to GraphViz
      serve      the multi-session service: newline-delimited JSON over
-                stdio or TCP *)
+                stdio or TCP
+     top        live dashboard off a serving instance's timeseries
+     audit      offline aggregation of --audit wide-event logs *)
 
 open Cmdliner
 module Digraph = Gps.Graph.Digraph
+module Proto = Gps.Server.Protocol
 
 (* ---------------------------------------------------------------- *)
 (* shared argument parsers *)
@@ -83,6 +86,95 @@ let with_trace trace f =
       | exception e ->
           finish ();
           raise e)
+
+(* ---------------------------------------------------------------- *)
+(* wire helpers: one-request round trips against a running server,
+   shared by metrics / top / workload storm *)
+
+let parse_hostport ?(flag = "--connect") addr =
+  match String.rindex_opt addr ':' with
+  | Some i -> (
+      let h = String.sub addr 0 i in
+      let p = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match int_of_string_opt p with
+      | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+      | None -> or_die (Error (Printf.sprintf "bad port in %S" addr)))
+  | None -> or_die (Error (Printf.sprintf "%s wants HOST:PORT, got %S" flag addr))
+
+(* connect with a real timeout: nonblocking connect + select, then
+   SO_RCVTIMEO/SO_SNDTIMEO so a stalled server cannot hang the client *)
+let connect_timed host port timeout =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let fail msg =
+    (try Unix.close fd with _ -> ());
+    Error msg
+  in
+  match
+    Unix.set_nonblock fd;
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  with
+  | () | (exception Unix.Unix_error (Unix.EINPROGRESS, _, _)) -> (
+      match Unix.select [] [ fd ] [] timeout with
+      | _, [ _ ], _ -> (
+          match Unix.getsockopt_error fd with
+          | None ->
+              Unix.clear_nonblock fd;
+              (try
+                 Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+                 Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+               with Unix.Unix_error _ -> ());
+              Ok fd
+          | Some e -> fail (Unix.error_message e))
+      | _ -> fail "connect timed out"
+      | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e))
+  | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
+
+(* Send one typed request, read the one typed response. [retries] extra
+   attempts with jittered exponential backoff absorb a restarting
+   server; protocol-level errors come back as [Proto.Err] for the
+   caller to interpret. Transport failure past the retries is fatal. *)
+let round_trip ~host ~port ~timeout ?(retries = 0) req =
+  let attempt () =
+    match connect_timed host port timeout with
+    | Error msg -> Error (Printf.sprintf "cannot connect to %s:%d: %s" host port msg)
+    | Ok fd -> (
+        let oc = Unix.out_channel_of_descr fd and ic = Unix.in_channel_of_descr fd in
+        let finish r =
+          (try close_out oc with _ -> ());
+          r
+        in
+        match
+          output_string oc (Proto.request_to_string req);
+          output_char oc '\n';
+          flush oc;
+          input_line ic
+        with
+        | exception End_of_file -> finish (Error "connection closed")
+        | exception Sys_error msg -> finish (Error msg)
+        | exception Unix.Unix_error (e, _, _) -> finish (Error (Unix.error_message e))
+        | line -> finish (Ok line))
+  in
+  let rec go attempt_no =
+    match attempt () with
+    | Ok line -> line
+    | Error msg when attempt_no < retries ->
+        let backoff = 0.2 *. Float.of_int (1 lsl attempt_no) in
+        let jittered = backoff *. (0.5 +. Random.float 0.5) in
+        Printf.eprintf "gps: %s; retrying in %.2fs (%d left)\n%!" msg jittered
+          (retries - attempt_no);
+        Unix.sleepf jittered;
+        go (attempt_no + 1)
+    | Error msg -> or_die (Error msg)
+  in
+  Random.self_init ();
+  let line = go 0 in
+  match Gps.Graph.Json.value_of_string line with
+  | exception Gps.Graph.Json.Parse_error (pos, msg) ->
+      or_die (Error (Printf.sprintf "bad response at %d: %s" pos msg))
+  | v -> (
+      match Proto.decode_response v with
+      | Ok r -> r
+      | Error e -> Proto.Err e)
 
 (* ---------------------------------------------------------------- *)
 (* generate *)
@@ -596,6 +688,15 @@ let metrics_cmd =
     let doc = "Render in Prometheus text exposition format instead of JSON." in
     Arg.(value & flag & info [ "prom" ] ~doc)
   in
+  let prom_compat =
+    let doc =
+      "With $(b,--prom), also emit the legacy quantile-gauge families \
+       (_p50/_p90/_p99/_mean) next to the native histogram exposition — one release of \
+       dashboard overlap. Local render only; a scraped server decides from its own \
+       --prom-compat flag."
+    in
+    Arg.(value & flag & info [ "prom-compat" ] ~doc)
+  in
   let connect =
     let doc =
       "Scrape a running 'gps serve --port' instance at $(docv) instead of dumping this \
@@ -614,101 +715,20 @@ let metrics_cmd =
     in
     Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
   in
-  (* connect with a real timeout: nonblocking connect + select, then
-     SO_RCVTIMEO/SO_SNDTIMEO so a stalled server cannot hang the scrape *)
-  let connect_timed host port timeout =
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    let fail msg =
-      (try Unix.close fd with _ -> ());
-      Error msg
-    in
-    match
-      Unix.set_nonblock fd;
-      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-    with
-    | () | (exception Unix.Unix_error (Unix.EINPROGRESS, _, _)) -> (
-        match Unix.select [] [ fd ] [] timeout with
-        | _, [ _ ], _ -> (
-            match Unix.getsockopt_error fd with
-            | None ->
-                Unix.clear_nonblock fd;
-                (try
-                   Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-                   Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
-                 with Unix.Unix_error _ -> ());
-                Ok fd
-            | Some e -> fail (Unix.error_message e))
-        | _ -> fail "connect timed out"
-        | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e))
-    | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
-  in
   let scrape addr prom timeout retries =
-    let host, port =
-      match String.rindex_opt addr ':' with
-      | Some i -> (
-          let h = String.sub addr 0 i in
-          let p = String.sub addr (i + 1) (String.length addr - i - 1) in
-          match int_of_string_opt p with
-          | Some p -> ((if h = "" then "127.0.0.1" else h), p)
-          | None -> or_die (Error (Printf.sprintf "bad port in %S" addr)))
-      | None -> or_die (Error (Printf.sprintf "--connect wants HOST:PORT, got %S" addr))
-    in
-    let module P = Gps.Server.Protocol in
-    let attempt () =
-      match connect_timed host port timeout with
-      | Error msg -> Error (Printf.sprintf "cannot connect to %s:%d: %s" host port msg)
-      | Ok fd -> (
-          let oc = Unix.out_channel_of_descr fd and ic = Unix.in_channel_of_descr fd in
-          let req = if prom then P.Metrics_prom else P.Metrics { timings = true } in
-          match
-            output_string oc (P.request_to_string req);
-            output_char oc '\n';
-            flush oc;
-            input_line ic
-          with
-          | exception End_of_file ->
-              (try close_out oc with _ -> ());
-              Error "connection closed"
-          | exception Sys_error msg ->
-              (try close_out oc with _ -> ());
-              Error msg
-          | exception Unix.Unix_error (e, _, _) ->
-              (try close_out oc with _ -> ());
-              Error (Unix.error_message e)
-          | line ->
-              (try close_out oc with _ -> ());
-              Ok line)
-    in
-    let rec go attempt_no =
-      match attempt () with
-      | Ok line -> line
-      | Error msg when attempt_no < retries ->
-          let backoff = 0.2 *. Float.of_int (1 lsl attempt_no) in
-          let jittered = backoff *. (0.5 +. Random.float 0.5) in
-          Printf.eprintf "gps: %s; retrying in %.2fs (%d left)\n%!" msg jittered
-            (retries - attempt_no);
-          Unix.sleepf jittered;
-          go (attempt_no + 1)
-      | Error msg -> or_die (Error msg)
-    in
-    Random.self_init ();
-    let line = go 0 in
-    match Gps.Graph.Json.value_of_string line with
-    | exception Gps.Graph.Json.Parse_error (pos, msg) ->
-        or_die (Error (Printf.sprintf "bad response at %d: %s" pos msg))
-    | v -> (
-        match P.decode_response v with
-        | Ok (P.Prom_dump text) -> print_string text
-        | Ok (P.Metrics_dump m) ->
-            print_endline (Gps.Graph.Json.value_to_string ~pretty:true m)
-        | Ok _ -> or_die (Error "unexpected response kind")
-        | Error e -> or_die (Error (Printf.sprintf "%s: %s" e.P.code e.P.message)))
+    let host, port = parse_hostport addr in
+    let req = if prom then Proto.Metrics_prom else Proto.Metrics { timings = true } in
+    match round_trip ~host ~port ~timeout ~retries req with
+    | Proto.Prom_dump text -> print_string text
+    | Proto.Metrics_dump m -> print_endline (Gps.Graph.Json.value_to_string ~pretty:true m)
+    | Proto.Err e -> or_die (Error (Printf.sprintf "%s: %s" e.Proto.code e.Proto.message))
+    | _ -> or_die (Error "unexpected response kind")
   in
-  let run prom connect timeout retries =
+  let run prom prom_compat connect timeout retries =
     match connect with
     | Some addr -> scrape addr prom timeout retries
     | None ->
-        if prom then print_string (Gps.Obs.Prom.render ())
+        if prom then print_string (Gps.Obs.Prom.render ~compat:prom_compat ())
         else
           let counters =
             Gps.Graph.Json.Object
@@ -729,23 +749,13 @@ let metrics_cmd =
        ~doc:
          "Dump telemetry registries (counters, gauges, histograms) as JSON or Prometheus \
           text, locally or scraped from a running server")
-    Term.(const run $ prom $ connect $ timeout_arg $ retries_arg)
+    Term.(const run $ prom $ prom_compat $ connect $ timeout_arg $ retries_arg)
 
 (* ---------------------------------------------------------------- *)
 (* workload: PathForge-style mixes and open-loop load storms *)
 
 let workload_cmd =
   let module W = Gps.Workload in
-  let parse_hostport addr =
-    match String.rindex_opt addr ':' with
-    | Some i -> (
-        let h = String.sub addr 0 i in
-        let p = String.sub addr (i + 1) (String.length addr - i - 1) in
-        match int_of_string_opt p with
-        | Some p -> ((if h = "" then "127.0.0.1" else h), p)
-        | None -> or_die (Error (Printf.sprintf "bad port in %S" addr)))
-    | None -> or_die (Error (Printf.sprintf "expected HOST:PORT, got %S" addr))
-  in
   let mix_names () = String.concat ", " (List.map (fun s -> s.W.Mix.name) W.Mix.specs) in
   let find_spec name =
     match W.Mix.find_spec name with
@@ -929,6 +939,193 @@ let workload_cmd =
     [ generate_cmd; show_cmd; storm_cmd ]
 
 (* ---------------------------------------------------------------- *)
+(* top: live dashboard off a running server's timeseries endpoint *)
+
+let top_cmd =
+  let module Json = Gps.Graph.Json in
+  let connect =
+    let doc = "The running 'gps serve --port --sample-every' instance to watch." in
+    Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let once =
+    let doc = "Render one frame and exit (no screen clearing) — scriptable output." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let interval =
+    let doc = "Refresh interval in seconds." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"S" ~doc)
+  in
+  let window =
+    let doc = "Ask the server for its last $(docv) samples each refresh." in
+    Arg.(value & opt int 60 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Connect and read timeout in seconds." in
+    Arg.(value & opt float 5.0 & info [ "timeout" ] ~docv:"S" ~doc)
+  in
+  (* field access with zero defaults: rates omit zero counters *)
+  let num ?(default = 0.) v k =
+    match Json.member k v with Some (Json.Number n) -> n | _ -> default
+  in
+  let obj v k =
+    match Json.member k v with Some (Json.Object _ as o) -> o | _ -> Json.Object []
+  in
+  let find_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1)
+    in
+    go 0
+  in
+  (* server.request_ns{endpoint="query"} -> query *)
+  let endpoint_of_key k =
+    match find_sub k "{endpoint=\"" with
+    | Some i -> (
+        let start = i + String.length "{endpoint=\"" in
+        match String.index_from_opt k start '"' with
+        | Some stop -> String.sub k start (stop - start)
+        | None -> k)
+    | None -> k
+  in
+  let render ~addr series =
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let interval_s = num series "interval_s" in
+    let finish () = Buffer.contents buf in
+    let total = int_of_float (num series "total_samples") in
+    let points =
+      match Json.member "points" series with Some (Json.Array ps) -> ps | _ -> []
+    in
+    add "gps top — %s   sampler: every %gs, %d samples, %d interval(s) shown\n" addr
+      interval_s total (List.length points);
+    match List.rev points with
+    | [] ->
+        add "\n  (no intervals yet — the sampler needs at least two samples;\n";
+        add "   refresh in %gs or raise --window)\n" interval_s;
+        finish ()
+    | last :: _ ->
+        let avg f =
+          match points with
+          | [] -> 0.
+          | ps -> List.fold_left (fun acc p -> acc +. f p) 0. ps /. float_of_int (List.length ps)
+        in
+        let rate p k = num (obj p "rates") k in
+        let gauge p k = num (obj p "gauges") k in
+        let hit_ratio p =
+          let h = rate p "qcache.hits" and m = rate p "qcache.misses" in
+          if h +. m <= 0. then Float.nan else 100. *. h /. (h +. m)
+        in
+        let pct v = if Float.is_nan v then "    -" else Printf.sprintf "%5.1f" v in
+        add "\n%-22s %10s %10s\n" "rates (/s)" "last" "avg";
+        List.iter
+          (fun (label, key) ->
+            add "  %-20s %10.1f %10.1f\n" label (rate last key) (avg (fun p -> rate p key)))
+          [
+            ("requests", "server.dispatches");
+            ("errors", "server.dispatch_errors");
+            ("sheds", "server.sheds");
+            ("timeouts", "server.timeouts");
+            ("slow queries", "server.slow_queries");
+            ("audit lines", "audit.emitted");
+            ("eval par levels", "eval.par_levels");
+            ("eval seq fallbacks", "eval.seq_fallbacks");
+          ];
+        add "  %-20s %10s %10s\n" "cache hit %" (pct (hit_ratio last))
+          (pct (avg (fun p -> let r = hit_ratio p in if Float.is_nan r then 0. else r)));
+        add "\ngauges (last interval)\n";
+        List.iter
+          (fun (label, key) -> add "  %-20s %10.0f\n" label (gauge last key))
+          [
+            ("inflight", "server.inflight");
+            ("sessions", "server.sessions_active");
+            ("cache entries", "server.qcache_size");
+          ];
+        let hists = match obj last "hist" with Json.Object kvs -> kvs | _ -> [] in
+        let request_hists =
+          List.filter (fun (k, _) -> find_sub k "server.request_ns" = Some 0) hists
+        in
+        if request_hists <> [] then begin
+          add "\n%-14s %8s %8s %8s %8s %8s  (last interval, ms)\n" "latency" "count"
+            "p50" "p90" "p99" "max";
+          List.iter
+            (fun (k, h) ->
+              let ms field = num h field /. 1e6 in
+              add "  %-12s %8.0f %8.2f %8.2f %8.2f %8.2f\n" (endpoint_of_key k)
+                (num h "count") (ms "p50") (ms "p90") (ms "p99") (ms "max"))
+            request_hists
+        end;
+        finish ()
+  in
+  let run addr once interval window timeout =
+    if window < 2 then or_die (Error "--window must be >= 2 (an interval needs two samples)");
+    if interval <= 0. then or_die (Error "--interval must be positive");
+    let host, port = parse_hostport addr in
+    let req = Proto.Timeseries { last = Some window; downsample = None } in
+    let rec loop () =
+      (match round_trip ~host ~port ~timeout req with
+      | Proto.Timeseries_dump series ->
+          if not once then print_string "\027[H\027[2J";
+          print_string (render ~addr series);
+          flush stdout
+      | Proto.Err e -> or_die (Error (Printf.sprintf "%s: %s" e.Proto.code e.Proto.message))
+      | _ -> or_die (Error "unexpected response kind"));
+      if not once then begin
+        Unix.sleepf interval;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running server: request/shed/timeout rates, cache hit \
+          ratio, eval level mix and per-endpoint latency percentiles, refreshed from the \
+          server's in-process timeseries")
+    Term.(const run $ connect $ once $ interval $ window $ timeout_arg)
+
+(* ---------------------------------------------------------------- *)
+(* audit: offline aggregation of --audit wide-event logs *)
+
+let audit_cmd =
+  let module WE = Gps.Obs.Wide_event in
+  let summary_cmd =
+    let file =
+      let doc = "JSONL audit log written by 'gps serve --audit', or '-' for stdin." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+    in
+    let top =
+      let doc = "How many slowest requests to list." in
+      Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc)
+    in
+    let json =
+      let doc = "Emit the summary as one JSON object instead of a table." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let run file top json =
+      if top < 0 then or_die (Error "--top must be >= 0");
+      let events, malformed =
+        match file with
+        | "-" -> WE.load_jsonl stdin
+        | f -> (
+            try In_channel.with_open_bin f WE.load_jsonl
+            with Sys_error msg -> or_die (Error msg))
+      in
+      let s = WE.summarize ~top ~malformed events in
+      if json then
+        print_endline (Gps.Graph.Json.value_to_string ~pretty:true (WE.summary_to_json s))
+      else Format.printf "%a@?" WE.pp_summary s
+    in
+    Cmd.v
+      (Cmd.info "summary"
+         ~doc:
+           "Aggregate a wide-event audit log: per-endpoint counts, error rates and \
+            latency percentiles, cache-state mix and the slowest requests")
+      Term.(const run $ file $ top $ json)
+  in
+  Cmd.group (Cmd.info "audit" ~doc:"Inspect wide-event request audit logs") [ summary_cmd ]
+
+(* ---------------------------------------------------------------- *)
 (* serve *)
 
 let serve_cmd =
@@ -997,8 +1194,37 @@ let serve_cmd =
     in
     Arg.(value & opt (some float) None & info [ "io-timeout-s" ] ~docv:"S" ~doc)
   in
+  let audit =
+    let doc =
+      "Append one wide-event JSON line per wire request to $(docv) — the canonical \
+       request audit log (aggregate it with 'gps audit summary $(docv)')."
+    in
+    Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"FILE" ~doc)
+  in
+  let audit_sample =
+    let doc =
+      "Head-based sampling for --audit: keep 1-in-$(docv) requests by id. Errors and \
+       requests at or over --slow-ms are always kept."
+    in
+    Arg.(value & opt int 1 & info [ "audit-sample" ] ~docv:"N" ~doc)
+  in
+  let sample_every =
+    let doc =
+      "Snapshot all telemetry registries into the in-process timeseries ring every \
+       $(docv) seconds — feeds the 'timeseries' wire op and 'gps top'. 0 disables the \
+       sampler."
+    in
+    Arg.(value & opt float 1.0 & info [ "sample-every" ] ~docv:"S" ~doc)
+  in
+  let prom_compat =
+    let doc =
+      "Also emit the legacy quantile-gauge families (_p50/_p90/_p99/_mean) from the \
+       Prometheus endpoint, for one release of dashboard overlap."
+    in
+    Arg.(value & flag & info [ "prom-compat" ] ~doc)
+  in
   let run stdio port host preload cache slow_ms deadline_ms deadline_cap_ms max_inflight
-      max_frame_bytes io_timeout_s trace domains =
+      max_frame_bytes io_timeout_s audit audit_sample sample_every prom_compat trace domains =
     apply_domains domains;
     let module Srv = Gps.Server.Server in
     let module P = Gps.Server.Protocol in
@@ -1023,6 +1249,18 @@ let serve_cmd =
     at_exit (fun () ->
         Gps.Obs.Trace.disable ();
         Option.iter close_out trace_oc);
+    if audit_sample < 1 then or_die (Error "--audit-sample must be >= 1");
+    if sample_every < 0. then or_die (Error "--sample-every must be >= 0 (0 disables)");
+    let audit_oc =
+      Option.map
+        (fun path ->
+          try open_out path with Sys_error msg -> or_die (Error msg))
+        audit
+    in
+    at_exit (fun () -> Option.iter close_out audit_oc);
+    let audit_sink =
+      Option.map (fun oc -> Gps.Obs.Wide_event.sink ~sample:audit_sample ?slow_ms oc) audit_oc
+    in
     let server =
       Srv.create
         ~config:
@@ -1035,9 +1273,13 @@ let serve_cmd =
             Srv.max_inflight;
             Srv.max_frame_bytes;
             Srv.io_timeout_s;
+            Srv.audit = audit_sink;
+            Srv.sample_every_s = (if sample_every > 0. then Some sample_every else None);
+            Srv.prom_compat;
           }
         ()
     in
+    at_exit (fun () -> Srv.stop_sampler server);
     List.iter
       (fun spec ->
         let name, source =
@@ -1081,8 +1323,8 @@ let serve_cmd =
        ~doc:"Serve the query/specification protocol (newline-delimited JSON) over stdio or TCP")
     Term.(
       const run $ stdio $ port $ host $ preload $ cache $ slow_ms $ deadline_ms
-      $ deadline_cap_ms $ max_inflight $ max_frame_bytes $ io_timeout_s $ trace_arg
-      $ domains_arg)
+      $ deadline_cap_ms $ max_inflight $ max_frame_bytes $ io_timeout_s $ audit
+      $ audit_sample $ sample_every $ prom_compat $ trace_arg $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 
@@ -1094,5 +1336,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; stats_cmd; query_cmd; learn_cmd; session_cmd; dot_cmd; convert_cmd;
-            identify_cmd; serve_cmd; trace_cmd; metrics_cmd; workload_cmd;
+            identify_cmd; serve_cmd; trace_cmd; metrics_cmd; workload_cmd; top_cmd;
+            audit_cmd;
           ]))

@@ -200,7 +200,13 @@ let value_to_string ?(pretty = false) v =
     | Number f ->
         if Float.is_integer f && Float.abs f < 1e15 then
           Buffer.add_string buf (Printf.sprintf "%.0f" f)
-        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+        else
+          (* shortest decimal that round-trips: %.15g covers almost
+             every value (and prints 2.17 as "2.17"); the rare
+             remainder needs all 17 digits *)
+          let s = Printf.sprintf "%.15g" f in
+          Buffer.add_string buf
+            (if float_of_string s = f then s else Printf.sprintf "%.17g" f)
     | String s ->
         Buffer.add_char buf '"';
         Buffer.add_string buf (escape_string s);

@@ -10,10 +10,15 @@
     format. {!Deadline} carries monotonic deadlines and composable
     cancellation tokens from the wire down to the eval kernel;
     {!Fault} injects deterministic failures at named sites for chaos
-    testing. Every engine layer (query evaluation, learning, interactive
-    sessions, the server) reports through this library, and the bench
-    harness snapshots its counters so perf PRs compare work done, not
-    just wall-clock. *)
+    testing. {!Timeseries} samples all three registries into a
+    fixed-capacity ring on a background thread and derives
+    rate/delta/interval-percentile windows; {!Wide_event} accumulates
+    one Stripe-style audit line per request with process-wide monotonic
+    request ids joining audit, slow-log and trace streams. Every engine
+    layer (query evaluation, learning, interactive sessions, the
+    server) reports through this library, and the bench harness
+    snapshots its counters so perf PRs compare work done, not just
+    wall-clock. *)
 
 module Clock = Clock
 module Deadline = Deadline
@@ -25,3 +30,5 @@ module Trace = Trace
 module Summary = Summary
 module Flame = Flame
 module Prom = Prom
+module Timeseries = Timeseries
+module Wide_event = Wide_event

@@ -85,9 +85,52 @@ let render_histograms snaps buf =
            (List.rev (Hashtbl.find families fname))))
     (List.sort compare !order)
 
-let render ?(extra = []) () =
+(* Compat: the pre-histogram exposition summarized each distribution as
+   quantile gauges. One release of overlap behind --prom-compat so
+   dashboards keyed to the old names migrate without a gap; the suffixed
+   names are distinct families, so the lint invariants (unique TYPE,
+   every family sampled) hold with compat on. *)
+let render_quantile_gauges snaps buf =
+  let families = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Histogram.snapshot) ->
+      match Hashtbl.find_opt families s.Histogram.hname with
+      | Some l -> Hashtbl.replace families s.Histogram.hname (s :: l)
+      | None ->
+          Hashtbl.replace families s.Histogram.hname [ s ];
+          order := s.Histogram.hname :: !order)
+    snaps;
+  List.iter
+    (fun fname ->
+      let series =
+        List.sort
+          (fun (a : Histogram.snapshot) b -> compare a.Histogram.hlabels b.Histogram.hlabels)
+          (List.rev (Hashtbl.find families fname))
+      in
+      List.iter
+        (fun (suffix, stat) ->
+          let m = metric_name ~suffix fname in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" m);
+          List.iter
+            (fun (s : Histogram.snapshot) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" m (labels_str s.Histogram.hlabels)
+                   (float_str (stat s))))
+            series)
+        [
+          ("_p50", fun s -> Histogram.quantile s 0.5);
+          ("_p90", fun s -> Histogram.quantile s 0.9);
+          ("_p99", fun s -> Histogram.quantile s 0.99);
+          ("_mean", Histogram.mean);
+        ])
+    (List.sort compare !order)
+
+let render ?(extra = []) ?(compat = false) () =
   let buf = Buffer.create 4096 in
   render_counters (Counter.snapshot ()) buf;
   render_gauges (Gauge.snapshot ()) buf;
-  render_histograms (Histogram.snapshot_all () @ extra) buf;
+  let snaps = Histogram.snapshot_all () @ extra in
+  render_histograms snaps buf;
+  if compat then render_quantile_gauges snaps buf;
   Buffer.contents buf

@@ -27,7 +27,10 @@ val render_histograms : Histogram.snapshot list -> Buffer.t -> unit
 (** Snapshots sharing a name render as one family ([# TYPE] once) with
     one series per label set. *)
 
-val render : ?extra:Histogram.snapshot list -> unit -> string
+val render : ?extra:Histogram.snapshot list -> ?compat:bool -> unit -> string
 (** The full exposition of the global registries; [extra] histogram
     snapshots are appended to the registered ones (and merged into
-    their families when names collide). *)
+    their families when names collide). [compat] (default false — the
+    server's [--prom-compat]) additionally emits the pre-histogram
+    quantile-gauge families ([_p50]/[_p90]/[_p99]/[_mean] per
+    distribution) for one release of dashboard overlap. *)

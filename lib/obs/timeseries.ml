@@ -1,0 +1,336 @@
+(* In-process time series: a sampler that periodically snapshots the
+   counter/gauge/histogram registries into a bounded ring, plus the
+   derivation of per-interval points (rates, deltas, interval
+   percentiles) from adjacent snapshots.
+
+   The ring is single-writer: only [sample] writes (the background
+   thread, or a test calling it by hand), publishing each slot with one
+   atomic increment. Readers never take a lock — they read the published
+   count, copy the live slots, and drop any sample that a concurrent
+   wrap-around overwrote mid-copy (detected by a non-monotonic
+   timestamp). With the default one-second interval a reader would have
+   to stall for [capacity] seconds to lose a sample, so in practice the
+   copy is exact. *)
+
+module Json = Gps_graph.Json
+
+type sample = {
+  at_ns : int64;
+  counters : (string * int) list;  (* cumulative, sorted by name *)
+  gauges : (string * float) list;
+  hists : Histogram.snapshot list;
+}
+
+type t = {
+  capacity : int;
+  interval_s : float;
+  clock : unit -> int64;
+  pre_sample : unit -> unit;
+  extra : unit -> Histogram.snapshot list;
+  ring : sample option array;
+  published : int Atomic.t;  (* total samples ever taken *)
+  wlock : Mutex.t;  (* serializes writers only; readers are lock-free *)
+  stopping : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let create ?(capacity = 900) ?(interval_s = 1.0) ?clock ?(pre_sample = Fun.id)
+    ?(extra = fun () -> []) () =
+  if capacity <= 0 then invalid_arg "Timeseries.create: capacity must be positive";
+  if interval_s <= 0.0 then invalid_arg "Timeseries.create: interval must be positive";
+  {
+    capacity;
+    interval_s;
+    clock = (match clock with Some c -> c | None -> Clock.now_ns);
+    pre_sample;
+    extra;
+    ring = Array.make capacity None;
+    published = Atomic.make 0;
+    wlock = Mutex.create ();
+    stopping = Atomic.make false;
+    thread = None;
+  }
+
+let interval_s t = t.interval_s
+let total_samples t = Atomic.get t.published
+
+let sample t =
+  Mutex.lock t.wlock;
+  (* the hook runs inside the writer lock so a refreshed gauge cannot be
+     half-applied across two samples *)
+  (try t.pre_sample () with _ -> ());
+  let s =
+    {
+      at_ns = t.clock ();
+      counters = Counter.snapshot ();
+      gauges = Gauge.snapshot ();
+      hists = Histogram.snapshot_all () @ (try t.extra () with _ -> []);
+    }
+  in
+  let n = Atomic.get t.published in
+  t.ring.(n mod t.capacity) <- Some s;
+  Atomic.incr t.published;
+  Mutex.unlock t.wlock
+
+(* Chronological copy of the stored samples, resilient to a concurrent
+   wrap: any sample observed out of timestamp order was overwritten
+   while we copied, so it (and everything before it) is discarded. *)
+let samples t =
+  let n = Atomic.get t.published in
+  let stored = min n t.capacity in
+  let first = n - stored in
+  let raw =
+    List.filter_map
+      (fun i -> t.ring.((first + i) mod t.capacity))
+      (List.init stored Fun.id)
+  in
+  let rec monotone_suffix acc = function
+    | [] -> acc
+    | s :: rest -> (
+        match acc with
+        | prev :: _ when Int64.compare s.at_ns prev.at_ns < 0 ->
+            (* wrapped under us: restart from here *)
+            monotone_suffix [ s ] rest
+        | _ -> monotone_suffix (s :: acc) rest)
+  in
+  List.rev (monotone_suffix [] raw)
+
+let last_sample t =
+  match samples t with [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+let last_age_s ?now t =
+  match last_sample t with
+  | None -> None
+  | Some s ->
+      let now = match now with Some n -> n | None -> t.clock () in
+      Some (Int64.to_float (Int64.sub now s.at_ns) /. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* the background thread *)
+
+let running t = t.thread <> None
+
+let start t =
+  if t.thread = None then begin
+    Atomic.set t.stopping false;
+    let rec loop () =
+      if not (Atomic.get t.stopping) then begin
+        (* chunked delay so stop is prompt even with long intervals *)
+        let deadline = Int64.add (t.clock ()) (Int64.of_float (t.interval_s *. 1e9)) in
+        let rec park () =
+          if (not (Atomic.get t.stopping)) && Int64.compare (t.clock ()) deadline < 0 then begin
+            Thread.delay (Float.min 0.05 t.interval_s);
+            park ()
+          end
+        in
+        park ();
+        if not (Atomic.get t.stopping) then begin
+          sample t;
+          loop ()
+        end
+      end
+    in
+    t.thread <- Some (Thread.create loop ())
+  end
+
+let stop t =
+  match t.thread with
+  | None -> ()
+  | Some th ->
+      Atomic.set t.stopping true;
+      (try Thread.join th with _ -> ());
+      t.thread <- None
+
+(* ------------------------------------------------------------------ *)
+(* derived points *)
+
+type hpoint = {
+  hkey : string;
+  hcount : int;
+  hrate : float;
+  hp50 : float;
+  hp90 : float;
+  hp99 : float;
+  hmax : int;  (* cumulative max, not the interval's *)
+  hmean : float;
+}
+
+type point = {
+  at_ns : int64;
+  t_s : float;
+  dt_s : float;
+  counters : (string * int) list;
+  rates : (string * float) list;
+  gauges : (string * float) list;
+  hists : hpoint list;
+}
+
+let hist_key (s : Histogram.snapshot) =
+  match s.Histogram.hlabels with
+  | [] -> s.Histogram.hname
+  | labels ->
+      s.Histogram.hname ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+(* interval distribution = cumulative now minus cumulative then,
+   pointwise on the buckets (clamped: a registry reset mid-window must
+   not produce negative counts) *)
+let hist_diff (a : Histogram.snapshot) (b : Histogram.snapshot option) : Histogram.snapshot =
+  match b with
+  | None -> a
+  | Some b ->
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (i, c) -> Hashtbl.replace tbl i c) a.Histogram.buckets;
+      List.iter
+        (fun (i, c) ->
+          Hashtbl.replace tbl i (Option.value ~default:0 (Hashtbl.find_opt tbl i) - c))
+        b.Histogram.buckets;
+      let buckets =
+        List.sort compare
+          (Hashtbl.fold (fun i c acc -> if c > 0 then (i, c) :: acc else acc) tbl [])
+      in
+      {
+        a with
+        Histogram.count = max 0 (a.Histogram.count - b.Histogram.count);
+        sum = max 0 (a.Histogram.sum - b.Histogram.sum);
+        buckets;
+      }
+
+let point_of ~base (prev : sample) (cur : sample) =
+  let dt_s =
+    Float.max 1e-9 (Int64.to_float (Int64.sub cur.at_ns prev.at_ns) /. 1e9)
+  in
+  let rates =
+    List.filter_map
+      (fun (name, v) ->
+        let before = Option.value ~default:0 (List.assoc_opt name prev.counters) in
+        let d = v - before in
+        if d = 0 then None else Some (name, float_of_int d /. dt_s))
+      cur.counters
+  in
+  let prev_hists =
+    List.map (fun (s : Histogram.snapshot) -> (hist_key s, s)) prev.hists
+  in
+  let hists =
+    List.map
+      (fun (s : Histogram.snapshot) ->
+        let key = hist_key s in
+        let d = hist_diff s (List.assoc_opt key prev_hists) in
+        {
+          hkey = key;
+          hcount = d.Histogram.count;
+          hrate = float_of_int d.Histogram.count /. dt_s;
+          hp50 = Histogram.quantile d 0.5;
+          hp90 = Histogram.quantile d 0.9;
+          hp99 = Histogram.quantile d 0.99;
+          hmax = s.Histogram.max;
+          hmean = Histogram.mean d;
+        })
+      cur.hists
+  in
+  {
+    at_ns = cur.at_ns;
+    t_s = Int64.to_float (Int64.sub cur.at_ns base) /. 1e9;
+    dt_s;
+    counters = cur.counters;
+    rates;
+    gauges = cur.gauges;
+    hists;
+  }
+
+let select ?last ?downsample samples =
+  let samples =
+    match last with
+    | None -> samples
+    | Some n ->
+        if n < 1 then invalid_arg "Timeseries.window: last must be >= 1";
+        let len = List.length samples in
+        if len <= n then samples else List.filteri (fun i _ -> i >= len - n) samples
+  in
+  match downsample with
+  | None | Some 1 -> samples
+  | Some k ->
+      if k < 1 then invalid_arg "Timeseries.window: downsample must be >= 1";
+      (* keep every k-th sample counting back from the newest, so the
+         window always ends on the latest data *)
+      let len = List.length samples in
+      List.filteri (fun i _ -> (len - 1 - i) mod k = 0) samples
+
+let window ?last ?downsample t =
+  match select ?last ?downsample (samples t) with
+  | [] | [ _ ] -> []
+  | base :: _ as selected ->
+      let rec pair acc = function
+        | a :: (b :: _ as rest) -> pair (point_of ~base:base.at_ns a b :: acc) rest
+        | _ -> List.rev acc
+      in
+      pair [] selected
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let round3 f = Float.round (f *. 1000.) /. 1000.
+
+let point_to_json p =
+  Json.Object
+    [
+      ("t_s", Json.Number (round3 p.t_s));
+      ("dt_s", Json.Number (round3 p.dt_s));
+      ( "rates",
+        Json.Object (List.map (fun (k, v) -> (k, Json.Number (round3 v))) p.rates) );
+      ("gauges", Json.Object (List.map (fun (k, v) -> (k, Json.Number v)) p.gauges));
+      ( "hist",
+        Json.Object
+          (List.map
+             (fun h ->
+               ( h.hkey,
+                 Json.Object
+                   [
+                     ("count", Json.Number (float_of_int h.hcount));
+                     ("rate", Json.Number (round3 h.hrate));
+                     ("p50", Json.Number (Float.round h.hp50));
+                     ("p90", Json.Number (Float.round h.hp90));
+                     ("p99", Json.Number (Float.round h.hp99));
+                     ("max", Json.Number (float_of_int h.hmax));
+                     ("mean", Json.Number (Float.round h.hmean));
+                   ] ))
+             p.hists) );
+    ]
+
+let window_to_json ?last ?downsample t =
+  let points = window ?last ?downsample t in
+  Json.Object
+    [
+      ("interval_s", Json.Number t.interval_s);
+      ("total_samples", Json.Number (float_of_int (total_samples t)));
+      ("points", Json.Array (List.map point_to_json points));
+    ]
+
+(* CSV: one row per point; the column set is the union of the window's
+   rate and gauge names, so a counter that only moved mid-window still
+   gets a column (empty cells are 0). *)
+let window_to_csv ?last ?downsample t =
+  let points = window ?last ?downsample t in
+  let keys sel =
+    List.sort_uniq compare (List.concat_map (fun p -> List.map fst (sel p)) points)
+  in
+  let rate_keys = keys (fun p -> p.rates) and gauge_keys = keys (fun p -> p.gauges) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (String.concat ","
+       ([ "t_s"; "dt_s" ]
+       @ List.map (fun k -> "rate:" ^ k) rate_keys
+       @ List.map (fun k -> "gauge:" ^ k) gauge_keys));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun p ->
+      let cell assoc k = Option.value ~default:0.0 (List.assoc_opt k assoc) in
+      Buffer.add_string buf
+        (String.concat ","
+           ([ Printf.sprintf "%.3f" p.t_s; Printf.sprintf "%.3f" p.dt_s ]
+           @ List.map (fun k -> Printf.sprintf "%.3f" (cell p.rates k)) rate_keys
+           @ List.map (fun k -> Printf.sprintf "%.3f" (cell p.gauges k)) gauge_keys));
+      Buffer.add_char buf '\n')
+    points;
+  Buffer.contents buf

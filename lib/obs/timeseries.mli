@@ -1,0 +1,108 @@
+(** In-process time series over the metric registries.
+
+    A sampler snapshots {e every} registered counter, gauge and
+    histogram (plus caller-supplied private histograms via [extra])
+    into a fixed-capacity ring at a configurable interval, stamping
+    each sample with the shared monotonic clock. Windows of samples are
+    then derived into {e points}: per-interval counter rates, gauge
+    values, and interval histogram statistics (count, rate, p50/p90/p99
+    computed on the bucket-wise difference of adjacent cumulative
+    snapshots).
+
+    The ring is single-writer / lock-free-reader: [sample] publishes
+    each slot with one atomic increment; readers copy without locking
+    and discard anything a concurrent wrap-around clobbered (detected
+    by timestamp order). At the default 1 s interval the ring holds 15
+    minutes of history in ~900 slots.
+
+    The sampler powers the server's [{"op":"timeseries"}] endpoint,
+    the storm harness's embedded per-second series in
+    [BENCH_load.json], and the [gps top] dashboard. *)
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?interval_s:float ->
+  ?clock:(unit -> int64) ->
+  ?pre_sample:(unit -> unit) ->
+  ?extra:(unit -> Histogram.snapshot list) ->
+  unit ->
+  t
+(** [capacity] defaults to 900 slots, [interval_s] to 1.0. [clock]
+    defaults to {!Clock.now_ns} — tests inject a gated fake clock.
+    [pre_sample] runs (under the writer lock) just before each snapshot
+    so derived gauges can be refreshed; [extra] contributes private
+    histogram snapshots (e.g. the server's per-endpoint latency
+    tables). Exceptions from either hook are swallowed. *)
+
+val interval_s : t -> float
+
+(** {1 Sampling} *)
+
+val sample : t -> unit
+(** Take one snapshot now. Safe from any thread; normally only the
+    background thread calls this. *)
+
+val total_samples : t -> int
+(** Samples ever taken (not capped by capacity). The storm harness
+    brackets a run with this to slice its own window out of the ring. *)
+
+val last_age_s : ?now:int64 -> t -> float option
+(** Seconds since the most recent sample — [None] before the first.
+    The server's [status] endpoint reports this as sampler health: a
+    wedged sampler thread shows up as a growing age. *)
+
+(** {1 The background thread} *)
+
+val start : t -> unit
+(** Spawn the sampling thread (idempotent). The thread parks in short
+    chunks so {!stop} is prompt even with long intervals. *)
+
+val stop : t -> unit
+(** Request stop and join. Idempotent. *)
+
+val running : t -> bool
+
+(** {1 Derived windows} *)
+
+type hpoint = {
+  hkey : string;  (** [name] or [name{label="v",...}] *)
+  hcount : int;  (** observations in this interval *)
+  hrate : float;  (** [hcount / dt_s] *)
+  hp50 : float;
+  hp90 : float;
+  hp99 : float;
+  hmax : int;  (** cumulative max (the registry does not track
+                   per-interval maxima) *)
+  hmean : float;  (** interval mean *)
+}
+
+type point = {
+  at_ns : int64;
+  t_s : float;  (** seconds since the window's baseline sample *)
+  dt_s : float;  (** seconds since the previous selected sample *)
+  counters : (string * int) list;  (** cumulative values, all counters *)
+  rates : (string * float) list;  (** per-second deltas, nonzero only *)
+  gauges : (string * float) list;
+  hists : hpoint list;
+}
+
+val window : ?last:int -> ?downsample:int -> t -> point list
+(** Derive points from the stored samples. [last n] restricts to the
+    most recent [n] samples ([n >= 1]); [downsample k] keeps every
+    k-th sample counting back from the newest, so the window always
+    ends on the latest data and the sum of counter deltas over the
+    points is invariant under [k] (telescoping). [n] samples yield
+    [n - 1] points — the first selected sample is the baseline. *)
+
+(** {1 Export} *)
+
+val window_to_json : ?last:int -> ?downsample:int -> t -> Gps_graph.Json.value
+(** [{"interval_s", "total_samples", "points": [{t_s, dt_s, rates,
+    gauges, hist}]}] — rates carry only nonzero deltas to keep wire
+    payloads and embedded bench series compact. *)
+
+val window_to_csv : ?last:int -> ?downsample:int -> t -> string
+(** One row per point; columns are [t_s], [dt_s], then the union of
+    the window's rate and gauge names ([rate:name] / [gauge:name]). *)

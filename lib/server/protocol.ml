@@ -18,6 +18,7 @@ type request =
   | Metrics of { timings : bool }
   | Metrics_prom
   | Status of { timings : bool }
+  | Timeseries of { last : int option; downsample : int option }
 
 type error = { code : string; message : string; data : Json.value option }
 
@@ -43,6 +44,7 @@ type response =
   | Metrics_dump of Json.value
   | Prom_dump of string
   | Status_dump of Json.value
+  | Timeseries_dump of Json.value
   | Err of error
 
 let op_name = function
@@ -61,6 +63,7 @@ let op_name = function
   | Metrics _ -> "metrics"
   | Metrics_prom -> "metrics_prom"
   | Status _ -> "status"
+  | Timeseries _ -> "timeseries"
 
 (* ------------------------------------------------------------------ *)
 (* JSON building blocks *)
@@ -114,6 +117,9 @@ let encode_request r =
     | Metrics { timings } -> [ ("timings", Json.Bool timings) ]
     | Metrics_prom -> []
     | Status { timings } -> [ ("timings", Json.Bool timings) ]
+    | Timeseries { last; downsample } ->
+        (match last with None -> [] | Some n -> [ ("last", int n) ])
+        @ (match downsample with None -> [] | Some k -> [ ("downsample", int k) ])
   in
   Json.Object (("op", op) :: fields)
 
@@ -192,6 +198,7 @@ let encode_response ?id r =
     | Metrics_dump v -> ok_fields "metrics" [ ("metrics", v) ]
     | Prom_dump text -> ok_fields "metrics_prom" [ ("text", str text) ]
     | Status_dump v -> ok_fields "status" [ ("status", v) ]
+    | Timeseries_dump v -> ok_fields "timeseries" [ ("series", v) ]
     | Err { code; message; data } ->
         let body =
           [ ("code", str code); ("message", str message) ]
@@ -376,6 +383,14 @@ let decode_request v =
             | Some t -> as_bool "timings" t
           in
           Ok (Status { timings })
+      | "timeseries" ->
+          let pos what = function
+            | Ok (Some n) when n < 1 -> bad "field %S must be >= 1" what
+            | r -> r
+          in
+          let* last = pos "last" (opt_int_field v "last") in
+          let* downsample = pos "downsample" (opt_int_field v "downsample") in
+          Ok (Timeseries { last; downsample })
       | other -> bad "unknown op %S" other)
   | _ -> Error { code = "bad-request"; message = "request must be a JSON object"; data = None }
 
@@ -498,6 +513,9 @@ let decode_response v =
         | "status" ->
             let* s = field v "status" in
             Ok (Status_dump s)
+        | "timeseries" ->
+            let* s = field v "series" in
+            Ok (Timeseries_dump s)
         | other -> bad "unknown response kind %S" other)
   | _ -> Error { code = "bad-request"; message = "response must be a JSON object"; data = None }
 

@@ -55,8 +55,15 @@ type request =
           latency) — what a scraper reads *)
   | Status of { timings : bool }
       (** one-document service health: uptime, catalog versions, session
-          count, cache totals; [timings = false] omits uptime so the
-          document is fully deterministic *)
+          count, cache totals, sampler health; [timings = false] omits
+          uptime and sample ages so the document is fully
+          deterministic *)
+  | Timeseries of { last : int option; downsample : int option }
+      (** the sampler's derived window (see {!Gps_obs.Timeseries}):
+          [last] restricts to the most recent n samples, [downsample]
+          keeps every k-th (both >= 1). Answered with a typed
+          ["unavailable"] error when the server runs without a sampler
+          ([--sample-every 0]). *)
 
 type error = { code : string; message : string; data : Gps_graph.Json.value option }
 (** Stable machine-readable [code] (["parse"], ["bad-request"],
@@ -104,6 +111,9 @@ type response =
       (** Prometheus exposition text (it travels as a JSON string field
           ["text"] — the transport stays one-line JSON) *)
   | Status_dump of Gps_graph.Json.value
+  | Timeseries_dump of Gps_graph.Json.value
+      (** {!Gps_obs.Timeseries.window_to_json} output: [interval_s],
+          [total_samples], and derived [points] *)
   | Err of error
 
 val op_name : request -> string

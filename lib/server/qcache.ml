@@ -1,3 +1,11 @@
+(* Registered mirrors of the per-instance totals: the timeseries sampler
+   reads the global counter registry, and the cache hit ratio per
+   interval comes from these deltas. *)
+let c_hits = Gps_obs.Counter.make "qcache.hits"
+let c_misses = Gps_obs.Counter.make "qcache.misses"
+let c_evictions = Gps_obs.Counter.make "qcache.evictions"
+let c_invalidations = Gps_obs.Counter.make "qcache.invalidations"
+
 type key = { graph : string; version : int; query : string }
 
 type stats = {
@@ -45,9 +53,11 @@ let find t key =
           t.tick <- t.tick + 1;
           slot.stamp <- t.tick;
           t.hits <- t.hits + 1;
+          Gps_obs.Counter.incr c_hits;
           Some slot.value
       | None ->
           t.misses <- t.misses + 1;
+          Gps_obs.Counter.incr c_misses;
           None)
 
 let evict_lru t =
@@ -62,7 +72,8 @@ let evict_lru t =
   match victim with
   | Some (key, _) ->
       Hashtbl.remove t.tbl key;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      Gps_obs.Counter.incr c_evictions
   | None -> ()
 
 let add t key value =
@@ -81,6 +92,7 @@ let invalidate t ~graph =
       List.iter (Hashtbl.remove t.tbl) doomed;
       let n = List.length doomed in
       t.invalidations <- t.invalidations + n;
+      if n > 0 then Gps_obs.Counter.add c_invalidations n;
       n)
 
 let stats t =

@@ -8,6 +8,8 @@ module Gauge = Gps_obs.Gauge
 module Trace = Gps_obs.Trace
 module Deadline = Gps_obs.Deadline
 module Fault = Gps_obs.Fault
+module Timeseries = Gps_obs.Timeseries
+module Wide_event = Gps_obs.Wide_event
 
 let c_dispatches = Counter.make "server.dispatches"
 let c_errors = Counter.make "server.dispatch_errors"
@@ -31,6 +33,9 @@ type config = {
   max_inflight : int;
   max_frame_bytes : int;
   io_timeout_s : float option;
+  audit : Wide_event.sink option;
+  sample_every_s : float option;
+  prom_compat : bool;
 }
 
 let default_config =
@@ -46,6 +51,9 @@ let default_config =
     max_inflight = 0;
     max_frame_bytes = 8 * 1024 * 1024;
     io_timeout_s = None;
+    audit = None;
+    sample_every_s = None;
+    prom_compat = false;
   }
 
 type t = {
@@ -62,24 +70,56 @@ type t = {
   inflight : int Atomic.t;
   drain : Deadline.t;  (* server-wide cancel token, fired by begin_drain *)
   started_ns : int64;  (* monotonic — uptime can't jump with the wall clock *)
+  audit : Wide_event.sink option;
+  prom_compat : bool;
+  mutable series : Timeseries.t option;
 }
 
+let refresh_gauges t =
+  let c = Qcache.stats t.cache in
+  let s = Sessions.counters t.sessions in
+  Gauge.set_int g_sessions s.Sessions.active;
+  Gauge.set_int g_cache c.Qcache.size;
+  (c, s)
+
 let create ?(config = default_config) () =
-  {
-    catalog = Catalog.create ();
-    cache = Qcache.create ~capacity:config.cache_capacity ();
-    sessions = Sessions.create ~config:config.sessions ~clock:config.clock ();
-    metrics = Metrics.create ();
-    slow_ms = config.slow_ms;
-    deadline_ms = config.deadline_ms;
-    deadline_cap_ms = config.deadline_cap_ms;
-    max_inflight = config.max_inflight;
-    max_frame_bytes = max 1024 config.max_frame_bytes;
-    io_timeout_s = config.io_timeout_s;
-    inflight = Atomic.make 0;
-    drain = Deadline.token ();
-    started_ns = Clock.now_ns ();
-  }
+  let t =
+    {
+      catalog = Catalog.create ();
+      cache = Qcache.create ~capacity:config.cache_capacity ();
+      sessions = Sessions.create ~config:config.sessions ~clock:config.clock ();
+      metrics = Metrics.create ();
+      slow_ms = config.slow_ms;
+      deadline_ms = config.deadline_ms;
+      deadline_cap_ms = config.deadline_cap_ms;
+      max_inflight = config.max_inflight;
+      max_frame_bytes = max 1024 config.max_frame_bytes;
+      io_timeout_s = config.io_timeout_s;
+      inflight = Atomic.make 0;
+      drain = Deadline.token ();
+      started_ns = Clock.now_ns ();
+      audit = config.audit;
+      prom_compat = config.prom_compat;
+      series = None;
+    }
+  in
+  (match config.sample_every_s with
+  | Some interval_s when interval_s > 0.0 ->
+      (* every sample sees fresh level gauges and the per-endpoint
+         latency tables alongside the global registries *)
+      let ts =
+        Timeseries.create ~interval_s
+          ~pre_sample:(fun () -> ignore (refresh_gauges t))
+          ~extra:(fun () -> Metrics.histograms t.metrics)
+          ()
+      in
+      Timeseries.start ts;
+      t.series <- Some ts
+  | _ -> ());
+  t
+
+let sampler t = t.series
+let stop_sampler t = Option.iter Timeseries.stop t.series
 
 let begin_drain t = Deadline.cancel t.drain
 let draining t = Deadline.cancelled t.drain
@@ -138,10 +178,26 @@ let node_names g vs = List.sort compare (List.map (Digraph.node_name g) vs)
 let normalize (entry : Catalog.entry) q =
   Gps_query.Rpq.to_string (Gps_query.Rewrite.specialize entry.graph q)
 
+(* The eval counters whose per-request deltas go on the wide event —
+   the cost attribution of a cache miss. Deltas are computed by
+   bracketing the evaluation; under concurrent misses a request's delta
+   can include a neighbor's work, which the audit field dictionary
+   documents (the totals still reconcile). *)
+let audited_eval_counters =
+  [
+    ("d_product_states", Counter.make "eval.product_states");
+    ("d_frontier_visits", Counter.make "eval.frontier_visits");
+    ("d_par_levels", Counter.make "eval.par_levels");
+    ("d_seq_fallbacks", Counter.make "eval.seq_fallbacks");
+  ]
+
+let ev_set_cache ev verdict =
+  Option.iter (fun ev -> Wide_event.set_str ev "cache" verdict) ev
+
 (* With [explain], a miss carries the evaluation's full report (plus the
    cache verdict); a hit runs no evaluation, so its report is just the
    verdict — re-narrating a cached answer would be fiction. *)
-let evaluate_cached t (entry : Catalog.entry) ?(explain = false) ?(deadline = Deadline.none) q =
+let evaluate_cached t (entry : Catalog.entry) ?ev ?(explain = false) ?(deadline = Deadline.none) q =
   (* an armed slow-query log wants the report for every evaluation, so
      it can be emitted for offending requests the client never asked to
      explain; the kernel collects the stats either way *)
@@ -151,12 +207,29 @@ let evaluate_cached t (entry : Catalog.entry) ?(explain = false) ?(deadline = De
   match Qcache.find t.cache key with
   | Some nodes ->
       Trace.set_current_attr "cache" (Trace.String "hit");
+      ev_set_cache ev "hit";
       let report =
         if want_report then Some (Json.Object [ ("cache", Json.String "hit") ]) else None
       in
       (normalized, nodes, `Hit, report)
   | None ->
       Trace.set_current_attr "cache" (Trace.String "miss");
+      ev_set_cache ev "miss";
+      let eval_before =
+        match ev with
+        | None -> []
+        | Some _ -> List.map (fun (k, c) -> (k, Counter.value c)) audited_eval_counters
+      in
+      let stamp_eval_deltas () =
+        Option.iter
+          (fun ev ->
+            List.iter
+              (fun (k, c) ->
+                let before = Option.value ~default:0 (List.assoc_opt k eval_before) in
+                Wide_event.set_int ev k (Counter.value c - before))
+              audited_eval_counters)
+          ev
+      in
       let sel, report =
         if want_report || not (Deadline.is_none deadline) then
           match
@@ -178,6 +251,7 @@ let evaluate_cached t (entry : Catalog.entry) ?(explain = false) ?(deadline = De
               (* typed early-stop: the error carries the partial EXPLAIN
                  report so the client sees how far the search got *)
               Counter.incr c_timeouts;
+              stamp_eval_deltas ();
               raise
                 (Fail
                    {
@@ -190,6 +264,7 @@ let evaluate_cached t (entry : Catalog.entry) ?(explain = false) ?(deadline = De
                    })
         else (Gps_query.Eval.select_frozen entry.graph entry.csr q, None)
       in
+      stamp_eval_deltas ();
       let selected =
         Digraph.fold_nodes (fun acc v -> if sel.(v) then v :: acc else acc) [] entry.graph
       in
@@ -382,34 +457,53 @@ let do_session_stop t id =
 
 (* Slow-query log: one JSON line on stderr per query at or over the
    [slow_ms] threshold — greppable, and structured enough to feed back
-   into the trace tooling. *)
-let log_slow ~graph ~query ~cache ~ms ~nodes ~report =
+   into the trace tooling. [request_id] is the wide-event id of the
+   request, so an offender joins its audit line and trace span. *)
+let log_slow ?request_id ~graph ~query ~cache ~ms ~nodes ~report () =
   Counter.incr c_slow;
   let explain = match report with Some r -> [ ("explain", r) ] | None -> [] in
+  let rid =
+    match request_id with
+    | Some id -> [ ("request_id", Json.Number (float_of_int id)) ]
+    | None -> []
+  in
   prerr_endline
     (Json.value_to_string
        (Json.Object
-          ([
-             ("slow_query", Json.Bool true);
-             ("graph", Json.String graph);
-             ("query", Json.String query);
-             ("cache", Json.String (match cache with `Hit -> "hit" | `Miss -> "miss"));
-             ("ms", Json.Number (Float.round (ms *. 1000.) /. 1000.));
-             ("nodes", Json.Number (float_of_int nodes));
-           ]
+          (("slow_query", Json.Bool true)
+           :: rid
+          @ [
+              ("graph", Json.String graph);
+              ("query", Json.String query);
+              ("cache", Json.String (match cache with `Hit -> "hit" | `Miss -> "miss"));
+              ("ms", Json.Number (Float.round (ms *. 1000.) /. 1000.));
+              ("nodes", Json.Number (float_of_int nodes));
+            ]
           @ explain)))
 
-let do_query t graph query explain deadline_ms =
+let do_query t ?ev graph query explain deadline_ms =
   let e = graph_entry t graph in
   let q = parse_rpq query in
+  Option.iter
+    (fun w ->
+      Wide_event.set_str w "graph" graph;
+      Wide_event.set_int w "graph_version" e.Catalog.version)
+    ev;
   let deadline = request_deadline t deadline_ms in
   let t0 = Clock.now_ns () in
-  let query, nodes, cache, report = evaluate_cached t e ~explain ~deadline q in
+  let query, nodes, cache, report = evaluate_cached t e ?ev ~explain ~deadline q in
+  Option.iter
+    (fun w ->
+      Wide_event.set_str w "query" query;
+      Wide_event.set_int w "nodes" (List.length nodes))
+    ev;
   (match t.slow_ms with
   | Some threshold ->
       let ms = Clock.ns_to_s (Clock.elapsed_ns t0) *. 1e3 in
       if ms >= threshold then
-        log_slow ~graph ~query ~cache ~ms ~nodes:(List.length nodes) ~report
+        log_slow
+          ?request_id:(Option.map Wide_event.id ev)
+          ~graph ~query ~cache ~ms ~nodes:(List.length nodes) ~report ()
   | None -> ());
   P.Answer { query; nodes; cache; explain = (if explain then report else None) }
 
@@ -477,6 +571,10 @@ let metrics_json t ~timings =
              ("slow_queries", int (Counter.value c_slow));
              ("frame_rejections", int (Counter.value c_frame_rejects));
              ("client_disconnects", int (Counter.value c_disconnects));
+             (* the most recently allocated wide-event request id: a
+                storm reconciles its audit line count against the id
+                range it observed here *)
+             ("last_request_id", int (Wide_event.last_id ()));
            ] );
        ("trace", trace_json ~timings);
      ]
@@ -512,12 +610,35 @@ let status_json t ~timings =
             ] );
         ("trace_enabled", Json.Bool (Trace.enabled ()));
         ("draining", Json.Bool (draining t));
+        (* sampler health: a wedged sampler thread shows up as a
+           growing last-sample age. The age and sample count are
+           timing-dependent, so they ride behind [timings] like
+           uptime does. *)
+        ( "sampler",
+          match t.series with
+          | None -> Json.Object [ ("running", Json.Bool false) ]
+          | Some ts ->
+              Json.Object
+                ([
+                   ("running", Json.Bool (Timeseries.running ts));
+                   ("interval_s", Json.Number (Timeseries.interval_s ts));
+                 ]
+                @
+                if timings then
+                  [
+                    ("samples", int (Timeseries.total_samples ts));
+                    ( "last_sample_age_s",
+                      match Timeseries.last_age_s ts with
+                      | None -> Json.Null
+                      | Some a -> Json.Number (Float.round (a *. 1000.) /. 1000.) );
+                  ]
+                else [] ) );
       ])
 
 (* ------------------------------------------------------------------ *)
 (* dispatch *)
 
-let handle t req =
+let handle t ?ev req =
   try
     match req with
     | P.Load { name; source } -> do_load t name source
@@ -539,7 +660,7 @@ let handle t req =
             version = e.Catalog.version;
           }
     | P.Query { graph; query; explain; deadline_ms } ->
-        do_query t graph query explain deadline_ms
+        do_query t ?ev graph query explain deadline_ms
     | P.Learn { graph; pos; neg; deadline_ms } -> do_learn t graph pos neg deadline_ms
     | P.Session_start { graph; strategy; seed; budget } ->
         do_session_start t graph strategy seed budget
@@ -552,12 +673,18 @@ let handle t req =
     | P.Metrics { timings } -> P.Metrics_dump (metrics_json t ~timings)
     | P.Metrics_prom ->
         (* refresh the level gauges so the exposition reflects now *)
-        let c = Qcache.stats t.cache in
-        let s = Sessions.counters t.sessions in
-        Gauge.set_int g_sessions s.Sessions.active;
-        Gauge.set_int g_cache c.Qcache.size;
-        P.Prom_dump (Gps_obs.Prom.render ~extra:(Metrics.histograms t.metrics) ())
+        ignore (refresh_gauges t);
+        P.Prom_dump
+          (Gps_obs.Prom.render
+             ~extra:(Metrics.histograms t.metrics)
+             ~compat:t.prom_compat ())
     | P.Status { timings } -> P.Status_dump (status_json t ~timings)
+    | P.Timeseries { last; downsample } -> (
+        match t.series with
+        | None ->
+            fail "unavailable"
+              "no sampler running (start the server with --sample-every > 0)"
+        | Some ts -> P.Timeseries_dump (Timeseries.window_to_json ?last ?downsample ts))
   with
   | Fail e -> P.Err e
   | Stack_overflow -> P.Err { code = "internal"; message = "stack overflow"; data = None }
@@ -586,14 +713,26 @@ let admit t =
 
 let release t = Gauge.set_int g_inflight (Atomic.fetch_and_add t.inflight (-1) - 1)
 
-let handle_value t v =
+let ev_endpoint ev endpoint ok =
+  Wide_event.set_str ev "endpoint" endpoint;
+  Wide_event.set_bool ev "ok" ok
+
+let handle_value t ?ev v =
   Trace.with_span "server.dispatch" @@ fun sp ->
   let started_ns = Clock.now_ns () in
+  (* the one id that joins audit line, trace span and slow-query log *)
+  Option.iter (fun ev -> Trace.set_int sp "request_id" (Wide_event.id ev)) ev;
   let id = match v with Json.Object fields -> List.assoc_opt "id" fields | _ -> None in
   if not (admit t) then begin
     Counter.incr c_sheds;
     Trace.set_str sp "endpoint" "overloaded";
     Trace.set_bool sp "ok" false;
+    Option.iter
+      (fun ev ->
+        ev_endpoint ev "overloaded" false;
+        Wide_event.set_bool ev "shed" true;
+        Wide_event.set_str ev "error" "overloaded")
+      ev;
     record t ~endpoint:"overloaded" ~ok:false ~started_ns;
     P.encode_response ?id
       (P.Err
@@ -611,24 +750,65 @@ let handle_value t v =
         let endpoint, resp =
           match P.decode_request v with
           | Error e -> ("invalid", P.Err e)
-          | Ok req -> (P.op_name req, handle t req)
+          | Ok req -> (P.op_name req, handle t ?ev req)
         in
         let ok = not (is_error resp) in
         Trace.set_str sp "endpoint" endpoint;
         Trace.set_bool sp "ok" ok;
+        Option.iter
+          (fun ev ->
+            ev_endpoint ev endpoint ok;
+            match resp with
+            | P.Err e -> Wide_event.set_str ev "error" e.P.code
+            | _ -> ())
+          ev;
         record t ~endpoint ~ok ~started_ns;
         P.encode_response ?id resp)
 
-let handle_line t line =
-  match Json.value_of_string line with
-  | v -> Json.value_to_string (handle_value t v)
-  | exception Json.Parse_error (pos, msg) ->
-      record t ~endpoint:"invalid" ~ok:false ~started_ns:(Clock.now_ns ());
-      P.response_to_string
-        (P.Err { code = "parse"; message = Printf.sprintf "at %d: %s" pos msg; data = None })
-  | exception exn ->
-      record t ~endpoint:"invalid" ~ok:false ~started_ns:(Clock.now_ns ());
-      P.response_to_string (P.Err { code = "parse"; message = Printexc.to_string exn; data = None })
+(* The wire-level entry: allocates the request's wide event, measures
+   the queue-wait vs service split, and emits the audit line once the
+   response size is known. [recv_ns] is the frame-arrival timestamp
+   from the transport; in the thread-per-connection frontend the wait
+   is just read-to-dispatch time (a multiplexed frontend will report
+   real queue wait through the same field). *)
+let handle_line t ?recv_ns line =
+  let ev = Wide_event.create () in
+  let t0 = Clock.now_ns () in
+  let recv_ns = match recv_ns with Some ns -> ns | None -> t0 in
+  Wide_event.set_int ev "bytes_in" (String.length line);
+  let out =
+    match Json.value_of_string line with
+    | v -> Json.value_to_string (handle_value t ~ev v)
+    | exception Json.Parse_error (pos, msg) ->
+        record t ~endpoint:"invalid" ~ok:false ~started_ns:t0;
+        ev_endpoint ev "invalid" false;
+        Wide_event.set_str ev "error" "parse";
+        P.response_to_string
+          (P.Err { code = "parse"; message = Printf.sprintf "at %d: %s" pos msg; data = None })
+    | exception exn ->
+        record t ~endpoint:"invalid" ~ok:false ~started_ns:t0;
+        ev_endpoint ev "invalid" false;
+        Wide_event.set_str ev "error" "parse";
+        P.response_to_string
+          (P.Err { code = "parse"; message = Printexc.to_string exn; data = None })
+  in
+  (match t.audit with
+  | None -> ()
+  | Some sink ->
+      let done_ns = Clock.now_ns () in
+      let us ns = Float.round (Int64.to_float ns /. 10.) /. 100. in
+      let ms = us (Int64.sub done_ns recv_ns) /. 1000. in
+      let ok =
+        match Wide_event.fields ev |> List.assoc_opt "ok" with
+        | Some (Wide_event.Bool b) -> b
+        | _ -> false
+      in
+      Wide_event.set_int ev "bytes_out" (String.length out);
+      Wide_event.set_float ev "wait_us" (us (Int64.sub t0 recv_ns));
+      Wide_event.set_float ev "service_us" (us (Int64.sub done_ns t0));
+      Wide_event.set_float ev "ms" (Float.round (ms *. 1000.) /. 1000.);
+      Wide_event.emit sink ev ~ok ~ms);
+  out
 
 let blank line = String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) line
 
@@ -689,9 +869,10 @@ let serve_channels t ic oc =
                 }))
         (* and close: the remainder of the oversized frame is unread *)
     | `Frame line ->
+        let recv_ns = Clock.now_ns () in
         if blank line then loop ()
         else begin
-          write (handle_line t line);
+          write (handle_line t ~recv_ns line);
           loop ()
         end
   in

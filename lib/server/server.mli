@@ -53,21 +53,43 @@ type config = {
       (** per-connection socket read/write timeout (TCP transport): a
           peer that stops feeding or draining us cannot hold its thread
           forever *)
+  audit : Gps_obs.Wide_event.sink option;
+      (** wide-event audit sink: one canonical JSON line per wire
+          request (see {!handle_line}), head-sampled by the sink's
+          configuration with errors and slow requests always kept *)
+  sample_every_s : float option;
+      (** start a background {!Gps_obs.Timeseries} sampler at this
+          interval ([Some s], [s > 0]); it feeds the ["timeseries"]
+          endpoint and the [status] sampler-health block. [None] (the
+          default): no sampler thread — the endpoint answers a typed
+          ["unavailable"] error. *)
+  prom_compat : bool;
+      (** also emit the legacy quantile-gauge families
+          ([_p50]/[_p90]/[_p99]/[_mean]) from the Prometheus endpoint,
+          for one release of dashboard overlap *)
 }
 
 val default_config : config
 (** Cache capacity 256, {!Sessions.default_config}, monotonic clock, no
     slow-query log, no deadline or cap, unbounded in-flight, 8 MiB
-    frames, no socket timeout. *)
+    frames, no socket timeout, no audit sink, no sampler, no Prometheus
+    compat. *)
 
 type t
 
 val create : ?config:config -> unit -> t
+(** When [config.sample_every_s] is set, the background sampler thread
+    starts here; {!stop_sampler} (or process exit) ends it. *)
 
-val handle : t -> Protocol.request -> Protocol.response
+val sampler : t -> Gps_obs.Timeseries.t option
+val stop_sampler : t -> unit
+
+val handle : t -> ?ev:Gps_obs.Wide_event.t -> Protocol.request -> Protocol.response
 (** Never raises. The request's effective deadline is its wire
     [deadline_ms] capped by [deadline_cap_ms] (falling back to the
-    server default), combined with the drain token. *)
+    server default), combined with the drain token. [ev], when given,
+    accumulates the request's wide-event fields (graph, cache verdict,
+    eval counter deltas, result size) as dispatch proceeds. *)
 
 val begin_drain : t -> unit
 (** Fire the server-wide cancel token: every in-flight request's
@@ -81,13 +103,25 @@ val draining : t -> bool
 val inflight : t -> int
 (** Requests currently inside {!handle_value}. *)
 
-val handle_value : t -> Gps_graph.Json.value -> Gps_graph.Json.value
+val handle_value :
+  t -> ?ev:Gps_obs.Wide_event.t -> Gps_graph.Json.value -> Gps_graph.Json.value
 (** Decode, dispatch, encode; echoes any ["id"] field of the request and
-    records metrics (endpoint ["invalid"] for undecodable requests). *)
+    records metrics (endpoint ["invalid"] for undecodable requests).
+    [ev]'s request id is stamped into the dispatch trace span as
+    ["request_id"], and the event collects endpoint/ok/shed/error
+    fields. *)
 
-val handle_line : t -> string -> string
+val handle_line : t -> ?recv_ns:int64 -> string -> string
 (** One request line in, one response line out (no trailing newline).
-    JSON parse failures yield the [code = "parse"] error envelope. *)
+    JSON parse failures yield the [code = "parse"] error envelope.
+
+    This is the wire entry point: it allocates the request's
+    {!Gps_obs.Wide_event} (so every wire request gets a monotonic id,
+    visible as [last_request_id] in the metrics [server] block) and,
+    when the server has an audit sink, emits the finished event with
+    [bytes_in]/[bytes_out], the [wait_us]/[service_us] split measured
+    from [recv_ns] (the transport's frame-arrival stamp; defaults to
+    entry time), and total [ms]. *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Serve newline-delimited JSON until EOF. Whitespace-only lines are

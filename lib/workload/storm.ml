@@ -27,6 +27,7 @@ type outcome = {
   latency : H.snapshot;
   service : H.snapshot;
   server_delta : (string * int) list;
+  series : Json.value option;
   wall_s : float;
 }
 
@@ -118,6 +119,53 @@ let harvest_counters ~host ~port =
       | Ok _ -> Error "unexpected response to metrics"
       | Error _ as e -> e)
 
+(* The server-side time series, attributed to this storm by bracketing
+   with the sampler's total sample count: one cheap probe before the
+   lanes open tells us how many samples existed, and slicing the full
+   window afterwards to the new points avoids comparing client and
+   server clock domains. Returns [None] (not an error) when the server
+   runs without a sampler — storms against lean servers still work. *)
+let series_total ~host ~port =
+  match round_trip ~host ~port (P.Timeseries { last = Some 1; downsample = None }) with
+  | Error _ -> None
+  | Ok v -> (
+      match decode v with
+      | Ok (P.Timeseries_dump s) -> (
+          match Json.member "total_samples" s with
+          | Some (Json.Number n) -> Some (int_of_float n)
+          | _ -> None)
+      | _ -> None)
+
+let harvest_series ~host ~port ~before_total =
+  match before_total with
+  | None -> None
+  | Some n0 -> (
+      match round_trip ~host ~port (P.Timeseries { last = None; downsample = None }) with
+      | Error _ -> None
+      | Ok v -> (
+          match decode v with
+          | Ok (P.Timeseries_dump s) -> (
+              match (Json.member "total_samples" s, Json.member "points" s) with
+              | Some (Json.Number n1), Some (Json.Array pts) ->
+                  (* keep the points derived from samples taken during
+                     (or just after) the storm *)
+                  let keep = max 0 (int_of_float n1 - n0) in
+                  let len = List.length pts in
+                  let pts = List.filteri (fun i _ -> i >= len - keep) pts in
+                  let rebuilt =
+                    match s with
+                    | Json.Object fields ->
+                        Json.Object
+                          (List.map
+                             (fun (k, v) ->
+                               if k = "points" then (k, Json.Array pts) else (k, v))
+                             fields)
+                    | other -> other
+                  in
+                  Some rebuilt
+              | _ -> None)
+          | _ -> None))
+
 (* ------------------------------------------------------------------ *)
 (* the storm proper *)
 
@@ -167,6 +215,7 @@ let run config mix =
     let send_ns = Array.make total 0L in
     let lat_h = H.create "storm.latency_ns" and svc_h = H.create "storm.service_ns" in
     let before = harvest_counters ~host:config.host ~port:config.port in
+    let samples_before = series_total ~host:config.host ~port:config.port in
     let lanes =
       Array.init lanes_n (fun _ -> connect ~host:config.host ~port:config.port)
     in
@@ -269,6 +318,10 @@ let run config mix =
         List.iter Thread.join threads;
         Array.iter (fun lane -> close_quietly lane.fd) lanes;
         let after = harvest_counters ~host:config.host ~port:config.port in
+        let series =
+          harvest_series ~host:config.host ~port:config.port
+            ~before_total:samples_before
+        in
         let sent = Array.fold_left (fun acc l -> acc + l.lane_sent) 0 lanes in
         let received = Array.fold_left (fun acc l -> acc + l.lane_received) 0 lanes in
         let last_recv =
@@ -307,6 +360,7 @@ let run config mix =
             latency = H.snapshot lat_h;
             service = H.snapshot svc_h;
             server_delta;
+            series;
             wall_s;
           }
   end
@@ -331,7 +385,7 @@ let histogram_json (s : H.snapshot) =
 
 let outcome_to_json o =
   Json.Object
-    [
+    ([
       ("mix", Json.String o.mix);
       ("target_rps", Json.Number o.target_rps);
       ("achieved_rps", Json.Number (round3 o.achieved_rps));
@@ -346,6 +400,7 @@ let outcome_to_json o =
         Json.Object
           (List.map (fun (k, v) -> (k, Json.Number (float_of_int v))) o.server_delta) );
     ]
+    @ match o.series with None -> [] | Some s -> [ ("series", s) ])
 
 let pp_outcome ppf o =
   let q s p = ms (H.quantile s p) in

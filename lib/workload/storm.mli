@@ -45,6 +45,12 @@ type outcome = {
   service : Gps_obs.Histogram.snapshot;  (** actual-send → response, ns *)
   server_delta : (string * int) list;
       (** resilience/dispatch counter deltas over the storm, sorted *)
+  series : Gps_graph.Json.value option;
+      (** the server-side {!Gps_obs.Timeseries} window covering this
+          storm (points taken between the pre- and post-storm harvest,
+          attributed by bracketing the sampler's sample count — no
+          cross-host clock comparison). [None] when the server runs
+          without a sampler. *)
   wall_s : float;
 }
 
@@ -62,8 +68,9 @@ val load_graph :
 
 val outcome_to_json : outcome -> Gps_graph.Json.value
 (** Quantiles in milliseconds (p50/p90/p95/p99/max/mean) for both
-    distributions, plus achieved-vs-target rates, error counts and
-    server counter deltas — the shape committed in BENCH_load.json. *)
+    distributions, plus achieved-vs-target rates, error counts, server
+    counter deltas and (when the server samples) the embedded
+    per-interval ["series"] — the shape committed in BENCH_load.json. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Human-readable one-storm report. *)

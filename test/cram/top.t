@@ -1,0 +1,109 @@
+Live introspection: the timeseries wire op, the wide-event audit log
+and the `gps top` dashboard.
+
+Without a sampler the endpoint degrades into a typed error, and wire
+validation refuses nonsense windows:
+
+  $ echo '{"op":"timeseries"}' | gps serve --stdio --sample-every 0
+  {"ok":false,"error":{"code":"unavailable","message":"no sampler running (start the server with --sample-every > 0)"}}
+  $ echo '{"op":"timeseries","last":0}' | gps serve --stdio --sample-every 0
+  {"ok":false,"error":{"code":"bad-request","message":"field \"last\" must be >= 1"}}
+
+With --sample-every the background sampler feeds the endpoint; the
+response envelope carries the sampler's interval and lifetime sample
+count ahead of the derived points:
+
+  $ { echo '{"op":"status"}'; sleep 0.5; echo '{"op":"timeseries","last":3,"downsample":1}'; } \
+  >   | gps serve --stdio --load figure1 --sample-every 0.1 | tail -1 \
+  >   | grep -o '^{"ok":true,"kind":"timeseries","series":{"interval_s":0.1,"total_samples":'
+  {"ok":true,"kind":"timeseries","series":{"interval_s":0.1,"total_samples":
+
+Every wire request accumulates one wide event; --audit appends them as
+JSONL. Counters, byte sizes and eval deltas are deterministic for a
+fixed script — only the timings need normalizing — and the request ids
+count up from 1:
+
+  $ { echo '{"op":"query","graph":"figure1","query":"bus"}';
+  >   echo '{"op":"query","graph":"figure1","query":"bus"}'; } \
+  >   | gps serve --stdio --load figure1 --sample-every 0 --audit audit.jsonl
+  {"ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"miss"}
+  {"ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"hit"}
+  $ sed -E 's/"(wait_us|service_us|ms)":[0-9.]+/"\1":T/g' audit.jsonl
+  {"event":"request","id":1,"bytes_in":46,"graph":"figure1","graph_version":1,"cache":"miss","d_product_states":20,"d_frontier_visits":13,"d_par_levels":0,"d_seq_fallbacks":0,"query":"bus","nodes":3,"endpoint":"query","ok":true,"bytes_out":81,"wait_us":T,"service_us":T,"ms":T}
+  {"event":"request","id":2,"bytes_in":46,"graph":"figure1","graph_version":1,"cache":"hit","query":"bus","nodes":3,"endpoint":"query","ok":true,"bytes_out":80,"wait_us":T,"service_us":T,"ms":T}
+
+`gps audit summary` aggregates the stream offline (counts are exact,
+latencies normalized; --top 0 drops the inherently timing-ordered
+slowest section):
+
+  $ gps audit summary audit.jsonl --top 0 | sed -E 's/[0-9]+\.[0-9]+/T/g'
+  events: 2  (errors: 0, malformed lines: 0)
+  
+  endpoint          count  errors   mean ms    p50 ms    p99 ms    max ms
+  query                 2       0      T      T      T      T
+  
+  cache: hit=1 miss=1
+
+
+
+The same aggregation as one JSON object:
+
+  $ gps audit summary audit.jsonl --top 0 --json | sed -E 's/: [0-9]+\.[0-9]+/: T/g'
+  {
+    "total": 2,
+    "malformed": 0,
+    "errors": 0,
+    "endpoints": {
+      "query": {
+        "count": 2,
+        "errors": 0,
+        "mean_ms": T,
+        "p50_ms": T,
+        "p99_ms": T,
+        "max_ms": T
+      }
+    },
+    "cache": {
+      "hit": 1,
+      "miss": 1
+    },
+    "slowest": []
+  }
+
+`gps top --once` renders one dashboard frame off a live server's
+timeseries endpoint (numbers and widths normalized — the shape is the
+contract):
+
+  $ gps serve --port 0 --load figure1 --sample-every 0.1 2>serve.err &
+  $ SRV=$!
+  $ for i in $(seq 100); do grep -q serving serve.err 2>/dev/null && break; sleep 0.1; done
+  $ PORT=$(sed -n '1s/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' serve.err)
+  $ gps metrics --connect 127.0.0.1:$PORT > /dev/null
+  $ gps metrics --connect 127.0.0.1:$PORT > /dev/null
+  $ sleep 0.6
+  $ gps top --once --connect 127.0.0.1:$PORT | sed -E 's/[0-9]+(\.[0-9]+)?/N/g' | tr -s ' '
+  gps top — N.N:N sampler: every Ns, N samples, N interval(s) shown
+  
+  rates (/s) last avg
+   requests N N
+   errors N N
+   sheds N N
+   timeouts N N
+   slow queries N N
+   audit lines N N
+   eval par levels N N
+   eval seq fallbacks N N
+   cache hit % - N
+  
+  gauges (last interval)
+   inflight N
+   sessions N
+   cache entries N
+  
+  latency count pN pN pN max (last interval, ms)
+   metrics N N N N N
+
+
+
+  $ kill -TERM $SRV
+  $ wait $SRV

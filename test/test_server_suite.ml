@@ -633,6 +633,9 @@ let gen_request =
       map (fun timings -> P.Metrics { timings }) bool;
       return P.Metrics_prom;
       map (fun timings -> P.Status { timings }) bool;
+      (let* last = opt (int_range 1 1000) in
+       let* downsample = opt (int_range 1 60) in
+       return (P.Timeseries { last; downsample }));
     ]
 
 let gen_view =
@@ -723,6 +726,28 @@ let gen_response =
                  ("graphs", Json.Number (float_of_int graphs));
                  ("sessions", Json.Object [ ("active", Json.Number (float_of_int active)) ]);
                  ("trace_enabled", Json.Bool false);
+               ])));
+      (let* samples = int_bound 100 in
+       let* rate = map float_of_int (int_bound 500) in
+       return
+         (P.Timeseries_dump
+            (Json.Object
+               [
+                 ("interval_s", Json.Number 1.0);
+                 ("total_samples", Json.Number (float_of_int samples));
+                 ( "points",
+                   Json.Array
+                     [
+                       Json.Object
+                         [
+                           ("t_s", Json.Number 1.0);
+                           ("dt_s", Json.Number 1.0);
+                           ( "rates",
+                             Json.Object [ ("server.dispatches", Json.Number rate) ] );
+                           ("gauges", Json.Object []);
+                           ("hist", Json.Object []);
+                         ];
+                     ] );
                ])));
     ]
 
