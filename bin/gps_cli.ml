@@ -599,6 +599,107 @@ let convert_cmd =
     Term.(const run $ graph_arg $ format)
 
 (* ---------------------------------------------------------------- *)
+(* graph: packed binary CSR files (pack / info) *)
+
+let graph_cmd =
+  let module D = Gps.Graph.Disk_csr in
+  let pack_cmd =
+    let input =
+      let doc =
+        "Graph database file (edge list: 'src label dst' per line) to pack. Omit it and \
+         pass $(b,--generate) to stream a synthetic graph straight to disk instead."
+      in
+      Arg.(value & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+    in
+    let output =
+      let doc = "Output packed file (conventionally $(b,.csr))." in
+      Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+    in
+    let generate =
+      let doc =
+        "Stream a uniform random graph of $(b,--nodes)/$(b,--edges) size directly into \
+         the packed file — no in-heap graph is ever built, so million-node files pack \
+         in O(file) memory. The only supported family is 'uniform'."
+      in
+      Arg.(value & opt (some string) None & info [ "generate" ] ~docv:"FAMILY" ~doc)
+    in
+    let nodes =
+      let doc = "Node count for --generate." in
+      Arg.(value & opt int 1_000_000 & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+    in
+    let edges =
+      let doc = "Edge count for --generate (default: 4x nodes)." in
+      Arg.(value & opt (some int) None & info [ "edges"; "e" ] ~docv:"M" ~doc)
+    in
+    let labels =
+      let doc = "Comma-separated label alphabet for --generate." in
+      Arg.(value & opt (list string) [ "a"; "b"; "c"; "d" ] & info [ "labels" ] ~docv:"LS" ~doc)
+    in
+    let seed =
+      let doc = "PRNG seed for --generate (packing is deterministic)." in
+      Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+    in
+    let run input generate nodes edges labels seed output =
+      (match (input, generate) with
+      | Some path, None ->
+          let g = or_die (load_graph path) in
+          D.pack_digraph g ~path:output
+      | None, Some "uniform" ->
+          let edges = Option.value edges ~default:(nodes * 4) in
+          Gps.Graph.Generators.pack_uniform ~path:output ~nodes ~edges ~labels ~seed
+      | None, Some other ->
+          or_die (Error (Printf.sprintf "unknown --generate family %S (uniform)" other))
+      | Some _, Some _ -> or_die (Error "pass either a GRAPH file or --generate, not both")
+      | None, None -> or_die (Error "pack wants a GRAPH file or --generate"));
+      match D.open_map output with
+      | Error e -> or_die (Error (D.open_error_to_string e))
+      | Ok d ->
+          Printf.printf "packed %d nodes, %d edges, %d labels into %s (%d bytes)\n"
+            (D.base_nodes d) (D.base_edges d) (D.base_labels d) output (D.file_bytes d)
+    in
+    Cmd.v
+      (Cmd.info "pack"
+         ~doc:
+           "Pack a graph into the mmap-ready binary CSR format served by 'load_file' \
+            and 'gps serve --load'")
+      Term.(const run $ input $ generate $ nodes $ edges $ labels $ seed $ output)
+  in
+  let info_cmd =
+    let file =
+      let doc = "Packed binary CSR file." in
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+    in
+    let run path =
+      match D.open_map path with
+      | Error e -> or_die (Error (Printf.sprintf "%s: %s" path (D.open_error_to_string e)))
+      | Ok d ->
+          let v = D.snapshot d in
+          Printf.printf "path   : %s\n" path;
+          Printf.printf "bytes  : %d\n" (D.file_bytes d);
+          Printf.printf "nodes  : %d\n" (D.base_nodes d);
+          Printf.printf "edges  : %d\n" (D.base_edges d);
+          Printf.printf "labels : %d" (D.base_labels d);
+          let shown = min 12 (D.base_labels d) in
+          if shown > 0 then begin
+            print_string "  (";
+            for l = 0 to shown - 1 do
+              if l > 0 then print_string " ";
+              print_string (D.label_name v l)
+            done;
+            if shown < D.base_labels d then print_string " ...";
+            print_string ")"
+          end;
+          print_newline ()
+    in
+    Cmd.v
+      (Cmd.info "info" ~doc:"Validate a packed binary CSR file and print its header facts")
+      Term.(const run $ file)
+  in
+  Cmd.group
+    (Cmd.info "graph" ~doc:"Pack and inspect out-of-core binary CSR graph files")
+    [ pack_cmd; info_cmd ]
+
+(* ---------------------------------------------------------------- *)
 (* identify: L* against a known query (a teacher demo) *)
 
 let identify_cmd =
@@ -1280,16 +1381,26 @@ let serve_cmd =
         ()
     in
     at_exit (fun () -> Srv.stop_sampler server);
+    (* a --load file whose first bytes spell the packed-CSR magic is
+       mmapped in place instead of parsed into the heap *)
+    let is_packed path =
+      match In_channel.with_open_bin path (fun ic -> really_input_string ic 8) with
+      | magic -> magic = "GPSCSR01"
+      | exception (End_of_file | Sys_error _) -> false
+    in
     List.iter
       (fun spec ->
-        let name, source =
+        let req =
           match String.index_opt spec '=' with
-          | Some i ->
+          | Some i -> (
+              let name = String.sub spec 0 i in
               let v = String.sub spec (i + 1) (String.length spec - i - 1) in
-              (String.sub spec 0 i, if Sys.file_exists v then P.Path v else P.Builtin v)
-          | None -> (spec, P.Builtin spec)
+              if not (Sys.file_exists v) then P.Load { name; source = P.Builtin v }
+              else if is_packed v then P.Load_file { name; path = v }
+              else P.Load { name; source = P.Path v })
+          | None -> P.Load { name = spec; source = P.Builtin spec }
         in
-        match Srv.handle server (P.Load { name; source }) with
+        match Srv.handle server req with
         | P.Err e -> or_die (Error (Printf.sprintf "--load %s: %s" spec e.P.message))
         | _ -> ())
       preload;
@@ -1336,6 +1447,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; stats_cmd; query_cmd; learn_cmd; session_cmd; dot_cmd; convert_cmd;
-            identify_cmd; serve_cmd; trace_cmd; metrics_cmd; workload_cmd; top_cmd;
-            audit_cmd;
+            graph_cmd; identify_cmd; serve_cmd; trace_cmd; metrics_cmd; workload_cmd;
+            top_cmd; audit_cmd;
           ]))

@@ -1,0 +1,174 @@
+(** Out-of-core graphs: an mmap-backed binary CSR store with an in-heap
+    delta overlay.
+
+    {!Csr} freezes a heap {!Digraph} into int arrays; this module takes
+    the same layout to disk. A packed graph is a single binary file
+    (magic ["GPSCSR01"], fixed word-cell header, offset and packed-edge
+    cell sections, then name/label string blobs) that the server maps
+    read-only with [Unix.map_file] — loading a million-node graph costs
+    one [mmap], not a parse, and the kernel pages only the adjacency it
+    actually touches. Query evaluation reads the mapped cells through
+    {!Bigarray.Array1} exactly like the heap CSR reads its int arrays.
+
+    {2 File format (version 1)}
+
+    All word cells are 8-byte native ints written on a little-endian
+    host. Layout, in order:
+
+    - cells 0–7: header — magic ["GPSCSR01"] (as one word), format
+      version, n_nodes, n_edges, n_labels, label-blob bytes, name-blob
+      bytes, reserved 0;
+    - [out_off]: n_nodes+1 word cells of out-edge offsets;
+    - [in_off]: n_nodes+1 word cells of in-edge offsets;
+    - [out_cells]: n_edges packed cells [(label lsl 40) lor target];
+    - [in_cells]: n_edges packed cells [(label lsl 40) lor source];
+    - [label_off]: n_labels+1 byte offsets into the label blob;
+    - [name_off]: n_nodes+1 byte offsets into the name blob;
+    - label blob, then name blob (raw UTF-8 bytes), zero-padded to a
+      word boundary.
+
+    The packed-cell split caps graphs at 2{^40} nodes and 2{^22} labels
+    — far above anything the rest of the system handles. The magic word
+    doubles as an endianness probe: if the bytes spell the magic but the
+    word read differs, the file was written on a foreign byte order.
+
+    {2 Delta overlay}
+
+    A mapped file is immutable; streamed ingest ([{"op":"add_edges"}])
+    lands in an immutable in-heap overlay (persistent maps keyed by
+    node) swapped atomically, so readers take a lock-free {!snapshot}
+    while one writer at a time extends it. New node and label names
+    intern past the base ids. Edge set semantics match {!Digraph}:
+    re-adding a triple (base or overlay) is a no-op. *)
+
+type int_arr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** {1 Opening} *)
+
+type open_error =
+  | No_such_file of string
+  | Not_regular of string
+  | Bad_magic
+  | Bad_endianness
+  | Bad_version of int  (** the version the file declares *)
+  | Truncated of { expected : int; actual : int }  (** byte sizes *)
+  | Corrupted of string  (** header/offset invariant broken *)
+
+val pp_open_error : Format.formatter -> open_error -> unit
+val open_error_to_string : open_error -> string
+
+type t
+(** A mapped base file plus its mutable overlay. Thread-safe: any number
+    of readers via {!snapshot}, writers serialized internally. *)
+
+val open_map : string -> (t, open_error) result
+(** Map the packed file at the path read-only ([MAP_PRIVATE]); the base
+    is validated (magic, version, size, offset endpoints) before any
+    adjacency is trusted. The overlay starts empty. *)
+
+val path : t -> string
+
+(** {1 Base-file facts (overlay excluded)} *)
+
+val base_nodes : t -> int
+val base_edges : t -> int
+val base_labels : t -> int
+val file_bytes : t -> int
+
+(** {1 Overlay mutation} *)
+
+type delta = {
+  added : int;  (** edges actually added (duplicates skipped) *)
+  new_nodes : int;  (** node names interned by this batch *)
+  labels : string list;  (** distinct labels of the added edges, sorted *)
+}
+
+val add_edges : t -> (string * string * string) list -> delta
+(** [(src, label, dst)] triples by name; unknown names intern as new
+    overlay nodes/labels. Returns the summary the cache needs for
+    label-aware invalidation. *)
+
+val overlay_edges : t -> int
+
+(** {1 Snapshots} *)
+
+type view
+(** An immutable instant: the mapped base plus the overlay as of
+    {!snapshot} time. Safe to evaluate against while writers proceed. *)
+
+val snapshot : t -> view
+
+val n_nodes : view -> int
+val n_edges : view -> int
+val n_labels : view -> int
+val view_overlay_edges : view -> int
+val overlay_is_empty : view -> bool
+
+val node_name : view -> int -> string
+val label_name : view -> int -> string
+val label_of_name : view -> string -> int option
+
+val iter_in : view -> int -> (int -> int -> unit) -> unit
+(** Iterate [(label, source)] over in-edges, base then overlay. *)
+
+val iter_out : view -> int -> (int -> int -> unit) -> unit
+(** Iterate [(label, destination)] over out-edges, base then overlay. *)
+
+(** {1 Zero-copy access for the eval kernel}
+
+    The base adjacency of a view as raw mapped arrays, so the product-BFS
+    kernel instantiated for mapped graphs touches exactly the same shape
+    of memory as the heap-CSR kernel: an offset probe plus a packed-cell
+    scan per node, no per-edge dispatch. *)
+
+val base_in_off : view -> int_arr
+val base_in_cells : view -> int_arr
+val base_out_off : view -> int_arr
+val base_out_cells : view -> int_arr
+val base_n : view -> int
+(** Nodes of the base file; views with overlay nodes extend past this. *)
+
+val cell_label : int -> int
+val cell_node : int -> int
+(** Decode a packed cell: [cell_label c = c lsr 40],
+    [cell_node c = c land (2{^40}-1)]. *)
+
+val node_bits : int
+val node_mask : int
+(** The split constants themselves, for callers that inline the decode
+    into a hot loop instead of paying a call per edge. *)
+
+val overlay_iter_in : view -> int -> (int -> int -> unit) -> unit
+(** Overlay in-edges only — what {!iter_in} adds on top of the base. *)
+
+(** {1 Packing} *)
+
+val pack_stream :
+  path:string ->
+  n_nodes:int ->
+  n_edges:int ->
+  node_name:(int -> string) ->
+  labels:string array ->
+  iter_edges:((src:int -> label:int -> dst:int -> unit) -> unit) ->
+  unit
+(** Write a packed file without materializing the graph in the heap:
+    [iter_edges] is invoked exactly twice (degree count, then fill) and
+    must replay the identical stream of exactly [n_edges] edges both
+    times — recreate any PRNG from its seed per pass. Edges land in the
+    file through a shared write mapping; the only O(n) state is the
+    file's own mapped pages. [label] is an index into [labels];
+    duplicate triples are kept as-is (packing a {!Digraph} never
+    produces them, streamed generators may — selection semantics are
+    unaffected).
+    @raise Invalid_argument on out-of-range ids or a stream that does
+    not replay identically. *)
+
+val pack_digraph : Digraph.t -> path:string -> unit
+(** Pack a heap graph; node/label ids and adjacency are preserved
+    exactly, so a reopened file evaluates identically to
+    [Csr.freeze g]. *)
+
+val to_digraph : view -> Digraph.t
+(** Materialize (base + overlay) as a heap graph with identical node and
+    label ids — the lazy path for endpoints that need full [Digraph]
+    access (sessions, learning). *)

@@ -19,6 +19,28 @@ let uniform ~nodes ~edges ~labels ~seed =
   end;
   g
 
+let pack_uniform ~path ~nodes ~edges ~labels ~seed =
+  if labels = [] then invalid_arg "Generators.pack_uniform: empty label list";
+  if nodes <= 0 then invalid_arg "Generators.pack_uniform: need at least one node";
+  let labels = Array.of_list labels in
+  let nl = Array.length labels in
+  (* The stream must replay byte-identically across the two packing
+     passes, so the PRNG is recreated from the seed inside the callback
+     — stream position is a pure function of (seed, edge index). Unlike
+     [uniform] there is no heap edge set to dedup against: duplicate
+     triples are kept (selection sets are unaffected). *)
+  let iter_edges f =
+    let rng = Prng.create ~seed in
+    for _ = 1 to edges do
+      let src = Prng.int rng nodes in
+      let dst = Prng.int rng nodes in
+      let label = Prng.int rng nl in
+      f ~src ~label ~dst
+    done
+  in
+  Disk_csr.pack_stream ~path ~n_nodes:nodes ~n_edges:edges
+    ~node_name:(Printf.sprintf "v%d") ~labels ~iter_edges
+
 let preferential ~nodes ~attach ~labels ~seed =
   if labels = [] then invalid_arg "Generators.preferential: empty label list";
   let rng = Prng.create ~seed in

@@ -20,6 +20,16 @@ val uniform : nodes:int -> edges:int -> labels:string list -> seed:int -> Digrap
     [v0..]; duplicate triples are retried, self-loops allowed. The label
     list must be non-empty. *)
 
+val pack_uniform :
+  path:string -> nodes:int -> edges:int -> labels:string list -> seed:int -> unit
+(** Stream a uniform random graph straight into a packed {!Disk_csr}
+    file at [path] — the graph is never materialized in the OCaml heap,
+    so 10⁶–10⁷-node inputs cost file size, not resident memory. Nodes
+    are [v0..]; exactly [edges] triples are drawn (duplicates kept, not
+    retried — unlike {!uniform} there is no in-heap edge set to check
+    against; selection semantics are unaffected). Deterministic given
+    [seed]. *)
+
 val preferential : nodes:int -> attach:int -> labels:string list -> seed:int -> Digraph.t
 (** Barabási–Albert-style: nodes arrive one by one; each new node emits
     [attach] edges whose targets are picked proportionally to current

@@ -16,6 +16,7 @@ module Json = Json
 module Edit = Edit
 module Reach = Reach
 module Csr = Csr
+module Disk_csr = Disk_csr
 module Store = Store
 module Dot = Dot
 module Rank = Rank

@@ -41,8 +41,23 @@ let replay path g =
       (String.split_on_char '\n' complete)
   end
 
+let snapshot_path path = path ^ ".csr"
+
 let openfile path =
-  let graph = Digraph.create () in
+  (* a compacted store keeps its bulk in a packed binary CSR snapshot
+     beside the log: recovery is one mmap + materialize, then replay of
+     only the short tail appended since the compaction *)
+  let graph =
+    let csr = snapshot_path path in
+    if Sys.file_exists csr then
+      match Disk_csr.open_map csr with
+      | Ok d -> Disk_csr.to_digraph (Disk_csr.snapshot d)
+      | Error e ->
+          failwith
+            (Printf.sprintf "Store: corrupt snapshot %s: %s" csr
+               (Disk_csr.open_error_to_string e))
+    else Digraph.create ()
+  in
   replay path graph;
   let chan = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
   { path; graph; chan; closed = false }
@@ -84,21 +99,18 @@ let sync t =
 let compact t =
   alive t;
   flush t.chan;
+  (* the whole graph goes into the packed binary snapshot (atomically:
+     pack to .tmp, rename over) ... *)
+  let csr = snapshot_path t.path in
+  let csr_tmp = csr ^ ".tmp" in
+  Disk_csr.pack_digraph t.graph ~path:csr_tmp;
+  Sys.rename csr_tmp csr;
+  (* ... and the text log restarts empty: from here on it holds only the
+     tail of mutations since this compaction. A crash between the two
+     renames is safe — replaying the full old log on top of the snapshot
+     is idempotent (node adds and edge adds both dedup). *)
   let tmp = t.path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (* nodes first so isolated ones survive; edges re-create the rest *)
-  Digraph.iter_nodes
-    (fun v -> output_string oc (node_record (Digraph.node_name t.graph v)))
-    t.graph;
-  Digraph.iter_edges
-    (fun e ->
-      output_string oc
-        (edge_record
-           (Digraph.node_name t.graph e.Digraph.src)
-           (Digraph.label_name t.graph e.Digraph.lbl)
-           (Digraph.node_name t.graph e.Digraph.dst)))
-    t.graph;
-  close_out oc;
+  close_out (open_out_bin tmp);
   close_out t.chan;
   Sys.rename tmp t.path;
   t.chan <- open_out_gen [ Open_append; Open_binary ] 0o644 t.path

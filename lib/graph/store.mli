@@ -10,8 +10,15 @@
     v}
     On open, the log is replayed; a torn final record (no trailing
     newline — the crash case) is ignored, so a crash during append loses
-    at most the in-flight record. {!compact} rewrites the log as a
-    minimal snapshot of the current graph.
+    at most the in-flight record.
+
+    {!compact} moves the bulk out of the text log: the whole graph is
+    written as a packed binary CSR snapshot at [path ^ ".csr"] (see
+    {!Disk_csr}) and the log truncates to empty. Recovery of a
+    compacted store is one [mmap] + materialize plus a replay of only
+    the short tail appended since — not a reparse of every record ever
+    written. Both steps rename over a [.tmp]; a crash between them
+    leaves snapshot + full old log, whose replay is idempotent.
 
     Names must not contain tabs or newlines
     ({!Invalid_argument} otherwise). *)
@@ -41,8 +48,9 @@ val sync : t -> unit
 (** Flush buffered appends to the OS. *)
 
 val compact : t -> unit
-(** Atomically replace the log with a snapshot of the current graph
-    (write to [path ^ ".tmp"], then rename). *)
+(** Atomically write the packed binary snapshot to [path ^ ".csr"] and
+    truncate the log — after this, the log carries only mutations newer
+    than the snapshot. *)
 
 val close : t -> unit
 (** Flush and close; the store must not be used afterwards. *)

@@ -1,5 +1,6 @@
 module Digraph = Gps_graph.Digraph
 module Csr = Gps_graph.Csr
+module Disk_csr = Gps_graph.Disk_csr
 module Bitset = Gps_graph.Bitset
 module Vec = Gps_graph.Vec
 module Nfa = Gps_automata.Nfa
@@ -46,23 +47,23 @@ let default_par_threshold = 1024
 type plan = {
   n : int;  (* graph nodes *)
   m : int;  (* automaton states *)
-  csr : Csr.t;
   rev_off : int array;  (* length n_labels * m + 1 *)
   rev_src : int array;
   starts : int list;
   finals : int list;
 }
 
-let build_plan g csr nfa =
-  let n = Csr.n_nodes csr and m = Nfa.n_states nfa in
-  (* labels only ever grow; size by the live graph so any id the
-     snapshot knows indexes in range *)
-  let n_labels = max (Digraph.n_labels g) (Csr.n_labels csr) in
+(* The plan is pure index arithmetic: it needs the node count, the label
+   id space and a symbol resolver — not the adjacency itself. That keeps
+   one build path for every backing (heap CSR, mapped file, mapped file
+   plus overlay). *)
+let build_plan ~n ~n_labels ~label_of_name nfa =
+  let m = Nfa.n_states nfa in
   let keys = n_labels * m in
   let trans =
     List.filter_map
       (fun (qs, sym, qd) ->
-        match Digraph.label_of_name g sym with
+        match label_of_name sym with
         | Some lbl -> Some (qs, lbl, qd)
         | None -> None)
       (Nfa.transitions nfa)
@@ -84,7 +85,7 @@ let build_plan g csr nfa =
       rev_src.(cursor.(k)) <- qs;
       cursor.(k) <- cursor.(k) + 1)
     trans;
-  { n; m; csr; rev_off; rev_src; starts = Nfa.starts nfa; finals = Nfa.finals nfa }
+  { n; m; rev_off; rev_src; starts = Nfa.starts nfa; finals = Nfa.finals nfa }
 
 (* ------------------------------------------------------------------ *)
 (* The one shared kernel: backward product BFS from all accepting
@@ -118,8 +119,21 @@ type stats = {
   interrupted : Deadline.reason option;  (* [Some _] iff the BFS stopped early *)
 }
 
-let run_kernel ~domains ~par_threshold ~want_dist ~deadline plan =
-  let { n; m; csr; rev_off; rev_src; finals; _ } = plan in
+(* The kernel is abstract over how in-edges are iterated. Each backing
+   instantiates the functor once, so the expansion loops below
+   specialize per backing at compile time — per edge the mapped file
+   costs exactly what the heap CSR costs: an offset probe, a cell read
+   and the closure call that already existed. *)
+module type ADJACENCY = sig
+  type g
+
+  val iter_in : g -> int -> (int -> int -> unit) -> unit
+  (** [iter_in g v f] calls [f label source] for every in-edge of [v]. *)
+end
+
+module Make_kernel (A : ADJACENCY) = struct
+  let run ~domains ~par_threshold ~want_dist ~deadline plan adj =
+  let { n; m; rev_off; rev_src; finals; _ } = plan in
   let size = n * m in
   let pool = if domains > 1 then Some (Pool.get domains) else None in
   let tas, mem =
@@ -182,7 +196,7 @@ let run_kernel ~domains ~par_threshold ~want_dist ~deadline plan =
        end);
       let idx = queue.(!i) in
       let v' = idx / m and q' = idx mod m in
-      Csr.iter_in csr v' (fun lbl v ->
+      A.iter_in adj v' (fun lbl v ->
           let key = (lbl * m) + q' in
           for k = rev_off.(key) to rev_off.(key + 1) - 1 do
             let pidx = (v * m) + rev_src.(k) in
@@ -229,7 +243,7 @@ let run_kernel ~domains ~par_threshold ~want_dist ~deadline plan =
            end);
           let idx = queue.(!i) in
           let v' = idx / m and q' = idx mod m in
-          Csr.iter_in csr v' (fun lbl v ->
+          A.iter_in adj v' (fun lbl v ->
               let key = (lbl * m) + q' in
               for k = rev_off.(key) to rev_off.(key + 1) - 1 do
                 let pidx = (v * m) + rev_src.(k) in
@@ -296,14 +310,82 @@ let run_kernel ~domains ~par_threshold ~want_dist ~deadline plan =
     }
   in
   (mem, dist, stats)
+end
+
+module Heap_kernel = Make_kernel (struct
+  type g = Csr.t
+
+  let iter_in = Csr.iter_in
+end)
+
+(* The mapped fast path reads the base file's offset/cell arrays
+   directly — same flat-array shape as the heap CSR, with the label and
+   source unpacked from one cell. *)
+module Base_adj = struct
+  type g = { off : Disk_csr.int_arr; cells : Disk_csr.int_arr }
+
+  let bits = Disk_csr.node_bits
+  let mask = Disk_csr.node_mask
+
+  let iter_in g v f =
+    let lo = g.off.{v} and hi = g.off.{v + 1} in
+    for i = lo to hi - 1 do
+      let c = Bigarray.Array1.unsafe_get g.cells i in
+      f (c lsr bits) (c land mask)
+    done
+end
+
+module Base_kernel = Make_kernel (Base_adj)
+
+(* Mapped base plus a non-empty overlay: the base loop as above, then
+   the overlay's per-node adjacency. *)
+module View_kernel = Make_kernel (struct
+  type g = Disk_csr.view
+
+  let iter_in = Disk_csr.iter_in
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation sources: which backing an evaluation runs against. *)
+
+type source =
+  | Frozen of Digraph.t * Csr.t
+      (** A heap graph with its frozen snapshot (the snapshot must be
+          [Csr.freeze] of exactly that graph). *)
+  | Mapped of Disk_csr.view
+      (** An mmap-backed packed graph, overlay included. *)
+
+let source_nodes = function
+  | Frozen (_, csr) -> Csr.n_nodes csr
+  | Mapped view -> Disk_csr.n_nodes view
+
+let plan_of_source source nfa =
+  match source with
+  | Frozen (g, csr) ->
+      (* labels only ever grow; size by the live graph so any id the
+         snapshot knows indexes in range *)
+      build_plan ~n:(Csr.n_nodes csr)
+        ~n_labels:(max (Digraph.n_labels g) (Csr.n_labels csr))
+        ~label_of_name:(Digraph.label_of_name g) nfa
+  | Mapped view ->
+      build_plan ~n:(Disk_csr.n_nodes view) ~n_labels:(Disk_csr.n_labels view)
+        ~label_of_name:(Disk_csr.label_of_name view) nfa
+
+let run_on_source ~domains ~par_threshold ~want_dist ~deadline plan = function
+  | Frozen (_, csr) -> Heap_kernel.run ~domains ~par_threshold ~want_dist ~deadline plan csr
+  | Mapped view ->
+      if Disk_csr.overlay_is_empty view then
+        Base_kernel.run ~domains ~par_threshold ~want_dist ~deadline plan
+          { Base_adj.off = Disk_csr.base_in_off view; cells = Disk_csr.base_in_cells view }
+      else View_kernel.run ~domains ~par_threshold ~want_dist ~deadline plan view
 
 (* Run the kernel and publish counters/span attributes — the shared tail
    of every public entry point. *)
-let kernel sp ?domains ?par_threshold ?(deadline = Deadline.none) ~want_dist g csr nfa =
+let kernel sp ?domains ?par_threshold ?(deadline = Deadline.none) ~want_dist source nfa =
   let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
   let par_threshold = Option.value par_threshold ~default:default_par_threshold in
-  let plan = build_plan g csr nfa in
-  let mem, dist, stats = run_kernel ~domains ~par_threshold ~want_dist ~deadline plan in
+  let plan = plan_of_source source nfa in
+  let mem, dist, stats = run_on_source ~domains ~par_threshold ~want_dist ~deadline plan source in
   Counter.incr c_runs;
   Counter.add c_states (plan.n * plan.m);
   Counter.add c_visits stats.visits;
@@ -516,25 +598,32 @@ let pp_report ppf r =
 (* ------------------------------------------------------------------ *)
 (* public entry points — all route through the one kernel *)
 
-let select_frozen_nfa sp ?domains ?par_threshold g csr nfa =
-  if Nfa.n_states nfa = 0 then Array.make (Csr.n_nodes csr) false
+let select_source_nfa sp ?domains ?par_threshold source nfa =
+  if Nfa.n_states nfa = 0 then Array.make (source_nodes source) false
   else begin
-    let plan, mem, _, _ = kernel sp ?domains ?par_threshold ~want_dist:false g csr nfa in
+    let plan, mem, _, _ = kernel sp ?domains ?par_threshold ~want_dist:false source nfa in
     selected_of_mem plan mem
   end
 
+let select_frozen_nfa sp ?domains ?par_threshold g csr nfa =
+  select_source_nfa sp ?domains ?par_threshold (Frozen (g, csr)) nfa
+
 let count_selected sel = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 sel
 
-let select_frozen_report_nfa sp ?domains ?par_threshold g csr nfa =
+let select_source_report_nfa sp ?domains ?par_threshold source nfa =
   let threshold = Option.value par_threshold ~default:default_par_threshold in
   if Nfa.n_states nfa = 0 then
-    ( Array.make (Csr.n_nodes csr) false,
-      empty_report ~automaton_states:0 ~graph_nodes:(Csr.n_nodes csr) ~par_threshold:threshold )
+    ( Array.make (source_nodes source) false,
+      empty_report ~automaton_states:0 ~graph_nodes:(source_nodes source)
+        ~par_threshold:threshold )
   else begin
-    let plan, mem, _, stats = kernel sp ?domains ?par_threshold ~want_dist:false g csr nfa in
+    let plan, mem, _, stats = kernel sp ?domains ?par_threshold ~want_dist:false source nfa in
     let sel = selected_of_mem plan mem in
     (sel, report_of_stats plan ~par_threshold:threshold ~selected:(count_selected sel) stats)
   end
+
+let select_frozen_report_nfa sp ?domains ?par_threshold g csr nfa =
+  select_source_report_nfa sp ?domains ?par_threshold (Frozen (g, csr)) nfa
 
 let select_nfa ?domains ?par_threshold g nfa =
   Trace.with_span "eval.select" @@ fun sp ->
@@ -559,16 +648,16 @@ let select_frozen_report ?domains ?par_threshold g csr q =
 
 type interrupted = { reason : Deadline.reason; partial : report }
 
-let run_result sp ?domains ?par_threshold ~deadline g csr nfa =
+let run_result sp ?domains ?par_threshold ~deadline source nfa =
   let threshold = Option.value par_threshold ~default:default_par_threshold in
   if Nfa.n_states nfa = 0 then
     Ok
-      ( Array.make (Csr.n_nodes csr) false,
-        empty_report ~automaton_states:0 ~graph_nodes:(Csr.n_nodes csr)
+      ( Array.make (source_nodes source) false,
+        empty_report ~automaton_states:0 ~graph_nodes:(source_nodes source)
           ~par_threshold:threshold )
   else begin
     let plan, mem, _, stats =
-      kernel sp ?domains ?par_threshold ~deadline ~want_dist:false g csr nfa
+      kernel sp ?domains ?par_threshold ~deadline ~want_dist:false source nfa
     in
     let sel = selected_of_mem plan mem in
     let report =
@@ -581,11 +670,29 @@ let run_result sp ?domains ?par_threshold ~deadline g csr nfa =
 
 let select_frozen_report_result ?domains ?par_threshold ?(deadline = Deadline.none) g csr q =
   Trace.with_span "eval.select_frozen" @@ fun sp ->
-  run_result sp ?domains ?par_threshold ~deadline g csr (Rpq.nfa q)
+  run_result sp ?domains ?par_threshold ~deadline (Frozen (g, csr)) (Rpq.nfa q)
 
 let select_report_result ?domains ?par_threshold ?(deadline = Deadline.none) g q =
   Trace.with_span "eval.select" @@ fun sp ->
-  run_result sp ?domains ?par_threshold ~deadline g (Csr.freeze g) (Rpq.nfa q)
+  run_result sp ?domains ?par_threshold ~deadline (Frozen (g, Csr.freeze g)) (Rpq.nfa q)
+
+(* --- mapped / source-generic entry points ------------------------- *)
+
+let source_span = function
+  | Frozen _ -> "eval.select_frozen"
+  | Mapped _ -> "eval.select_mapped"
+
+let select_source_report_result ?domains ?par_threshold ?(deadline = Deadline.none) source q =
+  Trace.with_span (source_span source) @@ fun sp ->
+  run_result sp ?domains ?par_threshold ~deadline source (Rpq.nfa q)
+
+let select_mapped ?domains ?par_threshold view q =
+  Trace.with_span "eval.select_mapped" @@ fun sp ->
+  select_source_nfa sp ?domains ?par_threshold (Mapped view) (Rpq.nfa q)
+
+let select_mapped_report ?domains ?par_threshold view q =
+  Trace.with_span "eval.select_mapped" @@ fun sp ->
+  select_source_report_nfa sp ?domains ?par_threshold (Mapped view) (Rpq.nfa q)
 
 let select_frozen_result ?domains ?par_threshold ?deadline g csr q =
   Result.map fst (select_frozen_report_result ?domains ?par_threshold ?deadline g csr q)
@@ -618,7 +725,7 @@ let witness_lengths ?domains ?par_threshold g q =
   if m = 0 then result
   else begin
     let plan, _, dist, _ =
-      kernel sp ?domains ?par_threshold ~want_dist:true g (Csr.freeze g) nfa
+      kernel sp ?domains ?par_threshold ~want_dist:true (Frozen (g, Csr.freeze g)) nfa
     in
     let dist = Option.get dist in
     for v = 0 to n - 1 do

@@ -151,6 +151,45 @@ val select_frozen_report_result :
   Rpq.t ->
   (bool array * report, interrupted) result
 
+(** {2 Out-of-core evaluation}
+
+    The kernel is compiled once per adjacency backing (a functor over a
+    minimal in-edge iteration interface), so evaluating against an
+    mmap-backed {!Gps_graph.Disk_csr} view costs the same per edge as
+    the heap CSR: an offset probe and a packed-cell read. A view whose
+    delta overlay is empty takes the pure flat-array path; with an
+    overlay, each node's base range is walked first and the overlay
+    adjacency appended. *)
+
+type source =
+  | Frozen of Gps_graph.Digraph.t * Gps_graph.Csr.t
+      (** A heap graph with its frozen snapshot (the snapshot must be
+          [Csr.freeze] of exactly that graph). *)
+  | Mapped of Gps_graph.Disk_csr.view
+      (** An mmap-backed packed graph, delta overlay included. *)
+
+val select_mapped :
+  ?domains:int -> ?par_threshold:int -> Gps_graph.Disk_csr.view -> Rpq.t -> bool array
+(** {!select} against a mapped view; index [v] of the result is the
+    node with id [v] (overlay nodes included, past the base count). *)
+
+val select_mapped_report :
+  ?domains:int ->
+  ?par_threshold:int ->
+  Gps_graph.Disk_csr.view ->
+  Rpq.t ->
+  bool array * report
+
+val select_source_report_result :
+  ?domains:int ->
+  ?par_threshold:int ->
+  ?deadline:Gps_obs.Deadline.t ->
+  source ->
+  Rpq.t ->
+  (bool array * report, interrupted) result
+(** The backing-generic entry point the server routes through: same
+    kernel, same deadline semantics as {!select_frozen_report_result}. *)
+
 val report_to_json : report -> Gps_graph.Json.value
 val report_of_json : Gps_graph.Json.value -> (report, string) result
 (** Total codec: [report_of_json (report_to_json r) = Ok r]. *)

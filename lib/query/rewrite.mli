@@ -15,3 +15,14 @@ val specialize : Gps_graph.Digraph.t -> Rpq.t -> Rpq.t
 
 val dead_symbols : Gps_graph.Digraph.t -> Rpq.t -> string list
 (** The symbols the specialization would remove, sorted. *)
+
+val specialize_known : known:(string -> bool) -> Rpq.t -> Rpq.t
+(** {!specialize} against an abstract alphabet: [known] is asked about
+    each symbol's base label ([l~] is judged by [l]). This is the entry
+    point for graph backings that are not a {!Gps_graph.Digraph} — the
+    server uses it for mmap-backed catalog entries. *)
+
+val base_alphabet : Rpq.t -> string list
+(** The distinct base labels the query mentions, sorted — the label set
+    the result cache intersects against ingest deltas to decide which
+    entries a batch of new edges can possibly affect. *)

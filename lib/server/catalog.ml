@@ -1,9 +1,20 @@
-type entry = {
-  name : string;
-  graph : Gps_graph.Digraph.t;
-  csr : Gps_graph.Csr.t;
-  version : int;
-}
+module Digraph = Gps_graph.Digraph
+module Csr = Gps_graph.Csr
+module Disk_csr = Gps_graph.Disk_csr
+
+(* level gauge: how many catalog entries are currently mmap-backed *)
+let g_file_backed = Gps_obs.Gauge.make "catalog.file_backed"
+
+type backing =
+  | Heap of { graph : Digraph.t; csr : Csr.t }
+  | File of {
+      disk : Disk_csr.t;
+      file : string;
+      lock : Mutex.t;
+      mutable heap : (Digraph.t * int) option;
+    }
+
+type entry = { name : string; version : int; backing : backing }
 
 type t = { tbl : (string, entry) Hashtbl.t; lock : Mutex.t }
 
@@ -13,19 +24,37 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let put t ~name graph =
-  (* freeze outside the lock: it is the expensive part and touches no
-     shared state *)
-  let csr = Gps_graph.Csr.freeze graph in
+let file_backed e = match e.backing with File _ -> true | Heap _ -> false
+let backing_file e = match e.backing with File f -> Some f.file | Heap _ -> None
+
+let refresh_file_gauge t =
+  (* called under the catalog lock *)
+  let n = Hashtbl.fold (fun _ e acc -> if file_backed e then acc + 1 else acc) t.tbl 0 in
+  Gps_obs.Gauge.set_int g_file_backed n
+
+let install t name backing =
   with_lock t (fun () ->
       let version =
         match Hashtbl.find_opt t.tbl name with
         | Some prev -> prev.version + 1
         | None -> 1
       in
-      let entry = { name; graph; csr; version } in
+      let entry = { name; version; backing } in
       Hashtbl.replace t.tbl name entry;
+      refresh_file_gauge t;
       entry)
+
+let put t ~name graph =
+  (* freeze outside the lock: it is the expensive part and touches no
+     shared state *)
+  let csr = Csr.freeze graph in
+  install t name (Heap { graph; csr })
+
+let put_file t ~name path =
+  match Disk_csr.open_map path with
+  | Error _ as e -> e
+  | Ok disk ->
+      Ok (install t name (File { disk; file = path; lock = Mutex.create (); heap = None }))
 
 let find t name = with_lock t (fun () -> Hashtbl.find_opt t.tbl name)
 
@@ -35,3 +64,70 @@ let list t =
       |> List.sort (fun a b -> compare a.name b.name))
 
 let count t = with_lock t (fun () -> Hashtbl.length t.tbl)
+
+(* ------------------------------------------------------------------ *)
+(* backing-generic accessors *)
+
+let eval_source e =
+  match e.backing with
+  | Heap { graph; csr } -> Gps_query.Eval.Frozen (graph, csr)
+  | File { disk; _ } -> Gps_query.Eval.Mapped (Disk_csr.snapshot disk)
+
+let n_nodes e =
+  match e.backing with
+  | Heap { graph; _ } -> Digraph.n_nodes graph
+  | File { disk; _ } -> Disk_csr.n_nodes (Disk_csr.snapshot disk)
+
+let n_edges e =
+  match e.backing with
+  | Heap { graph; _ } -> Digraph.n_edges graph
+  | File { disk; _ } -> Disk_csr.n_edges (Disk_csr.snapshot disk)
+
+let n_labels e =
+  match e.backing with
+  | Heap { graph; _ } -> Digraph.n_labels graph
+  | File { disk; _ } -> Disk_csr.n_labels (Disk_csr.snapshot disk)
+
+let labels e =
+  match e.backing with
+  | Heap { graph; _ } -> List.sort compare (Digraph.labels graph)
+  | File { disk; _ } ->
+      let v = Disk_csr.snapshot disk in
+      let acc = ref [] in
+      for l = Disk_csr.n_labels v - 1 downto 0 do
+        acc := Disk_csr.label_name v l :: !acc
+      done;
+      List.sort compare !acc
+
+let known_label e base =
+  match e.backing with
+  | Heap { graph; _ } -> Digraph.label_of_name graph base <> None
+  | File { disk; _ } -> Disk_csr.label_of_name (Disk_csr.snapshot disk) base <> None
+
+let overlay_edges e =
+  match e.backing with Heap _ -> 0 | File { disk; _ } -> Disk_csr.overlay_edges disk
+
+let graph e =
+  match e.backing with
+  | Heap { graph; _ } -> graph
+  | File ({ disk; lock; _ } as f) ->
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          let v = Disk_csr.snapshot disk in
+          let stamp = Disk_csr.view_overlay_edges v in
+          match f.heap with
+          | Some (g, s) when s = stamp -> g
+          | _ ->
+              let g = Disk_csr.to_digraph v in
+              f.heap <- Some (g, stamp);
+              g)
+
+let add_edges e triples =
+  match e.backing with
+  | Heap _ ->
+      Error
+        (Printf.sprintf "graph %S is heap-backed; add_edges needs a file-backed graph (load_file)"
+           e.name)
+  | File { disk; _ } -> Ok (Disk_csr.add_edges disk triples)

@@ -1,21 +1,45 @@
 (** The named-graph registry.
 
-    The service owns a set of graph databases addressed by name. Each
-    [put] installs an immutable snapshot — the {!Gps_graph.Digraph.t}
-    together with its {!Gps_graph.Csr} freeze for the evaluation hot path
-    — under a monotonically increasing per-name version. Reloading a name
-    bumps its version, which is what keys the query cache and lets
-    already-running sessions keep working against the snapshot they
-    started from.
+    The service owns a set of graph databases addressed by name, each
+    under a monotonically increasing per-name version. Two backings
+    coexist behind one entry type:
+
+    - {e heap} entries ([put]): an immutable {!Gps_graph.Digraph.t}
+      snapshot plus its {!Gps_graph.Csr} freeze for the evaluation hot
+      path — the original in-core story;
+    - {e file} entries ([put_file]): an mmap-backed
+      {!Gps_graph.Disk_csr} packed graph plus its mutable delta overlay.
+      No [Digraph] is retained — a million-node file costs one [mmap],
+      and endpoints that genuinely need full [Digraph] access (sessions,
+      learning) force one lazily through {!graph}, memoized until the
+      overlay grows.
+
+    Reloading a name bumps its version, which is what keys the query
+    cache and lets already-running sessions keep working against the
+    snapshot they started from. Overlay ingest ({!add_edges}) does {e
+    not} bump the version — the graph only grows, and the query cache
+    handles deltas with label-aware invalidation instead of the blanket
+    version cliff.
 
     All operations are thread-safe (one internal mutex; entries are
-    immutable once published). *)
+    immutable once published — the [File] overlay and memo mutate behind
+    their own locks). *)
+
+type backing =
+  | Heap of { graph : Gps_graph.Digraph.t; csr : Gps_graph.Csr.t }
+  | File of {
+      disk : Gps_graph.Disk_csr.t;
+      file : string;  (** the packed file's path *)
+      lock : Mutex.t;  (** guards [heap] *)
+      mutable heap : (Gps_graph.Digraph.t * int) option;
+          (** memoized materialization, stamped with the overlay edge
+              count it reflects *)
+    }
 
 type entry = {
   name : string;
-  graph : Gps_graph.Digraph.t;
-  csr : Gps_graph.Csr.t;   (** [Csr.freeze graph], shared by all queries *)
-  version : int;           (** 1 on first load, +1 per reload *)
+  version : int;  (** 1 on first load, +1 per reload *)
+  backing : backing;
 }
 
 type t
@@ -26,9 +50,49 @@ val put : t -> name:string -> Gps_graph.Digraph.t -> entry
 (** Install (or replace) the graph under [name]. Freezes the CSR
     snapshot eagerly. *)
 
+val put_file : t -> name:string -> string -> (entry, Gps_graph.Disk_csr.open_error) result
+(** Map the packed file at the path and install it under [name]; the
+    file is validated before the entry is published. Versioning is the
+    same as {!put}. *)
+
 val find : t -> string -> entry option
 
 val list : t -> entry list
 (** Sorted by name. *)
 
 val count : t -> int
+
+(** {1 Backing-generic accessors}
+
+    These answer without materializing a heap graph for file entries. *)
+
+val eval_source : entry -> Gps_query.Eval.source
+(** What the evaluation kernel should run against: the frozen heap CSR,
+    or a fresh overlay-inclusive snapshot of the mapped file. *)
+
+val n_nodes : entry -> int
+val n_edges : entry -> int
+val n_labels : entry -> int
+(** Overlay included for file entries. *)
+
+val labels : entry -> string list
+(** All label names, sorted. *)
+
+val known_label : entry -> string -> bool
+(** Is the base label in this graph's alphabet (overlay included)? The
+    argument feeds {!Gps_query.Rewrite.specialize_known}. *)
+
+val file_backed : entry -> bool
+val backing_file : entry -> string option
+val overlay_edges : entry -> int
+(** 0 for heap entries. *)
+
+val graph : entry -> Gps_graph.Digraph.t
+(** The full heap graph. Free for heap entries; file entries materialize
+    (base + overlay) on first use and memoize until the overlay grows.
+    Sessions and learning go through this — the query path never does. *)
+
+val add_edges :
+  entry -> (string * string * string) list -> (Gps_graph.Disk_csr.delta, string) result
+(** Append [(src, label, dst)] triples to a file entry's overlay.
+    [Error] for heap entries (reload is their only mutation). *)

@@ -4,6 +4,8 @@ type load_source = Builtin of string | Path of string | Text of string
 
 type request =
   | Load of { name : string; source : load_source }
+  | Load_file of { name : string; path : string }
+  | Add_edges of { graph : string; edges : (string * string * string) list }
   | List_graphs
   | Stats of { graph : string }
   | Query of { graph : string; query : string; explain : bool; deadline_ms : float option }
@@ -30,6 +32,14 @@ type session_view =
 
 type response =
   | Loaded of { name : string; nodes : int; edges : int; labels : int; version : int }
+  | Edges_added of {
+      name : string;
+      version : int;
+      added : int;
+      new_nodes : int;
+      overlay_edges : int;
+      invalidated : int;
+    }
   | Graphs of { graphs : (string * int) list }
   | Stats_of of { name : string; nodes : int; edges : int; labels : string list; version : int }
   | Answer of {
@@ -49,6 +59,8 @@ type response =
 
 let op_name = function
   | Load _ -> "load"
+  | Load_file _ -> "load_file"
+  | Add_edges _ -> "add_edges"
   | List_graphs -> "list-graphs"
   | Stats _ -> "stats"
   | Query _ -> "query"
@@ -92,6 +104,16 @@ let encode_request r =
           | Text t -> ("text", str t)
         in
         [ ("name", str name); src ]
+    | Load_file { name; path } -> [ ("name", str name); ("file", str path) ]
+    | Add_edges { graph; edges } ->
+        [
+          ("graph", str graph);
+          ( "edges",
+            Json.Array
+              (List.map
+                 (fun (s, l, d) -> Json.Array [ str s; str l; str d ])
+                 edges) );
+        ]
     | List_graphs -> []
     | Stats { graph } -> [ ("graph", str graph) ]
     | Query { graph; query; explain; deadline_ms } ->
@@ -161,6 +183,16 @@ let encode_response ?id r =
             ("edges", int edges);
             ("labels", int labels);
             ("version", int version);
+          ]
+    | Edges_added { name; version; added; new_nodes; overlay_edges; invalidated } ->
+        ok_fields "edges_added"
+          [
+            ("name", str name);
+            ("version", int version);
+            ("added", int added);
+            ("new_nodes", int new_nodes);
+            ("overlay_edges", int overlay_edges);
+            ("invalidated", int invalidated);
           ]
     | Graphs { graphs } ->
         ok_fields "graphs"
@@ -300,6 +332,30 @@ let decode_request v =
             | _ -> bad "load takes exactly one of \"builtin\", \"path\" or \"text\""
           in
           Ok (Load { name; source })
+      | "load_file" ->
+          let* name = str_field v "name" in
+          let* path = str_field v "file" in
+          Ok (Load_file { name; path })
+      | "add_edges" ->
+          let* graph = str_field v "graph" in
+          let* edges =
+            let* es = field v "edges" in
+            match es with
+            | Json.Array items ->
+                let triple = function
+                  | Json.Array [ Json.String s; Json.String l; Json.String d ] -> Ok (s, l, d)
+                  | _ -> bad "each edge must be a [src, label, dst] array of strings"
+                in
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | e :: rest ->
+                      let* e = triple e in
+                      go (e :: acc) rest
+                in
+                go [] items
+            | _ -> bad "field \"edges\" must be an array"
+          in
+          Ok (Add_edges { graph; edges })
       | "list-graphs" -> Ok List_graphs
       | "stats" ->
           let* graph = str_field v "graph" in
@@ -457,6 +513,14 @@ let decode_response v =
             let* labels = int_field v "labels" in
             let* version = int_field v "version" in
             Ok (Loaded { name; nodes; edges; labels; version })
+        | "edges_added" ->
+            let* name = str_field v "name" in
+            let* version = int_field v "version" in
+            let* added = int_field v "added" in
+            let* new_nodes = int_field v "new_nodes" in
+            let* overlay_edges = int_field v "overlay_edges" in
+            let* invalidated = int_field v "invalidated" in
+            Ok (Edges_added { name; version; added; new_nodes; overlay_edges; invalidated })
         | "graphs" ->
             let* gs = field v "graphs" in
             let* graphs =

@@ -25,6 +25,14 @@ type load_source =
 
 type request =
   | Load of { name : string; source : load_source }
+  | Load_file of { name : string; path : string }
+      (** map a packed binary CSR file ({!Gps_graph.Disk_csr}) in place —
+          no parse, no heap graph; answered with [Loaded] like [Load] *)
+  | Add_edges of { graph : string; edges : (string * string * string) list }
+      (** append [(src, label, dst)] triples to a file-backed graph's
+          delta overlay; unknown names intern as new nodes/labels. The
+          catalog version does {e not} change — the cache invalidates
+          label-aware instead (see {!Qcache.invalidate_delta}) *)
   | List_graphs
   | Stats of { graph : string }
   | Query of { graph : string; query : string; explain : bool; deadline_ms : float option }
@@ -68,9 +76,12 @@ type request =
 type error = { code : string; message : string; data : Gps_graph.Json.value option }
 (** Stable machine-readable [code] (["parse"], ["bad-request"],
     ["unknown-graph"], ["unknown-session"], ["bad-query"], ["bad-state"],
-    ["bad-path"], ["inconsistent"], ["timeout"], ["cancelled"],
-    ["overloaded"], ["frame-too-large"], ["unavailable"], ["io"],
-    ["internal"]) plus a human message. [data] optionally attaches
+    ["bad-path"], ["bad-file"], ["inconsistent"], ["timeout"],
+    ["cancelled"], ["overloaded"], ["frame-too-large"], ["unavailable"],
+    ["io"], ["internal"]) plus a human message. [load_file] answers
+    ["io"] for a missing or non-regular path and ["bad-file"] for bytes
+    that fail packed-graph validation (magic, version, size, offsets —
+    see {!Gps_graph.Disk_csr.open_error}). [data] optionally attaches
     structured context — a ["timeout"]/["cancelled"] error on a query
     carries the {e partial} EXPLAIN report of the work done before the
     deadline fired. *)
@@ -90,6 +101,14 @@ type session_view =
 
 type response =
   | Loaded of { name : string; nodes : int; edges : int; labels : int; version : int }
+  | Edges_added of {
+      name : string;
+      version : int;  (** unchanged by the ingest — echoed for clients *)
+      added : int;  (** edges actually appended (duplicates skipped) *)
+      new_nodes : int;
+      overlay_edges : int;  (** overlay total after this batch *)
+      invalidated : int;  (** cache entries dropped by the delta *)
+    }
   | Graphs of { graphs : (string * int) list }  (** (name, version), sorted by name *)
   | Stats_of of { name : string; nodes : int; edges : int; labels : string list; version : int }
   | Answer of {

@@ -5,6 +5,7 @@ let c_hits = Gps_obs.Counter.make "qcache.hits"
 let c_misses = Gps_obs.Counter.make "qcache.misses"
 let c_evictions = Gps_obs.Counter.make "qcache.evictions"
 let c_invalidations = Gps_obs.Counter.make "qcache.invalidations"
+let c_delta_invalidations = Gps_obs.Counter.make "qcache.delta_invalidations"
 
 type key = { graph : string; version : int; query : string }
 
@@ -13,11 +14,17 @@ type stats = {
   misses : int;
   evictions : int;
   invalidations : int;
+  delta_invalidations : int;
   size : int;
   capacity : int;
 }
 
-type slot = { value : string list; mutable stamp : int }
+type slot = {
+  value : string list;
+  labels : string list option;  (* sorted base alphabet; None = unknown *)
+  nullable : bool;
+  mutable stamp : int;
+}
 
 type t = {
   tbl : (key, slot) Hashtbl.t;
@@ -28,6 +35,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable invalidations : int;
+  mutable delta_invalidations : int;
 }
 
 let create ?(capacity = 256) () =
@@ -40,6 +48,7 @@ let create ?(capacity = 256) () =
     misses = 0;
     evictions = 0;
     invalidations = 0;
+    delta_invalidations = 0;
   }
 
 let with_lock t f =
@@ -76,13 +85,13 @@ let evict_lru t =
       Gps_obs.Counter.incr c_evictions
   | None -> ()
 
-let add t key value =
+let add t ?labels ?(nullable = true) key value =
   if t.capacity > 0 then
     with_lock t (fun () ->
         if Hashtbl.mem t.tbl key then Hashtbl.remove t.tbl key
         else if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
         t.tick <- t.tick + 1;
-        Hashtbl.replace t.tbl key { value; stamp = t.tick })
+        Hashtbl.replace t.tbl key { value; labels; nullable; stamp = t.tick })
 
 let invalidate t ~graph =
   with_lock t (fun () ->
@@ -95,6 +104,32 @@ let invalidate t ~graph =
       if n > 0 then Gps_obs.Counter.add c_invalidations n;
       n)
 
+(* both lists sorted ascending *)
+let rec intersects xs ys =
+  match (xs, ys) with
+  | [], _ | _, [] -> false
+  | x :: xs', y :: ys' ->
+      let c = String.compare x y in
+      if c = 0 then true else if c < 0 then intersects xs' ys else intersects xs ys'
+
+let invalidate_delta t ~graph ~labels ~new_nodes =
+  with_lock t (fun () ->
+      let touched slot =
+        match slot.labels with
+        | None -> true (* unknown alphabet: conservatively touched *)
+        | Some ls -> intersects ls labels || (new_nodes > 0 && slot.nullable)
+      in
+      let doomed =
+        Hashtbl.fold
+          (fun key slot acc -> if key.graph = graph && touched slot then key :: acc else acc)
+          t.tbl []
+      in
+      List.iter (Hashtbl.remove t.tbl) doomed;
+      let n = List.length doomed in
+      t.delta_invalidations <- t.delta_invalidations + n;
+      if n > 0 then Gps_obs.Counter.add c_delta_invalidations n;
+      n)
+
 let stats t =
   with_lock t (fun () ->
       {
@@ -102,6 +137,7 @@ let stats t =
         misses = t.misses;
         evictions = t.evictions;
         invalidations = t.invalidations;
+        delta_invalidations = t.delta_invalidations;
         size = Hashtbl.length t.tbl;
         capacity = t.capacity;
       })

@@ -9,6 +9,22 @@
     name {e and version}: a reload bumps the catalog version, so stale
     results can never be served even before {!invalidate} reclaims them.
 
+    {2 Label-aware delta invalidation}
+
+    Overlay ingest on a file-backed graph does not bump the version —
+    it would evict the whole graph's working set on every small batch.
+    Instead each entry remembers the query's base-label alphabet
+    ({!Gps_query.Rewrite.base_alphabet}) and whether its language is
+    nullable. A batch of new edges can only change an answer if the
+    query mentions one of the batch's labels — or, when the batch
+    interns {e new nodes}, if the query matches ε (every node selects
+    itself, so new nodes join the answer of any nullable query).
+    {!invalidate_delta} drops exactly those entries; disjoint-label
+    results stay warm. This is sound because graphs only grow (no edge
+    deletion anywhere in the system) and the query algebra has no
+    negation: adding edges of labels a query never mentions cannot
+    create or destroy any path the query can read.
+
     Thread-safe (one internal mutex). Lookups and insertions are O(1)
     amortized except eviction, which scans for the least recently used
     entry — capacities are small (hundreds), and the scan keeps the
@@ -24,6 +40,7 @@ type stats = {
   misses : int;
   evictions : int;
   invalidations : int;  (** entries dropped by {!invalidate} *)
+  delta_invalidations : int;  (** entries dropped by {!invalidate_delta} *)
   size : int;
   capacity : int;
 }
@@ -36,13 +53,21 @@ val create : ?capacity:int -> unit -> t
 val find : t -> key -> string list option
 (** Counts a hit or a miss, and refreshes the entry's recency. *)
 
-val add : t -> key -> string list -> unit
+val add : t -> ?labels:string list -> ?nullable:bool -> key -> string list -> unit
 (** Insert, evicting the least recently used entry when full. Replaces
-    any existing value under the same key. *)
+    any existing value under the same key. [labels] is the query's
+    sorted base alphabet and [nullable] whether it matches ε — the
+    facts {!invalidate_delta} filters on. Omitted (the conservative
+    default), the entry is treated as touched by {e every} delta. *)
 
 val invalidate : t -> graph:string -> int
 (** Drop every entry of the named graph (any version); returns how many
     were dropped. Called on reload so superseded snapshots release their
     memory promptly. *)
+
+val invalidate_delta : t -> graph:string -> labels:string list -> new_nodes:int -> int
+(** Drop the named graph's entries that a delta with these (sorted)
+    labels can affect: label sets intersect, or [new_nodes > 0] and the
+    entry's query is nullable. Returns how many were dropped. *)
 
 val stats : t -> stats

@@ -1,5 +1,6 @@
 module Json = Gps_graph.Json
 module Digraph = Gps_graph.Digraph
+module Disk_csr = Gps_graph.Disk_csr
 module P = Protocol
 module S = Gps_interactive.Session
 module Clock = Gps_obs.Clock
@@ -22,6 +23,10 @@ let c_cache_drops = Counter.make "server.cache_insert_drops"
 let g_sessions = Gauge.make "server.sessions_active"
 let g_cache = Gauge.make "server.qcache_size"
 let g_inflight = Gauge.make "server.inflight"
+
+(* total delta-overlay edges across every file-backed catalog entry —
+   the live measure of how much ingest has landed since the last pack *)
+let g_overlay = Gauge.make "graph.overlay_edges"
 
 type config = {
   cache_capacity : int;
@@ -172,11 +177,13 @@ let parse_rpq s =
 
 let node_names g vs = List.sort compare (List.map (Digraph.node_name g) vs)
 
-(* Normalize to the graph-specialized printed form: syntactic variants
-   and out-of-alphabet symbols collapse onto one cache key with an
-   unchanged answer on this graph. *)
-let normalize (entry : Catalog.entry) q =
-  Gps_query.Rpq.to_string (Gps_query.Rewrite.specialize entry.graph q)
+(* Normalize to the graph-specialized form: syntactic variants and
+   out-of-alphabet symbols collapse onto one cache key with an unchanged
+   answer on this graph. Alphabet membership goes through the catalog so
+   file-backed entries answer from the mapped label table without
+   materializing a heap graph. *)
+let specialized (entry : Catalog.entry) q =
+  Gps_query.Rewrite.specialize_known ~known:(Catalog.known_label entry) q
 
 (* The eval counters whose per-request deltas go on the wide event —
    the cost attribution of a cache miss. Deltas are computed by
@@ -202,7 +209,8 @@ let evaluate_cached t (entry : Catalog.entry) ?ev ?(explain = false) ?(deadline 
      it can be emitted for offending requests the client never asked to
      explain; the kernel collects the stats either way *)
   let want_report = explain || t.slow_ms <> None in
-  let normalized = normalize entry q in
+  let nq = specialized entry q in
+  let normalized = Gps_query.Rpq.to_string nq in
   let key = { Qcache.graph = entry.name; version = entry.version; query = normalized } in
   match Qcache.find t.cache key with
   | Some nodes ->
@@ -230,48 +238,61 @@ let evaluate_cached t (entry : Catalog.entry) ?ev ?(explain = false) ?(deadline 
               audited_eval_counters)
           ev
       in
+      (* one snapshot for the whole evaluation: heap entries hand over
+         their frozen CSR, file-backed entries an overlay-inclusive view
+         of the mapped base — the kernel is instantiated per backing, so
+         neither pays per-edge dispatch *)
+      let source = Catalog.eval_source entry in
       let sel, report =
-        if want_report || not (Deadline.is_none deadline) then
-          match
-            Gps_query.Eval.select_frozen_report_result ~deadline entry.graph entry.csr q
-          with
-          | Ok (sel, r) ->
-              let report =
-                if want_report then
-                  let fields =
-                    match Gps_query.Eval.report_to_json r with
-                    | Json.Object fields -> fields
-                    | other -> [ ("report", other) ]
-                  in
-                  Some (Json.Object (("cache", Json.String "miss") :: fields))
-                else None
-              in
-              (sel, report)
-          | Error { Gps_query.Eval.reason; partial } ->
-              (* typed early-stop: the error carries the partial EXPLAIN
-                 report so the client sees how far the search got *)
-              Counter.incr c_timeouts;
-              stamp_eval_deltas ();
-              raise
-                (Fail
-                   {
-                     P.code = interrupt_code reason;
-                     message =
-                       Printf.sprintf "query evaluation %s after %d frontier visits"
-                         (Deadline.reason_to_string reason)
-                         partial.Gps_query.Eval.frontier_visits;
-                     data = Some (Gps_query.Eval.report_to_json partial);
-                   })
-        else (Gps_query.Eval.select_frozen entry.graph entry.csr q, None)
+        match Gps_query.Eval.select_source_report_result ~deadline source q with
+        | Ok (sel, r) ->
+            let report =
+              if want_report then
+                let fields =
+                  match Gps_query.Eval.report_to_json r with
+                  | Json.Object fields -> fields
+                  | other -> [ ("report", other) ]
+                in
+                Some (Json.Object (("cache", Json.String "miss") :: fields))
+              else None
+            in
+            (sel, report)
+        | Error { Gps_query.Eval.reason; partial } ->
+            (* typed early-stop: the error carries the partial EXPLAIN
+               report so the client sees how far the search got *)
+            Counter.incr c_timeouts;
+            stamp_eval_deltas ();
+            raise
+              (Fail
+                 {
+                   P.code = interrupt_code reason;
+                   message =
+                     Printf.sprintf "query evaluation %s after %d frontier visits"
+                       (Deadline.reason_to_string reason)
+                       partial.Gps_query.Eval.frontier_visits;
+                   data = Some (Gps_query.Eval.report_to_json partial);
+                 })
       in
       stamp_eval_deltas ();
-      let selected =
-        Digraph.fold_nodes (fun acc v -> if sel.(v) then v :: acc else acc) [] entry.graph
+      let name_of, n =
+        match source with
+        | Gps_query.Eval.Frozen (g, _) -> (Digraph.node_name g, Digraph.n_nodes g)
+        | Gps_query.Eval.Mapped v -> (Disk_csr.node_name v, Disk_csr.n_nodes v)
       in
-      let nodes = node_names entry.graph selected in
+      let selected = ref [] in
+      for v = n - 1 downto 0 do
+        if sel.(v) then selected := name_of v :: !selected
+      done;
+      let nodes = List.sort compare !selected in
       (try
          Fault.trip "qcache.insert";
-         Qcache.add t.cache key nodes
+         (* the entry remembers its query's base alphabet and
+            nullability, so overlay ingest can invalidate label-aware
+            instead of dropping the graph's whole working set *)
+         Qcache.add t.cache
+           ~labels:(Gps_query.Rewrite.base_alphabet nq)
+           ~nullable:(Gps_regex.Regex.nullable (Gps_query.Rpq.regex nq))
+           key nodes
        with Fault.Injected _ ->
          (* degrade gracefully: the answer is correct, it just is not
             cached *)
@@ -321,7 +342,7 @@ let graph_of_path path =
 (* session views *)
 
 let view_of_state t (entry : Sessions.entry) =
-  let g = entry.catalog.Catalog.graph in
+  let g = Catalog.graph entry.catalog in
   match S.request entry.state with
   | S.Ask_label view ->
       let fragment = view.Gps_interactive.View.fragment in
@@ -376,9 +397,66 @@ let do_load t name source =
       version = entry.Catalog.version;
     }
 
+(* [No_such_file]/[Not_regular] are environment problems; everything
+   else means the bytes are there but are not a packed graph we accept. *)
+let open_error_code = function
+  | Disk_csr.No_such_file _ | Disk_csr.Not_regular _ -> "io"
+  | Disk_csr.Bad_magic | Disk_csr.Bad_endianness | Disk_csr.Bad_version _
+  | Disk_csr.Truncated _ | Disk_csr.Corrupted _ ->
+      "bad-file"
+
+let do_load_file t name path =
+  fault_site "catalog.load_file";
+  match Catalog.put_file t.catalog ~name path with
+  | Error e -> fail (open_error_code e) "%s: %s" path (Disk_csr.open_error_to_string e)
+  | Ok entry ->
+      ignore (Qcache.invalidate t.cache ~graph:name);
+      P.Loaded
+        {
+          name;
+          nodes = Catalog.n_nodes entry;
+          edges = Catalog.n_edges entry;
+          labels = Catalog.n_labels entry;
+          version = entry.Catalog.version;
+        }
+
+let refresh_overlay_gauge t =
+  Gauge.set_int g_overlay
+    (List.fold_left (fun acc e -> acc + Catalog.overlay_edges e) 0 (Catalog.list t.catalog))
+
+let do_add_edges t ?ev graph edges =
+  let entry = graph_entry t graph in
+  match Catalog.add_edges entry edges with
+  | Error msg -> fail "bad-state" "%s" msg
+  | Ok delta ->
+      (* label-aware: only cache entries whose query alphabet meets the
+         delta's labels (or nullable queries when nodes appeared) drop;
+         disjoint-label answers stay warm and are still correct because
+         edges are only ever added *)
+      let invalidated =
+        Qcache.invalidate_delta t.cache ~graph ~labels:delta.Disk_csr.labels
+          ~new_nodes:delta.Disk_csr.new_nodes
+      in
+      refresh_overlay_gauge t;
+      Option.iter
+        (fun w ->
+          Wide_event.set_str w "graph" graph;
+          Wide_event.set_int w "edges_added" delta.Disk_csr.added;
+          Wide_event.set_int w "cache_invalidated" invalidated)
+        ev;
+      P.Edges_added
+        {
+          name = graph;
+          version = entry.Catalog.version;
+          added = delta.Disk_csr.added;
+          new_nodes = delta.Disk_csr.new_nodes;
+          overlay_edges = Catalog.overlay_edges entry;
+          invalidated;
+        }
+
 let do_learn t graph pos neg deadline_ms =
   let entry = graph_entry t graph in
-  let g = entry.Catalog.graph in
+  let g = Catalog.graph entry in
   let deadline = request_deadline t deadline_ms in
   let sample =
     match Gps_learning.Sample.of_names g ~pos ~neg with
@@ -403,7 +481,7 @@ let do_session_start t graph strategy seed budget =
     | Error msg -> fail "bad-request" "%s" msg
   in
   let config = { S.default_config with S.max_questions = budget } in
-  let state = S.start ~config ~strategy entry.Catalog.graph in
+  let state = S.start ~config ~strategy (Catalog.graph entry) in
   let e = Sessions.start t.sessions entry state in
   session_response t e
 
@@ -543,6 +621,7 @@ let metrics_json t ~timings =
              ("misses", int c.Qcache.misses);
              ("evictions", int c.Qcache.evictions);
              ("invalidations", int c.Qcache.invalidations);
+             ("delta_invalidations", int c.Qcache.delta_invalidations);
              ("size", int c.Qcache.size);
              ("capacity", int c.Qcache.capacity);
            ] );
@@ -596,7 +675,14 @@ let status_json t ~timings =
             (List.map
                (fun e ->
                  Json.Object
-                   [ ("name", Json.String e.Catalog.name); ("version", int e.Catalog.version) ])
+                   ([ ("name", Json.String e.Catalog.name); ("version", int e.Catalog.version) ]
+                   @
+                   if Catalog.file_backed e then
+                     [
+                       ("file_backed", Json.Bool true);
+                       ("overlay_edges", int (Catalog.overlay_edges e));
+                     ]
+                   else []))
                (Catalog.list t.catalog)) );
         ( "sessions",
           Json.Object [ ("active", int s.Sessions.active); ("started", int s.Sessions.started) ] );
@@ -607,6 +693,7 @@ let status_json t ~timings =
               ("capacity", int c.Qcache.capacity);
               ("evictions", int c.Qcache.evictions);
               ("invalidations", int c.Qcache.invalidations);
+              ("delta_invalidations", int c.Qcache.delta_invalidations);
             ] );
         ("trace_enabled", Json.Bool (Trace.enabled ()));
         ("draining", Json.Bool (draining t));
@@ -642,6 +729,8 @@ let handle t ?ev req =
   try
     match req with
     | P.Load { name; source } -> do_load t name source
+    | P.Load_file { name; path } -> do_load_file t name path
+    | P.Add_edges { graph; edges } -> do_add_edges t ?ev graph edges
     | P.List_graphs ->
         P.Graphs
           {
@@ -650,13 +739,12 @@ let handle t ?ev req =
           }
     | P.Stats { graph } ->
         let e = graph_entry t graph in
-        let g = e.Catalog.graph in
         P.Stats_of
           {
             name = graph;
-            nodes = Digraph.n_nodes g;
-            edges = Digraph.n_edges g;
-            labels = List.sort compare (Digraph.labels g);
+            nodes = Catalog.n_nodes e;
+            edges = Catalog.n_edges e;
+            labels = Catalog.labels e;
             version = e.Catalog.version;
           }
     | P.Query { graph; query; explain; deadline_ms } ->

@@ -600,6 +600,12 @@ let gen_request =
            ]
        in
        return (P.Load { name; source }));
+      (let* name = gen_name in
+       let* path = oneofl [ "g.csr"; "/tmp/big.csr"; "rel/graph.csr" ] in
+       return (P.Load_file { name; path }));
+      (let* graph = gen_name in
+       let* edges = list_size (int_bound 4) (triple gen_name gen_label gen_name) in
+       return (P.Add_edges { graph; edges }));
       return P.List_graphs;
       map (fun graph -> P.Stats { graph }) gen_name;
       (let* graph = gen_name in
@@ -672,6 +678,13 @@ let gen_response =
        let* labels = int_bound 20 in
        let* version = int_range 1 9 in
        return (P.Loaded { name; nodes; edges; labels; version }));
+      (let* name = gen_name in
+       let* version = int_range 1 9 in
+       let* added = int_bound 100 in
+       let* new_nodes = int_bound 10 in
+       let* overlay_edges = int_bound 1000 in
+       let* invalidated = int_bound 20 in
+       return (P.Edges_added { name; version; added; new_nodes; overlay_edges; invalidated }));
       (let* graphs = list_size (int_bound 4) (pair gen_name (int_range 1 9)) in
        return (P.Graphs { graphs }));
       (let* name = gen_name in
