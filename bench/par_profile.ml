@@ -1,0 +1,123 @@
+(* par_profile: where the parallel speedup goes, per graph size.
+
+   For each city graph the harness runs [Gps.Query.Profile.run] — the
+   attribution engine behind [gps profile] — and records the exact
+   capacity decomposition (compute / gc / imbalance / barrier+wake /
+   seq idle), the per-domain busy/chunk split and the GC pause delta.
+   The committed BENCH_par.json records the host's domain count so the
+   numbers read honestly on a single-core box (speedup <= 1.0 there;
+   the decomposition tells you why).
+
+   The fallback threshold is lowered to 64 so the parallel kernel
+   actually engages at these frontier sizes.
+
+   GPS_PAR_SCALE=tiny shrinks the ladder for CI smoke runs.
+   GPS_PAR_ASSERT=1 turns on the telemetry-integrity gates — all
+   correctness, never latency:
+     - the five attribution fractions sum to 1 (the identity held);
+     - per-domain telemetry is present for every domain and the
+       recorded chunks are nonzero (the pool's accounting ran);
+     - the compute bucket reconstructs the unprofiled sequential wall
+       within 15% of the profiled capacity (the busy counters measure
+       real work, not noise). *)
+
+module Json = Gps.Graph.Json
+module Profile = Gps.Query.Profile
+module Eval = Gps.Query.Eval
+module Csr = Gps.Graph.Csr
+module Digraph = Gps.Graph.Digraph
+
+let num x = Json.Number x
+let int_j n = num (float_of_int n)
+
+let getenv_flag name = match Sys.getenv_opt name with Some "1" -> true | _ -> false
+
+let run () =
+  let tiny =
+    match Sys.getenv_opt "GPS_PAR_SCALE" with Some "tiny" -> true | _ -> false
+  in
+  let asserting = getenv_flag "GPS_PAR_ASSERT" in
+  let domains =
+    let d =
+      match Sys.getenv_opt "GPS_DOMAINS" with
+      | Some s -> ( match int_of_string_opt s with Some d -> d | None -> 2)
+      | None -> Gps.Par.Pool.default_domains ()
+    in
+    max 2 d
+  in
+  (* tiny keeps one mid-size graph: city-50's ~30us walls are too
+     noisy for the 15% reconstruction gate to be meaningful *)
+  let sizes = if tiny then [ 200 ] else [ 50; 200; 800 ] in
+  let runs = if tiny then 3 else 5 in
+  let goal = Workloads.q "(tram+bus)*.cinema" in
+  let failures = ref 0 in
+  let check name ok detail =
+    if asserting && not ok then begin
+      incr failures;
+      Printf.eprintf "par_profile: ASSERT FAILED: %s (%s)\n%!" name detail
+    end
+  in
+  let rows =
+    List.map
+      (fun districts ->
+        let w = Workloads.city ~districts ~seed:8 in
+        let g = w.Workloads.graph in
+        let source = Eval.Frozen (g, Csr.freeze g) in
+        let r = Profile.run ~runs ~par_threshold:64 ~domains source goal in
+        let a = r.Profile.r_attribution in
+        let capacity_ns =
+          float_of_int r.Profile.r_domains *. float_of_int r.Profile.r_attr_wall_ns
+        in
+        (* the compute bucket should be the sequential work, remeasured
+           from the inside: |compute - seq wall| as a capacity fraction *)
+        let recon_err =
+          if capacity_ns > 0. then
+            Float.abs
+              ((a.Profile.a_compute *. capacity_ns) -. float_of_int r.Profile.r_seq_wall_ns)
+            /. capacity_ns
+          else 1.
+        in
+        check "attribution_sum ~ 1"
+          (Float.abs (Profile.attribution_sum a -. 1.) < 1e-6)
+          (Printf.sprintf "%s sum=%.9f" w.Workloads.name (Profile.attribution_sum a));
+        check "per-domain telemetry present"
+          (Array.length r.Profile.r_busy_frac = r.Profile.r_domains
+          && Array.length r.Profile.r_chunks_by = r.Profile.r_domains
+          && Array.fold_left ( + ) 0 r.Profile.r_chunks_by > 0)
+          (Printf.sprintf "%s busy=%d chunks=%d sum=%d" w.Workloads.name
+             (Array.length r.Profile.r_busy_frac)
+             (Array.length r.Profile.r_chunks_by)
+             (Array.fold_left ( + ) 0 r.Profile.r_chunks_by));
+        check "parallel levels engaged"
+          (r.Profile.r_par_levels > 0)
+          (Printf.sprintf "%s par_levels=%d" w.Workloads.name r.Profile.r_par_levels);
+        check "compute reconstructs seq wall within 15% of capacity"
+          (recon_err <= 0.15)
+          (Printf.sprintf "%s err=%.3f" w.Workloads.name recon_err);
+        Json.Object
+          [
+            ("graph", Json.String w.Workloads.name);
+            ("nodes", int_j (Digraph.n_nodes g));
+            ("edges", int_j (Digraph.n_edges g));
+            ("wall_reconstruction_err", num recon_err);
+            ("profile", Profile.result_to_json r);
+          ])
+      sizes
+  in
+  let doc =
+    Json.Object
+      [
+        ("experiment", Json.String "par_profile");
+        ("query", Json.String "(tram+bus)*.cinema");
+        ("par_threshold", int_j 64);
+        ("domains", int_j domains);
+        ("host_recommended_domains", int_j (Domain.recommended_domain_count ()));
+        ("profiled_runs", int_j runs);
+        ("sizes", Json.Array rows);
+      ]
+  in
+  print_endline (Json.value_to_string ~pretty:true doc);
+  if !failures > 0 then begin
+    Printf.eprintf "par_profile: %d assertion(s) failed\n%!" !failures;
+    exit 1
+  end

@@ -32,3 +32,4 @@ module Flame = Flame
 module Prom = Prom
 module Timeseries = Timeseries
 module Wide_event = Wide_event
+module Runtime = Runtime

@@ -141,6 +141,23 @@ let merge a b =
     buckets = go a.buckets b.buckets;
   }
 
+let diff a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (i, c) -> Hashtbl.replace tbl i c) a.buckets;
+  List.iter
+    (fun (i, c) ->
+      Hashtbl.replace tbl i (Option.value ~default:0 (Hashtbl.find_opt tbl i) - c))
+    b.buckets;
+  let buckets =
+    List.sort compare (Hashtbl.fold (fun i c acc -> if c > 0 then (i, c) :: acc else acc) tbl [])
+  in
+  {
+    a with
+    count = max 0 (a.count - b.count);
+    sum = max 0 (a.sum - b.sum);
+    buckets;
+  }
+
 let quantile s q =
   if s.count <= 0 then 0.
   else begin

@@ -84,6 +84,13 @@ val merge : snapshot -> snapshot -> snapshot
     buckets merge). Associative and commutative; keeps the left
     operand's name and labels. *)
 
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before]: the observations recorded between the two
+    snapshots of one histogram ([count]/[sum]/buckets subtract, clamped
+    at zero). [max] is kept from [after] — maxima don't subtract — so
+    treat it as a lifetime max, not an interval max. Inverse of
+    {!merge} when [before] is a prefix of [after]. *)
+
 val quantile : snapshot -> float -> float
 (** [quantile s q] for [q] in [[0, 1]]: an estimate of the [q]-th
     order statistic, linearly interpolated inside the bucket holding

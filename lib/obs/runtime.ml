@@ -1,0 +1,160 @@
+(* Self-monitoring consumer of the OCaml runtime's event ring.
+
+   [start] turns the ring on ([Runtime_events.start]) and opens a
+   cursor on our own process; [poll] drains it into the ordinary
+   registries: per-(domain, kind) GC pause histograms, collection /
+   promotion counters, a live-domains gauge. Nothing here runs unless
+   [start] was called — the disabled path costs zero (no ring, no
+   cursor, no polling) — and the ring itself is the runtime's own
+   lock-free per-domain buffer, so producers (the GC) never block on
+   us.
+
+   Pause measurement pairs [runtime_begin]/[runtime_end] per
+   (domain, phase): EV_MINOR brackets the stop-the-world minor
+   collection, EV_MAJOR brackets a major slice. Unpaired ends (begin
+   emitted before our cursor existed, or overwritten on ring wrap) are
+   dropped; ring overwrites are themselves counted via [lost_events]. *)
+
+let minor_collections = Counter.make "gc.minor_collections"
+let major_slices = Counter.make "gc.major_slices"
+let promoted_words = Counter.make "gc.minor_promoted_words"
+let allocated_words = Counter.make "gc.minor_allocated_words"
+let events_consumed = Counter.make "runtime.events_consumed"
+let events_lost = Counter.make "runtime.events_lost"
+let domains_live = Gauge.make "runtime.domains_live"
+
+let pause_hist_name = "gc.pause_ns"
+
+(* Per-(domain, kind) pause histograms, created lazily on the first
+   pause observed there — [Histogram.make] is idempotent, but caching
+   avoids the registry mutex on every GC. Polling is single-threaded
+   (see [lock]), so a plain Hashtbl suffices. *)
+let pause_hists : (int * string, Histogram.t) Hashtbl.t = Hashtbl.create 8
+
+let pause_hist dom kind =
+  match Hashtbl.find_opt pause_hists (dom, kind) with
+  | Some h -> h
+  | None ->
+      let h =
+        Histogram.make ~labels:[ ("domain", string_of_int dom); ("gc", kind) ] pause_hist_name
+      in
+      Hashtbl.add pause_hists (dom, kind) h;
+      h
+
+(* In-flight phase begins: (domain, phase) -> begin timestamp ns. *)
+let inflight : (int * Runtime_events.runtime_phase, int64) Hashtbl.t = Hashtbl.create 8
+
+type state = { cursor : Runtime_events.cursor; callbacks : Runtime_events.Callbacks.t }
+
+let state : state option ref = ref None
+let lock = Mutex.create ()
+
+let kind_of_phase = function
+  | Runtime_events.EV_MINOR -> Some "minor"
+  | Runtime_events.EV_MAJOR -> Some "major"
+  | _ -> None
+
+let on_begin dom ts phase =
+  match kind_of_phase phase with
+  | None -> ()
+  | Some _ -> Hashtbl.replace inflight (dom, phase) (Runtime_events.Timestamp.to_int64 ts)
+
+let on_end dom ts phase =
+  match kind_of_phase phase with
+  | None -> ()
+  | Some kind -> (
+      match Hashtbl.find_opt inflight (dom, phase) with
+      | None -> () (* begin predates the cursor or was overwritten *)
+      | Some t0 ->
+          Hashtbl.remove inflight (dom, phase);
+          let ns = Int64.sub (Runtime_events.Timestamp.to_int64 ts) t0 in
+          if Int64.compare ns 0L >= 0 then begin
+            Histogram.record (pause_hist dom kind) (Int64.to_int ns);
+            Counter.incr (if kind = "minor" then minor_collections else major_slices)
+          end)
+
+let on_counter _dom _ts (kind : Runtime_events.runtime_counter) v =
+  match kind with
+  | Runtime_events.EV_C_MINOR_PROMOTED -> Counter.add promoted_words v
+  | Runtime_events.EV_C_MINOR_ALLOCATED -> Counter.add allocated_words v
+  | _ -> ()
+
+(* Domain count, maintained from lifecycle events on top of a floor of
+   1 (the consuming domain itself predates its own cursor, so its
+   spawn is never observed). *)
+let live = ref 1
+
+let on_lifecycle _dom _ts (kind : Runtime_events.lifecycle) _arg =
+  match kind with
+  | Runtime_events.EV_DOMAIN_SPAWN ->
+      incr live;
+      Gauge.set_int domains_live !live
+  | Runtime_events.EV_DOMAIN_TERMINATE ->
+      live := max 1 (!live - 1);
+      Gauge.set_int domains_live !live
+  | _ -> ()
+
+let on_lost _dom n = Counter.add events_lost n
+
+let start () =
+  Mutex.lock lock;
+  let ok =
+    match !state with
+    | Some _ -> true
+    | None -> (
+        try
+          (* Keep the ring file out of the working directory: the
+             runtime drops <pid>.events wherever this points. *)
+          if Sys.getenv_opt "OCAML_RUNTIME_EVENTS_DIR" = None then
+            Unix.putenv "OCAML_RUNTIME_EVENTS_DIR" (Filename.get_temp_dir_name ());
+          Runtime_events.start ();
+          let cursor = Runtime_events.create_cursor None in
+          let callbacks =
+            Runtime_events.Callbacks.create ~runtime_begin:on_begin ~runtime_end:on_end
+              ~runtime_counter:on_counter ~lifecycle:on_lifecycle ~lost_events:on_lost ()
+          in
+          (* The consuming domain is alive and predates its own cursor. *)
+          Gauge.set_int domains_live !live;
+          state := Some { cursor; callbacks };
+          true
+        with _ -> false)
+  in
+  Mutex.unlock lock;
+  ok
+
+let started () =
+  Mutex.lock lock;
+  let s = !state <> None in
+  Mutex.unlock lock;
+  s
+
+let poll ?max () =
+  Mutex.lock lock;
+  let n =
+    match !state with
+    | None -> 0
+    | Some { cursor; callbacks } -> (
+        try Runtime_events.read_poll cursor callbacks max with _ -> 0)
+  in
+  Mutex.unlock lock;
+  if n > 0 then Counter.add events_consumed n;
+  n
+
+let gc_pause_snapshots () =
+  List.filter (fun s -> s.Histogram.hname = pause_hist_name) (Histogram.snapshot_all ())
+
+let kind_label s =
+  Option.value ~default:"" (List.assoc_opt "gc" s.Histogram.hlabels)
+
+let merge_kind kind snaps =
+  let matching = List.filter (fun s -> kind_label s = kind) snaps in
+  match matching with
+  | [] -> { Histogram.hname = pause_hist_name; hlabels = [ ("gc", kind) ]; count = 0; sum = 0; max = 0; buckets = [] }
+  | s :: rest -> List.fold_left Histogram.merge { s with Histogram.hlabels = [ ("gc", kind) ] } rest
+
+let gc_pause_merged kind = merge_kind kind (gc_pause_snapshots ())
+
+let gc_pause_ns () =
+  let snaps = gc_pause_snapshots () in
+  let total k = (merge_kind k snaps).Histogram.sum in
+  (total "minor", total "major")

@@ -177,25 +177,7 @@ let hist_key (s : Histogram.snapshot) =
    pointwise on the buckets (clamped: a registry reset mid-window must
    not produce negative counts) *)
 let hist_diff (a : Histogram.snapshot) (b : Histogram.snapshot option) : Histogram.snapshot =
-  match b with
-  | None -> a
-  | Some b ->
-      let tbl = Hashtbl.create 16 in
-      List.iter (fun (i, c) -> Hashtbl.replace tbl i c) a.Histogram.buckets;
-      List.iter
-        (fun (i, c) ->
-          Hashtbl.replace tbl i (Option.value ~default:0 (Hashtbl.find_opt tbl i) - c))
-        b.Histogram.buckets;
-      let buckets =
-        List.sort compare
-          (Hashtbl.fold (fun i c acc -> if c > 0 then (i, c) :: acc else acc) tbl [])
-      in
-      {
-        a with
-        Histogram.count = max 0 (a.Histogram.count - b.Histogram.count);
-        sum = max 0 (a.Histogram.sum - b.Histogram.sum);
-        buckets;
-      }
+  match b with None -> a | Some b -> Histogram.diff a b
 
 let point_of ~base (prev : sample) (cur : sample) =
   let dt_s =

@@ -1,13 +1,56 @@
 (* One job at a time: chunks are claimed lock-free off [next]; the
    mutex/condition pair only puts workers to sleep between jobs and
    wakes the caller on completion. Workers are long-lived — spawning a
-   domain costs far more than a BFS level, so the pool amortizes it. *)
+   domain costs far more than a BFS level, so the pool amortizes it.
+
+   Profiling is an ambient, process-wide switch sampled once per job
+   into [job.prof]: when off (the default) the job carries no stats
+   record and [execute] takes no clock reads — the hot claim/run loop
+   is exactly the unprofiled one. When on, each participant stamps its
+   own slot of a per-job array (single-writer, no contention): chunks
+   claimed, busy ns inside [f], and wake-to-first-claim latency
+   measured from job installation. *)
+
+module Clock = Gps_obs.Clock
+module Counter = Gps_obs.Counter
+module Histogram = Gps_obs.Histogram
+
+let c_jobs = Counter.make "pool.jobs"
+let c_chunks = Counter.make "pool.chunks"
+let c_busy_ns = Counter.make "pool.busy_ns"
+let c_idle_ns = Counter.make "pool.idle_ns"
+let c_barrier_ns = Counter.make "pool.barrier_ns"
+let h_wake = Histogram.make "pool.wake_latency_ns"
+let h_barrier = Histogram.make "pool.barrier_wait_ns"
+
+let profiling_flag = Atomic.make false
+let set_profiling b = Atomic.set profiling_flag b
+let profiling () = Atomic.get profiling_flag
+
+type worker_stat = { chunks : int; busy_ns : int; wake_ns : int }
+
+type job_stats = {
+  job_wall_ns : int;
+  job_barrier_ns : int;
+  workers : worker_stat array;
+}
+
+(* Mutable per-participant slots; each is written by exactly one
+   domain while the job runs, read by the caller after the barrier. *)
+type wstat = {
+  mutable w_chunks : int;
+  mutable w_busy_ns : int;
+  mutable w_wake_ns : int;
+}
+
+type prof = { installed_ns : int64; slots : wstat array }
 
 type job = {
   f : int -> unit;
   total : int;
   next : int Atomic.t;  (* next unclaimed chunk *)
   mutable completed : int;  (* guarded by the pool mutex *)
+  prof : prof option;
 }
 
 type t = {
@@ -24,18 +67,34 @@ type t = {
 }
 
 (* Claim and execute chunks until the job is drained. Runs on workers
-   and on the caller alike. The first exception is kept; every chunk
-   still counts toward completion so the caller never deadlocks. *)
-let execute t (j : job) =
+   and on the caller alike; [who] is this participant's stats slot
+   (0 = the caller). The first exception is kept; every chunk still
+   counts toward completion so the caller never deadlocks. *)
+let execute t (j : job) ~who =
   let rec go () =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < j.total then begin
-      (try j.f i
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         Mutex.lock t.mutex;
-         if t.failure = None then t.failure <- Some (e, bt);
-         Mutex.unlock t.mutex);
+      (match j.prof with
+      | None -> (
+          try j.f i
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.mutex;
+            if t.failure = None then t.failure <- Some (e, bt);
+            Mutex.unlock t.mutex)
+      | Some p ->
+          let s = p.slots.(who) in
+          let t0 = Clock.now_ns () in
+          if s.w_chunks = 0 then
+            s.w_wake_ns <- Int64.to_int (Int64.sub t0 p.installed_ns);
+          (try j.f i
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock t.mutex;
+             if t.failure = None then t.failure <- Some (e, bt);
+             Mutex.unlock t.mutex);
+          s.w_chunks <- s.w_chunks + 1;
+          s.w_busy_ns <- s.w_busy_ns + Int64.to_int (Int64.sub (Clock.now_ns ()) t0));
       Mutex.lock t.mutex;
       j.completed <- j.completed + 1;
       if j.completed = j.total then Condition.broadcast t.finished;
@@ -45,7 +104,7 @@ let execute t (j : job) =
   in
   go ()
 
-let worker t () =
+let worker t idx () =
   let last_gen = ref 0 in
   Mutex.lock t.mutex;
   let rec loop () =
@@ -55,7 +114,7 @@ let worker t () =
       | Some j when t.generation <> !last_gen ->
           last_gen := t.generation;
           Mutex.unlock t.mutex;
-          execute t j;
+          execute t j ~who:idx;
           Mutex.lock t.mutex;
           loop ()
       | _ ->
@@ -80,47 +139,101 @@ let create ~domains =
       workers = [];
     }
   in
-  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker t));
+  (* Worker [i] owns stats slot [i + 1]; slot 0 is the caller's. *)
+  t.workers <- List.init (domains - 1) (fun i -> Domain.spawn (worker t (i + 1)));
   t
 
 let size t = t.domains
 
-let run t ~chunks f =
+let finalize_stats ~wall_ns ~barrier_ns (p : prof) =
+  let workers =
+    Array.map
+      (fun s -> { chunks = s.w_chunks; busy_ns = s.w_busy_ns; wake_ns = s.w_wake_ns })
+      p.slots
+  in
+  let busy = Array.fold_left (fun acc w -> acc + w.busy_ns) 0 workers in
+  let wake = Array.fold_left (fun acc w -> acc + w.wake_ns) 0 workers in
+  let chunks = Array.fold_left (fun acc w -> acc + w.chunks) 0 workers in
+  Counter.incr c_jobs;
+  Counter.add c_chunks chunks;
+  Counter.add c_busy_ns busy;
+  Counter.add c_idle_ns (max 0 ((wall_ns * Array.length workers) - busy - wake));
+  Counter.add c_barrier_ns barrier_ns;
+  Histogram.record h_barrier barrier_ns;
+  Array.iter (fun w -> if w.chunks > 0 && w.wake_ns > 0 then Histogram.record h_wake w.wake_ns) workers;
+  { job_wall_ns = wall_ns; job_barrier_ns = barrier_ns; workers }
+
+let run_stats t ~chunks f =
   if chunks < 0 then invalid_arg "Pool.run: negative chunks"
-  else if chunks = 0 then ()
-  else if t.domains = 1 || chunks = 1 then
-    (* no coordination: the caller is the whole pool *)
-    for i = 0 to chunks - 1 do
-      f i
-    done
+  else if chunks = 0 then None
   else begin
-    Mutex.lock t.run_lock;
-    let j = { f; total = chunks; next = Atomic.make 0; completed = 0 } in
-    Mutex.lock t.mutex;
-    if t.stop then begin
+    let prof =
+      if Atomic.get profiling_flag then
+        Some
+          {
+            installed_ns = Clock.now_ns ();
+            slots = Array.init t.domains (fun _ -> { w_chunks = 0; w_busy_ns = 0; w_wake_ns = 0 });
+          }
+      else None
+    in
+    if t.domains = 1 || chunks = 1 then begin
+      (* no coordination: the caller is the whole pool *)
+      match prof with
+      | None ->
+          for i = 0 to chunks - 1 do
+            f i
+          done;
+          None
+      | Some p ->
+          let t0 = Clock.now_ns () in
+          for i = 0 to chunks - 1 do
+            f i
+          done;
+          let s = p.slots.(0) in
+          s.w_chunks <- chunks;
+          s.w_busy_ns <- Int64.to_int (Int64.sub (Clock.now_ns ()) t0);
+          let wall_ns = Int64.to_int (Int64.sub (Clock.now_ns ()) p.installed_ns) in
+          Some (finalize_stats ~wall_ns ~barrier_ns:0 p)
+    end
+    else begin
+      Mutex.lock t.run_lock;
+      let j = { f; total = chunks; next = Atomic.make 0; completed = 0; prof } in
+      Mutex.lock t.mutex;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        Mutex.unlock t.run_lock;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      t.failure <- None;
+      t.job <- Some j;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      execute t j ~who:0;
+      let own_done_ns = match prof with None -> 0L | Some _ -> Clock.now_ns () in
+      Mutex.lock t.mutex;
+      while j.completed < j.total do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- None;
+      let failure = t.failure in
+      t.failure <- None;
       Mutex.unlock t.mutex;
       Mutex.unlock t.run_lock;
-      invalid_arg "Pool.run: pool is shut down"
-    end;
-    t.failure <- None;
-    t.job <- Some j;
-    t.generation <- t.generation + 1;
-    Condition.broadcast t.work;
-    Mutex.unlock t.mutex;
-    execute t j;
-    Mutex.lock t.mutex;
-    while j.completed < j.total do
-      Condition.wait t.finished t.mutex
-    done;
-    t.job <- None;
-    let failure = t.failure in
-    t.failure <- None;
-    Mutex.unlock t.mutex;
-    Mutex.unlock t.run_lock;
-    match failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+      match failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> (
+          match prof with
+          | None -> None
+          | Some p ->
+              let now = Clock.now_ns () in
+              let wall_ns = Int64.to_int (Int64.sub now p.installed_ns) in
+              let barrier_ns = Int64.to_int (Int64.sub now own_done_ns) in
+              Some (finalize_stats ~wall_ns ~barrier_ns p))
+    end
   end
+
+let run t ~chunks f = ignore (run_stats t ~chunks f)
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -5,8 +5,10 @@
     pieces claimed off a shared atomic counter (a chunk queue guarded by
     one [Mutex]/[Condition] pair for sleep/wake, lock-free for chunk
     claiming). The pool is the engine behind the parallel phase of
-    {!Gps_query.Eval}'s product BFS; it deliberately has {e no}
-    dependencies beyond the OCaml 5 standard library.
+    {!Gps_query.Eval}'s product BFS; its only dependency beyond the
+    OCaml 5 standard library is {!Gps_obs} — the process's one
+    monotonic clock and the metric registries its profiling reports
+    into.
 
     Sizing: the default pool is sized by the first of
     + an explicit {!set_default_domains} (the CLI's [--domains N]),
@@ -40,6 +42,51 @@ val run : t -> chunks:int -> (int -> unit) -> unit
 val shutdown : t -> unit
 (** Stop and join the workers. Idempotent. Subsequent {!run}s of more
     than one chunk raise [Invalid_argument]. *)
+
+(** {1 Profiling}
+
+    A process-wide switch, sampled once per job: when off (the
+    default) {!run} takes {e no} clock reads and allocates no stats —
+    the claim/execute loop is byte-for-byte the unprofiled one. When
+    on, every participant stamps a private slot (single-writer, no
+    contention): chunks claimed, ns spent inside chunks, and
+    wake-to-first-claim latency from job installation. Aggregates
+    feed the registry ([pool.jobs], [pool.chunks], [pool.busy_ns],
+    [pool.idle_ns], [pool.barrier_ns] counters; [pool.wake_latency_ns]
+    and [pool.barrier_wait_ns] histograms); per-job detail is returned
+    by {!run_stats} for callers building per-level reports. *)
+
+val set_profiling : bool -> unit
+(** Turn per-job telemetry on or off, process-wide (affects every
+    pool). Sampled at the start of each job. *)
+
+val profiling : unit -> bool
+
+type worker_stat = {
+  chunks : int;  (** chunks this participant claimed *)
+  busy_ns : int;  (** ns spent inside chunk bodies *)
+  wake_ns : int;
+      (** installation → first claim latency; 0 for the caller and for
+          workers that claimed nothing *)
+}
+
+type job_stats = {
+  job_wall_ns : int;  (** installation → last chunk completed *)
+  job_barrier_ns : int;
+      (** caller's wait after finishing its own chunks (0 on the
+          inline path) *)
+  workers : worker_stat array;
+      (** one per participant; index 0 is the caller, [i >= 1] the
+          [i]-th worker domain. On the inline path (pool of 1, or a
+          single chunk) only slot 0 is populated. *)
+}
+
+val run_stats : t -> chunks:int -> (int -> unit) -> job_stats option
+(** {!run}, returning the job's telemetry when profiling was enabled
+    at the moment the job started ([None] otherwise, and [None] for
+    [chunks = 0]). Chunk accounting is exact: the [chunks] fields of
+    the result always sum to [chunks], even when some participants
+    claim nothing. *)
 
 (** {1 The shared default pool} *)
 

@@ -5,6 +5,7 @@ module Bitset = Gps_graph.Bitset
 module Vec = Gps_graph.Vec
 module Nfa = Gps_automata.Nfa
 module Counter = Gps_obs.Counter
+module Clock = Gps_obs.Clock
 module Trace = Gps_obs.Trace
 module Deadline = Gps_obs.Deadline
 module Pool = Gps_par.Pool
@@ -107,6 +108,37 @@ let build_plan ~n ~n_labels ~label_of_name nfa =
 
 type level_stat = { frontier : int; parallel : bool }
 
+(* Per-parallel-level scheduler telemetry, collected only when
+   [Pool.profiling] is on (one clock read per level plus the pool's
+   per-chunk stamps — nothing on the unprofiled path). Arrays are
+   indexed by pool participant: slot 0 is the calling domain. *)
+type level_perf = {
+  lp_level : int;  (* 1-based BFS level, matching [levels] order *)
+  lp_frontier : int;
+  lp_chunks : int;
+  lp_wall_ns : int;  (* whole level expansion, chunk setup + merge included *)
+  lp_barrier_ns : int;  (* caller's wait after finishing its own chunks *)
+  lp_busy_ns : int array;
+  lp_chunks_by : int array;
+  lp_wake_ns : int array;
+}
+
+let level_imbalance lp =
+  let d = Array.length lp.lp_busy_ns in
+  if d = 0 then 1.
+  else begin
+    let sum = Array.fold_left ( + ) 0 lp.lp_busy_ns in
+    let mx = Array.fold_left max 0 lp.lp_busy_ns in
+    if sum <= 0 then 1. else float_of_int mx *. float_of_int d /. float_of_int sum
+  end
+
+let level_busy_frac lp =
+  let d = Array.length lp.lp_busy_ns in
+  if d = 0 || lp.lp_wall_ns <= 0 then 0.
+  else
+    let sum = Array.fold_left ( + ) 0 lp.lp_busy_ns in
+    float_of_int sum /. (float_of_int lp.lp_wall_ns *. float_of_int d)
+
 type stats = {
   visits : int;
   dedup : int;
@@ -114,6 +146,7 @@ type stats = {
   seq_fallbacks : int;
   domains_used : int;
   levels : level_stat list;  (* in BFS order; level 1 is the seed frontier *)
+  perf : level_perf list;  (* parallel levels only; empty unless profiling *)
   discovered : int;  (* distinct product states that entered the queue *)
   cancel_checks : int;  (* deadline polls performed *)
   interrupted : Deadline.reason option;  (* [Some _] iff the BFS stopped early *)
@@ -219,7 +252,8 @@ module Make_kernel (A : ADJACENCY) = struct
     let dedups = Array.make chunks 0 in
     let expanded = Array.make chunks 0 in
     let local_checks = Array.make chunks 0 in
-    Pool.run p ~chunks (fun c ->
+    let job_stats =
+      Pool.run_stats p ~chunks (fun c ->
         let clo = lo + (c * chunk_len) in
         let chi = min hi (clo + chunk_len) in
         let buf = buffers.(c) in
@@ -257,9 +291,10 @@ module Make_kernel (A : ADJACENCY) = struct
               done);
           incr i
         done;
-        dedups.(c) <- !local_dedup;
-        expanded.(c) <- !i - clo;
-        local_checks.(c) <- !polls);
+          dedups.(c) <- !local_dedup;
+          expanded.(c) <- !i - clo;
+          local_checks.(c) <- !polls)
+    in
     Array.iter
       (fun buf ->
         Vec.iter
@@ -270,10 +305,12 @@ module Make_kernel (A : ADJACENCY) = struct
       buffers;
     Array.iter (fun d -> dedup := !dedup + d) dedups;
     Array.iter (fun e -> visits := !visits + e) expanded;
-    Array.iter (fun k -> checks := !checks + k) local_checks
+    Array.iter (fun k -> checks := !checks + k) local_checks;
+    (chunks, job_stats)
   in
   let level = ref 0 in
   let level_stats = ref [] in
+  let perf = ref [] in
   if guarded then poll ();
   while !head < !tail && not (stopping ()) do
     incr level;
@@ -283,7 +320,26 @@ module Make_kernel (A : ADJACENCY) = struct
       match pool with
       | Some p when hi - lo >= par_threshold ->
           incr par_levels;
-          expand_par p lo hi !level;
+          (* one clock read per level, and only when profiling is on *)
+          let profiled = Pool.profiling () in
+          let t0 = if profiled then Clock.now_ns () else 0L in
+          let chunks, job_stats = expand_par p lo hi !level in
+          (match job_stats with
+          | Some js when profiled ->
+              let wall = Int64.to_int (Int64.sub (Clock.now_ns ()) t0) in
+              perf :=
+                {
+                  lp_level = !level;
+                  lp_frontier = hi - lo;
+                  lp_chunks = chunks;
+                  lp_wall_ns = max wall js.Pool.job_wall_ns;
+                  lp_barrier_ns = js.Pool.job_barrier_ns;
+                  lp_busy_ns = Array.map (fun w -> w.Pool.busy_ns) js.Pool.workers;
+                  lp_chunks_by = Array.map (fun w -> w.Pool.chunks) js.Pool.workers;
+                  lp_wake_ns = Array.map (fun w -> w.Pool.wake_ns) js.Pool.workers;
+                }
+                :: !perf
+          | _ -> ());
           true
       | Some _ ->
           incr seq_fallbacks;
@@ -304,6 +360,7 @@ module Make_kernel (A : ADJACENCY) = struct
       seq_fallbacks = !seq_fallbacks;
       domains_used = (if !par_levels > 0 then domains else 1);
       levels = List.rev !level_stats;
+      perf = List.rev !perf;
       discovered = !tail;
       cancel_checks = !checks;
       interrupted = Atomic.get istop;
@@ -435,6 +492,9 @@ type report = {
   domains_used : int;
   par_threshold : int;
   report_levels : level_stat list;
+  efficiency : level_perf list;
+      (* per-parallel-level scheduler telemetry; empty unless pool
+         profiling was on during the run *)
   stop : stop_reason;
   selected : int;  (* nodes the query selects *)
 }
@@ -466,6 +526,7 @@ let empty_report ~automaton_states ~graph_nodes ~par_threshold =
     domains_used = 1;
     par_threshold;
     report_levels = [];
+    efficiency = [];
     stop = Empty_automaton;
     selected = 0;
   }
@@ -483,6 +544,7 @@ let report_of_stats plan ~par_threshold ~selected (stats : stats) =
     domains_used = stats.domains_used;
     par_threshold;
     report_levels = stats.levels;
+    efficiency = stats.perf;
     stop =
       (match stats.interrupted with
       | Some Deadline.Timed_out -> Timed_out
@@ -493,6 +555,52 @@ let report_of_stats plan ~par_threshold ~selected (stats : stats) =
   }
 
 module Json = Gps_graph.Json
+
+let level_perf_to_json lp =
+  let int n = Json.Number (float_of_int n) in
+  let ints a = Json.Array (Array.to_list (Array.map (fun n -> int n) a)) in
+  Json.Object
+    [
+      ("level", int lp.lp_level);
+      ("frontier", int lp.lp_frontier);
+      ("chunks", int lp.lp_chunks);
+      ("wall_ns", int lp.lp_wall_ns);
+      ("barrier_ns", int lp.lp_barrier_ns);
+      ("busy_ns", ints lp.lp_busy_ns);
+      ("chunks_by", ints lp.lp_chunks_by);
+      ("wake_ns", ints lp.lp_wake_ns);
+      (* derived, for consumers; decoding ignores them *)
+      ("imbalance", Json.Number (level_imbalance lp));
+      ("busy_frac", Json.Number (level_busy_frac lp));
+    ]
+
+let level_perf_of_json item =
+  let ( let* ) = Result.bind in
+  let int_field name =
+    match Json.member name item with
+    | Some (Json.Number f) when Float.is_integer f -> Ok (int_of_float f)
+    | _ -> Error (Printf.sprintf "efficiency field %S missing or not an integer" name)
+  in
+  let ints_field name =
+    match Json.member name item with
+    | Some (Json.Array items) ->
+        let rec go acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | Json.Number f :: rest when Float.is_integer f -> go (int_of_float f :: acc) rest
+          | _ -> Error (Printf.sprintf "efficiency field %S must hold integers" name)
+        in
+        go [] items
+    | _ -> Error (Printf.sprintf "efficiency field %S missing or not an array" name)
+  in
+  let* lp_level = int_field "level" in
+  let* lp_frontier = int_field "frontier" in
+  let* lp_chunks = int_field "chunks" in
+  let* lp_wall_ns = int_field "wall_ns" in
+  let* lp_barrier_ns = int_field "barrier_ns" in
+  let* lp_busy_ns = ints_field "busy_ns" in
+  let* lp_chunks_by = ints_field "chunks_by" in
+  let* lp_wake_ns = ints_field "wake_ns" in
+  Ok { lp_level; lp_frontier; lp_chunks; lp_wall_ns; lp_barrier_ns; lp_busy_ns; lp_chunks_by; lp_wake_ns }
 
 let report_to_json r =
   let int n = Json.Number (float_of_int n) in
@@ -514,6 +622,7 @@ let report_to_json r =
                Json.Object
                  [ ("frontier", int l.frontier); ("parallel", Json.Bool l.parallel) ])
              r.report_levels) );
+      ("efficiency", Json.Array (List.map level_perf_to_json r.efficiency));
       ("stop", Json.String (stop_reason_to_string r.stop));
       ("selected", int r.selected);
     ]
@@ -554,6 +663,21 @@ let report_of_json v =
         go [] items
     | _ -> Error "report field \"levels\" missing or not an array"
   in
+  (* absent in payloads from older servers: decode as empty *)
+  let* efficiency =
+    match Json.member "efficiency" v with
+    | None -> Ok []
+    | Some (Json.Array items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest -> (
+              match level_perf_of_json item with
+              | Ok lp -> go (lp :: acc) rest
+              | Error e -> Error e)
+        in
+        go [] items
+    | Some _ -> Error "report field \"efficiency\" must be an array"
+  in
   Ok
     {
       automaton_states;
@@ -566,6 +690,7 @@ let report_of_json v =
       domains_used;
       par_threshold;
       report_levels;
+      efficiency;
       stop;
       selected;
     }
@@ -593,7 +718,31 @@ let pp_report ppf r =
     (if levels = "" then "-" else levels)
     r.par_levels r.seq_fallbacks r.par_threshold r.domains_used
     (stop_reason_to_string r.stop)
-    r.selected
+    r.selected;
+  if r.efficiency <> [] then begin
+    let ms ns = float_of_int ns /. 1e6 in
+    Format.fprintf ppf "parallel efficiency (per level; busy%% = sum busy / (wall x domains))@\n";
+    List.iter
+      (fun lp ->
+        let per_domain =
+          String.concat "/"
+            (Array.to_list
+               (Array.map
+                  (fun b ->
+                    if lp.lp_wall_ns <= 0 then "-"
+                    else Printf.sprintf "%.0f%%" (100. *. float_of_int b /. float_of_int lp.lp_wall_ns))
+                  lp.lp_busy_ns))
+        in
+        let chunks_by =
+          String.concat "/" (Array.to_list (Array.map string_of_int lp.lp_chunks_by))
+        in
+        Format.fprintf ppf
+          "  level %-3d frontier %-8d chunks %d (%s)  wall %.3fms  busy %.0f%% (%s)  imbalance %.2f  barrier %.3fms@\n"
+          lp.lp_level lp.lp_frontier lp.lp_chunks chunks_by (ms lp.lp_wall_ns)
+          (100. *. level_busy_frac lp)
+          per_domain (level_imbalance lp) (ms lp.lp_barrier_ns))
+      r.efficiency
+  end
 
 (* ------------------------------------------------------------------ *)
 (* public entry points — all route through the one kernel *)

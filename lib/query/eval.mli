@@ -57,6 +57,31 @@ type level_stat = { frontier : int; parallel : bool }
     domain pool ([parallel = false] is the sequential fallback). Level 1
     is the accepting-state seed frontier. *)
 
+type level_perf = {
+  lp_level : int;  (** 1-based BFS level, matching [report_levels] order *)
+  lp_frontier : int;
+  lp_chunks : int;
+  lp_wall_ns : int;  (** whole level expansion: chunk setup, pool job, merge *)
+  lp_barrier_ns : int;  (** the caller's wait after finishing its own chunks *)
+  lp_busy_ns : int array;  (** per pool participant; slot 0 is the caller *)
+  lp_chunks_by : int array;
+  lp_wake_ns : int array;  (** wake-to-first-claim latency per participant *)
+}
+(** Scheduler telemetry for one {e parallel} level, present only when
+    {!Gps_par.Pool.profiling} was on during the run ([gps query
+    --explain] and [gps profile] turn it on; otherwise collection is
+    skipped entirely — not a single extra clock read). *)
+
+val level_imbalance : level_perf -> float
+(** max busy / mean busy over participants, in [[1, domains]]; 1.0 is a
+    perfectly balanced level, [domains] is one participant doing all
+    the work. 1.0 when nothing was measured. *)
+
+val level_busy_frac : level_perf -> float
+(** sum busy / (wall × domains), in [[0, 1]]: the fraction of the
+    level's parallel capacity spent inside chunk bodies. The rest is
+    wake latency, barrier wait, chunk setup and frontier merge. *)
+
 type stop_reason =
   | Empty_automaton  (** the query automaton has no states — nothing to run *)
   | Saturated  (** every product state was discovered *)
@@ -75,6 +100,9 @@ type report = {
   domains_used : int;
   par_threshold : int;
   report_levels : level_stat list;  (** in BFS order *)
+  efficiency : level_perf list;
+      (** parallel levels only, BFS order; [[]] unless pool profiling
+          was on (older servers' wire payloads also decode to [[]]) *)
   stop : stop_reason;
   selected : int;  (** how many nodes the query selects *)
 }

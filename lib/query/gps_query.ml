@@ -4,6 +4,7 @@
 
 module Rpq = Rpq
 module Eval = Eval
+module Profile = Profile
 module Pathlang = Pathlang
 module Witness = Witness
 module Metrics = Metrics

@@ -1,0 +1,83 @@
+(** Where did the parallel speedup go? The attribution harness behind
+    [gps profile] and [bench --exp par_profile].
+
+    {!run} times a query sequentially and in parallel (both
+    unprofiled, best-of-N), then re-runs it with
+    {!Gps_par.Pool.profiling} on and {!Gps_obs.Runtime} polling around
+    each run, and decomposes the parallel capacity [domains × wall]
+    {e exactly} into five buckets:
+
+    - [compute] — time inside chunk bodies plus the sequential part of
+      the run, GC pauses excluded;
+    - [gc] — stop-the-world pause time (minor + major), from the
+      runtime's own event ring;
+    - [imbalance] — the idle shadow of stragglers:
+      [Σ_l (D·max(busy_l) − Σ busy_l)] over parallel levels;
+    - [barrier_wake] — synchronization: job install, worker
+      wake-to-first-claim, the caller's barrier wait, chunk setup and
+      frontier merge: [Σ_l D·(wall_l − max(busy_l))];
+    - [seq_idle] — the other [D−1] domains idling while the caller runs
+      sequential phases (Amdahl's term).
+
+    The five fractions sum to 1 by construction — the identity is
+    arithmetic, not empirical — so a consumer can gate on
+    [attribution_sum ≈ 1] as a telemetry-integrity check without ever
+    gating on a latency. *)
+
+type attribution = {
+  a_compute : float;
+  a_gc : float;
+  a_imbalance : float;
+  a_barrier_wake : float;
+  a_seq_idle : float;
+}
+(** Fractions of the fastest profiled run's parallel capacity
+    [domains × r_attr_wall_ns]; sum to 1. *)
+
+val attribution_sum : attribution -> float
+val attribution_to_json : attribution -> Gps_graph.Json.value
+
+type result = {
+  r_domains : int;
+  r_runs : int;  (** profiled runs aggregated into [r_attribution] *)
+  r_seq_wall_ns : int;  (** best unprofiled run at [domains = 1] *)
+  r_par_wall_ns : int;  (** best unprofiled run at [r_domains] *)
+  r_profiled_wall_ns : int;  (** mean profiled run — the profiling tax is
+                                 [r_profiled_wall_ns - r_par_wall_ns] *)
+  r_attr_wall_ns : int;
+      (** the fastest profiled run: the one [r_attribution] decomposes.
+          Using the best run (not the mean) matches the best-of
+          methodology of [r_seq_wall_ns]/[r_par_wall_ns] and keeps
+          scheduler-preemption outliers on an oversubscribed host from
+          inflating the busy counters relative to the sequential
+          baseline. *)
+  r_attribution : attribution;
+  r_par_levels : int;
+  r_seq_fallbacks : int;
+  r_busy_frac : float array;
+      (** per participant (0 = caller), busy / total parallel-level wall *)
+  r_chunks_by : int array;  (** per participant, summed over profiled runs *)
+  r_gc_minor : Gps_obs.Histogram.snapshot;
+      (** pause distribution delta across the profiled phase *)
+  r_gc_major : Gps_obs.Histogram.snapshot;
+}
+
+val run :
+  ?runs:int ->
+  ?timing_reps:int ->
+  ?par_threshold:int ->
+  domains:int ->
+  Eval.source ->
+  Rpq.t ->
+  result
+(** [run ~domains source q] with [runs] profiled repetitions (default
+    5) and [timing_reps] unprofiled timing repetitions (default 3,
+    best-of). [domains] is clamped to ≥ 2 — attribution of a
+    one-domain run is vacuous. Starts {!Gps_obs.Runtime} (best
+    effort), restores the pool's previous profiling flag on exit. *)
+
+val result_to_json : result -> Gps_graph.Json.value
+(** The per-size record committed into [BENCH_par.json]. *)
+
+val pp : Format.formatter -> result -> unit
+(** The [gps profile] terminal table. *)

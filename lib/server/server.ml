@@ -41,6 +41,7 @@ type config = {
   audit : Wide_event.sink option;
   sample_every_s : float option;
   prom_compat : bool;
+  profile : bool;
 }
 
 let default_config =
@@ -59,6 +60,7 @@ let default_config =
     audit = None;
     sample_every_s = None;
     prom_compat = false;
+    profile = false;
   }
 
 type t = {
@@ -108,13 +110,24 @@ let create ?(config = default_config) () =
       series = None;
     }
   in
+  (* --profile: pool-level scheduler telemetry on every parallel eval,
+     plus GC/domain events from the runtime's ring. Both feed the
+     ordinary registries, so Prom exposition, timeseries windows and
+     [gps top] pick them up with no further wiring. *)
+  if config.profile then begin
+    ignore (Gps_obs.Runtime.start ());
+    Gps_par.Pool.set_profiling true
+  end;
   (match config.sample_every_s with
   | Some interval_s when interval_s > 0.0 ->
-      (* every sample sees fresh level gauges and the per-endpoint
-         latency tables alongside the global registries *)
+      (* every sample sees fresh level gauges, drained runtime events
+         and the per-endpoint latency tables alongside the global
+         registries *)
       let ts =
         Timeseries.create ~interval_s
-          ~pre_sample:(fun () -> ignore (refresh_gauges t))
+          ~pre_sample:(fun () ->
+            ignore (refresh_gauges t);
+            if config.profile then ignore (Gps_obs.Runtime.poll ()))
           ~extra:(fun () -> Metrics.histograms t.metrics)
           ()
       in
@@ -196,6 +209,7 @@ let audited_eval_counters =
     ("d_frontier_visits", Counter.make "eval.frontier_visits");
     ("d_par_levels", Counter.make "eval.par_levels");
     ("d_seq_fallbacks", Counter.make "eval.seq_fallbacks");
+    ("d_domains_used", Counter.make "eval.domains_used");
   ]
 
 let ev_set_cache ev verdict =

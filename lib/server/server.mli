@@ -67,6 +67,15 @@ type config = {
       (** also emit the legacy quantile-gauge families
           ([_p50]/[_p90]/[_p99]/[_mean]) from the Prometheus endpoint,
           for one release of dashboard overlap *)
+  profile : bool;
+      (** runtime & scheduler observability ([gps serve --profile]):
+          start {!Gps_obs.Runtime} (GC pause histograms, domain
+          lifecycle) with events drained on each sampler tick, and
+          enable {!Gps_par.Pool} per-job telemetry, so [gc.*] and
+          [pool.*] families carry data in the metrics/Prometheus/
+          timeseries surfaces and [--explain] reports grow their
+          per-level efficiency section. Off (the default) costs
+          zero on every path. *)
 }
 
 val default_config : config

@@ -27,7 +27,7 @@ that do not evaluate are untouched.
   > {"op":"query","graph":"fig","query":"(tram+bus)*.cinema"}
   > EOF
   {"ok":true,"kind":"loaded","name":"fig","nodes":10,"edges":10,"labels":4,"version":1}
-  {"ok":false,"error":{"code":"timeout","message":"query evaluation timed-out after 0 frontier visits","data":{"automaton_states":4,"graph_nodes":10,"product_states":40,"frontier_visits":0,"early_exit_hits":0,"par_levels":0,"seq_fallbacks":0,"domains_used":1,"par_threshold":1024,"levels":[],"stop":"timed-out","selected":0}}}
+  {"ok":false,"error":{"code":"timeout","message":"query evaluation timed-out after 0 frontier visits","data":{"automaton_states":4,"graph_nodes":10,"product_states":40,"frontier_visits":0,"early_exit_hits":0,"par_levels":0,"seq_fallbacks":0,"domains_used":1,"par_threshold":1024,"levels":[],"efficiency":[],"stop":"timed-out","selected":0}}}
 
 An oversized request frame is refused with a typed error before any of
 it is parsed, and the connection is closed — the well-formed request

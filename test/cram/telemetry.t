@@ -47,7 +47,7 @@ that it was a hit (no evaluation ran, so there is nothing to narrate):
   > {"op":"query","graph":"figure1","query":"bus","explain":true}
   > {"op":"query","graph":"figure1","query":"bus","explain":true}
   > EOF
-  {"ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"miss","explain":{"cache":"miss","automaton_states":2,"graph_nodes":10,"product_states":20,"frontier_visits":13,"early_exit_hits":1,"par_levels":0,"seq_fallbacks":0,"domains_used":1,"par_threshold":1024,"levels":[{"frontier":10,"parallel":false},{"frontier":3,"parallel":false}],"stop":"frontier-exhausted","selected":3}}
+  {"ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"miss","explain":{"cache":"miss","automaton_states":2,"graph_nodes":10,"product_states":20,"frontier_visits":13,"early_exit_hits":1,"par_levels":0,"seq_fallbacks":0,"domains_used":1,"par_threshold":1024,"levels":[{"frontier":10,"parallel":false},{"frontier":3,"parallel":false}],"efficiency":[],"stop":"frontier-exhausted","selected":3}}
   {"ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"hit","explain":{"cache":"hit"}}
 
 --slow-ms logs queries at or over the threshold to stderr, one JSON line
@@ -81,7 +81,7 @@ and the count are exact:
   # TYPE gps_server_request_ns histogram
   gps_server_request_ns_count{endpoint="query"} 1
   $ tail -1 prom.out | sed 's/\\n/\n/g; s/\\"/"/g' | grep -c 'le="+Inf"'
-  2
+  4
   $ tail -1 prom.out | sed 's/\\n/\n/g; s/\\"/"/g' | grep 'gps_server_dispatches_total'
   # TYPE gps_server_dispatches_total counter
   gps_server_dispatches_total 2

@@ -29,7 +29,7 @@ count up from 1:
   {"ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"miss"}
   {"ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"hit"}
   $ sed -E 's/"(wait_us|service_us|ms)":[0-9.]+/"\1":T/g' audit.jsonl
-  {"event":"request","id":1,"bytes_in":46,"graph":"figure1","graph_version":1,"cache":"miss","d_product_states":20,"d_frontier_visits":13,"d_par_levels":0,"d_seq_fallbacks":0,"query":"bus","nodes":3,"endpoint":"query","ok":true,"bytes_out":81,"wait_us":T,"service_us":T,"ms":T}
+  {"event":"request","id":1,"bytes_in":46,"graph":"figure1","graph_version":1,"cache":"miss","d_product_states":20,"d_frontier_visits":13,"d_par_levels":0,"d_seq_fallbacks":0,"d_domains_used":1,"query":"bus","nodes":3,"endpoint":"query","ok":true,"bytes_out":81,"wait_us":T,"service_us":T,"ms":T}
   {"event":"request","id":2,"bytes_in":46,"graph":"figure1","graph_version":1,"cache":"hit","query":"bus","nodes":3,"endpoint":"query","ok":true,"bytes_out":80,"wait_us":T,"service_us":T,"ms":T}
 
 `gps audit summary` aggregates the stream offline (counts are exact,
@@ -41,6 +41,9 @@ slowest section):
   
   endpoint          count  errors   mean ms    p50 ms    p99 ms    max ms
   query                 2       0      T      T      T      T
+  
+  exec path         count  errors   mean ms    p50 ms    p99 ms    max ms
+  seq                   1       0      T      T      T      T
   
   cache: hit=1 miss=1
 
@@ -56,6 +59,16 @@ The same aggregation as one JSON object:
     "endpoints": {
       "query": {
         "count": 2,
+        "errors": 0,
+        "mean_ms": T,
+        "p50_ms": T,
+        "p99_ms": T,
+        "max_ms": T
+      }
+    },
+    "exec": {
+      "seq": {
+        "count": 1,
         "errors": 0,
         "mean_ms": T,
         "p50_ms": T,
