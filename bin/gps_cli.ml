@@ -680,7 +680,15 @@ let graph_cmd =
       let doc = "Packed binary CSR file." in
       Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
     in
-    let run path =
+    let do_verify =
+      let doc =
+        "Recompute the payload CRC32 and check it against the checksum trailer — an \
+         O(file) read; exit 1 on mismatch. Files packed before trailers existed report \
+         'absent'."
+      in
+      Arg.(value & flag & info [ "verify" ] ~doc)
+    in
+    let run path do_verify =
       match D.open_map path with
       | Error e -> or_die (Error (Printf.sprintf "%s: %s" path (D.open_error_to_string e)))
       | Ok d ->
@@ -700,15 +708,103 @@ let graph_cmd =
             if shown < D.base_labels d then print_string " ...";
             print_string ")"
           end;
-          print_newline ()
+          print_newline ();
+          if do_verify then
+            match D.verify d with
+            | D.Verified { crc; bytes } ->
+                Printf.printf "crc    : ok (crc32 0x%08x over %d payload bytes)\n" crc bytes
+            | D.No_trailer ->
+                Printf.printf "crc    : absent (packed before checksum trailers; repack to add one)\n"
+            | D.Crc_mismatch { stored; computed } ->
+                Printf.printf "crc    : MISMATCH (trailer 0x%08x, computed 0x%08x)\n" stored
+                  computed;
+                or_die (Error (Printf.sprintf "%s: payload corrupt" path))
     in
     Cmd.v
-      (Cmd.info "info" ~doc:"Validate a packed binary CSR file and print its header facts")
-      Term.(const run $ file)
+      (Cmd.info "info"
+         ~doc:
+           "Validate a packed binary CSR file and print its header facts; --verify also \
+            checks the payload checksum")
+      Term.(const run $ file $ do_verify)
   in
   Cmd.group
     (Cmd.info "graph" ~doc:"Pack and inspect out-of-core binary CSR graph files")
     [ pack_cmd; info_cmd ]
+
+(* ---------------------------------------------------------------- *)
+(* store: integrity tooling for mutation logs *)
+
+let store_cmd =
+  let module St = Gps.Graph.Store in
+  let log_arg =
+    let doc = "Store mutation log (the file passed to Store.openfile)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG" ~doc)
+  in
+  let format_name = function
+    | St.Text_v1 -> "text (v1)"
+    | St.Framed_v2 -> "framed (v2, checksummed)"
+  in
+  let outcome_name = function
+    | `Clean -> "clean"
+    | `Torn_tail -> "torn tail (normal crash recovery)"
+    | `Corrupt_record -> "CORRUPT RECORD"
+  in
+  let print_info (r : St.recovery_info) =
+    Printf.printf "format   : %s\n" (format_name r.St.format);
+    Printf.printf "records  : %d\n" r.St.entries_replayed;
+    Printf.printf "tail     : %s" (outcome_name r.St.outcome);
+    if r.St.bytes_discarded > 0 then
+      Printf.printf " (%d bytes past the last valid record)" r.St.bytes_discarded;
+    print_newline ()
+  in
+  let verify_cmd =
+    let run path =
+      match St.verify path with
+      | Error msg -> or_die (Error (Printf.sprintf "%s: %s" path msg))
+      | Ok r ->
+          print_info r;
+          if r.St.outcome = `Corrupt_record then
+            or_die
+              (Error
+                 (Printf.sprintf
+                    "%s: checksum failure mid-log — 'gps store recover %s' truncates at \
+                     the last valid record"
+                    path path))
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Read-only integrity check of a store log: replay every record's framing and \
+            checksum without touching the file; exit 1 on a corrupt record")
+      Term.(const run $ log_arg)
+  in
+  let recover_cmd =
+    let run path =
+      let st =
+        try St.openfile ~recover:true path
+        with Failure msg | Sys_error msg -> or_die (Error (Printf.sprintf "%s: %s" path msg))
+      in
+      let r = St.recovery st in
+      let g = St.graph st in
+      St.close st;
+      print_info r;
+      Printf.printf "graph    : %d nodes, %d edges\n" (Digraph.n_nodes g)
+        (Digraph.n_edges g);
+      if r.St.bytes_discarded > 0 then
+        Printf.printf "truncated %d unrecoverable bytes\n" r.St.bytes_discarded
+      else print_endline "nothing to repair"
+    in
+    Cmd.v
+      (Cmd.info "recover"
+         ~doc:
+           "Repair a store log in place: truncate at the last record with a valid \
+            checksum (discarding any torn or corrupt tail) and report what survived")
+      Term.(const run $ log_arg)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Verify and repair persistent graph store mutation logs (CRC-framed WAL)")
+    [ verify_cmd; recover_cmd ]
 
 (* ---------------------------------------------------------------- *)
 (* identify: L* against a known query (a teacher demo) *)
@@ -1198,6 +1294,11 @@ let top_cmd =
             ("sessions", "server.sessions_active");
             ("cache entries", "server.qcache_size");
           ];
+        (* only servers that actually recovered sessions at boot carry
+           the recovery gauge; zero means a clean start *)
+        if gauge last "recovery.sessions" > 0. then
+          add "  %-20s %10.0f   (rebuilt at boot)\n" "recovered sessions"
+            (gauge last "recovery.sessions");
         let hists = match obj last "hist" with Json.Object kvs -> kvs | _ -> [] in
         let request_hists =
           List.filter (fun (k, _) -> find_sub k "server.request_ns" = Some 0) hists
@@ -1438,9 +1539,26 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "profile" ] ~doc)
   in
+  let state_dir =
+    let doc =
+      "Session durability: journal every acknowledged session mutation to a checksummed \
+       per-session WAL under $(docv), and on startup replay the journals found there to \
+       rebuild the sessions a crashed server was holding. Without it, sessions are \
+       memory-only."
+    in
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let fsync =
+    let doc =
+      "When journaled session state is forced to disk before a mutation is acknowledged: \
+       'always' (default — every acked step survives power loss), 'every:N' (one fsync \
+       per N appends, bounded loss window), 'never' (page cache only)."
+    in
+    Arg.(value & opt string "always" & info [ "fsync" ] ~docv:"POLICY" ~doc)
+  in
   let run stdio port host preload cache slow_ms deadline_ms deadline_cap_ms max_inflight
-      max_frame_bytes io_timeout_s audit audit_sample sample_every prom_compat profile trace
-      domains =
+      max_frame_bytes io_timeout_s audit audit_sample sample_every prom_compat profile
+      state_dir fsync trace domains =
     apply_domains domains;
     let module Srv = Gps.Server.Server in
     let module P = Gps.Server.Protocol in
@@ -1477,24 +1595,35 @@ let serve_cmd =
     let audit_sink =
       Option.map (fun oc -> Gps.Obs.Wide_event.sink ~sample:audit_sample ?slow_ms oc) audit_oc
     in
+    let fsync_policy =
+      match Gps.Graph.Wal.policy_of_string fsync with
+      | Ok p -> p
+      | Error msg -> or_die (Error ("--fsync: " ^ msg))
+    in
     let server =
-      Srv.create
-        ~config:
-          {
-            Srv.default_config with
-            Srv.cache_capacity = cache;
-            Srv.slow_ms;
-            Srv.deadline_ms;
-            Srv.deadline_cap_ms;
-            Srv.max_inflight;
-            Srv.max_frame_bytes;
-            Srv.io_timeout_s;
-            Srv.audit = audit_sink;
-            Srv.sample_every_s = (if sample_every > 0. then Some sample_every else None);
-            Srv.prom_compat;
-            Srv.profile;
-          }
-        ()
+      match
+        Srv.create
+          ~config:
+            {
+              Srv.default_config with
+              Srv.cache_capacity = cache;
+              Srv.slow_ms;
+              Srv.deadline_ms;
+              Srv.deadline_cap_ms;
+              Srv.max_inflight;
+              Srv.max_frame_bytes;
+              Srv.io_timeout_s;
+              Srv.audit = audit_sink;
+              Srv.sample_every_s = (if sample_every > 0. then Some sample_every else None);
+              Srv.prom_compat;
+              Srv.profile;
+              Srv.state_dir;
+              Srv.fsync = fsync_policy;
+            }
+          ()
+      with
+      | s -> s
+      | exception Failure msg -> or_die (Error msg)
     in
     at_exit (fun () -> Srv.stop_sampler server);
     (* a --load file whose first bytes spell the packed-CSR magic is
@@ -1520,6 +1649,17 @@ let serve_cmd =
         | P.Err e -> or_die (Error (Printf.sprintf "--load %s: %s" spec e.P.message))
         | _ -> ())
       preload;
+    (* recovery replays session journals against the preloaded catalog,
+       so it must run after --load and before the first request *)
+    (match Srv.recover server with
+    | None -> ()
+    | Some r ->
+        Printf.eprintf
+          "gps: recovery: %d session(s) restored, %d failed, %d tail(s) truncated (%d \
+           bytes) in %.1f ms\n\
+           %!"
+          r.Srv.sessions_restored r.Srv.sessions_failed r.Srv.entries_discarded
+          r.Srv.bytes_discarded r.Srv.duration_ms);
     match port with
     | Some port -> (
         (* block SIGTERM/SIGINT before spawning any thread (children
@@ -1551,7 +1691,8 @@ let serve_cmd =
     Term.(
       const run $ stdio $ port $ host $ preload $ cache $ slow_ms $ deadline_ms
       $ deadline_cap_ms $ max_inflight $ max_frame_bytes $ io_timeout_s $ audit
-      $ audit_sample $ sample_every $ prom_compat $ profile $ trace_arg $ domains_arg)
+      $ audit_sample $ sample_every $ prom_compat $ profile $ state_dir $ fsync
+      $ trace_arg $ domains_arg)
 
 (* ---------------------------------------------------------------- *)
 
@@ -1563,6 +1704,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; stats_cmd; query_cmd; learn_cmd; session_cmd; dot_cmd; convert_cmd;
-            graph_cmd; identify_cmd; serve_cmd; trace_cmd; profile_cmd; metrics_cmd;
-            workload_cmd; top_cmd; audit_cmd;
+            graph_cmd; store_cmd; identify_cmd; serve_cmd; trace_cmd; profile_cmd;
+            metrics_cmd; workload_cmd; top_cmd; audit_cmd;
           ]))

@@ -1,0 +1,42 @@
+(* CRC-32/ISO-HDLC: reflected polynomial 0xEDB88320, init and final xor
+   0xFFFFFFFF — the zlib crc32. One 256-entry table, one lookup per
+   byte. All arithmetic stays in the low 32 bits of an OCaml int. *)
+
+let mask32 = 0xFFFFFFFF
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let step tbl crc byte = Array.unsafe_get tbl ((crc lxor byte) land 0xFF) lxor (crc lsr 8)
+
+let finish crc = crc lxor mask32 land mask32
+let start crc = crc lxor mask32 land mask32
+
+let bytes ?(crc = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.bytes: slice out of range";
+  let tbl = Lazy.force table in
+  let c = ref (start crc) in
+  for i = pos to pos + len - 1 do
+    c := step tbl !c (Char.code (Bytes.unsafe_get b i))
+  done;
+  finish !c
+
+let string ?(crc = 0) s = bytes ~crc (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let bigstring ?(crc = 0) (a : (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t)
+    ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim a then
+    invalid_arg "Crc32.bigstring: slice out of range";
+  let tbl = Lazy.force table in
+  let c = ref (start crc) in
+  for i = pos to pos + len - 1 do
+    c := step tbl !c (Char.code (Bigarray.Array1.unsafe_get a i))
+  done;
+  finish !c

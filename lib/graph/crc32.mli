@@ -1,0 +1,23 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    The checksum behind every durable artifact in the system: WAL record
+    frames ({!Wal}), the {!Store} mutation log, and the integrity
+    trailer of packed {!Disk_csr} files. Returned as a non-negative
+    [int] (the low 32 bits), so it stores directly in a word cell and
+    prints as decimal without sign surprises. *)
+
+val string : ?crc:int -> string -> int
+(** Checksum a whole string, or continue from a running [crc] (start a
+    stream with the default [0]). *)
+
+val bytes : ?crc:int -> Bytes.t -> pos:int -> len:int -> int
+(** Checksum a slice. @raise Invalid_argument on a bad range. *)
+
+val bigstring :
+  ?crc:int ->
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  pos:int ->
+  len:int ->
+  int
+(** Checksum a slice of a mapped byte array — how {!Disk_csr} sums a
+    packed file without copying it through the heap. *)

@@ -22,6 +22,13 @@ let node_mask = (1 lsl node_bits) - 1
 let max_labels = 1 lsl (62 - node_bits)
 let pad8 n = (n + 7) land lnot 7
 
+(* Integrity trailer, appended after the packed payload: 8 magic bytes,
+   u64 LE payload length, u64 LE CRC32 of the payload. Readers that
+   predate the trailer already tolerate size >= expected, so old and new
+   binaries interoperate in both directions. *)
+let trailer_magic = "GPSCKSUM"
+let trailer_bytes = 24
+
 (* ------------------------------------------------------------------ *)
 (* Mapped base file                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -41,6 +48,8 @@ type base = {
   b_labels : string array;  (* decoded eagerly: nl is small *)
   b_label_ids : (string, int) Hashtbl.t;
   bytes_total : int;
+  data_bytes : int;  (* payload size the header implies (trailer excluded) *)
+  stored_crc : int option;  (* from the trailer, if the file has one *)
 }
 
 type open_error =
@@ -127,6 +136,27 @@ let open_base path =
       in
       let expected = file_size n m nl ~label_bytes ~name_bytes in
       let* () = if size >= expected then Ok () else Error (Truncated { expected; actual = size }) in
+      let u64_at off =
+        let w = ref 0 in
+        for i = 7 downto 0 do
+          w := (!w lsl 8) lor Char.code (Bigarray.Array1.get chars (off + i))
+        done;
+        !w
+      in
+      let* stored_crc =
+        if size < expected + trailer_bytes then Ok None
+        else begin
+          let is_trailer = ref true in
+          for i = 0 to 7 do
+            if Bigarray.Array1.get chars (expected + i) <> trailer_magic.[i] then
+              is_trailer := false
+          done;
+          if not !is_trailer then Ok None (* pre-trailer file, or foreign padding *)
+          else if u64_at (expected + 8) <> expected then
+            Error (Corrupted "checksum trailer length disagrees with header")
+          else Ok (Some (u64_at (expected + 16)))
+        end
+      in
       let out_off = sub_ints ints (out_off_at n) (n + 1) in
       let in_off = sub_ints ints (in_off_at n) (n + 1) in
       let out_cells = sub_ints ints (out_cells_at n) m in
@@ -168,7 +198,22 @@ let open_base path =
           b_labels;
           b_label_ids;
           bytes_total = size;
+          data_bytes = expected;
+          stored_crc;
         })
+
+type verify_result =
+  | Verified of { crc : int; bytes : int }
+  | No_trailer
+  | Crc_mismatch of { stored : int; computed : int }
+
+let verify_base b =
+  match b.stored_crc with
+  | None -> No_trailer
+  | Some stored ->
+      let computed = Crc32.bigstring b.chars ~pos:0 ~len:b.data_bytes in
+      if computed = stored then Verified { crc = stored; bytes = b.data_bytes }
+      else Crc_mismatch { stored; computed }
 
 let base_node_name b v =
   if v < 0 || v >= b.n then invalid_arg (Printf.sprintf "Disk_csr.node_name: node %d out of range" v);
@@ -230,6 +275,8 @@ let base_nodes t = t.base.n
 let base_edges t = t.base.m
 let base_labels t = t.base.nl
 let file_bytes t = t.base.bytes_total
+let has_trailer t = t.base.stored_crc <> None
+let verify t = verify_base t.base
 let overlay_edges t = (Atomic.get t.ov).o_count
 
 (* Must hold t.lock. *)
@@ -530,6 +577,23 @@ let pack_stream ~path ~n_nodes:n ~n_edges:m ~node_name ~labels ~iter_edges =
       for v = 0 to n - 1 do
         emit (node_name v);
         name_off.{v + 1} <- !cursor - name_base
+      done;
+      (* Integrity trailer: CRC32 of the payload just written, read back
+         through the shared mapping, then appended past it. *)
+      let crc = Crc32.bigstring chars ~pos:0 ~len:total in
+      let trailer = Bytes.create trailer_bytes in
+      Bytes.blit_string trailer_magic 0 trailer 0 8;
+      let u64_set off v =
+        for i = 0 to 7 do
+          Bytes.set trailer (off + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+        done
+      in
+      u64_set 8 total;
+      u64_set 16 crc;
+      ignore (Unix.lseek fd total Unix.SEEK_SET);
+      let off = ref 0 in
+      while !off < trailer_bytes do
+        off := !off + Unix.write fd trailer !off (trailer_bytes - !off)
       done;
       Unix.fsync fd)
 

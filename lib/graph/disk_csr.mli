@@ -75,6 +75,26 @@ val base_edges : t -> int
 val base_labels : t -> int
 val file_bytes : t -> int
 
+(** {1 Integrity}
+
+    Files written since the durability work carry a 24-byte trailer past
+    the payload: magic ["GPSCKSUM"], u64 LE payload length, u64 LE CRC32
+    of the payload. {!open_map} records the trailer but does not sum a
+    possibly-multi-GB mapping on every open; {!verify} does the full
+    pass on demand. Pre-trailer files open fine and report
+    {!No_trailer}. *)
+
+type verify_result =
+  | Verified of { crc : int; bytes : int }
+  | No_trailer  (** packed before checksum trailers existed *)
+  | Crc_mismatch of { stored : int; computed : int }
+
+val verify : t -> verify_result
+(** Recompute the payload CRC32 and compare with the trailer. Reads
+    every payload byte — O(file size). *)
+
+val has_trailer : t -> bool
+
 (** {1 Overlay mutation} *)
 
 type delta = {

@@ -16,6 +16,8 @@ module Json = Json
 module Edit = Edit
 module Reach = Reach
 module Csr = Csr
+module Crc32 = Crc32
+module Wal = Wal
 module Disk_csr = Disk_csr
 module Store = Store
 module Dot = Dot

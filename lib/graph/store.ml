@@ -1,4 +1,24 @@
-type t = { path : string; graph : Digraph.t; mutable chan : out_channel; mutable closed : bool }
+type log_format = Text_v1 | Framed_v2
+
+type recovery_info = {
+  format : log_format;
+  entries_replayed : int;
+  bytes_discarded : int;
+  outcome : [ `Clean | `Torn_tail | `Corrupt_record ];
+}
+
+type channel = V1 of out_channel | V2 of Wal.t
+
+type t = {
+  path : string;
+  graph : Digraph.t;
+  pol : Wal.fsync_policy;
+  mutable chan : channel;
+  mutable closed : bool;
+  rec_info : recovery_info;
+  mutable v1_fsyncs : int;
+  mutable v1_unsynced : int;
+}
 
 let check_name name =
   String.iter
@@ -7,13 +27,37 @@ let check_name name =
         invalid_arg (Printf.sprintf "Store: name %S contains a tab or newline" name))
     name
 
-let node_record name = "N\t" ^ name ^ "\n"
-let edge_record src label dst = String.concat "\t" [ "E"; src; label; dst ] ^ "\n"
+let node_record name = "N\t" ^ name
+let edge_record src label dst = String.concat "\t" [ "E"; src; label; dst ]
 
-(* Replay the log into a fresh graph. The last line may be torn (crash
-   during append): if the file does not end in '\n', the tail is
+let apply_record path g lineno line =
+  match String.split_on_char '\t' line with
+  | [ "N"; name ] -> ignore (Digraph.add_node g name)
+  | [ "E"; src; label; dst ] -> Digraph.link g src label dst
+  | _ -> failwith (Printf.sprintf "Store: corrupt record at %s:%d" path (lineno + 1))
+
+(* ---- format detection ------------------------------------------------ *)
+
+let detect_format path =
+  if not (Sys.file_exists path) then Framed_v2
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        if len = 0 then Framed_v2
+        else
+          let n = min len (String.length Wal.magic) in
+          let head = really_input_string ic n in
+          if head = String.sub Wal.magic 0 n then Framed_v2 else Text_v1)
+
+(* ---- v1 (legacy text) replay ----------------------------------------- *)
+
+(* Replay the text log into a fresh graph. The last line may be torn
+   (crash during append): if the file does not end in '\n', the tail is
    silently dropped. Any other malformed record is corruption. *)
-let replay path g =
+let replay_v1 path g =
   if Sys.file_exists path then begin
     let ic = open_in_bin path in
     let len = in_channel_length ic in
@@ -24,48 +68,139 @@ let replay path g =
       | None -> "" (* a single torn record, or empty file *)
       | Some i -> String.sub text 0 (i + 1)
     in
+    let torn = String.length text - String.length complete in
     (* drop the torn tail from the file too, or the next append would
        concatenate onto the partial record and corrupt the log *)
-    if String.length complete <> String.length text then begin
+    if torn > 0 then begin
       let oc = open_out_bin path in
       output_string oc complete;
       close_out oc
     end;
+    let replayed = ref 0 in
     List.iteri
       (fun lineno line ->
-        if line <> "" then
-          match String.split_on_char '\t' line with
-          | [ "N"; name ] -> ignore (Digraph.add_node g name)
-          | [ "E"; src; label; dst ] -> Digraph.link g src label dst
-          | _ -> failwith (Printf.sprintf "Store: corrupt record at %s:%d" path (lineno + 1)))
-      (String.split_on_char '\n' complete)
+        if line <> "" then begin
+          apply_record path g lineno line;
+          incr replayed
+        end)
+      (String.split_on_char '\n' complete);
+    {
+      format = Text_v1;
+      entries_replayed = !replayed;
+      bytes_discarded = torn;
+      outcome = (if torn > 0 then `Torn_tail else `Clean);
+    }
   end
+  else
+    { format = Text_v1; entries_replayed = 0; bytes_discarded = 0; outcome = `Clean }
+
+(* ---- open ------------------------------------------------------------ *)
 
 let snapshot_path path = path ^ ".csr"
 
-let openfile path =
+let load_snapshot path =
+  let csr = snapshot_path path in
+  if Sys.file_exists csr then
+    match Disk_csr.open_map csr with
+    | Ok d -> Disk_csr.to_digraph (Disk_csr.snapshot d)
+    | Error e ->
+        failwith
+          (Printf.sprintf "Store: corrupt snapshot %s: %s" csr
+             (Disk_csr.open_error_to_string e))
+  else Digraph.create ()
+
+let openfile ?(policy = Wal.Always) ?(recover = false) path =
   (* a compacted store keeps its bulk in a packed binary CSR snapshot
      beside the log: recovery is one mmap + materialize, then replay of
      only the short tail appended since the compaction *)
-  let graph =
-    let csr = snapshot_path path in
-    if Sys.file_exists csr then
-      match Disk_csr.open_map csr with
-      | Ok d -> Disk_csr.to_digraph (Disk_csr.snapshot d)
-      | Error e ->
-          failwith
-            (Printf.sprintf "Store: corrupt snapshot %s: %s" csr
-               (Disk_csr.open_error_to_string e))
-    else Digraph.create ()
-  in
-  replay path graph;
-  let chan = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  { path; graph; chan; closed = false }
+  let graph = load_snapshot path in
+  match detect_format path with
+  | Text_v1 ->
+      let info = replay_v1 path graph in
+      let chan = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+      {
+        path;
+        graph;
+        pol = policy;
+        chan = V1 chan;
+        closed = false;
+        rec_info = info;
+        v1_fsyncs = 0;
+        v1_unsynced = 0;
+      }
+  | Framed_v2 -> (
+      (match Wal.scan path with
+      | Error e -> failwith ("Store: " ^ e)
+      | Ok r -> (
+          match r.Wal.outcome with
+          | Wal.Corrupt_record { index; bytes_discarded } when not recover ->
+              failwith
+                (Printf.sprintf
+                   "Store: CRC mismatch at record %d of %s (%d trailing bytes \
+                    unreadable); run `gps store recover` to truncate"
+                   index path bytes_discarded)
+          | _ -> ()));
+      match Wal.open_append ~policy path with
+      | Error e -> failwith ("Store: " ^ e)
+      | Ok (w, r) ->
+          let replayed = ref 0 in
+          List.iter
+            (fun payload ->
+              apply_record path graph !replayed payload;
+              incr replayed)
+            r.Wal.entries;
+          let outcome =
+            match r.Wal.outcome with
+            | Wal.Clean -> `Clean
+            | Wal.Torn_tail _ -> `Torn_tail
+            | Wal.Corrupt_record _ -> `Corrupt_record
+          in
+          {
+            path;
+            graph;
+            pol = policy;
+            chan = V2 w;
+            closed = false;
+            rec_info =
+              {
+                format = Framed_v2;
+                entries_replayed = !replayed;
+                bytes_discarded = Wal.bytes_discarded r;
+                outcome;
+              };
+            v1_fsyncs = 0;
+            v1_unsynced = 0;
+          })
 
+let recovery t = t.rec_info
 let graph t = t.graph
 let path t = t.path
+let format t = match t.chan with V1 _ -> Text_v1 | V2 _ -> Framed_v2
+let policy t = t.pol
+
+let fsyncs t =
+  t.v1_fsyncs + (match t.chan with V2 w -> Wal.fsyncs w | V1 _ -> 0)
 
 let alive t = if t.closed then invalid_arg "Store: already closed"
+
+(* ---- appends --------------------------------------------------------- *)
+
+let v1_fsync t oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  t.v1_fsyncs <- t.v1_fsyncs + 1;
+  t.v1_unsynced <- 0
+
+let log_record t record =
+  match t.chan with
+  | V2 w -> Wal.append w record
+  | V1 oc -> (
+      output_string oc (record ^ "\n");
+      t.v1_unsynced <- t.v1_unsynced + 1;
+      match t.pol with
+      | Wal.Always -> v1_fsync t oc
+      | Wal.Every n -> if t.v1_unsynced >= n then v1_fsync t oc
+      | Wal.Never -> ())
 
 let add_node t name =
   alive t;
@@ -73,7 +208,7 @@ let add_node t name =
   match Digraph.node_of_name t.graph name with
   | Some v -> v
   | None ->
-      output_string t.chan (node_record name);
+      log_record t (node_record name);
       Digraph.add_node t.graph name
 
 let link t src label dst =
@@ -88,36 +223,125 @@ let link t src label dst =
     match lbl with Some lbl -> Digraph.mem_edge t.graph ~src:s ~lbl ~dst:d | None -> false
   in
   if not already then begin
-    output_string t.chan (edge_record src label dst);
+    log_record t (edge_record src label dst);
     Digraph.add_edge t.graph ~src:s ~label ~dst:d
   end
 
 let sync t =
   alive t;
-  flush t.chan
+  match t.chan with
+  | V2 w -> Wal.sync w
+  | V1 oc -> v1_fsync t oc
+
+(* ---- compact --------------------------------------------------------- *)
 
 let compact t =
   alive t;
-  flush t.chan;
-  (* the whole graph goes into the packed binary snapshot (atomically:
-     pack to .tmp, rename over) ... *)
+  (* the whole graph goes into the packed binary snapshot. Crash-atomic:
+     pack to .tmp (pack_stream fsyncs the file itself), rename over,
+     fsync the directory so the rename survives power loss. *)
   let csr = snapshot_path t.path in
   let csr_tmp = csr ^ ".tmp" in
   Disk_csr.pack_digraph t.graph ~path:csr_tmp;
   Sys.rename csr_tmp csr;
-  (* ... and the text log restarts empty: from here on it holds only the
-     tail of mutations since this compaction. A crash between the two
-     renames is safe — replaying the full old log on top of the snapshot
-     is idempotent (node adds and edge adds both dedup). *)
+  let dir = Filename.dirname t.path in
+  Wal.fsync_dir dir;
+  (* ... and the log restarts empty, in v2 (framed) format — this is the
+     single migration point for legacy text logs. A crash between the
+     two renames is safe: replaying the full old log on top of the
+     snapshot is idempotent (node adds and edge adds both dedup). *)
   let tmp = t.path ^ ".tmp" in
-  close_out (open_out_bin tmp);
-  close_out t.chan;
+  (match Wal.open_append ~policy:t.pol tmp with
+  | Error e -> failwith ("Store: compact: " ^ e)
+  | Ok (w, _) -> Wal.close w);
+  (match t.chan with
+  | V1 oc -> close_out oc
+  | V2 w -> Wal.close w);
   Sys.rename tmp t.path;
-  t.chan <- open_out_gen [ Open_append; Open_binary ] 0o644 t.path
+  Wal.fsync_dir dir;
+  match Wal.open_append ~policy:t.pol t.path with
+  | Error e -> failwith ("Store: compact: " ^ e)
+  | Ok (w, _) -> t.chan <- V2 w
 
 let close t =
   if not t.closed then begin
-    flush t.chan;
-    close_out t.chan;
+    (match t.chan with
+    | V1 oc ->
+        (match t.pol with
+        | Wal.Never -> ()
+        | Wal.Always | Wal.Every _ ->
+            if t.v1_unsynced > 0 then try v1_fsync t oc with Unix.Unix_error _ -> ());
+        flush oc;
+        close_out oc
+    | V2 w -> Wal.close w);
     t.closed <- true
   end
+
+(* ---- verify ---------------------------------------------------------- *)
+
+let verify path =
+  if not (Sys.file_exists path) then
+    Ok { format = Framed_v2; entries_replayed = 0; bytes_discarded = 0; outcome = `Clean }
+  else
+    match detect_format path with
+    | Framed_v2 -> (
+        match Wal.scan path with
+        | Error e -> Error e
+        | Ok r ->
+            (* parse every payload too: a validly-framed record with a
+               malformed body is still corruption *)
+            let ok = ref 0 in
+            let parse_err = ref None in
+            (try
+               List.iter
+                 (fun payload ->
+                   (match String.split_on_char '\t' payload with
+                   | [ "N"; _ ] | [ "E"; _; _; _ ] -> ()
+                   | _ -> raise Exit);
+                   incr ok)
+                 r.Wal.entries
+             with Exit -> parse_err := Some !ok);
+            let outcome =
+              match (!parse_err, r.Wal.outcome) with
+              | Some _, _ -> `Corrupt_record
+              | None, Wal.Clean -> `Clean
+              | None, Wal.Torn_tail _ -> `Torn_tail
+              | None, Wal.Corrupt_record _ -> `Corrupt_record
+            in
+            Ok
+              {
+                format = Framed_v2;
+                entries_replayed = !ok;
+                bytes_discarded = Wal.bytes_discarded r;
+                outcome;
+              })
+    | Text_v1 -> (
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        let complete =
+          match String.rindex_opt text '\n' with
+          | None -> ""
+          | Some i -> String.sub text 0 (i + 1)
+        in
+        let torn = String.length text - String.length complete in
+        let ok = ref 0 in
+        let corrupt = ref false in
+        List.iter
+          (fun line ->
+            if line <> "" && not !corrupt then
+              match String.split_on_char '\t' line with
+              | [ "N"; _ ] | [ "E"; _; _; _ ] -> incr ok
+              | _ -> corrupt := true)
+          (String.split_on_char '\n' complete);
+        Ok
+          {
+            format = Text_v1;
+            entries_replayed = !ok;
+            bytes_discarded = torn;
+            outcome =
+              (if !corrupt then `Corrupt_record
+               else if torn > 0 then `Torn_tail
+               else `Clean);
+          })

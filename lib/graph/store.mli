@@ -1,56 +1,103 @@
-(** Durable graph storage: an append-only log with crash recovery.
+(** Durable graph storage: a checksummed append-only log with crash
+    recovery.
 
     The interactive sessions mutate nothing, but a graph database worth
     the name must survive restarts. This store keeps the full graph in
     memory (as {!Digraph}) and appends every mutation to a write-ahead
-    text log, one record per line:
-    {v
-    N <name>                 a node
-    E <src> <label> <dst>    an edge (tab-separated fields)
-    v}
-    On open, the log is replayed; a torn final record (no trailing
-    newline — the crash case) is ignored, so a crash during append loses
-    at most the in-flight record.
+    log. Two on-disk log formats coexist:
 
-    {!compact} moves the bulk out of the text log: the whole graph is
-    written as a packed binary CSR snapshot at [path ^ ".csr"] (see
-    {!Disk_csr}) and the log truncates to empty. Recovery of a
-    compacted store is one [mmap] + materialize plus a replay of only
-    the short tail appended since — not a reparse of every record ever
-    written. Both steps rename over a [.tmp]; a crash between them
-    leaves snapshot + full old log, whose replay is idempotent.
+    - {e v2 (framed)} — the current format: a {!Wal} journal (magic
+      ["GPSWAL01"], length+CRC32-framed records) whose payloads are the
+      same text records as v1, minus the newline. Every record is
+      checksummed, a torn tail is truncated on open, and a record whose
+      CRC fails is {e detected} — never silently replayed.
+    - {e v1 (text)} — the legacy format, one record per line:
+      {v
+      N <name>                 a node
+      E <src> <label> <dst>    an edge (tab-separated fields)
+      v}
+      Old logs still replay (a torn final line is dropped, as before);
+      the first {!compact} migrates the store to v2.
+
+    The fsync policy (see {!Wal.fsync_policy}) decides when an
+    acknowledged mutation is forced to disk — [Always] before every
+    return, [Every n] in batches, [Never] leaving it to the page cache.
+    It is honored for both formats.
+
+    {!compact} moves the bulk out of the log: the whole graph is written
+    as a packed binary CSR snapshot at [path ^ ".csr"] (see {!Disk_csr})
+    and the log restarts empty (in v2 format). Recovery of a compacted
+    store is one [mmap] + materialize plus a replay of only the short
+    tail appended since. Both steps are crash-atomic: the temporary file
+    is fsynced, renamed over the target, and the containing directory is
+    fsynced after each rename — a crash at any point leaves either the
+    old state or the new state, never neither.
 
     Names must not contain tabs or newlines
     ({!Invalid_argument} otherwise). *)
 
 type t
 
-val openfile : string -> t
-(** Open (replaying the log) or create the store at the path.
-    @raise Failure on a corrupt record that is not a torn tail.
+type log_format = Text_v1 | Framed_v2
+
+type recovery_info = {
+  format : log_format;
+  entries_replayed : int;  (** log records applied on open *)
+  bytes_discarded : int;  (** torn/corrupt tail bytes truncated *)
+  outcome : [ `Clean | `Torn_tail | `Corrupt_record ];
+}
+
+val openfile : ?policy:Wal.fsync_policy -> ?recover:bool -> string -> t
+(** Open (replaying the log) or create the store at the path. A fresh
+    store is created in v2 (framed) format; an existing log keeps its
+    format until {!compact}. A torn tail (the crash-during-append case)
+    is truncated silently — that is normal recovery. A record whose
+    checksum fails is corruption: by default it raises [Failure] naming
+    the record (run [gps store recover] to truncate); with
+    [~recover:true] the log is truncated at the last valid record
+    instead and the loss is reported in {!recovery}. Default policy
+    [Always].
+    @raise Failure on corruption (v2 CRC mismatch, v1 malformed line).
     @raise Sys_error on I/O errors. *)
+
+val recovery : t -> recovery_info
+(** What the open-time replay found. *)
 
 val graph : t -> Digraph.t
 (** The live graph. Treat as read-only: mutations must go through the
     store or they will not be persisted. *)
 
 val path : t -> string
+val format : t -> log_format
+val policy : t -> Wal.fsync_policy
 
 val add_node : t -> string -> Digraph.node
 (** Idempotent, like {!Digraph.add_node}; only logs genuinely new
-    nodes. *)
+    nodes. Durable per the fsync policy when it returns. *)
 
 val link : t -> string -> string -> string -> unit
 (** [link t src label dst] — like {!Digraph.link}; only logs genuinely
-    new nodes/edges. *)
+    new nodes/edges. Durable per the fsync policy when it returns. *)
 
 val sync : t -> unit
-(** Flush buffered appends to the OS. *)
+(** Force everything appended so far to disk (flush + fsync), regardless
+    of policy. *)
+
+val fsyncs : t -> int
+(** Fsyncs issued by this handle since open. *)
 
 val compact : t -> unit
 (** Atomically write the packed binary snapshot to [path ^ ".csr"] and
-    truncate the log — after this, the log carries only mutations newer
-    than the snapshot. *)
+    restart the log empty in v2 format — after this, the log carries
+    only mutations newer than the snapshot. Crash-atomic as described
+    above. *)
 
 val close : t -> unit
-(** Flush and close; the store must not be used afterwards. *)
+(** Flush, fsync (unless policy is [Never]) and close; the store must
+    not be used afterwards. *)
+
+val verify : string -> (recovery_info, string) result
+(** Read-only integrity check of the log at [path] (no snapshot, no
+    graph build, no truncation): parse every record, report format,
+    record count, tail outcome and bytes that recovery would discard.
+    [Error] if the file cannot be read at all. *)

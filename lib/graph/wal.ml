@@ -1,0 +1,248 @@
+(* Checksummed append-only journal. See wal.mli for the file format and
+   recovery contract. The writer works on a raw Unix fd so that fsync
+   actually covers every byte written (no stdlib channel buffering in
+   the durability path). *)
+
+let magic = "GPSWAL01"
+let magic_len = String.length magic
+let header_bytes = 8 (* u32 length + u32 crc *)
+let max_record_bytes = 64 * 1024 * 1024
+
+type fsync_policy = Never | Every of int | Always
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "never" -> Ok Never
+  | "always" -> Ok Always
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "every" -> (
+          let n = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> Ok (Every n)
+          | _ -> Error (Printf.sprintf "bad fsync interval %S (want every:N, N>=1)" n))
+      | _ -> Error (Printf.sprintf "unknown fsync policy %S (never|every:N|always)" s))
+
+let policy_to_string = function
+  | Never -> "never"
+  | Always -> "always"
+  | Every n -> Printf.sprintf "every:%d" n
+
+type outcome =
+  | Clean
+  | Torn_tail of { bytes_discarded : int }
+  | Corrupt_record of { index : int; bytes_discarded : int }
+
+type recovery = { entries : string list; outcome : outcome; valid_bytes : int }
+
+let bytes_discarded r =
+  match r.outcome with
+  | Clean -> 0
+  | Torn_tail { bytes_discarded } | Corrupt_record { bytes_discarded; _ } ->
+      bytes_discarded
+
+(* Fault probe: the obs layer (which sits above us) installs Fault.trip
+   here so GPS_FAULT schedules can hit wal.append / store.fsync. *)
+let probe = ref (fun (_ : string) -> ())
+let set_probe f = probe := f
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let u32_get b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let u32_set b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+(* Scan the framed region of [b] starting after the magic. *)
+let scan_bytes b =
+  let size = Bytes.length b in
+  let rec loop pos index acc =
+    if pos = size then
+      { entries = List.rev acc; outcome = Clean; valid_bytes = pos }
+    else if size - pos < header_bytes then
+      (* crash mid-header *)
+      {
+        entries = List.rev acc;
+        outcome = Torn_tail { bytes_discarded = size - pos };
+        valid_bytes = pos;
+      }
+    else
+      let len = u32_get b pos in
+      let crc = u32_get b (pos + 4) in
+      if len > max_record_bytes then
+        (* An absurd length field is corruption, not a torn write: we
+           refuse to trust it enough even to classify the tail. *)
+        {
+          entries = List.rev acc;
+          outcome = Corrupt_record { index; bytes_discarded = size - pos };
+          valid_bytes = pos;
+        }
+      else if size - pos - header_bytes < len then
+        {
+          entries = List.rev acc;
+          outcome = Torn_tail { bytes_discarded = size - pos };
+          valid_bytes = pos;
+        }
+      else if Crc32.bytes b ~pos:(pos + header_bytes) ~len <> crc then
+        {
+          entries = List.rev acc;
+          outcome = Corrupt_record { index; bytes_discarded = size - pos };
+          valid_bytes = pos;
+        }
+      else
+        let payload = Bytes.sub_string b (pos + header_bytes) len in
+        loop (pos + header_bytes + len) (index + 1) (payload :: acc)
+  in
+  loop 0 0 []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let b = Bytes.create size in
+      really_input ic b 0 size;
+      b)
+
+let scan path =
+  if not (Sys.file_exists path) then
+    Ok { entries = []; outcome = Clean; valid_bytes = 0 }
+  else
+    match read_file path with
+    | exception Sys_error e -> Error e
+    | b ->
+        let size = Bytes.length b in
+        if size = 0 then Ok { entries = []; outcome = Clean; valid_bytes = 0 }
+        else if size < magic_len then
+          if Bytes.sub_string b 0 size = String.sub magic 0 size then
+            (* crash while writing the magic itself: an empty log *)
+            Ok
+              {
+                entries = [];
+                outcome = Torn_tail { bytes_discarded = size };
+                valid_bytes = 0;
+              }
+          else Error (Printf.sprintf "%s: not a WAL file (bad magic)" path)
+        else if Bytes.sub_string b 0 magic_len <> magic then
+          Error (Printf.sprintf "%s: not a WAL file (bad magic)" path)
+        else
+          let body = Bytes.sub b magic_len (size - magic_len) in
+          let r = scan_bytes body in
+          Ok { r with valid_bytes = r.valid_bytes + magic_len }
+
+type t = {
+  w_path : string;
+  w_policy : fsync_policy;
+  mutable fd : Unix.file_descr option;
+  mutable n_appends : int;
+  mutable n_fsyncs : int;
+  mutable unsynced : int; (* appends since last fsync, for Every *)
+}
+
+let path t = t.w_path
+let policy t = t.w_policy
+let appends t = t.n_appends
+let fsyncs t = t.n_fsyncs
+
+let fd_exn t =
+  match t.fd with
+  | Some fd -> fd
+  | None -> invalid_arg "Wal: handle is closed"
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let do_fsync t =
+  !probe "store.fsync";
+  Unix.fsync (fd_exn t);
+  t.n_fsyncs <- t.n_fsyncs + 1;
+  t.unsynced <- 0
+
+let open_append ?(policy = Always) path =
+  match scan path with
+  | Error _ as e -> e
+  | Ok recovery -> (
+      try
+        let fresh = recovery.valid_bytes = 0 in
+        let fd =
+          Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644
+        in
+        (* Physically drop any torn/corrupt tail so the next append
+           starts at the end of valid history. *)
+        if fresh then (
+          Unix.ftruncate fd 0;
+          let m = Bytes.of_string magic in
+          write_all fd m)
+        else (
+          Unix.ftruncate fd recovery.valid_bytes;
+          ignore (Unix.lseek fd recovery.valid_bytes Unix.SEEK_SET));
+        (match policy with
+        | Never -> ()
+        | Every _ | Always ->
+            (try Unix.fsync fd with Unix.Unix_error _ -> ());
+            if fresh then fsync_dir (Filename.dirname path));
+        let t =
+          {
+            w_path = path;
+            w_policy = policy;
+            fd = Some fd;
+            n_appends = 0;
+            n_fsyncs = 0;
+            unsynced = 0;
+          }
+        in
+        let recovery =
+          if fresh then { recovery with valid_bytes = magic_len } else recovery
+        in
+        Ok (t, recovery)
+      with Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let append t payload =
+  let len = String.length payload in
+  if len > max_record_bytes then
+    invalid_arg "Wal.append: record exceeds max_record_bytes";
+  let fd = fd_exn t in
+  !probe "wal.append";
+  let frame = Bytes.create (header_bytes + len) in
+  u32_set frame 0 len;
+  u32_set frame 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 frame header_bytes len;
+  write_all fd frame;
+  t.n_appends <- t.n_appends + 1;
+  t.unsynced <- t.unsynced + 1;
+  match t.w_policy with
+  | Always -> do_fsync t
+  | Every n -> if t.unsynced >= n then do_fsync t
+  | Never -> ()
+
+let sync t = do_fsync t
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      (match t.w_policy with
+      | Never -> ()
+      | Every _ | Always -> (
+          if t.unsynced > 0 then
+            try do_fsync t with Unix.Unix_error _ -> () | _ -> ()));
+      t.fd <- None;
+      Unix.close fd

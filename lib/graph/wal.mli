@@ -1,0 +1,119 @@
+(** A generic checksummed append-only journal (write-ahead log).
+
+    One file, one writer: an 8-byte magic header (["GPSWAL01"]) followed
+    by length+CRC32-framed records —
+
+    {v
+    | len : u32 LE | crc32(payload) : u32 LE | payload bytes |
+    v}
+
+    — so a reader can always tell exactly where durable history ends.
+    {!scan} replays the frames and stops at the first invalid one,
+    distinguishing the three ways a log can end:
+
+    - {e clean}: the last frame ends exactly at EOF;
+    - {e torn tail}: the file ends inside a frame (the classic
+      crash-during-append) — the partial frame is discarded;
+    - {e corrupt record}: a frame whose checksum does not match (or
+      whose length field is absurd) — everything from that frame on is
+      discarded and the corruption is reported, never replayed.
+
+    {!open_append} runs the same scan, truncates the file back to its
+    last valid record (so the next append never concatenates onto a
+    partial frame) and returns a writer. Appends go through a single
+    unbuffered [write]; the fsync policy decides when acknowledged
+    records are forced to disk:
+
+    - [Always] — fsync after every append (an acked record survives
+      [kill -9] and power loss);
+    - [Every n] — fsync every [n]th append (bounded loss window);
+    - [Never] — no fsync (the OS page cache decides; survives process
+      crash but not power loss).
+
+    Records are opaque byte strings (callers frame JSON, text, anything);
+    the empty record is valid. Payloads are capped at {!max_record_bytes}
+    — a length field beyond the cap is treated as corruption rather than
+    trusted with an allocation.
+
+    The module lives in [gps_graph] (below the observability layer), so
+    fault injection is wired through {!set_probe}: the probe runs before
+    every record write (site ["wal.append"]) and before every fsync
+    (site ["store.fsync"]); an exception it raises aborts the operation
+    and propagates — which is exactly how chaos schedules turn a failed
+    write into a typed degraded acknowledgement upstream. *)
+
+type fsync_policy = Never | Every of int | Always
+
+val policy_of_string : string -> (fsync_policy, string) result
+(** ["never"], ["always"], or ["every:N"] (N >= 1). *)
+
+val policy_to_string : fsync_policy -> string
+
+type outcome =
+  | Clean
+  | Torn_tail of { bytes_discarded : int }
+  | Corrupt_record of { index : int; bytes_discarded : int }
+      (** [index] is the 0-based record number of the frame whose
+          checksum (or length field) failed. *)
+
+type recovery = {
+  entries : string list;  (** every valid record, in append order *)
+  outcome : outcome;
+  valid_bytes : int;
+      (** absolute file offset of the end of the last valid record (the
+          truncation point); includes the magic header *)
+}
+
+val bytes_discarded : recovery -> int
+(** 0 for [Clean]. *)
+
+val magic : string
+
+val scan : string -> (recovery, string) result
+(** Read-only recovery scan. A missing file is an empty clean log;
+    [Error] only for a file that is not a WAL at all (foreign magic) or
+    cannot be read. *)
+
+type t
+
+val open_append :
+  ?policy:fsync_policy -> string -> (t * recovery, string) result
+(** Open (creating, with the containing directory fsynced so the new
+    file itself survives a crash) or recover-then-open for appending.
+    Recovery truncates the file at [recovery.valid_bytes] first —
+    discarded bytes are physically removed, not just skipped. Default
+    policy [Always]. *)
+
+val append : t -> string -> unit
+(** Frame, write, and fsync per policy. Raises whatever the probe or the
+    OS raises; on any failure the record must be treated as not
+    acknowledged. @raise Invalid_argument beyond {!max_record_bytes}. *)
+
+val sync : t -> unit
+(** Force an fsync now, regardless of policy. *)
+
+val close : t -> unit
+(** Fsync (unless the policy is [Never]) and close. Idempotent. *)
+
+val path : t -> string
+val policy : t -> fsync_policy
+
+val appends : t -> int
+(** Records appended through this handle. *)
+
+val fsyncs : t -> int
+(** Fsyncs issued by this handle (policy + explicit {!sync}). *)
+
+val max_record_bytes : int
+(** 64 MiB. *)
+
+val set_probe : (string -> unit) -> unit
+(** Install the process-wide fault probe (default: no-op). The server
+    layer points this at [Gps_obs.Fault.trip] so [GPS_FAULT] schedules
+    reach the durability paths. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory — the step that makes a just-created or
+    just-renamed file durable on POSIX filesystems. Errors (e.g. the
+    platform refusing to fsync a directory fd) are swallowed: the data
+    fsyncs themselves never go through here. *)

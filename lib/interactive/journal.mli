@@ -25,6 +25,11 @@ val replayer : ?strict:bool -> t -> Oracle.user
     true) — when the session asks about a different node than the one
     recorded. *)
 
+val answer_to_json : answer -> Gps_graph.Json.value
+val answer_of_json : Gps_graph.Json.value -> (answer, string) result
+(** Single-entry codec, for embedding answers in other record streams
+    (the server's durability journal frames one answer per WAL record). *)
+
 val to_json : t -> string
 val of_json : string -> (t, string) result
 

@@ -138,6 +138,12 @@ let trip name =
     raise (Injected name)
   end
 
+(* The graph layer sits below us, so its durability primitives expose a
+   probe hook instead of depending on this module: point it here once,
+   at link time, and the wal.append / store.fsync sites obey GPS_FAULT
+   schedules like any native site (no-ops while disarmed). *)
+let () = Gps_graph.Wal.set_probe trip
+
 let injected_count name =
   match Hashtbl.find_opt !table name with
   | None -> 0

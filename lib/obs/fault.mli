@@ -2,8 +2,10 @@
 
     Faults are armed per {e site} — a short dotted name compiled into the
     code path (["catalog.lookup"], ["qcache.insert"], ["session.step"],
-    ["sock.write"]) — either programmatically with {!configure} or from
-    the [GPS_FAULT] environment variable via {!init_from_env}.
+    ["sock.write"], and the durability sites ["wal.append"] /
+    ["store.fsync"] wired through {!Gps_graph.Wal.set_probe}) — either
+    programmatically with {!configure} or from the [GPS_FAULT]
+    environment variable via {!init_from_env}.
 
     The spec grammar is [site:mode] pairs separated by commas:
 

@@ -127,6 +127,7 @@ type summary = {
   s_total : int;
   s_malformed : int;
   s_errors : int;
+  s_recovered : int;  (* events stamped recovered:true (post-restart window) *)
   s_endpoints : erow list;  (* sorted by endpoint name *)
   s_exec : erow list;  (* evaluated misses split par vs seq, sorted *)
   s_cache : (string * int) list;  (* cache-state counts, sorted *)
@@ -159,7 +160,7 @@ let jbool v k =
 let summarize ?(top = 5) ?(malformed = 0) events =
   let by_endpoint = Hashtbl.create 8 and by_exec = Hashtbl.create 4 in
   let cache = Hashtbl.create 4 in
-  let errors = ref 0 in
+  let errors = ref 0 and recovered = ref 0 in
   let accumulate tbl key ~ok ~ms =
     let count, errs, sum, mx, hist =
       match Hashtbl.find_opt tbl key with
@@ -177,6 +178,7 @@ let summarize ?(top = 5) ?(malformed = 0) events =
       let ok = Option.value ~default:true (jbool ev "ok") in
       let ms = Option.value ~default:0.0 (jnum ev "ms") in
       if not ok then incr errors;
+      if Option.value ~default:false (jbool ev "recovered") then incr recovered;
       accumulate by_endpoint endpoint ~ok ~ms;
       (* execution-path split: only evaluated misses carry eval deltas,
          so [d_par_levels] present classifies the request as having run
@@ -227,6 +229,7 @@ let summarize ?(top = 5) ?(malformed = 0) events =
     s_total = List.length events;
     s_malformed = malformed;
     s_errors = !errors;
+    s_recovered = !recovered;
     s_endpoints = endpoints;
     s_exec = exec;
     s_cache = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) cache []);
@@ -241,6 +244,7 @@ let summary_to_json s =
       ("total", Json.Number (float_of_int s.s_total));
       ("malformed", Json.Number (float_of_int s.s_malformed));
       ("errors", Json.Number (float_of_int s.s_errors));
+      ("recovered", Json.Number (float_of_int s.s_recovered));
       ( "endpoints",
         Json.Object
           (List.map
@@ -282,8 +286,11 @@ let summary_to_json s =
     ]
 
 let pp_summary ppf s =
-  Fmt.pf ppf "events: %d  (errors: %d, malformed lines: %d)@." s.s_total
-    s.s_errors s.s_malformed;
+  Fmt.pf ppf "events: %d  (errors: %d, malformed lines: %d%s)@." s.s_total
+    s.s_errors s.s_malformed
+    (if s.s_recovered > 0 then
+       Printf.sprintf ", post-recovery: %d" s.s_recovered
+     else "");
   if s.s_endpoints <> [] then begin
     Fmt.pf ppf "@.%-14s %8s %7s %9s %9s %9s %9s@." "endpoint" "count"
       "errors" "mean ms" "p50 ms" "p99 ms" "max ms";

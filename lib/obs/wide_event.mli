@@ -85,6 +85,10 @@ type summary = {
   s_total : int;
   s_malformed : int;
   s_errors : int;
+  s_recovered : int;
+      (** events stamped [recovered:true] — served inside the first
+          post-restart sample window after a crash recovery, so a
+          latency anomaly there can be attributed to cold caches *)
   s_endpoints : erow list;  (** sorted by endpoint name *)
   s_exec : erow list;
       (** latency split by execution path: events carrying a

@@ -1,0 +1,259 @@
+module Json = Gps_graph.Json
+module Wal = Gps_graph.Wal
+module Journal = Gps_interactive.Journal
+
+type t = {
+  dir : string;
+  policy : Wal.fsync_policy;
+  lock : Mutex.t;
+  wals : (int, Wal.t) Hashtbl.t;
+}
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let load ~dir ~policy =
+  match mkdir_p dir with
+  | () ->
+      if not (Sys.is_directory dir) then
+        Error (Printf.sprintf "%s: not a directory" dir)
+      else begin
+        Wal.fsync_dir (Filename.dirname dir);
+        Ok { dir; policy; lock = Mutex.create (); wals = Hashtbl.create 16 }
+      end
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" dir (Unix.error_message e))
+
+let dir t = t.dir
+let policy t = t.policy
+let session_path t id = Filename.concat t.dir (Printf.sprintf "session-%d.wal" id)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---- record codec ---------------------------------------------------- *)
+
+let start_record ~graph ~version ~strategy ~seed ~budget =
+  Json.value_to_string
+    (Json.Object
+       [
+         ("ev", Json.String "start");
+         ("graph", Json.String graph);
+         ("version", Json.Number (float_of_int version));
+         ("strategy", Json.String strategy);
+         ("seed", Json.Number (float_of_int seed));
+         ( "budget",
+           match budget with
+           | Some b -> Json.Number (float_of_int b)
+           | None -> Json.Null );
+       ])
+
+let answer_record a =
+  Json.value_to_string
+    (Json.Object [ ("ev", Json.String "answer"); ("a", Journal.answer_to_json a) ])
+
+type parsed =
+  | Start of {
+      graph : string;
+      version : int;
+      strategy : string;
+      seed : int;
+      budget : int option;
+    }
+  | Answer of Journal.answer
+
+let parse_record payload =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let* v =
+    match Json.value_of_string payload with
+    | v -> Ok v
+    | exception Json.Parse_error (pos, msg) ->
+        Error (Printf.sprintf "json error at %d: %s" pos msg)
+  in
+  let str k =
+    match Json.member k v with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let num k =
+    match Json.member k v with
+    | Some (Json.Number n) -> Ok (int_of_float n)
+    | _ -> Error (Printf.sprintf "missing number field %S" k)
+  in
+  let opt_num k =
+    match Json.member k v with
+    | Some (Json.Number n) -> Ok (Some (int_of_float n))
+    | Some Json.Null | None -> Ok None
+    | Some _ -> Error (Printf.sprintf "field %S is not a number" k)
+  in
+  let* ev = str "ev" in
+  match ev with
+  | "start" ->
+      let* graph = str "graph" in
+      let* version = num "version" in
+      let* strategy = str "strategy" in
+      let* seed = num "seed" in
+      let* budget = opt_num "budget" in
+      Ok (Start { graph; version; strategy; seed; budget })
+  | "answer" -> (
+      match Json.member "a" v with
+      | Some a -> (
+          match Journal.answer_of_json a with
+          | Ok a -> Ok (Answer a)
+          | Error e -> Error e)
+      | None -> Error "missing field \"a\"")
+  | other -> Error (Printf.sprintf "unknown record kind %S" other)
+
+(* ---- journaling ------------------------------------------------------ *)
+
+let journal_start t ~id ~graph ~version ~strategy ~seed ~budget =
+  let path = session_path t id in
+  match Wal.open_append ~policy:t.policy path with
+  | Error e -> failwith e
+  | Ok (w, _) ->
+      with_lock t (fun () -> Hashtbl.replace t.wals id w);
+      Wal.append w (start_record ~graph ~version ~strategy ~seed ~budget)
+
+let journal_answer t ~id a =
+  let w =
+    match with_lock t (fun () -> Hashtbl.find_opt t.wals id) with
+    | Some w -> w
+    | None -> failwith (Printf.sprintf "no open journal for session %d" id)
+  in
+  Wal.append w (answer_record a)
+
+(* ---- lifecycle ------------------------------------------------------- *)
+
+let take t id =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.wals id with
+      | Some w ->
+          Hashtbl.remove t.wals id;
+          Some w
+      | None -> None)
+
+let discard t ~id =
+  (match take t id with Some w -> (try Wal.close w with _ -> ()) | None -> ());
+  try Sys.remove (session_path t id) with Sys_error _ -> ()
+
+let quarantine t ~id =
+  (match take t id with Some w -> (try Wal.close w with _ -> ()) | None -> ());
+  let path = session_path t id in
+  if Sys.file_exists path then (
+    (try Sys.rename path (path ^ ".failed") with Sys_error _ -> ());
+    Wal.fsync_dir t.dir)
+
+let close t =
+  with_lock t (fun () ->
+      Hashtbl.iter (fun _ w -> try Wal.close w with _ -> ()) t.wals;
+      Hashtbl.reset t.wals)
+
+(* ---- recovery -------------------------------------------------------- *)
+
+type recovered_journal = {
+  r_id : int;
+  r_graph : string;
+  r_version : int;
+  r_strategy : string;
+  r_seed : int;
+  r_budget : int option;
+  r_answers : Journal.answer list;
+  r_bytes_discarded : int;
+}
+
+type recover_stats = {
+  journals : recovered_journal list;
+  quarantined : int;
+  entries_discarded : int;
+  bytes_discarded : int;
+}
+
+let session_id_of_file name =
+  if
+    String.length name > 12
+    && String.sub name 0 8 = "session-"
+    && Filename.check_suffix name ".wal"
+  then int_of_string_opt (String.sub name 8 (String.length name - 12))
+  else None
+
+let parse_journal entries =
+  match entries with
+  | [] -> Error "empty journal (no start record)"
+  | first :: rest -> (
+      match parse_record first with
+      | Error e -> Error ("start record: " ^ e)
+      | Ok (Answer _) -> Error "first record is not a start record"
+      | Ok (Start { graph; version; strategy; seed; budget }) ->
+          let rec answers acc i = function
+            | [] -> Ok (List.rev acc)
+            | r :: rest -> (
+                match parse_record r with
+                | Ok (Answer a) -> answers (a :: acc) (i + 1) rest
+                | Ok (Start _) -> Error (Printf.sprintf "record %d: duplicate start" i)
+                | Error e -> Error (Printf.sprintf "record %d: %s" i e))
+          in
+          match answers [] 1 rest with
+          | Error _ as e -> e
+          | Ok a -> Ok (graph, version, strategy, seed, budget, a))
+
+let recover t =
+  let ids =
+    Sys.readdir t.dir |> Array.to_list
+    |> List.filter_map session_id_of_file
+    |> List.sort_uniq compare
+  in
+  let journals = ref [] in
+  let quarantined = ref 0 in
+  let entries_discarded = ref 0 in
+  let bytes_discarded = ref 0 in
+  List.iter
+    (fun id ->
+      let path = session_path t id in
+      match Wal.open_append ~policy:t.policy path with
+      | Error msg ->
+          Printf.eprintf "gps: recovery: %s: %s (quarantined)\n%!" path msg;
+          incr quarantined;
+          quarantine t ~id
+      | Ok (w, r) -> (
+          let dropped = Wal.bytes_discarded r in
+          if dropped > 0 then begin
+            incr entries_discarded;
+            bytes_discarded := !bytes_discarded + dropped
+          end;
+          match parse_journal r.Wal.entries with
+          | Error _ when r.Wal.entries = [] ->
+              (* a crash between journal creation and the start-record
+                 append: zero records means zero acknowledged state, so
+                 there is nothing to preserve — delete, don't quarantine *)
+              Wal.close w;
+              discard t ~id
+          | Error msg ->
+              Printf.eprintf "gps: recovery: %s: %s (quarantined)\n%!" path msg;
+              Wal.close w;
+              incr quarantined;
+              quarantine t ~id
+          | Ok (graph, version, strategy, seed, budget, answers) ->
+              with_lock t (fun () -> Hashtbl.replace t.wals id w);
+              journals :=
+                {
+                  r_id = id;
+                  r_graph = graph;
+                  r_version = version;
+                  r_strategy = strategy;
+                  r_seed = seed;
+                  r_budget = budget;
+                  r_answers = answers;
+                  r_bytes_discarded = dropped;
+                }
+                :: !journals))
+    ids;
+  {
+    journals = List.rev !journals;
+    quarantined = !quarantined;
+    entries_discarded = !entries_discarded;
+    bytes_discarded = !bytes_discarded;
+  }

@@ -1,0 +1,100 @@
+(** Session durability: one checksummed WAL per live session.
+
+    The interactive dialog is the product — every label the user gives
+    is irreplaceable — so with [--state-dir] the server journals each
+    acknowledged session mutation to
+    [DIR/session-<id>.wal] ({!Gps_graph.Wal} framing, payloads in the
+    {!Gps_interactive.Journal} JSON answer encoding plus one leading
+    [start] record carrying graph name/version, strategy, seed and
+    budget). The append happens {e before} the in-memory state commits
+    and the response is written: an acknowledged step is durable per the
+    fsync policy, and a failed append surfaces as a typed ["durability"]
+    error with the session state unchanged.
+
+    On restart, {!recover} re-reads every journal (truncating torn
+    tails, quarantining unparseable ones as [.failed] so one bad file
+    cannot wedge every boot) and hands the server the typed entries to
+    replay through the deterministic {!Gps_interactive.Session} state
+    machine. The journal file of a recovered session stays open for
+    further appends, so a session can survive any number of crashes.
+
+    Stopping, expiring or evicting a session discards its journal —
+    the WAL is a redo log for {e live} dialogs, not an archive. *)
+
+type t
+
+val load : dir:string -> policy:Gps_graph.Wal.fsync_policy -> (t, string) result
+(** Create [dir] if needed (parents too) and fsync it so the directory
+    itself survives a crash. *)
+
+val dir : t -> string
+val policy : t -> Gps_graph.Wal.fsync_policy
+
+val session_path : t -> int -> string
+(** [DIR/session-<id>.wal]. *)
+
+(** {1 Journaling}
+
+    All three raise on failure — {!Gps_obs.Fault.Injected} from the
+    [wal.append]/[store.fsync] probes, or the underlying I/O error —
+    and the caller must translate that into a degraded (non-acked)
+    response. *)
+
+val journal_start :
+  t ->
+  id:int ->
+  graph:string ->
+  version:int ->
+  strategy:string ->
+  seed:int ->
+  budget:int option ->
+  unit
+(** Open the session's WAL and write the [start] record. *)
+
+val journal_answer : t -> id:int -> Gps_interactive.Journal.answer -> unit
+(** Append one acknowledged step. The session's WAL must be open (from
+    {!journal_start} or {!recover}). *)
+
+(** {1 Lifecycle} *)
+
+val discard : t -> id:int -> unit
+(** Close and delete the session's journal (stop/expiry/eviction).
+    Harmless if none exists. *)
+
+val quarantine : t -> id:int -> unit
+(** Close the journal and rename it to [.failed] — for journals whose
+    replay failed, so the data survives for forensics without
+    re-failing every restart. *)
+
+val close : t -> unit
+(** Close every open journal (files remain for the next boot). *)
+
+(** {1 Recovery} *)
+
+type recovered_journal = {
+  r_id : int;
+  r_graph : string;
+  r_version : int;  (** catalog version at start time (informational) *)
+  r_strategy : string;
+  r_seed : int;
+  r_budget : int option;
+  r_answers : Gps_interactive.Journal.answer list;  (** in append order *)
+  r_bytes_discarded : int;  (** torn/corrupt tail bytes truncated *)
+}
+
+type recover_stats = {
+  journals : recovered_journal list;  (** ascending id *)
+  quarantined : int;  (** journals unreadable/unparseable, moved aside *)
+  entries_discarded : int;
+      (** truncated journal tails — each at most one in-flight,
+          unacknowledged record under [fsync=always] *)
+  bytes_discarded : int;
+}
+
+val recover : t -> recover_stats
+(** Scan the state dir, recover every [session-*.wal] (tails truncated
+    in place) and keep each successfully parsed journal open for
+    further appends. Deterministic: journals are processed in id
+    order. A journal with zero records (a crash between creation and
+    the start-record append — nothing was ever acknowledged) is
+    deleted silently rather than quarantined. *)

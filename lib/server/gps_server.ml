@@ -10,4 +10,5 @@ module Catalog = Catalog
 module Qcache = Qcache
 module Sessions = Sessions
 module Metrics = Metrics
+module Durability = Durability
 module Server = Server

@@ -11,6 +11,9 @@ module Deadline = Gps_obs.Deadline
 module Fault = Gps_obs.Fault
 module Timeseries = Gps_obs.Timeseries
 module Wide_event = Gps_obs.Wide_event
+module Histogram = Gps_obs.Histogram
+module Wal = Gps_graph.Wal
+module Journal = Gps_interactive.Journal
 
 let c_dispatches = Counter.make "server.dispatches"
 let c_errors = Counter.make "server.dispatch_errors"
@@ -20,9 +23,19 @@ let c_sheds = Counter.make "server.sheds"
 let c_disconnects = Counter.make "server.client_disconnects"
 let c_frame_rejects = Counter.make "server.frame_rejections"
 let c_cache_drops = Counter.make "server.cache_insert_drops"
+let c_durability_errors = Counter.make "server.durability_errors"
+let c_restored = Counter.make "recovery.sessions_restored"
+let c_recovery_failed = Counter.make "recovery.sessions_failed"
+let c_entries_discarded = Counter.make "recovery.entries_discarded"
+let h_recovery = Histogram.make "recovery.duration_ns"
 let g_sessions = Gauge.make "server.sessions_active"
 let g_cache = Gauge.make "server.qcache_size"
 let g_inflight = Gauge.make "server.inflight"
+
+(* sessions rebuilt by the last crash recovery — a gauge (not the
+   cumulative counter) so dashboards sampling the timeseries see the
+   boot's recovery without needing rate arithmetic *)
+let g_recovered = Gauge.make "recovery.sessions"
 
 (* total delta-overlay edges across every file-backed catalog entry —
    the live measure of how much ingest has landed since the last pack *)
@@ -42,6 +55,8 @@ type config = {
   sample_every_s : float option;
   prom_compat : bool;
   profile : bool;
+  state_dir : string option;
+  fsync : Wal.fsync_policy;
 }
 
 let default_config =
@@ -61,7 +76,17 @@ let default_config =
     sample_every_s = None;
     prom_compat = false;
     profile = false;
+    state_dir = None;
+    fsync = Wal.Always;
   }
+
+type recovery_summary = {
+  sessions_restored : int;
+  sessions_failed : int;
+  entries_discarded : int;
+  bytes_discarded : int;
+  duration_ms : float;
+}
 
 type t = {
   catalog : Catalog.t;
@@ -80,6 +105,12 @@ type t = {
   audit : Wide_event.sink option;
   prom_compat : bool;
   mutable series : Timeseries.t option;
+  dur : Durability.t option;
+  mutable recovery : recovery_summary option;
+  (* wide events stamped recovered:true until this instant — the first
+     post-restart sample window, so restart blips are attributable *)
+  mutable recovered_until_ns : int64 option;
+  recovered_window_ns : int64;
 }
 
 let refresh_gauges t =
@@ -90,11 +121,22 @@ let refresh_gauges t =
   (c, s)
 
 let create ?(config = default_config) () =
+  let dur =
+    match config.state_dir with
+    | None -> None
+    | Some dir -> (
+        match Durability.load ~dir ~policy:config.fsync with
+        | Ok d -> Some d
+        | Error msg -> failwith (Printf.sprintf "state dir %s: %s" dir msg))
+  in
+  (* a removed session's journal goes with it, whatever removed it:
+     explicit stop, TTL expiry or max-sessions eviction *)
+  let on_remove id = Option.iter (fun d -> Durability.discard d ~id) dur in
   let t =
     {
       catalog = Catalog.create ();
       cache = Qcache.create ~capacity:config.cache_capacity ();
-      sessions = Sessions.create ~config:config.sessions ~clock:config.clock ();
+      sessions = Sessions.create ~config:config.sessions ~clock:config.clock ~on_remove ();
       metrics = Metrics.create ();
       slow_ms = config.slow_ms;
       deadline_ms = config.deadline_ms;
@@ -108,6 +150,12 @@ let create ?(config = default_config) () =
       audit = config.audit;
       prom_compat = config.prom_compat;
       series = None;
+      dur;
+      recovery = None;
+      recovered_until_ns = None;
+      recovered_window_ns =
+        Int64.of_float
+          (1e9 *. Option.value ~default:1.0 config.sample_every_s);
     }
   in
   (* --profile: pool-level scheduler telemetry on every parallel eval,
@@ -390,6 +438,28 @@ let on_session t id step =
   | Some r -> r
   | None -> fail "unknown-session" "no session %d (expired, stopped or never started)" id
 
+(* A failed journal write must never look like success: the in-memory
+   state is left untouched (the computed next state is simply dropped)
+   and the client gets a typed "durability" error instead of an ack. *)
+let durability_failed exn =
+  Counter.incr c_durability_errors;
+  match exn with
+  | Fault.Injected site -> fail "durability" "injected fault at %s: step not journaled" site
+  | Failure msg | Sys_error msg -> fail "durability" "journal write failed: %s" msg
+  | Unix.Unix_error (e, _, _) ->
+      fail "durability" "journal write failed: %s" (Unix.error_message e)
+  | exn -> raise exn
+
+(* Journal one acknowledged session step (no-op without --state-dir).
+   Called after the next state is computed but before it commits. *)
+let journal t ~id answer =
+  match t.dur with
+  | None -> ()
+  | Some d -> ( try Durability.journal_answer d ~id answer with exn -> durability_failed exn)
+
+let session_node_name (e : Sessions.entry) node =
+  Digraph.node_name (Catalog.graph e.Sessions.catalog) node
+
 (* ------------------------------------------------------------------ *)
 (* endpoint implementations *)
 
@@ -489,31 +559,48 @@ let do_learn t graph pos neg deadline_ms =
 
 let do_session_start t graph strategy seed budget =
   let entry = graph_entry t graph in
-  let strategy =
+  let strat =
     match Gps_interactive.Strategy.by_name ~seed strategy with
     | Ok s -> s
     | Error msg -> fail "bad-request" "%s" msg
   in
   let config = { S.default_config with S.max_questions = budget } in
-  let state = S.start ~config ~strategy (Catalog.graph entry) in
+  let state = S.start ~config ~strategy:strat (Catalog.graph entry) in
   let e = Sessions.start t.sessions entry state in
+  (match t.dur with
+  | None -> ()
+  | Some d -> (
+      try
+        Durability.journal_start d ~id:e.Sessions.id ~graph
+          ~version:entry.Catalog.version ~strategy ~seed ~budget
+      with exn ->
+        (* roll back: the unjournaled session must not outlive the error
+           (stop also unlinks whatever partial journal exists) *)
+        ignore (Sessions.stop t.sessions e.Sessions.id);
+        durability_failed exn));
   session_response t e
 
 let do_session_label t id positive =
   let deadline = request_deadline t None in
   on_session t id (fun e ->
       match S.request e.Sessions.state with
-      | S.Ask_label _ ->
-          e.Sessions.state <-
-            S.answer_label ~deadline e.Sessions.state (if positive then `Pos else `Neg);
+      | S.Ask_label view ->
+          let pol = if positive then `Pos else `Neg in
+          let next = S.answer_label ~deadline e.Sessions.state pol in
+          journal t ~id
+            (Journal.Label (Some (session_node_name e view.Gps_interactive.View.node), pol));
+          e.Sessions.state <- next;
           session_response t e
       | _ -> fail "bad-state" "session %d is not awaiting a label" id)
 
 let do_session_zoom t id =
   on_session t id (fun e ->
       match S.request e.Sessions.state with
-      | S.Ask_label _ ->
-          e.Sessions.state <- S.answer_label e.Sessions.state `Zoom;
+      | S.Ask_label view ->
+          let next = S.answer_label e.Sessions.state `Zoom in
+          journal t ~id
+            (Journal.Label (Some (session_node_name e view.Gps_interactive.View.node), `Zoom));
+          e.Sessions.state <- next;
           session_response t e
       | _ -> fail "bad-state" "session %d is not awaiting a label (nothing to zoom)" id)
 
@@ -529,16 +616,22 @@ let do_session_validate t id path =
                 if List.mem w tree.Gps_interactive.View.words then w
                 else fail "bad-path" "%S is not a candidate path" (String.concat "." w)
           in
-          e.Sessions.state <- S.answer_path ~deadline e.Sessions.state word;
+          let next = S.answer_path ~deadline e.Sessions.state word in
+          journal t ~id
+            (Journal.Validate (Some (session_node_name e tree.Gps_interactive.View.node), word));
+          e.Sessions.state <- next;
           session_response t e
       | _ -> fail "bad-state" "session %d is not awaiting path validation" id)
 
 let do_session_propose t id accept =
   on_session t id (fun e ->
       match S.request e.Sessions.state with
-      | S.Propose _ ->
-          e.Sessions.state <-
-            (if accept then S.accept e.Sessions.state else S.refine e.Sessions.state);
+      | S.Propose q ->
+          let next =
+            if accept then S.accept e.Sessions.state else S.refine e.Sessions.state
+          in
+          journal t ~id (Journal.Satisfied (Gps_query.Rpq.to_string q, accept));
+          e.Sessions.state <- next;
           session_response t e
       | _ -> fail "bad-state" "session %d has no pending proposal" id)
 
@@ -546,6 +639,90 @@ let do_session_stop t id =
   match Sessions.stop t.sessions id with
   | Some e -> P.Stopped { session = id; questions = S.questions e.Sessions.state }
   | None -> fail "unknown-session" "no session %d (expired, stopped or never started)" id
+
+(* ------------------------------------------------------------------ *)
+(* crash recovery *)
+
+(* Replay one journaled answer through the pure state machine. The
+   journal records only what the client was acked for, so a mismatch
+   between the recorded answer kind and the state's pending request
+   means the journal does not describe this state machine — fail the
+   session rather than guess. Replay runs without deadlines: a
+   deadline-truncated original step can in principle diverge from its
+   replay (documented in DESIGN §14). *)
+let replay_answer state a =
+  match (S.request state, a) with
+  | S.Ask_label _, Journal.Label (_, pol) -> S.answer_label state pol
+  | S.Ask_path _, Journal.Validate (_, word) -> S.answer_path state word
+  | S.Propose _, Journal.Satisfied (_, true) -> S.accept state
+  | S.Propose _, Journal.Satisfied (_, false) -> S.refine state
+  | _ -> failwith "journaled answer does not match the session's pending request"
+
+(* Rebuild live sessions from the state dir. Call once, after the
+   catalog is preloaded (a journal naming an absent graph fails and is
+   quarantined). Returns [None] when durability is off. *)
+let recover t =
+  match t.dur with
+  | None -> None
+  | Some d ->
+      let t0 = Clock.now_ns () in
+      let stats = Durability.recover d in
+      let restored = ref 0 and failed = ref stats.Durability.quarantined in
+      List.iter
+        (fun (j : Durability.recovered_journal) ->
+          let outcome =
+            match Catalog.find t.catalog j.Durability.r_graph with
+            | None -> Error (Printf.sprintf "graph %S not in catalog" j.Durability.r_graph)
+            | Some entry -> (
+                match
+                  Gps_interactive.Strategy.by_name ~seed:j.Durability.r_seed
+                    j.Durability.r_strategy
+                with
+                | Error msg -> Error msg
+                | Ok strategy -> (
+                    let config =
+                      { S.default_config with S.max_questions = j.Durability.r_budget }
+                    in
+                    match
+                      List.fold_left replay_answer
+                        (S.start ~config ~strategy (Catalog.graph entry))
+                        j.Durability.r_answers
+                    with
+                    | state -> Ok (entry, state)
+                    | exception exn -> Error (Printexc.to_string exn)))
+          in
+          match outcome with
+          | Ok (entry, state) ->
+              ignore (Sessions.restore t.sessions ~id:j.Durability.r_id entry state);
+              incr restored
+          | Error msg ->
+              Printf.eprintf "gps: recovery: session %d: %s (quarantined)\n%!"
+                j.Durability.r_id msg;
+              Durability.quarantine d ~id:j.Durability.r_id;
+              incr failed)
+        stats.Durability.journals;
+      let elapsed = Clock.elapsed_ns t0 in
+      Counter.add c_restored !restored;
+      Counter.add c_recovery_failed !failed;
+      Counter.add c_entries_discarded stats.Durability.entries_discarded;
+      Histogram.record_ns h_recovery elapsed;
+      let summary =
+        {
+          sessions_restored = !restored;
+          sessions_failed = !failed;
+          entries_discarded = stats.Durability.entries_discarded;
+          bytes_discarded = stats.Durability.bytes_discarded;
+          duration_ms = Clock.ns_to_s elapsed *. 1e3;
+        }
+      in
+      t.recovery <- Some summary;
+      t.recovered_until_ns <- Some (Int64.add (Clock.now_ns ()) t.recovered_window_ns);
+      Gauge.set_int g_recovered !restored;
+      ignore (refresh_gauges t);
+      Some summary
+
+let last_recovery t = t.recovery
+let state_dir t = Option.map Durability.dir t.dur
 
 (* Slow-query log: one JSON line on stderr per query at or over the
    [slow_ms] threshold — greppable, and structured enough to feed back
@@ -711,6 +888,37 @@ let status_json t ~timings =
             ] );
         ("trace_enabled", Json.Bool (Trace.enabled ()));
         ("draining", Json.Bool (draining t));
+        (* durability posture and the last recovery's outcome: a client
+           (or the crash harness) can tell from one status call whether
+           state survives kill -9 and what the last restart replayed *)
+        ( "durability",
+          match t.dur with
+          | None -> Json.Object [ ("enabled", Json.Bool false) ]
+          | Some d ->
+              Json.Object
+                ([
+                   ("enabled", Json.Bool true);
+                   ("state_dir", Json.String (Durability.dir d));
+                   ("fsync", Json.String (Wal.policy_to_string (Durability.policy d)));
+                 ]
+                @
+                match t.recovery with
+                | None -> [ ("recovered", Json.Bool false) ]
+                | Some r ->
+                    [
+                      ("recovered", Json.Bool true);
+                      ("sessions_restored", int r.sessions_restored);
+                      ("sessions_failed", int r.sessions_failed);
+                      ("entries_discarded", int r.entries_discarded);
+                      ("bytes_discarded", int r.bytes_discarded);
+                    ]
+                    @
+                    if timings then
+                      [
+                        ( "duration_ms",
+                          Json.Number (Float.round (r.duration_ms *. 1000.) /. 1000.) );
+                      ]
+                    else [] ) );
         (* sampler health: a wedged sampler thread shows up as a
            growing last-sample age. The age and sample count are
            timing-dependent, so they ride behind [timings] like
@@ -878,6 +1086,12 @@ let handle_line t ?recv_ns line =
   let t0 = Clock.now_ns () in
   let recv_ns = match recv_ns with Some ns -> ns | None -> t0 in
   Wide_event.set_int ev "bytes_in" (String.length line);
+  (* restart attribution: requests in the first post-recovery sample
+     window carry recovered:true, so a latency blip right after a crash
+     joins its cause in [gps audit summary] and [gps top] *)
+  (match t.recovered_until_ns with
+  | Some until when Int64.compare t0 until <= 0 -> Wide_event.set_bool ev "recovered" true
+  | _ -> ());
   let out =
     match Json.value_of_string line with
     | v -> Json.value_to_string (handle_value t ~ev v)

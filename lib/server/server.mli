@@ -76,22 +76,63 @@ type config = {
           timeseries surfaces and [--explain] reports grow their
           per-level efficiency section. Off (the default) costs
           zero on every path. *)
+  state_dir : string option;
+      (** session durability ([gps serve --state-dir DIR]): journal
+          every acknowledged session mutation to a per-session
+          checksummed WAL under [DIR] (see {!Durability}), so a crashed
+          server rebuilds its live dialogs on restart via {!recover}.
+          [None] (the default): sessions are memory-only. *)
+  fsync : Gps_graph.Wal.fsync_policy;
+      (** when journaled state is forced to disk before a mutation is
+          acknowledged: [Always] (default — acked steps survive power
+          loss), [Every n] (bounded loss window), [Never] (page cache
+          only). Applies to the session journals; a failed append or
+          fsync surfaces as a typed ["durability"] error (counted under
+          ["server.durability_errors"]) with the session state
+          unchanged. *)
 }
 
 val default_config : config
 (** Cache capacity 256, {!Sessions.default_config}, monotonic clock, no
     slow-query log, no deadline or cap, unbounded in-flight, 8 MiB
     frames, no socket timeout, no audit sink, no sampler, no Prometheus
-    compat. *)
+    compat, no state dir, [fsync = Always]. *)
 
 type t
 
 val create : ?config:config -> unit -> t
 (** When [config.sample_every_s] is set, the background sampler thread
-    starts here; {!stop_sampler} (or process exit) ends it. *)
+    starts here; {!stop_sampler} (or process exit) ends it. With
+    [config.state_dir], the directory is created and opened for
+    journaling — but existing journals are only replayed by an explicit
+    {!recover} call, so the caller can preload the catalog first.
+    @raise Failure when the state dir cannot be created. *)
 
 val sampler : t -> Gps_obs.Timeseries.t option
 val stop_sampler : t -> unit
+
+(** {1 Crash recovery} *)
+
+type recovery_summary = {
+  sessions_restored : int;
+  sessions_failed : int;  (** journals that could not be replayed (quarantined) *)
+  entries_discarded : int;  (** truncated journal tails *)
+  bytes_discarded : int;
+  duration_ms : float;
+}
+
+val recover : t -> recovery_summary option
+(** Replay every session journal in the state dir and re-register the
+    resulting sessions under their pre-crash ids; see {!Durability}.
+    Call after preloading the catalog — a journal whose graph is absent
+    counts as failed. Updates the ["recovery.*"] counters and the
+    ["recovery.duration_ns"] histogram, surfaces the summary in the
+    [status] endpoint's [durability] block, and stamps wide events
+    [recovered:true] for the first post-restart sample window. [None]
+    when the server has no state dir. *)
+
+val last_recovery : t -> recovery_summary option
+val state_dir : t -> string option
 
 val handle : t -> ?ev:Gps_obs.Wide_event.t -> Protocol.request -> Protocol.response
 (** Never raises. The request's effective deadline is its wire

@@ -23,6 +23,7 @@ type t = {
   lock : Mutex.t;
   config : config;
   clock : unit -> float;
+  on_remove : int -> unit;
   mutable next_id : int;
   mutable started : int;
   mutable stopped : int;
@@ -35,12 +36,14 @@ type t = {
    one). Tests inject a fake clock through [?clock]. *)
 let default_clock () = Gps_obs.Clock.ns_to_s (Gps_obs.Clock.now_ns ())
 
-let create ?(config = default_config) ?(clock = default_clock) () =
+let create ?(config = default_config) ?(clock = default_clock)
+    ?(on_remove = fun _ -> ()) () =
   {
     tbl = Hashtbl.create 16;
     lock = Mutex.create ();
     config;
     clock;
+    on_remove;
     next_id = 1;
     started = 0;
     stopped = 0;
@@ -60,7 +63,11 @@ let sweep_locked t =
       (fun id e acc -> if now -. e.touched > t.config.idle_ttl then id :: acc else acc)
       t.tbl []
   in
-  List.iter (Hashtbl.remove t.tbl) doomed;
+  List.iter
+    (fun id ->
+      Hashtbl.remove t.tbl id;
+      t.on_remove id)
+    doomed;
   t.expired <- t.expired + List.length doomed
 
 (* call with t.lock held *)
@@ -76,6 +83,7 @@ let evict_idlest_locked t =
   match victim with
   | Some (id, _) ->
       Hashtbl.remove t.tbl id;
+      t.on_remove id;
       t.evicted <- t.evicted + 1
   | None -> ()
 
@@ -87,6 +95,16 @@ let start t catalog state =
       done;
       let id = t.next_id in
       t.next_id <- id + 1;
+      t.started <- t.started + 1;
+      let entry = { id; catalog; lock = Mutex.create (); state; touched = t.clock () } in
+      Hashtbl.replace t.tbl id entry;
+      entry)
+
+let restore t ~id catalog state =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.tbl id then
+        invalid_arg (Printf.sprintf "Sessions.restore: id %d already live" id);
+      if id >= t.next_id then t.next_id <- id + 1;
       t.started <- t.started + 1;
       let entry = { id; catalog; lock = Mutex.create (); state; touched = t.clock () } in
       Hashtbl.replace t.tbl id entry;
@@ -113,6 +131,7 @@ let stop t id =
       match Hashtbl.find_opt t.tbl id with
       | Some e ->
           Hashtbl.remove t.tbl id;
+          t.on_remove id;
           t.stopped <- t.stopped + 1;
           Some e
       | None -> None)

@@ -42,12 +42,23 @@ type counters = {
 
 type t
 
-val create : ?config:config -> ?clock:(unit -> float) -> unit -> t
+val create :
+  ?config:config -> ?clock:(unit -> float) -> ?on_remove:(int -> unit) -> unit -> t
 (** [clock] (seconds) defaults to the shared {!Gps_obs.Clock} monotonic
-    source; inject a fake one for deterministic TTL tests. *)
+    source; inject a fake one for deterministic TTL tests. [on_remove]
+    fires (under the manager lock — keep it quick, never reentrant)
+    whenever a session leaves the table, whatever the cause: explicit
+    stop, TTL expiry or eviction. The durability layer hooks it to
+    delete the session's journal. *)
 
 val start : t -> Catalog.entry -> Gps_interactive.Session.t -> entry
 (** Allocate an id for a fresh session. *)
+
+val restore : t -> id:int -> Catalog.entry -> Gps_interactive.Session.t -> entry
+(** Re-register a session under its pre-crash id (recovery replay).
+    Future {!start} ids continue past the highest restored id, so
+    restored and fresh sessions never collide.
+    @raise Invalid_argument if the id is already live. *)
 
 val find : t -> int -> entry option
 (** Touches the entry (refreshes its TTL). *)

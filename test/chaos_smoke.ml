@@ -42,10 +42,29 @@ let is_error_line line =
       | _ -> die "response has no \"ok\" field: %s" line)
   | _ -> die "response is not an object: %s" line
 
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
 let () =
   Fault.init_from_env ();
   let rounds = 50 in
-  let t = Srv.create () in
+  (* the dispatch server journals sessions to a real state dir so the
+     wal.append / store.fsync fault sites sit on the acked-write path *)
+  let state_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gps_chaos_%d" (Unix.getpid ()))
+  in
+  rm_rf state_dir;
+  at_exit (fun () -> rm_rf state_dir);
+  let t =
+    Srv.create
+      ~config:{ Srv.default_config with Srv.state_dir = Some state_dir } ()
+  in
   (* direct dispatch: every request must draw a typed one-line response,
      no matter what the fault schedule injects *)
   let errors = ref 0 and total = ref 0 in
@@ -56,6 +75,20 @@ let () =
         if is_error_line (Srv.handle_line t line) then incr errors)
       (script round)
   done;
+  (* a journal append or fsync that failed must have surfaced as a typed
+     (counted) durability error — an acked step may never silently skip
+     the log *)
+  let durability_errors =
+    match List.assoc_opt "server.durability_errors" (Gps_obs.Counter.snapshot ()) with
+    | Some n -> n
+    | None -> 0
+  in
+  let durability_injected =
+    Fault.injected_count "wal.append" + Fault.injected_count "store.fsync"
+  in
+  if durability_errors <> durability_injected then
+    die "durability: %d wal.append/store.fsync faults injected but %d typed errors counted"
+      durability_injected durability_errors;
   (* the stdio transport: sock.write faults close the stream early; that
      must be a quiet, counted disconnect, never an exception *)
   let t2 = Srv.create () in
@@ -113,5 +146,13 @@ let () =
     if !transported <> rounds * script_len then
       die "control run: expected %d transported lines, got %d" (rounds * script_len)
         !transported;
+    (* every session was stopped, so every journal must have been
+       discarded — a leak here would grow the state dir forever *)
+    let leftover =
+      Sys.readdir state_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".wal")
+    in
+    if leftover <> [] then
+      die "control run: %d journal(s) leaked in %s" (List.length leftover) state_dir;
     Printf.printf "chaos: control run clean (%d requests)\n" !total
   end

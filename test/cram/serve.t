@@ -72,8 +72,8 @@ the normalized form, so it must report "cache":"hit".
   {"id":"q-7","ok":true,"kind":"answer","query":"bus","nodes":["N1","N2","N6"],"cache":"hit"}
   {"ok":false,"error":{"code":"bad-request","message":"missing field \"query\""}}
   {"ok":false,"error":{"code":"parse","message":"at 0: expected true"}}
-  {"ok":true,"kind":"status","status":{"graphs":[{"name":"figure1","version":1}],"sessions":{"active":0,"started":2},"cache":{"size":5,"capacity":256,"evictions":0,"invalidations":0,"delta_invalidations":0},"trace_enabled":true,"draining":false,"sampler":{"running":true,"interval_s":1}}}
-  {"ok":true,"kind":"metrics","metrics":{"endpoints":{"invalid":{"requests":2,"errors":2},"learn":{"requests":1,"errors":0},"list-graphs":{"requests":1,"errors":0},"load":{"requests":1,"errors":0},"query":{"requests":3,"errors":0},"session-label":{"requests":4,"errors":0},"session-propose":{"requests":4,"errors":0},"session-show":{"requests":3,"errors":0},"session-start":{"requests":2,"errors":0},"session-stop":{"requests":2,"errors":0},"session-validate":{"requests":3,"errors":0},"session-zoom":{"requests":1,"errors":0},"stats":{"requests":1,"errors":0},"status":{"requests":1,"errors":0}},"cache":{"hits":5,"misses":5,"evictions":0,"invalidations":0,"delta_invalidations":0,"size":5,"capacity":256},"sessions":{"active":0,"started":2,"stopped":2,"expired":0,"evicted":0},"graphs":1,"server":{"dispatches":29,"dispatch_errors":2,"sheds":0,"timeouts":0,"slow_queries":0,"frame_rejections":0,"client_disconnects":0,"last_request_id":30},"trace":{"enabled":true,"counters":{"audit.emitted":0,"audit.sampled_out":0,"eval.cancel_checks":35,"eval.cancelled":0,"eval.domains_used":15,"eval.early_exit_hits":89,"eval.frontier_visits":306,"eval.par_levels":0,"eval.product_states":380,"eval.runs":15,"eval.seq_fallbacks":0,"fault.injected":0,"gc.major_slices":0,"gc.minor_allocated_words":0,"gc.minor_collections":0,"gc.minor_promoted_words":0,"learner.failures":0,"learner.runs":5,"pool.barrier_ns":0,"pool.busy_ns":0,"pool.chunks":0,"pool.idle_ns":0,"pool.jobs":0,"propagate.implied_neg":5,"propagate.implied_pos":4,"qcache.delta_invalidations":0,"qcache.evictions":0,"qcache.hits":5,"qcache.invalidations":0,"qcache.misses":5,"rpni.consistency_checks":21,"rpni.merge_accepts":11,"rpni.merge_attempts":16,"rpni.merge_rejects":5,"rpni.promotions":2,"runtime.events_consumed":0,"runtime.events_lost":0,"server.cache_insert_drops":0,"server.client_disconnects":0,"server.dispatch_errors":2,"server.dispatches":29,"server.frame_rejections":0,"server.sheds":0,"server.slow_queries":0,"server.timeouts":0,"session.nodes_pruned":5,"session.relearns":4,"session.steps":12,"witness.expansions":76,"witness.searches":73,"witness.timeouts":0},"gauges":{"catalog.file_backed":0,"graph.overlay_edges":0,"runtime.domains_live":0,"server.inflight":1,"server.qcache_size":5,"server.sessions_active":0},"spans":{"eval.select_frozen":{"count":15,"errors":0},"learner.learn":{"count":5,"errors":0},"propagate.negatives":{"count":4,"errors":0},"propagate.positives":{"count":3,"errors":0},"rpni.generalize":{"count":5,"errors":0},"server.dispatch":{"count":28,"errors":0},"session.accept":{"count":1,"errors":0},"session.answer_label":{"count":5,"errors":0},"session.answer_path":{"count":3,"errors":0},"session.refine":{"count":3,"errors":0},"session.start":{"count":2,"errors":0},"witness.search":{"count":73,"errors":0}}}}}
+  {"ok":true,"kind":"status","status":{"graphs":[{"name":"figure1","version":1}],"sessions":{"active":0,"started":2},"cache":{"size":5,"capacity":256,"evictions":0,"invalidations":0,"delta_invalidations":0},"trace_enabled":true,"draining":false,"durability":{"enabled":false},"sampler":{"running":true,"interval_s":1}}}
+  {"ok":true,"kind":"metrics","metrics":{"endpoints":{"invalid":{"requests":2,"errors":2},"learn":{"requests":1,"errors":0},"list-graphs":{"requests":1,"errors":0},"load":{"requests":1,"errors":0},"query":{"requests":3,"errors":0},"session-label":{"requests":4,"errors":0},"session-propose":{"requests":4,"errors":0},"session-show":{"requests":3,"errors":0},"session-start":{"requests":2,"errors":0},"session-stop":{"requests":2,"errors":0},"session-validate":{"requests":3,"errors":0},"session-zoom":{"requests":1,"errors":0},"stats":{"requests":1,"errors":0},"status":{"requests":1,"errors":0}},"cache":{"hits":5,"misses":5,"evictions":0,"invalidations":0,"delta_invalidations":0,"size":5,"capacity":256},"sessions":{"active":0,"started":2,"stopped":2,"expired":0,"evicted":0},"graphs":1,"server":{"dispatches":29,"dispatch_errors":2,"sheds":0,"timeouts":0,"slow_queries":0,"frame_rejections":0,"client_disconnects":0,"last_request_id":30},"trace":{"enabled":true,"counters":{"audit.emitted":0,"audit.sampled_out":0,"eval.cancel_checks":35,"eval.cancelled":0,"eval.domains_used":15,"eval.early_exit_hits":89,"eval.frontier_visits":306,"eval.par_levels":0,"eval.product_states":380,"eval.runs":15,"eval.seq_fallbacks":0,"fault.injected":0,"gc.major_slices":0,"gc.minor_allocated_words":0,"gc.minor_collections":0,"gc.minor_promoted_words":0,"learner.failures":0,"learner.runs":5,"pool.barrier_ns":0,"pool.busy_ns":0,"pool.chunks":0,"pool.idle_ns":0,"pool.jobs":0,"propagate.implied_neg":5,"propagate.implied_pos":4,"qcache.delta_invalidations":0,"qcache.evictions":0,"qcache.hits":5,"qcache.invalidations":0,"qcache.misses":5,"recovery.entries_discarded":0,"recovery.sessions_failed":0,"recovery.sessions_restored":0,"rpni.consistency_checks":21,"rpni.merge_accepts":11,"rpni.merge_attempts":16,"rpni.merge_rejects":5,"rpni.promotions":2,"runtime.events_consumed":0,"runtime.events_lost":0,"server.cache_insert_drops":0,"server.client_disconnects":0,"server.dispatch_errors":2,"server.dispatches":29,"server.durability_errors":0,"server.frame_rejections":0,"server.sheds":0,"server.slow_queries":0,"server.timeouts":0,"session.nodes_pruned":5,"session.relearns":4,"session.steps":12,"witness.expansions":76,"witness.searches":73,"witness.timeouts":0},"gauges":{"catalog.file_backed":0,"graph.overlay_edges":0,"recovery.sessions":0,"runtime.domains_live":0,"server.inflight":1,"server.qcache_size":5,"server.sessions_active":0},"spans":{"eval.select_frozen":{"count":15,"errors":0},"learner.learn":{"count":5,"errors":0},"propagate.negatives":{"count":4,"errors":0},"propagate.positives":{"count":3,"errors":0},"rpni.generalize":{"count":5,"errors":0},"server.dispatch":{"count":28,"errors":0},"session.accept":{"count":1,"errors":0},"session.answer_label":{"count":5,"errors":0},"session.answer_path":{"count":3,"errors":0},"session.refine":{"count":3,"errors":0},"session.start":{"count":2,"errors":0},"witness.search":{"count":73,"errors":0}}}}}
 
 A loaded edge-list file works like a builtin, and reloading a name bumps
 its version (invalidating cached results for the old snapshot):

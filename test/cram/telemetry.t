@@ -81,7 +81,7 @@ and the count are exact:
   # TYPE gps_server_request_ns histogram
   gps_server_request_ns_count{endpoint="query"} 1
   $ tail -1 prom.out | sed 's/\\n/\n/g; s/\\"/"/g' | grep -c 'le="+Inf"'
-  4
+  5
   $ tail -1 prom.out | sed 's/\\n/\n/g; s/\\"/"/g' | grep 'gps_server_dispatches_total'
   # TYPE gps_server_dispatches_total counter
   gps_server_dispatches_total 2

@@ -56,6 +56,7 @@ The same aggregation as one JSON object:
     "total": 2,
     "malformed": 0,
     "errors": 0,
+    "recovered": 0,
     "endpoints": {
       "query": {
         "count": 2,

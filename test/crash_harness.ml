@@ -1,0 +1,531 @@
+(* crash_harness — seeded SIGKILL/restart cycles against the durability
+   layer (DESIGN §14, EXPERIMENTS EXP-CRASH).
+
+   Two targets, each spawned as a child copy of this binary and killed
+   with SIGKILL at a seeded-random point:
+
+   - store: a worker appends a deterministic op stream to a {!Store}
+     (fsync=always) and acknowledges every durable op to a side file.
+     After the kill the parent replays the log and checks the crash
+     invariants: the log never reports corruption (a kill can only tear
+     the tail), every acknowledged op is present, the replayed record
+     count sits inside the one-op in-flight window, and the recovered
+     graph is byte-equivalent to a reference replay of the same op
+     prefix.
+
+   - server: a worker runs the real TCP server with --state-dir; the
+     parent drives interactive sessions over the socket, counting every
+     acknowledged mutation per session. After the kill it scans the
+     journals (no CRC failures, answers within [acked, acked+1]),
+     recovers them through a fresh server (zero failed journals, every
+     driven session restored and still answering) and finally stops
+     every session, which must leave the state dir empty.
+
+   Invocation:
+     crash_harness [--mode store|server|both] [--cycles N] [--seed S]
+   plus the two internal worker entry points (store-worker,
+   server-worker). Exit 0 only if every cycle upholds every invariant. *)
+
+module Json = Gps_graph.Json
+module Digraph = Gps_graph.Digraph
+module Store = Gps_graph.Store
+module Wal = Gps_graph.Wal
+module Srv = Gps_server.Server
+module D = Gps_server.Durability
+
+let die fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("crash_harness: FAIL: " ^ m); exit 1) fmt
+
+let info fmt = Printf.ksprintf (fun m -> print_endline ("crash_harness: " ^ m)) fmt
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
+let temp_dir tag seed =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gps_crash_%s_%d_%d" tag (Unix.getpid ()) seed)
+  in
+  rm_rf d;
+  Unix.mkdir d 0o755;
+  d
+
+(* spawn a child copy of this binary; stdin </dev/null, stderr inherited *)
+let spawn args =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process Sys.executable_name
+      (Array.append [| Sys.executable_name |] args)
+      devnull Unix.stdout Unix.stderr
+  in
+  Unix.close devnull;
+  pid
+
+let kill_and_reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+(* ------------------------------------------------------------------ *)
+(* the deterministic store workload, shared by worker and verifier     *)
+
+let n_names = 200
+
+type op = Node of int | Edge of int * int * int
+
+(* op [k] of the stream for [seed]; every op appends exactly one store
+   record (nodes first, then edges whose (src,dst) pairs never repeat
+   for e < n_names²) *)
+let op_at ~seed k =
+  if k < n_names then Node k
+  else
+    let e = k - n_names in
+    let src = e mod n_names in
+    let dst = ((e / n_names * 31) + seed) mod n_names in
+    Edge (src, (e + seed) mod 7, dst)
+
+let node_name i = Printf.sprintf "n%03d" i
+let label_name i = Printf.sprintf "l%d" i
+
+let apply_ref g = function
+  | Node i -> ignore (Digraph.add_node g (node_name i))
+  | Edge (s, l, d) -> Digraph.link g (node_name s) (label_name l) (node_name d)
+
+(* canonical byte dump: node names in id order, then edges in insertion
+   order — two graphs built by the same op sequence dump identically *)
+let dump g =
+  let b = Buffer.create 4096 in
+  for n = 0 to Digraph.n_nodes g - 1 do
+    Buffer.add_string b (Digraph.node_name g n);
+    Buffer.add_char b '\n'
+  done;
+  Digraph.iter_edges
+    (fun { Digraph.src; lbl; dst } ->
+      Buffer.add_string b (Digraph.node_name g src);
+      Buffer.add_char b '\t';
+      Buffer.add_string b (Digraph.label_name g lbl);
+      Buffer.add_char b '\t';
+      Buffer.add_string b (Digraph.node_name g dst);
+      Buffer.add_char b '\n')
+    g;
+  Buffer.contents b
+
+(* child: append the op stream forever, acknowledging each durable op
+   as one line in [ack]; the parent SIGKILLs us mid-flight *)
+let store_worker log ack seed =
+  let st = Store.openfile ~policy:Wal.Always log in
+  let out = open_out ack in
+  let k = ref 0 in
+  while true do
+    (match op_at ~seed !k with
+    | Node i -> ignore (Store.add_node st (node_name i))
+    | Edge (s, l, d) -> Store.link st (node_name s) (label_name l) (node_name d));
+    (* the ack is written only after the op returned (= was fsynced);
+       the ack file itself needs no fsync — SIGKILL spares the page
+       cache, unlike power loss *)
+    output_string out (string_of_int !k);
+    output_char out '\n';
+    flush out;
+    incr k
+  done
+
+(* last fully-written ack, or -1; a torn final line (no trailing
+   newline) is the in-flight op and is ignored — it may even parse as a
+   valid-but-wrong int ("12" torn from "123"), so only the region up to
+   the last newline counts *)
+let read_acked ack =
+  match open_in_bin ack with
+  | exception Sys_error _ -> -1
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match String.rindex_opt s '\n' with
+      | None -> -1
+      | Some last_nl ->
+          let start =
+            match String.rindex_from_opt s (last_nl - 1) '\n' with
+            | Some prev_nl -> prev_nl + 1
+            | None -> 0
+          in
+          let line = String.sub s start (last_nl - start) in
+          Option.value ~default:(-1) (int_of_string_opt line))
+
+let outcome_name = function
+  | `Clean -> "clean"
+  | `Torn_tail -> "torn-tail"
+  | `Corrupt_record -> "corrupt"
+
+let store_cycle ~seed =
+  let dir = temp_dir "store" seed in
+  let log = Filename.concat dir "graph.log" in
+  let ack = Filename.concat dir "acked" in
+  let pid = spawn [| "store-worker"; log; ack; string_of_int seed |] in
+  let rng = Random.State.make [| seed; 0xC0FFEE |] in
+  let delay_ms = 20 + Random.State.int rng 130 in
+  Unix.sleepf (float_of_int delay_ms /. 1000.);
+  kill_and_reap pid;
+  let acked = read_acked ack in
+  (* invariant: a SIGKILL can tear the tail but never corrupt a record;
+     corruption here would mean an undetected framing bug *)
+  let vinfo =
+    match Store.verify log with
+    | Ok i -> i
+    | Error e -> die "store seed=%d: verify refused the log: %s" seed e
+  in
+  if vinfo.Store.outcome = `Corrupt_record then
+    die "store seed=%d: kill produced a CRC failure (outcome corrupt)" seed;
+  (* openfile without ~recover: raises on corruption, truncates tears *)
+  let st =
+    try Store.openfile log
+    with Failure m -> die "store seed=%d: recovery refused the log: %s" seed m
+  in
+  let r = Store.recovery st in
+  let j = r.Store.entries_replayed in
+  (* durability: every acked op must have reached the log (acked+1
+     records), and at most one more op can be in flight beyond the last
+     visible ack (the ack line for a durable op may itself be torn) *)
+  if j < acked + 1 then
+    die "store seed=%d: LOST ACKED OPS: %d acked but only %d records replayed" seed
+      acked j;
+  if j > acked + 2 then
+    die "store seed=%d: %d records replayed but only %d acked (+1 in-flight allowed)"
+      seed j acked;
+  let g = Store.graph st in
+  (* every acked op, explicitly *)
+  for k = 0 to acked do
+    match op_at ~seed k with
+    | Node i ->
+        if Digraph.node_of_name g (node_name i) = None then
+          die "store seed=%d: acked node op %d missing after recovery" seed k
+    | Edge (s, l, d) -> (
+        match
+          ( Digraph.node_of_name g (node_name s),
+            Digraph.label_of_name g (label_name l),
+            Digraph.node_of_name g (node_name d) )
+        with
+        | Some src, Some lbl, Some dst when Digraph.mem_edge g ~src ~lbl ~dst -> ()
+        | _ -> die "store seed=%d: acked edge op %d missing after recovery" seed k)
+  done;
+  (* byte-equivalence with a reference replay of the same op prefix *)
+  let g_ref = Digraph.create () in
+  for k = 0 to j - 1 do
+    apply_ref g_ref (op_at ~seed k)
+  done;
+  if dump g <> dump g_ref then
+    die "store seed=%d: recovered graph differs from reference replay of %d ops" seed j;
+  Store.close st;
+  info "store  seed=%-4d kill=%3dms acked=%-5d replayed=%-5d tail=%s ok" seed delay_ms
+    (acked + 1) j
+    (outcome_name vinfo.Store.outcome);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* server mode                                                         *)
+
+(* child: the real server — TCP transport, state dir, fsync=always —
+   announcing its ephemeral port through [portfile] *)
+let server_worker dir portfile =
+  let config =
+    { Srv.default_config with Srv.state_dir = Some dir; Srv.fsync = Wal.Always }
+  in
+  let t = Srv.create ~config () in
+  ignore (Srv.handle_line t {|{"op":"load","name":"fig","builtin":"figure1"}|});
+  ignore (Srv.recover t);
+  let tcp = Srv.start_tcp t ~port:0 () in
+  let tmp = portfile ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (string_of_int (Srv.tcp_port tcp));
+  close_out oc;
+  Sys.rename tmp portfile;
+  Srv.wait_tcp tcp
+
+let wait_port portfile pid =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec poll () =
+    if Unix.gettimeofday () > deadline then die "server worker never announced a port";
+    (match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ -> ()
+    | _ -> die "server worker died before announcing a port");
+    match open_in portfile with
+    | exception Sys_error _ ->
+        Unix.sleepf 0.01;
+        poll ()
+    | ic ->
+        let port = int_of_string (String.trim (input_line ic)) in
+        close_in ic;
+        port
+  in
+  poll ()
+
+let jfield name = function Json.Object f -> List.assoc_opt name f | _ -> None
+
+let jint name v =
+  match jfield name v with Some (Json.Number n) -> Some (int_of_float n) | _ -> None
+
+let jstr name v = match jfield name v with Some (Json.String s) -> Some s | _ -> None
+
+let jok v = match jfield "ok" v with Some (Json.Bool b) -> b | _ -> false
+
+type sess = {
+  id : int;
+  mutable acked : int;  (** mutations acknowledged (journaled answers) *)
+  mutable ask : string;  (** pending request kind from the last view *)
+}
+
+(* one request/response exchange; None once the socket dies (the kill) *)
+let exchange ic oc line =
+  match
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  with
+  | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> None
+  | resp -> (
+      match Json.value_of_string resp with
+      | exception Json.Parse_error _ -> die "server sent junk: %s" resp
+      | v -> Some v)
+
+let start_session ic oc ~seed ~n =
+  let line =
+    Printf.sprintf
+      {|{"op":"session-start","graph":"fig","strategy":"smart","seed":%d,"budget":30}|}
+      ((seed * 100) + n)
+  in
+  match exchange ic oc line with
+  | None -> None
+  | Some v when jok v -> (
+      match (jint "session" v, jstr "ask" v) with
+      | Some id, Some ask -> Some { id; acked = 0; ask }
+      | _ -> die "session-start response missing fields")
+  | Some _ -> die "session-start refused on a healthy server"
+
+(* the next mutation for a session, driven purely by its pending ask *)
+let mutation_line rng s =
+  match s.ask with
+  | "label" ->
+      Some
+        (Printf.sprintf {|{"op":"session-label","session":%d,"answer":"%s"}|} s.id
+           (if Random.State.bool rng then "yes" else "no"))
+  | "path" ->
+      (* no "path" field: the server validates the suggested word *)
+      Some (Printf.sprintf {|{"op":"session-validate","session":%d}|} s.id)
+  | "propose" ->
+      Some
+        (Printf.sprintf {|{"op":"session-propose","session":%d,"accept":%b}|} s.id
+           (Random.State.int rng 4 = 0))
+  | _ -> None (* finished *)
+
+let server_cycle ~seed =
+  let dir = temp_dir "server" seed in
+  let state_dir = Filename.concat dir "state" in
+  let portfile = Filename.concat dir "port" in
+  let pid = spawn [| "server-worker"; state_dir; portfile |] in
+  let port = wait_port portfile pid in
+  let rng = Random.State.make [| seed; 0xDEAD |] in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  (* the kill fires on its own thread while we drive traffic at full
+     speed; the driving loop ends when the socket dies under us *)
+  let delay_ms = 40 + Random.State.int rng 160 in
+  let killer = Thread.create (fun () -> Unix.sleepf (float_of_int delay_ms /. 1000.)) () in
+  let kill_after = Thread.create (fun () -> Thread.join killer; kill_and_reap pid) () in
+  let sessions = Hashtbl.create 8 in
+  let next = ref 0 in
+  let live = Queue.create () in
+  let dead = ref false in
+  let ensure_sessions () =
+    (* keep ~3 dialogs in flight so several journals are mid-append —
+       but never start more than 60 total: the session manager evicts
+       (and rightly discards the journal of) the idlest session past
+       its 64-session cap, which would read as a "lost" journal here *)
+    while Queue.length live < 3 && !next < 60 && not !dead do
+      incr next;
+      match start_session ic oc ~seed ~n:!next with
+      | None -> dead := true
+      | Some s ->
+          Hashtbl.replace sessions s.id s;
+          Queue.add s live
+    done
+  in
+  let steps = ref 0 in
+  while (not !dead) && !steps < 100_000 do
+    ensure_sessions ();
+    if not !dead then begin
+      incr steps;
+      if Queue.is_empty live then begin
+        (* every dialog finished under the 60-session cap: keep the
+           socket busy with reads until the kill lands *)
+        match
+          exchange ic oc (Printf.sprintf {|{"op":"session-show","session":%d}|} !next)
+        with
+        | None -> dead := true
+        | Some _ -> ()
+      end
+      else
+        let s = Queue.pop live in
+        match mutation_line rng s with
+        | None -> () (* finished: drop from rotation, journal stays *)
+        | Some line -> (
+            match exchange ic oc line with
+            | None -> dead := true
+            | Some v ->
+                if jok v then begin
+                  s.acked <- s.acked + 1;
+                  s.ask <- Option.value ~default:"?" (jstr "ask" v)
+                end
+                else
+                  (* no faults are injected here: a healthy server may only
+                     refuse a mutation we mis-aimed, never an acked one *)
+                  die "server seed=%d: unexpected error response: %s" seed
+                    (Json.value_to_string v);
+                Queue.add s live)
+    end
+  done;
+  Thread.join kill_after;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let tracked = Hashtbl.fold (fun _ s acc -> s :: acc) sessions [] in
+  let total_acked = List.fold_left (fun a s -> a + s.acked) 0 tracked in
+  (* 1. raw journal scan: a kill may tear a tail, never fail a CRC *)
+  let journals =
+    Sys.readdir state_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".wal")
+  in
+  List.iter
+    (fun f ->
+      match Wal.scan (Filename.concat state_dir f) with
+      | Error e -> die "server seed=%d: %s unreadable: %s" seed f e
+      | Ok r -> (
+          match r.Wal.outcome with
+          | Wal.Corrupt_record _ ->
+              die "server seed=%d: kill produced a CRC failure in %s" seed f
+          | Wal.Clean | Wal.Torn_tail _ -> ()))
+    journals;
+  (* 2. typed recovery: every tracked acked step must be in its journal,
+     with at most one unacknowledged in-flight answer on top *)
+  let d =
+    match D.load ~dir:state_dir ~policy:Wal.Always with
+    | Ok d -> d
+    | Error e -> die "server seed=%d: durability load: %s" seed e
+  in
+  let stats = D.recover d in
+  if stats.D.quarantined <> 0 then
+    die "server seed=%d: %d journal(s) quarantined after a plain kill" seed
+      stats.D.quarantined;
+  if stats.D.entries_discarded > 1 then
+    die "server seed=%d: %d torn journal tails (at most the one in-flight append can tear)"
+      seed stats.D.entries_discarded;
+  List.iter
+    (fun s ->
+      match List.find_opt (fun r -> r.D.r_id = s.id) stats.D.journals with
+      | None -> die "server seed=%d: session %d's journal vanished" seed s.id
+      | Some r ->
+          let n = List.length r.D.r_answers in
+          if n < s.acked then
+            die "server seed=%d: LOST ACKED STEPS: session %d acked %d, journal has %d"
+              seed s.id s.acked n;
+          if n > s.acked + 1 then
+            die "server seed=%d: session %d journal has %d answers for %d acked" seed
+              s.id n s.acked)
+    tracked;
+  let journal_ids = List.map (fun r -> r.D.r_id) stats.D.journals in
+  D.close d;
+  (* 3. end-to-end: a fresh server over the same state dir must restore
+     every journal and keep answering on the restored sessions *)
+  let t =
+    Srv.create
+      ~config:
+        { Srv.default_config with Srv.state_dir = Some state_dir; Srv.fsync = Wal.Always }
+      ()
+  in
+  ignore (Srv.handle_line t {|{"op":"load","name":"fig","builtin":"figure1"}|});
+  let summary =
+    match Srv.recover t with
+    | Some s -> s
+    | None -> die "server seed=%d: recover returned None with a state dir" seed
+  in
+  if summary.Srv.sessions_failed <> 0 then
+    die "server seed=%d: %d session(s) failed recovery" seed summary.Srv.sessions_failed;
+  if summary.Srv.sessions_restored <> List.length journal_ids then
+    die "server seed=%d: %d journals but %d sessions restored" seed
+      (List.length journal_ids) summary.Srv.sessions_restored;
+  let handle line =
+    match Json.value_of_string (Srv.handle_line t line) with
+    | exception Json.Parse_error _ -> die "server seed=%d: junk response" seed
+    | v -> v
+  in
+  List.iter
+    (fun id ->
+      let v = handle (Printf.sprintf {|{"op":"session-show","session":%d}|} id) in
+      if not (jok v) then
+        die "server seed=%d: restored session %d does not answer session-show" seed id;
+      (* restored sessions must stay live: drive one more step *)
+      let s = { id; acked = 0; ask = Option.value ~default:"?" (jstr "ask" v) } in
+      match mutation_line rng s with
+      | None -> () (* recovered in finished state *)
+      | Some line ->
+          if not (jok (handle line)) then
+            die "server seed=%d: restored session %d refuses a next step" seed id)
+    journal_ids;
+  (* stopping every session discards its journal: the state dir empties *)
+  List.iter
+    (fun id ->
+      ignore (handle (Printf.sprintf {|{"op":"session-stop","session":%d}|} id)))
+    journal_ids;
+  let leftover =
+    Sys.readdir state_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".wal")
+  in
+  if leftover <> [] then
+    die "server seed=%d: %d journal(s) leaked after stop" seed (List.length leftover);
+  info "server seed=%-4d kill=%3dms sessions=%d acked=%-4d restored=%d tails=%d ok" seed
+    delay_ms (List.length journal_ids) total_acked summary.Srv.sessions_restored
+    summary.Srv.entries_discarded;
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Array.to_list Sys.argv with
+  | [ _; "store-worker"; log; ack; seed ] -> store_worker log ack (int_of_string seed)
+  | [ _; "server-worker"; dir; portfile ] -> server_worker dir portfile
+  | _ :: rest ->
+      let mode = ref "both" and cycles = ref 10 and seed = ref 1 in
+      let rec parse = function
+        | [] -> ()
+        | "--mode" :: m :: tl ->
+            mode := m;
+            parse tl
+        | "--cycles" :: n :: tl ->
+            cycles := int_of_string n;
+            parse tl
+        | "--seed" :: s :: tl ->
+            seed := int_of_string s;
+            parse tl
+        | a :: _ -> die "unknown argument %s" a
+      in
+      parse rest;
+      if not (List.mem !mode [ "store"; "server"; "both" ]) then
+        die "--mode must be store, server or both";
+      let kills = ref 0 in
+      for c = 0 to !cycles - 1 do
+        let s = !seed + c in
+        if !mode = "store" || !mode = "both" then begin
+          store_cycle ~seed:s;
+          incr kills
+        end;
+        if !mode = "server" || !mode = "both" then begin
+          server_cycle ~seed:s;
+          incr kills
+        end
+      done;
+      info "%d kill/restart cycle(s): zero lost acked steps, zero undetected corruption"
+        !kills
+  | [] -> die "empty argv"

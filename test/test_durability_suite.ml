@@ -1,0 +1,739 @@
+(* Durability tests: the checksummed WAL's recovery contract (clean /
+   torn-tail / corrupt-record, property-tested against arbitrary
+   truncation and bit flips), the CRC-framed store log, the packed-CSR
+   checksum trailer, the per-session durability journals, and
+   crash/restart recovery through the full server. *)
+
+module Wal = Gps_graph.Wal
+module Crc32 = Gps_graph.Crc32
+module Store = Gps_graph.Store
+module Disk = Gps_graph.Disk_csr
+module Digraph = Gps_graph.Digraph
+module Json = Gps_graph.Json
+module Journal = Gps_interactive.Journal
+module Strategy = Gps_interactive.Strategy
+module Session = Gps_interactive.Session
+module Catalog = Gps_server.Catalog
+module Sessions = Gps_server.Sessions
+module Durability = Gps_server.Durability
+module Srv = Gps_server.Server
+
+let check = Alcotest.check
+
+let temp_path suffix =
+  let f = Filename.temp_file "gps_dur" suffix in
+  Sys.remove f;
+  f
+
+let cleanup path = try Sys.remove path with Sys_error _ -> ()
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
+let with_temp_dir f =
+  let dir = temp_path ".d" in
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let wal_open ?policy path =
+  match Wal.open_append ?policy path with
+  | Ok (w, r) -> (w, r)
+  | Error e -> Alcotest.failf "open_append %s: %s" path e
+
+let scan_ok path =
+  match Wal.scan path with Ok r -> r | Error e -> Alcotest.failf "scan %s: %s" path e
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* ------------------------------------------------------------------ *)
+(* Wal *)
+
+let test_wal_roundtrip () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      let records = [ "alpha"; ""; "third record"; String.make 1000 'x' ] in
+      let w, r0 = wal_open path in
+      check Alcotest.(list string) "fresh log is empty" [] r0.Wal.entries;
+      List.iter (Wal.append w) records;
+      check Alcotest.int "appends counted" (List.length records) (Wal.appends w);
+      check Alcotest.bool "Always fsyncs every append" true
+        (Wal.fsyncs w >= List.length records);
+      Wal.close w;
+      Wal.close w (* idempotent *);
+      let r = scan_ok path in
+      check Alcotest.(list string) "all records recovered" records r.Wal.entries;
+      (match r.Wal.outcome with
+      | Wal.Clean -> ()
+      | _ -> Alcotest.fail "expected clean outcome");
+      check Alcotest.int "no bytes discarded" 0 (Wal.bytes_discarded r);
+      (* reopen keeps history and appends continue after it *)
+      let w2, r2 = wal_open path in
+      check Alcotest.int "reopen sees history" (List.length records)
+        (List.length r2.Wal.entries);
+      Wal.append w2 "post-crash";
+      Wal.close w2;
+      check Alcotest.(list string) "append after reopen" (records @ [ "post-crash" ])
+        (scan_ok path).Wal.entries)
+
+let test_wal_policy_strings () =
+  let roundtrip s =
+    match Wal.policy_of_string s with
+    | Ok p -> Wal.policy_to_string p
+    | Error e -> Alcotest.failf "policy %S: %s" s e
+  in
+  check Alcotest.string "always" "always" (roundtrip "always");
+  check Alcotest.string "never" "never" (roundtrip "never");
+  check Alcotest.string "every" "every:5" (roundtrip "every:5");
+  check Alcotest.bool "bad interval rejected" true
+    (Result.is_error (Wal.policy_of_string "every:0"));
+  check Alcotest.bool "garbage rejected" true
+    (Result.is_error (Wal.policy_of_string "sometimes"))
+
+let test_wal_foreign_file () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      write_file path "this is not a WAL, it is prose";
+      match Wal.scan path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "foreign magic must not scan as a WAL")
+
+let test_wal_torn_magic () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      write_file path (String.sub Wal.magic 0 4);
+      let r = scan_ok path in
+      check Alcotest.int "no entries" 0 (List.length r.Wal.entries);
+      match r.Wal.outcome with
+      | Wal.Torn_tail { bytes_discarded } ->
+          check Alcotest.int "partial magic discarded" 4 bytes_discarded
+      | _ -> Alcotest.fail "partial magic is a torn tail")
+
+let test_wal_oversize_length_is_corruption () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      let w, _ = wal_open path in
+      Wal.append w "ok";
+      Wal.close w;
+      (* append a frame whose length field claims 1 GiB *)
+      let frame = Bytes.make 8 '\000' in
+      Bytes.set_int32_le frame 0 (Int32.of_int (1024 * 1024 * 1024));
+      let prev = read_file path in
+      write_file path (prev ^ Bytes.to_string frame ^ "padding-bytes");
+      let r = scan_ok path in
+      check Alcotest.(list string) "valid prefix kept" [ "ok" ] r.Wal.entries;
+      match r.Wal.outcome with
+      | Wal.Corrupt_record { index; _ } -> check Alcotest.int "at record 1" 1 index
+      | _ -> Alcotest.fail "absurd length must read as corruption, not torn tail")
+
+(* frame layout facts used by the properties below *)
+let frame_bytes payload = 8 + String.length payload
+
+let boundaries records =
+  (* absolute end offset of each record's frame, starting after magic *)
+  let _, offs =
+    List.fold_left
+      (fun (pos, acc) r ->
+        let e = pos + frame_bytes r in
+        (e, e :: acc))
+      (String.length Wal.magic, [])
+      records
+  in
+  List.rev offs
+
+let gen_records =
+  QCheck.Gen.(
+    list_size (int_range 1 12)
+      (string_size ~gen:(char_range '\x00' '\xff') (int_bound 40)))
+
+let arb_records =
+  QCheck.make ~print:(fun rs -> String.concat "|" (List.map String.escaped rs)) gen_records
+
+(* Property: truncate the log at ANY byte offset; recovery returns
+   exactly the records whose frames fit whole below the cut, reports the
+   rest as a torn tail, and the truncation offset in valid_bytes. *)
+let prop_truncation =
+  QCheck.Test.make ~name:"wal: arbitrary truncation recovers longest valid prefix"
+    ~count:300
+    QCheck.(pair arb_records (float_bound_inclusive 1.0))
+    (fun (records, cut_frac) ->
+      let path = temp_path ".wal" in
+      Fun.protect
+        ~finally:(fun () -> cleanup path)
+        (fun () ->
+          let w, _ = wal_open path in
+          List.iter (Wal.append w) records;
+          Wal.close w;
+          let full = read_file path in
+          let size = String.length full in
+          let cut = int_of_float (cut_frac *. float_of_int size) in
+          let cut = max 0 (min cut size) in
+          write_file path (String.sub full 0 cut);
+          let r = scan_ok path in
+          let expected =
+            let rec go acc = function
+              | (r_, e) :: rest when e <= cut -> go (r_ :: acc) rest
+              | _ -> List.rev acc
+            in
+            go [] (List.combine records (boundaries records))
+          in
+          (* a cut inside the magic header truncates to an empty file
+             (offset 0); past it, to the last whole frame *)
+          let magic_len = String.length Wal.magic in
+          let boundary =
+            List.fold_left
+              (fun acc e -> if e <= cut then e else acc)
+              (if cut >= magic_len then magic_len else 0)
+              (boundaries records)
+          in
+          r.Wal.entries = expected
+          && r.Wal.valid_bytes = boundary
+          && Wal.bytes_discarded r = cut - boundary
+          &&
+          match r.Wal.outcome with
+          | Wal.Clean -> cut = boundary
+          | Wal.Torn_tail _ -> cut > boundary
+          | Wal.Corrupt_record _ -> false))
+
+(* Property: flip one byte anywhere past the magic; the record holding
+   that byte — and everything after it — is never replayed, and the log
+   never reads clean. *)
+let prop_bitflip =
+  QCheck.Test.make ~name:"wal: one flipped byte is detected, never replayed" ~count:300
+    QCheck.(triple arb_records (float_bound_inclusive 1.0) (int_range 1 255))
+    (fun (records, pos_frac, xor_byte) ->
+      let path = temp_path ".wal" in
+      Fun.protect
+        ~finally:(fun () -> cleanup path)
+        (fun () ->
+          let w, _ = wal_open path in
+          List.iter (Wal.append w) records;
+          Wal.close w;
+          let full = read_file path in
+          let size = String.length full in
+          let magic_len = String.length Wal.magic in
+          let pos =
+            magic_len
+            + int_of_float (pos_frac *. float_of_int (size - magic_len - 1))
+          in
+          let pos = max magic_len (min pos (size - 1)) in
+          let mutated = Bytes.of_string full in
+          Bytes.set mutated pos
+            (Char.chr (Char.code (Bytes.get mutated pos) lxor xor_byte));
+          write_file path (Bytes.to_string mutated);
+          let r = scan_ok path in
+          (* index of the record whose frame contains the flipped byte *)
+          let hit =
+            let rec go i = function
+              | e :: rest -> if pos < e then i else go (i + 1) rest
+              | [] -> List.length records
+            in
+            go 0 (boundaries records)
+          in
+          let intact = List.filteri (fun i _ -> i < hit) records in
+          r.Wal.entries = intact
+          && match r.Wal.outcome with Wal.Clean -> false | _ -> true))
+
+let test_wal_truncates_on_reopen () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      let w, _ = wal_open path in
+      Wal.append w "kept";
+      Wal.append w "also kept";
+      Wal.close w;
+      let full = read_file path in
+      (* tear mid-frame *)
+      write_file path (String.sub full 0 (String.length full - 3));
+      let w2, r = wal_open path in
+      check Alcotest.int "one record lost to the tear" 1 (List.length r.Wal.entries);
+      check Alcotest.int "file physically truncated" r.Wal.valid_bytes
+        (Unix.stat path).Unix.st_size;
+      Wal.append w2 "after recovery";
+      Wal.close w2;
+      check Alcotest.(list string) "log is consistent after the tear"
+        [ "kept"; "after recovery" ] (scan_ok path).Wal.entries)
+
+(* ------------------------------------------------------------------ *)
+(* Store *)
+
+let test_store_v2_roundtrip () =
+  let path = temp_path ".log" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path; cleanup (path ^ ".csr"))
+    (fun () ->
+      let st = Store.openfile path in
+      check Alcotest.bool "fresh store is framed" true (Store.format st = Store.Framed_v2);
+      ignore (Store.add_node st "solo");
+      Store.link st "a" "x" "b";
+      Store.link st "b" "y" "c";
+      Store.close st;
+      let head = String.sub (read_file path) 0 (String.length Wal.magic) in
+      check Alcotest.string "log carries the WAL magic" Wal.magic head;
+      let st2 = Store.openfile path in
+      let g = Store.graph st2 in
+      check Alcotest.int "nodes replayed" 4 (Digraph.n_nodes g);
+      check Alcotest.int "edges replayed" 2 (Digraph.n_edges g);
+      let r = Store.recovery st2 in
+      (* solo + (a, b, edge) + (c, edge) *)
+      check Alcotest.int "records replayed" 6 r.Store.entries_replayed;
+      check Alcotest.bool "clean" true (r.Store.outcome = `Clean);
+      Store.close st2)
+
+let test_store_v1_compat () =
+  let path = temp_path ".log" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path; cleanup (path ^ ".csr"))
+    (fun () ->
+      (* a log written by the pre-WAL store: plain text lines *)
+      write_file path "N\ta\nN\tb\nE\ta\tx\tb\n";
+      let st = Store.openfile path in
+      check Alcotest.bool "legacy format detected" true (Store.format st = Store.Text_v1);
+      check Alcotest.int "legacy records replayed" 3
+        (Store.recovery st).Store.entries_replayed;
+      Store.link st "b" "y" "c";
+      Store.close st;
+      (* still a valid v1 log, reopenable *)
+      let st2 = Store.openfile path in
+      check Alcotest.int "appended edge visible" 2 (Digraph.n_edges (Store.graph st2));
+      (* compact migrates to v2 *)
+      Store.compact st2;
+      check Alcotest.bool "compact migrates to framed" true
+        (Store.format st2 = Store.Framed_v2);
+      Store.close st2;
+      let st3 = Store.openfile path in
+      check Alcotest.int "snapshot carries the graph" 2
+        (Digraph.n_edges (Store.graph st3));
+      check Alcotest.int "log restarted empty" 0
+        (Store.recovery st3).Store.entries_replayed;
+      Store.close st3)
+
+let test_store_corruption_refused_then_recovered () =
+  let path = temp_path ".log" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path; cleanup (path ^ ".csr"))
+    (fun () ->
+      let st = Store.openfile path in
+      Store.link st "a" "x" "b";
+      Store.link st "b" "y" "c";
+      Store.close st;
+      (* flip a payload byte in the middle of the log *)
+      let full = read_file path in
+      let mutated = Bytes.of_string full in
+      let pos = String.length full - 2 in
+      Bytes.set mutated pos (Char.chr (Char.code (Bytes.get mutated pos) lxor 0x40));
+      write_file path (Bytes.to_string mutated);
+      (* verify reports it read-only *)
+      (match Store.verify path with
+      | Ok r -> check Alcotest.bool "verify flags corruption" true
+            (r.Store.outcome = `Corrupt_record)
+      | Error e -> Alcotest.failf "verify: %s" e);
+      (* default open refuses *)
+      let contains hay needle =
+        let n = String.length hay and m = String.length needle in
+        let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+        go 0
+      in
+      (match Store.openfile path with
+      | exception Failure msg ->
+          check Alcotest.bool "error names the recovery tool" true
+            (contains msg "store recover" || contains msg "CRC")
+      | _st -> Alcotest.fail "corrupt log must not open silently");
+      (* explicit recovery truncates and the store works again *)
+      let st2 = Store.openfile ~recover:true path in
+      let r = Store.recovery st2 in
+      check Alcotest.bool "recovery reports the corrupt record" true
+        (r.Store.outcome = `Corrupt_record);
+      check Alcotest.bool "loss is reported" true (r.Store.bytes_discarded > 0);
+      Store.link st2 "a" "z" "d";
+      Store.close st2;
+      match Store.verify path with
+      | Ok r2 -> check Alcotest.bool "log clean after repair" true (r2.Store.outcome = `Clean)
+      | Error e -> Alcotest.failf "verify after recover: %s" e)
+
+let test_store_fsync_policy () =
+  let path = temp_path ".log" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path; cleanup (path ^ ".csr"))
+    (fun () ->
+      let st = Store.openfile ~policy:Wal.Never path in
+      Store.link st "a" "x" "b";
+      check Alcotest.int "never policy: no fsyncs" 0 (Store.fsyncs st);
+      Store.sync st;
+      check Alcotest.bool "explicit sync still forces" true (Store.fsyncs st >= 1);
+      Store.close st;
+      let st2 = Store.openfile ~policy:(Wal.Every 2) path in
+      Store.link st2 "c" "x" "d";
+      Store.link st2 "d" "x" "e" (* 4 records: 2 nodes + edge each *);
+      check Alcotest.bool "every:2 batches fsyncs" true (Store.fsyncs st2 >= 1);
+      Store.close st2)
+
+(* ------------------------------------------------------------------ *)
+(* Disk_csr checksum trailer *)
+
+let small_graph () =
+  let g = Digraph.create () in
+  Digraph.link g "a" "x" "b";
+  Digraph.link g "b" "y" "c";
+  Digraph.link g "c" "x" "a";
+  g
+
+let test_csr_trailer_verify () =
+  let path = temp_path ".csr" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      Disk.pack_digraph (small_graph ()) ~path;
+      match Disk.open_map path with
+      | Error e -> Alcotest.failf "open: %s" (Disk.open_error_to_string e)
+      | Ok d -> (
+          check Alcotest.bool "trailer present" true (Disk.has_trailer d);
+          match Disk.verify d with
+          | Disk.Verified { bytes; _ } ->
+              check Alcotest.bool "payload bytes plausible" true (bytes > 0)
+          | _ -> Alcotest.fail "fresh pack must verify"))
+
+let test_csr_trailer_mismatch () =
+  let path = temp_path ".csr" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      Disk.pack_digraph (small_graph ()) ~path;
+      let full = read_file path in
+      let mutated = Bytes.of_string full in
+      (* flip a byte inside the payload, well before the trailer *)
+      let pos = String.length full / 2 in
+      Bytes.set mutated pos (Char.chr (Char.code (Bytes.get mutated pos) lxor 0x01));
+      write_file path (Bytes.to_string mutated);
+      match Disk.open_map path with
+      | Error _ -> () (* a header-field flip may fail validation outright *)
+      | Ok d -> (
+          match Disk.verify d with
+          | Disk.Crc_mismatch _ -> ()
+          | Disk.Verified _ -> Alcotest.fail "corrupt payload must not verify"
+          | Disk.No_trailer -> Alcotest.fail "trailer should still be present"))
+
+let test_csr_pre_trailer_files_still_open () =
+  let path = temp_path ".csr" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      Disk.pack_digraph (small_graph ()) ~path;
+      (* strip the 24-byte trailer: the file an older gps wrote *)
+      let full = read_file path in
+      write_file path (String.sub full 0 (String.length full - 24));
+      match Disk.open_map path with
+      | Error e -> Alcotest.failf "pre-trailer file must open: %s" (Disk.open_error_to_string e)
+      | Ok d -> (
+          check Alcotest.bool "no trailer detected" false (Disk.has_trailer d);
+          check Alcotest.int "graph intact" 3 (Disk.base_edges d);
+          match Disk.verify d with
+          | Disk.No_trailer -> ()
+          | _ -> Alcotest.fail "verification must report the absent trailer"))
+
+(* ------------------------------------------------------------------ *)
+(* Durability journals *)
+
+let dur_load dir =
+  match Durability.load ~dir ~policy:Wal.Always with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "Durability.load: %s" e
+
+let test_durability_journal_roundtrip () =
+  with_temp_dir (fun dir ->
+      let d = dur_load dir in
+      Durability.journal_start d ~id:3 ~graph:"fig" ~version:1 ~strategy:"smart" ~seed:7
+        ~budget:(Some 10);
+      Durability.journal_answer d ~id:3 (Journal.Label (Some "N2", `Pos));
+      Durability.journal_answer d ~id:3 (Journal.Validate (Some "N2", [ "bus"; "tram" ]));
+      Durability.journal_answer d ~id:3 (Journal.Satisfied ("bus*", false));
+      Durability.close d;
+      let d2 = dur_load dir in
+      let stats = Durability.recover d2 in
+      check Alcotest.int "one journal" 1 (List.length stats.Durability.journals);
+      check Alcotest.int "nothing quarantined" 0 stats.Durability.quarantined;
+      check Alcotest.int "no tails" 0 stats.Durability.entries_discarded;
+      let j = List.hd stats.Durability.journals in
+      check Alcotest.int "id" 3 j.Durability.r_id;
+      check Alcotest.string "graph" "fig" j.Durability.r_graph;
+      check Alcotest.string "strategy" "smart" j.Durability.r_strategy;
+      check Alcotest.int "seed" 7 j.Durability.r_seed;
+      check Alcotest.(option int) "budget" (Some 10) j.Durability.r_budget;
+      check Alcotest.int "answers" 3 (List.length j.Durability.r_answers);
+      check Alcotest.bool "answers replay in order" true
+        (j.Durability.r_answers
+        = [
+            Journal.Label (Some "N2", `Pos);
+            Journal.Validate (Some "N2", [ "bus"; "tram" ]);
+            Journal.Satisfied ("bus*", false);
+          ]);
+      (* the recovered journal stays open: a post-recovery answer appends *)
+      Durability.journal_answer d2 ~id:3 (Journal.Label (None, `Zoom));
+      Durability.close d2;
+      let d3 = dur_load dir in
+      let stats3 = Durability.recover d3 in
+      check Alcotest.int "post-recovery answer persisted" 4
+        (List.length (List.hd stats3.Durability.journals).Durability.r_answers);
+      Durability.close d3)
+
+let test_durability_discard () =
+  with_temp_dir (fun dir ->
+      let d = dur_load dir in
+      Durability.journal_start d ~id:1 ~graph:"g" ~version:1 ~strategy:"smart" ~seed:0
+        ~budget:None;
+      check Alcotest.bool "journal exists" true
+        (Sys.file_exists (Durability.session_path d 1));
+      Durability.discard d ~id:1;
+      check Alcotest.bool "journal deleted" false
+        (Sys.file_exists (Durability.session_path d 1));
+      Durability.close d)
+
+let test_durability_torn_tail_counted () =
+  with_temp_dir (fun dir ->
+      let d = dur_load dir in
+      Durability.journal_start d ~id:9 ~graph:"g" ~version:1 ~strategy:"smart" ~seed:1
+        ~budget:None;
+      Durability.journal_answer d ~id:9 (Journal.Label (Some "n", `Neg));
+      Durability.close d;
+      (* tear the last frame, as a crash mid-append would *)
+      let path = Filename.concat dir "session-9.wal" in
+      let full = read_file path in
+      write_file path (String.sub full 0 (String.length full - 2));
+      let d2 = dur_load dir in
+      let stats = Durability.recover d2 in
+      check Alcotest.int "tail counted" 1 stats.Durability.entries_discarded;
+      check Alcotest.bool "bytes counted" true (stats.Durability.bytes_discarded > 0);
+      let j = List.hd stats.Durability.journals in
+      check Alcotest.int "torn answer dropped" 0 (List.length j.Durability.r_answers);
+      Durability.close d2)
+
+let test_durability_quarantine () =
+  with_temp_dir (fun dir ->
+      (* a structurally valid WAL whose first record is not a start
+         record: parseable frames, unparseable journal *)
+      let path = Filename.concat dir "session-5.wal" in
+      (match Wal.open_append path with
+      | Ok (w, _) ->
+          Wal.append w {|{"ev":"answer","a":{"kind":"satisfied","query":"q","ok":true}}|};
+          Wal.close w
+      | Error e -> Alcotest.failf "setup: %s" e);
+      let d = dur_load dir in
+      let stats = Durability.recover d in
+      check Alcotest.int "no journals recovered" 0 (List.length stats.Durability.journals);
+      check Alcotest.int "quarantined" 1 stats.Durability.quarantined;
+      check Alcotest.bool "moved aside as .failed" true
+        (Sys.file_exists (path ^ ".failed"));
+      check Alcotest.bool "original gone" false (Sys.file_exists path);
+      (* the next recovery is clean: the bad file no longer re-fails *)
+      let stats2 = Durability.recover d in
+      check Alcotest.int "failure does not recur" 0 stats2.Durability.quarantined;
+      Durability.close d)
+
+let test_durability_empty_journal_deleted () =
+  with_temp_dir (fun dir ->
+      (* a kill between journal creation and the start-record append
+         leaves a magic-only WAL: zero records, zero acknowledged state
+         — recovery deletes it instead of quarantining *)
+      let path = Filename.concat dir "session-4.wal" in
+      (match Wal.open_append path with
+      | Ok (w, _) -> Wal.close w
+      | Error e -> Alcotest.failf "setup: %s" e);
+      let d = dur_load dir in
+      let stats = Durability.recover d in
+      check Alcotest.int "no journals recovered" 0 (List.length stats.Durability.journals);
+      check Alcotest.int "nothing quarantined" 0 stats.Durability.quarantined;
+      check Alcotest.bool "empty journal deleted" false (Sys.file_exists path);
+      check Alcotest.bool "no .failed residue" false (Sys.file_exists (path ^ ".failed"));
+      Durability.close d)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions.restore *)
+
+let test_sessions_restore_id_continuity () =
+  let catalog = Catalog.create () in
+  let entry = Catalog.put catalog ~name:"fig" (Gps_graph.Datasets.figure1 ()) in
+  let fresh () = Session.start ~strategy:Strategy.smart (Catalog.graph entry) in
+  let t = Sessions.create () in
+  let e5 = Sessions.restore t ~id:5 entry (fresh ()) in
+  check Alcotest.int "restored under its old id" 5 e5.Sessions.id;
+  let e6 = Sessions.start t entry (fresh ()) in
+  check Alcotest.bool "fresh ids continue past restored ones" true (e6.Sessions.id > 5);
+  (match Sessions.restore t ~id:5 entry (fresh ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "restoring a live id must be refused");
+  (* restoring a low id never collides with the allocator *)
+  let e1 = Sessions.restore t ~id:1 entry (fresh ()) in
+  check Alcotest.int "low id restored" 1 e1.Sessions.id;
+  let e_next = Sessions.start t entry (fresh ()) in
+  check Alcotest.bool "allocator unaffected by low restore" true
+    (e_next.Sessions.id > e6.Sessions.id)
+
+let test_sessions_on_remove_hook () =
+  let catalog = Catalog.create () in
+  let entry = Catalog.put catalog ~name:"fig" (Gps_graph.Datasets.figure1 ()) in
+  let removed = ref [] in
+  let t = Sessions.create ~on_remove:(fun id -> removed := id :: !removed) () in
+  let e = Sessions.start t entry (Session.start ~strategy:Strategy.smart (Catalog.graph entry)) in
+  ignore (Sessions.stop t e.Sessions.id);
+  check Alcotest.(list int) "stop fires on_remove" [ e.Sessions.id ] !removed
+
+(* ------------------------------------------------------------------ *)
+(* server crash/restart recovery *)
+
+let server_with_state dir =
+  let t =
+    Srv.create ~config:{ Srv.default_config with Srv.state_dir = Some dir } ()
+  in
+  (match Srv.handle t (Gps_server.Protocol.Load { name = "fig"; source = Gps_server.Protocol.Builtin "figure1" }) with
+  | Gps_server.Protocol.Err e -> Alcotest.failf "load: %s" e.Gps_server.Protocol.message
+  | _ -> ());
+  t
+
+let line t s = Srv.handle_line t s
+
+let field v k = Json.member k (Json.value_of_string v)
+
+let test_server_recover_roundtrip () =
+  with_temp_dir (fun dir ->
+      (* server 1: start a session, answer twice, then "crash" (drop it
+         without stopping the session) *)
+      let t1 = server_with_state dir in
+      let r1 =
+        line t1 {|{"op":"session-start","graph":"fig","strategy":"smart","seed":7}|}
+      in
+      check Alcotest.bool "start ok" true (field r1 "ok" = Some (Json.Bool true));
+      let r2 = line t1 {|{"op":"session-label","session":1,"answer":"yes"}|} in
+      check Alcotest.bool "label ok" true (field r2 "ok" = Some (Json.Bool true));
+      let pre_crash = line t1 {|{"op":"session-show","session":1}|} in
+      (* server 2, same state dir: the journal must rebuild session 1 *)
+      let t2 = server_with_state dir in
+      (match Srv.recover t2 with
+      | None -> Alcotest.fail "server with a state dir must recover"
+      | Some s ->
+          check Alcotest.int "one session restored" 1 s.Srv.sessions_restored;
+          check Alcotest.int "none failed" 0 s.Srv.sessions_failed;
+          check Alcotest.int "no tails" 0 s.Srv.entries_discarded);
+      let post_crash = line t2 {|{"op":"session-show","session":1}|} in
+      check Alcotest.string "session state survives the crash bit-for-bit" pre_crash
+        post_crash;
+      (* the restored session keeps working and journaling *)
+      let r3 = line t2 {|{"op":"session-validate","session":1}|} in
+      check Alcotest.bool "restored session answers" true
+        (field r3 "ok" = Some (Json.Bool true));
+      (* status surfaces the recovery *)
+      let status = line t2 {|{"op":"status"}|} in
+      match field status "status" with
+      | Some st -> (
+          match Json.member "durability" st with
+          | Some dur ->
+              check Alcotest.bool "status reports recovery" true
+                (Json.member "recovered" dur = Some (Json.Bool true));
+              check Alcotest.bool "status counts restored sessions" true
+                (Json.member "sessions_restored" dur = Some (Json.Number 1.0))
+          | None -> Alcotest.fail "status lacks a durability block")
+      | None -> Alcotest.fail "no status payload")
+
+let test_server_recover_missing_graph_quarantines () =
+  with_temp_dir (fun dir ->
+      let t1 = server_with_state dir in
+      ignore (line t1 {|{"op":"session-start","graph":"fig","strategy":"smart","seed":7}|});
+      (* server 2 never loads the graph: replay must fail, not crash *)
+      let t2 =
+        Srv.create ~config:{ Srv.default_config with Srv.state_dir = Some dir } ()
+      in
+      (match Srv.recover t2 with
+      | None -> Alcotest.fail "recover must run"
+      | Some s ->
+          check Alcotest.int "nothing restored" 0 s.Srv.sessions_restored;
+          check Alcotest.int "failure counted" 1 s.Srv.sessions_failed);
+      check Alcotest.bool "journal quarantined" true
+        (Sys.file_exists (Filename.concat dir "session-1.wal.failed")))
+
+let test_server_session_stop_discards_journal () =
+  with_temp_dir (fun dir ->
+      let t = server_with_state dir in
+      ignore (line t {|{"op":"session-start","graph":"fig","strategy":"smart","seed":7}|});
+      check Alcotest.bool "journal created" true
+        (Sys.file_exists (Filename.concat dir "session-1.wal"));
+      ignore (line t {|{"op":"session-stop","session":1}|});
+      check Alcotest.bool "journal discarded on stop" false
+        (Sys.file_exists (Filename.concat dir "session-1.wal")))
+
+let test_server_without_state_dir () =
+  let t = Srv.create () in
+  check Alcotest.bool "no state dir" true (Srv.state_dir t = None);
+  check Alcotest.bool "recover is a no-op" true (Srv.recover t = None);
+  check Alcotest.bool "no summary" true (Srv.last_recovery t = None)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests = [ prop_truncation; prop_bitflip ]
+
+let suite =
+  [
+    ( "durability.wal",
+      [
+        Alcotest.test_case "roundtrip and reopen" `Quick test_wal_roundtrip;
+        Alcotest.test_case "policy strings" `Quick test_wal_policy_strings;
+        Alcotest.test_case "foreign file refused" `Quick test_wal_foreign_file;
+        Alcotest.test_case "torn magic" `Quick test_wal_torn_magic;
+        Alcotest.test_case "absurd length is corruption" `Quick
+          test_wal_oversize_length_is_corruption;
+        Alcotest.test_case "reopen truncates torn tail" `Quick test_wal_truncates_on_reopen;
+      ] );
+    ("durability.wal.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ( "durability.store",
+      [
+        Alcotest.test_case "v2 roundtrip" `Quick test_store_v2_roundtrip;
+        Alcotest.test_case "v1 compat and migration" `Quick test_store_v1_compat;
+        Alcotest.test_case "corruption refused then recovered" `Quick
+          test_store_corruption_refused_then_recovered;
+        Alcotest.test_case "fsync policies" `Quick test_store_fsync_policy;
+      ] );
+    ( "durability.csr",
+      [
+        Alcotest.test_case "trailer verifies" `Quick test_csr_trailer_verify;
+        Alcotest.test_case "corruption detected" `Quick test_csr_trailer_mismatch;
+        Alcotest.test_case "pre-trailer files open" `Quick
+          test_csr_pre_trailer_files_still_open;
+      ] );
+    ( "durability.journal",
+      [
+        Alcotest.test_case "journal roundtrip" `Quick test_durability_journal_roundtrip;
+        Alcotest.test_case "discard" `Quick test_durability_discard;
+        Alcotest.test_case "torn tail counted" `Quick test_durability_torn_tail_counted;
+        Alcotest.test_case "quarantine" `Quick test_durability_quarantine;
+        Alcotest.test_case "empty journal deleted" `Quick
+          test_durability_empty_journal_deleted;
+      ] );
+    ( "durability.sessions",
+      [
+        Alcotest.test_case "restore id continuity" `Quick test_sessions_restore_id_continuity;
+        Alcotest.test_case "on_remove hook" `Quick test_sessions_on_remove_hook;
+      ] );
+    ( "durability.server",
+      [
+        Alcotest.test_case "crash/restart recovery" `Quick test_server_recover_roundtrip;
+        Alcotest.test_case "missing graph quarantines" `Quick
+          test_server_recover_missing_graph_quarantines;
+        Alcotest.test_case "stop discards journal" `Quick
+          test_server_session_stop_discards_journal;
+        Alcotest.test_case "no state dir" `Quick test_server_without_state_dir;
+      ] );
+  ]
